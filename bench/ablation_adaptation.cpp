@@ -1,0 +1,64 @@
+// Ablation: the on-demand uplink allocation (the Fig. 4 knee).
+// Three configurations of the 1-Mbps saturation experiment:
+//   (a) on-demand allocation, as observed on the commercial network;
+//   (b) allocation disabled, stuck at the initial 144 kbps DCH;
+//   (c) full 384 kbps DCH granted from the start (micro-cell style).
+#include <cstdio>
+
+#include "scenario/experiment.hpp"
+#include "util/strings.hpp"
+#include "util/table.hpp"
+
+using namespace onelab;
+using namespace onelab::scenario;
+
+namespace {
+
+PathRun runVariant(umts::OperatorProfile profile, std::uint64_t seed) {
+    ExperimentOptions options;
+    options.workload = Workload::cbr_1mbps;
+    options.durationSeconds = 120.0;
+    options.seed = seed;
+    options.testbed.operatorProfile = std::move(profile);
+    return runPath(PathKind::umts_to_ethernet, options);
+}
+
+}  // namespace
+
+int main() {
+    std::printf("=== Ablation: on-demand uplink allocation (Fig. 4 mechanism) ===\n");
+    std::printf("workload: 1 Mbps UDP CBR for 120 s over the UMTS path\n\n");
+
+    umts::OperatorProfile onDemand = umts::commercialItalianOperator();
+
+    umts::OperatorProfile fixedLow = onDemand;
+    fixedLow.onDemandAllocation = false;
+
+    umts::OperatorProfile fullRate = onDemand;
+    fullRate.onDemandAllocation = false;
+    fullRate.initialUplinkIndex = fullRate.uplinkRatesBps.size() - 1;
+
+    util::Table table({"variant", "goodput 5-45s [kbps]", "goodput 60-115s [kbps]",
+                       "knee [s]", "loss rate", "max RTT [s]"});
+    struct Variant {
+        const char* name;
+        umts::OperatorProfile profile;
+    };
+    for (Variant& variant :
+         std::vector<Variant>{{"on-demand (paper)", onDemand},
+                              {"fixed 144 kbps", fixedLow},
+                              {"full rate from start", fullRate}}) {
+        const PathRun run = runVariant(variant.profile, 42);
+        table.addRow({variant.name,
+                      util::format("%.1f", util::meanInWindow(run.series.bitrateKbps, 5, 45)),
+                      util::format("%.1f", util::meanInWindow(run.series.bitrateKbps, 60, 115)),
+                      run.upgradeTimeSeconds >= 0 ? util::format("%.1f", run.upgradeTimeSeconds)
+                                                  : "-",
+                      util::format("%.1f%%", run.summary.lossRate * 100.0),
+                      util::format("%.2f", run.summary.maxRttSeconds)});
+    }
+    std::printf("%s\n", table.render().c_str());
+    std::printf("Only the on-demand variant reproduces the paper's two-level bitrate\n"
+                "trajectory; disabling it flattens Fig. 4 at one or the other level.\n");
+    return 0;
+}

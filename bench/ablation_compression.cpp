@@ -1,0 +1,54 @@
+// Ablation: CCP (deflate-style) payload compression on the dial-up
+// link. The paper's setup loads ppp_deflate/ppp_bsdcomp but D-ITG
+// CBR payloads are zero padding, so enabling compression inflates the
+// apparent goodput of the saturated uplink dramatically — a good
+// reason the characterization ran without it.
+#include <cstdio>
+
+#include "ditg/decoder.hpp"
+#include "ditg/receiver.hpp"
+#include "ditg/sender.hpp"
+#include "scenario/testbed.hpp"
+#include "util/strings.hpp"
+#include "util/table.hpp"
+
+using namespace onelab;
+using namespace onelab::scenario;
+
+namespace {
+
+double goodputKbps(bool compression, std::uint64_t seed) {
+    TestbedConfig config;
+    config.seed = seed;
+    config.dialerCompression = compression;
+    Testbed tb{config};
+    if (!tb.startUmts().ok()) return -1.0;
+    if (!tb.addUmtsDestination(tb.inriaEthAddress().str() + "/32").ok()) return -1.0;
+
+    auto rxSocket = tb.inria().openSliceUdp(tb.inriaSlice(), 9001).value();
+    ditg::ItgRecv receiver{*rxSocket};
+    auto txSocket = tb.napoli().openSliceUdp(tb.umtsSlice()).value();
+    ditg::ItgSend sender{tb.sim(), *txSocket, ditg::cbr1MbpsFlow(2, 30.0),
+                         tb.inriaEthAddress(), 9001, util::RandomStream{seed}.derive("flow")};
+    sender.start();
+    tb.sim().runUntil(tb.sim().now() + sim::seconds(35.0));
+    const ditg::QosSummary summary = ditg::ItgDec::summarize(sender.log(), receiver.log(2));
+    return summary.meanBitrateKbps;
+}
+
+}  // namespace
+
+int main() {
+    std::printf("=== Ablation: CCP compression on the PPP link ===\n");
+    std::printf("workload: 1 Mbps UDP CBR (zero-padded D-ITG payloads) for 30 s\n\n");
+    util::Table table({"link configuration", "goodput [kbps]"});
+    const double off = goodputKbps(false, 42);
+    const double on = goodputKbps(true, 42);
+    table.addRow({"plain (paper setup)", util::format("%.1f", off)});
+    table.addRow({"CCP deflate enabled", util::format("%.1f", on)});
+    std::printf("%s\n", table.render().c_str());
+    std::printf("compression multiplies apparent goodput by %.1fx on these\n"
+                "all-zero payloads — real traffic would gain far less.\n",
+                on / off);
+    return on > off ? 0 : 1;
+}

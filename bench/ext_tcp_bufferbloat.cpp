@@ -1,0 +1,105 @@
+// Extension experiment: TCP over the UMTS uplink. The deep RLC buffer
+// that caps Fig. 7's RTT at ~3 s becomes classic bufferbloat once a
+// TCP bulk upload fills it: goodput sits at the bearer rate while the
+// latency floor for everything else rises by orders of magnitude.
+// (The kind of follow-up study the integrated testbed was built for.)
+#include <cstdio>
+
+#include "net/tcp.hpp"
+#include "scenario/testbed.hpp"
+#include "util/strings.hpp"
+#include "util/table.hpp"
+
+using namespace onelab;
+using namespace onelab::scenario;
+
+namespace {
+
+struct UploadResult {
+    double goodputKbps = 0.0;
+    double idleRttMs = 0.0;
+    double loadedRttMs = 0.0;
+    std::uint64_t retransmissions = 0;
+    double srttMs = 0.0;
+};
+
+double pingMs(Testbed& tb, int sliceXid) {
+    std::optional<net::PingReply> reply;
+    (void)tb.napoli().stack().ping(tb.inriaEthAddress(),
+                                   [&](net::PingReply r) { reply = r; }, sliceXid);
+    tb.sim().runUntil(tb.sim().now() + sim::seconds(10.0));
+    return reply ? sim::toMillis(reply->rtt) : -1.0;
+}
+
+UploadResult uploadOver(bool viaUmts, std::uint64_t seed) {
+    TestbedConfig config;
+    config.seed = seed;
+    Testbed tb{config};
+    int sliceXid = 0;
+    if (viaUmts) {
+        if (!tb.startUmts().ok() ||
+            !tb.addUmtsDestination(tb.inriaEthAddress().str() + "/32").ok())
+            return {};
+        sliceXid = tb.umtsSlice().xid;
+    }
+    net::TcpHost client{tb.sim(), tb.napoli().stack(), util::RandomStream{seed}};
+    net::TcpHost server{tb.sim(), tb.inria().stack(), util::RandomStream{seed + 1}};
+
+    UploadResult result;
+    result.idleRttMs = pingMs(tb, sliceXid);
+
+    std::size_t received = 0;
+    sim::SimTime lastByteAt{};
+    (void)server.listen(8080, [&](net::TcpConnection& c) {
+        c.onData = [&](util::ByteView d) {
+            received += d.size();
+            lastByteAt = tb.sim().now();
+        };
+    });
+    net::TcpConnection* conn = client.connect(tb.inriaEthAddress(), 8080, sliceXid);
+    conn->onConnected = [&] {
+        const util::Bytes blob(2 * 1024 * 1024, 0x42);  // 2 MiB upload
+        (void)conn->send({blob.data(), blob.size()});
+    };
+    const sim::SimTime start = tb.sim().now();
+    const double measureSeconds = 60.0;
+    // Measure the loaded RTT while the transfer is still in progress
+    // (early on, so even the fast wired path has data in flight).
+    tb.sim().runUntil(start + sim::millis(viaUmts ? 20000 : 300));
+    result.loadedRttMs = pingMs(tb, sliceXid);
+    tb.sim().runUntil(start + sim::seconds(measureSeconds));
+    const double activeSeconds =
+        lastByteAt > start ? sim::toSeconds(lastByteAt - start) : measureSeconds;
+    result.goodputKbps = double(received) * 8.0 / activeSeconds / 1000.0;
+    result.retransmissions = conn->stats().retransmissions;
+    result.srttMs = conn->stats().srttSeconds * 1e3;
+    return result;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    const std::uint64_t seed = argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 42;
+    std::printf("=== Extension: TCP bulk upload and bufferbloat over UMTS ===\n");
+    std::printf("2 MiB upload Napoli -> INRIA, 60 s measurement, seed %llu\n\n",
+                (unsigned long long)seed);
+
+    const UploadResult umts = uploadOver(true, seed);
+    const UploadResult eth = uploadOver(false, seed);
+
+    util::Table table({"path", "goodput [kbps]", "idle RTT [ms]", "loaded RTT [ms]",
+                       "TCP srtt [ms]", "retransmissions"});
+    table.addRow({"UMTS (144/384 kbps DCH)", util::format("%.1f", umts.goodputKbps),
+                  util::format("%.1f", umts.idleRttMs), util::format("%.1f", umts.loadedRttMs),
+                  util::format("%.1f", umts.srttMs), std::to_string(umts.retransmissions)});
+    table.addRow({"Ethernet (100 Mbps)", util::format("%.1f", eth.goodputKbps),
+                  util::format("%.1f", eth.idleRttMs), util::format("%.1f", eth.loadedRttMs),
+                  util::format("%.1f", eth.srttMs), std::to_string(eth.retransmissions)});
+    std::printf("%s\n", table.render().c_str());
+    std::printf("TCP pins the UMTS goodput at the bearer rate, and the standing queue\n"
+                "in the RLC buffer inflates everyone's RTT by ~%0.0fx — the uplink\n"
+                "behaviour behind the paper's recommendation to keep control traffic\n"
+                "(ssh, vsys) on the wired interface.\n",
+                umts.idleRttMs > 0 ? umts.loadedRttMs / umts.idleRttMs : 0.0);
+    return 0;
+}

@@ -1,0 +1,16 @@
+// Regenerates Figure 1: bitrate of the VoIP-like flow on both paths.
+#include "figure_common.hpp"
+
+int main(int argc, char** argv) {
+    using namespace onelab;
+    bench::FigureSpec spec;
+    spec.id = "Figure 1";
+    spec.title = "Bitrate of the VoIP-like flow";
+    spec.workload = scenario::Workload::voip_g711;
+    spec.metric = bench::Metric::bitrate_kbps;
+    spec.unit = "Bitrate [Kbps]";
+    spec.expectation =
+        "both paths achieve the required 72 Kbps on average; the UMTS series "
+        "fluctuates visibly more than the Ethernet one";
+    return bench::runFigure(spec, argc, argv);
+}

@@ -1,0 +1,16 @@
+// Regenerates Figure 2: jitter of the VoIP-like flow on both paths.
+#include "figure_common.hpp"
+
+int main(int argc, char** argv) {
+    using namespace onelab;
+    bench::FigureSpec spec;
+    spec.id = "Figure 2";
+    spec.title = "Jitter of the VoIP-like flow";
+    spec.workload = scenario::Workload::voip_g711;
+    spec.metric = bench::Metric::jitter_seconds;
+    spec.unit = "Jitter [s]";
+    spec.expectation =
+        "UMTS jitter is higher and more fluctuating, reaching ~30 ms — still "
+        "acceptable for a VoIP call; Ethernet jitter is negligible";
+    return bench::runFigure(spec, argc, argv);
+}

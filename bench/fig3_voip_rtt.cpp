@@ -1,0 +1,16 @@
+// Regenerates Figure 3: round-trip time of the VoIP-like flow.
+#include "figure_common.hpp"
+
+int main(int argc, char** argv) {
+    using namespace onelab;
+    bench::FigureSpec spec;
+    spec.id = "Figure 3";
+    spec.title = "RTT of the VoIP-like flow";
+    spec.workload = scenario::Workload::voip_g711;
+    spec.metric = bench::Metric::rtt_seconds;
+    spec.unit = "Round Trip Time [s]";
+    spec.expectation =
+        "average RTT is much higher on UMTS than on Ethernet, is more "
+        "fluctuating, and spikes up to ~700 ms";
+    return bench::runFigure(spec, argc, argv);
+}

@@ -1,0 +1,16 @@
+// Regenerates Figure 5: jitter of the 1-Mbps flow.
+#include "figure_common.hpp"
+
+int main(int argc, char** argv) {
+    using namespace onelab;
+    bench::FigureSpec spec;
+    spec.id = "Figure 5";
+    spec.title = "Jitter of the 1-Mbps flow";
+    spec.workload = scenario::Workload::cbr_1mbps;
+    spec.metric = bench::Metric::jitter_seconds;
+    spec.unit = "Jitter [s]";
+    spec.expectation =
+        "very low performance on UMTS in fully congested conditions: jitter "
+        "spikes beyond 200 ms, making real-time communication impossible";
+    return bench::runFigure(spec, argc, argv);
+}

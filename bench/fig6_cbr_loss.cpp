@@ -1,0 +1,17 @@
+// Regenerates Figure 6: packet loss of the 1-Mbps flow.
+#include "figure_common.hpp"
+
+int main(int argc, char** argv) {
+    using namespace onelab;
+    bench::FigureSpec spec;
+    spec.id = "Figure 6";
+    spec.title = "Loss of the 1-Mbps flow";
+    spec.workload = scenario::Workload::cbr_1mbps;
+    spec.metric = bench::Metric::loss_packets;
+    spec.unit = "Packet loss [pkt/200ms]";
+    spec.expectation =
+        "heavy loss on UMTS throughout (offered load is 24.4 pkt per window); "
+        "loss decreases after the ~50 s bearer upgrade but stays substantial; "
+        "no loss on Ethernet";
+    return bench::runFigure(spec, argc, argv);
+}

@@ -1,0 +1,16 @@
+// Regenerates Figure 7: round-trip time of the 1-Mbps flow.
+#include "figure_common.hpp"
+
+int main(int argc, char** argv) {
+    using namespace onelab;
+    bench::FigureSpec spec;
+    spec.id = "Figure 7";
+    spec.title = "RTT of the 1-Mbps flow";
+    spec.workload = scenario::Workload::cbr_1mbps;
+    spec.metric = bench::Metric::rtt_seconds;
+    spec.unit = "Round Trip Time [s]";
+    spec.expectation =
+        "RTT as large as 3 seconds while the RLC buffer is saturated, "
+        "improving after the first ~50 s when the bearer is re-allocated";
+    return bench::runFigure(spec, argc, argv);
+}

@@ -1,0 +1,129 @@
+#include "figure_common.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+
+#include "ditg/voip_quality.hpp"
+#include "util/ascii_plot.hpp"
+#include "util/strings.hpp"
+#include "util/table.hpp"
+
+namespace onelab::bench {
+
+namespace {
+
+const util::Series& select(const scenario::PathRun& run, Metric metric) {
+    switch (metric) {
+        case Metric::bitrate_kbps: return run.series.bitrateKbps;
+        case Metric::jitter_seconds: return run.series.jitterSeconds;
+        case Metric::loss_packets: return run.series.lossPackets;
+        case Metric::rtt_seconds: return run.series.rttSeconds;
+    }
+    return run.series.bitrateKbps;
+}
+
+/// Thin the series for the printed table (every Nth window) so the
+/// output stays readable; the plot uses the full series.
+util::Series thin(const util::Series& series, std::size_t stride) {
+    util::Series out;
+    for (std::size_t i = 0; i < series.size(); i += stride) out.push_back(series[i]);
+    return out;
+}
+
+}  // namespace
+
+int runFigure(const FigureSpec& spec, int argc, char** argv) {
+    scenario::ExperimentOptions options;
+    options.workload = spec.workload;
+    options.durationSeconds = 120.0;
+    std::string csvPath;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--csv" && i + 1 < argc)
+            csvPath = argv[++i];
+        else
+            options.seed = std::strtoull(arg.c_str(), nullptr, 10);
+    }
+
+    std::printf("=== %s: %s ===\n", spec.id.c_str(), spec.title.c_str());
+    std::printf("workload: %s, duration %.0f s, 200 ms windows, seed %llu\n\n",
+                scenario::workloadName(spec.workload), options.durationSeconds,
+                (unsigned long long)options.seed);
+
+    const scenario::ExperimentResult result = scenario::runExperiment(options);
+    const util::Series& umts = select(result.umts, spec.metric);
+    const util::Series& eth = select(result.ethernet, spec.metric);
+
+    // --- the two series the paper plots, thinned to ~24 rows ---
+    util::Table table({"time[s]", "UMTS-to-Ethernet", "Ethernet-to-Ethernet"});
+    const util::Series umtsThin = thin(umts, 25);
+    std::map<int, double> ethByWindow;
+    for (const util::SeriesPoint& p : eth) ethByWindow[int(p.timeSeconds * 5)] = p.value;
+    for (const util::SeriesPoint& p : umtsThin) {
+        const auto it = ethByWindow.find(int(p.timeSeconds * 5));
+        table.addRow({util::format("%.1f", p.timeSeconds), util::format("%.4f", p.value),
+                      it == ethByWindow.end() ? "-" : util::format("%.4f", it->second)});
+    }
+    std::printf("%s\n", table.render().c_str());
+
+    // --- overlay plot, as in the paper's figures ---
+    util::PlotOptions plotOptions;
+    plotOptions.title = spec.id + " — " + spec.title;
+    plotOptions.yLabel = spec.unit;
+    plotOptions.width = 100;
+    plotOptions.height = 18;
+    const std::string plot = util::renderPlot(
+        {util::PlotSeries{"UMTS-to-Ethernet", 'u', umts},
+         util::PlotSeries{"Ethernet-to-Ethernet", 'e', eth}},
+        plotOptions);
+    std::printf("%s\n", plot.c_str());
+
+    // --- summaries ---
+    const auto summarise = [&](const char* name, const scenario::PathRun& run,
+                               const util::Series& series) {
+        const util::SeriesSummary s = util::summarize(series);
+        std::printf("%-22s mean=%.4f max=%.4f stddev=%.4f  (sent=%llu recv=%llu "
+                    "loss=%.1f%%)\n",
+                    name, s.mean, s.max, s.stddev, (unsigned long long)run.packetsSent,
+                    (unsigned long long)run.packetsReceived, run.summary.lossRate * 100.0);
+    };
+    summarise("UMTS-to-Ethernet:", result.umts, umts);
+    summarise("Ethernet-to-Ethernet:", result.ethernet, eth);
+    if (result.umts.bearerUpgrades > 0)
+        std::printf("uplink re-allocation (the ~50 s knee) at t=%.1f s\n",
+                    result.umts.upgradeTimeSeconds);
+    if (spec.workload == scenario::Workload::voip_g711) {
+        const ditg::VoipQuality umtsQuality = ditg::estimateVoipQuality(result.umts.summary);
+        const ditg::VoipQuality ethQuality =
+            ditg::estimateVoipQuality(result.ethernet.summary);
+        std::printf("E-model voice quality: UMTS R=%.1f MOS=%.2f (%s), Ethernet R=%.1f "
+                    "MOS=%.2f\n",
+                    umtsQuality.rFactor, umtsQuality.mos,
+                    umtsQuality.satisfying() ? "satisfying" : "degraded",
+                    ethQuality.rFactor, ethQuality.mos);
+    }
+    std::printf("\npaper expectation: %s\n", spec.expectation.c_str());
+
+    if (!csvPath.empty()) {
+        util::Table csv({"time_s", "path", "value"});
+        for (const util::SeriesPoint& p : umts)
+            csv.addRow({util::format("%.3f", p.timeSeconds), "umts",
+                        util::format("%.6f", p.value)});
+        for (const util::SeriesPoint& p : eth)
+            csv.addRow({util::format("%.3f", p.timeSeconds), "ethernet",
+                        util::format("%.6f", p.value)});
+        std::FILE* file = std::fopen(csvPath.c_str(), "w");
+        if (!file) {
+            std::fprintf(stderr, "cannot write %s\n", csvPath.c_str());
+            return 1;
+        }
+        const std::string text = csv.csv();
+        std::fwrite(text.data(), 1, text.size(), file);
+        std::fclose(file);
+        std::printf("full series written to %s\n", csvPath.c_str());
+    }
+    return 0;
+}
+
+}  // namespace onelab::bench

@@ -1,0 +1,29 @@
+#pragma once
+
+#include <string>
+
+#include "scenario/experiment.hpp"
+
+namespace onelab::bench {
+
+/// Which QoS series of a PathRun a figure plots.
+enum class Metric { bitrate_kbps, jitter_seconds, loss_packets, rtt_seconds };
+
+/// Everything one paper figure needs.
+struct FigureSpec {
+    std::string id;          ///< "Figure 1"
+    std::string title;       ///< "Bitrate of the VoIP-like flow"
+    scenario::Workload workload;
+    Metric metric;
+    std::string unit;        ///< y-axis label
+    /// Lines of paper-vs-measured commentary printed under the plot.
+    std::string expectation;
+};
+
+/// Run the experiment for `spec` (both paths, 120 s, paper seed) and
+/// print the figure: aligned table of the two series, an ASCII plot,
+/// and the shape checks. Usage: `figN [seed] [--csv path]` — with
+/// --csv the full (unthinned) series is also written as CSV.
+int runFigure(const FigureSpec& spec, int argc, char** argv);
+
+}  // namespace onelab::bench

@@ -1,0 +1,100 @@
+// Microbenchmarks of the node data path: policy routing resolution,
+// netfilter traversal, and the full send path with the paper's
+// isolation rule set installed (the per-packet cost of the umts
+// command's policy, i.e. the isolation-overhead ablation).
+#include <benchmark/benchmark.h>
+
+#include "net/internet.hpp"
+#include "net/stack.hpp"
+
+namespace {
+
+using namespace onelab;
+
+void BM_PolicyRoutingResolve(benchmark::State& state) {
+    net::PolicyRouter router;
+    router.table(net::PolicyRouter::kMainTable)
+        .addRoute({net::Prefix::any(), "eth0", std::nullopt, 0});
+    router.table(100).addRoute({net::Prefix::any(), "ppp0", std::nullopt, 0});
+    // state.range(0) destination rules, like N `umts add destination`s.
+    for (int i = 0; i < state.range(0); ++i) {
+        net::PolicyRule rule;
+        rule.priority = 1001;
+        rule.fwmark = 100;
+        rule.dstSelector = net::Prefix::host(net::Ipv4Address{std::uint32_t(0x8a000000 + i)});
+        rule.tableId = 100;
+        router.addRule(rule);
+    }
+    net::Packet pkt = net::makeUdpPacket({}, 1, net::Ipv4Address{8, 8, 8, 8}, 2, {});
+    pkt.fwmark = 100;
+    for (auto _ : state) benchmark::DoNotOptimize(router.resolve(pkt).ok());
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_PolicyRoutingResolve)->Arg(0)->Arg(2)->Arg(16)->Arg(128);
+
+void BM_NetfilterChain(benchmark::State& state) {
+    net::Netfilter nf;
+    for (int i = 0; i < state.range(0); ++i) {
+        net::FilterRule rule;
+        rule.match.sliceXid = 1000 + i;  // never matches
+        rule.target.kind = net::FilterTarget::Kind::drop;
+        nf.append(net::ChainHook::filter_output, rule);
+    }
+    net::Packet pkt = net::makeUdpPacket({}, 1, net::Ipv4Address{8, 8, 8, 8}, 2, {});
+    pkt.sliceXid = 1;
+    for (auto _ : state)
+        benchmark::DoNotOptimize(nf.runChain(net::ChainHook::filter_output, pkt, "eth0"));
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_NetfilterChain)->Arg(1)->Arg(8)->Arg(64);
+
+/// Full send path with and without the umts isolation rules — the
+/// cost the extension adds to every transmitted packet.
+void BM_SendPathIsolationRules(benchmark::State& state) {
+    sim::Simulator sim;
+    net::NetworkStack stack{sim, "bench"};
+    net::Interface& eth = stack.addInterface("eth0");
+    eth.setAddress(net::Ipv4Address{10, 0, 0, 1});
+    eth.setUp(true);
+    eth.setTxHandler([](net::Packet) {});
+    net::Interface& ppp = stack.addInterface("ppp0");
+    ppp.setAddress(net::Ipv4Address{93, 57, 0, 16});
+    ppp.setUp(true);
+    ppp.setTxHandler([](net::Packet) {});
+    stack.router().table(net::PolicyRouter::kMainTable)
+        .addRoute({net::Prefix::any(), "eth0", std::nullopt, 0});
+
+    if (state.range(0) != 0) {
+        // The exact §2.3 rule set.
+        net::FilterRule mark;
+        mark.match.sliceXid = 100;
+        mark.target = {net::FilterTarget::Kind::mark, 100};
+        stack.netfilter().append(net::ChainHook::mangle_output, mark);
+        net::FilterRule drop;
+        drop.match.outInterface = "ppp0";
+        drop.match.sliceXid = 100;
+        drop.match.negateSlice = true;
+        drop.target.kind = net::FilterTarget::Kind::drop;
+        stack.netfilter().append(net::ChainHook::filter_output, drop);
+        stack.router().table(100).addRoute({net::Prefix::any(), "ppp0", std::nullopt, 0});
+        net::PolicyRule rule;
+        rule.priority = 1000;
+        rule.fwmark = 100;
+        rule.srcSelector = net::Prefix::host(net::Ipv4Address{93, 57, 0, 16});
+        rule.tableId = 100;
+        stack.router().addRule(rule);
+    }
+
+    auto socket = stack.openUdp(101).value();  // a non-owner slice
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            socket->sendTo(net::Ipv4Address{8, 8, 8, 8}, 53, util::Bytes(64, 0)).ok());
+    }
+    state.SetItemsProcessed(state.iterations());
+    state.SetLabel(state.range(0) ? "isolation rules installed" : "bare stack");
+}
+BENCHMARK(BM_SendPathIsolationRules)->Arg(0)->Arg(1);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,107 @@
+// Microbenchmarks for the substrate hot paths: event queue, FCS,
+// HDLC framing, LZSS, MD5 and packet codecs.
+#include <benchmark/benchmark.h>
+
+#include "net/packet.hpp"
+#include "ppp/compress.hpp"
+#include "ppp/fcs.hpp"
+#include "ppp/framer.hpp"
+#include "sim/simulator.hpp"
+#include "util/md5.hpp"
+#include "util/rand.hpp"
+
+namespace {
+
+using namespace onelab;
+
+void BM_SimulatorScheduleRun(benchmark::State& state) {
+    const int events = int(state.range(0));
+    for (auto _ : state) {
+        sim::Simulator sim;
+        int counter = 0;
+        for (int i = 0; i < events; ++i)
+            sim.schedule(sim::micros(double(i % 1000)), [&counter] { ++counter; });
+        sim.run();
+        benchmark::DoNotOptimize(counter);
+    }
+    state.SetItemsProcessed(state.iterations() * events);
+}
+BENCHMARK(BM_SimulatorScheduleRun)->Arg(1000)->Arg(10000);
+
+void BM_Fcs16(benchmark::State& state) {
+    util::Bytes data(std::size_t(state.range(0)));
+    for (std::size_t i = 0; i < data.size(); ++i) data[i] = std::uint8_t(i * 31);
+    for (auto _ : state) benchmark::DoNotOptimize(ppp::fcs16({data.data(), data.size()}));
+    state.SetBytesProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_Fcs16)->Arg(128)->Arg(1500);
+
+void BM_HdlcEncodeDecode(benchmark::State& state) {
+    util::RandomStream rng{1};
+    ppp::Frame frame;
+    frame.protocol = ppp::Protocol::ip;
+    frame.info.resize(std::size_t(state.range(0)));
+    for (auto& byte : frame.info) byte = std::uint8_t(rng.uniformInt(0, 255));
+    ppp::FramerConfig config;
+    config.sendAccm = 0;
+    for (auto _ : state) {
+        const util::Bytes wire = ppp::encodeFrame(frame, config);
+        ppp::Deframer deframer;
+        std::size_t decoded = 0;
+        deframer.onFrame([&](ppp::Frame f) { decoded = f.info.size(); });
+        deframer.feed({wire.data(), wire.size()});
+        benchmark::DoNotOptimize(decoded);
+    }
+    state.SetBytesProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_HdlcEncodeDecode)->Arg(128)->Arg(1500);
+
+void BM_LzssCompressZeroPadded(benchmark::State& state) {
+    // The D-ITG payload shape: small header + zero padding.
+    util::Bytes data(1024, 0);
+    for (int i = 0; i < 17; ++i) data[std::size_t(i)] = std::uint8_t(i * 7);
+    for (auto _ : state) {
+        const util::Bytes compressed = ppp::LzssCodec::compress({data.data(), data.size()});
+        benchmark::DoNotOptimize(compressed.size());
+    }
+    state.SetBytesProcessed(state.iterations() * 1024);
+}
+BENCHMARK(BM_LzssCompressZeroPadded);
+
+void BM_LzssRoundTripRandom(benchmark::State& state) {
+    util::RandomStream rng{2};
+    util::Bytes data(1024);
+    for (auto& byte : data) byte = std::uint8_t(rng.uniformInt(0, 255));
+    for (auto _ : state) {
+        const util::Bytes compressed = ppp::LzssCodec::compress({data.data(), data.size()});
+        const auto plain = ppp::LzssCodec::decompress({compressed.data(), compressed.size()});
+        benchmark::DoNotOptimize(plain.ok());
+    }
+    state.SetBytesProcessed(state.iterations() * 1024);
+}
+BENCHMARK(BM_LzssRoundTripRandom);
+
+void BM_Md5(benchmark::State& state) {
+    util::Bytes data(std::size_t(state.range(0)), 0x5a);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(util::Md5::hash({data.data(), data.size()}));
+    state.SetBytesProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_Md5)->Arg(64)->Arg(4096);
+
+void BM_PacketSerializeParse(benchmark::State& state) {
+    const net::Packet pkt = net::makeUdpPacket(net::Ipv4Address{10, 0, 0, 1}, 5000,
+                                               net::Ipv4Address{10, 0, 0, 2}, 9001,
+                                               util::Bytes(std::size_t(state.range(0)), 0));
+    for (auto _ : state) {
+        const util::Bytes wire = pkt.serialize();
+        const auto parsed = net::Packet::parse({wire.data(), wire.size()});
+        benchmark::DoNotOptimize(parsed.ok());
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_PacketSerializeParse)->Arg(90)->Arg(1024);
+
+}  // namespace
+
+BENCHMARK_MAIN();

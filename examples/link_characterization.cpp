@@ -1,0 +1,66 @@
+// The paper's §3 proof-of-concept experiment, end to end: both traffic
+// classes (72 kbps VoIP-like, 1 Mbps CBR) over both paths
+// (UMTS-to-Ethernet and Ethernet-to-Ethernet), with summary QoS
+// figures per path — a compact version of what the seven figures show.
+//
+// Run:  ./link_characterization [seed] [duration_seconds]
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "scenario/experiment.hpp"
+#include "util/strings.hpp"
+#include "util/table.hpp"
+
+using namespace onelab;
+using namespace onelab::scenario;
+
+namespace {
+
+void report(const ExperimentResult& result) {
+    util::Table table({"path", "bitrate[kbps]", "loss", "jitter mean/max[ms]",
+                       "RTT mean/max[ms]"});
+    for (const auto& [name, run] :
+         {std::pair<const char*, const PathRun&>{"UMTS-to-Ethernet", result.umts},
+          std::pair<const char*, const PathRun&>{"Ethernet-to-Ethernet", result.ethernet}}) {
+        table.addRow({name,
+                      util::format("%.1f", util::meanInWindow(run.series.bitrateKbps, 2,
+                                                              result.durationSeconds - 2)),
+                      util::format("%.1f%%", run.summary.lossRate * 100.0),
+                      util::format("%.2f / %.2f", run.summary.meanJitterSeconds * 1e3,
+                                   run.summary.maxJitterSeconds * 1e3),
+                      util::format("%.1f / %.1f", run.summary.meanRttSeconds * 1e3,
+                                   run.summary.maxRttSeconds * 1e3)});
+    }
+    std::printf("%s", table.render().c_str());
+    if (result.umts.bearerUpgrades > 0)
+        std::printf("  (UMTS uplink re-allocated at t=%.1f s)\n",
+                    result.umts.upgradeTimeSeconds);
+    std::printf("\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    ExperimentOptions options;
+    options.seed = argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 42;
+    options.durationSeconds = argc > 2 ? std::strtod(argv[2], nullptr) : 120.0;
+
+    std::printf("== Characterization of a commercial UMTS connection (paper §3) ==\n");
+    std::printf("seed %llu, %0.0f s per flow, 200 ms measurement windows\n\n",
+                (unsigned long long)options.seed, options.durationSeconds);
+
+    std::printf("--- VoIP-like flow: 72 kbps UDP CBR (G.711-style, 90 B @ 100 pkt/s) ---\n");
+    options.workload = Workload::voip_g711;
+    report(runExperiment(options));
+
+    std::printf("--- Saturating flow: 1 Mbps UDP CBR (1024 B @ 122 pkt/s) ---\n");
+    options.workload = Workload::cbr_1mbps;
+    report(runExperiment(options));
+
+    std::printf("Insight (paper §3.2): the VoIP call is feasible over UMTS, with\n"
+                "higher and more variable delay than the wired path; the 1 Mbps\n"
+                "flow saturates the uplink, whose capacity is allocated on demand\n"
+                "— low for the first ~50 s, then more than doubled.\n");
+    return 0;
+}

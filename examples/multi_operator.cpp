@@ -1,0 +1,115 @@
+// §2.1: "to allow PlanetLab institutions to equip their nodes with
+// such kind of connectivity using a Telecom Operator of choice ... to
+// perform experiments by using the UMTS connection provided by
+// different networks and to compare the results."
+//
+// This example runs the same uplink probing against both networks the
+// OneLab project used: the commercial Italian operator and the private
+// Alcatel-Lucent micro-cell, and compares them.
+//
+// Run:  ./multi_operator [seed]
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "ditg/decoder.hpp"
+#include "ditg/receiver.hpp"
+#include "ditg/sender.hpp"
+#include "scenario/testbed.hpp"
+#include "util/strings.hpp"
+#include "util/table.hpp"
+
+using namespace onelab;
+using namespace onelab::scenario;
+
+namespace {
+
+struct OperatorResult {
+    std::string operatorName;
+    net::Ipv4Address address;
+    int csq = 0;
+    double setupSeconds = 0.0;
+    ditg::QosSummary voip;
+    ditg::QosSummary saturation;
+};
+
+OperatorResult probeOperator(const umts::OperatorProfile& profile, std::uint64_t seed) {
+    TestbedConfig config;
+    config.seed = seed;
+    config.operatorProfile = profile;
+    Testbed tb{config};
+
+    OperatorResult result;
+    const double before = sim::toSeconds(tb.sim().now());
+    const auto started = tb.startUmts();
+    if (!started.ok()) {
+        std::fprintf(stderr, "start failed on %s: %s\n", profile.displayName.c_str(),
+                     started.error().message.c_str());
+        return result;
+    }
+    result.setupSeconds = sim::toSeconds(tb.sim().now()) - before;
+    result.operatorName = started.value().operatorName;
+    result.address = started.value().address;
+    result.csq = started.value().signalQuality;
+    (void)tb.addUmtsDestination(tb.inriaEthAddress().str() + "/32");
+
+    auto rxSocket = tb.inria().openSliceUdp(tb.inriaSlice(), 9001).value();
+    ditg::ItgRecv receiver{*rxSocket};
+
+    // 20 s of VoIP, then 20 s of saturating CBR.
+    {
+        auto txSocket = tb.napoli().openSliceUdp(tb.umtsSlice()).value();
+        ditg::ItgSend sender{tb.sim(), *txSocket, ditg::voipG711Flow(1, 20.0),
+                             tb.inriaEthAddress(), 9001,
+                             util::RandomStream{seed}.derive("voip")};
+        sender.start();
+        tb.sim().runUntil(tb.sim().now() + sim::seconds(24.0));
+        result.voip = ditg::ItgDec::summarize(sender.log(), receiver.log(1));
+    }
+    {
+        auto txSocket = tb.napoli().openSliceUdp(tb.umtsSlice()).value();
+        ditg::ItgSend sender{tb.sim(), *txSocket, ditg::cbr1MbpsFlow(2, 20.0),
+                             tb.inriaEthAddress(), 9001,
+                             util::RandomStream{seed}.derive("cbr")};
+        sender.start();
+        tb.sim().runUntil(tb.sim().now() + sim::seconds(26.0));
+        result.saturation = ditg::ItgDec::summarize(sender.log(), receiver.log(2));
+    }
+    (void)tb.stopUmts();
+    return result;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    const std::uint64_t seed = argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 42;
+    std::printf("== Comparing UMTS operators from the same PlanetLab node ==\n\n");
+
+    const OperatorResult commercial = probeOperator(umts::commercialItalianOperator(), seed);
+    const OperatorResult microcell = probeOperator(umts::alcatelLucentMicrocell(), seed);
+
+    util::Table table({"metric", commercial.operatorName, microcell.operatorName});
+    table.addRow({"assigned address", commercial.address.str(), microcell.address.str()});
+    table.addRow({"signal (CSQ)", std::to_string(commercial.csq),
+                  std::to_string(microcell.csq)});
+    table.addRow({"setup time [s]", util::format("%.1f", commercial.setupSeconds),
+                  util::format("%.1f", microcell.setupSeconds)});
+    table.addRow({"VoIP RTT mean [ms]",
+                  util::format("%.1f", commercial.voip.meanRttSeconds * 1e3),
+                  util::format("%.1f", microcell.voip.meanRttSeconds * 1e3)});
+    table.addRow({"VoIP jitter mean [ms]",
+                  util::format("%.2f", commercial.voip.meanJitterSeconds * 1e3),
+                  util::format("%.2f", microcell.voip.meanJitterSeconds * 1e3)});
+    table.addRow({"saturated goodput [kbps]",
+                  util::format("%.1f", commercial.saturation.meanBitrateKbps),
+                  util::format("%.1f", microcell.saturation.meanBitrateKbps)});
+    table.addRow({"saturated loss",
+                  util::format("%.1f%%", commercial.saturation.lossRate * 100),
+                  util::format("%.1f%%", microcell.saturation.lossRate * 100)});
+    std::printf("%s\n", table.render().c_str());
+
+    std::printf("The private micro-cell grants its full 384 kbps DCH immediately,\n"
+                "so the saturated goodput starts high; the commercial cell begins\n"
+                "at 144 kbps and would only upgrade after ~50 s of sustained load.\n");
+    return 0;
+}

@@ -1,0 +1,46 @@
+#pragma once
+
+#include "ditg/logs.hpp"
+#include "util/stats.hpp"
+
+namespace onelab::ditg {
+
+/// The four QoS series the paper plots per experiment, computed over
+/// non-overlapping windows (200 ms in §3.1). Time axes are seconds
+/// from flow start.
+struct QosSeries {
+    double windowSeconds = 0.2;
+    util::Series bitrateKbps;   ///< received payload bits per window (Figs 1, 4)
+    util::Series jitterSeconds; ///< mean |ΔOWD| between consecutive arrivals (Figs 2, 5)
+    util::Series lossPackets;   ///< packets sent in window never delivered (Fig 6)
+    util::Series rttSeconds;    ///< mean RTT of ACKed probes (Figs 3, 7)
+    util::Series owdSeconds;    ///< mean one-way delay per arrival window
+};
+
+/// Whole-flow summary statistics.
+struct QosSummary {
+    std::uint64_t sent = 0;
+    std::uint64_t received = 0;
+    std::uint64_t lost = 0;
+    double lossRate = 0.0;
+    double meanBitrateKbps = 0.0;
+    double maxBitrateKbps = 0.0;
+    double meanJitterSeconds = 0.0;
+    double maxJitterSeconds = 0.0;
+    double meanRttSeconds = 0.0;
+    double maxRttSeconds = 0.0;
+    double meanOwdSeconds = 0.0;
+};
+
+/// ITGDec: offline decoder turning the sender/receiver logs into the
+/// windowed QoS series and summary the paper reports.
+class ItgDec {
+  public:
+    /// `flowStart` anchors window 0; typically the first TxRecord.
+    static QosSeries decode(const SenderLog& sender, const ReceiverLog& receiver,
+                            double windowSeconds = 0.2);
+
+    static QosSummary summarize(const SenderLog& sender, const ReceiverLog& receiver);
+};
+
+}  // namespace onelab::ditg

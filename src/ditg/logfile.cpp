@@ -1,0 +1,134 @@
+#include "ditg/logfile.hpp"
+
+#include <fstream>
+
+namespace onelab::ditg::logfile {
+
+namespace {
+
+constexpr std::uint8_t kKindSender = 1;
+constexpr std::uint8_t kKindReceiver = 2;
+
+void putMagic(util::Bytes& out, std::uint8_t kind) {
+    out.push_back('I');
+    out.push_back('T');
+    out.push_back('G');
+    out.push_back('L');
+    util::putU8(out, kVersion);
+    util::putU8(out, kind);
+}
+
+util::Result<std::uint8_t> checkMagic(util::ByteReader& reader) {
+    const std::uint8_t i = reader.u8();
+    const std::uint8_t t = reader.u8();
+    const std::uint8_t g = reader.u8();
+    const std::uint8_t l = reader.u8();
+    if (!reader.ok() || i != 'I' || t != 'T' || g != 'G' || l != 'L')
+        return util::err(util::Error::Code::protocol, "not an ITG log file");
+    const std::uint8_t version = reader.u8();
+    if (version != kVersion)
+        return util::err(util::Error::Code::unsupported,
+                         "unsupported log version " + std::to_string(version));
+    return reader.u8();
+}
+
+}  // namespace
+
+util::Bytes encodeSenderLog(const SenderLog& log) {
+    util::Bytes out;
+    putMagic(out, kKindSender);
+    util::putU32(out, std::uint32_t(log.packets.size()));
+    for (const TxRecord& record : log.packets) {
+        util::putU32(out, record.sequence);
+        util::putU32(out, std::uint32_t(record.payloadBytes));
+        util::putU64(out, std::uint64_t(record.txTime.count()));
+        util::putU8(out, record.sendFailed ? 1 : 0);
+    }
+    util::putU32(out, std::uint32_t(log.rtts.size()));
+    for (const RttRecord& record : log.rtts) {
+        util::putU32(out, record.sequence);
+        util::putU64(out, std::uint64_t(record.txTime.count()));
+        util::putU64(out, std::uint64_t(record.rtt.count()));
+    }
+    return out;
+}
+
+util::Result<SenderLog> decodeSenderLog(util::ByteView data) {
+    util::ByteReader reader{data};
+    const auto kind = checkMagic(reader);
+    if (!kind.ok()) return kind.error();
+    if (kind.value() != kKindSender)
+        return util::err(util::Error::Code::protocol, "not a sender log");
+    SenderLog log;
+    const std::uint32_t packets = reader.u32();
+    for (std::uint32_t i = 0; i < packets && reader.ok(); ++i) {
+        TxRecord record;
+        record.sequence = reader.u32();
+        record.payloadBytes = reader.u32();
+        record.txTime = sim::SimTime{std::int64_t(reader.u64())};
+        record.sendFailed = reader.u8() != 0;
+        log.packets.push_back(record);
+    }
+    const std::uint32_t rtts = reader.u32();
+    for (std::uint32_t i = 0; i < rtts && reader.ok(); ++i) {
+        RttRecord record;
+        record.sequence = reader.u32();
+        record.txTime = sim::SimTime{std::int64_t(reader.u64())};
+        record.rtt = sim::SimTime{std::int64_t(reader.u64())};
+        log.rtts.push_back(record);
+    }
+    if (!reader.ok()) return util::err(util::Error::Code::protocol, "truncated sender log");
+    return log;
+}
+
+util::Bytes encodeReceiverLog(const ReceiverLog& log) {
+    util::Bytes out;
+    putMagic(out, kKindReceiver);
+    util::putU32(out, std::uint32_t(log.packets.size()));
+    for (const RxRecord& record : log.packets) {
+        util::putU16(out, record.flowId);
+        util::putU32(out, record.sequence);
+        util::putU32(out, std::uint32_t(record.payloadBytes));
+        util::putU64(out, std::uint64_t(record.txTime.count()));
+        util::putU64(out, std::uint64_t(record.rxTime.count()));
+    }
+    return out;
+}
+
+util::Result<ReceiverLog> decodeReceiverLog(util::ByteView data) {
+    util::ByteReader reader{data};
+    const auto kind = checkMagic(reader);
+    if (!kind.ok()) return kind.error();
+    if (kind.value() != kKindReceiver)
+        return util::err(util::Error::Code::protocol, "not a receiver log");
+    ReceiverLog log;
+    const std::uint32_t packets = reader.u32();
+    for (std::uint32_t i = 0; i < packets && reader.ok(); ++i) {
+        RxRecord record;
+        record.flowId = reader.u16();
+        record.sequence = reader.u32();
+        record.payloadBytes = reader.u32();
+        record.txTime = sim::SimTime{std::int64_t(reader.u64())};
+        record.rxTime = sim::SimTime{std::int64_t(reader.u64())};
+        log.packets.push_back(record);
+    }
+    if (!reader.ok()) return util::err(util::Error::Code::protocol, "truncated receiver log");
+    return log;
+}
+
+util::Result<void> writeFile(const std::string& path, util::ByteView data) {
+    std::ofstream out{path, std::ios::binary | std::ios::trunc};
+    if (!out) return util::err(util::Error::Code::io, "cannot open " + path + " for writing");
+    out.write(reinterpret_cast<const char*>(data.data()), std::streamsize(data.size()));
+    if (!out) return util::err(util::Error::Code::io, "short write to " + path);
+    return {};
+}
+
+util::Result<util::Bytes> readFile(const std::string& path) {
+    std::ifstream in{path, std::ios::binary};
+    if (!in) return util::err(util::Error::Code::not_found, "cannot open " + path);
+    util::Bytes data{std::istreambuf_iterator<char>{in}, std::istreambuf_iterator<char>{}};
+    return data;
+}
+
+}  // namespace onelab::ditg::logfile

@@ -1,0 +1,36 @@
+#pragma once
+
+#include <string>
+
+#include "ditg/logs.hpp"
+#include "util/bytes.hpp"
+#include "util/result.hpp"
+
+namespace onelab::ditg {
+
+/// Binary log-file codec, standing in for D-ITG's sender/receiver log
+/// files that §3.1 retrieves from the two nodes and feeds to ITGDec.
+///
+/// Format (big-endian): magic "ITGL"(4) version(1) kind(1)
+/// recordCount(4), then fixed-width records:
+///   sender packet:  seq(4) payload(4) txTimeNs(8) failed(1)
+///   sender rtt:     seq(4) txTimeNs(8) rttNs(8)
+///   receiver:       flow(2) seq(4) payload(4) txTimeNs(8) rxTimeNs(8)
+/// Sender files carry the packet block then an rttCount(4) + rtt block.
+namespace logfile {
+
+inline constexpr std::uint8_t kVersion = 1;
+
+[[nodiscard]] util::Bytes encodeSenderLog(const SenderLog& log);
+[[nodiscard]] util::Result<SenderLog> decodeSenderLog(util::ByteView data);
+
+[[nodiscard]] util::Bytes encodeReceiverLog(const ReceiverLog& log);
+[[nodiscard]] util::Result<ReceiverLog> decodeReceiverLog(util::ByteView data);
+
+/// Write/read a log blob to the real filesystem (the "retrieve the
+/// log files" step; paths are caller-chosen temp files).
+util::Result<void> writeFile(const std::string& path, util::ByteView data);
+util::Result<util::Bytes> readFile(const std::string& path);
+
+}  // namespace logfile
+}  // namespace onelab::ditg

@@ -1,0 +1,44 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace onelab::ditg {
+
+/// Sender-side record of one transmitted probe.
+struct TxRecord {
+    std::uint32_t sequence = 0;
+    std::size_t payloadBytes = 0;
+    sim::SimTime txTime{};
+    bool sendFailed = false;  ///< local send error (no route, filtered)
+};
+
+/// RTT sample gathered from a returned ACK.
+struct RttRecord {
+    std::uint32_t sequence = 0;
+    sim::SimTime txTime{};
+    sim::SimTime rtt{};
+};
+
+/// Receiver-side record of one delivered probe.
+struct RxRecord {
+    std::uint16_t flowId = 0;
+    std::uint32_t sequence = 0;
+    std::size_t payloadBytes = 0;
+    sim::SimTime txTime{};  ///< from the probe header (synchronised clocks)
+    sim::SimTime rxTime{};
+};
+
+/// The two halves of a flow's measurement logs, what ITGDec consumes.
+struct SenderLog {
+    std::vector<TxRecord> packets;
+    std::vector<RttRecord> rtts;
+};
+
+struct ReceiverLog {
+    std::vector<RxRecord> packets;
+};
+
+}  // namespace onelab::ditg

@@ -1,0 +1,30 @@
+#include "ditg/receiver.hpp"
+
+namespace onelab::ditg {
+
+ItgRecv::ItgRecv(net::UdpSocket& socket, bool sendAcks)
+    : socket_(socket), sendAcks_(sendAcks) {
+    socket_.onReceive([this](net::Datagram dgram) {
+        const auto header = ProbeHeader::decode({dgram.payload.data(), dgram.payload.size()});
+        if (!header || header->isAck) return;
+        ++received_;
+        RxRecord record;
+        record.flowId = header->flowId;
+        record.sequence = header->sequence;
+        record.payloadBytes = dgram.payload.size();
+        record.txTime = sim::SimTime{header->txTimeNs};
+        record.rxTime = dgram.rxTime;
+        logs_[header->flowId].packets.push_back(record);
+
+        if (sendAcks_) {
+            ProbeHeader ack = *header;
+            ack.isAck = true;
+            if (socket_.sendTo(dgram.src, dgram.srcPort, ack.encode(ProbeHeader::kSize)).ok())
+                ++acksSent_;
+        }
+    });
+}
+
+const ReceiverLog& ItgRecv::log(std::uint16_t flowId) const { return logs_[flowId]; }
+
+}  // namespace onelab::ditg

@@ -1,0 +1,31 @@
+#pragma once
+
+#include "ditg/flow.hpp"
+#include "ditg/logs.hpp"
+#include "net/stack.hpp"
+#include "util/logging.hpp"
+
+namespace onelab::ditg {
+
+/// ITGRecv: logs arriving probe packets and (optionally) echoes a
+/// small ACK carrying the original header back to the sender so RTT
+/// can be measured. One receiver can serve many flows; logs are kept
+/// per flow id.
+class ItgRecv {
+  public:
+    ItgRecv(net::UdpSocket& socket, bool sendAcks = true);
+
+    [[nodiscard]] const ReceiverLog& log(std::uint16_t flowId) const;
+    [[nodiscard]] std::uint64_t packetsReceived() const noexcept { return received_; }
+    [[nodiscard]] std::uint64_t acksSent() const noexcept { return acksSent_; }
+
+  private:
+    net::UdpSocket& socket_;
+    bool sendAcks_;
+    util::Logger logger_{"ditg.recv"};
+    mutable std::map<std::uint16_t, ReceiverLog> logs_;
+    std::uint64_t received_ = 0;
+    std::uint64_t acksSent_ = 0;
+};
+
+}  // namespace onelab::ditg

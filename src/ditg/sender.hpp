@@ -1,0 +1,54 @@
+#pragma once
+
+#include <functional>
+
+#include "ditg/flow.hpp"
+#include "ditg/logs.hpp"
+#include "net/stack.hpp"
+#include "sim/simulator.hpp"
+#include "util/logging.hpp"
+
+namespace onelab::ditg {
+
+/// ITGSend: generates one flow of UDP probe traffic on a socket,
+/// logging every departure, and collects the receiver's ACKs into RTT
+/// samples. The socket is borrowed; its receive handler is taken over
+/// for the flow's lifetime.
+class ItgSend {
+  public:
+    ItgSend(sim::Simulator& simulator, net::UdpSocket& socket, FlowSpec spec,
+            net::Ipv4Address destination, std::uint16_t destinationPort,
+            util::RandomStream rng);
+
+    /// Begin generating. `onComplete` fires when the duration elapses
+    /// (ACKs may still trickle in afterwards and are recorded).
+    void start(std::function<void()> onComplete = {});
+
+    [[nodiscard]] const SenderLog& log() const noexcept { return log_; }
+    [[nodiscard]] const FlowSpec& spec() const noexcept { return spec_; }
+    [[nodiscard]] std::uint64_t packetsSent() const noexcept { return sent_; }
+    [[nodiscard]] std::uint64_t sendErrors() const noexcept { return sendErrors_; }
+    [[nodiscard]] bool finished() const noexcept { return finished_; }
+
+  private:
+    void scheduleNext();
+    void emitPacket();
+
+    sim::Simulator& sim_;
+    net::UdpSocket& socket_;
+    FlowSpec spec_;
+    net::Ipv4Address destination_;
+    std::uint16_t destinationPort_;
+    util::RandomStream rng_;
+    util::Logger logger_{"ditg.send"};
+
+    SenderLog log_;
+    sim::SimTime endTime_{};
+    std::uint32_t nextSequence_ = 0;
+    std::uint64_t sent_ = 0;
+    std::uint64_t sendErrors_ = 0;
+    bool finished_ = false;
+    std::function<void()> onComplete_;
+};
+
+}  // namespace onelab::ditg

@@ -1,0 +1,42 @@
+#include "ditg/voip_quality.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace onelab::ditg {
+
+VoipQuality estimateVoipQuality(double owdSeconds, double jitterSeconds, double lossRate) {
+    // Mouth-to-ear delay: network OWD + a jitter buffer sized at twice
+    // the mean jitter (a common adaptive-buffer approximation) + 20 ms
+    // of codec/packetisation delay.
+    const double delayMs =
+        (owdSeconds + 2.0 * jitterSeconds) * 1000.0 + 20.0;
+
+    // Delay impairment Id (G.107 curve, piecewise approximation).
+    double id = 0.024 * delayMs;
+    if (delayMs > 177.3) id += 0.11 * (delayMs - 177.3);
+
+    // Equipment/loss impairment Ie-eff for G.711 with random loss
+    // (Ie = 0, Bpl = 25.1): Ie-eff = Ie + (95 - Ie) * Ppl/(Ppl + Bpl).
+    const double ppl = std::clamp(lossRate, 0.0, 1.0) * 100.0;
+    const double ieEff = 95.0 * ppl / (ppl + 25.1);
+
+    VoipQuality quality;
+    quality.rFactor = std::clamp(93.2 - id - ieEff, 0.0, 100.0);
+
+    const double r = quality.rFactor;
+    if (r <= 0.0)
+        quality.mos = 1.0;
+    else if (r >= 100.0)
+        quality.mos = 4.5;
+    else
+        quality.mos = 1.0 + 0.035 * r + r * (r - 60.0) * (100.0 - r) * 7e-6;
+    return quality;
+}
+
+VoipQuality estimateVoipQuality(const QosSummary& summary) {
+    return estimateVoipQuality(summary.meanOwdSeconds, summary.meanJitterSeconds,
+                               summary.lossRate);
+}
+
+}  // namespace onelab::ditg

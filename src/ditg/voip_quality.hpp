@@ -1,0 +1,28 @@
+#pragma once
+
+#include "ditg/decoder.hpp"
+
+namespace onelab::ditg {
+
+/// Voice-quality estimate from the simplified ITU-T G.107 E-model.
+struct VoipQuality {
+    double rFactor = 0.0;  ///< transmission rating, 0..~93
+    double mos = 1.0;      ///< mean opinion score, 1..~4.4
+
+    /// Coarse verdicts matching the paper's wording.
+    [[nodiscard]] bool satisfying() const noexcept { return mos >= 3.6; }
+    [[nodiscard]] bool nearlyImpossible() const noexcept { return mos < 2.6; }
+};
+
+/// Estimate G.711 call quality from measured one-way delay, jitter and
+/// loss. The mouth-to-ear delay is modelled as OWD plus a jitter
+/// buffer of twice the mean jitter; the delay impairment Id and the
+/// loss impairment Ie-eff follow the standard G.107/G.113 shapes.
+[[nodiscard]] VoipQuality estimateVoipQuality(double owdSeconds, double jitterSeconds,
+                                              double lossRate);
+
+/// Convenience: estimate from an ITGDec summary (uses mean OWD, mean
+/// jitter and the overall loss rate).
+[[nodiscard]] VoipQuality estimateVoipQuality(const QosSummary& summary);
+
+}  // namespace onelab::ditg

@@ -1,0 +1,149 @@
+#include "modem/at_engine.hpp"
+
+#include "util/strings.hpp"
+
+namespace onelab::modem {
+
+AtEngine::AtEngine(sim::Simulator& simulator, std::string logTag)
+    : sim_(simulator), log_("modem.at." + logTag) {}
+
+void AtEngine::attachTty(sim::ByteChannel& tty) {
+    tty_ = &tty;
+    tty.onData([this](util::ByteView data) { onHostData(data); });
+}
+
+void AtEngine::registerCommand(const std::string& prefix, Handler handler) {
+    handlers_[util::toUpper(prefix)] = std::move(handler);
+}
+
+void AtEngine::reply(const std::string& line) {
+    if (!tty_) return;
+    const std::string framed = "\r\n" + line + "\r\n";
+    tty_->write({reinterpret_cast<const std::uint8_t*>(framed.data()), framed.size()});
+}
+
+void AtEngine::final(const std::string& result) {
+    busy_ = false;
+    reply(result);
+}
+
+void AtEngine::unsolicited(const std::string& line) {
+    if (dataMode_) return;  // never corrupt the data stream
+    reply(line);
+}
+
+void AtEngine::enterDataMode(std::function<void(util::ByteView)> fromHost) {
+    dataMode_ = true;
+    dataSink_ = std::move(fromHost);
+    plusCount_ = 0;
+}
+
+void AtEngine::leaveDataMode() {
+    dataMode_ = false;
+    dataSink_ = nullptr;
+    if (escapeTimer_.valid()) sim_.cancel(escapeTimer_);
+    escapeTimer_ = {};
+    lineBuffer_.clear();
+}
+
+void AtEngine::sendToHost(util::ByteView data) {
+    if (tty_) tty_->write(data);
+}
+
+void AtEngine::onHostData(util::ByteView data) {
+    if (dataMode_) {
+        // Scan for the escape sequence: guard, "+++", guard.
+        for (const std::uint8_t byte : data) {
+            const sim::SimTime now = sim_.now();
+            if (byte == '+') {
+                const bool guardOk = plusCount_ > 0 || (now - lastDataByte_) >= kGuardTime;
+                plusCount_ = guardOk ? plusCount_ + 1 : 0;
+                if (plusCount_ == 3) {
+                    // Arm the trailing guard: if nothing follows for a
+                    // guard time, escape fires.
+                    if (escapeTimer_.valid()) sim_.cancel(escapeTimer_);
+                    escapeTimer_ = sim_.schedule(kGuardTime, [this] {
+                        escapeTimer_ = {};
+                        plusCount_ = 0;
+                        log_.info() << "escape sequence detected";
+                        if (onEscape) onEscape();
+                    });
+                }
+            } else {
+                plusCount_ = 0;
+                if (escapeTimer_.valid()) {
+                    sim_.cancel(escapeTimer_);
+                    escapeTimer_ = {};
+                }
+            }
+            lastDataByte_ = now;
+        }
+        // Copy before invoking: the sink may switch the engine back to
+        // command mode (escape/hangup paths) while executing.
+        const auto sink = dataSink_;
+        if (sink) sink(data);
+        return;
+    }
+
+    for (const std::uint8_t byte : data) {
+        const char c = char(byte);
+        if (echo_ && tty_) tty_->write({&byte, 1});
+        if (c == '\r' || c == '\n') {
+            if (!lineBuffer_.empty()) {
+                std::string line;
+                line.swap(lineBuffer_);
+                processLine(line);
+            }
+            continue;
+        }
+        if (c == 0x08 || c == 0x7f) {  // backspace
+            if (!lineBuffer_.empty()) lineBuffer_.pop_back();
+            continue;
+        }
+        lineBuffer_.push_back(c);
+    }
+}
+
+void AtEngine::processLine(const std::string& line) {
+    const std::string trimmed = util::trim(line);
+    if (trimmed.empty()) return;
+    const std::string upper = util::toUpper(trimmed);
+    if (!util::startsWith(upper, "AT")) {
+        reply("ERROR");
+        return;
+    }
+    if (busy_) {
+        log_.warn() << "command while busy: " << trimmed;
+        reply("ERROR");
+        return;
+    }
+    ++commandsHandled_;
+    const std::string body = trimmed.substr(2);
+    if (body.empty()) {
+        reply("OK");
+        return;
+    }
+    dispatch(body);
+}
+
+void AtEngine::dispatch(const std::string& body) {
+    const std::string upper = util::toUpper(body);
+    // Longest registered prefix that matches wins.
+    const Handler* best = nullptr;
+    std::size_t bestLength = 0;
+    for (const auto& [prefix, handler] : handlers_) {
+        if (util::startsWith(upper, prefix) && prefix.size() > bestLength) {
+            best = &handler;
+            bestLength = prefix.size();
+        }
+    }
+    if (!best) {
+        log_.debug() << "unknown command AT" << body;
+        reply("ERROR");
+        return;
+    }
+    busy_ = true;
+    (*best)("AT" + body, body.substr(bestLength));
+}
+
+}  // namespace onelab::modem

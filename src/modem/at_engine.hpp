@@ -1,0 +1,89 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+
+#include "sim/pipe.hpp"
+#include "sim/simulator.hpp"
+#include "util/logging.hpp"
+
+namespace onelab::modem {
+
+/// Hayes AT command engine: the serial-facing half of a modem. Parses
+/// command lines from the host TTY, echoes when enabled, dispatches to
+/// registered handlers, and supports online (data) mode with the
+/// "+++ guard time" escape back to command mode.
+///
+/// Handlers may complete asynchronously: they receive the engine and
+/// call reply()/final() when ready; the engine holds off further
+/// command parsing until the final result is issued.
+class AtEngine {
+  public:
+    /// Handler receives the full command ("AT+CPIN?") and the tail
+    /// after the registered prefix ("?" here, for prefix "+CPIN").
+    using Handler = std::function<void(const std::string& command, const std::string& tail)>;
+
+    AtEngine(sim::Simulator& simulator, std::string logTag);
+
+    /// Attach to the device side of the host TTY.
+    void attachTty(sim::ByteChannel& tty);
+
+    /// Register a command by prefix (without the "AT"); longest
+    /// matching prefix wins. Example prefixes: "+CPIN", "D", "H", "I".
+    void registerCommand(const std::string& prefix, Handler handler);
+
+    // --- responses (used by handlers) ---
+    /// Send an information line ("+CSQ: 17,99").
+    void reply(const std::string& line);
+    /// Send the final result code ("OK", "ERROR", "CONNECT 3600000",
+    /// "NO CARRIER", "+CME ERROR: ...") and unblock the parser.
+    void final(const std::string& result);
+    /// Unsolicited result code (allowed any time in command mode).
+    void unsolicited(const std::string& line);
+
+    // --- data (online) mode ---
+    /// Enter data mode: raw host bytes flow to `fromHost` instead of
+    /// the command parser. Call after sending the CONNECT final.
+    void enterDataMode(std::function<void(util::ByteView)> fromHost);
+    /// Back to command mode (on hangup or escape).
+    void leaveDataMode();
+    [[nodiscard]] bool inDataMode() const noexcept { return dataMode_; }
+    /// Raw bytes toward the host while in data mode (PPP frames).
+    void sendToHost(util::ByteView data);
+
+    /// Fired when "+++" with proper guard times is detected in data
+    /// mode; the modem decides what to do (switch to command mode).
+    std::function<void()> onEscape;
+
+    void setEcho(bool echo) noexcept { echo_ = echo; }
+    [[nodiscard]] bool echo() const noexcept { return echo_; }
+
+    [[nodiscard]] std::uint64_t commandsHandled() const noexcept { return commandsHandled_; }
+
+  private:
+    void onHostData(util::ByteView data);
+    void processLine(const std::string& line);
+    void dispatch(const std::string& body);
+
+    sim::Simulator& sim_;
+    util::Logger log_;
+    sim::ByteChannel* tty_ = nullptr;
+    std::map<std::string, Handler> handlers_;
+    std::string lineBuffer_;
+    bool echo_ = true;
+    bool busy_ = false;       ///< a handler owes a final result
+    bool dataMode_ = false;
+    std::function<void(util::ByteView)> dataSink_;
+
+    // "+++" escape detection (1 s guard before, three '+', 1 s after).
+    static constexpr sim::SimTime kGuardTime = sim::millis(1000);
+    sim::SimTime lastDataByte_{-10'000'000'000};
+    int plusCount_ = 0;
+    sim::EventHandle escapeTimer_;
+
+    std::uint64_t commandsHandled_ = 0;
+};
+
+}  // namespace onelab::modem

@@ -1,0 +1,86 @@
+#include "modem/cards.hpp"
+
+#include "util/strings.hpp"
+
+namespace onelab::modem {
+
+GlobetrotterModem::GlobetrotterModem(sim::Simulator& simulator, umts::UmtsNetwork* network,
+                                     ModemConfig config)
+    : UmtsModem(simulator, network,
+                ModemIdentity{"Option N.V.", "GlobeTrotter 3G+", "GTH 2.6.4"},
+                std::move(config), "globetrotter") {
+    // installVendorCommands() is virtual and cannot run from the base
+    // constructor; do it here where the object is complete.
+    installVendorCommands();
+}
+
+void GlobetrotterModem::installVendorCommands() {
+    engine_.registerCommand("_OPSYS", [this](const std::string&, const std::string& tail) {
+        if (tail == "?") {
+            engine_.reply("_OPSYS: " + std::to_string(opsys_) + ",2");
+            engine_.final("OK");
+            return;
+        }
+        if (util::startsWith(tail, "=")) {
+            const auto parts = util::split(tail.substr(1), ',');
+            const auto mode = util::parseInt(parts[0]);
+            if (mode.ok() && mode.value() >= 0 && mode.value() <= 5) {
+                opsys_ = int(mode.value());
+                engine_.final("OK");
+            } else {
+                engine_.final("ERROR");
+            }
+            return;
+        }
+        engine_.final("ERROR");
+    });
+    engine_.registerCommand("+CFUN",
+                            [this](const std::string&, const std::string&) { engine_.final("OK"); });
+}
+
+HuaweiE620Modem::HuaweiE620Modem(sim::Simulator& simulator, umts::UmtsNetwork* network,
+                                 ModemConfig config)
+    : UmtsModem(simulator, network, ModemIdentity{"huawei", "E620", "11.810.03.00.00"},
+                std::move(config), "huawei-e620") {
+    installVendorCommands();
+    scheduleRssiReport();
+}
+
+void HuaweiE620Modem::installVendorCommands() {
+    if (vendorInstalled_) return;
+    vendorInstalled_ = true;
+    engine_.registerCommand("^SYSCFG",
+                            [this](const std::string&, const std::string&) { engine_.final("OK"); });
+    engine_.registerCommand("^CURC", [this](const std::string&, const std::string& tail) {
+        if (tail == "=0") {
+            curcEnabled_ = false;
+            engine_.final("OK");
+        } else if (tail == "=1") {
+            curcEnabled_ = true;
+            engine_.final("OK");
+        } else if (tail == "?") {
+            engine_.reply(std::string("^CURC: ") + (curcEnabled_ ? "1" : "0"));
+            engine_.final("OK");
+        } else {
+            engine_.final("ERROR");
+        }
+    });
+    engine_.registerCommand("^BOOT",
+                            [this](const std::string&, const std::string&) { engine_.final("OK"); });
+}
+
+HuaweiE620Modem::~HuaweiE620Modem() {
+    if (rssiTimer_.valid()) sim_.cancel(rssiTimer_);
+}
+
+void HuaweiE620Modem::scheduleRssiReport() {
+    // The E620 chirps ^RSSI every ~5 s unless ^CURC=0. The AT engine
+    // suppresses unsolicited lines in data mode, as the card does.
+    rssiTimer_ = sim_.schedule(sim::seconds(5.0), [this] {
+        if (curcEnabled_ && registration() == RegistrationState::registered_home)
+            engine_.unsolicited("^RSSI:" + std::to_string(18));
+        scheduleRssiReport();
+    });
+}
+
+}  // namespace onelab::modem

@@ -1,0 +1,47 @@
+#pragma once
+
+#include "modem/umts_modem.hpp"
+
+namespace onelab::modem {
+
+/// Option Globetrotter GT+ 3G PC-Card — served by the `nozomi` driver
+/// in the paper. Vendor quirks: the `AT_OPSYS` radio-access-technology
+/// selector (0 = GSM only, 1 = UMTS only, 2 = prefer GSM, 3 = prefer
+/// UMTS) that comgt scripts set before registration.
+class GlobetrotterModem final : public UmtsModem {
+  public:
+    GlobetrotterModem(sim::Simulator& simulator, umts::UmtsNetwork* network,
+                      ModemConfig config);
+
+    [[nodiscard]] int opsys() const noexcept { return opsys_; }
+
+  protected:
+    void installVendorCommands() override;
+
+  private:
+    int opsys_ = 3;  // factory default: prefer 3G
+};
+
+/// Huawei E620 data card — served by the `pl2303`/`usbserial` modules
+/// in the paper. Vendor quirks: `AT^SYSCFG` mode selection, `AT^CURC`
+/// to silence the periodic unsolicited `^RSSI:` reports the card emits
+/// by default (a classic chat-script hazard).
+class HuaweiE620Modem final : public UmtsModem {
+  public:
+    HuaweiE620Modem(sim::Simulator& simulator, umts::UmtsNetwork* network, ModemConfig config);
+    ~HuaweiE620Modem() override;
+
+    [[nodiscard]] bool unsolicitedReportsEnabled() const noexcept { return curcEnabled_; }
+
+  protected:
+    void installVendorCommands() override;
+
+  private:
+    void scheduleRssiReport();
+
+    bool curcEnabled_ = true;
+    bool vendorInstalled_ = false;
+    sim::EventHandle rssiTimer_;
+};
+
+}  // namespace onelab::modem

@@ -1,0 +1,105 @@
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+
+#include "modem/at_engine.hpp"
+#include "umts/network.hpp"
+
+namespace onelab::modem {
+
+/// Static identity strings (AT+CGMI/+CGMM/+CGMR).
+struct ModemIdentity {
+    std::string manufacturer;
+    std::string model;
+    std::string revision;
+};
+
+/// SIM and subscriber configuration.
+struct ModemConfig {
+    std::string imsi = "222880000000001";
+    std::string imei = "356938035643809";
+    std::string pin;  ///< empty = SIM not PIN-locked
+    int pinAttemptsAllowed = 3;
+};
+
+/// GSM 07.10-style registration status (AT+CREG).
+enum class RegistrationState : int {
+    not_registered = 0,
+    registered_home = 1,
+    searching = 2,
+    denied = 3,
+    roaming = 5,
+};
+
+/// A UMTS data card: Hayes command set over a TTY, SIM/PIN handling,
+/// network registration, PDP context definition and the ATD*99# data
+/// call that bridges the TTY to the radio bearer. Card personalities
+/// (Option Globetrotter GT+, Huawei E620) subclass to add their vendor
+/// command quirks.
+class UmtsModem {
+  public:
+    UmtsModem(sim::Simulator& simulator, umts::UmtsNetwork* network, ModemIdentity identity,
+              ModemConfig config, const std::string& logTag);
+    virtual ~UmtsModem();
+
+    UmtsModem(const UmtsModem&) = delete;
+    UmtsModem& operator=(const UmtsModem&) = delete;
+
+    /// Attach the device side of the host TTY.
+    void attachTty(sim::ByteChannel& tty);
+
+    /// Host dropped DTR (hangup from wvdial/pppd).
+    void dropDtr();
+
+    /// DCD line toward the host: fires when the network side tears the
+    /// data call down (the host's pppd sees carrier loss).
+    std::function<void()> onCarrierLost;
+
+    /// Re-point the modem at another operator network (swapping the
+    /// SIM/operator in the experiment).
+    void setNetwork(umts::UmtsNetwork* network);
+
+    // --- inspection for tests/status ---
+    [[nodiscard]] bool pinUnlocked() const noexcept { return pinUnlocked_; }
+    [[nodiscard]] bool simBlocked() const noexcept { return pinAttemptsLeft_ <= 0; }
+    [[nodiscard]] RegistrationState registration() const noexcept { return registration_; }
+    [[nodiscard]] bool inDataMode() const noexcept { return engine_.inDataMode(); }
+    [[nodiscard]] umts::UmtsSession* session() noexcept { return session_; }
+    [[nodiscard]] const ModemIdentity& identity() const noexcept { return identity_; }
+
+  protected:
+    /// Personalities register vendor commands here.
+    virtual void installVendorCommands() {}
+
+    sim::Simulator& sim_;
+    AtEngine engine_;
+    util::Logger log_;
+
+  private:
+    void installStandardCommands();
+    void startRegistration();
+    void dial(const std::string& dialString);
+    void hangup(bool notifyNoCarrier);
+    void bridgeDataMode();
+
+    umts::UmtsNetwork* network_;
+    ModemIdentity identity_;
+    ModemConfig config_;
+
+    bool pinUnlocked_ = false;
+    int pinAttemptsLeft_;
+    RegistrationState registration_ = RegistrationState::not_registered;
+
+    struct PdpDefinition {
+        std::string type = "IP";
+        std::string apn;
+    };
+    std::map<int, PdpDefinition> pdpContexts_;
+
+    umts::UmtsSession* session_ = nullptr;
+    sim::EventHandle registrationRetry_;
+};
+
+}  // namespace onelab::modem

@@ -1,0 +1,44 @@
+#include "net/address.hpp"
+
+#include "util/strings.hpp"
+
+namespace onelab::net {
+
+std::string Ipv4Address::str() const {
+    return util::format("%u.%u.%u.%u", (value_ >> 24) & 0xff, (value_ >> 16) & 0xff,
+                        (value_ >> 8) & 0xff, value_ & 0xff);
+}
+
+util::Result<Ipv4Address> Ipv4Address::parse(const std::string& text) {
+    const auto parts = util::split(text, '.');
+    if (parts.size() != 4)
+        return util::err(util::Error::Code::invalid_argument, "bad IPv4 address '" + text + "'");
+    std::uint32_t value = 0;
+    for (const auto& part : parts) {
+        const auto octet = util::parseInt(part);
+        if (!octet.ok() || octet.value() < 0 || octet.value() > 255)
+            return util::err(util::Error::Code::invalid_argument,
+                             "bad IPv4 address '" + text + "'");
+        value = (value << 8) | std::uint32_t(octet.value());
+    }
+    return Ipv4Address{value};
+}
+
+std::string Prefix::str() const { return base_.str() + "/" + std::to_string(length_); }
+
+util::Result<Prefix> Prefix::parse(const std::string& text) {
+    const auto slash = text.find('/');
+    if (slash == std::string::npos) {
+        auto addr = Ipv4Address::parse(text);
+        if (!addr.ok()) return addr.error();
+        return Prefix::host(addr.value());
+    }
+    auto addr = Ipv4Address::parse(text.substr(0, slash));
+    if (!addr.ok()) return addr.error();
+    const auto length = util::parseInt(text.substr(slash + 1));
+    if (!length.ok() || length.value() < 0 || length.value() > 32)
+        return util::err(util::Error::Code::invalid_argument, "bad prefix '" + text + "'");
+    return Prefix{addr.value(), int(length.value())};
+}
+
+}  // namespace onelab::net

@@ -1,0 +1,68 @@
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <string>
+
+#include "util/result.hpp"
+
+namespace onelab::net {
+
+/// IPv4 address (host-order value type).
+class Ipv4Address {
+  public:
+    constexpr Ipv4Address() = default;
+    constexpr explicit Ipv4Address(std::uint32_t value) : value_(value) {}
+    constexpr Ipv4Address(std::uint8_t a, std::uint8_t b, std::uint8_t c, std::uint8_t d)
+        : value_((std::uint32_t(a) << 24) | (std::uint32_t(b) << 16) | (std::uint32_t(c) << 8) |
+                 d) {}
+
+    [[nodiscard]] constexpr std::uint32_t value() const noexcept { return value_; }
+    [[nodiscard]] constexpr bool isUnspecified() const noexcept { return value_ == 0; }
+
+    [[nodiscard]] std::string str() const;
+
+    /// Parse dotted-quad notation.
+    static util::Result<Ipv4Address> parse(const std::string& text);
+
+    friend constexpr auto operator<=>(Ipv4Address a, Ipv4Address b) noexcept = default;
+
+  private:
+    std::uint32_t value_ = 0;
+};
+
+/// CIDR prefix (address + mask length).
+class Prefix {
+  public:
+    constexpr Prefix() = default;
+    constexpr Prefix(Ipv4Address base, int length)
+        : base_(Ipv4Address{base.value() & maskFor(length)}), length_(length) {}
+
+    [[nodiscard]] constexpr Ipv4Address base() const noexcept { return base_; }
+    [[nodiscard]] constexpr int length() const noexcept { return length_; }
+
+    [[nodiscard]] constexpr bool contains(Ipv4Address addr) const noexcept {
+        return (addr.value() & maskFor(length_)) == base_.value();
+    }
+
+    /// Host route prefix (/32).
+    static constexpr Prefix host(Ipv4Address addr) { return Prefix{addr, 32}; }
+    /// Default route prefix (0.0.0.0/0).
+    static constexpr Prefix any() { return Prefix{Ipv4Address{}, 0}; }
+
+    [[nodiscard]] std::string str() const;
+
+    /// Parse "a.b.c.d/len" (bare address implies /32).
+    static util::Result<Prefix> parse(const std::string& text);
+
+    friend constexpr bool operator==(const Prefix&, const Prefix&) noexcept = default;
+
+  private:
+    static constexpr std::uint32_t maskFor(int length) noexcept {
+        return length <= 0 ? 0u : (length >= 32 ? 0xffffffffu : ~((1u << (32 - length)) - 1u));
+    }
+    Ipv4Address base_{};
+    int length_ = 0;
+};
+
+}  // namespace onelab::net

@@ -1,0 +1,193 @@
+#include "net/dns.hpp"
+
+#include "util/strings.hpp"
+
+namespace onelab::net {
+
+namespace {
+
+void encodeName(util::Bytes& out, const std::string& name) {
+    for (const std::string& label : util::split(name, '.')) {
+        util::putU8(out, std::uint8_t(label.size()));
+        out.insert(out.end(), label.begin(), label.end());
+    }
+    util::putU8(out, 0);
+}
+
+util::Result<std::string> decodeName(util::ByteReader& reader) {
+    std::string name;
+    for (int guard = 0; guard < 32; ++guard) {
+        const std::uint8_t length = reader.u8();
+        if (!reader.ok()) return util::err(util::Error::Code::protocol, "truncated DNS name");
+        if (length == 0) return name;
+        if (length >= 0xc0)
+            return util::err(util::Error::Code::unsupported, "DNS compression unsupported");
+        const util::Bytes label = reader.bytes(length);
+        if (!reader.ok()) return util::err(util::Error::Code::protocol, "truncated DNS label");
+        if (!name.empty()) name += '.';
+        name.append(label.begin(), label.end());
+    }
+    return util::err(util::Error::Code::protocol, "DNS name too long");
+}
+
+}  // namespace
+
+util::Bytes DnsMessage::encode() const {
+    util::Bytes out;
+    util::putU16(out, id);
+    std::uint16_t flags = 0;
+    if (isResponse) flags |= 0x8000 | 0x0400;  // QR + AA
+    flags |= 0x0100;                           // RD
+    if (nxDomain) flags |= 0x0003;
+    util::putU16(out, flags);
+    util::putU16(out, 1);                               // QDCOUNT
+    util::putU16(out, isResponse && answer ? 1 : 0);    // ANCOUNT
+    util::putU16(out, 0);                               // NSCOUNT
+    util::putU16(out, 0);                               // ARCOUNT
+    encodeName(out, questionName);
+    util::putU16(out, 1);  // QTYPE A
+    util::putU16(out, 1);  // QCLASS IN
+    if (isResponse && answer) {
+        encodeName(out, questionName);  // no compression
+        util::putU16(out, 1);           // TYPE A
+        util::putU16(out, 1);           // CLASS IN
+        util::putU32(out, 300);         // TTL
+        util::putU16(out, 4);           // RDLENGTH
+        util::putU32(out, answer->value());
+    }
+    return out;
+}
+
+util::Result<DnsMessage> DnsMessage::decode(util::ByteView data) {
+    util::ByteReader reader{data};
+    DnsMessage message;
+    message.id = reader.u16();
+    const std::uint16_t flags = reader.u16();
+    message.isResponse = (flags & 0x8000) != 0;
+    message.nxDomain = (flags & 0x000f) == 3;
+    const std::uint16_t qdcount = reader.u16();
+    const std::uint16_t ancount = reader.u16();
+    reader.u16();  // NSCOUNT
+    reader.u16();  // ARCOUNT
+    if (!reader.ok() || qdcount != 1)
+        return util::err(util::Error::Code::protocol, "unsupported DNS question count");
+    const auto name = decodeName(reader);
+    if (!name.ok()) return name.error();
+    message.questionName = name.value();
+    reader.u16();  // QTYPE
+    reader.u16();  // QCLASS
+    if (message.isResponse && ancount >= 1) {
+        const auto answerName = decodeName(reader);
+        if (!answerName.ok()) return answerName.error();
+        const std::uint16_t type = reader.u16();
+        reader.u16();  // class
+        reader.u32();  // ttl
+        const std::uint16_t rdlength = reader.u16();
+        if (type == 1 && rdlength == 4) {
+            message.answer = Ipv4Address{reader.u32()};
+        } else {
+            reader.skip(rdlength);
+        }
+    }
+    if (!reader.ok()) return util::err(util::Error::Code::protocol, "truncated DNS message");
+    return message;
+}
+
+DnsServer::DnsServer(NetworkStack& stack, Ipv4Address bindAddress) {
+    auto socket = stack.openUdp(0, 53);
+    if (!socket.ok()) {
+        log_.error() << "cannot bind UDP 53: " << socket.error().message;
+        return;
+    }
+    socket_ = socket.value();
+    if (!bindAddress.isUnspecified()) socket_->bindAddress(bindAddress);
+    socket_->onReceive([this](Datagram dgram) {
+        const auto query = DnsMessage::decode({dgram.payload.data(), dgram.payload.size()});
+        if (!query.ok() || query.value().isResponse) return;
+        ++queries_;
+        DnsMessage response = query.value();
+        response.isResponse = true;
+        const auto record = records_.find(query.value().questionName);
+        if (record != records_.end()) {
+            response.answer = record->second;
+        } else {
+            response.nxDomain = true;
+        }
+        (void)socket_->sendTo(dgram.src, dgram.srcPort, response.encode());
+    });
+}
+
+void DnsServer::addRecord(const std::string& name, Ipv4Address address) {
+    records_[name] = address;
+}
+
+DnsResolver::DnsResolver(sim::Simulator& simulator, NetworkStack& stack, int sliceXid)
+    : sim_(simulator), stack_(stack) {
+    auto socket = stack_.openUdp(sliceXid);
+    if (socket.ok()) socket_ = socket.value();
+}
+
+DnsResolver::~DnsResolver() {
+    if (timer_.valid()) sim_.cancel(timer_);
+    if (socket_) stack_.closeUdp(socket_);
+}
+
+void DnsResolver::resolve(const std::string& name, Ipv4Address server,
+                          std::function<void(util::Result<Ipv4Address>)> done,
+                          sim::SimTime timeout, int retries) {
+    if (!socket_) {
+        if (done) done(util::err(util::Error::Code::io, "no resolver socket"));
+        return;
+    }
+    if (done_) {
+        if (done) done(util::err(util::Error::Code::busy, "resolver busy"));
+        return;
+    }
+    name_ = name;
+    server_ = server;
+    done_ = std::move(done);
+    timeout_ = timeout;
+    retriesLeft_ = retries;
+    queryId_ = std::uint16_t(1 + (std::hash<std::string>{}(name) & 0x7fff));
+    socket_->onReceive([this](Datagram dgram) {
+        const auto response =
+            DnsMessage::decode({dgram.payload.data(), dgram.payload.size()});
+        if (!response.ok() || !response.value().isResponse) return;
+        if (response.value().id != queryId_ || response.value().questionName != name_) return;
+        if (response.value().nxDomain) {
+            finish(util::err(util::Error::Code::not_found, "NXDOMAIN for " + name_));
+        } else if (response.value().answer) {
+            finish(*response.value().answer);
+        }
+    });
+    sendQuery();
+}
+
+void DnsResolver::sendQuery() {
+    DnsMessage query;
+    query.id = queryId_;
+    query.questionName = name_;
+    (void)socket_->sendTo(server_, 53, query.encode());
+    timer_ = sim_.schedule(timeout_, [this] {
+        timer_ = {};
+        if (retriesLeft_-- > 0) {
+            log_.debug() << "retrying query for " << name_;
+            sendQuery();
+        } else {
+            finish(util::err(util::Error::Code::timeout, "DNS timeout for " + name_));
+        }
+    });
+}
+
+void DnsResolver::finish(util::Result<Ipv4Address> result) {
+    if (timer_.valid()) {
+        sim_.cancel(timer_);
+        timer_ = {};
+    }
+    if (!done_) return;
+    auto done = std::move(done_);
+    done_ = nullptr;
+    done(std::move(result));
+}
+
+}  // namespace onelab::net

@@ -1,0 +1,70 @@
+#pragma once
+
+#include <functional>
+#include <map>
+#include <optional>
+#include <string>
+
+#include "net/stack.hpp"
+#include "util/logging.hpp"
+
+namespace onelab::net {
+
+/// Minimal DNS wire codec (RFC 1035): header, one question, A-record
+/// answers. Enough for the operator's resolver to be functional
+/// (the address IPCP hands out during dial-up).
+struct DnsMessage {
+    std::uint16_t id = 0;
+    bool isResponse = false;
+    bool nxDomain = false;       ///< RCODE 3 when true (responses)
+    std::string questionName;    ///< "planetlab1.inria.fr"
+    std::optional<Ipv4Address> answer;
+
+    [[nodiscard]] util::Bytes encode() const;
+    static util::Result<DnsMessage> decode(util::ByteView data);
+};
+
+/// Authoritative-only DNS server on UDP port 53 of a stack.
+class DnsServer {
+  public:
+    DnsServer(NetworkStack& stack, Ipv4Address bindAddress);
+
+    void addRecord(const std::string& name, Ipv4Address address);
+    [[nodiscard]] std::uint64_t queriesServed() const noexcept { return queries_; }
+
+  private:
+    util::Logger log_{"net.dns.server"};
+    UdpSocket* socket_ = nullptr;
+    std::map<std::string, Ipv4Address> records_;
+    std::uint64_t queries_ = 0;
+};
+
+/// Stub resolver: one outstanding query with timeout + retry.
+class DnsResolver {
+  public:
+    DnsResolver(sim::Simulator& simulator, NetworkStack& stack, int sliceXid = 0);
+    ~DnsResolver();
+
+    /// Resolve an A record via `server`; fires `done` once.
+    void resolve(const std::string& name, Ipv4Address server,
+                 std::function<void(util::Result<Ipv4Address>)> done,
+                 sim::SimTime timeout = sim::seconds(3.0), int retries = 2);
+
+  private:
+    void sendQuery();
+    void finish(util::Result<Ipv4Address> result);
+
+    sim::Simulator& sim_;
+    NetworkStack& stack_;
+    util::Logger log_{"net.dns.resolver"};
+    UdpSocket* socket_ = nullptr;
+    std::string name_;
+    Ipv4Address server_;
+    std::uint16_t queryId_ = 0;
+    int retriesLeft_ = 0;
+    sim::SimTime timeout_{};
+    sim::EventHandle timer_;
+    std::function<void(util::Result<Ipv4Address>)> done_;
+};
+
+}  // namespace onelab::net

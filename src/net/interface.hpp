@@ -1,0 +1,82 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+
+#include "net/packet.hpp"
+
+namespace onelab::net {
+
+/// Per-interface traffic counters (`ifconfig`-style).
+struct InterfaceCounters {
+    std::uint64_t txPackets = 0;
+    std::uint64_t txBytes = 0;
+    std::uint64_t txDropped = 0;
+    std::uint64_t rxPackets = 0;
+    std::uint64_t rxBytes = 0;
+};
+
+/// A network interface on a node. The stack pushes outbound packets
+/// through transmit(); the attached link/driver delivers inbound
+/// packets through deliver(). Drivers attach via setTxHandler, the
+/// owning stack via setRxHandler.
+class Interface {
+  public:
+    explicit Interface(std::string name) : name_(std::move(name)) {}
+
+    [[nodiscard]] const std::string& name() const noexcept { return name_; }
+
+    [[nodiscard]] Ipv4Address address() const noexcept { return address_; }
+    void setAddress(Ipv4Address addr) noexcept { address_ = addr; }
+
+    /// Point-to-point peer address (set on ppp interfaces by IPCP).
+    [[nodiscard]] std::optional<Ipv4Address> peerAddress() const noexcept { return peer_; }
+    void setPeerAddress(std::optional<Ipv4Address> peer) noexcept { peer_ = peer; }
+
+    [[nodiscard]] bool isUp() const noexcept { return up_; }
+    void setUp(bool up) noexcept { up_ = up; }
+
+    [[nodiscard]] std::size_t mtu() const noexcept { return mtu_; }
+    void setMtu(std::size_t mtu) noexcept { mtu_ = mtu; }
+
+    /// Driver side: where outbound packets go.
+    void setTxHandler(std::function<void(Packet)> handler) { txHandler_ = std::move(handler); }
+    /// Stack side: where inbound packets go.
+    void setRxHandler(std::function<void(Packet)> handler) { rxHandler_ = std::move(handler); }
+
+    /// Outbound: called by the stack. Drops (counted) when the
+    /// interface is down or has no driver.
+    void transmit(Packet pkt) {
+        if (!up_ || !txHandler_) {
+            ++counters_.txDropped;
+            return;
+        }
+        ++counters_.txPackets;
+        counters_.txBytes += pkt.wireSize();
+        txHandler_(std::move(pkt));
+    }
+
+    /// Inbound: called by the driver/link.
+    void deliver(Packet pkt) {
+        if (!up_ || !rxHandler_) return;
+        ++counters_.rxPackets;
+        counters_.rxBytes += pkt.wireSize();
+        rxHandler_(std::move(pkt));
+    }
+
+    [[nodiscard]] const InterfaceCounters& counters() const noexcept { return counters_; }
+
+  private:
+    std::string name_;
+    Ipv4Address address_{};
+    std::optional<Ipv4Address> peer_;
+    bool up_ = false;
+    std::size_t mtu_ = 1500;
+    std::function<void(Packet)> txHandler_;
+    std::function<void(Packet)> rxHandler_;
+    InterfaceCounters counters_;
+};
+
+}  // namespace onelab::net

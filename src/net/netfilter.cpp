@@ -1,0 +1,120 @@
+#include "net/netfilter.hpp"
+
+#include <algorithm>
+
+#include "util/strings.hpp"
+
+namespace onelab::net {
+
+const char* chainName(ChainHook hook) noexcept {
+    switch (hook) {
+        case ChainHook::mangle_output: return "mangle/OUTPUT";
+        case ChainHook::filter_output: return "filter/OUTPUT";
+        case ChainHook::input: return "filter/INPUT";
+    }
+    return "?";
+}
+
+bool FilterMatch::matches(const Packet& pkt, const std::string& oif) const {
+    if (sliceXid) {
+        const bool same = pkt.sliceXid == *sliceXid;
+        if (negateSlice ? same : !same) return false;
+    }
+    if (fwmark && pkt.fwmark != *fwmark) return false;
+    if (outInterface && oif != *outInterface) return false;
+    if (src && !src->contains(pkt.ip.src)) return false;
+    if (dst && !dst->contains(pkt.ip.dst)) return false;
+    if (protocol && pkt.ip.protocol != *protocol) return false;
+    return true;
+}
+
+std::string FilterMatch::describe() const {
+    std::vector<std::string> parts;
+    if (sliceXid) parts.push_back(util::format("%sxid=%d", negateSlice ? "!" : "", *sliceXid));
+    if (fwmark) parts.push_back(util::format("mark=0x%x", *fwmark));
+    if (outInterface) parts.push_back("-o " + *outInterface);
+    if (src) parts.push_back("-s " + src->str());
+    if (dst) parts.push_back("-d " + dst->str());
+    if (protocol) parts.push_back(util::format("-p %d", int(*protocol)));
+    return parts.empty() ? "any" : util::join(parts, " ");
+}
+
+std::string FilterTarget::describe() const {
+    switch (kind) {
+        case Kind::accept: return "ACCEPT";
+        case Kind::drop: return "DROP";
+        case Kind::mark: return util::format("MARK set 0x%x", markValue);
+    }
+    return "?";
+}
+
+std::vector<Netfilter::Entry>& Netfilter::chain(ChainHook hook) {
+    switch (hook) {
+        case ChainHook::mangle_output: return mangleOutput_;
+        case ChainHook::filter_output: return filterOutput_;
+        case ChainHook::input: return input_;
+    }
+    return input_;
+}
+
+const std::vector<Netfilter::Entry>& Netfilter::chain(ChainHook hook) const {
+    return const_cast<Netfilter*>(this)->chain(hook);
+}
+
+std::uint64_t Netfilter::append(ChainHook hook, FilterRule rule) {
+    const std::uint64_t id = nextId_++;
+    chain(hook).push_back(Entry{id, std::move(rule)});
+    return id;
+}
+
+std::uint64_t Netfilter::insert(ChainHook hook, FilterRule rule) {
+    const std::uint64_t id = nextId_++;
+    auto& entries = chain(hook);
+    entries.insert(entries.begin(), Entry{id, std::move(rule)});
+    return id;
+}
+
+util::Result<void> Netfilter::deleteRule(std::uint64_t ruleId) {
+    for (auto* entries : {&mangleOutput_, &filterOutput_, &input_}) {
+        const auto it = std::find_if(entries->begin(), entries->end(),
+                                     [&](const Entry& e) { return e.id == ruleId; });
+        if (it != entries->end()) {
+            entries->erase(it);
+            return {};
+        }
+    }
+    return util::err(util::Error::Code::not_found,
+                     "no such netfilter rule id " + std::to_string(ruleId));
+}
+
+void Netfilter::flush(ChainHook hook) { chain(hook).clear(); }
+
+Verdict Netfilter::runChain(ChainHook hook, Packet& pkt, const std::string& oif) {
+    for (Entry& entry : chain(hook)) {
+        if (!entry.rule.match.matches(pkt, oif)) continue;
+        ++entry.rule.packets;
+        switch (entry.rule.target.kind) {
+            case FilterTarget::Kind::accept:
+                return Verdict::accept;
+            case FilterTarget::Kind::drop:
+                ++drops_;
+                return Verdict::drop;
+            case FilterTarget::Kind::mark:
+                pkt.fwmark = entry.rule.target.markValue;
+                break;  // non-terminating
+        }
+    }
+    return Verdict::accept;  // chain policy ACCEPT
+}
+
+std::vector<std::pair<std::uint64_t, FilterRule>> Netfilter::listChain(ChainHook hook) const {
+    std::vector<std::pair<std::uint64_t, FilterRule>> out;
+    for (const Entry& entry : chain(hook)) out.emplace_back(entry.id, entry.rule);
+    return out;
+}
+
+std::size_t Netfilter::ruleCount() const noexcept {
+    return mangleOutput_.size() + filterOutput_.size() + input_.size();
+}
+
+}  // namespace onelab::net

@@ -1,0 +1,103 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "net/packet.hpp"
+#include "util/result.hpp"
+
+namespace onelab::net {
+
+/// Hook points modelled. `mangle_output` runs before the routing
+/// decision (this is where the per-slice MARK rules live, exploiting
+/// the VNET+ slice match); `filter_output` runs after routing, when
+/// the output interface is known (this is where the isolation DROP
+/// rule lives); `input` runs on locally delivered packets.
+enum class ChainHook : std::uint8_t { mangle_output, filter_output, input };
+
+[[nodiscard]] const char* chainName(ChainHook hook) noexcept;
+
+/// Packet matcher, a conjunction of optional criteria — the analogue
+/// of iptables `-m mark`, `-m slice` (VNET+), `-o`, `-s`, `-d`, `-p`.
+struct FilterMatch {
+    std::optional<int> sliceXid;          ///< VNET+ slice context match
+    std::optional<std::uint32_t> fwmark;  ///< firewall mark match
+    std::optional<std::string> outInterface;
+    std::optional<Prefix> src;
+    std::optional<Prefix> dst;
+    std::optional<IpProto> protocol;
+    bool negateSlice = false;  ///< iptables `! --xid`
+
+    /// True when every present criterion matches. `oif` is empty in
+    /// pre-routing hooks.
+    [[nodiscard]] bool matches(const Packet& pkt, const std::string& oif) const;
+
+    [[nodiscard]] std::string describe() const;
+};
+
+/// Rule action.
+struct FilterTarget {
+    enum class Kind : std::uint8_t { accept, drop, mark };
+    Kind kind = Kind::accept;
+    std::uint32_t markValue = 0;  ///< used when kind == mark
+
+    [[nodiscard]] std::string describe() const;
+};
+
+/// One iptables-style rule.
+struct FilterRule {
+    FilterMatch match;
+    FilterTarget target;
+    std::string comment;
+    std::uint64_t packets = 0;  ///< hit counter
+};
+
+/// Verdict from traversing a chain.
+enum class Verdict : std::uint8_t { accept, drop };
+
+/// Minimal netfilter: three chains of rules with ACCEPT policy.
+/// Traversal semantics follow iptables: first terminating target
+/// (ACCEPT/DROP) wins; MARK is non-terminating and mutates the packet.
+class Netfilter {
+  public:
+    /// Append a rule to a chain (iptables -A). Returns a rule id
+    /// usable with deleteRule.
+    std::uint64_t append(ChainHook hook, FilterRule rule);
+
+    /// Insert at the head of a chain (iptables -I).
+    std::uint64_t insert(ChainHook hook, FilterRule rule);
+
+    /// Delete a rule by id; not_found error when absent.
+    util::Result<void> deleteRule(std::uint64_t ruleId);
+
+    /// Remove every rule in a chain (iptables -F).
+    void flush(ChainHook hook);
+
+    /// Traverse a chain; MARK targets mutate `pkt.fwmark`.
+    Verdict runChain(ChainHook hook, Packet& pkt, const std::string& oif);
+
+    /// Rules currently installed in a chain (for `iptables -L`).
+    [[nodiscard]] std::vector<std::pair<std::uint64_t, FilterRule>> listChain(
+        ChainHook hook) const;
+
+    [[nodiscard]] std::size_t ruleCount() const noexcept;
+    [[nodiscard]] std::uint64_t dropCount() const noexcept { return drops_; }
+
+  private:
+    struct Entry {
+        std::uint64_t id;
+        FilterRule rule;
+    };
+    std::vector<Entry>& chain(ChainHook hook);
+    [[nodiscard]] const std::vector<Entry>& chain(ChainHook hook) const;
+
+    std::vector<Entry> mangleOutput_;
+    std::vector<Entry> filterOutput_;
+    std::vector<Entry> input_;
+    std::uint64_t nextId_ = 1;
+    std::uint64_t drops_ = 0;
+};
+
+}  // namespace onelab::net

@@ -1,0 +1,47 @@
+#include "net/queue.hpp"
+
+#include "sim/time.hpp"
+
+namespace onelab::net {
+
+bool TxQueue::enqueue(std::size_t bytes, std::function<void()> onSerialized) {
+    if (backlogBytes_ + bytes > byteLimit_) {
+        ++drops_;
+        return false;
+    }
+    queue_.push_back(Item{bytes, std::move(onSerialized)});
+    backlogBytes_ += bytes;
+    if (!busy_) startNext();
+    return true;
+}
+
+void TxQueue::startNext() {
+    if (queue_.empty()) {
+        busy_ = false;
+        return;
+    }
+    busy_ = true;
+    const Item& head = queue_.front();
+    const sim::SimTime duration = sim::transmissionTime(head.bytes, rateBps_);
+    const std::uint64_t epoch = epoch_;
+    sim_.schedule(duration, [this, epoch, alive = std::weak_ptr<bool>(alive_)] {
+        const auto stillAlive = alive.lock();
+        if (!stillAlive || !*stillAlive) return;  // queue destroyed
+        if (epoch != epoch_) return;              // queue was cleared meanwhile
+        Item item = std::move(queue_.front());
+        queue_.pop_front();
+        backlogBytes_ -= item.bytes;
+        ++completed_;
+        if (item.action) item.action();
+        startNext();
+    });
+}
+
+void TxQueue::clear() {
+    queue_.clear();
+    backlogBytes_ = 0;
+    busy_ = false;
+    ++epoch_;
+}
+
+}  // namespace onelab::net

@@ -1,0 +1,96 @@
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "net/packet.hpp"
+#include "util/result.hpp"
+
+namespace onelab::net {
+
+/// One route entry: destination prefix via an output interface, with
+/// an optional gateway (next hop) and metric.
+struct Route {
+    Prefix dst;
+    std::string oifName;
+    std::optional<Ipv4Address> gateway;
+    int metric = 0;
+
+    [[nodiscard]] std::string describe() const;
+};
+
+/// A single routing table: longest-prefix match, lowest metric breaks
+/// ties.
+class RoutingTable {
+  public:
+    /// Add a route; replacing an identical (prefix, oif, gateway) entry.
+    void addRoute(Route route);
+
+    /// Delete routes matching prefix (and oif when given). Returns the
+    /// number removed.
+    std::size_t delRoute(Prefix dst, const std::string& oifName = {});
+
+    /// Longest-prefix lookup.
+    [[nodiscard]] std::optional<Route> lookup(Ipv4Address dst) const;
+
+    [[nodiscard]] const std::vector<Route>& routes() const noexcept { return routes_; }
+    [[nodiscard]] bool empty() const noexcept { return routes_.empty(); }
+    void clear() { routes_.clear(); }
+
+  private:
+    std::vector<Route> routes_;
+};
+
+/// Policy rule: `ip rule add prio P [fwmark M] [from SRC] [to DST] lookup TABLE`.
+struct PolicyRule {
+    int priority = 0;
+    std::optional<std::uint32_t> fwmark;
+    std::optional<Prefix> srcSelector;
+    std::optional<Prefix> dstSelector;
+    int tableId = 0;
+
+    [[nodiscard]] bool matches(const Packet& pkt) const;
+    [[nodiscard]] std::string describe() const;
+};
+
+/// Policy router in the iproute2 mould: a set of numbered tables plus
+/// an ordered rule list. Well-known table ids follow Linux:
+/// main = 254. Rule evaluation walks rules by ascending priority; a
+/// matching rule whose table resolves the destination terminates the
+/// walk; otherwise evaluation continues with the next rule.
+class PolicyRouter {
+  public:
+    static constexpr int kMainTable = 254;
+
+    PolicyRouter();
+
+    /// Access (creating on demand) a table by id.
+    RoutingTable& table(int tableId);
+    [[nodiscard]] const RoutingTable* findTable(int tableId) const;
+
+    /// Whole-table removal (`ip route flush table N` + forget it).
+    void dropTable(int tableId);
+
+    /// Install a policy rule; rules are kept sorted by priority
+    /// (insertion order breaks ties).
+    void addRule(PolicyRule rule);
+
+    /// Remove rules matching all the provided fields of `pattern`
+    /// (priority + tableId are always compared). Returns count removed.
+    std::size_t delRule(const PolicyRule& pattern);
+
+    /// Route a packet: walk rules, look up in each matching rule's
+    /// table, return the first hit.
+    [[nodiscard]] util::Result<Route> resolve(const Packet& pkt) const;
+
+    [[nodiscard]] const std::vector<PolicyRule>& rules() const noexcept { return rules_; }
+
+  private:
+    std::map<int, RoutingTable> tables_;
+    std::vector<PolicyRule> rules_;
+};
+
+}  // namespace onelab::net

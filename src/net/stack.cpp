@@ -1,0 +1,231 @@
+#include "net/stack.hpp"
+
+#include <algorithm>
+
+namespace onelab::net {
+
+UdpSocket::~UdpSocket() = default;
+
+util::Result<void> UdpSocket::sendTo(Ipv4Address dst, std::uint16_t dstPort,
+                                     util::Bytes payload) {
+    Packet pkt = makeUdpPacket(boundAddress_, localPort_, dst, dstPort, std::move(payload));
+    pkt.sliceXid = sliceXid_;
+    ++sent_;
+    return stack_.sendPacket(std::move(pkt));
+}
+
+NetworkStack::NetworkStack(sim::Simulator& simulator, std::string nodeName)
+    : sim_(simulator), nodeName_(std::move(nodeName)), log_("net.stack." + nodeName_) {}
+
+Interface& NetworkStack::addInterface(const std::string& name) {
+    auto iface = std::make_unique<Interface>(name);
+    iface->setRxHandler([this, raw = iface.get()](Packet pkt) { receive(*raw, std::move(pkt)); });
+    interfaces_.push_back(std::move(iface));
+    return *interfaces_.back();
+}
+
+util::Result<void> NetworkStack::removeInterface(const std::string& name) {
+    const auto it = std::find_if(interfaces_.begin(), interfaces_.end(),
+                                 [&](const auto& iface) { return iface->name() == name; });
+    if (it == interfaces_.end())
+        return util::err(util::Error::Code::not_found, "no interface " + name);
+    interfaces_.erase(it);
+    return {};
+}
+
+Interface* NetworkStack::findInterface(const std::string& name) {
+    for (const auto& iface : interfaces_)
+        if (iface->name() == name) return iface.get();
+    return nullptr;
+}
+
+Interface* NetworkStack::findInterfaceByAddress(Ipv4Address addr) {
+    for (const auto& iface : interfaces_)
+        if (iface->address() == addr) return iface.get();
+    return nullptr;
+}
+
+std::vector<std::string> NetworkStack::interfaceNames() const {
+    std::vector<std::string> names;
+    names.reserve(interfaces_.size());
+    for (const auto& iface : interfaces_) names.push_back(iface->name());
+    return names;
+}
+
+util::Result<UdpSocket*> NetworkStack::openUdp(int sliceXid, std::uint16_t port) {
+    if (port == 0) {
+        while (udpSockets_.count(nextEphemeralPort_)) {
+            if (++nextEphemeralPort_ == 0) nextEphemeralPort_ = 32768;
+        }
+        port = nextEphemeralPort_++;
+    } else if (udpSockets_.count(port)) {
+        return util::err(util::Error::Code::busy, "UDP port " + std::to_string(port) + " in use");
+    }
+    auto socket = std::unique_ptr<UdpSocket>(new UdpSocket{*this, sliceXid, port});
+    UdpSocket* raw = socket.get();
+    udpSockets_[port] = std::move(socket);
+    return raw;
+}
+
+void NetworkStack::closeUdp(UdpSocket* socket) {
+    if (!socket) return;
+    udpSockets_.erase(socket->localPort());
+}
+
+bool NetworkStack::isLocalAddress(Ipv4Address addr) {
+    return findInterfaceByAddress(addr) != nullptr;
+}
+
+util::Result<void> NetworkStack::sendPacket(Packet pkt) {
+    // 1. mangle/OUTPUT: slice-keyed MARK rules run before routing.
+    if (netfilter_.runChain(ChainHook::mangle_output, pkt, {}) == Verdict::drop)
+        return util::err(util::Error::Code::io, "packet dropped in mangle/OUTPUT");
+
+    // Local destination short-circuit (loopback semantics).
+    if (isLocalAddress(pkt.ip.dst)) {
+        if (pkt.ip.src.isUnspecified()) pkt.ip.src = pkt.ip.dst;
+        Interface* iface = findInterfaceByAddress(pkt.ip.dst);
+        receive(*iface, std::move(pkt));
+        return {};
+    }
+
+    return transmitVia(std::move(pkt));
+}
+
+util::Result<void> NetworkStack::transmitVia(Packet pkt) {
+    // 2. Policy routing (fwmark/src/dst selectors).
+    const auto route = router_.resolve(pkt);
+    if (!route.ok()) {
+        ++routeFailures_;
+        return route.error();
+    }
+    Interface* oif = findInterface(route.value().oifName);
+    if (!oif || !oif->isUp()) {
+        ++routeFailures_;
+        return util::err(util::Error::Code::io,
+                         "output interface " + route.value().oifName + " unavailable");
+    }
+
+    // 3. Source address selection when the socket did not bind.
+    if (pkt.ip.src.isUnspecified()) pkt.ip.src = oif->address();
+
+    // 4. filter/OUTPUT with the routing decision known.
+    if (netfilter_.runChain(ChainHook::filter_output, pkt, oif->name()) == Verdict::drop) {
+        log_.debug() << "filter/OUTPUT dropped " << pkt.describe() << " oif=" << oif->name();
+        return util::err(util::Error::Code::permission_denied,
+                         "packet dropped in filter/OUTPUT on " + oif->name());
+    }
+
+    if (postRouting_) postRouting_(pkt, oif->name());
+    oif->transmit(std::move(pkt));
+    return {};
+}
+
+void NetworkStack::receive(Interface& iface, Packet pkt) {
+    if (sniffer_) sniffer_(pkt, iface.name());
+    if (preRouting_) preRouting_(pkt, iface.name());
+
+    if (!isLocalAddress(pkt.ip.dst)) {
+        // Forwarding path (routers only).
+        if (!forwarding_) return;
+        if (pkt.ip.ttl <= 1) {
+            sendIcmpError(icmp_type::time_exceeded, 0, pkt, iface);
+            return;
+        }
+        pkt.ip.ttl -= 1;
+        if (forwardFilter_ && !forwardFilter_(pkt, iface.name())) return;
+        ++forwarded_;
+        // Forwarded packets re-run policy routing + filter/OUTPUT.
+        (void)transmitVia(std::move(pkt));
+        return;
+    }
+
+    if (netfilter_.runChain(ChainHook::input, pkt, {}) == Verdict::drop) return;
+    ++delivered_;
+
+    if (pkt.ip.protocol == IpProto::udp) {
+        const auto it = udpSockets_.find(pkt.udp.dstPort);
+        if (it == udpSockets_.end()) {
+            sendIcmpError(icmp_type::dest_unreachable, 3, pkt, iface);
+            return;
+        }
+        UdpSocket& socket = *it->second;
+        // A socket bound to a specific address only sees packets for it.
+        if (!socket.boundAddress().isUnspecified() && socket.boundAddress() != pkt.ip.dst) {
+            sendIcmpError(icmp_type::dest_unreachable, 3, pkt, iface);
+            return;
+        }
+        Datagram dgram{pkt.ip.src,      pkt.udp.srcPort, pkt.ip.dst,
+                       pkt.udp.dstPort, std::move(pkt.payload), sim_.now()};
+        socket.deliver(std::move(dgram));
+        return;
+    }
+
+    if (pkt.ip.protocol == IpProto::tcp) {
+        if (tcpHandler_) tcpHandler_(std::move(pkt));
+        return;
+    }
+
+    if (pkt.ip.protocol == IpProto::icmp) {
+        if (pkt.icmp.type == icmp_type::dest_unreachable ||
+            pkt.icmp.type == icmp_type::time_exceeded) {
+            if (icmpErrorHandler_) icmpErrorHandler_(pkt);
+            return;
+        }
+        if (pkt.icmp.type == 8) {  // echo request -> reply
+            Packet reply = makeIcmpEcho(pkt.ip.dst, pkt.ip.src, /*isReply=*/true, pkt.icmp.id,
+                                        pkt.icmp.sequence, std::move(pkt.payload));
+            (void)sendPacket(std::move(reply));
+        } else if (pkt.icmp.type == 0) {  // echo reply
+            const auto it = pendingPings_.find(pkt.icmp.id);
+            if (it != pendingPings_.end() && it->second.sequence == pkt.icmp.sequence) {
+                PendingPing pending = std::move(it->second);
+                pendingPings_.erase(it);
+                if (pending.onReply)
+                    pending.onReply(PingReply{pending.sequence, sim_.now() - pending.sentAt});
+            }
+        }
+    }
+}
+
+void NetworkStack::sendIcmpError(std::uint8_t type, std::uint8_t code,
+                                 const Packet& offending, const Interface& iif) {
+    if (!icmpErrors_) return;
+    // Never generate errors about ICMP (avoids error storms; echoes
+    // excepted by convention but kept simple here).
+    if (offending.ip.protocol == IpProto::icmp) return;
+    if (offending.ip.src.isUnspecified()) return;
+    // Source the error from the receiving interface's address (or any
+    // configured address as a fallback).
+    Ipv4Address routerAddress = iif.address();
+    if (routerAddress.isUnspecified()) {
+        for (const auto& candidate : interfaces_) {
+            if (!candidate->address().isUnspecified()) {
+                routerAddress = candidate->address();
+                break;
+            }
+        }
+    }
+    Packet error = makeIcmpError(routerAddress, type, code, offending);
+    log_.debug() << "sending ICMP error type=" << int(type) << " to "
+                 << offending.ip.src.str();
+    (void)sendPacket(std::move(error));
+}
+
+util::Result<std::uint16_t> NetworkStack::ping(Ipv4Address dst,
+                                               std::function<void(PingReply)> onReply,
+                                               int sliceXid) {
+    const std::uint16_t id = nextPingId_++;
+    const std::uint16_t seq = nextPingSeq_++;
+    Packet pkt = makeIcmpEcho(Ipv4Address{}, dst, /*isReply=*/false, id, seq);
+    pkt.sliceXid = sliceXid;
+    pendingPings_[id] = PendingPing{seq, sim_.now(), std::move(onReply)};
+    const auto sent = sendPacket(std::move(pkt));
+    if (!sent.ok()) {
+        pendingPings_.erase(id);
+        return sent.error();
+    }
+    return seq;
+}
+
+}  // namespace onelab::net

@@ -1,0 +1,203 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "net/interface.hpp"
+#include "net/netfilter.hpp"
+#include "net/routing.hpp"
+#include "sim/simulator.hpp"
+#include "util/logging.hpp"
+#include "util/result.hpp"
+
+namespace onelab::net {
+
+class NetworkStack;
+
+/// Inbound UDP datagram handed to a socket.
+struct Datagram {
+    Ipv4Address src;
+    std::uint16_t srcPort = 0;
+    Ipv4Address dst;
+    std::uint16_t dstPort = 0;
+    util::Bytes payload;
+    sim::SimTime rxTime{};
+};
+
+/// A UDP socket. Created through NetworkStack::openUdp inside a given
+/// security context (slice xid); every packet it emits carries that
+/// xid, which is what the VNET+ mark rules key on.
+class UdpSocket {
+  public:
+    UdpSocket(const UdpSocket&) = delete;
+    UdpSocket& operator=(const UdpSocket&) = delete;
+    ~UdpSocket();
+
+    [[nodiscard]] std::uint16_t localPort() const noexcept { return localPort_; }
+    [[nodiscard]] int sliceXid() const noexcept { return sliceXid_; }
+
+    /// Bind to a specific local address (SO_BINDTODEVICE-style use:
+    /// bind to the UMTS interface address to force its path).
+    void bindAddress(Ipv4Address addr) noexcept { boundAddress_ = addr; }
+    [[nodiscard]] Ipv4Address boundAddress() const noexcept { return boundAddress_; }
+
+    /// Receive callback.
+    void onReceive(std::function<void(Datagram)> handler) { handler_ = std::move(handler); }
+
+    /// Send a datagram; routing/filtering may fail or drop.
+    util::Result<void> sendTo(Ipv4Address dst, std::uint16_t dstPort, util::Bytes payload);
+
+    [[nodiscard]] std::uint64_t sentPackets() const noexcept { return sent_; }
+    [[nodiscard]] std::uint64_t receivedPackets() const noexcept { return received_; }
+
+  private:
+    friend class NetworkStack;
+    UdpSocket(NetworkStack& stack, int sliceXid, std::uint16_t port)
+        : stack_(stack), sliceXid_(sliceXid), localPort_(port) {}
+
+    void deliver(Datagram dgram) {
+        ++received_;
+        if (handler_) handler_(std::move(dgram));
+    }
+
+    NetworkStack& stack_;
+    int sliceXid_;
+    std::uint16_t localPort_;
+    Ipv4Address boundAddress_{};
+    std::function<void(Datagram)> handler_;
+    std::uint64_t sent_ = 0;
+    std::uint64_t received_ = 0;
+};
+
+/// Result of one ping probe.
+struct PingReply {
+    std::uint16_t sequence = 0;
+    sim::SimTime rtt{};
+};
+
+/// Host/router network stack: interfaces, netfilter, policy routing,
+/// UDP sockets, ICMP echo. Models the output path the paper's tooling
+/// manipulates:
+///
+///   socket → mangle/OUTPUT (slice MARK) → policy routing (fwmark) →
+///   filter/OUTPUT (isolation DROP) → interface
+class NetworkStack {
+  public:
+    NetworkStack(sim::Simulator& simulator, std::string nodeName);
+
+    [[nodiscard]] const std::string& nodeName() const noexcept { return nodeName_; }
+    [[nodiscard]] sim::Simulator& simulator() noexcept { return sim_; }
+
+    /// Create an interface (e.g. "eth0", "ppp0"). Name must be unique.
+    Interface& addInterface(const std::string& name);
+    /// Remove an interface (ppp0 disappears when the connection drops).
+    util::Result<void> removeInterface(const std::string& name);
+    [[nodiscard]] Interface* findInterface(const std::string& name);
+    [[nodiscard]] Interface* findInterfaceByAddress(Ipv4Address addr);
+    [[nodiscard]] std::vector<std::string> interfaceNames() const;
+
+    [[nodiscard]] Netfilter& netfilter() noexcept { return netfilter_; }
+    [[nodiscard]] PolicyRouter& router() noexcept { return router_; }
+
+    /// Open a UDP socket in the given slice context. Port 0 picks an
+    /// ephemeral port. Fails with `busy` when the port is taken.
+    util::Result<UdpSocket*> openUdp(int sliceXid, std::uint16_t port = 0);
+    void closeUdp(UdpSocket* socket);
+
+    /// Full output path for a locally generated packet.
+    util::Result<void> sendPacket(Packet pkt);
+
+    /// Enable IP forwarding (routers: the GGSN). Forwarded packets
+    /// traverse `forwardFilter` when set (stateful operator firewall).
+    void setForwarding(bool enabled) noexcept { forwarding_ = enabled; }
+    void setForwardFilter(std::function<bool(const Packet&, const std::string& iif)> filter) {
+        forwardFilter_ = std::move(filter);
+    }
+
+    /// Hook invoked for every locally-delivered packet before demux
+    /// (used by tests/tools as a tcpdump).
+    void setSniffer(std::function<void(const Packet&, const std::string& iif)> sniffer) {
+        sniffer_ = std::move(sniffer);
+    }
+
+    /// PREROUTING-style mutation hook: runs on every received packet
+    /// before the local/forward decision (DNAT lives here).
+    void setPreRoutingHook(std::function<void(Packet&, const std::string& iif)> hook) {
+        preRouting_ = std::move(hook);
+    }
+
+    /// POSTROUTING-style mutation hook: runs just before a packet is
+    /// handed to its output interface (SNAT lives here).
+    void setPostRoutingHook(std::function<void(Packet&, const std::string& oif)> hook) {
+        postRouting_ = std::move(hook);
+    }
+
+    /// Send one ICMP echo request; the handler fires if/when the reply
+    /// arrives. Returns the sequence number used.
+    util::Result<std::uint16_t> ping(Ipv4Address dst, std::function<void(PingReply)> onReply,
+                                     int sliceXid = 0);
+
+    /// Locally delivered TCP segments are handed here (the TcpHost
+    /// attaches itself through this).
+    void setTcpHandler(std::function<void(Packet)> handler) {
+        tcpHandler_ = std::move(handler);
+    }
+
+    /// Raw-socket-style tap on locally delivered ICMP error messages
+    /// (dest-unreachable, time-exceeded) — what traceroute listens to.
+    void setIcmpErrorHandler(std::function<void(const Packet&)> handler) {
+        icmpErrorHandler_ = std::move(handler);
+    }
+
+    /// Emit ICMP errors for undeliverable traffic (port unreachable,
+    /// TTL exceeded). On by default, like Linux.
+    void setIcmpErrorsEnabled(bool enabled) noexcept { icmpErrors_ = enabled; }
+
+    /// Local delivery statistics.
+    [[nodiscard]] std::uint64_t deliveredPackets() const noexcept { return delivered_; }
+    [[nodiscard]] std::uint64_t forwardedPackets() const noexcept { return forwarded_; }
+    [[nodiscard]] std::uint64_t routeFailures() const noexcept { return routeFailures_; }
+
+  private:
+    void receive(Interface& iface, Packet pkt);
+    [[nodiscard]] bool isLocalAddress(Ipv4Address addr);
+    util::Result<void> transmitVia(Packet pkt);
+    void sendIcmpError(std::uint8_t type, std::uint8_t code, const Packet& offending,
+                       const Interface& iif);
+
+    sim::Simulator& sim_;
+    std::string nodeName_;
+    util::Logger log_;
+    std::vector<std::unique_ptr<Interface>> interfaces_;
+    Netfilter netfilter_;
+    PolicyRouter router_;
+    std::map<std::uint16_t, std::unique_ptr<UdpSocket>> udpSockets_;
+    std::uint16_t nextEphemeralPort_ = 32768;
+    bool forwarding_ = false;
+    std::function<bool(const Packet&, const std::string&)> forwardFilter_;
+    std::function<void(const Packet&, const std::string&)> sniffer_;
+    std::function<void(const Packet&)> icmpErrorHandler_;
+    std::function<void(Packet)> tcpHandler_;
+    std::function<void(Packet&, const std::string&)> preRouting_;
+    std::function<void(Packet&, const std::string&)> postRouting_;
+    bool icmpErrors_ = true;
+
+    struct PendingPing {
+        std::uint16_t sequence;
+        sim::SimTime sentAt;
+        std::function<void(PingReply)> onReply;
+    };
+    std::map<std::uint16_t, PendingPing> pendingPings_;  ///< keyed by icmp id
+    std::uint16_t nextPingId_ = 1;
+    std::uint16_t nextPingSeq_ = 1;
+
+    std::uint64_t delivered_ = 0;
+    std::uint64_t forwarded_ = 0;
+    std::uint64_t routeFailures_ = 0;
+};
+
+}  // namespace onelab::net

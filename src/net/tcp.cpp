@@ -1,0 +1,541 @@
+#include "net/tcp.hpp"
+
+#include <algorithm>
+
+namespace onelab::net {
+
+namespace {
+
+// Wraparound-safe sequence comparisons.
+constexpr bool seqGt(std::uint32_t a, std::uint32_t b) noexcept {
+    return std::int32_t(a - b) > 0;
+}
+constexpr bool seqGe(std::uint32_t a, std::uint32_t b) noexcept {
+    return std::int32_t(a - b) >= 0;
+}
+
+constexpr double kMinRto = 0.2;
+constexpr double kMaxRto = 60.0;
+constexpr int kMaxConsecutiveTimeouts = 8;
+constexpr sim::SimTime kTimeWait = sim::seconds(2.0);
+
+}  // namespace
+
+const char* tcpStateName(TcpState state) noexcept {
+    switch (state) {
+        case TcpState::closed: return "CLOSED";
+        case TcpState::listen: return "LISTEN";
+        case TcpState::syn_sent: return "SYN-SENT";
+        case TcpState::syn_rcvd: return "SYN-RCVD";
+        case TcpState::established: return "ESTABLISHED";
+        case TcpState::fin_wait_1: return "FIN-WAIT-1";
+        case TcpState::fin_wait_2: return "FIN-WAIT-2";
+        case TcpState::close_wait: return "CLOSE-WAIT";
+        case TcpState::last_ack: return "LAST-ACK";
+        case TcpState::closing: return "CLOSING";
+        case TcpState::time_wait: return "TIME-WAIT";
+    }
+    return "?";
+}
+
+// ------------------------------------------------------------- TcpHost
+
+TcpHost::TcpHost(sim::Simulator& simulator, NetworkStack& stack, util::RandomStream rng)
+    : sim_(simulator), stack_(stack), rng_(std::move(rng)), log_("tcp." + stack.nodeName()) {
+    stack_.setTcpHandler([this](Packet pkt) { dispatch(std::move(pkt)); });
+}
+
+TcpHost::~TcpHost() { stack_.setTcpHandler(nullptr); }
+
+std::uint64_t TcpHost::key(Ipv4Address remote, std::uint16_t remotePort,
+                           std::uint16_t localPort) const noexcept {
+    return (std::uint64_t(remote.value()) << 32) | (std::uint64_t(remotePort) << 16) |
+           localPort;
+}
+
+TcpConnection* TcpHost::connect(Ipv4Address remote, std::uint16_t remotePort, int sliceXid,
+                                Ipv4Address bindAddress) {
+    std::uint16_t localPort = nextEphemeralPort_++;
+    while (connections_.count(key(remote, remotePort, localPort)))
+        localPort = nextEphemeralPort_++;
+    auto connection = std::unique_ptr<TcpConnection>(
+        new TcpConnection{*this, bindAddress, localPort, remote, remotePort, sliceXid});
+    TcpConnection* raw = connection.get();
+    connections_[key(remote, remotePort, localPort)] = std::move(connection);
+    raw->startConnect();
+    return raw;
+}
+
+util::Result<void> TcpHost::listen(std::uint16_t port,
+                                   std::function<void(TcpConnection&)> onAccept,
+                                   int sliceXid) {
+    if (listeners_.count(port))
+        return util::err(util::Error::Code::busy,
+                         "TCP port " + std::to_string(port) + " already listening");
+    listeners_[port] = Listener{std::move(onAccept), sliceXid};
+    return {};
+}
+
+void TcpHost::stopListening(std::uint16_t port) { listeners_.erase(port); }
+
+void TcpHost::destroyConnection(TcpConnection* connection) {
+    if (!connection) return;
+    const auto it = connections_.find(
+        key(connection->remoteAddress(), connection->remotePort(), connection->localPort()));
+    if (it != connections_.end() && it->second.get() == connection) connections_.erase(it);
+}
+
+void TcpHost::dispatch(Packet pkt) {
+    const auto it = connections_.find(key(pkt.ip.src, pkt.tcp.srcPort, pkt.tcp.dstPort));
+    if (it != connections_.end()) {
+        it->second->segmentArrived(pkt);
+        return;
+    }
+    // New connection to a listener?
+    if (pkt.tcp.has(tcp_flag::syn) && !pkt.tcp.has(tcp_flag::ack)) {
+        const auto listener = listeners_.find(pkt.tcp.dstPort);
+        if (listener != listeners_.end()) {
+            auto connection = std::unique_ptr<TcpConnection>(
+                new TcpConnection{*this, pkt.ip.dst, pkt.tcp.dstPort, pkt.ip.src,
+                                  pkt.tcp.srcPort, listener->second.sliceXid});
+            TcpConnection* raw = connection.get();
+            connections_[key(pkt.ip.src, pkt.tcp.srcPort, pkt.tcp.dstPort)] =
+                std::move(connection);
+            // Surface the connection to the application once it
+            // reaches ESTABLISHED.
+            auto accept = listener->second.onAccept;
+            raw->onConnected = [raw, accept] {
+                if (accept) accept(*raw);
+            };
+            raw->acceptSyn(pkt);
+            return;
+        }
+    }
+    if (!pkt.tcp.has(tcp_flag::rst)) sendRst(pkt);
+}
+
+void TcpHost::sendRst(const Packet& about) {
+    TcpHeader header;
+    header.flags = tcp_flag::rst | tcp_flag::ack;
+    header.seq = about.tcp.ackNumber;
+    std::uint32_t ack = about.tcp.seq + std::uint32_t(about.payload.size());
+    if (about.tcp.has(tcp_flag::syn)) ++ack;
+    if (about.tcp.has(tcp_flag::fin)) ++ack;
+    header.ackNumber = ack;
+    Packet rst = makeTcpSegment(about.ip.dst, about.tcp.dstPort, about.ip.src,
+                                about.tcp.srcPort, header);
+    ++rstsSent_;
+    (void)stack_.sendPacket(std::move(rst));
+}
+
+util::Result<void> TcpHost::transmit(Packet pkt) { return stack_.sendPacket(std::move(pkt)); }
+
+// ------------------------------------------------------- TcpConnection
+
+TcpConnection::TcpConnection(TcpHost& host, Ipv4Address localAddr, std::uint16_t localPort,
+                             Ipv4Address remoteAddr, std::uint16_t remotePort, int sliceXid)
+    : host_(host),
+      log_("tcp.conn." + std::to_string(localPort)),
+      localAddr_(localAddr),
+      localPort_(localPort),
+      remoteAddr_(remoteAddr),
+      remotePort_(remotePort),
+      sliceXid_(sliceXid) {
+    iss_ = std::uint32_t(host_.rng_.uniformInt(1, 0x0fffffff));
+    sndUna_ = iss_;
+    sndNxt_ = iss_;
+}
+
+TcpConnection::~TcpConnection() {
+    cancelRto();
+    if (timeWaitTimer_.valid()) host_.sim_.cancel(timeWaitTimer_);
+}
+
+std::size_t TcpConnection::effectiveWindow() const noexcept {
+    return std::min(cwnd_, std::size_t(peerWindow_));
+}
+
+void TcpConnection::startConnect() {
+    state_ = TcpState::syn_sent;
+    log_.debug() << "SYN-SENT to " << remoteAddr_.str() << ":" << remotePort_;
+    sndNxt_ = iss_ + 1;
+    sendSegment(iss_, {}, tcp_flag::syn);
+    armRto();
+}
+
+void TcpConnection::acceptSyn(const Packet& syn) {
+    state_ = TcpState::syn_rcvd;
+    rcvNxt_ = syn.tcp.seq + 1;
+    peerWindow_ = syn.tcp.window;
+    sndNxt_ = iss_ + 1;
+    sendSegment(iss_, {}, tcp_flag::syn | tcp_flag::ack);
+    armRto();
+}
+
+util::Result<void> TcpConnection::send(util::ByteView data) {
+    if (finQueued_ || finished_ ||
+        (state_ != TcpState::established && state_ != TcpState::syn_sent &&
+         state_ != TcpState::syn_rcvd && state_ != TcpState::close_wait))
+        return util::err(util::Error::Code::state,
+                         std::string("cannot send in ") + tcpStateName(state_));
+    sendBuffer_.insert(sendBuffer_.end(), data.begin(), data.end());
+    stats_.bytesSent += data.size();
+    trySend();
+    return {};
+}
+
+void TcpConnection::close() {
+    if (finished_ || finQueued_) return;
+    if (state_ == TcpState::syn_sent || state_ == TcpState::closed) {
+        finish("closed before establishment");
+        return;
+    }
+    finQueued_ = true;
+    trySend();
+}
+
+void TcpConnection::abort() {
+    if (finished_) return;
+    TcpHeader header;
+    header.flags = tcp_flag::rst | tcp_flag::ack;
+    header.seq = sndNxt_;
+    header.ackNumber = rcvNxt_;
+    Packet rst =
+        makeTcpSegment(localAddr_, localPort_, remoteAddr_, remotePort_, header);
+    rst.sliceXid = sliceXid_;
+    (void)host_.transmit(std::move(rst));
+    finish("aborted");
+}
+
+void TcpConnection::sendSegment(std::uint32_t seq, util::ByteView data, std::uint8_t flags) {
+    TcpHeader header;
+    header.seq = seq;
+    header.flags = flags;
+    if (flags & tcp_flag::ack) header.ackNumber = rcvNxt_;
+    header.window = std::uint16_t(kReceiveWindow);
+    Packet pkt = makeTcpSegment(localAddr_, localPort_, remoteAddr_, remotePort_, header,
+                                util::Bytes{data.begin(), data.end()});
+    pkt.sliceXid = sliceXid_;
+    ++stats_.segmentsSent;
+    (void)host_.transmit(std::move(pkt));
+}
+
+void TcpConnection::sendAck() { sendSegment(sndNxt_, {}, tcp_flag::ack); }
+
+void TcpConnection::trySend() {
+    if (finished_) return;
+    if (state_ != TcpState::established && state_ != TcpState::close_wait &&
+        state_ != TcpState::fin_wait_1 && state_ != TcpState::closing &&
+        state_ != TcpState::last_ack)
+        return;
+
+    bool sentAnything = false;
+    while (!sendBuffer_.empty()) {
+        const std::size_t inFlight = inFlightBytes();
+        const std::size_t window = effectiveWindow();
+        if (inFlight >= window) break;
+        const std::size_t room = window - inFlight;
+        const std::size_t take = std::min({sendBuffer_.size(), kMss, room});
+        if (take == 0) break;
+        util::Bytes segment(sendBuffer_.begin(), sendBuffer_.begin() + long(take));
+        sendBuffer_.erase(sendBuffer_.begin(), sendBuffer_.begin() + long(take));
+
+        const std::uint32_t seq = sndNxt_;
+        unacked_[seq] = segment;
+        sndNxt_ += std::uint32_t(take);
+        sendSegment(seq, {segment.data(), segment.size()},
+                    tcp_flag::ack | tcp_flag::psh);
+        sentAnything = true;
+        // One RTT sample in flight at a time (Karn's algorithm).
+        if (rttSampleSeq_ == 0) {
+            rttSampleSeq_ = seq + std::uint32_t(take);
+            rttSampleSentAt_ = host_.sim_.now();
+        }
+    }
+
+    // FIN once the buffer has drained.
+    if (finQueued_ && !finSent_ && sendBuffer_.empty()) {
+        finSeq_ = sndNxt_;
+        sndNxt_ += 1;
+        finSent_ = true;
+        sendSegment(finSeq_, {}, tcp_flag::fin | tcp_flag::ack);
+        sentAnything = true;
+        if (state_ == TcpState::established) state_ = TcpState::fin_wait_1;
+        else if (state_ == TcpState::close_wait) state_ = TcpState::last_ack;
+        log_.debug() << "FIN sent, " << tcpStateName(state_);
+    }
+
+    if (sentAnything && !rtoTimer_.valid()) armRto();
+}
+
+void TcpConnection::armRto() {
+    cancelRto();
+    rtoTimer_ = host_.sim_.schedule(sim::seconds(rto_), [this] {
+        rtoTimer_ = {};
+        onRtoFire();
+    });
+}
+
+void TcpConnection::cancelRto() {
+    if (rtoTimer_.valid()) host_.sim_.cancel(rtoTimer_);
+    rtoTimer_ = {};
+}
+
+void TcpConnection::onRtoFire() {
+    if (finished_) return;
+    ++stats_.timeouts;
+    // Exponential backoff; give up after too many in a row (the
+    // counter resets on any forward ACK progress).
+    rto_ = std::min(rto_ * 2.0, kMaxRto);
+    if (++consecutiveTimeouts_ > kMaxConsecutiveTimeouts) {
+        finish("retransmission limit reached");
+        return;
+    }
+    rttSampleSeq_ = 0;  // Karn: no sample across retransmission
+    dupAcks_ = 0;
+    inFastRecovery_ = false;
+    ssthresh_ = std::max(inFlightBytes() / 2, 2 * kMss);
+    cwnd_ = kMss;
+
+    if (state_ == TcpState::syn_sent) {
+        sendSegment(iss_, {}, tcp_flag::syn);
+    } else if (state_ == TcpState::syn_rcvd) {
+        sendSegment(iss_, {}, tcp_flag::syn | tcp_flag::ack);
+    } else if (!unacked_.empty()) {
+        ++stats_.retransmissions;
+        const auto first = unacked_.begin();
+        sendSegment(first->first, {first->second.data(), first->second.size()},
+                    tcp_flag::ack | tcp_flag::psh);
+    } else if (finSent_ && seqGe(finSeq_, sndUna_)) {
+        sendSegment(finSeq_, {}, tcp_flag::fin | tcp_flag::ack);
+    }
+    armRto();
+}
+
+void TcpConnection::updateRtt(double sampleSeconds) {
+    if (srtt_ == 0.0) {
+        srtt_ = sampleSeconds;
+        rttvar_ = sampleSeconds / 2.0;
+    } else {
+        rttvar_ = 0.75 * rttvar_ + 0.25 * std::abs(srtt_ - sampleSeconds);
+        srtt_ = 0.875 * srtt_ + 0.125 * sampleSeconds;
+    }
+    rto_ = std::clamp(srtt_ + 4.0 * rttvar_, kMinRto, kMaxRto);
+    stats_.srttSeconds = srtt_;
+}
+
+void TcpConnection::handleAck(const Packet& pkt) {
+    const std::uint32_t ack = pkt.tcp.ackNumber;
+    peerWindow_ = pkt.tcp.window;
+
+    if (seqGt(ack, sndNxt_)) return;  // acks data we never sent
+
+    if (seqGt(ack, sndUna_)) {
+        consecutiveTimeouts_ = 0;
+        const std::uint32_t newlyAcked = ack - sndUna_;
+        stats_.bytesAcked += newlyAcked;
+
+        // RTT sample (only if the timed segment is covered, Karn-safe).
+        if (rttSampleSeq_ != 0 && seqGe(ack, rttSampleSeq_)) {
+            updateRtt(sim::toSeconds(host_.sim_.now() - rttSampleSentAt_));
+            rttSampleSeq_ = 0;
+        }
+
+        // Drop fully acknowledged segments.
+        for (auto it = unacked_.begin(); it != unacked_.end();) {
+            if (seqGe(ack, it->first + std::uint32_t(it->second.size())))
+                it = unacked_.erase(it);
+            else
+                break;
+        }
+
+        if (inFastRecovery_) {
+            if (seqGe(ack, recover_)) {
+                inFastRecovery_ = false;
+                cwnd_ = ssthresh_;
+                dupAcks_ = 0;
+            } else {
+                // NewReno partial ACK: retransmit the next hole.
+                const auto first = unacked_.find(ack);
+                if (first != unacked_.end()) {
+                    ++stats_.retransmissions;
+                    sendSegment(first->first, {first->second.data(), first->second.size()},
+                                tcp_flag::ack | tcp_flag::psh);
+                }
+            }
+        } else {
+            dupAcks_ = 0;
+            if (cwnd_ < ssthresh_)
+                cwnd_ += std::min<std::size_t>(newlyAcked, kMss);  // slow start
+            else
+                cwnd_ += std::max<std::size_t>(1, kMss * kMss / cwnd_);  // AIMD
+        }
+
+        sndUna_ = ack;
+        if (sndUna_ == sndNxt_)
+            cancelRto();
+        else
+            armRto();
+
+        // Teardown bookkeeping.
+        if (state_ == TcpState::syn_rcvd && seqGe(ack, iss_ + 1)) {
+            state_ = TcpState::established;
+            if (onConnected) onConnected();
+        }
+        if (finSent_ && seqGt(ack, finSeq_)) {
+            if (state_ == TcpState::fin_wait_1)
+                state_ = peerFinReceived_ ? TcpState::time_wait : TcpState::fin_wait_2;
+            else if (state_ == TcpState::closing)
+                state_ = TcpState::time_wait;
+            else if (state_ == TcpState::last_ack) {
+                finish("closed");
+                return;
+            }
+            if (state_ == TcpState::time_wait) enterTimeWait();
+        }
+        trySend();
+        return;
+    }
+
+    // Duplicate ACK.
+    if (ack == sndUna_ && pkt.payload.empty() && !pkt.tcp.has(tcp_flag::syn) &&
+        !pkt.tcp.has(tcp_flag::fin) && inFlightBytes() > 0) {
+        ++dupAcks_;
+        if (dupAcks_ == 3 && !inFastRecovery_) {
+            ++stats_.fastRetransmits;
+            ++stats_.retransmissions;
+            ssthresh_ = std::max(inFlightBytes() / 2, 2 * kMss);
+            cwnd_ = ssthresh_ + 3 * kMss;
+            inFastRecovery_ = true;
+            recover_ = sndNxt_;
+            const auto first = unacked_.begin();
+            if (first != unacked_.end())
+                sendSegment(first->first, {first->second.data(), first->second.size()},
+                            tcp_flag::ack | tcp_flag::psh);
+        } else if (inFastRecovery_) {
+            cwnd_ += kMss;  // window inflation per extra dupack
+            trySend();
+        }
+    }
+}
+
+void TcpConnection::deliverInOrder() {
+    bool advanced = true;
+    while (advanced) {
+        advanced = false;
+        const auto it = outOfOrder_.find(rcvNxt_);
+        if (it != outOfOrder_.end()) {
+            util::Bytes data = std::move(it->second);
+            outOfOrder_.erase(it);
+            rcvNxt_ += std::uint32_t(data.size());
+            stats_.bytesReceived += data.size();
+            if (onData) onData({data.data(), data.size()});
+            advanced = true;
+        }
+    }
+}
+
+void TcpConnection::segmentArrived(const Packet& pkt) {
+    if (finished_) return;
+
+    if (pkt.tcp.has(tcp_flag::rst)) {
+        log_.info() << "connection reset by peer";
+        finish("reset");
+        return;
+    }
+
+    if (state_ == TcpState::syn_sent) {
+        if (pkt.tcp.has(tcp_flag::syn) && pkt.tcp.has(tcp_flag::ack) &&
+            pkt.tcp.ackNumber == iss_ + 1) {
+            rcvNxt_ = pkt.tcp.seq + 1;
+            sndUna_ = pkt.tcp.ackNumber;
+            peerWindow_ = pkt.tcp.window;
+            state_ = TcpState::established;
+            cancelRto();
+            rto_ = std::clamp(rto_, kMinRto, 3.0);  // reset post-handshake backoff
+            consecutiveTimeouts_ = 0;
+            sendAck();
+            log_.debug() << "ESTABLISHED (active)";
+            if (onConnected) onConnected();
+            trySend();
+        }
+        return;
+    }
+
+    if (pkt.tcp.has(tcp_flag::ack)) handleAck(pkt);
+    if (finished_) return;
+
+    // In-window data processing.
+    if (!pkt.payload.empty()) {
+        const std::uint32_t seq = pkt.tcp.seq;
+        if (seqGe(rcvNxt_, seq + std::uint32_t(pkt.payload.size()))) {
+            // Entirely old: re-ack.
+            sendAck();
+        } else {
+            if (seq == rcvNxt_ || seqGt(rcvNxt_, seq)) {
+                // Usable (possibly partially old) segment.
+                const std::uint32_t skip = rcvNxt_ - seq;
+                util::Bytes fresh(pkt.payload.begin() + skip, pkt.payload.end());
+                rcvNxt_ += std::uint32_t(fresh.size());
+                stats_.bytesReceived += fresh.size();
+                if (onData) onData({fresh.data(), fresh.size()});
+                deliverInOrder();
+            } else if (outOfOrder_.size() < 256) {
+                outOfOrder_.emplace(seq, pkt.payload);
+            }
+            sendAck();
+        }
+    }
+
+    // FIN processing (consumes one sequence number after the data).
+    if (pkt.tcp.has(tcp_flag::fin)) {
+        const std::uint32_t finSeq = pkt.tcp.seq + std::uint32_t(pkt.payload.size());
+        if (finSeq == rcvNxt_ && !peerFinReceived_) {
+            peerFinReceived_ = true;
+            peerFinSeq_ = finSeq;
+            rcvNxt_ = finSeq + 1;
+            if (onPeerClosed) onPeerClosed();
+            sendAck();
+            switch (state_) {
+                case TcpState::established:
+                    state_ = TcpState::close_wait;
+                    break;
+                case TcpState::fin_wait_1:
+                    state_ = TcpState::closing;  // simultaneous close
+                    break;
+                case TcpState::fin_wait_2:
+                    state_ = TcpState::time_wait;
+                    enterTimeWait();
+                    break;
+                default:
+                    break;
+            }
+            log_.debug() << "peer FIN, " << tcpStateName(state_);
+        } else if (seqGt(rcvNxt_, finSeq)) {
+            sendAck();  // duplicate FIN
+        }
+    }
+
+    stats_.cwndBytes = cwnd_;
+}
+
+void TcpConnection::enterTimeWait() {
+    cancelRto();
+    if (timeWaitTimer_.valid()) host_.sim_.cancel(timeWaitTimer_);
+    timeWaitTimer_ = host_.sim_.schedule(kTimeWait, [this] {
+        timeWaitTimer_ = {};
+        finish("closed");
+    });
+}
+
+void TcpConnection::finish(const char* reason) {
+    if (finished_) return;
+    finished_ = true;
+    state_ = TcpState::closed;
+    cancelRto();
+    if (timeWaitTimer_.valid()) host_.sim_.cancel(timeWaitTimer_);
+    log_.info() << "finished: " << reason;
+    if (onClosed) onClosed();
+}
+
+}  // namespace onelab::net

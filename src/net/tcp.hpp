@@ -1,0 +1,208 @@
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+
+#include "net/stack.hpp"
+#include "util/rand.hpp"
+
+namespace onelab::net {
+
+/// TCP connection states (RFC 793).
+enum class TcpState : std::uint8_t {
+    closed,
+    listen,
+    syn_sent,
+    syn_rcvd,
+    established,
+    fin_wait_1,
+    fin_wait_2,
+    close_wait,
+    last_ack,
+    closing,
+    time_wait,
+};
+
+[[nodiscard]] const char* tcpStateName(TcpState state) noexcept;
+
+/// Per-connection statistics.
+struct TcpStats {
+    std::uint64_t bytesSent = 0;       ///< application payload accepted
+    std::uint64_t bytesAcked = 0;
+    std::uint64_t bytesReceived = 0;   ///< delivered in order to the app
+    std::uint64_t segmentsSent = 0;
+    std::uint64_t retransmissions = 0;
+    std::uint64_t fastRetransmits = 0;
+    std::uint64_t timeouts = 0;
+    double srttSeconds = 0.0;
+    std::size_t cwndBytes = 0;
+};
+
+class TcpHost;
+
+/// One TCP connection: NewReno-style congestion control (slow start,
+/// congestion avoidance, fast retransmit/recovery), RFC 6298 RTO,
+/// cumulative ACKs with out-of-order reassembly, graceful FIN
+/// teardown and RST handling. No options (fixed 1460-byte MSS, no
+/// SACK, no window scaling — the 64 KB receive window is plenty for a
+/// 2008 UMTS BDP and exactly what makes bufferbloat visible).
+class TcpConnection {
+  public:
+    static constexpr std::size_t kMss = 1460;
+    static constexpr std::size_t kReceiveWindow = 65535;
+
+    ~TcpConnection();
+    TcpConnection(const TcpConnection&) = delete;
+    TcpConnection& operator=(const TcpConnection&) = delete;
+
+    /// Queue application data; it is segmented and sent as the window
+    /// allows. Fails once the connection is closing/closed.
+    util::Result<void> send(util::ByteView data);
+
+    /// Close the send direction (FIN after the buffer drains).
+    void close();
+    /// Abort with RST.
+    void abort();
+
+    [[nodiscard]] TcpState state() const noexcept { return state_; }
+    [[nodiscard]] bool isEstablished() const noexcept {
+        return state_ == TcpState::established;
+    }
+    [[nodiscard]] const TcpStats& stats() const noexcept { return stats_; }
+    [[nodiscard]] Ipv4Address localAddress() const noexcept { return localAddr_; }
+    [[nodiscard]] std::uint16_t localPort() const noexcept { return localPort_; }
+    [[nodiscard]] Ipv4Address remoteAddress() const noexcept { return remoteAddr_; }
+    [[nodiscard]] std::uint16_t remotePort() const noexcept { return remotePort_; }
+    [[nodiscard]] std::size_t unsentBytes() const noexcept { return sendBuffer_.size(); }
+    [[nodiscard]] std::size_t inFlightBytes() const noexcept { return sndNxt_ - sndUna_; }
+
+    // --- application callbacks ---
+    std::function<void()> onConnected;
+    std::function<void(util::ByteView)> onData;
+    std::function<void()> onPeerClosed;  ///< FIN received (read side done)
+    std::function<void()> onClosed;      ///< fully closed / reset / failed
+
+  private:
+    friend class TcpHost;
+    TcpConnection(TcpHost& host, Ipv4Address localAddr, std::uint16_t localPort,
+                  Ipv4Address remoteAddr, std::uint16_t remotePort, int sliceXid);
+
+    void startConnect();
+    void acceptSyn(const Packet& syn);
+    void segmentArrived(const Packet& pkt);
+    void trySend();
+    void sendSegment(std::uint32_t seq, util::ByteView data, std::uint8_t flags);
+    void sendAck();
+    void armRto();
+    void cancelRto();
+    void onRtoFire();
+    void handleAck(const Packet& pkt);
+    void deliverInOrder();
+    void enterTimeWait();
+    void finish(const char* reason);
+    [[nodiscard]] std::size_t effectiveWindow() const noexcept;
+    void updateRtt(double sampleSeconds);
+
+    TcpHost& host_;
+    util::Logger log_;
+    Ipv4Address localAddr_;
+    std::uint16_t localPort_;
+    Ipv4Address remoteAddr_;
+    std::uint16_t remotePort_;
+    int sliceXid_;
+    TcpState state_ = TcpState::closed;
+
+    // Send side.
+    std::deque<std::uint8_t> sendBuffer_;  ///< unsent application bytes
+    std::map<std::uint32_t, util::Bytes> unacked_;  ///< seq -> segment payload
+    std::uint32_t iss_ = 0;
+    std::uint32_t sndUna_ = 0;
+    std::uint32_t sndNxt_ = 0;
+    std::uint32_t peerWindow_ = kReceiveWindow;
+    bool finQueued_ = false;
+    bool finSent_ = false;
+    std::uint32_t finSeq_ = 0;
+
+    // Congestion control.
+    std::size_t cwnd_ = 2 * kMss;
+    std::size_t ssthresh_ = 64 * 1024;
+    int dupAcks_ = 0;
+    bool inFastRecovery_ = false;
+    std::uint32_t recover_ = 0;
+
+    // RTO (RFC 6298).
+    double srtt_ = 0.0;
+    double rttvar_ = 0.0;
+    double rto_ = 1.0;
+    int consecutiveTimeouts_ = 0;
+    sim::EventHandle rtoTimer_;
+    std::uint32_t rttSampleSeq_ = 0;   ///< segment being timed (0 = none)
+    sim::SimTime rttSampleSentAt_{};
+
+    // Receive side.
+    std::uint32_t rcvNxt_ = 0;
+    std::map<std::uint32_t, util::Bytes> outOfOrder_;
+    bool peerFinReceived_ = false;
+    std::uint32_t peerFinSeq_ = 0;
+
+    sim::EventHandle timeWaitTimer_;
+    TcpStats stats_;
+    bool finished_ = false;
+};
+
+/// The host's TCP layer: demultiplexes segments from the NetworkStack
+/// to listeners and connections, answers strays with RST.
+class TcpHost {
+  public:
+    TcpHost(sim::Simulator& simulator, NetworkStack& stack, util::RandomStream rng);
+    ~TcpHost();
+
+    TcpHost(const TcpHost&) = delete;
+    TcpHost& operator=(const TcpHost&) = delete;
+
+    /// Active open. The connection reports via its callbacks; it stays
+    /// owned by the host (valid until closed + destroyed via
+    /// destroyConnection or host teardown).
+    TcpConnection* connect(Ipv4Address remote, std::uint16_t remotePort,
+                           int sliceXid = 0, Ipv4Address bindAddress = {});
+
+    /// Passive open: accept connections on `port`. The callback
+    /// receives each new connection once it is established.
+    util::Result<void> listen(std::uint16_t port,
+                              std::function<void(TcpConnection&)> onAccept,
+                              int sliceXid = 0);
+    void stopListening(std::uint16_t port);
+
+    /// Destroy a fully closed connection (frees resources early).
+    void destroyConnection(TcpConnection* connection);
+
+    [[nodiscard]] std::size_t connectionCount() const noexcept { return connections_.size(); }
+    [[nodiscard]] std::uint64_t rstsSent() const noexcept { return rstsSent_; }
+
+  private:
+    friend class TcpConnection;
+    struct Listener {
+        std::function<void(TcpConnection&)> onAccept;
+        int sliceXid;
+    };
+
+    void dispatch(Packet pkt);
+    void sendRst(const Packet& about);
+    util::Result<void> transmit(Packet pkt);
+    [[nodiscard]] std::uint64_t key(Ipv4Address remote, std::uint16_t remotePort,
+                                    std::uint16_t localPort) const noexcept;
+
+    sim::Simulator& sim_;
+    NetworkStack& stack_;
+    util::RandomStream rng_;
+    util::Logger log_;
+    std::map<std::uint16_t, Listener> listeners_;
+    std::map<std::uint64_t, std::unique_ptr<TcpConnection>> connections_;
+    std::uint16_t nextEphemeralPort_ = 42000;
+    std::uint64_t rstsSent_ = 0;
+};
+
+}  // namespace onelab::net

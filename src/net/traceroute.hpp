@@ -1,0 +1,59 @@
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "net/stack.hpp"
+
+namespace onelab::net {
+
+/// One traceroute hop result.
+struct TracerouteHop {
+    int ttl = 0;
+    Ipv4Address router;       ///< who answered (unspecified on timeout)
+    sim::SimTime rtt{};
+    bool reachedDestination = false;
+    bool timedOut = false;
+};
+
+/// Traceroute options (own struct so in-class default arguments work).
+struct TracerouteOptions {
+    int maxHops = 16;
+    sim::SimTime probeTimeout = sim::seconds(3.0);
+    std::uint16_t basePort = 33434;
+    int sliceXid = 0;
+};
+
+/// Classic UDP traceroute: probes toward high ports with increasing
+/// TTL; intermediate routers answer with ICMP time-exceeded, the
+/// destination with port-unreachable. One probe per TTL, sequential.
+///
+/// Takes over the stack's ICMP error handler while running.
+class Traceroute {
+  public:
+    Traceroute(sim::Simulator& simulator, NetworkStack& stack)
+        : sim_(simulator), stack_(stack) {}
+
+    using Options = TracerouteOptions;
+
+    /// Run to `destination`; `done` fires once with the hop list
+    /// (ends at the destination hop or maxHops).
+    void run(Ipv4Address destination, std::function<void(std::vector<TracerouteHop>)> done,
+             Options options = {});
+
+  private:
+    void probe(int ttl);
+    void finishHop(TracerouteHop hop);
+
+    sim::Simulator& sim_;
+    NetworkStack& stack_;
+    Options options_;
+    Ipv4Address destination_;
+    std::function<void(std::vector<TracerouteHop>)> done_;
+    std::vector<TracerouteHop> hops_;
+    sim::SimTime probeSentAt_{};
+    sim::EventHandle timeout_;
+    bool running_ = false;
+};
+
+}  // namespace onelab::net

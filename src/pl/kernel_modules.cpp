@@ -1,0 +1,91 @@
+#include "pl/kernel_modules.hpp"
+
+#include <algorithm>
+
+#include "util/strings.hpp"
+
+namespace onelab::pl {
+
+void KernelModuleRegistry::install(KernelModule module) {
+    available_[module.name] = std::move(module);
+}
+
+util::Result<void> KernelModuleRegistry::modprobe(const std::string& name) {
+    std::set<std::string> visiting;
+    return load(name, visiting);
+}
+
+util::Result<void> KernelModuleRegistry::load(const std::string& name,
+                                              std::set<std::string>& visiting) {
+    if (loaded_.count(name)) return {};
+    if (!visiting.insert(name).second)
+        return util::err(util::Error::Code::invalid_argument,
+                         "dependency cycle through module '" + name + "'");
+    const auto it = available_.find(name);
+    if (it == available_.end())
+        return util::err(util::Error::Code::not_found,
+                         "modprobe: FATAL: Module " + name + " not found");
+    const KernelModule& module = it->second;
+    if (!module.requiredKernelPrefix.empty() &&
+        !util::startsWith(kernelVersion_, module.requiredKernelPrefix)) {
+        return util::err(util::Error::Code::unsupported,
+                         name + ": disagrees about version of symbol struct_module (built for " +
+                             module.requiredKernelPrefix + ", running " + kernelVersion_ + ")");
+    }
+    for (const std::string& dependency : module.dependencies) {
+        const auto loadedDep = load(dependency, visiting);
+        if (!loadedDep.ok()) return loadedDep;
+    }
+    loaded_.insert(name);
+    loadOrder_.push_back(name);
+    log_.info() << "loaded module " << name;
+    return {};
+}
+
+util::Result<void> KernelModuleRegistry::rmmod(const std::string& name) {
+    if (!loaded_.count(name))
+        return util::err(util::Error::Code::not_found, "rmmod: " + name + ": not loaded");
+    for (const std::string& other : loadOrder_) {
+        if (other == name || !loaded_.count(other)) continue;
+        const KernelModule& module = available_[other];
+        if (std::find(module.dependencies.begin(), module.dependencies.end(), name) !=
+            module.dependencies.end())
+            return util::err(util::Error::Code::busy,
+                             "rmmod: " + name + ": in use by " + other);
+    }
+    loaded_.erase(name);
+    loadOrder_.erase(std::remove(loadOrder_.begin(), loadOrder_.end(), name),
+                     loadOrder_.end());
+    return {};
+}
+
+void installPaperModuleSet(KernelModuleRegistry& registry) {
+    // PPP stack (§2.3: ppp_generic, ppp_filter is built in, ppp_async,
+    // ppp_synctty, ppp_deflate, ppp_bsdcomp).
+    registry.install({.name = "slhc", .dependencies = {}, .requiredKernelPrefix = ""});
+    registry.install({.name = "ppp_generic", .dependencies = {"slhc"},
+                      .requiredKernelPrefix = ""});
+    registry.install({.name = "ppp_async", .dependencies = {"ppp_generic"},
+                      .requiredKernelPrefix = ""});
+    registry.install({.name = "ppp_synctty", .dependencies = {"ppp_generic"},
+                      .requiredKernelPrefix = ""});
+    registry.install({.name = "ppp_deflate", .dependencies = {"ppp_generic"},
+                      .requiredKernelPrefix = ""});
+    registry.install({.name = "bsd_comp", .dependencies = {"ppp_generic"},
+                      .requiredKernelPrefix = ""});
+
+    // Huawei E620: usbserial + pl2303 (the paper names "pl233", a typo
+    // for the pl2303 USB serial driver).
+    registry.install({.name = "usbserial", .dependencies = {}, .requiredKernelPrefix = ""});
+    registry.install({.name = "pl2303", .dependencies = {"usbserial"},
+                      .requiredKernelPrefix = ""});
+
+    // Option Globetrotter: the vanilla nozomi out-of-tree driver was
+    // built against 2.6.18 and does not load on the PlanetLab 2.6.22
+    // kernel; the OneLab-patched build does.
+    registry.install({.name = "nozomi", .dependencies = {}, .requiredKernelPrefix = "2.6.18"});
+    registry.install({.name = "nozomi_onelab", .dependencies = {},
+                      .requiredKernelPrefix = "2.6.22"});
+}
+
+}  // namespace onelab::pl

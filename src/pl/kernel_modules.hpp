@@ -1,0 +1,70 @@
+#pragma once
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "util/logging.hpp"
+#include "util/result.hpp"
+
+namespace onelab::pl {
+
+/// Description of a loadable kernel module. `requiredKernelPrefix`
+/// models source-level compatibility: a module built against one
+/// kernel series refuses to load on another (the paper's §2.3: "the
+/// nozomi module required some modifications in order to run with the
+/// latest PlanetLab kernel, based on Linux kernel version 2.6.22").
+struct KernelModule {
+    std::string name;
+    std::vector<std::string> dependencies;  ///< must be loaded first (modprobe order)
+    std::string requiredKernelPrefix;       ///< "" = any kernel
+};
+
+/// The node's module loader (modprobe + the running kernel version).
+/// Root-context only — NodeOs exposes it guarded by Context.
+class KernelModuleRegistry {
+  public:
+    explicit KernelModuleRegistry(std::string kernelVersion)
+        : kernelVersion_(std::move(kernelVersion)) {}
+
+    [[nodiscard]] const std::string& kernelVersion() const noexcept { return kernelVersion_; }
+
+    /// Make a module available on disk (shipping it with the node
+    /// image). Does not load it.
+    void install(KernelModule module);
+
+    /// modprobe: loads the module and (recursively) its dependencies.
+    /// Fails with not_found for missing modules, unsupported for a
+    /// kernel-version mismatch anywhere in the chain.
+    util::Result<void> modprobe(const std::string& name);
+
+    /// rmmod: fails with busy if another loaded module depends on it.
+    util::Result<void> rmmod(const std::string& name);
+
+    [[nodiscard]] bool isLoaded(const std::string& name) const { return loaded_.count(name) > 0; }
+    /// lsmod, in load order.
+    [[nodiscard]] std::vector<std::string> loadedModules() const { return loadOrder_; }
+
+  private:
+    util::Result<void> load(const std::string& name, std::set<std::string>& visiting);
+
+    std::string kernelVersion_;
+    std::map<std::string, KernelModule> available_;
+    std::set<std::string> loaded_;
+    std::vector<std::string> loadOrder_;
+    util::Logger log_{"pl.modules"};
+};
+
+/// The stock PlanetLab kernel version the paper targeted (Fedora Core
+/// 8 userland, Linux 2.6.22 with the VServer/VNET+ patches).
+inline constexpr const char* kPlanetLabKernel = "2.6.22.19-vs2.3.0.34-onelab";
+
+/// Install the module set the paper's §2.3 enumerates: the PPP stack
+/// (ppp_generic, ppp_async, ppp_synctty, ppp_deflate, bsd_comp,
+/// slhc), the Huawei path (usbserial, pl2303), the vanilla Option
+/// `nozomi` (built for 2.6.18 — loading it on the PlanetLab kernel
+/// fails) and the OneLab-patched `nozomi_onelab` that works.
+void installPaperModuleSet(KernelModuleRegistry& registry);
+
+}  // namespace onelab::pl

@@ -1,0 +1,65 @@
+#pragma once
+
+#include <deque>
+#include <memory>
+#include <string>
+
+#include "net/stack.hpp"
+#include "pl/kernel_modules.hpp"
+#include "pl/slice.hpp"
+#include "pl/vsys.hpp"
+#include "tools/shell.hpp"
+
+namespace onelab::pl {
+
+/// The PlanetLab node operating system model: the patched Fedora +
+/// VServer + VNET+ stack, reduced to what the paper's extension needs —
+/// a shared network stack, slices (security contexts), the vsys
+/// privilege bridge, and a root-only shell over the networking tools.
+class NodeOs {
+  public:
+    NodeOs(sim::Simulator& simulator, std::string hostname);
+
+    [[nodiscard]] const std::string& hostname() const noexcept { return hostname_; }
+    [[nodiscard]] net::NetworkStack& stack() noexcept { return stack_; }
+    [[nodiscard]] Vsys& vsys() noexcept { return vsys_; }
+
+    /// Instantiate a slice (sliver) on this node. The reference stays
+    /// valid for the node's lifetime.
+    Slice& createSlice(const std::string& name);
+    [[nodiscard]] Slice* findSlice(const std::string& name);
+    [[nodiscard]] const std::deque<Slice>& slices() const noexcept { return slices_; }
+
+    /// The root context. Only node-local trusted code (vsys backends,
+    /// boot scripts) should hold this.
+    [[nodiscard]] Context rootContext() const noexcept { return Context{0}; }
+    /// Context for a slice.
+    [[nodiscard]] Context sliceContext(const Slice& slice) const noexcept {
+        return Context{slice.xid};
+    }
+
+    /// Root-only shell over ip/iptables/ifconfig. Permission_denied
+    /// for non-root contexts — slices must go through vsys.
+    util::Result<tools::RootShell*> shell(Context context);
+
+    /// Root-only module loader (modprobe/rmmod/lsmod). The node boots
+    /// with the paper's module set installed on disk, none loaded.
+    util::Result<KernelModuleRegistry*> modules(Context context);
+
+    /// Open a UDP socket inside a slice: VNET+ tags the socket's
+    /// packets with the slice xid.
+    util::Result<net::UdpSocket*> openSliceUdp(const Slice& slice, std::uint16_t port = 0);
+    /// Root-context socket (xid 0).
+    util::Result<net::UdpSocket*> openRootUdp(std::uint16_t port = 0);
+
+  private:
+    std::string hostname_;
+    net::NetworkStack stack_;
+    Vsys vsys_;
+    tools::RootShell rootShell_;
+    KernelModuleRegistry modules_{kPlanetLabKernel};
+    std::deque<Slice> slices_;
+    int nextXid_ = 100;
+};
+
+}  // namespace onelab::pl

@@ -1,0 +1,41 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace onelab::pl {
+
+/// Execution context in the VServer sense. xid 0 is the root context;
+/// slices get positive xids. Privileged NodeOs operations demand a
+/// root Context — slices can never mint one (only NodeOs constructs
+/// root contexts).
+class Context {
+  public:
+    constexpr Context() = default;
+
+    [[nodiscard]] constexpr int xid() const noexcept { return xid_; }
+    [[nodiscard]] constexpr bool isRoot() const noexcept { return xid_ == 0; }
+
+  private:
+    friend class NodeOs;
+    constexpr explicit Context(int xid) : xid_(xid) {}
+    int xid_ = -1;  ///< -1: invalid (default-constructed) context
+};
+
+/// One PlanetLab slice instantiated on a node: a VServer security
+/// context identified by name and xid. The VNET+ subsystem tags every
+/// packet a slice emits with its xid, which is what the umts tool's
+/// iptables rules match on.
+struct Slice {
+    std::string name;  ///< e.g. "unina_umts"
+    int xid = 0;       ///< VServer context id (> 0)
+
+    /// The firewall mark the umts backend assigns this slice's
+    /// traffic. Matches the paper's "mark applied with iptables,
+    /// exploiting a feature of the new VNET+ subsystem".
+    [[nodiscard]] std::uint32_t defaultMark() const noexcept {
+        return std::uint32_t(xid);
+    }
+};
+
+}  // namespace onelab::pl

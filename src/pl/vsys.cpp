@@ -1,0 +1,67 @@
+#include "pl/vsys.hpp"
+
+#include "util/strings.hpp"
+
+namespace onelab::pl {
+
+void Vsys::install(const std::string& scriptName, Backend backend) {
+    backends_[scriptName] = std::move(backend);
+}
+
+void Vsys::allow(const std::string& scriptName, const std::string& sliceName) {
+    acls_[scriptName].insert(sliceName);
+}
+
+void Vsys::revoke(const std::string& scriptName, const std::string& sliceName) {
+    const auto it = acls_.find(scriptName);
+    if (it != acls_.end()) it->second.erase(sliceName);
+}
+
+bool Vsys::isAllowed(const std::string& scriptName, const std::string& sliceName) const {
+    const auto it = acls_.find(scriptName);
+    return it != acls_.end() && it->second.count(sliceName) > 0;
+}
+
+void Vsys::invoke(const Slice& caller, const std::string& scriptName,
+                  const std::vector<std::string>& args,
+                  std::function<void(util::Result<VsysResult>)> done) {
+    auto finish = [&done](util::Result<VsysResult> result) {
+        if (done) done(std::move(result));
+    };
+    const auto backend = backends_.find(scriptName);
+    if (backend == backends_.end())
+        return finish(
+            util::err(util::Error::Code::not_found, "vsys: no script '" + scriptName + "'"));
+    if (!isAllowed(scriptName, caller.name))
+        return finish(util::err(util::Error::Code::permission_denied,
+                                "vsys: slice '" + caller.name + "' not in ACL for '" +
+                                    scriptName + "'"));
+
+    // Marshal through the request pipe as one line, the way the real
+    // frontend writes to /vsys/<script>.in. Arguments must be
+    // pipe-safe (no embedded whitespace).
+    for (const std::string& arg : args) {
+        if (arg.empty() || arg.find_first_of(" \t\r\n") != std::string::npos)
+            return finish(util::err(util::Error::Code::invalid_argument,
+                                    "vsys: argument not pipe-safe: '" + arg + "'"));
+    }
+    const std::string requestLine = util::join(args, " ");
+    log_.debug() << "slice '" << caller.name << "' -> " << scriptName << ": " << requestLine;
+
+    // The backend runs in the root context and parses the line back;
+    // the completion writes the response pipe.
+    const std::vector<std::string> parsedArgs = util::splitWhitespace(requestLine);
+    backend->second(caller, parsedArgs,
+                    [done = std::move(done)](VsysResult result) {
+                        if (done) done(std::move(result));
+                    });
+}
+
+std::vector<std::string> Vsys::scripts() const {
+    std::vector<std::string> names;
+    names.reserve(backends_.size());
+    for (const auto& [name, backend] : backends_) names.push_back(name);
+    return names;
+}
+
+}  // namespace onelab::pl

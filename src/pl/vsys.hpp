@@ -1,0 +1,67 @@
+#pragma once
+
+#include <functional>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "pl/slice.hpp"
+#include "util/logging.hpp"
+#include "util/result.hpp"
+
+namespace onelab::pl {
+
+/// Outcome of a vsys invocation: the backend's exit status plus the
+/// lines it wrote to the response pipe.
+struct VsysResult {
+    int exitCode = 0;
+    std::vector<std::string> output;
+
+    [[nodiscard]] bool ok() const noexcept { return exitCode == 0; }
+};
+
+/// The vsys facility [13]: named scripts whose backends run in the
+/// root context, reachable from inside a slice through a pair of FIFO
+/// pipes. Access is governed by a per-script ACL. This model keeps the
+/// pipe line-protocol: the frontend marshals argv into a request line,
+/// the backend answers with text lines and an exit code.
+class Vsys {
+  public:
+    /// Backend signature: invoked in the root context with the calling
+    /// slice and the argv parsed from the request line. The backend
+    /// writes its response (exit code + lines) through `done` when it
+    /// finishes — possibly much later in simulated time (dialing takes
+    /// seconds); the frontend blocks on the response pipe meanwhile.
+    using Completion = std::function<void(VsysResult)>;
+    using Backend = std::function<void(const Slice& caller,
+                                       const std::vector<std::string>& args, Completion done)>;
+
+    /// Install (or replace) a script's backend.
+    void install(const std::string& scriptName, Backend backend);
+
+    /// ACL management (root-side; the PlanetLab Central attribute
+    /// `vsys_<script>` is what would drive this in production).
+    void allow(const std::string& scriptName, const std::string& sliceName);
+    void revoke(const std::string& scriptName, const std::string& sliceName);
+    [[nodiscard]] bool isAllowed(const std::string& scriptName,
+                                 const std::string& sliceName) const;
+
+    /// Frontend entry point, called from within a slice: marshals argv
+    /// down the request pipe, runs the backend in the root context and
+    /// delivers the response through `done` (exactly once). Fails with
+    /// permission_denied when the slice is not in the script's ACL,
+    /// not_found for no such script.
+    void invoke(const Slice& caller, const std::string& scriptName,
+                const std::vector<std::string>& args,
+                std::function<void(util::Result<VsysResult>)> done);
+
+    [[nodiscard]] std::vector<std::string> scripts() const;
+
+  private:
+    std::map<std::string, Backend> backends_;
+    std::map<std::string, std::set<std::string>> acls_;
+    util::Logger log_{"pl.vsys"};
+};
+
+}  // namespace onelab::pl

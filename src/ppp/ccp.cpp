@@ -1,0 +1,60 @@
+#include "ppp/ccp.hpp"
+
+namespace onelab::ppp {
+
+Ccp::Ccp(sim::Simulator& simulator, CcpConfig config, Timers timers)
+    : Fsm(simulator, "ccp", timers), config_(config) {}
+
+std::vector<Option> Ccp::buildConfigRequest() {
+    std::vector<Option> options;
+    if (config_.enable && !offerRejected_) {
+        Option option;
+        option.type = ccp_opt::deflate;
+        util::putU8(option.value, config_.windowCode);
+        options.push_back(std::move(option));
+    }
+    return options;
+}
+
+ConfigDecision Ccp::checkConfigRequest(const std::vector<Option>& options) {
+    ConfigDecision decision;
+    for (const Option& option : options) {
+        const bool known = option.type == ccp_opt::deflate && option.value.size() == 1;
+        if (!known || !config_.enable) decision.options.push_back(option);
+    }
+    if (!decision.options.empty()) {
+        decision.verdict = ConfigDecision::Verdict::reject;
+        return decision;
+    }
+    recvOk_ = !options.empty();
+    decision.verdict = ConfigDecision::Verdict::ack;
+    return decision;
+}
+
+void Ccp::onConfigAcked(const std::vector<Option>& options) {
+    sendOk_ = false;
+    for (const Option& option : options)
+        if (option.type == ccp_opt::deflate) sendOk_ = true;
+}
+
+void Ccp::onConfigNakOrReject(bool isReject, const std::vector<Option>& options) {
+    for (const Option& option : options) {
+        if (option.type != ccp_opt::deflate) continue;
+        if (isReject)
+            offerRejected_ = true;
+        else if (option.value.size() == 1)
+            config_.windowCode = option.value[0];
+    }
+}
+
+void Ccp::onThisLayerUp() {
+    if (onUp) onUp();
+}
+
+void Ccp::onThisLayerDown() {
+    sendOk_ = false;
+    recvOk_ = false;
+    if (onDown) onDown();
+}
+
+}  // namespace onelab::ppp

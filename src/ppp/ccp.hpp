@@ -1,0 +1,46 @@
+#pragma once
+
+#include <functional>
+
+#include "ppp/fsm.hpp"
+
+namespace onelab::ppp {
+
+/// CCP configuration: whether we offer/accept the deflate-style
+/// transform and the window size code we advertise.
+struct CcpConfig {
+    bool enable = true;
+    std::uint8_t windowCode = 12;  ///< log2 of the sliding window
+};
+
+/// CCP (RFC 1962 subset): negotiates the LZSS "deflate" transform in
+/// both directions. When opened, the pppd compresses outgoing IP
+/// datagrams into protocol 0x00fd frames.
+class Ccp final : public Fsm {
+  public:
+    Ccp(sim::Simulator& simulator, CcpConfig config, Timers timers = {});
+
+    /// True when we may compress what we send (peer acked our option).
+    [[nodiscard]] bool sendCompressed() const noexcept { return isOpened() && sendOk_; }
+    /// True when the peer may send us compressed data.
+    [[nodiscard]] bool recvCompressed() const noexcept { return isOpened() && recvOk_; }
+
+    std::function<void()> onUp;
+    std::function<void()> onDown;
+
+  protected:
+    std::vector<Option> buildConfigRequest() override;
+    ConfigDecision checkConfigRequest(const std::vector<Option>& options) override;
+    void onConfigAcked(const std::vector<Option>& options) override;
+    void onConfigNakOrReject(bool isReject, const std::vector<Option>& options) override;
+    void onThisLayerUp() override;
+    void onThisLayerDown() override;
+
+  private:
+    CcpConfig config_;
+    bool offerRejected_ = false;
+    bool sendOk_ = false;
+    bool recvOk_ = false;
+};
+
+}  // namespace onelab::ppp

@@ -1,0 +1,115 @@
+#include "ppp/compress.hpp"
+
+#include <array>
+
+namespace onelab::ppp {
+
+namespace {
+constexpr std::uint8_t kMethodStored = 0;
+constexpr std::uint8_t kMethodLzss = 1;
+}  // namespace
+
+util::Bytes LzssCodec::compress(util::ByteView input) {
+    util::Bytes body;
+    body.reserve(input.size());
+
+    std::size_t pos = 0;
+    std::size_t flagIndex = 0;
+    std::uint8_t flagBits = 0;
+    int itemCount = 0;
+
+    auto flushFlags = [&] {
+        if (itemCount == 0) return;
+        body[flagIndex] = flagBits;
+        flagBits = 0;
+        itemCount = 0;
+    };
+
+    while (pos < input.size()) {
+        if (itemCount == 0) {
+            flagIndex = body.size();
+            body.push_back(0);  // placeholder for the flag byte
+        }
+
+        // Greedy longest-match search within the window.
+        std::size_t bestLength = 0;
+        std::size_t bestOffset = 0;
+        const std::size_t windowStart = pos > kWindowSize ? pos - kWindowSize : 0;
+        const std::size_t maxLength = std::min(kMaxMatch, input.size() - pos);
+        if (maxLength >= kMinMatch) {
+            for (std::size_t candidate = windowStart; candidate < pos; ++candidate) {
+                std::size_t length = 0;
+                while (length < maxLength && input[candidate + length] == input[pos + length])
+                    ++length;
+                if (length > bestLength) {
+                    bestLength = length;
+                    bestOffset = pos - candidate;
+                    if (length == maxLength) break;
+                }
+            }
+        }
+
+        if (bestLength >= kMinMatch) {
+            // Back-reference item (flag bit stays 0).
+            const std::uint16_t packed =
+                std::uint16_t(((bestOffset - 1) << 4) | (bestLength - kMinMatch));
+            body.push_back(std::uint8_t(packed >> 8));
+            body.push_back(std::uint8_t(packed));
+            pos += bestLength;
+        } else {
+            flagBits |= std::uint8_t(1u << itemCount);
+            body.push_back(input[pos]);
+            ++pos;
+        }
+        if (++itemCount == 8) flushFlags();
+    }
+    flushFlags();
+
+    util::Bytes out;
+    if (body.size() >= input.size()) {
+        out.reserve(input.size() + 1);
+        out.push_back(kMethodStored);
+        out.insert(out.end(), input.begin(), input.end());
+    } else {
+        out.reserve(body.size() + 1);
+        out.push_back(kMethodLzss);
+        out.insert(out.end(), body.begin(), body.end());
+    }
+    return out;
+}
+
+util::Result<util::Bytes> LzssCodec::decompress(util::ByteView input) {
+    if (input.empty())
+        return util::err(util::Error::Code::protocol, "empty compressed payload");
+    const std::uint8_t method = input[0];
+    input = input.subspan(1);
+
+    if (method == kMethodStored) return util::Bytes{input.begin(), input.end()};
+    if (method != kMethodLzss)
+        return util::err(util::Error::Code::protocol, "unknown compression method");
+
+    util::Bytes out;
+    std::size_t pos = 0;
+    while (pos < input.size()) {
+        const std::uint8_t flags = input[pos++];
+        for (int bit = 0; bit < 8 && pos < input.size(); ++bit) {
+            if (flags & (1u << bit)) {
+                out.push_back(input[pos++]);
+            } else {
+                if (pos + 2 > input.size())
+                    return util::err(util::Error::Code::protocol, "truncated back-reference");
+                const std::uint16_t packed = std::uint16_t((input[pos] << 8) | input[pos + 1]);
+                pos += 2;
+                const std::size_t offset = std::size_t(packed >> 4) + 1;
+                const std::size_t length = std::size_t(packed & 0x0f) + kMinMatch;
+                if (offset > out.size())
+                    return util::err(util::Error::Code::protocol, "back-reference before start");
+                for (std::size_t i = 0; i < length; ++i)
+                    out.push_back(out[out.size() - offset]);
+            }
+        }
+    }
+    return out;
+}
+
+}  // namespace onelab::ppp

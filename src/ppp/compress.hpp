@@ -1,0 +1,29 @@
+#pragma once
+
+#include "util/bytes.hpp"
+#include "util/result.hpp"
+
+namespace onelab::ppp {
+
+/// Deflate-style LZSS codec standing in for the `ppp_deflate` kernel
+/// module. Self-contained and deterministic; both PPP endpoints run
+/// the same transform when CCP negotiates it.
+///
+/// Wire format: 1 method byte (0 = stored, 1 = LZSS), then either the
+/// raw bytes or LZSS items: flag bytes covering 8 items each, bit set
+/// = literal byte, bit clear = 2-byte (offset, length) back-reference
+/// with a 12-bit offset into the sliding window and 4-bit length-3.
+class LzssCodec {
+  public:
+    static constexpr std::size_t kWindowSize = 4096;
+    static constexpr std::size_t kMinMatch = 3;
+    static constexpr std::size_t kMaxMatch = 18;
+
+    /// Compress; falls back to stored when expansion would occur.
+    [[nodiscard]] static util::Bytes compress(util::ByteView input);
+
+    /// Decompress; protocol error on malformed input.
+    static util::Result<util::Bytes> decompress(util::ByteView input);
+};
+
+}  // namespace onelab::ppp

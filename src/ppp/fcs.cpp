@@ -1,0 +1,39 @@
+#include "ppp/fcs.hpp"
+
+#include <array>
+
+namespace onelab::ppp {
+
+namespace {
+
+constexpr std::array<std::uint16_t, 256> makeTable() {
+    std::array<std::uint16_t, 256> table{};
+    for (std::uint32_t b = 0; b < 256; ++b) {
+        std::uint16_t value = std::uint16_t(b);
+        for (int bit = 0; bit < 8; ++bit)
+            value = (value & 1) ? std::uint16_t((value >> 1) ^ 0x8408) : std::uint16_t(value >> 1);
+        table[b] = value;
+    }
+    return table;
+}
+
+constexpr auto kTable = makeTable();
+
+}  // namespace
+
+std::uint16_t fcsStep(std::uint16_t fcs, std::uint8_t byte) noexcept {
+    return std::uint16_t((fcs >> 8) ^ kTable[(fcs ^ byte) & 0xff]);
+}
+
+std::uint16_t fcs16(util::ByteView data) noexcept {
+    std::uint16_t fcs = kFcsInit;
+    for (const std::uint8_t byte : data) fcs = fcsStep(fcs, byte);
+    return fcs;
+}
+
+bool fcsValid(util::ByteView dataWithFcs) noexcept {
+    if (dataWithFcs.size() < 2) return false;
+    return fcs16(dataWithFcs) == kFcsGood;
+}
+
+}  // namespace onelab::ppp

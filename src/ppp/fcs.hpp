@@ -1,0 +1,25 @@
+#pragma once
+
+#include <cstdint>
+
+#include "util/bytes.hpp"
+
+namespace onelab::ppp {
+
+/// PPP FCS-16 (RFC 1662 appendix C): CRC-16/X.25, reflected,
+/// polynomial 0x8408, initial value 0xffff.
+inline constexpr std::uint16_t kFcsInit = 0xffff;
+/// Value of the running FCS after including a correct trailing FCS.
+inline constexpr std::uint16_t kFcsGood = 0xf0b8;
+
+/// Incrementally extend a running FCS with one byte.
+[[nodiscard]] std::uint16_t fcsStep(std::uint16_t fcs, std::uint8_t byte) noexcept;
+
+/// FCS over a whole buffer, starting from kFcsInit.
+[[nodiscard]] std::uint16_t fcs16(util::ByteView data) noexcept;
+
+/// True when `data` (payload + trailing 2-byte FCS, little-endian as
+/// transmitted) verifies.
+[[nodiscard]] bool fcsValid(util::ByteView dataWithFcs) noexcept;
+
+}  // namespace onelab::ppp

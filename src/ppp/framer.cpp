@@ -1,0 +1,132 @@
+#include "ppp/framer.hpp"
+
+#include "ppp/fcs.hpp"
+
+namespace onelab::ppp {
+
+namespace {
+constexpr std::uint8_t kFlag = 0x7e;
+constexpr std::uint8_t kEscape = 0x7d;
+constexpr std::uint8_t kXor = 0x20;
+constexpr std::uint8_t kAddress = 0xff;
+constexpr std::uint8_t kControl = 0x03;
+
+bool needsEscape(std::uint8_t byte, std::uint32_t accm) noexcept {
+    if (byte == kFlag || byte == kEscape) return true;
+    return byte < 0x20 && ((accm >> byte) & 1u);
+}
+
+void putEscaped(util::Bytes& out, std::uint8_t byte, std::uint32_t accm) {
+    if (needsEscape(byte, accm)) {
+        out.push_back(kEscape);
+        out.push_back(byte ^ kXor);
+    } else {
+        out.push_back(byte);
+    }
+}
+
+}  // namespace
+
+util::Bytes encodeFrame(const Frame& frame, const FramerConfig& config) {
+    // Build the unescaped contents first (addr/ctrl + protocol + info),
+    // compute the FCS over them, then escape everything.
+    util::Bytes raw;
+    raw.reserve(frame.info.size() + 6);
+    if (!config.compressAddressControl) {
+        raw.push_back(kAddress);
+        raw.push_back(kControl);
+    }
+    const auto protocol = std::uint16_t(frame.protocol);
+    if (config.compressProtocolField && protocol <= 0xff) {
+        raw.push_back(std::uint8_t(protocol));
+    } else {
+        raw.push_back(std::uint8_t(protocol >> 8));
+        raw.push_back(std::uint8_t(protocol));
+    }
+    raw.insert(raw.end(), frame.info.begin(), frame.info.end());
+
+    const std::uint16_t fcs = std::uint16_t(~fcs16(raw) & 0xffff);
+
+    util::Bytes out;
+    out.reserve(raw.size() + 8);
+    out.push_back(kFlag);
+    for (const std::uint8_t byte : raw) putEscaped(out, byte, config.sendAccm);
+    // FCS is transmitted least-significant byte first (RFC 1662).
+    putEscaped(out, std::uint8_t(fcs & 0xff), config.sendAccm);
+    putEscaped(out, std::uint8_t(fcs >> 8), config.sendAccm);
+    out.push_back(kFlag);
+    return out;
+}
+
+void Deframer::feed(util::ByteView data) {
+    for (const std::uint8_t byte : data) {
+        if (byte == kFlag) {
+            escaped_ = false;
+            endFrame();
+            continue;
+        }
+        if (byte == kEscape) {
+            escaped_ = true;
+            continue;
+        }
+        current_.push_back(escaped_ ? std::uint8_t(byte ^ kXor) : byte);
+        escaped_ = false;
+    }
+}
+
+void Deframer::endFrame() {
+    if (current_.empty()) return;  // back-to-back flags
+    util::Bytes raw;
+    raw.swap(current_);
+    // Minimum: protocol (1) + FCS (2).
+    if (raw.size() < 3 || !fcsValid(raw)) {
+        ++bad_;
+        return;
+    }
+    raw.resize(raw.size() - 2);  // strip FCS
+
+    std::size_t offset = 0;
+    // Address/control may be present (0xff 0x03) or elided (ACFC); the
+    // receiver accepts both regardless of negotiation, per RFC 1662.
+    if (raw.size() >= 2 && raw[0] == kAddress && raw[1] == kControl) offset = 2;
+
+    if (raw.size() <= offset) {
+        ++bad_;
+        return;
+    }
+    // Protocol field: 2 bytes normally; 1 byte when PFC used (low bit
+    // of the first byte set means "final, odd byte" => compressed).
+    std::uint16_t protocol = 0;
+    if (raw[offset] & 1) {
+        protocol = raw[offset];
+        offset += 1;
+    } else {
+        if (raw.size() < offset + 2) {
+            ++bad_;
+            return;
+        }
+        protocol = std::uint16_t((raw[offset] << 8) | raw[offset + 1]);
+        offset += 2;
+    }
+
+    Frame frame;
+    frame.protocol = Protocol{protocol};
+    frame.info.assign(raw.begin() + long(offset), raw.end());
+    ++good_;
+    if (handler_) handler_(std::move(frame));
+}
+
+void Deframer::reset() {
+    current_.clear();
+    escaped_ = false;
+}
+
+std::size_t framingOverhead(const FramerConfig& config) noexcept {
+    // flag + FCS(2) + flag = 4, plus addr/ctrl and protocol fields.
+    std::size_t overhead = 4;
+    if (!config.compressAddressControl) overhead += 2;
+    overhead += config.compressProtocolField ? 1 : 2;
+    return overhead;
+}
+
+}  // namespace onelab::ppp

@@ -1,0 +1,72 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "util/bytes.hpp"
+
+namespace onelab::ppp {
+
+/// PPP protocol numbers used by this implementation.
+enum class Protocol : std::uint16_t {
+    ip = 0x0021,
+    compressed_datagram = 0x00fd,
+    ipcp = 0x8021,
+    ccp = 0x80fd,
+    lcp = 0xc021,
+    pap = 0xc023,
+    chap = 0xc223,
+};
+
+/// One decoded PPP frame: protocol + information field.
+struct Frame {
+    Protocol protocol{};
+    util::Bytes info;
+};
+
+/// Framing knobs negotiated by LCP. Until LCP completes both ends use
+/// the defaults (all control characters escaped, full address/control
+/// and protocol fields), per RFC 1662.
+struct FramerConfig {
+    std::uint32_t sendAccm = 0xffffffff;  ///< chars 0x00..0x1f to escape on tx
+    bool compressProtocolField = false;   ///< PFC: 1-byte protocol when <= 0xff
+    bool compressAddressControl = false;  ///< ACFC: omit 0xff 0x03
+};
+
+/// Encode a frame into RFC 1662 async HDLC-like framing: flag, address
+/// 0xff, control 0x03, protocol, information, FCS-16, flag — with byte
+/// stuffing per the send ACCM (flag/escape always escaped).
+[[nodiscard]] util::Bytes encodeFrame(const Frame& frame, const FramerConfig& config);
+
+/// Incremental deframer: feed received bytes, emit complete validated
+/// frames. Frames with a bad FCS or shorter than protocol+FCS are
+/// dropped and counted.
+class Deframer {
+  public:
+    /// Handler invoked for each good frame.
+    void onFrame(std::function<void(Frame)> handler) { handler_ = std::move(handler); }
+
+    /// Feed raw bytes from the line.
+    void feed(util::ByteView data);
+
+    /// Drop any partial frame (used when (re)starting the link).
+    void reset();
+
+    [[nodiscard]] std::uint64_t goodFrames() const noexcept { return good_; }
+    [[nodiscard]] std::uint64_t badFrames() const noexcept { return bad_; }
+
+  private:
+    void endFrame();
+
+    std::function<void(Frame)> handler_;
+    util::Bytes current_;
+    bool escaped_ = false;
+    std::uint64_t good_ = 0;
+    std::uint64_t bad_ = 0;
+};
+
+/// Rough per-frame byte overhead of the framing (flags, addr/ctrl,
+/// protocol, FCS) before stuffing, for capacity accounting.
+[[nodiscard]] std::size_t framingOverhead(const FramerConfig& config) noexcept;
+
+}  // namespace onelab::ppp

@@ -1,0 +1,535 @@
+#include "ppp/fsm.hpp"
+
+namespace onelab::ppp {
+
+const char* fsmStateName(FsmState state) noexcept {
+    switch (state) {
+        case FsmState::initial: return "Initial";
+        case FsmState::starting: return "Starting";
+        case FsmState::closed: return "Closed";
+        case FsmState::stopped: return "Stopped";
+        case FsmState::closing: return "Closing";
+        case FsmState::stopping: return "Stopping";
+        case FsmState::req_sent: return "Req-Sent";
+        case FsmState::ack_rcvd: return "Ack-Rcvd";
+        case FsmState::ack_sent: return "Ack-Sent";
+        case FsmState::opened: return "Opened";
+    }
+    return "?";
+}
+
+Fsm::Fsm(sim::Simulator& simulator, std::string name, Timers timers)
+    : sim_(simulator), log_("ppp." + name), name_(std::move(name)), timers_(timers) {}
+
+Fsm::~Fsm() { stopTimer(); }
+
+bool Fsm::onExtraCode(const ControlPacket&) { return false; }
+
+void Fsm::sendPacket(const ControlPacket& packet) {
+    log_.trace() << "send " << codeName(packet.code) << " id=" << int(packet.identifier)
+                 << " len=" << packet.data.size();
+    if (sender_) sender_(packet);
+}
+
+void Fsm::setState(FsmState next) {
+    if (next == state_) return;
+    log_.debug() << fsmStateName(state_) << " -> " << fsmStateName(next);
+    state_ = next;
+}
+
+// --- actions ---
+
+void Fsm::tlu() {
+    log_.debug() << "this-layer-up";
+    onThisLayerUp();
+}
+void Fsm::tld() {
+    log_.debug() << "this-layer-down";
+    onThisLayerDown();
+}
+void Fsm::tls() { onThisLayerStarted(); }
+void Fsm::tlf() {
+    stopTimer();
+    log_.debug() << "this-layer-finished";
+    onThisLayerFinished();
+}
+
+void Fsm::initRestartCount(int count) { restartCount_ = count; }
+void Fsm::zeroRestartCount() {
+    restartCount_ = 0;
+    // A zeroed restart count still runs the timer once so the final
+    // Terminate-Ack wait has a bound (RFC 1661 §4.6).
+}
+
+void Fsm::sendConfigRequest() {
+    --restartCount_;
+    requestId_ = nextId_++;
+    ControlPacket packet;
+    packet.code = Code::configure_request;
+    packet.identifier = requestId_;
+    packet.data = encodeOptions(buildConfigRequest());
+    sendPacket(packet);
+    startTimer(TimeoutKind::configure);
+}
+
+void Fsm::sendConfigAck(const ControlPacket& request) {
+    ControlPacket packet;
+    packet.code = Code::configure_ack;
+    packet.identifier = request.identifier;
+    packet.data = request.data;
+    sendPacket(packet);
+}
+
+void Fsm::sendConfigNakOrRej(const ControlPacket& request, const ConfigDecision& decision) {
+    ControlPacket packet;
+    packet.code = decision.verdict == ConfigDecision::Verdict::nak ? Code::configure_nak
+                                                                   : Code::configure_reject;
+    packet.identifier = request.identifier;
+    packet.data = encodeOptions(decision.options);
+    sendPacket(packet);
+}
+
+void Fsm::sendTerminateRequest() {
+    --restartCount_;
+    ControlPacket packet;
+    packet.code = Code::terminate_request;
+    packet.identifier = nextId_++;
+    sendPacket(packet);
+    startTimer(TimeoutKind::terminate);
+}
+
+void Fsm::sendTerminateAck(std::uint8_t id) {
+    ControlPacket packet;
+    packet.code = Code::terminate_ack;
+    packet.identifier = id;
+    sendPacket(packet);
+}
+
+void Fsm::sendCodeReject(const ControlPacket& bad) {
+    ControlPacket packet;
+    packet.code = Code::code_reject;
+    packet.identifier = nextId_++;
+    packet.data = bad.serialize();
+    sendPacket(packet);
+}
+
+void Fsm::startTimer(TimeoutKind kind) {
+    stopTimer();
+    timeoutKind_ = kind;
+    timer_ = sim_.schedule(timers_.restartTimer, [this] { onTimeout(); });
+}
+
+void Fsm::stopTimer() {
+    if (timer_.valid()) sim_.cancel(timer_);
+    timer_ = {};
+    timeoutKind_ = TimeoutKind::none;
+}
+
+void Fsm::onTimeout() {
+    timer_ = {};
+    const bool positive = restartCount_ > 0;
+    log_.debug() << "timeout (" << (positive ? "TO+" : "TO-") << ") in "
+                 << fsmStateName(state_);
+    switch (state_) {
+        case FsmState::closing:
+            if (positive)
+                sendTerminateRequest();
+            else {
+                tlf();
+                setState(FsmState::closed);
+            }
+            break;
+        case FsmState::stopping:
+            if (positive)
+                sendTerminateRequest();
+            else {
+                tlf();
+                setState(FsmState::stopped);
+            }
+            break;
+        case FsmState::req_sent:
+        case FsmState::ack_rcvd:
+            if (positive) {
+                sendConfigRequest();
+                if (state_ == FsmState::ack_rcvd) setState(FsmState::req_sent);
+            } else {
+                tlf();
+                setState(FsmState::stopped);
+            }
+            break;
+        case FsmState::ack_sent:
+            if (positive)
+                sendConfigRequest();
+            else {
+                tlf();
+                setState(FsmState::stopped);
+            }
+            break;
+        default:
+            break;  // timer is irrelevant in other states
+    }
+}
+
+// --- administrative events ---
+
+void Fsm::up() {
+    switch (state_) {
+        case FsmState::initial:
+            setState(FsmState::closed);
+            break;
+        case FsmState::starting:
+            initRestartCount(timers_.maxConfigure);
+            sendConfigRequest();
+            setState(FsmState::req_sent);
+            break;
+        default:
+            log_.warn() << "unexpected Up in " << fsmStateName(state_);
+            break;
+    }
+}
+
+void Fsm::down() {
+    switch (state_) {
+        case FsmState::closed:
+            setState(FsmState::initial);
+            break;
+        case FsmState::stopped:
+            tls();
+            setState(FsmState::starting);
+            break;
+        case FsmState::closing:
+            stopTimer();
+            setState(FsmState::initial);
+            break;
+        case FsmState::stopping:
+        case FsmState::req_sent:
+        case FsmState::ack_rcvd:
+        case FsmState::ack_sent:
+            stopTimer();
+            setState(FsmState::starting);
+            break;
+        case FsmState::opened:
+            tld();
+            setState(FsmState::starting);
+            break;
+        default:
+            break;
+    }
+}
+
+void Fsm::open() {
+    switch (state_) {
+        case FsmState::initial:
+            tls();
+            setState(FsmState::starting);
+            break;
+        case FsmState::starting:
+            break;
+        case FsmState::closed:
+            initRestartCount(timers_.maxConfigure);
+            sendConfigRequest();
+            setState(FsmState::req_sent);
+            break;
+        case FsmState::stopped:   // restart option: remain (passive wait)
+        case FsmState::closing:   // -> Stopping per RFC with restart
+            if (state_ == FsmState::closing) setState(FsmState::stopping);
+            break;
+        default:
+            break;  // already opening/opened
+    }
+}
+
+void Fsm::close() {
+    switch (state_) {
+        case FsmState::initial:
+            break;
+        case FsmState::starting:
+            tlf();
+            setState(FsmState::initial);
+            break;
+        case FsmState::closed:
+        case FsmState::closing:
+            break;
+        case FsmState::stopped:
+            setState(FsmState::closed);
+            break;
+        case FsmState::stopping:
+            setState(FsmState::closing);
+            break;
+        case FsmState::req_sent:
+        case FsmState::ack_rcvd:
+        case FsmState::ack_sent:
+            initRestartCount(timers_.maxTerminate);
+            sendTerminateRequest();
+            setState(FsmState::closing);
+            break;
+        case FsmState::opened:
+            tld();
+            initRestartCount(timers_.maxTerminate);
+            sendTerminateRequest();
+            setState(FsmState::closing);
+            break;
+    }
+}
+
+// --- receive dispatch ---
+
+void Fsm::receive(const ControlPacket& packet) {
+    log_.trace() << "recv " << codeName(packet.code) << " id=" << int(packet.identifier)
+                 << " in " << fsmStateName(state_);
+    switch (packet.code) {
+        case Code::configure_request:
+            eventRcr(packet);
+            break;
+        case Code::configure_ack:
+            eventRca(packet);
+            break;
+        case Code::configure_nak:
+            eventRcn(packet, /*isReject=*/false);
+            break;
+        case Code::configure_reject:
+            eventRcn(packet, /*isReject=*/true);
+            break;
+        case Code::terminate_request:
+            eventRtr(packet);
+            break;
+        case Code::terminate_ack:
+            eventRta();
+            break;
+        case Code::code_reject:
+            // Rejecting a basic code is catastrophic (RXJ-).
+            eventRxjMinus();
+            break;
+        default:
+            if (!onExtraCode(packet)) eventRuc(packet);
+            break;
+    }
+}
+
+void Fsm::eventRcr(const ControlPacket& packet) {
+    const auto parsed = parseOptions(packet.data);
+    if (!parsed.ok()) {
+        log_.warn() << "malformed Configure-Request: " << parsed.error().message;
+        return;
+    }
+    const ConfigDecision decision = checkConfigRequest(parsed.value());
+    const bool good = decision.verdict == ConfigDecision::Verdict::ack;
+
+    switch (state_) {
+        case FsmState::closed:
+            sendTerminateAck(packet.identifier);
+            break;
+        case FsmState::stopped:
+            initRestartCount(timers_.maxConfigure);
+            sendConfigRequest();
+            if (good) {
+                sendConfigAck(packet);
+                setState(FsmState::ack_sent);
+            } else {
+                sendConfigNakOrRej(packet, decision);
+                setState(FsmState::req_sent);
+            }
+            break;
+        case FsmState::closing:
+        case FsmState::stopping:
+            break;
+        case FsmState::req_sent:
+            if (good) {
+                sendConfigAck(packet);
+                setState(FsmState::ack_sent);
+            } else {
+                sendConfigNakOrRej(packet, decision);
+            }
+            break;
+        case FsmState::ack_rcvd:
+            if (good) {
+                sendConfigAck(packet);
+                tlu();
+                setState(FsmState::opened);
+            } else {
+                sendConfigNakOrRej(packet, decision);
+            }
+            break;
+        case FsmState::ack_sent:
+            if (good) {
+                sendConfigAck(packet);
+            } else {
+                sendConfigNakOrRej(packet, decision);
+                setState(FsmState::req_sent);
+            }
+            break;
+        case FsmState::opened:
+            tld();
+            sendConfigRequest();
+            if (good) {
+                sendConfigAck(packet);
+                setState(FsmState::ack_sent);
+            } else {
+                sendConfigNakOrRej(packet, decision);
+                setState(FsmState::req_sent);
+            }
+            break;
+        default:
+            break;
+    }
+}
+
+void Fsm::eventRca(const ControlPacket& packet) {
+    if ((state_ == FsmState::req_sent || state_ == FsmState::ack_sent) &&
+        packet.identifier != requestId_) {
+        log_.debug() << "Configure-Ack with stale id " << int(packet.identifier);
+        return;
+    }
+    switch (state_) {
+        case FsmState::closed:
+        case FsmState::stopped:
+            sendTerminateAck(packet.identifier);
+            break;
+        case FsmState::req_sent: {
+            const auto parsed = parseOptions(packet.data);
+            if (parsed.ok()) onConfigAcked(parsed.value());
+            initRestartCount(timers_.maxConfigure);
+            startTimer(TimeoutKind::configure);
+            setState(FsmState::ack_rcvd);
+            break;
+        }
+        case FsmState::ack_rcvd:
+            // Cross connection / duplicate: re-request.
+            sendConfigRequest();
+            setState(FsmState::req_sent);
+            break;
+        case FsmState::ack_sent: {
+            const auto parsed = parseOptions(packet.data);
+            if (parsed.ok()) onConfigAcked(parsed.value());
+            stopTimer();
+            initRestartCount(timers_.maxConfigure);
+            tlu();
+            setState(FsmState::opened);
+            break;
+        }
+        case FsmState::opened:
+            tld();
+            sendConfigRequest();
+            setState(FsmState::req_sent);
+            break;
+        default:
+            break;
+    }
+}
+
+void Fsm::eventRcn(const ControlPacket& packet, bool isReject) {
+    switch (state_) {
+        case FsmState::closed:
+        case FsmState::stopped:
+            sendTerminateAck(packet.identifier);
+            break;
+        case FsmState::req_sent: {
+            const auto parsed = parseOptions(packet.data);
+            if (parsed.ok()) onConfigNakOrReject(isReject, parsed.value());
+            initRestartCount(timers_.maxConfigure);
+            sendConfigRequest();
+            break;
+        }
+        case FsmState::ack_rcvd:
+            sendConfigRequest();
+            setState(FsmState::req_sent);
+            break;
+        case FsmState::ack_sent: {
+            const auto parsed = parseOptions(packet.data);
+            if (parsed.ok()) onConfigNakOrReject(isReject, parsed.value());
+            initRestartCount(timers_.maxConfigure);
+            sendConfigRequest();
+            break;
+        }
+        case FsmState::opened:
+            tld();
+            sendConfigRequest();
+            setState(FsmState::req_sent);
+            break;
+        default:
+            break;
+    }
+}
+
+void Fsm::eventRtr(const ControlPacket& packet) {
+    switch (state_) {
+        case FsmState::closed:
+        case FsmState::stopped:
+        case FsmState::closing:
+        case FsmState::stopping:
+            sendTerminateAck(packet.identifier);
+            break;
+        case FsmState::req_sent:
+        case FsmState::ack_rcvd:
+        case FsmState::ack_sent:
+            sendTerminateAck(packet.identifier);
+            setState(FsmState::req_sent);
+            break;
+        case FsmState::opened:
+            tld();
+            zeroRestartCount();
+            sendTerminateAck(packet.identifier);
+            startTimer(TimeoutKind::terminate);
+            setState(FsmState::stopping);
+            break;
+        default:
+            break;
+    }
+}
+
+void Fsm::eventRta() {
+    switch (state_) {
+        case FsmState::closing:
+            tlf();
+            setState(FsmState::closed);
+            break;
+        case FsmState::stopping:
+            tlf();
+            setState(FsmState::stopped);
+            break;
+        case FsmState::ack_rcvd:
+            setState(FsmState::req_sent);
+            break;
+        case FsmState::opened:
+            tld();
+            sendConfigRequest();
+            setState(FsmState::req_sent);
+            break;
+        default:
+            break;
+    }
+}
+
+void Fsm::eventRuc(const ControlPacket& packet) {
+    log_.debug() << "unknown code " << int(packet.code) << ", sending Code-Reject";
+    sendCodeReject(packet);
+}
+
+void Fsm::eventRxjMinus() {
+    switch (state_) {
+        case FsmState::opened:
+            tld();
+            initRestartCount(timers_.maxTerminate);
+            sendTerminateRequest();
+            setState(FsmState::stopping);
+            break;
+        case FsmState::closing:
+            tlf();
+            setState(FsmState::closed);
+            break;
+        case FsmState::initial:
+        case FsmState::starting:
+            break;
+        default:
+            tlf();
+            setState(FsmState::stopped);
+            break;
+    }
+}
+
+void Fsm::protocolRejected() {
+    log_.info() << "peer protocol-rejected " << name_;
+    eventRxjMinus();
+}
+
+}  // namespace onelab::ppp

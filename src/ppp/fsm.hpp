@@ -1,0 +1,150 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "ppp/options.hpp"
+#include "sim/simulator.hpp"
+#include "util/logging.hpp"
+
+namespace onelab::ppp {
+
+/// RFC 1661 §4.2 automaton states.
+enum class FsmState : std::uint8_t {
+    initial,
+    starting,
+    closed,
+    stopped,
+    closing,
+    stopping,
+    req_sent,
+    ack_rcvd,
+    ack_sent,
+    opened,
+};
+
+[[nodiscard]] const char* fsmStateName(FsmState state) noexcept;
+
+/// How a received Configure-Request should be answered.
+struct ConfigDecision {
+    enum class Verdict : std::uint8_t { ack, nak, reject };
+    Verdict verdict = Verdict::ack;
+    /// For nak/reject: the options to carry in the response. For ack
+    /// the original options are echoed automatically.
+    std::vector<Option> options;
+};
+
+/// Tuning knobs (RFC 1661 §4.6 counters and timers).
+struct FsmTimers {
+    sim::SimTime restartTimer = sim::millis(1000);
+    int maxConfigure = 10;
+    int maxTerminate = 2;
+};
+
+/// RFC 1661 option-negotiation automaton, shared by LCP, IPCP and CCP.
+/// Subclasses provide option semantics; the base class provides the
+/// full state machine with restart timers and counters.
+class Fsm {
+  public:
+    using Timers = FsmTimers;
+
+    Fsm(sim::Simulator& simulator, std::string name, Timers timers = {});
+    virtual ~Fsm();
+
+    Fsm(const Fsm&) = delete;
+    Fsm& operator=(const Fsm&) = delete;
+
+    /// Where outgoing control packets go (the pppd wraps them in the
+    /// right PPP protocol number).
+    void setSender(std::function<void(const ControlPacket&)> sender) {
+        sender_ = std::move(sender);
+    }
+
+    // --- administrative events ---
+    void up();    ///< lower layer is available
+    void down();  ///< lower layer went away
+    void open();  ///< administratively open
+    void close(); ///< administratively close
+
+    /// Feed a received control packet for this protocol.
+    void receive(const ControlPacket& packet);
+
+    /// Peer sent a Protocol-Reject for this protocol: fatal for the
+    /// protocol (RXJ- semantics).
+    void protocolRejected();
+
+    [[nodiscard]] FsmState state() const noexcept { return state_; }
+    [[nodiscard]] bool isOpened() const noexcept { return state_ == FsmState::opened; }
+    [[nodiscard]] const std::string& name() const noexcept { return name_; }
+
+  protected:
+    // --- subclass option semantics ---
+    /// Options to put in our next Configure-Request.
+    virtual std::vector<Option> buildConfigRequest() = 0;
+    /// Judge the peer's Configure-Request.
+    virtual ConfigDecision checkConfigRequest(const std::vector<Option>& options) = 0;
+    /// Peer acknowledged our request (negotiation result committed).
+    virtual void onConfigAcked(const std::vector<Option>& options) = 0;
+    /// Peer nak'ed/rejected some of our options: adjust desires.
+    virtual void onConfigNakOrReject(bool isReject, const std::vector<Option>& options) = 0;
+    /// Non-configure codes a subclass understands (LCP echo etc).
+    /// Return true when handled; false triggers Code-Reject.
+    virtual bool onExtraCode(const ControlPacket& packet);
+
+    // --- layer callbacks (subclass or owner hooks) ---
+    virtual void onThisLayerUp() {}
+    virtual void onThisLayerDown() {}
+    virtual void onThisLayerStarted() {}
+    virtual void onThisLayerFinished() {}
+
+    void sendPacket(const ControlPacket& packet);
+
+    sim::Simulator& sim_;
+    util::Logger log_;
+
+  private:
+    enum class TimeoutKind : std::uint8_t { none, configure, terminate };
+
+    // RFC actions.
+    void tlu();
+    void tld();
+    void tls();
+    void tlf();
+    void initRestartCount(int count);
+    void zeroRestartCount();
+    void sendConfigRequest();         // scr
+    void sendConfigAck(const ControlPacket& request);              // sca
+    void sendConfigNakOrRej(const ControlPacket& request, const ConfigDecision& decision);  // scn
+    void sendTerminateRequest();      // str
+    void sendTerminateAck(std::uint8_t id);  // sta
+    void sendCodeReject(const ControlPacket& packet);  // scj
+
+    void startTimer(TimeoutKind kind);
+    void stopTimer();
+    void onTimeout();
+
+    void setState(FsmState next);
+
+    // Per-event handlers.
+    void eventRcr(const ControlPacket& packet);
+    void eventRca(const ControlPacket& packet);
+    void eventRcn(const ControlPacket& packet, bool isReject);
+    void eventRtr(const ControlPacket& packet);
+    void eventRta();
+    void eventRuc(const ControlPacket& packet);
+    void eventRxjMinus();
+
+    std::string name_;
+    Timers timers_;
+    FsmState state_ = FsmState::initial;
+    std::function<void(const ControlPacket&)> sender_;
+    int restartCount_ = 0;
+    std::uint8_t requestId_ = 0;  ///< id of our outstanding Configure-Request
+    std::uint8_t nextId_ = 1;
+    sim::EventHandle timer_;
+    TimeoutKind timeoutKind_ = TimeoutKind::none;
+};
+
+}  // namespace onelab::ppp

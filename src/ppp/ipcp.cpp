@@ -1,0 +1,98 @@
+#include "ppp/ipcp.hpp"
+
+namespace onelab::ppp {
+
+Ipcp::Ipcp(sim::Simulator& simulator, IpcpConfig config, Timers timers)
+    : Fsm(simulator, "ipcp", timers), config_(config) {}
+
+std::vector<Option> Ipcp::buildConfigRequest() {
+    std::vector<Option> options;
+    options.push_back(makeU32Option(ipcp_opt::ip_address, config_.localAddress.value()));
+    if (config_.requestDns && !dnsRejected_)
+        options.push_back(makeU32Option(ipcp_opt::primary_dns, result_.dnsServer.value()));
+    return options;
+}
+
+ConfigDecision Ipcp::checkConfigRequest(const std::vector<Option>& options) {
+    ConfigDecision decision;
+    // Reject unknown options.
+    for (const Option& option : options) {
+        if (option.type != ipcp_opt::ip_address && option.type != ipcp_opt::primary_dns)
+            decision.options.push_back(option);
+    }
+    if (!decision.options.empty()) {
+        decision.verdict = ConfigDecision::Verdict::reject;
+        return decision;
+    }
+
+    for (const Option& option : options) {
+        if (option.type == ipcp_opt::ip_address) {
+            const auto addr = optionU32(option);
+            const net::Ipv4Address requested{addr.value_or(0)};
+            if (config_.isServer) {
+                // Peer must use the address we assign.
+                if (requested != config_.addressForPeer)
+                    decision.options.push_back(
+                        makeU32Option(ipcp_opt::ip_address, config_.addressForPeer.value()));
+            } else {
+                // We are the client: the server names its own address;
+                // any nonzero value is fine.
+                if (requested.isUnspecified())
+                    decision.options.push_back(makeU32Option(ipcp_opt::ip_address, 0));
+            }
+        } else if (option.type == ipcp_opt::primary_dns) {
+            const auto addr = optionU32(option);
+            if (config_.isServer && net::Ipv4Address{addr.value_or(0)} != config_.dnsServer)
+                decision.options.push_back(
+                    makeU32Option(ipcp_opt::primary_dns, config_.dnsServer.value()));
+        }
+    }
+    if (!decision.options.empty()) {
+        decision.verdict = ConfigDecision::Verdict::nak;
+        return decision;
+    }
+
+    // Commit peer parameters.
+    for (const Option& option : options) {
+        if (option.type == ipcp_opt::ip_address)
+            result_.peerAddress = net::Ipv4Address{optionU32(option).value_or(0)};
+    }
+    decision.verdict = ConfigDecision::Verdict::ack;
+    return decision;
+}
+
+void Ipcp::onConfigAcked(const std::vector<Option>& options) {
+    for (const Option& option : options) {
+        if (option.type == ipcp_opt::ip_address)
+            result_.localAddress = net::Ipv4Address{optionU32(option).value_or(0)};
+        else if (option.type == ipcp_opt::primary_dns)
+            result_.dnsServer = net::Ipv4Address{optionU32(option).value_or(0)};
+    }
+}
+
+void Ipcp::onConfigNakOrReject(bool isReject, const std::vector<Option>& options) {
+    for (const Option& option : options) {
+        if (option.type == ipcp_opt::ip_address) {
+            if (!isReject) {
+                // The server assigned us an address: adopt it.
+                config_.localAddress = net::Ipv4Address{optionU32(option).value_or(0)};
+            }
+        } else if (option.type == ipcp_opt::primary_dns) {
+            if (isReject)
+                dnsRejected_ = true;
+            else
+                result_.dnsServer = net::Ipv4Address{optionU32(option).value_or(0)};
+        }
+    }
+}
+
+void Ipcp::onThisLayerUp() {
+    if (result_.localAddress.isUnspecified()) result_.localAddress = config_.localAddress;
+    if (onUp) onUp(result_);
+}
+
+void Ipcp::onThisLayerDown() {
+    if (onDown) onDown();
+}
+
+}  // namespace onelab::ppp

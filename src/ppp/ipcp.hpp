@@ -1,0 +1,53 @@
+#pragma once
+
+#include <functional>
+
+#include "net/address.hpp"
+#include "ppp/fsm.hpp"
+
+namespace onelab::ppp {
+
+/// IPCP configuration. The network side (GGSN) owns the address pool
+/// role: it knows its own address and what to assign the peer; the UE
+/// side requests 0.0.0.0 and learns its address via Configure-Nak,
+/// exactly as a dial-up client does.
+struct IpcpConfig {
+    bool isServer = false;
+    net::Ipv4Address localAddress;          ///< 0.0.0.0 on the client
+    net::Ipv4Address addressForPeer;        ///< server: address to assign
+    net::Ipv4Address dnsServer;             ///< server: DNS to hand out
+    bool requestDns = false;                ///< client: ask for DNS
+};
+
+/// Negotiated IP parameters.
+struct IpcpResult {
+    net::Ipv4Address localAddress;
+    net::Ipv4Address peerAddress;
+    net::Ipv4Address dnsServer;
+};
+
+/// IPCP (RFC 1332 subset): IP-Address and Primary-DNS options.
+class Ipcp final : public Fsm {
+  public:
+    Ipcp(sim::Simulator& simulator, IpcpConfig config, Timers timers = {});
+
+    [[nodiscard]] const IpcpResult& result() const noexcept { return result_; }
+
+    std::function<void(const IpcpResult&)> onUp;
+    std::function<void()> onDown;
+
+  protected:
+    std::vector<Option> buildConfigRequest() override;
+    ConfigDecision checkConfigRequest(const std::vector<Option>& options) override;
+    void onConfigAcked(const std::vector<Option>& options) override;
+    void onConfigNakOrReject(bool isReject, const std::vector<Option>& options) override;
+    void onThisLayerUp() override;
+    void onThisLayerDown() override;
+
+  private:
+    IpcpConfig config_;
+    IpcpResult result_;
+    bool dnsRejected_ = false;
+};
+
+}  // namespace onelab::ppp

@@ -1,0 +1,105 @@
+#include "ppp/options.hpp"
+
+#include "util/strings.hpp"
+
+namespace onelab::ppp {
+
+util::Bytes ControlPacket::serialize() const {
+    util::Bytes out;
+    out.reserve(4 + data.size());
+    util::putU8(out, std::uint8_t(code));
+    util::putU8(out, identifier);
+    util::putU16(out, std::uint16_t(4 + data.size()));
+    util::putBytes(out, data);
+    return out;
+}
+
+util::Result<ControlPacket> ControlPacket::parse(util::ByteView info) {
+    util::ByteReader reader{info};
+    ControlPacket pkt;
+    pkt.code = Code{reader.u8()};
+    pkt.identifier = reader.u8();
+    const std::uint16_t length = reader.u16();
+    if (!reader.ok() || length < 4 || info.size() < length)
+        return util::err(util::Error::Code::protocol, "truncated control packet");
+    pkt.data = reader.bytes(length - 4);
+    return pkt;
+}
+
+util::Bytes encodeOptions(const std::vector<Option>& options) {
+    util::Bytes out;
+    for (const Option& option : options) {
+        util::putU8(out, option.type);
+        util::putU8(out, std::uint8_t(option.encodedSize()));
+        util::putBytes(out, option.value);
+    }
+    return out;
+}
+
+util::Result<std::vector<Option>> parseOptions(util::ByteView data) {
+    std::vector<Option> options;
+    std::size_t offset = 0;
+    while (offset < data.size()) {
+        if (data.size() - offset < 2)
+            return util::err(util::Error::Code::protocol, "truncated option header");
+        const std::uint8_t type = data[offset];
+        const std::uint8_t length = data[offset + 1];
+        if (length < 2 || offset + length > data.size())
+            return util::err(util::Error::Code::protocol, "bad option length");
+        Option option;
+        option.type = type;
+        option.value.assign(data.begin() + long(offset + 2), data.begin() + long(offset + length));
+        options.push_back(std::move(option));
+        offset += length;
+    }
+    return options;
+}
+
+Option makeU16Option(std::uint8_t type, std::uint16_t value) {
+    Option option;
+    option.type = type;
+    util::putU16(option.value, value);
+    return option;
+}
+
+Option makeU32Option(std::uint8_t type, std::uint32_t value) {
+    Option option;
+    option.type = type;
+    util::putU32(option.value, value);
+    return option;
+}
+
+std::optional<std::uint16_t> optionU16(const Option& option) {
+    if (option.value.size() != 2) return std::nullopt;
+    return std::uint16_t((option.value[0] << 8) | option.value[1]);
+}
+
+std::optional<std::uint32_t> optionU32(const Option& option) {
+    if (option.value.size() != 4) return std::nullopt;
+    return (std::uint32_t(option.value[0]) << 24) | (std::uint32_t(option.value[1]) << 16) |
+           (std::uint32_t(option.value[2]) << 8) | option.value[3];
+}
+
+std::string describeOption(const Option& option) {
+    return util::format("opt(type=%u len=%zu %s)", option.type, option.value.size(),
+                        util::hexDump(option.value, 8).c_str());
+}
+
+const char* codeName(Code code) noexcept {
+    switch (code) {
+        case Code::configure_request: return "Configure-Request";
+        case Code::configure_ack: return "Configure-Ack";
+        case Code::configure_nak: return "Configure-Nak";
+        case Code::configure_reject: return "Configure-Reject";
+        case Code::terminate_request: return "Terminate-Request";
+        case Code::terminate_ack: return "Terminate-Ack";
+        case Code::code_reject: return "Code-Reject";
+        case Code::protocol_reject: return "Protocol-Reject";
+        case Code::echo_request: return "Echo-Request";
+        case Code::echo_reply: return "Echo-Reply";
+        case Code::discard_request: return "Discard-Request";
+    }
+    return "Unknown";
+}
+
+}  // namespace onelab::ppp

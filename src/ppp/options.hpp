@@ -1,0 +1,83 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "util/bytes.hpp"
+#include "util/result.hpp"
+
+namespace onelab::ppp {
+
+/// Control-protocol packet codes shared by LCP/IPCP/CCP (RFC 1661 §5).
+enum class Code : std::uint8_t {
+    configure_request = 1,
+    configure_ack = 2,
+    configure_nak = 3,
+    configure_reject = 4,
+    terminate_request = 5,
+    terminate_ack = 6,
+    code_reject = 7,
+    protocol_reject = 8,  // LCP only
+    echo_request = 9,     // LCP only
+    echo_reply = 10,      // LCP only
+    discard_request = 11, // LCP only
+};
+
+/// A control-protocol packet: code, identifier, data.
+struct ControlPacket {
+    Code code{};
+    std::uint8_t identifier = 0;
+    util::Bytes data;
+
+    [[nodiscard]] util::Bytes serialize() const;
+    static util::Result<ControlPacket> parse(util::ByteView info);
+};
+
+/// One configuration option in TLV form (type, length, value).
+struct Option {
+    std::uint8_t type = 0;
+    util::Bytes value;
+
+    [[nodiscard]] std::size_t encodedSize() const noexcept { return 2 + value.size(); }
+};
+
+/// Encode a list of options into a packet data field.
+[[nodiscard]] util::Bytes encodeOptions(const std::vector<Option>& options);
+
+/// Parse an options list; protocol error on malformed TLVs.
+util::Result<std::vector<Option>> parseOptions(util::ByteView data);
+
+/// Well-known LCP option types.
+namespace lcp_opt {
+inline constexpr std::uint8_t mru = 1;
+inline constexpr std::uint8_t accm = 2;
+inline constexpr std::uint8_t auth_protocol = 3;
+inline constexpr std::uint8_t magic_number = 5;
+inline constexpr std::uint8_t pfc = 7;
+inline constexpr std::uint8_t acfc = 8;
+}  // namespace lcp_opt
+
+/// Well-known IPCP option types.
+namespace ipcp_opt {
+inline constexpr std::uint8_t ip_address = 3;
+inline constexpr std::uint8_t primary_dns = 129;
+}  // namespace ipcp_opt
+
+/// CCP option types (we implement the deflate-style transform).
+namespace ccp_opt {
+inline constexpr std::uint8_t deflate = 26;
+}
+
+/// Option value helpers.
+[[nodiscard]] Option makeU16Option(std::uint8_t type, std::uint16_t value);
+[[nodiscard]] Option makeU32Option(std::uint8_t type, std::uint32_t value);
+[[nodiscard]] std::optional<std::uint16_t> optionU16(const Option& option);
+[[nodiscard]] std::optional<std::uint32_t> optionU32(const Option& option);
+
+/// Human-readable rendering for logs.
+[[nodiscard]] std::string describeOption(const Option& option);
+[[nodiscard]] const char* codeName(Code code) noexcept;
+
+}  // namespace onelab::ppp

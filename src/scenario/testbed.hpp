@@ -1,0 +1,114 @@
+#pragma once
+
+#include <memory>
+
+#include "modem/cards.hpp"
+#include "net/internet.hpp"
+#include "pl/node_os.hpp"
+#include "umts/network.hpp"
+#include "umtsctl/backend.hpp"
+#include "umtsctl/frontend.hpp"
+
+namespace onelab::scenario {
+
+/// Which UMTS card sits in the Napoli node.
+enum class CardKind { globetrotter, huawei_e620 };
+
+/// Testbed parameters. Defaults reproduce the paper's §3 setup: a
+/// UMTS-equipped PlanetLab node in Napoli, an Ethernet-connected node
+/// at INRIA (Sophia Antipolis), the commercial Italian operator, and a
+/// GEANT-class wired path between the sites.
+struct TestbedConfig {
+    std::uint64_t seed = 42;
+    umts::OperatorProfile operatorProfile = umts::commercialItalianOperator();
+    CardKind card = CardKind::huawei_e620;
+    std::string simPin = "1234";
+    /// PIN the backend's comgt config uses; empty = same as simPin.
+    /// Tests set a wrong value to exercise the misconfiguration path.
+    std::string backendPinOverride;
+
+    sim::SimTime ethTransitOneWay = sim::millis(9);   ///< Napoli <-> INRIA
+    sim::SimTime ggsnTransitOneWay = sim::millis(6);  ///< operator core <-> INRIA
+    double ethJitterStddevMillis = 0.06;
+    double ethAccessRateBps = 100e6;
+
+    std::string umtsSliceName = "unina_umts";
+    std::string otherSliceName = "unina_other";
+    std::string inriaSliceName = "inria_recv";
+
+    /// Enable CCP (deflate-style) on the dial-up link — off by
+    /// default, as in the paper's setup; the compression ablation
+    /// bench turns it on.
+    bool dialerCompression = false;
+
+    /// Extra kernel modules `umts start` must modprobe (tests use this
+    /// to exercise driver-load failures, e.g. the vanilla nozomi).
+    std::vector<std::string> extraRequiredModules;
+};
+
+/// The Private OneLab testbed in miniature: two PlanetLab nodes on the
+/// wired Internet, a UMTS operator network, a data card on the Napoli
+/// node's TTY, and the umts vsys extension installed and ACL'ed. Every
+/// component is the real module; nothing here is a shortcut around the
+/// production code paths.
+class Testbed {
+  public:
+    explicit Testbed(TestbedConfig config = {});
+    ~Testbed();
+
+    Testbed(const Testbed&) = delete;
+    Testbed& operator=(const Testbed&) = delete;
+
+    [[nodiscard]] sim::Simulator& sim() noexcept { return sim_; }
+    [[nodiscard]] net::Internet& internet() noexcept { return *internet_; }
+    [[nodiscard]] umts::UmtsNetwork& operatorNetwork() noexcept { return *operator_; }
+    [[nodiscard]] pl::NodeOs& napoli() noexcept { return *napoli_; }
+    [[nodiscard]] pl::NodeOs& inria() noexcept { return *inria_; }
+    [[nodiscard]] modem::UmtsModem& card() noexcept { return *modem_; }
+    [[nodiscard]] umtsctl::UmtsBackend& backend() noexcept { return *backend_; }
+
+    /// The experiment slice on the Napoli node (in the umts ACL).
+    [[nodiscard]] pl::Slice& umtsSlice() noexcept { return *umtsSlice_; }
+    /// A second slice, NOT entitled to the UMTS interface.
+    [[nodiscard]] pl::Slice& otherSlice() noexcept { return *otherSlice_; }
+    /// Receiver slice on the INRIA node.
+    [[nodiscard]] pl::Slice& inriaSlice() noexcept { return *inriaSlice_; }
+
+    /// Frontend for the umts slice.
+    [[nodiscard]] umtsctl::UmtsFrontend& umtsCommand() noexcept { return *frontend_; }
+
+    [[nodiscard]] net::Ipv4Address napoliEthAddress() const noexcept { return napoliEth_; }
+    [[nodiscard]] net::Ipv4Address inriaEthAddress() const noexcept { return inriaEth_; }
+
+    [[nodiscard]] const TestbedConfig& config() const noexcept { return config_; }
+
+    // --- synchronous drivers (run the simulator until completion) ---
+
+    /// `umts start` + wait. Returns the connection report.
+    util::Result<umtsctl::UmtsReport> startUmts(sim::SimTime timeout = sim::seconds(60.0));
+    /// `umts add destination` + wait.
+    util::Result<void> addUmtsDestination(const std::string& destination,
+                                          sim::SimTime timeout = sim::seconds(5.0));
+    /// `umts stop` + wait.
+    util::Result<void> stopUmts(sim::SimTime timeout = sim::seconds(10.0));
+
+  private:
+    TestbedConfig config_;
+    sim::Simulator sim_;
+    util::RandomStream rng_;
+    std::unique_ptr<net::Internet> internet_;
+    std::unique_ptr<umts::UmtsNetwork> operator_;
+    std::unique_ptr<pl::NodeOs> napoli_;
+    std::unique_ptr<pl::NodeOs> inria_;
+    std::unique_ptr<sim::Pipe> tty_;
+    std::unique_ptr<modem::UmtsModem> modem_;
+    std::unique_ptr<umtsctl::UmtsBackend> backend_;
+    std::unique_ptr<umtsctl::UmtsFrontend> frontend_;
+    pl::Slice* umtsSlice_ = nullptr;
+    pl::Slice* otherSlice_ = nullptr;
+    pl::Slice* inriaSlice_ = nullptr;
+    net::Ipv4Address napoliEth_{143, 225, 229, 10};
+    net::Ipv4Address inriaEth_{138, 96, 250, 20};
+};
+
+}  // namespace onelab::scenario

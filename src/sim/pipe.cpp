@@ -1,0 +1,58 @@
+#include "sim/pipe.hpp"
+
+namespace onelab::sim {
+
+class Pipe::End final : public ByteChannel {
+  public:
+    End(Simulator& simulator, SimTime latency)
+        : sim_(simulator), latency_(latency), alive_(std::make_shared<bool>(true)) {}
+
+    ~End() override { *alive_ = false; }
+
+    void connect(End* peer) { peer_ = peer; }
+
+    void write(util::ByteView data) override {
+        if (!peer_) return;
+        // Copy now; deliver later. FIFO order is guaranteed because
+        // the simulator breaks timestamp ties in scheduling order. The
+        // peer's alive flag guards against delivery after destruction.
+        auto copy = std::make_shared<util::Bytes>(data.begin(), data.end());
+        End* peer = peer_;
+        std::weak_ptr<bool> peerAlive = peer->alive_;
+        sim_.schedule(latency_, [peer, peerAlive, copy] {
+            const auto alive = peerAlive.lock();
+            if (!alive || !*alive) return;
+            // Copy the handler before invoking: handlers may replace
+            // themselves (wvdial hands the TTY from chat to pppd from
+            // within a delivery), and invoking the member directly
+            // would destroy the executing closure.
+            const auto handler = peer->handler_;
+            if (handler) handler(*copy);
+        });
+    }
+
+    void onData(std::function<void(util::ByteView)> handler) override {
+        handler_ = std::move(handler);
+    }
+
+  private:
+    Simulator& sim_;
+    SimTime latency_;
+    std::shared_ptr<bool> alive_;
+    End* peer_ = nullptr;
+    std::function<void(util::ByteView)> handler_;
+};
+
+Pipe::Pipe(Simulator& simulator, SimTime latency)
+    : a_(std::make_unique<End>(simulator, latency)),
+      b_(std::make_unique<End>(simulator, latency)) {
+    a_->connect(b_.get());
+    b_->connect(a_.get());
+}
+
+Pipe::~Pipe() = default;
+
+ByteChannel& Pipe::a() noexcept { return *a_; }
+ByteChannel& Pipe::b() noexcept { return *b_; }
+
+}  // namespace onelab::sim

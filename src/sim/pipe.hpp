@@ -1,0 +1,49 @@
+#pragma once
+
+#include <functional>
+#include <memory>
+
+#include "sim/simulator.hpp"
+#include "util/bytes.hpp"
+
+namespace onelab::sim {
+
+/// One end of a bidirectional byte stream (a TTY, a serial line, the
+/// byte side of a radio bearer). Writes go to the peer; data arriving
+/// from the peer is delivered through the onData callback.
+class ByteChannel {
+  public:
+    virtual ~ByteChannel() = default;
+
+    /// Write bytes toward the peer.
+    virtual void write(util::ByteView data) = 0;
+
+    /// Install the receive callback (bytes arriving from the peer).
+    virtual void onData(std::function<void(util::ByteView)> handler) = 0;
+};
+
+/// An in-memory byte pipe connecting two ByteChannel endpoints.
+/// Deliveries are deferred through the simulator (never re-entrant)
+/// with a configurable per-write latency, and remain FIFO.
+class Pipe {
+  public:
+    /// Create a connected pair. `latency` is the per-write transfer
+    /// delay (a local TTY is effectively instantaneous; leave 0).
+    Pipe(Simulator& simulator, SimTime latency = SimTime{0});
+    ~Pipe();
+
+    Pipe(const Pipe&) = delete;
+    Pipe& operator=(const Pipe&) = delete;
+
+    /// Endpoint A (e.g. the host side of a TTY).
+    [[nodiscard]] ByteChannel& a() noexcept;
+    /// Endpoint B (e.g. the device side of a TTY).
+    [[nodiscard]] ByteChannel& b() noexcept;
+
+  private:
+    class End;
+    std::unique_ptr<End> a_;
+    std::unique_ptr<End> b_;
+};
+
+}  // namespace onelab::sim

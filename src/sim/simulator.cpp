@@ -1,0 +1,77 @@
+#include "sim/simulator.hpp"
+
+#include <algorithm>
+
+#include "util/logging.hpp"
+#include "util/strings.hpp"
+
+namespace onelab::sim {
+
+EventHandle Simulator::schedule(SimTime delay, std::function<void()> action) {
+    return scheduleAt(now_ + std::max(SimTime{0}, delay), std::move(action));
+}
+
+EventHandle Simulator::scheduleAt(SimTime when, std::function<void()> action) {
+    const std::uint64_t sequence = nextSequence_++;
+    queue_.push(Event{std::max(when, now_), sequence, std::move(action)});
+    pending_.insert(sequence);
+    return EventHandle{sequence};
+}
+
+bool Simulator::cancel(EventHandle handle) {
+    if (!handle.valid()) return false;
+    // Lazy cancellation: remove the id from the pending set; the event
+    // body is discarded when it reaches the head of the queue.
+    return pending_.erase(handle.id()) > 0;
+}
+
+bool Simulator::popNext(Event& out) {
+    while (!queue_.empty()) {
+        Event event = std::move(const_cast<Event&>(queue_.top()));
+        queue_.pop();
+        if (pending_.erase(event.sequence) == 0) continue;  // was cancelled
+        out = std::move(event);
+        return true;
+    }
+    return false;
+}
+
+std::size_t Simulator::runUntil(SimTime until) {
+    std::size_t ran = 0;
+    Event event;
+    while (!queue_.empty()) {
+        if (queue_.top().when > until) break;
+        if (!popNext(event)) break;
+        now_ = event.when;
+        ++executed_;
+        ++ran;
+        event.action();
+    }
+    // Advance the clock to the horizon even if the queue drained early,
+    // so successive runUntil calls observe monotonic time.
+    now_ = std::max(now_, until);
+    return ran;
+}
+
+std::size_t Simulator::run() {
+    std::size_t ran = 0;
+    Event event;
+    while (popNext(event)) {
+        now_ = event.when;
+        ++executed_;
+        ++ran;
+        event.action();
+    }
+    return ran;
+}
+
+void Simulator::clear() {
+    queue_ = {};
+    pending_.clear();
+}
+
+void Simulator::attachLogClock() {
+    util::LogConfig::instance().setClock([this] { return std::int64_t(now_.count()); });
+}
+
+}  // namespace onelab::sim

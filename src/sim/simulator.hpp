@@ -1,0 +1,88 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace onelab::sim {
+
+/// Handle returned by Simulator::schedule; can cancel a pending event.
+class EventHandle {
+  public:
+    EventHandle() = default;
+
+    [[nodiscard]] bool valid() const noexcept { return id_ != 0; }
+    [[nodiscard]] std::uint64_t id() const noexcept { return id_; }
+
+  private:
+    friend class Simulator;
+    explicit EventHandle(std::uint64_t id) : id_(id) {}
+    std::uint64_t id_ = 0;
+};
+
+/// Single-threaded discrete-event simulator. Events at the same
+/// timestamp fire in scheduling order (FIFO tie-break), which keeps
+/// runs deterministic.
+class Simulator {
+  public:
+    Simulator() = default;
+    Simulator(const Simulator&) = delete;
+    Simulator& operator=(const Simulator&) = delete;
+
+    /// Current simulated time.
+    [[nodiscard]] SimTime now() const noexcept { return now_; }
+
+    /// Schedule `action` to run `delay` after now (delay clamped to >= 0).
+    EventHandle schedule(SimTime delay, std::function<void()> action);
+
+    /// Schedule at an absolute simulated time (clamped to >= now).
+    EventHandle scheduleAt(SimTime when, std::function<void()> action);
+
+    /// Cancel a pending event; returns true if it was still pending.
+    bool cancel(EventHandle handle);
+
+    /// Run until the event queue drains or `until` is reached. Events
+    /// scheduled exactly at `until` do run. Returns the number of
+    /// events executed.
+    std::size_t runUntil(SimTime until);
+
+    /// Run until the queue drains completely.
+    std::size_t run();
+
+    /// Drop every pending event (used between experiment repetitions).
+    void clear();
+
+    [[nodiscard]] std::size_t pendingEvents() const noexcept { return pending_.size(); }
+    [[nodiscard]] std::uint64_t executedEvents() const noexcept { return executed_; }
+
+    /// Install this simulator as the process-wide log clock so log
+    /// lines carry simulated time.
+    void attachLogClock();
+
+  private:
+    struct Event {
+        SimTime when;
+        std::uint64_t sequence;  ///< FIFO tie-break and cancel id
+        std::function<void()> action;
+    };
+    struct Later {
+        bool operator()(const Event& a, const Event& b) const noexcept {
+            if (a.when != b.when) return a.when > b.when;
+            return a.sequence > b.sequence;
+        }
+    };
+
+    bool popNext(Event& out);
+
+    std::priority_queue<Event, std::vector<Event>, Later> queue_;
+    std::unordered_set<std::uint64_t> pending_;  ///< ids scheduled and not yet fired/cancelled
+    SimTime now_{0};
+    std::uint64_t nextSequence_ = 1;
+    std::uint64_t executed_ = 0;
+};
+
+}  // namespace onelab::sim

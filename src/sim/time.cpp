@@ -1,0 +1,15 @@
+#include "sim/time.hpp"
+
+#include "util/strings.hpp"
+
+namespace onelab::sim {
+
+std::string formatTime(SimTime t) {
+    const double ns = double(t.count());
+    if (ns < 1e3) return util::format("%.0fns", ns);
+    if (ns < 1e6) return util::format("%.3fus", ns / 1e3);
+    if (ns < 1e9) return util::format("%.3fms", ns / 1e6);
+    return util::format("%.3fs", ns / 1e9);
+}
+
+}  // namespace onelab::sim

@@ -1,0 +1,37 @@
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+
+namespace onelab::sim {
+
+/// Simulated time is a nanosecond count from simulation start.
+using SimTime = std::chrono::nanoseconds;
+
+using namespace std::chrono_literals;
+
+/// Convenience constructors from floating-point seconds/milliseconds.
+[[nodiscard]] constexpr SimTime seconds(double s) {
+    return SimTime{std::int64_t(s * 1e9)};
+}
+[[nodiscard]] constexpr SimTime millis(double ms) {
+    return SimTime{std::int64_t(ms * 1e6)};
+}
+[[nodiscard]] constexpr SimTime micros(double us) {
+    return SimTime{std::int64_t(us * 1e3)};
+}
+
+/// Conversions to floating point.
+[[nodiscard]] constexpr double toSeconds(SimTime t) noexcept { return double(t.count()) / 1e9; }
+[[nodiscard]] constexpr double toMillis(SimTime t) noexcept { return double(t.count()) / 1e6; }
+
+/// Serialization delay of `bytes` at `bitsPerSecond`.
+[[nodiscard]] constexpr SimTime transmissionTime(std::size_t bytes, double bitsPerSecond) {
+    return SimTime{std::int64_t(double(bytes) * 8.0 / bitsPerSecond * 1e9)};
+}
+
+/// Human-readable rendering ("12.345ms", "3.2s").
+[[nodiscard]] std::string formatTime(SimTime t);
+
+}  // namespace onelab::sim

@@ -1,0 +1,70 @@
+#pragma once
+
+#include <deque>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "sim/pipe.hpp"
+#include "sim/simulator.hpp"
+#include "util/logging.hpp"
+#include "util/result.hpp"
+
+namespace onelab::tools {
+
+/// Response to one chat command: informational lines plus the final
+/// result code ("OK", "ERROR", "CONNECT 3600000", "NO CARRIER",
+/// "+CME ERROR: ...").
+struct ChatResponse {
+    std::vector<std::string> lines;
+    std::string finalCode;
+
+    [[nodiscard]] bool ok() const noexcept { return finalCode == "OK"; }
+    [[nodiscard]] bool connected() const noexcept {
+        return finalCode.rfind("CONNECT", 0) == 0;
+    }
+};
+
+/// Minimal expect/send chat engine over a modem TTY — the common core
+/// of comgt and wvdial. One command outstanding at a time; echoed
+/// command text and unsolicited reports (^RSSI: ...) are filtered out.
+class AtChat {
+  public:
+    AtChat(sim::Simulator& simulator, sim::ByteChannel& tty, std::string logTag);
+    ~AtChat();
+
+    using Callback = std::function<void(util::Result<ChatResponse>)>;
+
+    /// Send `command` (CR appended) and collect the response until a
+    /// final result code or the timeout.
+    void send(const std::string& command, sim::SimTime timeout, Callback done);
+
+    /// Give up the TTY (wvdial hands it to pppd after CONNECT). The
+    /// chat stops listening; a pending command is failed.
+    void release();
+
+    /// Lines that arrive outside any command (unsolicited codes).
+    std::function<void(const std::string&)> onUnsolicited;
+
+  private:
+    void onData(util::ByteView data);
+    void onLine(const std::string& line);
+    void finish(util::Result<ChatResponse> result);
+    [[nodiscard]] static bool isFinalCode(const std::string& line);
+
+    sim::Simulator& sim_;
+    sim::ByteChannel& tty_;
+    util::Logger log_;
+    /// Completion callbacks may destroy this AtChat (wvdial replaces
+    /// it with pppd on CONNECT); onData checks this guard after every
+    /// line before touching members again.
+    std::shared_ptr<bool> alive_ = std::make_shared<bool>(true);
+    std::string buffer_;
+    bool pending_ = false;
+    std::string sentCommand_;
+    ChatResponse current_;
+    Callback callback_;
+    sim::EventHandle timeout_;
+};
+
+}  // namespace onelab::tools

@@ -1,0 +1,131 @@
+#include "tools/comgt.hpp"
+
+#include "util/strings.hpp"
+
+namespace onelab::tools {
+
+Comgt::Comgt(sim::Simulator& simulator, sim::ByteChannel& tty, ComgtConfig config)
+    : sim_(simulator), config_(std::move(config)), chat_(simulator, tty, "comgt") {}
+
+void Comgt::run(std::function<void(util::Result<ComgtReport>)> done) {
+    done_ = std::move(done);
+    report_ = ComgtReport{};
+    initSequence_ = {"ATZ", "ATE0"};
+    for (const std::string& extra : config_.extraInit) initSequence_.push_back(extra);
+    step(0);
+}
+
+void Comgt::fail(util::Error error) {
+    log_.warn() << "registration failed: " << error.message;
+    if (done_) {
+        auto done = std::move(done_);
+        done_ = nullptr;
+        done(std::move(error));
+    }
+}
+
+void Comgt::step(std::size_t index) {
+    if (index >= initSequence_.size()) {
+        checkPin();
+        return;
+    }
+    chat_.send(initSequence_[index], config_.commandTimeout,
+               [this, index](util::Result<ChatResponse> response) {
+                   if (!response.ok()) return fail(response.error());
+                   if (!response.value().ok())
+                       return fail(util::err(util::Error::Code::io,
+                                             "init '" + initSequence_[index] + "' -> " +
+                                                 response.value().finalCode));
+                   step(index + 1);
+               });
+}
+
+void Comgt::checkPin() {
+    chat_.send("AT+CPIN?", config_.commandTimeout, [this](util::Result<ChatResponse> response) {
+        if (!response.ok()) return fail(response.error());
+        std::string status;
+        for (const std::string& line : response.value().lines)
+            if (util::startsWith(line, "+CPIN:")) status = util::trim(line.substr(6));
+        if (status == "READY") {
+            pollRegistration(sim_.now() + config_.registrationTimeout);
+            return;
+        }
+        if (status == "SIM PIN") {
+            if (config_.pin.empty())
+                return fail(util::err(util::Error::Code::state, "SIM requires a PIN"));
+            chat_.send("AT+CPIN=\"" + config_.pin + "\"", config_.commandTimeout,
+                       [this](util::Result<ChatResponse> pinResponse) {
+                           if (!pinResponse.ok()) return fail(pinResponse.error());
+                           if (!pinResponse.value().ok())
+                               return fail(util::err(util::Error::Code::permission_denied,
+                                                     "PIN rejected: " +
+                                                         pinResponse.value().finalCode));
+                           report_.enteredPin = true;
+                           pollRegistration(sim_.now() + config_.registrationTimeout);
+                       });
+            return;
+        }
+        fail(util::err(util::Error::Code::state, "SIM state '" + status + "'"));
+    });
+}
+
+void Comgt::pollRegistration(sim::SimTime deadline) {
+    chat_.send("AT+CREG?", config_.commandTimeout,
+               [this, deadline](util::Result<ChatResponse> response) {
+                   if (!response.ok()) return fail(response.error());
+                   int stat = -1;
+                   for (const std::string& line : response.value().lines) {
+                       if (!util::startsWith(line, "+CREG:")) continue;
+                       const auto parts = util::split(line.substr(6), ',');
+                       if (parts.size() >= 2) {
+                           const auto parsed = util::parseInt(parts[1]);
+                           if (parsed.ok()) stat = int(parsed.value());
+                       }
+                   }
+                   if (stat == 1 || stat == 5) {
+                       log_.info() << "registered (CREG=" << stat << ")";
+                       queryOperator();
+                       return;
+                   }
+                   if (stat == 3)
+                       return fail(
+                           util::err(util::Error::Code::permission_denied, "registration denied"));
+                   if (sim_.now() >= deadline)
+                       return fail(util::err(util::Error::Code::timeout,
+                                             "network registration timed out"));
+                   sim_.schedule(config_.registrationPollInterval,
+                                 [this, deadline] { pollRegistration(deadline); });
+               });
+}
+
+void Comgt::queryOperator() {
+    chat_.send("AT+COPS?", config_.commandTimeout, [this](util::Result<ChatResponse> response) {
+        if (response.ok()) {
+            for (const std::string& line : response.value().lines) {
+                const auto quoteStart = line.find('"');
+                const auto quoteEnd = line.rfind('"');
+                if (quoteStart != std::string::npos && quoteEnd > quoteStart)
+                    report_.operatorName = line.substr(quoteStart + 1, quoteEnd - quoteStart - 1);
+            }
+        }
+        chat_.send("AT+CSQ", config_.commandTimeout, [this](util::Result<ChatResponse> csq) {
+            if (csq.ok()) {
+                for (const std::string& line : csq.value().lines) {
+                    if (!util::startsWith(line, "+CSQ:")) continue;
+                    const auto parts = util::split(line.substr(5), ',');
+                    const auto parsed = util::parseInt(parts[0]);
+                    if (parsed.ok()) report_.signalQuality = int(parsed.value());
+                }
+            }
+            log_.info() << "operator='" << report_.operatorName
+                        << "' csq=" << report_.signalQuality;
+            if (done_) {
+                auto done = std::move(done_);
+                done_ = nullptr;
+                done(ComgtReport{report_});
+            }
+        });
+    });
+}
+
+}  // namespace onelab::tools

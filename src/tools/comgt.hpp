@@ -1,0 +1,55 @@
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "tools/chat.hpp"
+
+namespace onelab::tools {
+
+/// What a successful registration run reports.
+struct ComgtReport {
+    std::string operatorName;
+    int signalQuality = 0;  ///< AT+CSQ value (0..31)
+    bool enteredPin = false;
+};
+
+/// comgt configuration. `extraInit` carries the card-specific init
+/// strings (e.g. "AT_OPSYS=3" for the Globetrotter, "AT^CURC=0" for
+/// the Huawei E620).
+struct ComgtConfig {
+    std::string pin;
+    std::vector<std::string> extraInit;
+    sim::SimTime commandTimeout = sim::seconds(5.0);
+    sim::SimTime registrationTimeout = sim::seconds(30.0);
+    sim::SimTime registrationPollInterval = sim::seconds(1.0);
+};
+
+/// Scripted network-registration tool in the mould of `comgt` (§2.3):
+/// resets the modem, unlocks the SIM when needed, and polls AT+CREG?
+/// until the card registers, then reports operator and signal quality.
+class Comgt {
+  public:
+    Comgt(sim::Simulator& simulator, sim::ByteChannel& tty, ComgtConfig config);
+
+    /// Run the registration script; asynchronous, fires `done` once.
+    void run(std::function<void(util::Result<ComgtReport>)> done);
+
+  private:
+    void step(std::size_t index);
+    void checkPin();
+    void pollRegistration(sim::SimTime deadline);
+    void queryOperator();
+    void fail(util::Error error);
+
+    sim::Simulator& sim_;
+    ComgtConfig config_;
+    AtChat chat_;
+    util::Logger log_{"tools.comgt"};
+    std::function<void(util::Result<ComgtReport>)> done_;
+    ComgtReport report_;
+    std::vector<std::string> initSequence_;
+};
+
+}  // namespace onelab::tools

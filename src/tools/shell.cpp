@@ -1,0 +1,424 @@
+#include "tools/shell.hpp"
+
+#include <sstream>
+
+#include "util/strings.hpp"
+
+namespace onelab::tools {
+
+namespace {
+
+using util::Error;
+using util::Result;
+using util::err;
+
+Result<std::uint32_t> parseMark(const std::string& text) {
+    std::string body = text;
+    int base = 10;
+    if (util::startsWith(body, "0x") || util::startsWith(body, "0X")) {
+        body = body.substr(2);
+        base = 16;
+    }
+    try {
+        return std::uint32_t(std::stoul(body, nullptr, base));
+    } catch (const std::exception&) {
+        return err(Error::Code::invalid_argument, "bad mark '" + text + "'");
+    }
+}
+
+/// Cursor over argv with convenience accessors.
+class Args {
+  public:
+    explicit Args(const std::vector<std::string>& argv, std::size_t start)
+        : argv_(argv), index_(start) {}
+
+    [[nodiscard]] bool done() const noexcept { return index_ >= argv_.size(); }
+    [[nodiscard]] const std::string& peek() const { return argv_[index_]; }
+    const std::string& next() { return argv_[index_++]; }
+    Result<std::string> expect(const std::string& what) {
+        if (done()) return err(Error::Code::invalid_argument, "missing " + what);
+        return argv_[index_++];
+    }
+
+  private:
+    const std::vector<std::string>& argv_;
+    std::size_t index_;
+};
+
+}  // namespace
+
+Result<std::string> RootShell::exec(const std::string& commandLine) {
+    const std::vector<std::string> argv = util::splitWhitespace(commandLine);
+    if (argv.empty()) return err(Error::Code::invalid_argument, "empty command");
+    if (argv[0] == "ip") return execIp(argv);
+    if (argv[0] == "iptables") return execIptables(argv);
+    if (argv[0] == "ifconfig") return execIfconfig(argv);
+    const auto external = external_.find(argv[0]);
+    if (external != external_.end()) return external->second(argv);
+    return err(Error::Code::not_found, "unknown command '" + argv[0] + "'");
+}
+
+Result<std::string> RootShell::execIp(const std::vector<std::string>& argv) {
+    if (argv.size() < 2) return err(Error::Code::invalid_argument, "ip: missing object");
+    if (argv[1] == "rule") return execIpRule(argv);
+    if (argv[1] == "route") return execIpRoute(argv);
+    return err(Error::Code::invalid_argument, "ip: unknown object '" + argv[1] + "'");
+}
+
+Result<std::string> RootShell::execIpRule(const std::vector<std::string>& argv) {
+    if (argv.size() < 3) return err(Error::Code::invalid_argument, "ip rule: missing verb");
+    const std::string& verb = argv[2];
+
+    if (verb == "list" || verb == "show") {
+        std::ostringstream out;
+        for (const net::PolicyRule& rule : stack_.router().rules())
+            out << rule.describe() << '\n';
+        return out.str();
+    }
+
+    if (verb != "add" && verb != "del")
+        return err(Error::Code::invalid_argument, "ip rule: unknown verb '" + verb + "'");
+
+    net::PolicyRule rule;
+    bool havePrio = false;
+    bool haveTable = false;
+    Args args{argv, 3};
+    while (!args.done()) {
+        const std::string key = args.next();
+        if (key == "prio" || key == "priority" || key == "pref") {
+            auto value = args.expect("priority");
+            if (!value.ok()) return value.error();
+            auto parsed = util::parseInt(value.value());
+            if (!parsed.ok()) return parsed.error();
+            rule.priority = int(parsed.value());
+            havePrio = true;
+        } else if (key == "fwmark") {
+            auto value = args.expect("fwmark");
+            if (!value.ok()) return value.error();
+            auto mark = parseMark(value.value());
+            if (!mark.ok()) return mark.error();
+            rule.fwmark = mark.value();
+        } else if (key == "from") {
+            auto value = args.expect("source prefix");
+            if (!value.ok()) return value.error();
+            if (value.value() != "all") {
+                auto prefix = net::Prefix::parse(value.value());
+                if (!prefix.ok()) return prefix.error();
+                rule.srcSelector = prefix.value();
+            }
+        } else if (key == "to") {
+            auto value = args.expect("destination prefix");
+            if (!value.ok()) return value.error();
+            auto prefix = net::Prefix::parse(value.value());
+            if (!prefix.ok()) return prefix.error();
+            rule.dstSelector = prefix.value();
+        } else if (key == "lookup" || key == "table") {
+            auto value = args.expect("table id");
+            if (!value.ok()) return value.error();
+            auto parsed = util::parseInt(value.value());
+            if (!parsed.ok()) return parsed.error();
+            rule.tableId = int(parsed.value());
+            haveTable = true;
+        } else {
+            return err(Error::Code::invalid_argument, "ip rule: unknown key '" + key + "'");
+        }
+    }
+    if (!havePrio) return err(Error::Code::invalid_argument, "ip rule: prio required");
+    if (!haveTable) return err(Error::Code::invalid_argument, "ip rule: lookup required");
+
+    if (verb == "add") {
+        stack_.router().addRule(rule);
+        return std::string{};
+    }
+    const std::size_t removed = stack_.router().delRule(rule);
+    if (removed == 0) return err(Error::Code::not_found, "ip rule del: no match");
+    return std::string{};
+}
+
+Result<std::string> RootShell::execIpRoute(const std::vector<std::string>& argv) {
+    if (argv.size() < 3) return err(Error::Code::invalid_argument, "ip route: missing verb");
+    const std::string& verb = argv[2];
+
+    if (verb == "flush") {
+        if (argv.size() != 5 || argv[3] != "table")
+            return err(Error::Code::invalid_argument, "usage: ip route flush table N");
+        auto table = util::parseInt(argv[4]);
+        if (!table.ok()) return table.error();
+        stack_.router().table(int(table.value())).clear();
+        stack_.router().dropTable(int(table.value()));
+        return std::string{};
+    }
+
+    if (verb == "list" || verb == "show") {
+        int tableId = net::PolicyRouter::kMainTable;
+        if (argv.size() >= 5 && argv[3] == "table") {
+            auto parsed = util::parseInt(argv[4]);
+            if (!parsed.ok()) return parsed.error();
+            tableId = int(parsed.value());
+        }
+        const net::RoutingTable* table = stack_.router().findTable(tableId);
+        if (!table) return err(Error::Code::not_found, "no such table");
+        std::ostringstream out;
+        for (const net::Route& route : table->routes()) out << route.describe() << '\n';
+        return out.str();
+    }
+
+    if (verb != "add" && verb != "del")
+        return err(Error::Code::invalid_argument, "ip route: unknown verb '" + verb + "'");
+
+    Args args{argv, 3};
+    auto dstText = args.expect("destination");
+    if (!dstText.ok()) return dstText.error();
+    net::Prefix dst = net::Prefix::any();
+    if (dstText.value() != "default") {
+        auto parsed = net::Prefix::parse(dstText.value());
+        if (!parsed.ok()) return parsed.error();
+        dst = parsed.value();
+    }
+
+    net::Route route;
+    route.dst = dst;
+    int tableId = net::PolicyRouter::kMainTable;
+    while (!args.done()) {
+        const std::string key = args.next();
+        if (key == "dev") {
+            auto value = args.expect("device");
+            if (!value.ok()) return value.error();
+            route.oifName = value.value();
+        } else if (key == "via") {
+            auto value = args.expect("gateway");
+            if (!value.ok()) return value.error();
+            auto addr = net::Ipv4Address::parse(value.value());
+            if (!addr.ok()) return addr.error();
+            route.gateway = addr.value();
+        } else if (key == "table") {
+            auto value = args.expect("table id");
+            if (!value.ok()) return value.error();
+            auto parsed = util::parseInt(value.value());
+            if (!parsed.ok()) return parsed.error();
+            tableId = int(parsed.value());
+        } else if (key == "metric") {
+            auto value = args.expect("metric");
+            if (!value.ok()) return value.error();
+            auto parsed = util::parseInt(value.value());
+            if (!parsed.ok()) return parsed.error();
+            route.metric = int(parsed.value());
+        } else {
+            return err(Error::Code::invalid_argument, "ip route: unknown key '" + key + "'");
+        }
+    }
+
+    if (verb == "add") {
+        if (route.oifName.empty())
+            return err(Error::Code::invalid_argument, "ip route add: dev required");
+        stack_.router().table(tableId).addRoute(route);
+        return std::string{};
+    }
+    const std::size_t removed = stack_.router().table(tableId).delRoute(dst, route.oifName);
+    if (removed == 0) return err(Error::Code::not_found, "ip route del: no match");
+    return std::string{};
+}
+
+Result<std::string> RootShell::execIptables(const std::vector<std::string>& argv) {
+    bool mangle = false;
+    std::string action;
+    std::string chainName;
+    net::FilterRule rule;
+    std::string targetName;
+
+    Args args{argv, 1};
+    while (!args.done()) {
+        const std::string key = args.next();
+        if (key == "-t") {
+            auto value = args.expect("table");
+            if (!value.ok()) return value.error();
+            if (value.value() == "mangle")
+                mangle = true;
+            else if (value.value() != "filter")
+                return err(Error::Code::invalid_argument,
+                           "iptables: unsupported table '" + value.value() + "'");
+        } else if (key == "-A" || key == "-I" || key == "-D" || key == "-F") {
+            action = key;
+            if (key == "-F" && args.done()) {
+                chainName = "";  // flush all
+            } else if (!args.done()) {
+                chainName = args.next();
+            } else if (key != "-F") {
+                return err(Error::Code::invalid_argument, "iptables: missing chain");
+            }
+        } else if (key == "-L") {
+            action = "-L";
+        } else if (key == "-m") {
+            auto value = args.expect("match name");
+            if (!value.ok()) return value.error();
+            if (value.value() == "slice") {
+                bool negate = false;
+                auto flag = args.expect("--xid");
+                if (!flag.ok()) return flag.error();
+                std::string flagValue = flag.value();
+                if (flagValue == "!") {
+                    negate = true;
+                    auto next = args.expect("--xid");
+                    if (!next.ok()) return next.error();
+                    flagValue = next.value();
+                }
+                if (flagValue != "--xid")
+                    return err(Error::Code::invalid_argument, "iptables: expected --xid");
+                auto xid = args.expect("xid value");
+                if (!xid.ok()) return xid.error();
+                auto parsed = util::parseInt(xid.value());
+                if (!parsed.ok()) return parsed.error();
+                rule.match.sliceXid = int(parsed.value());
+                rule.match.negateSlice = negate;
+            } else if (value.value() == "mark") {
+                auto flag = args.expect("--mark");
+                if (!flag.ok()) return flag.error();
+                if (flag.value() != "--mark")
+                    return err(Error::Code::invalid_argument, "iptables: expected --mark");
+                auto markText = args.expect("mark value");
+                if (!markText.ok()) return markText.error();
+                auto mark = parseMark(markText.value());
+                if (!mark.ok()) return mark.error();
+                rule.match.fwmark = mark.value();
+            } else {
+                return err(Error::Code::invalid_argument,
+                           "iptables: unsupported match '" + value.value() + "'");
+            }
+        } else if (key == "-o") {
+            auto value = args.expect("out interface");
+            if (!value.ok()) return value.error();
+            rule.match.outInterface = value.value();
+        } else if (key == "-s" || key == "-d") {
+            auto value = args.expect("prefix");
+            if (!value.ok()) return value.error();
+            auto prefix = net::Prefix::parse(value.value());
+            if (!prefix.ok()) return prefix.error();
+            if (key == "-s")
+                rule.match.src = prefix.value();
+            else
+                rule.match.dst = prefix.value();
+        } else if (key == "-p") {
+            auto value = args.expect("protocol");
+            if (!value.ok()) return value.error();
+            if (value.value() == "udp")
+                rule.match.protocol = net::IpProto::udp;
+            else if (value.value() == "icmp")
+                rule.match.protocol = net::IpProto::icmp;
+            else
+                return err(Error::Code::invalid_argument,
+                           "iptables: unknown protocol '" + value.value() + "'");
+        } else if (key == "-j") {
+            auto value = args.expect("target");
+            if (!value.ok()) return value.error();
+            targetName = value.value();
+            if (targetName == "ACCEPT") {
+                rule.target.kind = net::FilterTarget::Kind::accept;
+            } else if (targetName == "DROP") {
+                rule.target.kind = net::FilterTarget::Kind::drop;
+            } else if (targetName == "MARK") {
+                auto flag = args.expect("--set-mark");
+                if (!flag.ok()) return flag.error();
+                if (flag.value() != "--set-mark")
+                    return err(Error::Code::invalid_argument, "iptables: expected --set-mark");
+                auto markText = args.expect("mark value");
+                if (!markText.ok()) return markText.error();
+                auto mark = parseMark(markText.value());
+                if (!mark.ok()) return mark.error();
+                rule.target.kind = net::FilterTarget::Kind::mark;
+                rule.target.markValue = mark.value();
+            } else {
+                return err(Error::Code::invalid_argument,
+                           "iptables: unknown target '" + targetName + "'");
+            }
+        } else if (key == "--comment") {
+            auto value = args.expect("comment");
+            if (!value.ok()) return value.error();
+            rule.comment = value.value();
+        } else {
+            return err(Error::Code::invalid_argument, "iptables: unknown flag '" + key + "'");
+        }
+    }
+
+    auto resolveChain = [&](const std::string& name) -> Result<net::ChainHook> {
+        if (name == "OUTPUT")
+            return mangle ? net::ChainHook::mangle_output : net::ChainHook::filter_output;
+        if (name == "INPUT") return net::ChainHook::input;
+        return err(Error::Code::invalid_argument, "iptables: unknown chain '" + name + "'");
+    };
+
+    if (action == "-L") {
+        std::ostringstream out;
+        for (const net::ChainHook hook :
+             {net::ChainHook::mangle_output, net::ChainHook::filter_output,
+              net::ChainHook::input}) {
+            out << "Chain " << net::chainName(hook) << '\n';
+            for (const auto& [id, installed] : stack_.netfilter().listChain(hook))
+                out << "  [" << id << "] " << installed.match.describe() << " -j "
+                    << installed.target.describe() << " (" << installed.packets << " pkts)\n";
+        }
+        return out.str();
+    }
+
+    if (action == "-F") {
+        if (chainName.empty()) {
+            for (const net::ChainHook hook :
+                 {net::ChainHook::mangle_output, net::ChainHook::filter_output,
+                  net::ChainHook::input})
+                stack_.netfilter().flush(hook);
+            return std::string{};
+        }
+        auto hook = resolveChain(chainName);
+        if (!hook.ok()) return hook.error();
+        stack_.netfilter().flush(hook.value());
+        return std::string{};
+    }
+
+    if (action.empty() || chainName.empty())
+        return err(Error::Code::invalid_argument, "iptables: no action");
+    auto hook = resolveChain(chainName);
+    if (!hook.ok()) return hook.error();
+
+    if (action == "-A" || action == "-I") {
+        if (targetName.empty())
+            return err(Error::Code::invalid_argument, "iptables: -j required");
+        const std::uint64_t id = action == "-A"
+                                     ? stack_.netfilter().append(hook.value(), rule)
+                                     : stack_.netfilter().insert(hook.value(), rule);
+        return "rule " + std::to_string(id) + "\n";
+    }
+
+    // -D: delete first rule with identical match + target.
+    for (const auto& [id, installed] : stack_.netfilter().listChain(hook.value())) {
+        const bool sameMatch = installed.match.sliceXid == rule.match.sliceXid &&
+                               installed.match.negateSlice == rule.match.negateSlice &&
+                               installed.match.fwmark == rule.match.fwmark &&
+                               installed.match.outInterface == rule.match.outInterface &&
+                               installed.match.src == rule.match.src &&
+                               installed.match.dst == rule.match.dst &&
+                               installed.match.protocol == rule.match.protocol;
+        const bool sameTarget = installed.target.kind == rule.target.kind &&
+                                installed.target.markValue == rule.target.markValue;
+        if (sameMatch && sameTarget) {
+            auto removed = stack_.netfilter().deleteRule(id);
+            if (!removed.ok()) return removed.error();
+            return std::string{};
+        }
+    }
+    return err(Error::Code::not_found, "iptables -D: no matching rule");
+}
+
+Result<std::string> RootShell::execIfconfig(const std::vector<std::string>& argv) {
+    (void)argv;
+    std::ostringstream out;
+    for (const std::string& name : stack_.interfaceNames()) {
+        net::Interface* iface = stack_.findInterface(name);
+        out << name << ": " << (iface->isUp() ? "UP" : "DOWN")
+            << " inet " << iface->address().str();
+        if (iface->peerAddress()) out << " peer " << iface->peerAddress()->str();
+        out << " mtu " << iface->mtu() << " txp " << iface->counters().txPackets << " rxp "
+            << iface->counters().rxPackets << '\n';
+    }
+    return out.str();
+}
+
+}  // namespace onelab::tools

@@ -1,0 +1,68 @@
+#pragma once
+
+#include <functional>
+#include <map>
+#include <string>
+
+#include "net/stack.hpp"
+#include "util/result.hpp"
+
+namespace onelab::tools {
+
+/// Command-line front door to a node's networking state, mimicking the
+/// user-space tools the umts backend runs in the root context (§2.3):
+/// `ip rule`, `ip route`, `iptables` and `ifconfig`. Only code holding
+/// a reference to this shell can mutate the stack — the PlanetLab
+/// privilege model hands it exclusively to the root context (vsys
+/// backends), never to slices.
+///
+/// Supported grammar (subset sufficient for the paper's setup):
+///   ip rule add prio N [fwmark M] [from PFX] [to PFX] lookup TABLE
+///   ip rule del prio N [fwmark M] [from PFX] [to PFX] lookup TABLE
+///   ip rule list
+///   ip route add (default|PFX) dev IF [via ADDR] [table N] [metric N]
+///   ip route del (default|PFX) dev IF [table N]
+///   ip route flush table N
+///   ip route list [table N]
+///   iptables [-t mangle] -A|-I CHAIN [matches] -j TARGET
+///   iptables [-t mangle] -D CHAIN [matches] -j TARGET
+///   iptables [-t mangle] -F [CHAIN]
+///   iptables -L
+///   ifconfig
+///
+///   matches: -m slice --xid N | -m slice ! --xid N | -m mark --mark M
+///            -o IFACE | -s PFX | -d PFX | -p udp|icmp
+///   targets: ACCEPT | DROP | MARK --set-mark M
+///   chains:  OUTPUT (filter), OUTPUT -t mangle, INPUT
+///
+/// With a module registry attached (NodeOs does this), also:
+///   modprobe NAME | rmmod NAME | lsmod
+class RootShell {
+  public:
+    /// Handler for a command family not implemented by the shell
+    /// itself (modprobe/rmmod/lsmod are installed by NodeOs).
+    using ExternalCommand =
+        std::function<util::Result<std::string>(const std::vector<std::string>& argv)>;
+
+    explicit RootShell(net::NetworkStack& stack) : stack_(stack) {}
+
+    /// Register an external command by its argv[0].
+    void installCommand(const std::string& name, ExternalCommand handler) {
+        external_[name] = std::move(handler);
+    }
+
+    /// Execute one command line; returns its stdout or an error.
+    util::Result<std::string> exec(const std::string& commandLine);
+
+  private:
+    util::Result<std::string> execIp(const std::vector<std::string>& argv);
+    util::Result<std::string> execIpRule(const std::vector<std::string>& argv);
+    util::Result<std::string> execIpRoute(const std::vector<std::string>& argv);
+    util::Result<std::string> execIptables(const std::vector<std::string>& argv);
+    util::Result<std::string> execIfconfig(const std::vector<std::string>& argv);
+
+    net::NetworkStack& stack_;
+    std::map<std::string, ExternalCommand> external_;
+};
+
+}  // namespace onelab::tools

@@ -1,0 +1,247 @@
+#include "umts/bearer.hpp"
+
+#include <algorithm>
+
+namespace onelab::umts {
+
+BearerLink::BearerLink(sim::Simulator& simulator, Params params, util::RandomStream rng,
+                       std::string logTag)
+    : sim_(simulator), params_(params), rng_(std::move(rng)), log_("umts." + logTag) {}
+
+void BearerLink::send(util::Bytes chunk) {
+    if (backlogBytes_ + chunk.size() > params_.bufferBytes) {
+        ++stats_.droppedOverflow;
+        return;
+    }
+    ++stats_.chunksIn;
+    backlogBytes_ += chunk.size();
+    lastBusy_ = sim_.now();
+    queue_.push_back(std::move(chunk));
+    if (!serving_) {
+        serving_ = true;
+        serveNext();
+    }
+}
+
+void BearerLink::degrade(sim::SimTime duration) {
+    degradedUntil_ = std::max(degradedUntil_, sim_.now() + duration);
+}
+
+bool BearerLink::isDegraded() const noexcept { return sim_.now() < degradedUntil_; }
+
+void BearerLink::holdService(sim::SimTime until) {
+    holdUntil_ = std::max(holdUntil_, until);
+}
+
+void BearerLink::serveNext() {
+    if (queue_.empty()) {
+        serving_ = false;
+        return;
+    }
+    const std::uint64_t epoch = epoch_;
+    const std::weak_ptr<bool> alive = alive_;
+    if (sim_.now() < holdUntil_) {
+        // RRC promotion in progress: resume when the DCH is up.
+        sim_.scheduleAt(holdUntil_, [this, epoch, alive] {
+            const auto stillAlive = alive.lock();
+            if (!stillAlive || !*stillAlive || epoch != epoch_) return;
+            serveNext();
+        });
+        return;
+    }
+    const std::size_t bytes = queue_.front().size();
+    // In a bad state the bearer serves at a fraction of the granted
+    // rate, so delay builds up gradually across packets.
+    const double rate = isDegraded() ? params_.rateBps * params_.degradedRateFactor
+                                     : params_.rateBps;
+    const sim::SimTime serialization = sim::transmissionTime(bytes, rate);
+    sim_.schedule(serialization, [this, epoch, alive] {
+        const auto stillAlive = alive.lock();
+        if (!stillAlive || !*stillAlive || epoch != epoch_) return;
+        util::Bytes chunk = std::move(queue_.front());
+        queue_.pop_front();
+        backlogBytes_ -= chunk.size();
+        lastBusy_ = sim_.now();
+
+        if (rng_.chance(params_.residualLossProbability)) {
+            ++stats_.droppedRadio;
+        } else {
+            // RAN traversal: base delay + gamma jitter, then alignment
+            // to the next TTI boundary; delivery stays in order.
+            const double jitterMs =
+                rng_.gamma(params_.jitterGammaShape, params_.jitterGammaScaleMs);
+            sim::SimTime arrival = sim_.now() + params_.baseDelay + sim::millis(jitterMs);
+            const auto tti = params_.ttiQuantum.count();
+            if (tti > 0) {
+                const auto remainder = arrival.count() % tti;
+                if (remainder != 0) arrival += sim::SimTime{tti - remainder};
+            }
+            arrival = std::max(arrival, lastArrival_);
+            lastArrival_ = arrival;
+            auto shared = std::make_shared<util::Bytes>(std::move(chunk));
+            sim_.scheduleAt(arrival, [this, epoch, alive, shared] {
+                const auto stillAlive = alive.lock();
+                if (!stillAlive || !*stillAlive || epoch != epoch_) return;
+                ++stats_.chunksDelivered;
+                stats_.bytesDelivered += shared->size();
+                if (deliver_) deliver_(std::move(*shared));
+            });
+        }
+        serveNext();
+    });
+}
+
+void BearerLink::clear() {
+    queue_.clear();
+    backlogBytes_ = 0;
+    serving_ = false;
+    ++epoch_;
+}
+
+RadioBearer::RadioBearer(sim::Simulator& simulator, const OperatorProfile& profile,
+                         util::RandomStream rng)
+    : sim_(simulator),
+      profile_(profile),
+      rng_(std::move(rng)),
+      uplink_(simulator,
+              BearerLink::Params{
+                  profile.uplinkRatesBps.at(profile.initialUplinkIndex),
+                  profile.rlcUplinkBufferBytes,
+                  profile.uplinkBaseDelay,
+                  profile.ttiQuantum,
+                  profile.jitterGammaShape,
+                  profile.jitterGammaScaleMs,
+                  profile.residualLossProbability,
+                  profile.badStateRateFactor,
+              },
+              rng_.derive("ul"), "bearer.ul"),
+      downlink_(simulator,
+                BearerLink::Params{
+                    profile.downlinkRateBps,
+                    profile.rlcDownlinkBufferBytes,
+                    profile.downlinkBaseDelay,
+                    profile.ttiQuantum,
+                    profile.jitterGammaShape,
+                    profile.jitterGammaScaleMs,
+                    profile.residualLossProbability,
+                    profile.badStateRateFactor,
+                },
+                rng_.derive("dl"), "bearer.dl"),
+      rateIndex_(profile.initialUplinkIndex) {
+    scheduleBadState();
+    if (profile_.onDemandAllocation)
+        monitorTimer_ = sim_.schedule(sim::millis(200), [this] { monitorTick(); });
+    if (profile_.rrcStates) armRrcIdleTimer();
+}
+
+void RadioBearer::touchRrc() {
+    if (!profile_.rrcStates) return;
+    if (rrcState_ == RrcState::cell_fach) {
+        // Promotion: the dedicated channel takes a while to come up,
+        // holding both directions (the 3G "first-packet lag").
+        rrcState_ = RrcState::cell_dch;
+        ++rrcPromotions_;
+        const sim::SimTime ready = sim_.now() + profile_.fachPromotionDelay;
+        uplink_.holdService(ready);
+        downlink_.holdService(ready);
+        log_.debug() << "CELL_FACH -> CELL_DCH (promotion "
+                     << sim::toMillis(profile_.fachPromotionDelay) << "ms)";
+    }
+    armRrcIdleTimer();
+}
+
+void RadioBearer::armRrcIdleTimer() {
+    if (rrcIdleTimer_.valid()) sim_.cancel(rrcIdleTimer_);
+    rrcIdleTimer_ = sim_.schedule(profile_.dchIdleTimeout, [this] {
+        rrcIdleTimer_ = {};
+        if (shutdown_ || rrcState_ != RrcState::cell_dch) return;
+        // Only demote if genuinely idle (nothing queued either way).
+        if (uplink_.backlogBytes() == 0 && downlink_.backlogBytes() == 0) {
+            rrcState_ = RrcState::cell_fach;
+            log_.debug() << "CELL_DCH -> CELL_FACH (idle)";
+        } else {
+            armRrcIdleTimer();
+        }
+    });
+}
+
+RadioBearer::~RadioBearer() { shutdown(); }
+
+void RadioBearer::shutdown() {
+    if (shutdown_) return;
+    shutdown_ = true;
+    if (monitorTimer_.valid()) sim_.cancel(monitorTimer_);
+    if (badStateTimer_.valid()) sim_.cancel(badStateTimer_);
+    if (grantTimer_.valid()) sim_.cancel(grantTimer_);
+    if (rrcIdleTimer_.valid()) sim_.cancel(rrcIdleTimer_);
+    uplink_.clear();
+    downlink_.clear();
+}
+
+void RadioBearer::scheduleBadState() {
+    if (profile_.badStateRatePerSec <= 0.0) return;
+    const double interArrival = rng_.exponential(1.0 / profile_.badStateRatePerSec);
+    badStateTimer_ = sim_.schedule(sim::seconds(interArrival), [this] {
+        if (shutdown_) return;
+        const double meanMs = sim::toMillis(profile_.badStateMeanDuration);
+        const double maxMs = sim::toMillis(profile_.badStateMaxDuration);
+        const double durationMs = std::min(rng_.exponential(meanMs), maxMs);
+        log_.debug() << "radio bad state for " << durationMs << "ms";
+        uplink_.degrade(sim::millis(durationMs));
+        downlink_.degrade(sim::millis(durationMs));
+        scheduleBadState();
+    });
+}
+
+void RadioBearer::applyUplinkRate(std::size_t index) {
+    index = std::min(index, profile_.uplinkRatesBps.size() - 1);
+    if (index == rateIndex_) return;
+    const double oldRate = profile_.uplinkRatesBps[rateIndex_];
+    const double newRate = profile_.uplinkRatesBps[index];
+    log_.info() << "uplink bearer re-allocated: " << oldRate / 1e3 << " -> " << newRate / 1e3
+                << " kbps";
+    rateIndex_ = index;
+    uplink_.setRate(newRate);
+    if (newRate > oldRate) ++upgrades_;
+    if (onUplinkRateChange) onUplinkRateChange(oldRate, newRate);
+}
+
+void RadioBearer::monitorTick() {
+    if (shutdown_) return;
+    const auto threshold =
+        std::size_t(profile_.upgradeBacklogFraction * double(profile_.rlcUplinkBufferBytes));
+    const bool saturated = uplink_.backlogBytes() >= threshold;
+
+    if (saturated) {
+        if (saturationOnset_ < sim::SimTime{0}) saturationOnset_ = sim_.now();
+        const bool sustained = sim_.now() - saturationOnset_ >= profile_.upgradeSustain;
+        if (sustained && !grantPending_ && rateIndex_ + 1 < profile_.uplinkRatesBps.size()) {
+            // The network's admission control takes its time: the new
+            // grant arrives a long, operator-dependent delay after the
+            // demand first appeared (observed as ~50 s in the paper).
+            grantPending_ = true;
+            const double grantDelaySec =
+                rng_.uniform(sim::toSeconds(profile_.upgradeGrantDelayMin),
+                             sim::toSeconds(profile_.upgradeGrantDelayMax));
+            const sim::SimTime grantAt = saturationOnset_ + sim::seconds(grantDelaySec);
+            log_.info() << "uplink saturated; upgrade grant scheduled at t="
+                        << sim::toSeconds(grantAt) << "s";
+            grantTimer_ = sim_.scheduleAt(grantAt, [this] {
+                if (shutdown_) return;
+                grantPending_ = false;
+                saturationOnset_ = sim::SimTime{-1};
+                applyUplinkRate(rateIndex_ + 1);
+            });
+        }
+    } else {
+        if (!grantPending_) saturationOnset_ = sim::SimTime{-1};
+        // Idle long enough: the network reclaims the fat bearer.
+        if (rateIndex_ > profile_.initialUplinkIndex && uplink_.backlogBytes() == 0 &&
+            sim_.now() - uplink_.lastBusy() >= profile_.downgradeIdle) {
+            applyUplinkRate(profile_.initialUplinkIndex);
+        }
+    }
+    monitorTimer_ = sim_.schedule(sim::millis(200), [this] { monitorTick(); });
+}
+
+}  // namespace onelab::umts

@@ -1,0 +1,181 @@
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+
+#include "sim/simulator.hpp"
+#include "umts/profile.hpp"
+#include "util/bytes.hpp"
+#include "util/logging.hpp"
+#include "util/rand.hpp"
+
+namespace onelab::umts {
+
+/// Per-direction bearer statistics.
+struct BearerStats {
+    std::uint64_t chunksIn = 0;
+    std::uint64_t chunksDelivered = 0;
+    std::uint64_t droppedOverflow = 0;  ///< RLC buffer full
+    std::uint64_t droppedRadio = 0;     ///< residual radio loss
+    std::uint64_t bytesDelivered = 0;
+};
+
+/// One direction of the radio access bearer: an RLC-style drop-tail
+/// byte buffer serialised at the granted rate, followed by a delay
+/// model (base RAN delay, TTI alignment, gamma jitter) with in-order
+/// delivery. Serving can be paused ("bad state") and the rate changed
+/// at runtime (on-demand allocation).
+class BearerLink {
+  public:
+    struct Params {
+        double rateBps;
+        std::size_t bufferBytes;
+        sim::SimTime baseDelay;
+        sim::SimTime ttiQuantum;
+        double jitterGammaShape;
+        double jitterGammaScaleMs;
+        double residualLossProbability;
+        double degradedRateFactor;  ///< serving-rate multiplier in bad state
+    };
+
+    BearerLink(sim::Simulator& simulator, Params params, util::RandomStream rng,
+               std::string logTag);
+    ~BearerLink() { *alive_ = false; }
+
+    BearerLink(const BearerLink&) = delete;
+    BearerLink& operator=(const BearerLink&) = delete;
+
+    /// Submit a chunk (one PPP frame's bytes). Dropped when the RLC
+    /// buffer is full.
+    void send(util::Bytes chunk);
+
+    /// Delivery callback at the far end.
+    void setDeliver(std::function<void(util::Bytes)> deliver) { deliver_ = std::move(deliver); }
+
+    void setRate(double rateBps) noexcept { params_.rateBps = rateBps; }
+    [[nodiscard]] double rate() const noexcept { return params_.rateBps; }
+
+    /// Degrade the serving rate for `duration` (extends any current
+    /// degradation window) — the radio bad state.
+    void degrade(sim::SimTime duration);
+    [[nodiscard]] bool isDegraded() const noexcept;
+
+    /// Suspend serving entirely until `until` (RRC promotion hold).
+    void holdService(sim::SimTime until);
+
+    [[nodiscard]] std::size_t backlogBytes() const noexcept { return backlogBytes_; }
+    [[nodiscard]] sim::SimTime lastBusy() const noexcept { return lastBusy_; }
+    [[nodiscard]] const BearerStats& stats() const noexcept { return stats_; }
+
+    /// Drop everything (session teardown).
+    void clear();
+
+  private:
+    void serveNext();
+
+    sim::Simulator& sim_;
+    /// Guards scheduled service/delivery events against destruction
+    /// (a PDP context can be torn down with chunks in flight).
+    std::shared_ptr<bool> alive_ = std::make_shared<bool>(true);
+    Params params_;
+    util::RandomStream rng_;
+    util::Logger log_;
+    std::function<void(util::Bytes)> deliver_;
+    std::deque<util::Bytes> queue_;
+    std::size_t backlogBytes_ = 0;
+    bool serving_ = false;
+    sim::SimTime degradedUntil_{0};
+    sim::SimTime holdUntil_{0};
+    sim::SimTime lastArrival_{0};
+    sim::SimTime lastBusy_{0};
+    std::uint64_t epoch_ = 0;
+    BearerStats stats_;
+};
+
+/// The full radio access bearer for one PDP context: uplink + downlink
+/// BearerLinks, a shared bad-state (fading / shared-cell congestion)
+/// process that pauses both, and the on-demand uplink rate allocation
+/// responsible for the paper's Fig. 4 knee at ~50 s.
+class RadioBearer {
+  public:
+    RadioBearer(sim::Simulator& simulator, const OperatorProfile& profile,
+                util::RandomStream rng);
+    ~RadioBearer();
+
+    RadioBearer(const RadioBearer&) = delete;
+    RadioBearer& operator=(const RadioBearer&) = delete;
+
+    /// RRC connection state (CELL_DCH when active, CELL_FACH after
+    /// the idle timeout; the next packet pays the promotion delay).
+    enum class RrcState : std::uint8_t { cell_dch, cell_fach };
+
+    // UE-side plane.
+    void sendUplink(util::Bytes chunk) {
+        touchRrc();
+        uplink_.send(std::move(chunk));
+    }
+    void setDownlinkSink(std::function<void(util::Bytes)> sink) {
+        downlink_.setDeliver(std::move(sink));
+    }
+
+    // Network-side plane.
+    void sendDownlink(util::Bytes chunk) {
+        touchRrc();
+        downlink_.send(std::move(chunk));
+    }
+    void setUplinkSink(std::function<void(util::Bytes)> sink) {
+        uplink_.setDeliver(std::move(sink));
+    }
+
+    [[nodiscard]] RrcState rrcState() const noexcept { return rrcState_; }
+    [[nodiscard]] int rrcPromotions() const noexcept { return rrcPromotions_; }
+
+    [[nodiscard]] double currentUplinkRateBps() const noexcept { return uplink_.rate(); }
+    [[nodiscard]] double downlinkRateBps() const noexcept { return downlink_.rate(); }
+    [[nodiscard]] std::size_t uplinkBacklogBytes() const noexcept {
+        return uplink_.backlogBytes();
+    }
+    [[nodiscard]] int upgradeCount() const noexcept { return upgrades_; }
+    [[nodiscard]] const BearerStats& uplinkStats() const noexcept { return uplink_.stats(); }
+    [[nodiscard]] const BearerStats& downlinkStats() const noexcept { return downlink_.stats(); }
+
+    /// Fires on every uplink rate change (old, new) — surfaced by
+    /// `umts status` and the ablation benches.
+    std::function<void(double, double)> onUplinkRateChange;
+
+    /// Tear down: flush queues and stop internal timers.
+    void shutdown();
+
+  private:
+    void scheduleBadState();
+    void monitorTick();
+    void applyUplinkRate(std::size_t index);
+    void touchRrc();
+    void armRrcIdleTimer();
+
+    sim::Simulator& sim_;
+    OperatorProfile profile_;
+    util::RandomStream rng_;
+    util::Logger log_{"umts.bearer"};
+    BearerLink uplink_;
+    BearerLink downlink_;
+
+    std::size_t rateIndex_;
+    int upgrades_ = 0;
+    bool shutdown_ = false;
+
+    // Saturation tracking for on-demand allocation.
+    sim::SimTime saturationOnset_{-1};
+    bool grantPending_ = false;
+    sim::EventHandle monitorTimer_;
+    sim::EventHandle badStateTimer_;
+    sim::EventHandle grantTimer_;
+
+    RrcState rrcState_ = RrcState::cell_dch;  ///< PDP activation implies DCH
+    int rrcPromotions_ = 0;
+    sim::EventHandle rrcIdleTimer_;
+};
+
+}  // namespace onelab::umts

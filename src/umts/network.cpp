@@ -1,0 +1,377 @@
+#include "umts/network.hpp"
+
+#include <algorithm>
+
+#include "util/strings.hpp"
+
+namespace onelab::umts {
+
+// ----------------------------------------------------------- channels
+
+/// Adapter exposing one side of the radio bearer as a ByteChannel.
+class UmtsSession::Channel final : public sim::ByteChannel {
+  public:
+    Channel(RadioBearer& bearer, bool ueSide) : bearer_(bearer), ueSide_(ueSide) {}
+
+    void write(util::ByteView data) override {
+        util::Bytes chunk{data.begin(), data.end()};
+        if (ueSide_)
+            bearer_.sendUplink(std::move(chunk));
+        else
+            bearer_.sendDownlink(std::move(chunk));
+    }
+
+    void onData(std::function<void(util::ByteView)> handler) override {
+        auto wrapped = [handler = std::move(handler)](util::Bytes chunk) {
+            if (handler) handler({chunk.data(), chunk.size()});
+        };
+        if (ueSide_)
+            bearer_.setDownlinkSink(std::move(wrapped));
+        else
+            bearer_.setUplinkSink(std::move(wrapped));
+    }
+
+  private:
+    RadioBearer& bearer_;
+    bool ueSide_;
+};
+
+// ------------------------------------------------------------ session
+
+UmtsSession::UmtsSession(UmtsNetwork& network, std::string imsi,
+                         net::Ipv4Address subscriberAddr, int sessionId)
+    : network_(network),
+      imsi_(std::move(imsi)),
+      subscriberAddr_(subscriberAddr),
+      sessionId_(sessionId),
+      pdpIfaceName_("pdp" + std::to_string(sessionId)) {
+    bearer_ = std::make_unique<RadioBearer>(network_.sim_, network_.profile_,
+                                            network_.rng_.derive("bearer-" + imsi_));
+    ueChannel_ = std::make_unique<Channel>(*bearer_, /*ueSide=*/true);
+    netChannel_ = std::make_unique<Channel>(*bearer_, /*ueSide=*/false);
+}
+
+UmtsSession::~UmtsSession() = default;
+
+sim::ByteChannel& UmtsSession::ueChannel() noexcept { return *ueChannel_; }
+
+// ------------------------------------------------------------ network
+
+UmtsNetwork::UmtsNetwork(sim::Simulator& simulator, net::Internet& internet,
+                         OperatorProfile profile, util::RandomStream rng)
+    : sim_(simulator),
+      internet_(internet),
+      profile_(std::move(profile)),
+      rng_(std::move(rng)),
+      log_("umts.net." + profile_.name) {
+    ggsn_ = std::make_unique<net::NetworkStack>(sim_, "ggsn-" + profile_.name);
+    ggsn_->setForwarding(true);
+    ggsn_->setForwardFilter(
+        [this](const net::Packet& pkt, const std::string& iif) { return forwardAllowed(pkt, iif); });
+
+    net::Interface& wan = ggsn_->addInterface("wan");
+    wan.setAddress(profile_.ggsnAddress);
+    wan.setUp(true);
+    wanIface_ = &wan;
+    net::AccessLink link;
+    link.rateBitsPerSecond = 1e9;
+    link.baseDelay = profile_.coreDelay;
+    internet_.attach(wan, link);
+    internet_.announcePrefix(profile_.subscriberPool, wan);
+
+    // Default route: everything not a subscriber goes to the Internet.
+    ggsn_->router().table(net::PolicyRouter::kMainTable)
+        .addRoute(net::Route{net::Prefix::any(), "wan", std::nullopt, 0});
+
+    // The operator's resolver, hosted on the GGSN at the address IPCP
+    // hands out. Subscribers reach it through the pool prefix.
+    net::Interface& dnsIface = ggsn_->addInterface("dns0");
+    dnsIface.setAddress(profile_.dnsServer);
+    dnsIface.setUp(true);
+    dns_ = std::make_unique<net::DnsServer>(*ggsn_, profile_.dnsServer);
+
+    if (profile_.natSubscribers) {
+        ggsn_->setPostRoutingHook(
+            [this](net::Packet& pkt, const std::string& oif) { natOutbound(pkt, oif); });
+        ggsn_->setPreRoutingHook(
+            [this](net::Packet& pkt, const std::string& iif) { natInbound(pkt, iif); });
+    }
+}
+
+void UmtsNetwork::natOutbound(net::Packet& pkt, const std::string& oif) {
+    if (oif != "wan" || !profile_.subscriberPool.contains(pkt.ip.src)) return;
+    std::uint16_t* port = nullptr;
+    int proto = 0;
+    if (pkt.ip.protocol == net::IpProto::udp) {
+        proto = int(net::IpProto::udp);
+        port = &pkt.udp.srcPort;
+    } else if (pkt.ip.protocol == net::IpProto::tcp) {
+        proto = int(net::IpProto::tcp);
+        port = &pkt.tcp.srcPort;
+    } else if (pkt.ip.protocol == net::IpProto::icmp &&
+               pkt.icmp.type == net::icmp_type::echo_request) {
+        proto = int(net::IpProto::icmp);
+        port = &pkt.icmp.id;
+    } else {
+        return;  // untranslatable: leave it (it will likely die upstream)
+    }
+    const std::string flowKey =
+        util::format("%d/%08x:%u", proto, pkt.ip.src.value(), *port);
+    auto it = natByFlow_.find(flowKey);
+    if (it == natByFlow_.end()) {
+        // Allocate a fresh public port/id for this subscriber flow.
+        while (natBindings_.count((std::uint32_t(proto) << 16) | nextNatPort_))
+            if (++nextNatPort_ < 20000) nextNatPort_ = 20000;
+        const std::uint16_t publicPort = nextNatPort_++;
+        natBindings_[(std::uint32_t(proto) << 16) | publicPort] =
+            NatBinding{pkt.ip.src, *port};
+        it = natByFlow_.emplace(flowKey, publicPort).first;
+        log_.debug() << "NAT bind " << flowKey << " -> " << publicPort;
+    }
+    pkt.ip.src = profile_.ggsnAddress;
+    *port = it->second;
+    ++natTranslations_;
+}
+
+void UmtsNetwork::natInbound(net::Packet& pkt, const std::string& iif) {
+    if (iif != "wan" || pkt.ip.dst != profile_.ggsnAddress) return;
+    int proto = 0;
+    std::uint16_t* port = nullptr;
+    if (pkt.ip.protocol == net::IpProto::udp) {
+        proto = int(net::IpProto::udp);
+        port = &pkt.udp.dstPort;
+    } else if (pkt.ip.protocol == net::IpProto::tcp) {
+        proto = int(net::IpProto::tcp);
+        port = &pkt.tcp.dstPort;
+    } else if (pkt.ip.protocol == net::IpProto::icmp &&
+               pkt.icmp.type == net::icmp_type::echo_reply) {
+        proto = int(net::IpProto::icmp);
+        port = &pkt.icmp.id;
+    } else {
+        return;  // local GGSN traffic (e.g. pings to the GGSN itself)
+    }
+    const auto it = natBindings_.find((std::uint32_t(proto) << 16) | *port);
+    if (it == natBindings_.end()) return;  // no binding: deliver locally (and die)
+    pkt.ip.dst = it->second.subscriber;
+    *port = it->second.subscriberPort;
+    ++natTranslations_;
+}
+
+UmtsNetwork::~UmtsNetwork() {
+    while (!sessions_.empty()) deactivatePdp(sessions_.back().get());
+    if (wanIface_) internet_.detach(*wanIface_);
+}
+
+void UmtsNetwork::addDnsRecord(const std::string& name, net::Ipv4Address address) {
+    dns_->addRecord(name, address);
+}
+
+int UmtsNetwork::signalQuality() {
+    if (!coverage_) return 99;  // 99 = unknown/no signal in AT+CSQ
+    const int noise = int(rng_.uniformInt(-2, 2));
+    return std::clamp(profile_.signalQualityCsq + noise, 0, 31);
+}
+
+void UmtsNetwork::attachUe(const std::string& imsi,
+                           std::function<void(util::Result<void>)> done) {
+    if (!coverage_) {
+        if (done) done(util::err(util::Error::Code::io, "no network coverage"));
+        return;
+    }
+    if (attached_.count(imsi)) {
+        if (done) done(util::Result<void>{});
+        return;
+    }
+    log_.info() << "UE " << imsi << " attaching";
+    attaching_[imsi] = sim_.schedule(profile_.registrationDelay, [this, imsi, done] {
+        attaching_.erase(imsi);
+        attached_.insert(imsi);
+        log_.info() << "UE " << imsi << " attached (CREG=1)";
+        if (done) done(util::Result<void>{});
+    });
+}
+
+void UmtsNetwork::detachUe(const std::string& imsi) {
+    const auto pending = attaching_.find(imsi);
+    if (pending != attaching_.end()) {
+        sim_.cancel(pending->second);
+        attaching_.erase(pending);
+    }
+    attached_.erase(imsi);
+    // Drop this UE's sessions too.
+    for (std::size_t i = sessions_.size(); i-- > 0;) {
+        if (sessions_[i]->imsi() == imsi) deactivatePdp(sessions_[i].get());
+    }
+}
+
+bool UmtsNetwork::isAttached(const std::string& imsi) const { return attached_.count(imsi) > 0; }
+
+net::Ipv4Address UmtsNetwork::allocateSubscriberAddress() {
+    if (!freedAddresses_.empty()) {
+        const net::Ipv4Address addr = freedAddresses_.back();
+        freedAddresses_.pop_back();
+        return addr;
+    }
+    return net::Ipv4Address{profile_.subscriberPool.base().value() + nextHostOffset_++};
+}
+
+void UmtsNetwork::releaseSubscriberAddress(net::Ipv4Address addr) {
+    freedAddresses_.push_back(addr);
+}
+
+void UmtsNetwork::activatePdp(const std::string& imsi, const std::string& apn,
+                              std::function<void(util::Result<UmtsSession*>)> done) {
+    if (!isAttached(imsi)) {
+        if (done) done(util::err(util::Error::Code::state, "UE not attached"));
+        return;
+    }
+    if (apn != profile_.apn) {
+        if (done) done(util::err(util::Error::Code::invalid_argument, "unknown APN '" + apn + "'"));
+        return;
+    }
+    sim_.schedule(profile_.pdpActivationDelay, [this, imsi, done] {
+        if (!isAttached(imsi)) {
+            if (done) done(util::err(util::Error::Code::state, "UE detached during activation"));
+            return;
+        }
+        auto session = std::unique_ptr<UmtsSession>(
+            new UmtsSession{*this, imsi, allocateSubscriberAddress(), nextSessionId_++});
+        UmtsSession* raw = session.get();
+        sessions_.push_back(std::move(session));
+        installSession(*raw);
+        log_.info() << "PDP context active for " << imsi << " addr "
+                    << raw->subscriberAddress().str();
+        if (done) done(raw);
+    });
+}
+
+void UmtsNetwork::installSession(UmtsSession& session) {
+    // Per-session GGSN-side PPP endpoint.
+    ppp::PppdConfig config;
+    config.name = "ggsn-" + profile_.name + "-s" + std::to_string(session.sessionId_);
+    config.isServer = true;
+    config.requireAuth = profile_.authProtocol;
+    config.acceptAnyPeer = profile_.acceptAnyCredentials;
+    config.secretLookup = [this](const std::string& user) -> std::optional<std::string> {
+        const auto it = profile_.subscribers.find(user);
+        if (it == profile_.subscribers.end()) return std::nullopt;
+        return it->second;
+    };
+    config.localAddress = profile_.ggsnAddress;
+    config.addressForPeer = session.subscriberAddress();
+    config.dnsServer = profile_.dnsServer;
+    config.ccp.enable = true;  // GGSN offers compression; UE may reject
+    config.enableEcho = false;  // GGSNs do not run aggressive LCP echo
+    config.seed = rng_.derive("pppd-" + std::to_string(session.sessionId_)).seed();
+    session.ggsnPppd_ = std::make_unique<ppp::Pppd>(sim_, config);
+    session.ggsnPppd_->attach(*session.netChannel_);
+
+    // GGSN-side virtual interface for the subscriber.
+    net::Interface& iface = ggsn_->addInterface(session.pdpIfaceName_);
+    iface.setAddress(profile_.ggsnAddress);
+    iface.setPeerAddress(session.subscriberAddress());
+    iface.setUp(true);
+    iface.setTxHandler([pppd = session.ggsnPppd_.get()](net::Packet pkt) {
+        const util::Bytes wire = pkt.serialize();
+        (void)pppd->sendIpDatagram({wire.data(), wire.size()});
+    });
+    session.ggsnPppd_->onIpDatagram = [this, ifaceName = session.pdpIfaceName_](
+                                          util::ByteView datagram) {
+        auto parsed = net::Packet::parse(datagram);
+        if (!parsed.ok()) {
+            log_.warn() << "GGSN: undecodable datagram from subscriber";
+            return;
+        }
+        net::Interface* iface = ggsn_->findInterface(ifaceName);
+        if (iface) iface->deliver(std::move(parsed.value()));
+    };
+
+    // Host route toward the subscriber.
+    ggsn_->router().table(net::PolicyRouter::kMainTable)
+        .addRoute(net::Route{net::Prefix::host(session.subscriberAddress()),
+                             session.pdpIfaceName_, std::nullopt, 0});
+
+    session.ggsnPppd_->start();
+}
+
+void UmtsNetwork::removeSession(UmtsSession& session) {
+    if (session.onTeardown) session.onTeardown();
+    if (session.ggsnPppd_) session.ggsnPppd_->abortLink();
+    ggsn_->router().table(net::PolicyRouter::kMainTable)
+        .delRoute(net::Prefix::host(session.subscriberAddress()), session.pdpIfaceName_);
+    (void)ggsn_->removeInterface(session.pdpIfaceName_);
+    session.bearer_->shutdown();
+    releaseSubscriberAddress(session.subscriberAddress());
+    session.active_ = false;
+}
+
+void UmtsNetwork::deactivatePdp(UmtsSession* session) {
+    if (!session) return;
+    const auto it = std::find_if(sessions_.begin(), sessions_.end(),
+                                 [&](const auto& s) { return s.get() == session; });
+    if (it == sessions_.end()) return;
+    log_.info() << "PDP context for " << session->imsi() << " deactivated";
+    removeSession(*session);
+    sessions_.erase(it);
+}
+
+namespace {
+
+std::string flowKey(const net::Packet& pkt, bool reverse) {
+    const net::Ipv4Address a = reverse ? pkt.ip.dst : pkt.ip.src;
+    const net::Ipv4Address b = reverse ? pkt.ip.src : pkt.ip.dst;
+    std::uint16_t portA = 0;
+    std::uint16_t portB = 0;
+    if (pkt.ip.protocol == net::IpProto::udp) {
+        portA = reverse ? pkt.udp.dstPort : pkt.udp.srcPort;
+        portB = reverse ? pkt.udp.srcPort : pkt.udp.dstPort;
+    } else if (pkt.ip.protocol == net::IpProto::tcp) {
+        portA = reverse ? pkt.tcp.dstPort : pkt.tcp.srcPort;
+        portB = reverse ? pkt.tcp.srcPort : pkt.tcp.dstPort;
+    } else if (pkt.ip.protocol == net::IpProto::icmp) {
+        portA = portB = pkt.icmp.id;  // echo id pairs request/reply
+    }
+    return util::format("%u/%08x:%u>%08x:%u", unsigned(pkt.ip.protocol), a.value(), portA,
+                        b.value(), portB);
+}
+
+}  // namespace
+
+bool UmtsNetwork::forwardAllowed(const net::Packet& pkt, const std::string& iif) {
+    if (!profile_.statefulFirewall) return true;
+    const sim::SimTime now = sim_.now();
+    if (iif != "wan") {
+        // Subscriber-originated: record/refresh the flow and pass.
+        flows_[flowKey(pkt, /*reverse=*/false)] = now;
+        return true;
+    }
+    // Internet-originated: only established flows may enter...
+    const auto it = flows_.find(flowKey(pkt, /*reverse=*/true));
+    if (it != flows_.end() && now - it->second <= flowTimeout_) {
+        it->second = now;
+        return true;
+    }
+    // ...or ICMP errors RELATED to a recorded outbound flow (so
+    // traceroute and path-MTU style signalling still work).
+    if (pkt.ip.protocol == net::IpProto::icmp &&
+        (pkt.icmp.type == net::icmp_type::dest_unreachable ||
+         pkt.icmp.type == net::icmp_type::time_exceeded)) {
+        const auto embedded =
+            net::parseIcmpErrorPayload({pkt.payload.data(), pkt.payload.size()});
+        if (embedded.ok()) {
+            net::Packet original;
+            original.ip.src = embedded.value().src;
+            original.ip.dst = embedded.value().dst;
+            original.ip.protocol = embedded.value().protocol;
+            original.udp.srcPort = embedded.value().srcPort;
+            original.udp.dstPort = embedded.value().dstPort;
+            const auto related = flows_.find(flowKey(original, /*reverse=*/false));
+            if (related != flows_.end() && now - related->second <= flowTimeout_) return true;
+        }
+    }
+    ++firewallBlocked_;
+    log_.debug() << "firewall blocked inbound " << pkt.describe();
+    return false;
+}
+
+}  // namespace onelab::umts

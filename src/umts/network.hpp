@@ -1,0 +1,164 @@
+#pragma once
+
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+
+#include "net/dns.hpp"
+#include "net/internet.hpp"
+#include "net/stack.hpp"
+#include "ppp/pppd.hpp"
+#include "sim/pipe.hpp"
+#include "umts/bearer.hpp"
+#include "umts/profile.hpp"
+
+namespace onelab::umts {
+
+class UmtsNetwork;
+
+/// One active PDP context: the UE's pipe into the operator network.
+/// The modem bridges its TTY to `ueChannel()` while in data mode; the
+/// other end terminates in the GGSN's per-session pppd.
+class UmtsSession {
+  public:
+    ~UmtsSession();
+    UmtsSession(const UmtsSession&) = delete;
+    UmtsSession& operator=(const UmtsSession&) = delete;
+
+    /// UE-side byte channel (PPP frames ride this over the bearer).
+    [[nodiscard]] sim::ByteChannel& ueChannel() noexcept;
+
+    [[nodiscard]] RadioBearer& bearer() noexcept { return *bearer_; }
+    [[nodiscard]] net::Ipv4Address subscriberAddress() const noexcept { return subscriberAddr_; }
+    [[nodiscard]] const std::string& imsi() const noexcept { return imsi_; }
+    [[nodiscard]] bool active() const noexcept { return active_; }
+
+    /// Invoked just before the network tears the session down, so the
+    /// modem can drop its pointer and raise NO CARRIER.
+    std::function<void()> onTeardown;
+
+  private:
+    friend class UmtsNetwork;
+    class Channel;
+
+    UmtsSession(UmtsNetwork& network, std::string imsi, net::Ipv4Address subscriberAddr,
+                int sessionId);
+
+    UmtsNetwork& network_;
+    std::string imsi_;
+    net::Ipv4Address subscriberAddr_;
+    int sessionId_;
+    bool active_ = true;
+
+    std::unique_ptr<RadioBearer> bearer_;
+    std::unique_ptr<Channel> ueChannel_;
+    std::unique_ptr<Channel> netChannel_;
+    std::unique_ptr<ppp::Pppd> ggsnPppd_;
+    std::string pdpIfaceName_;
+};
+
+/// The operator network: UE attach/registration, PDP context
+/// activation, and the GGSN — a forwarding router with the subscriber
+/// pool announced into the wired Internet, per-session network-side
+/// pppd, and (for commercial profiles) a stateful firewall that blocks
+/// unsolicited inbound traffic toward subscribers.
+class UmtsNetwork {
+  public:
+    UmtsNetwork(sim::Simulator& simulator, net::Internet& internet, OperatorProfile profile,
+                util::RandomStream rng);
+    ~UmtsNetwork();
+
+    UmtsNetwork(const UmtsNetwork&) = delete;
+    UmtsNetwork& operator=(const UmtsNetwork&) = delete;
+
+    [[nodiscard]] const OperatorProfile& profile() const noexcept { return profile_; }
+
+    // --- control plane (driven by the modem) ---
+    [[nodiscard]] bool hasCoverage() const noexcept { return coverage_; }
+    void setCoverage(bool coverage) noexcept { coverage_ = coverage; }
+    /// AT+CSQ-style signal quality (0..31) with measurement noise.
+    [[nodiscard]] int signalQuality();
+
+    /// GPRS/UMTS attach; completes asynchronously after the
+    /// registration delay (what `comgt` polls CREG for).
+    void attachUe(const std::string& imsi, std::function<void(util::Result<void>)> done);
+    void detachUe(const std::string& imsi);
+    [[nodiscard]] bool isAttached(const std::string& imsi) const;
+
+    /// Activate a PDP context (ATD*99# path). Asynchronous; the modem
+    /// reports CONNECT when the callback delivers the session.
+    void activatePdp(const std::string& imsi, const std::string& apn,
+                     std::function<void(util::Result<UmtsSession*>)> done);
+    void deactivatePdp(UmtsSession* session);
+
+    [[nodiscard]] std::size_t activeSessions() const noexcept { return sessions_.size(); }
+    /// Access an active session by index (tests/experiments hook the
+    /// bearer's rate-change callback through this).
+    [[nodiscard]] UmtsSession* sessionAt(std::size_t index) noexcept {
+        return index < sessions_.size() ? sessions_[index].get() : nullptr;
+    }
+
+    /// The GGSN router (exposed for tests and the firewall bench).
+    [[nodiscard]] net::NetworkStack& ggsn() noexcept { return *ggsn_; }
+    [[nodiscard]] net::Interface& wanInterface() noexcept { return *wanIface_; }
+
+    [[nodiscard]] std::uint64_t firewallBlockedInbound() const noexcept {
+        return firewallBlocked_;
+    }
+
+    /// NAT statistics (profiles with natSubscribers).
+    [[nodiscard]] std::size_t natBindingCount() const noexcept { return natBindings_.size(); }
+    [[nodiscard]] std::uint64_t natTranslations() const noexcept { return natTranslations_; }
+
+    /// The operator's resolver (the address IPCP hands to dialers).
+    void addDnsRecord(const std::string& name, net::Ipv4Address address);
+    [[nodiscard]] net::DnsServer& dns() noexcept { return *dns_; }
+
+  private:
+    friend class UmtsSession;
+
+    bool forwardAllowed(const net::Packet& pkt, const std::string& iif);
+    net::Ipv4Address allocateSubscriberAddress();
+    void releaseSubscriberAddress(net::Ipv4Address addr);
+    void installSession(UmtsSession& session);
+    void removeSession(UmtsSession& session);
+
+    sim::Simulator& sim_;
+    net::Internet& internet_;
+    OperatorProfile profile_;
+    util::RandomStream rng_;
+    util::Logger log_;
+
+    std::unique_ptr<net::NetworkStack> ggsn_;
+    net::Interface* wanIface_ = nullptr;
+    std::unique_ptr<net::DnsServer> dns_;
+
+    bool coverage_ = true;
+    std::set<std::string> attached_;
+    std::map<std::string, sim::EventHandle> attaching_;
+
+    std::vector<std::unique_ptr<UmtsSession>> sessions_;
+    int nextSessionId_ = 1;
+    std::uint32_t nextHostOffset_ = 16;
+    std::vector<net::Ipv4Address> freedAddresses_;
+
+    // Stateful firewall flow table: key -> last activity.
+    std::map<std::string, sim::SimTime> flows_;
+    sim::SimTime flowTimeout_ = sim::seconds(300.0);
+    std::uint64_t firewallBlocked_ = 0;
+
+    // NAT state (natSubscribers profiles): public port/id -> binding.
+    void natOutbound(net::Packet& pkt, const std::string& oif);
+    void natInbound(net::Packet& pkt, const std::string& iif);
+    struct NatBinding {
+        net::Ipv4Address subscriber;
+        std::uint16_t subscriberPort = 0;
+    };
+    std::map<std::uint32_t, NatBinding> natBindings_;   ///< key: proto<<16 | publicPort
+    std::map<std::string, std::uint16_t> natByFlow_;    ///< subscriber flow -> public port
+    std::uint16_t nextNatPort_ = 20000;
+    std::uint64_t natTranslations_ = 0;
+};
+
+}  // namespace onelab::umts

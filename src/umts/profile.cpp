@@ -1,0 +1,58 @@
+#include "umts/profile.hpp"
+
+namespace onelab::umts {
+
+OperatorProfile commercialItalianOperator() {
+    OperatorProfile profile;
+    profile.name = "commercial-it";
+    profile.displayName = "IT Mobile";
+    profile.apn = "internet.it";
+    profile.mccMnc = "22288";
+    profile.uplinkRatesBps = {64e3, 144e3, 384e3};
+    profile.initialUplinkIndex = 1;
+    profile.downlinkRateBps = 1.8e6;
+    profile.onDemandAllocation = true;
+    profile.badStateRatePerSec = 0.05;
+    profile.signalQualityCsq = 17;
+    profile.statefulFirewall = true;
+    profile.acceptAnyCredentials = true;  // consumer APN ignores user/pass
+    profile.authProtocol = ppp::AuthProtocol::chap_md5;
+    profile.subscriberPool = net::Prefix{net::Ipv4Address{93, 57, 0, 0}, 16};
+    profile.ggsnAddress = net::Ipv4Address{93, 57, 0, 1};
+    profile.dnsServer = net::Ipv4Address{93, 57, 0, 53};
+    return profile;
+}
+
+OperatorProfile alcatelLucentMicrocell() {
+    OperatorProfile profile;
+    profile.name = "alcatel-microcell";
+    profile.displayName = "ALU 3G Reality Center";
+    profile.apn = "onelab.alcatel";
+    profile.mccMnc = "00101";
+    // Private cell: the full 384 kbps DCH is granted immediately and
+    // the cell is otherwise unloaded.
+    profile.uplinkRatesBps = {384e3};
+    profile.initialUplinkIndex = 0;
+    profile.downlinkRateBps = 3.6e6;
+    profile.onDemandAllocation = false;
+    profile.badStateRatePerSec = 0.01;
+    profile.badStateMeanDuration = sim::millis(300);
+    profile.badStateMaxDuration = sim::millis(900);
+    profile.uplinkBaseDelay = sim::millis(45);
+    profile.downlinkBaseDelay = sim::millis(35);
+    profile.jitterGammaScaleMs = 2.5;
+    profile.registrationDelay = sim::seconds(1.4);
+    profile.pdpActivationDelay = sim::millis(600);
+    profile.signalQualityCsq = 26;  // lab conditions
+    profile.statefulFirewall = false;  // research cell, no consumer firewall
+    profile.acceptAnyCredentials = false;
+    profile.subscribers = {{"onelab", "onelab"}, {"unina", "itemlab"}};
+    profile.authProtocol = ppp::AuthProtocol::pap;
+    profile.subscriberPool = net::Prefix{net::Ipv4Address{194, 25, 40, 0}, 24};
+    profile.ggsnAddress = net::Ipv4Address{194, 25, 40, 1};
+    profile.dnsServer = net::Ipv4Address{194, 25, 40, 2};
+    profile.coreDelay = sim::millis(8);
+    return profile;
+}
+
+}  // namespace onelab::umts

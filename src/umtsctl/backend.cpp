@@ -1,0 +1,313 @@
+#include "umtsctl/backend.hpp"
+
+#include "util/strings.hpp"
+
+namespace onelab::umtsctl {
+
+UmtsBackend::UmtsBackend(sim::Simulator& simulator, pl::NodeOs& node,
+                         sim::ByteChannel& modemTty, UmtsBackendConfig config)
+    : sim_(simulator), node_(node), modemTty_(modemTty), config_(std::move(config)) {}
+
+UmtsBackend::~UmtsBackend() = default;
+
+tools::RootShell& UmtsBackend::shell() {
+    // The backend runs in the root context by construction.
+    return *node_.shell(node_.rootContext()).value();
+}
+
+void UmtsBackend::reply(pl::Vsys::Completion& done, int code, std::vector<std::string> lines) {
+    if (done) done(pl::VsysResult{code, std::move(lines)});
+}
+
+void UmtsBackend::installVsys() {
+    node_.vsys().install(
+        "umts", [this](const pl::Slice& caller, const std::vector<std::string>& args,
+                       pl::Vsys::Completion done) { dispatch(caller, args, done); });
+}
+
+void UmtsBackend::dispatch(const pl::Slice& caller, const std::vector<std::string>& args,
+                           pl::Vsys::Completion done) {
+    if (args.empty()) {
+        reply(done, exit_code::inval,
+              {"usage: umts start|stop|status|add destination <dst>|del destination <dst>"});
+        return;
+    }
+    const std::string& verb = args[0];
+    if (verb == "start") return cmdStart(caller, std::move(done));
+    if (verb == "stop") return cmdStop(caller, std::move(done));
+    if (verb == "status") return cmdStatus(caller, std::move(done));
+    if ((verb == "add" || verb == "del") && args.size() == 3 && args[1] == "destination") {
+        if (verb == "add") return cmdAddDestination(caller, args[2], std::move(done));
+        return cmdDelDestination(caller, args[2], std::move(done));
+    }
+    reply(done, exit_code::inval, {"error=unknown command '" + verb + "'"});
+}
+
+void UmtsBackend::cmdStart(const pl::Slice& caller, pl::Vsys::Completion done) {
+    if (busy_) {
+        reply(done, exit_code::busy, {"error=operation in progress"});
+        return;
+    }
+    if (state_.locked) {
+        if (state_.owner == caller.name && state_.connected) {
+            reply(done, exit_code::ok, {"status=already-connected", "ip=" + state_.address.str()});
+        } else {
+            reply(done, exit_code::busy, {"error=interface locked by slice " + state_.owner});
+        }
+        return;
+    }
+
+    // The drivers must be loadable before anything else (§2.3's module
+    // integration step) — shelled out like the real backend script.
+    for (const std::string& module : config_.requiredModules) {
+        const auto loaded = shell().exec("modprobe " + module);
+        if (!loaded.ok()) {
+            state_.lastError = loaded.error().message;
+            reply(done, exit_code::error, {"error=modprobe: " + loaded.error().message});
+            return;
+        }
+    }
+
+    // Lock first (check-and-lock, §2.3 "check and lock the UMTS
+    // interface"), so a concurrent start from another slice fails fast.
+    state_ = UmtsState{};
+    state_.locked = true;
+    state_.owner = caller.name;
+    ownerXid_ = caller.xid;
+    ownerMark_ = caller.defaultMark();
+    busy_ = true;
+    destinations_.clear();
+    log_.info() << "start requested by slice '" << caller.name << "' (xid " << caller.xid << ")";
+
+    comgt_ = std::make_unique<tools::Comgt>(sim_, modemTty_, config_.comgt);
+    comgt_->run([this, done = std::move(done)](util::Result<tools::ComgtReport> report) mutable {
+        if (!report.ok()) {
+            busy_ = false;
+            state_.locked = false;
+            state_.lastError = report.error().message;
+            reply(done, exit_code::error, {"error=registration: " + report.error().message});
+            return;
+        }
+        state_.operatorName = report.value().operatorName;
+        state_.signalQuality = report.value().signalQuality;
+
+        wvdial_ = std::make_unique<tools::WvDial>(sim_, modemTty_, config_.dialer);
+        wvdial_->dropDtr = [this] {
+            if (dropDtr) dropDtr();
+        };
+        wvdial_->onDisconnected = [this](const std::string& reason) { onLinkLost(reason); };
+        wvdial_->dial([this, done = std::move(done)](
+                          util::Result<ppp::IpcpResult> addresses) mutable {
+            busy_ = false;
+            if (!addresses.ok()) {
+                state_.locked = false;
+                state_.lastError = addresses.error().message;
+                if (dropDtr) dropDtr();
+                wvdial_.reset();
+                reply(done, exit_code::error, {"error=dial: " + addresses.error().message});
+                return;
+            }
+            setupDataPlane(addresses.value());
+            reply(done, exit_code::ok,
+                  {"status=connected", "ip=" + state_.address.str(),
+                   "operator=" + state_.operatorName,
+                   "csq=" + std::to_string(state_.signalQuality)});
+        });
+    });
+}
+
+void UmtsBackend::setupDataPlane(const ppp::IpcpResult& addresses) {
+    net::NetworkStack& stack = node_.stack();
+    const std::string& ifname = config_.pppInterface;
+
+    // Bring up ppp0 and splice it to the pppd's IP plane.
+    net::Interface& iface = stack.addInterface(ifname);
+    iface.setAddress(addresses.localAddress);
+    iface.setPeerAddress(addresses.peerAddress);
+    iface.setMtu(1500);
+    iface.setUp(true);
+    ppp::Pppd* pppd = wvdial_->pppd();
+    iface.setTxHandler([pppd](net::Packet pkt) {
+        const util::Bytes wire = pkt.serialize();
+        (void)pppd->sendIpDatagram({wire.data(), wire.size()});
+    });
+    pppd->onIpDatagram = [this, &stack](util::ByteView datagram) {
+        auto parsed = net::Packet::parse(datagram);
+        if (!parsed.ok()) return;
+        net::Interface* ppp = stack.findInterface(config_.pppInterface);
+        if (ppp) ppp->deliver(std::move(parsed.value()));
+    };
+
+    // The routing/firewall policy from §2.3, issued through the same
+    // user-space tools the real backend shells out to. The default
+    // route stays on eth0; only marked traffic consults table 100.
+    tools::RootShell& sh = shell();
+    const std::string markText = util::format("0x%x", mark());
+    auto run = [&](const std::string& cmd) {
+        const auto result = sh.exec(cmd);
+        if (!result.ok())
+            log_.error() << "setup command failed: '" << cmd << "': " << result.error().message;
+    };
+    run(util::format("ip route add default dev %s table %d", ifname.c_str(),
+                     config_.routingTable));
+    run(util::format("ip rule add prio %d fwmark %s from %s/32 lookup %d",
+                     config_.addressRulePriority, markText.c_str(),
+                     addresses.localAddress.str().c_str(), config_.routingTable));
+    run(util::format("iptables -t mangle -A OUTPUT -m slice --xid %d -j MARK --set-mark %s",
+                     ownerXid_, markText.c_str()));
+    run(util::format("iptables -A OUTPUT -o %s -m slice ! --xid %d -j DROP", ifname.c_str(),
+                     ownerXid_));
+
+    state_.connected = true;
+    state_.address = addresses.localAddress;
+    log_.info() << "UMTS connection up: " << addresses.localAddress.str() << " on " << ifname;
+}
+
+void UmtsBackend::teardownDataPlane() {
+    tools::RootShell& sh = shell();
+    const std::string& ifname = config_.pppInterface;
+    const std::string markText = util::format("0x%x", mark());
+    auto run = [&](const std::string& cmd) { (void)sh.exec(cmd); };
+
+    for (const std::string& destination : destinations_)
+        run(util::format("ip rule del prio %d fwmark %s to %s lookup %d",
+                         config_.destinationRulePriority, markText.c_str(),
+                         destination.c_str(), config_.routingTable));
+    destinations_.clear();
+    if (state_.connected) {
+        run(util::format("ip rule del prio %d fwmark %s from %s/32 lookup %d",
+                         config_.addressRulePriority, markText.c_str(),
+                         state_.address.str().c_str(), config_.routingTable));
+    }
+    run(util::format("ip route flush table %d", config_.routingTable));
+    run(util::format("iptables -t mangle -D OUTPUT -m slice --xid %d -j MARK --set-mark %s",
+                     ownerXid_, markText.c_str()));
+    run(util::format("iptables -D OUTPUT -o %s -m slice ! --xid %d -j DROP", ifname.c_str(),
+                     ownerXid_));
+    (void)node_.stack().removeInterface(ifname);
+    state_.connected = false;
+}
+
+void UmtsBackend::notifyCarrierLost() {
+    if (wvdial_) wvdial_->carrierLost();
+}
+
+void UmtsBackend::onLinkLost(const std::string& reason) {
+    if (!state_.connected) return;
+    log_.warn() << "connection lost: " << reason;
+    teardownDataPlane();
+    if (dropDtr) dropDtr();
+    // This callback can arrive from deep inside the dialer's own pppd
+    // (e.g. a Terminate-Ack being dispatched); destroy it only after
+    // the current event unwinds.
+    sim_.schedule(sim::millis(1), [dead = std::shared_ptr<tools::WvDial>(std::move(wvdial_))] {
+    });
+    state_.locked = false;
+    state_.lastError = reason;
+}
+
+void UmtsBackend::cmdStop(const pl::Slice& caller, pl::Vsys::Completion done) {
+    if (!state_.locked) {
+        reply(done, exit_code::ok, {"status=not-started"});
+        return;
+    }
+    if (state_.owner != caller.name) {
+        reply(done, exit_code::perm, {"error=locked by slice " + state_.owner});
+        return;
+    }
+    if (busy_) {
+        reply(done, exit_code::busy, {"error=operation in progress"});
+        return;
+    }
+    log_.info() << "stop requested by slice '" << caller.name << "'";
+    teardownDataPlane();
+    if (wvdial_) {
+        wvdial_->onDisconnected = nullptr;  // expected teardown
+        wvdial_->hangup();
+        // Release the dialer once the DTR drop has gone through.
+        busy_ = true;
+        sim_.schedule(sim::millis(600), [this, done = std::move(done)]() mutable {
+            wvdial_.reset();
+            busy_ = false;
+            state_.locked = false;
+            reply(done, exit_code::ok, {"status=stopped"});
+        });
+        return;
+    }
+    state_.locked = false;
+    reply(done, exit_code::ok, {"status=stopped"});
+}
+
+void UmtsBackend::cmdStatus(const pl::Slice& caller, pl::Vsys::Completion done) {
+    (void)caller;  // any ACL'ed slice may query status
+    std::vector<std::string> lines;
+    lines.push_back(std::string("locked=") + (state_.locked ? "1" : "0"));
+    if (state_.locked) lines.push_back("owner=" + state_.owner);
+    lines.push_back(std::string("connected=") + (state_.connected ? "1" : "0"));
+    if (state_.connected) {
+        lines.push_back("ip=" + state_.address.str());
+        lines.push_back("operator=" + state_.operatorName);
+        lines.push_back("csq=" + std::to_string(state_.signalQuality));
+    }
+    for (const std::string& destination : destinations_)
+        lines.push_back("destination=" + destination);
+    if (!state_.lastError.empty()) lines.push_back("last_error=" + state_.lastError);
+    reply(done, exit_code::ok, std::move(lines));
+}
+
+void UmtsBackend::cmdAddDestination(const pl::Slice& caller, const std::string& destination,
+                                    pl::Vsys::Completion done) {
+    if (!state_.locked || state_.owner != caller.name) {
+        reply(done, exit_code::perm, {"error=not the owner of the UMTS connection"});
+        return;
+    }
+    if (!state_.connected) {
+        reply(done, exit_code::error, {"error=not connected"});
+        return;
+    }
+    const auto prefix = net::Prefix::parse(destination);
+    if (!prefix.ok()) {
+        reply(done, exit_code::inval, {"error=bad destination '" + destination + "'"});
+        return;
+    }
+    const std::string canonical = prefix.value().str();
+    if (destinations_.count(canonical)) {
+        reply(done, exit_code::inval, {"error=destination already present"});
+        return;
+    }
+    const auto result = shell().exec(
+        util::format("ip rule add prio %d fwmark 0x%x to %s lookup %d",
+                     config_.destinationRulePriority, mark(), canonical.c_str(),
+                     config_.routingTable));
+    if (!result.ok()) {
+        reply(done, exit_code::error, {"error=" + result.error().message});
+        return;
+    }
+    destinations_.insert(canonical);
+    reply(done, exit_code::ok, {"destination=" + canonical});
+}
+
+void UmtsBackend::cmdDelDestination(const pl::Slice& caller, const std::string& destination,
+                                    pl::Vsys::Completion done) {
+    if (!state_.locked || state_.owner != caller.name) {
+        reply(done, exit_code::perm, {"error=not the owner of the UMTS connection"});
+        return;
+    }
+    const auto prefix = net::Prefix::parse(destination);
+    if (!prefix.ok()) {
+        reply(done, exit_code::inval, {"error=bad destination '" + destination + "'"});
+        return;
+    }
+    const std::string canonical = prefix.value().str();
+    if (!destinations_.count(canonical)) {
+        reply(done, exit_code::noent, {"error=no such destination"});
+        return;
+    }
+    (void)shell().exec(util::format("ip rule del prio %d fwmark 0x%x to %s lookup %d",
+                                    config_.destinationRulePriority, mark(),
+                                    canonical.c_str(), config_.routingTable));
+    destinations_.erase(canonical);
+    reply(done, exit_code::ok, {"deleted=" + canonical});
+}
+
+}  // namespace onelab::umtsctl

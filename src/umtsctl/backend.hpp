@@ -1,0 +1,120 @@
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <optional>
+#include <set>
+#include <string>
+
+#include "pl/node_os.hpp"
+#include "tools/comgt.hpp"
+#include "tools/wvdial.hpp"
+
+namespace onelab::umtsctl {
+
+/// Exit codes the backend writes to the vsys response pipe (mapped
+/// from errno values the real scripts would exit with).
+namespace exit_code {
+inline constexpr int ok = 0;
+inline constexpr int error = 1;
+inline constexpr int perm = 4;
+inline constexpr int noent = 2;
+inline constexpr int busy = 16;
+inline constexpr int inval = 22;
+}  // namespace exit_code
+
+/// Backend configuration: which TTY the UMTS card sits on, how to
+/// register (comgt) and dial (wvdial), and the routing/firewall ids
+/// the isolation rules use.
+struct UmtsBackendConfig {
+    std::string pppInterface = "ppp0";
+    int routingTable = 100;     ///< the additional table (§2.3)
+    int addressRulePriority = 1000;
+    int destinationRulePriority = 1001;
+    tools::ComgtConfig comgt;
+    tools::WvDialConfig dialer;
+    /// Kernel modules `umts start` modprobes before touching the TTY
+    /// (§2.3): the PPP stack plus the card's driver.
+    std::vector<std::string> requiredModules{"ppp_async", "ppp_deflate", "bsd_comp"};
+};
+
+/// Connection state the backend reports.
+struct UmtsState {
+    bool locked = false;
+    std::string owner;          ///< slice holding the lock
+    bool connected = false;
+    net::Ipv4Address address;   ///< ppp0 address when connected
+    std::string operatorName;
+    int signalQuality = 0;
+    double uplinkKbps = 0.0;
+    std::vector<std::string> destinations;
+    std::string lastError;
+};
+
+/// The root-context half of the `umts` command (§2.3). Installed as a
+/// vsys backend, it owns the modem TTY, drives comgt + wvdial, creates
+/// the ppp interface on the node stack and enforces the slice
+/// isolation policy with policy routing and netfilter rules:
+///
+///   ip route add default dev ppp0 table 100
+///   ip rule add prio 1000 fwmark M from <ppp0-addr>/32 lookup 100
+///   ip rule add prio 1001 fwmark M to <dest> lookup 100    (per add)
+///   iptables -t mangle -A OUTPUT -m slice --xid X -j MARK --set-mark M
+///   iptables -A OUTPUT -o ppp0 -m slice ! --xid X -j DROP
+class UmtsBackend {
+  public:
+    UmtsBackend(sim::Simulator& simulator, pl::NodeOs& node, sim::ByteChannel& modemTty,
+                UmtsBackendConfig config);
+    ~UmtsBackend();
+
+    UmtsBackend(const UmtsBackend&) = delete;
+    UmtsBackend& operator=(const UmtsBackend&) = delete;
+
+    /// Register as the vsys script "umts" on the node.
+    void installVsys();
+
+    /// DTR line to the modem (wired by the testbed; out-of-band).
+    std::function<void()> dropDtr;
+
+    /// DCD line from the modem: the data call died under us. Tears the
+    /// data plane down and releases the lock.
+    void notifyCarrierLost();
+
+    [[nodiscard]] const UmtsState& state() const noexcept { return state_; }
+
+    // Direct entry points (the vsys backend dispatches to these).
+    void cmdStart(const pl::Slice& caller, pl::Vsys::Completion done);
+    void cmdStop(const pl::Slice& caller, pl::Vsys::Completion done);
+    void cmdStatus(const pl::Slice& caller, pl::Vsys::Completion done);
+    void cmdAddDestination(const pl::Slice& caller, const std::string& destination,
+                           pl::Vsys::Completion done);
+    void cmdDelDestination(const pl::Slice& caller, const std::string& destination,
+                           pl::Vsys::Completion done);
+
+  private:
+    void dispatch(const pl::Slice& caller, const std::vector<std::string>& args,
+                  pl::Vsys::Completion done);
+    void setupDataPlane(const ppp::IpcpResult& addresses);
+    void teardownDataPlane();
+    void onLinkLost(const std::string& reason);
+    [[nodiscard]] tools::RootShell& shell();
+    [[nodiscard]] std::uint32_t mark() const noexcept { return ownerMark_; }
+    static void reply(pl::Vsys::Completion& done, int code,
+                      std::vector<std::string> lines);
+
+    sim::Simulator& sim_;
+    pl::NodeOs& node_;
+    sim::ByteChannel& modemTty_;
+    UmtsBackendConfig config_;
+    util::Logger log_{"umtsctl.backend"};
+
+    UmtsState state_;
+    int ownerXid_ = 0;
+    std::uint32_t ownerMark_ = 0;
+    std::unique_ptr<tools::Comgt> comgt_;
+    std::unique_ptr<tools::WvDial> wvdial_;
+    std::set<std::string> destinations_;
+    bool busy_ = false;  ///< a start/stop is in flight
+};
+
+}  // namespace onelab::umtsctl

@@ -1,0 +1,110 @@
+#include "umtsctl/frontend.hpp"
+
+#include "umtsctl/backend.hpp"
+#include "util/strings.hpp"
+
+namespace onelab::umtsctl {
+
+UmtsReport UmtsFrontend::parseReport(const std::vector<std::string>& lines) {
+    UmtsReport report;
+    for (const std::string& line : lines) {
+        const auto eq = line.find('=');
+        if (eq == std::string::npos) continue;
+        const std::string key = line.substr(0, eq);
+        const std::string value = line.substr(eq + 1);
+        if (key == "locked") report.locked = value == "1";
+        else if (key == "owner") report.owner = value;
+        else if (key == "connected") report.connected = value == "1";
+        else if (key == "status") report.connected = value == "connected" ||
+                                                     value == "already-connected";
+        else if (key == "ip") {
+            const auto addr = net::Ipv4Address::parse(value);
+            if (addr.ok()) report.address = addr.value();
+        } else if (key == "operator") report.operatorName = value;
+        else if (key == "csq") {
+            const auto csq = util::parseInt(value);
+            if (csq.ok()) report.signalQuality = int(csq.value());
+        } else if (key == "destination") report.destinations.push_back(value);
+        else if (key == "last_error") report.lastError = value;
+    }
+    return report;
+}
+
+util::Error UmtsFrontend::toError(const pl::VsysResult& result) {
+    std::string message = "exit " + std::to_string(result.exitCode);
+    for (const std::string& line : result.output)
+        if (util::startsWith(line, "error=")) message = line.substr(6);
+    util::Error::Code code = util::Error::Code::io;
+    switch (result.exitCode) {
+        case exit_code::busy: code = util::Error::Code::busy; break;
+        case exit_code::perm: code = util::Error::Code::permission_denied; break;
+        case exit_code::inval: code = util::Error::Code::invalid_argument; break;
+        case exit_code::noent: code = util::Error::Code::not_found; break;
+        default: break;
+    }
+    return util::Error{code, message};
+}
+
+void UmtsFrontend::call(std::vector<std::string> args,
+                        std::function<void(util::Result<UmtsReport>)> done) {
+    node_.vsys().invoke(slice_, "umts", args,
+                        [done = std::move(done)](util::Result<pl::VsysResult> result) {
+                            if (!done) return;
+                            if (!result.ok()) {
+                                done(result.error());
+                                return;
+                            }
+                            if (!result.value().ok()) {
+                                done(toError(result.value()));
+                                return;
+                            }
+                            done(parseReport(result.value().output));
+                        });
+}
+
+void UmtsFrontend::start(std::function<void(util::Result<UmtsReport>)> done) {
+    call({"start"}, std::move(done));
+}
+
+void UmtsFrontend::status(std::function<void(util::Result<UmtsReport>)> done) {
+    call({"status"}, std::move(done));
+}
+
+void UmtsFrontend::stop(std::function<void(util::Result<void>)> done) {
+    call({"stop"}, [done = std::move(done)](util::Result<UmtsReport> result) {
+        if (!done) return;
+        if (!result.ok()) {
+            done(result.error());
+            return;
+        }
+        done(util::Result<void>{});
+    });
+}
+
+void UmtsFrontend::addDestination(const std::string& destination,
+                                  std::function<void(util::Result<void>)> done) {
+    call({"add", "destination", destination},
+         [done = std::move(done)](util::Result<UmtsReport> result) {
+             if (!done) return;
+             if (!result.ok()) {
+                 done(result.error());
+                 return;
+             }
+             done(util::Result<void>{});
+         });
+}
+
+void UmtsFrontend::delDestination(const std::string& destination,
+                                  std::function<void(util::Result<void>)> done) {
+    call({"del", "destination", destination},
+         [done = std::move(done)](util::Result<UmtsReport> result) {
+             if (!done) return;
+             if (!result.ok()) {
+                 done(result.error());
+                 return;
+             }
+             done(util::Result<void>{});
+         });
+}
+
+}  // namespace onelab::umtsctl

@@ -1,0 +1,55 @@
+#pragma once
+
+#include <functional>
+#include <string>
+
+#include "net/address.hpp"
+#include "pl/node_os.hpp"
+
+namespace onelab::umtsctl {
+
+/// Parsed `umts status` / `umts start` report as seen from a slice.
+struct UmtsReport {
+    bool locked = false;
+    std::string owner;
+    bool connected = false;
+    net::Ipv4Address address;
+    std::string operatorName;
+    int signalQuality = 0;
+    std::vector<std::string> destinations;
+    std::string lastError;
+};
+
+/// The slice-side `umts` command (§2.2): a thin front-end that passes
+/// the user's request through the vsys pipes and parses the backend's
+/// key=value reply. One instance per (node, slice).
+class UmtsFrontend {
+  public:
+    UmtsFrontend(pl::NodeOs& node, const pl::Slice& slice) : node_(node), slice_(slice) {}
+
+    /// `umts start`: bring the connection up.
+    void start(std::function<void(util::Result<UmtsReport>)> done);
+    /// `umts stop`: tear it down.
+    void stop(std::function<void(util::Result<void>)> done);
+    /// `umts status`.
+    void status(std::function<void(util::Result<UmtsReport>)> done);
+    /// `umts add destination <dst>`: route `dst` via the UMTS link.
+    void addDestination(const std::string& destination,
+                        std::function<void(util::Result<void>)> done);
+    /// `umts del destination <dst>`.
+    void delDestination(const std::string& destination,
+                        std::function<void(util::Result<void>)> done);
+
+    [[nodiscard]] const pl::Slice& slice() const noexcept { return slice_; }
+
+  private:
+    void call(std::vector<std::string> args,
+              std::function<void(util::Result<UmtsReport>)> done);
+    static UmtsReport parseReport(const std::vector<std::string>& lines);
+    static util::Error toError(const pl::VsysResult& result);
+
+    pl::NodeOs& node_;
+    pl::Slice slice_;
+};
+
+}  // namespace onelab::umtsctl

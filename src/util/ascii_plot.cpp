@@ -1,0 +1,66 @@
+#include "util/ascii_plot.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <sstream>
+
+#include "util/strings.hpp"
+
+namespace onelab::util {
+
+std::string renderPlot(const std::vector<PlotSeries>& series, const PlotOptions& options) {
+    double xMin = std::numeric_limits<double>::infinity();
+    double xMax = -std::numeric_limits<double>::infinity();
+    double yMin = options.yMin;
+    double yMax = options.yMax;
+    const bool autoY = yMin == yMax;
+    if (autoY) {
+        yMin = std::numeric_limits<double>::infinity();
+        yMax = -std::numeric_limits<double>::infinity();
+    }
+    for (const PlotSeries& s : series) {
+        for (const SeriesPoint& p : s.points) {
+            xMin = std::min(xMin, p.timeSeconds);
+            xMax = std::max(xMax, p.timeSeconds);
+            if (autoY) {
+                yMin = std::min(yMin, p.value);
+                yMax = std::max(yMax, p.value);
+            }
+        }
+    }
+    if (!std::isfinite(xMin)) return "(empty plot)\n";
+    if (xMax <= xMin) xMax = xMin + 1.0;
+    if (yMax <= yMin) yMax = yMin + 1.0;
+
+    const std::size_t width = std::max<std::size_t>(options.width, 10);
+    const std::size_t height = std::max<std::size_t>(options.height, 4);
+    std::vector<std::string> grid(height, std::string(width, ' '));
+
+    for (const PlotSeries& s : series) {
+        for (const SeriesPoint& p : s.points) {
+            const double xf = (p.timeSeconds - xMin) / (xMax - xMin);
+            const double yf = (std::clamp(p.value, yMin, yMax) - yMin) / (yMax - yMin);
+            const std::size_t col = std::min(width - 1, std::size_t(xf * double(width - 1) + 0.5));
+            const std::size_t row =
+                height - 1 - std::min(height - 1, std::size_t(yf * double(height - 1) + 0.5));
+            grid[row][col] = s.glyph;
+        }
+    }
+
+    std::ostringstream out;
+    if (!options.title.empty()) out << options.title << '\n';
+    for (std::size_t r = 0; r < height; ++r) {
+        const double yValue = yMax - (yMax - yMin) * double(r) / double(height - 1);
+        out << format("%12.3f |", yValue) << grid[r] << '\n';
+    }
+    out << std::string(13, ' ') << '+' << std::string(width, '-') << '\n';
+    out << std::string(14, ' ') << format("%-10.1f", xMin)
+        << std::string(width > 20 ? width - 20 : 0, ' ') << format("%10.1f", xMax) << "  "
+        << options.xLabel << '\n';
+    for (const PlotSeries& s : series) out << "  '" << s.glyph << "' = " << s.name << '\n';
+    if (!options.yLabel.empty()) out << "  y: " << options.yLabel << '\n';
+    return out.str();
+}
+
+}  // namespace onelab::util

@@ -1,0 +1,35 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "util/stats.hpp"
+
+namespace onelab::util {
+
+/// Options for the ASCII time-series plotter.
+struct PlotOptions {
+    std::size_t width = 100;   ///< plot area columns
+    std::size_t height = 20;   ///< plot area rows
+    std::string title;
+    std::string xLabel = "Time [s]";
+    std::string yLabel;
+    /// Fixed y range; if min==max the range is derived from the data.
+    double yMin = 0.0;
+    double yMax = 0.0;
+};
+
+/// One named series to draw; each series uses its own glyph.
+struct PlotSeries {
+    std::string name;
+    char glyph = '*';
+    Series points;
+};
+
+/// Render one or more series as an ASCII chart, in the spirit of the
+/// paper's gnuplot figures. Multiple series overlay in one plot area
+/// (later series draw over earlier ones where they collide).
+[[nodiscard]] std::string renderPlot(const std::vector<PlotSeries>& series,
+                                     const PlotOptions& options);
+
+}  // namespace onelab::util

@@ -1,0 +1,91 @@
+#include "util/bytes.hpp"
+
+#include <cstdio>
+
+namespace onelab::util {
+
+void putU8(Bytes& out, std::uint8_t value) { out.push_back(value); }
+
+void putU16(Bytes& out, std::uint16_t value) {
+    out.push_back(std::uint8_t(value >> 8));
+    out.push_back(std::uint8_t(value));
+}
+
+void putU32(Bytes& out, std::uint32_t value) {
+    putU16(out, std::uint16_t(value >> 16));
+    putU16(out, std::uint16_t(value));
+}
+
+void putU64(Bytes& out, std::uint64_t value) {
+    putU32(out, std::uint32_t(value >> 32));
+    putU32(out, std::uint32_t(value));
+}
+
+void putBytes(Bytes& out, ByteView data) { out.insert(out.end(), data.begin(), data.end()); }
+
+bool ByteReader::need(std::size_t count) noexcept {
+    if (!ok_ || remaining() < count) {
+        ok_ = false;
+        return false;
+    }
+    return true;
+}
+
+std::uint8_t ByteReader::u8() {
+    if (!need(1)) return 0;
+    return data_[offset_++];
+}
+
+std::uint16_t ByteReader::u16() {
+    if (!need(2)) return 0;
+    const std::uint16_t value = std::uint16_t(data_[offset_] << 8) | data_[offset_ + 1];
+    offset_ += 2;
+    return value;
+}
+
+std::uint32_t ByteReader::u32() {
+    const std::uint32_t hi = u16();
+    const std::uint32_t lo = u16();
+    return (hi << 16) | lo;
+}
+
+std::uint64_t ByteReader::u64() {
+    const std::uint64_t hi = u32();
+    const std::uint64_t lo = u32();
+    return (hi << 32) | lo;
+}
+
+Bytes ByteReader::bytes(std::size_t count) {
+    if (!need(count)) return {};
+    Bytes out(data_.begin() + long(offset_), data_.begin() + long(offset_ + count));
+    offset_ += count;
+    return out;
+}
+
+void ByteReader::skip(std::size_t count) {
+    if (need(count)) offset_ += count;
+}
+
+std::string hexDump(ByteView data, std::size_t maxBytes) {
+    std::string out;
+    const std::size_t count = std::min(data.size(), maxBytes);
+    char buf[4];
+    for (std::size_t i = 0; i < count; ++i) {
+        std::snprintf(buf, sizeof buf, "%02x", data[i]);
+        if (i != 0) out += ' ';
+        out += buf;
+    }
+    if (count < data.size()) out += " ...";
+    return out;
+}
+
+std::uint16_t internetChecksum(ByteView data) noexcept {
+    std::uint32_t sum = 0;
+    std::size_t i = 0;
+    for (; i + 1 < data.size(); i += 2) sum += std::uint32_t(data[i] << 8) | data[i + 1];
+    if (i < data.size()) sum += std::uint32_t(data[i] << 8);
+    while (sum >> 16) sum = (sum & 0xffff) + (sum >> 16);
+    return std::uint16_t(~sum);
+}
+
+}  // namespace onelab::util

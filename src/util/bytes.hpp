@@ -1,0 +1,50 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace onelab::util {
+
+using Bytes = std::vector<std::uint8_t>;
+using ByteView = std::span<const std::uint8_t>;
+
+/// Big-endian (network order) encode/append helpers.
+void putU8(Bytes& out, std::uint8_t value);
+void putU16(Bytes& out, std::uint16_t value);
+void putU32(Bytes& out, std::uint32_t value);
+void putU64(Bytes& out, std::uint64_t value);
+void putBytes(Bytes& out, ByteView data);
+
+/// Big-endian reader over a byte view with bounds checking; `ok()`
+/// turns false on the first out-of-range read and stays false.
+class ByteReader {
+  public:
+    explicit ByteReader(ByteView data) : data_(data) {}
+
+    [[nodiscard]] bool ok() const noexcept { return ok_; }
+    [[nodiscard]] std::size_t remaining() const noexcept { return data_.size() - offset_; }
+    [[nodiscard]] std::size_t offset() const noexcept { return offset_; }
+
+    std::uint8_t u8();
+    std::uint16_t u16();
+    std::uint32_t u32();
+    std::uint64_t u64();
+    Bytes bytes(std::size_t count);
+    void skip(std::size_t count);
+
+  private:
+    [[nodiscard]] bool need(std::size_t count) noexcept;
+    ByteView data_;
+    std::size_t offset_ = 0;
+    bool ok_ = true;
+};
+
+/// Hex dump ("de ad be ef") for logs and test diagnostics.
+[[nodiscard]] std::string hexDump(ByteView data, std::size_t maxBytes = 64);
+
+/// Internet checksum (RFC 1071) over a byte view.
+[[nodiscard]] std::uint16_t internetChecksum(ByteView data) noexcept;
+
+}  // namespace onelab::util

@@ -1,0 +1,48 @@
+#include "util/logging.hpp"
+
+#include <cstdio>
+#include <iomanip>
+
+namespace onelab::util {
+
+std::string_view logLevelName(LogLevel level) noexcept {
+    switch (level) {
+        case LogLevel::trace: return "TRACE";
+        case LogLevel::debug: return "DEBUG";
+        case LogLevel::info: return "INFO";
+        case LogLevel::warn: return "WARN";
+        case LogLevel::error: return "ERROR";
+        case LogLevel::off: return "OFF";
+    }
+    return "?";
+}
+
+LogConfig& LogConfig::instance() {
+    static LogConfig config;
+    return config;
+}
+
+LogConfig::LogConfig() {
+    sink_ = [](std::string_view line) { std::fprintf(stderr, "%.*s\n", int(line.size()), line.data()); };
+}
+
+void LogConfig::setSink(std::function<void(std::string_view)> sink) { sink_ = std::move(sink); }
+
+void LogConfig::setClock(std::function<std::int64_t()> clock) { clock_ = std::move(clock); }
+
+void LogConfig::emit(LogLevel level, std::string_view component, std::string_view message) {
+    if (level < level_ || !sink_) return;
+    std::ostringstream line;
+    if (clock_) {
+        const double seconds = double(clock_()) / 1e9;
+        line << '[' << std::fixed << std::setprecision(6) << seconds << "s] ";
+    }
+    line << logLevelName(level) << ' ' << component << ": " << message;
+    sink_(line.str());
+}
+
+Logger::Line::~Line() {
+    if (enabled_) LogConfig::instance().emit(level_, component_, stream_.str());
+}
+
+}  // namespace onelab::util

@@ -1,0 +1,82 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <sstream>
+#include <string>
+#include <string_view>
+
+namespace onelab::util {
+
+/// Severity levels, lowest to highest.
+enum class LogLevel : std::uint8_t { trace, debug, info, warn, error, off };
+
+[[nodiscard]] std::string_view logLevelName(LogLevel level) noexcept;
+
+/// Process-wide logging configuration. The simulator installs a clock
+/// hook so log lines carry simulated (not wall-clock) time.
+class LogConfig {
+  public:
+    static LogConfig& instance();
+
+    void setLevel(LogLevel level) noexcept { level_ = level; }
+    [[nodiscard]] LogLevel level() const noexcept { return level_; }
+
+    /// Sink receives fully formatted lines. Default writes to stderr.
+    void setSink(std::function<void(std::string_view)> sink);
+
+    /// Clock hook: returns current simulated time in nanoseconds.
+    void setClock(std::function<std::int64_t()> clock);
+
+    void emit(LogLevel level, std::string_view component, std::string_view message);
+
+  private:
+    LogConfig();
+    LogLevel level_ = LogLevel::warn;
+    std::function<void(std::string_view)> sink_;
+    std::function<std::int64_t()> clock_;
+};
+
+/// Lightweight component logger: cheap to construct, stream-style use:
+///   Logger log{"ppp.lcp"};
+///   log.info() << "entering state " << name;
+class Logger {
+  public:
+    explicit Logger(std::string component) : component_(std::move(component)) {}
+
+    class Line {
+      public:
+        Line(LogLevel level, const std::string& component, bool enabled)
+            : level_(level), component_(component), enabled_(enabled) {}
+        Line(const Line&) = delete;
+        Line& operator=(const Line&) = delete;
+        ~Line();
+
+        template <typename T>
+        Line& operator<<(const T& value) {
+            if (enabled_) stream_ << value;
+            return *this;
+        }
+
+      private:
+        LogLevel level_;
+        const std::string& component_;
+        bool enabled_;
+        std::ostringstream stream_;
+    };
+
+    [[nodiscard]] bool enabled(LogLevel level) const noexcept {
+        return level >= LogConfig::instance().level();
+    }
+
+    Line trace() const { return Line{LogLevel::trace, component_, enabled(LogLevel::trace)}; }
+    Line debug() const { return Line{LogLevel::debug, component_, enabled(LogLevel::debug)}; }
+    Line info() const { return Line{LogLevel::info, component_, enabled(LogLevel::info)}; }
+    Line warn() const { return Line{LogLevel::warn, component_, enabled(LogLevel::warn)}; }
+    Line error() const { return Line{LogLevel::error, component_, enabled(LogLevel::error)}; }
+
+  private:
+    std::string component_;
+};
+
+}  // namespace onelab::util

@@ -1,0 +1,45 @@
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+#include "util/bytes.hpp"
+
+namespace onelab::util {
+
+/// MD5 message digest (RFC 1321). Needed by PPP CHAP (RFC 1994),
+/// whose response is MD5(id || secret || challenge). Incremental API:
+///
+///   Md5 md5;
+///   md5.update(data);
+///   auto digest = md5.finish();
+class Md5 {
+  public:
+    static constexpr std::size_t kDigestSize = 16;
+    using Digest = std::array<std::uint8_t, kDigestSize>;
+
+    Md5();
+
+    void update(ByteView data);
+    void update(const std::string& text);
+
+    /// Finalise and return the digest; the object must not be reused.
+    [[nodiscard]] Digest finish();
+
+    /// One-shot convenience.
+    static Digest hash(ByteView data);
+
+  private:
+    void processBlock(const std::uint8_t* block);
+
+    std::array<std::uint32_t, 4> state_;
+    std::uint64_t totalBytes_ = 0;
+    std::array<std::uint8_t, 64> buffer_{};
+    std::size_t bufferUsed_ = 0;
+};
+
+/// Hex string of a digest (lowercase).
+[[nodiscard]] std::string toHex(const Md5::Digest& digest);
+
+}  // namespace onelab::util

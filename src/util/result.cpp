@@ -1,0 +1,22 @@
+#include "util/result.hpp"
+
+namespace onelab::util {
+
+const char* Error::codeName() const noexcept {
+    switch (code) {
+        case Code::none: return "OK";
+        case Code::invalid_argument: return "EINVAL";
+        case Code::not_found: return "ENOENT";
+        case Code::permission_denied: return "EPERM";
+        case Code::busy: return "EBUSY";
+        case Code::timeout: return "ETIMEDOUT";
+        case Code::io: return "EIO";
+        case Code::protocol: return "EPROTO";
+        case Code::state: return "EBADSTATE";
+        case Code::exists: return "EEXIST";
+        case Code::unsupported: return "ENOTSUP";
+    }
+    return "E?";
+}
+
+}  // namespace onelab::util

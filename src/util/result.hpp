@@ -1,0 +1,100 @@
+#pragma once
+
+#include <cassert>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace onelab::util {
+
+/// Error value carried by Result<T>: a machine-usable code plus a
+/// human-readable message. Codes loosely mirror errno semantics so the
+/// command-layer (umtsctl) can map them onto exit statuses.
+struct Error {
+    enum class Code {
+        none = 0,
+        invalid_argument,
+        not_found,
+        permission_denied,  ///< caller context lacks root privileges
+        busy,               ///< resource locked by another owner
+        timeout,
+        io,                 ///< link/tty level failure
+        protocol,           ///< negotiation / parse failure
+        state,              ///< operation invalid in current state
+        exists,
+        unsupported,
+    };
+
+    Code code = Code::none;
+    std::string message;
+
+    Error() = default;
+    Error(Code c, std::string msg) : code(c), message(std::move(msg)) {}
+
+    /// Short stable identifier for the code ("EPERM"-style), used in
+    /// logs and the umtsctl wire protocol.
+    [[nodiscard]] const char* codeName() const noexcept;
+};
+
+/// Minimal expected-like result type (the toolchain's std::expected is
+/// not assumed). Holds either a value or an Error.
+template <typename T>
+class [[nodiscard]] Result {
+  public:
+    Result(T value) : storage_(std::move(value)) {}
+    Result(Error err) : storage_(std::move(err)) {}
+
+    [[nodiscard]] bool ok() const noexcept { return std::holds_alternative<T>(storage_); }
+    explicit operator bool() const noexcept { return ok(); }
+
+    [[nodiscard]] const T& value() const& {
+        if (!ok()) throw std::runtime_error("Result::value on error: " + error().message);
+        return std::get<T>(storage_);
+    }
+    [[nodiscard]] T& value() & {
+        if (!ok()) throw std::runtime_error("Result::value on error: " + error().message);
+        return std::get<T>(storage_);
+    }
+    [[nodiscard]] T&& take() && {
+        if (!ok()) throw std::runtime_error("Result::take on error: " + error().message);
+        return std::get<T>(std::move(storage_));
+    }
+
+    [[nodiscard]] const Error& error() const {
+        assert(!ok());
+        return std::get<Error>(storage_);
+    }
+
+    [[nodiscard]] T valueOr(T fallback) const& {
+        return ok() ? std::get<T>(storage_) : std::move(fallback);
+    }
+
+  private:
+    std::variant<T, Error> storage_;
+};
+
+/// Result specialisation for operations that produce no value.
+template <>
+class [[nodiscard]] Result<void> {
+  public:
+    Result() = default;
+    Result(Error err) : error_(std::move(err)) {}
+
+    [[nodiscard]] bool ok() const noexcept { return !error_.has_value(); }
+    explicit operator bool() const noexcept { return ok(); }
+
+    [[nodiscard]] const Error& error() const {
+        assert(!ok());
+        return *error_;
+    }
+
+  private:
+    std::optional<Error> error_;
+};
+
+/// Convenience constructors.
+inline Error err(Error::Code c, std::string msg) { return Error{c, std::move(msg)}; }
+
+}  // namespace onelab::util

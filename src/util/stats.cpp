@@ -1,0 +1,88 @@
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "util/strings.hpp"
+
+namespace onelab::util {
+
+void OnlineStats::add(double sample) noexcept {
+    ++count_;
+    sum_ += sample;
+    const double delta = sample - mean_;
+    mean_ += delta / double(count_);
+    m2_ += delta * (sample - mean_);
+    min_ = std::min(min_, sample);
+    max_ = std::max(max_, sample);
+}
+
+double OnlineStats::variance() const noexcept {
+    if (count_ < 2) return 0.0;
+    return m2_ / double(count_ - 1);
+}
+
+double OnlineStats::stddev() const noexcept { return std::sqrt(variance()); }
+
+double PercentileSampler::percentile(double p) const {
+    if (samples_.empty()) return 0.0;
+    if (!sorted_) {
+        std::sort(samples_.begin(), samples_.end());
+        sorted_ = true;
+    }
+    const double clamped = std::clamp(p, 0.0, 100.0);
+    const double rank = clamped / 100.0 * double(samples_.size() - 1);
+    const std::size_t lo = std::size_t(std::floor(rank));
+    const std::size_t hi = std::size_t(std::ceil(rank));
+    const double frac = rank - double(lo);
+    return samples_[lo] * (1.0 - frac) + samples_[hi] * frac;
+}
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : lo_(lo), hi_(hi), counts_(bins, 0) {}
+
+void Histogram::add(double sample) noexcept {
+    const double span = hi_ - lo_;
+    std::size_t bin = 0;
+    if (sample >= hi_) {
+        bin = counts_.size() - 1;
+    } else if (sample > lo_) {
+        bin = std::size_t((sample - lo_) / span * double(counts_.size()));
+        bin = std::min(bin, counts_.size() - 1);
+    }
+    ++counts_[bin];
+    ++total_;
+}
+
+double Histogram::binLow(std::size_t bin) const noexcept {
+    return lo_ + (hi_ - lo_) * double(bin) / double(counts_.size());
+}
+
+std::string Histogram::render(std::size_t width) const {
+    std::uint64_t peak = 1;
+    for (const std::uint64_t c : counts_) peak = std::max(peak, c);
+    std::ostringstream out;
+    for (std::size_t i = 0; i < counts_.size(); ++i) {
+        const std::size_t bar = std::size_t(double(counts_[i]) / double(peak) * double(width));
+        out << format("%12.4f | ", binLow(i)) << std::string(bar, '#') << ' ' << counts_[i]
+            << '\n';
+    }
+    return out.str();
+}
+
+SeriesSummary summarize(const Series& series) {
+    OnlineStats stats;
+    for (const SeriesPoint& point : series) stats.add(point.value);
+    return SeriesSummary{stats.count(), stats.mean(), stats.stddev(), stats.min(), stats.max()};
+}
+
+double meanInWindow(const Series& series, double fromSeconds, double toSeconds) {
+    OnlineStats stats;
+    for (const SeriesPoint& point : series)
+        if (point.timeSeconds >= fromSeconds && point.timeSeconds < toSeconds)
+            stats.add(point.value);
+    return stats.mean();
+}
+
+}  // namespace onelab::util

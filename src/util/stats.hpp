@@ -1,0 +1,94 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+namespace onelab::util {
+
+/// Online mean/variance/min/max accumulator (Welford's algorithm).
+class OnlineStats {
+  public:
+    void add(double sample) noexcept;
+
+    [[nodiscard]] std::size_t count() const noexcept { return count_; }
+    [[nodiscard]] double mean() const noexcept { return count_ ? mean_ : 0.0; }
+    [[nodiscard]] double variance() const noexcept;  ///< sample variance (n-1)
+    [[nodiscard]] double stddev() const noexcept;
+    [[nodiscard]] double min() const noexcept { return count_ ? min_ : 0.0; }
+    [[nodiscard]] double max() const noexcept { return count_ ? max_ : 0.0; }
+    [[nodiscard]] double sum() const noexcept { return sum_; }
+
+  private:
+    std::size_t count_ = 0;
+    double mean_ = 0.0;
+    double m2_ = 0.0;
+    double sum_ = 0.0;
+    double min_ = std::numeric_limits<double>::infinity();
+    double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// Exact percentile over a retained sample vector. Suitable for the
+/// experiment scale here (at most a few hundred thousand samples).
+class PercentileSampler {
+  public:
+    void add(double sample) {
+        samples_.push_back(sample);
+        sorted_ = false;
+    }
+    /// p in [0, 100]; linear interpolation between closest ranks.
+    [[nodiscard]] double percentile(double p) const;
+    [[nodiscard]] std::size_t count() const noexcept { return samples_.size(); }
+    [[nodiscard]] const std::vector<double>& samples() const noexcept { return samples_; }
+
+  private:
+    mutable std::vector<double> samples_;
+    mutable bool sorted_ = false;
+};
+
+/// Fixed-width histogram over [lo, hi); samples outside the range land
+/// in saturating edge bins.
+class Histogram {
+  public:
+    Histogram(double lo, double hi, std::size_t bins);
+
+    void add(double sample) noexcept;
+    [[nodiscard]] std::size_t bins() const noexcept { return counts_.size(); }
+    [[nodiscard]] std::uint64_t binCount(std::size_t bin) const { return counts_.at(bin); }
+    [[nodiscard]] double binLow(std::size_t bin) const noexcept;
+    [[nodiscard]] std::uint64_t total() const noexcept { return total_; }
+    /// Render as an ASCII bar chart.
+    [[nodiscard]] std::string render(std::size_t width = 50) const;
+
+  private:
+    double lo_, hi_;
+    std::vector<std::uint64_t> counts_;
+    std::uint64_t total_ = 0;
+};
+
+/// A point in a measured time series (time in seconds, value in the
+/// series' unit). This is what the figure benches print.
+struct SeriesPoint {
+    double timeSeconds = 0.0;
+    double value = 0.0;
+};
+
+using Series = std::vector<SeriesPoint>;
+
+/// Summary over a series' values.
+struct SeriesSummary {
+    std::size_t points = 0;
+    double mean = 0.0;
+    double stddev = 0.0;
+    double min = 0.0;
+    double max = 0.0;
+};
+
+[[nodiscard]] SeriesSummary summarize(const Series& series);
+
+/// Mean of the values in [fromSeconds, toSeconds).
+[[nodiscard]] double meanInWindow(const Series& series, double fromSeconds, double toSeconds);
+
+}  // namespace onelab::util

@@ -1,0 +1,100 @@
+#include "util/strings.hpp"
+
+#include <cctype>
+#include <charconv>
+#include <cstdarg>
+#include <cstdio>
+
+namespace onelab::util {
+
+std::vector<std::string> split(std::string_view text, char sep) {
+    std::vector<std::string> out;
+    std::size_t start = 0;
+    while (true) {
+        const std::size_t pos = text.find(sep, start);
+        if (pos == std::string_view::npos) {
+            out.emplace_back(text.substr(start));
+            return out;
+        }
+        out.emplace_back(text.substr(start, pos - start));
+        start = pos + 1;
+    }
+}
+
+std::vector<std::string> splitWhitespace(std::string_view text) {
+    std::vector<std::string> out;
+    std::size_t i = 0;
+    while (i < text.size()) {
+        while (i < text.size() && std::isspace(static_cast<unsigned char>(text[i]))) ++i;
+        std::size_t start = i;
+        while (i < text.size() && !std::isspace(static_cast<unsigned char>(text[i]))) ++i;
+        if (i > start) out.emplace_back(text.substr(start, i - start));
+    }
+    return out;
+}
+
+std::string trim(std::string_view text) {
+    std::size_t begin = 0;
+    std::size_t end = text.size();
+    while (begin < end && std::isspace(static_cast<unsigned char>(text[begin]))) ++begin;
+    while (end > begin && std::isspace(static_cast<unsigned char>(text[end - 1]))) --end;
+    return std::string{text.substr(begin, end - begin)};
+}
+
+bool startsWith(std::string_view text, std::string_view prefix) noexcept {
+    return text.size() >= prefix.size() && text.substr(0, prefix.size()) == prefix;
+}
+
+bool endsWith(std::string_view text, std::string_view suffix) noexcept {
+    return text.size() >= suffix.size() && text.substr(text.size() - suffix.size()) == suffix;
+}
+
+std::string join(const std::vector<std::string>& parts, std::string_view sep) {
+    std::string out;
+    for (std::size_t i = 0; i < parts.size(); ++i) {
+        if (i != 0) out += sep;
+        out += parts[i];
+    }
+    return out;
+}
+
+std::string toUpper(std::string_view text) {
+    std::string out{text};
+    for (char& c : out) c = char(std::toupper(static_cast<unsigned char>(c)));
+    return out;
+}
+
+Result<std::int64_t> parseInt(std::string_view text) {
+    const std::string trimmed = trim(text);
+    std::int64_t value = 0;
+    const auto [ptr, ec] =
+        std::from_chars(trimmed.data(), trimmed.data() + trimmed.size(), value);
+    if (ec != std::errc{} || ptr != trimmed.data() + trimmed.size())
+        return err(Error::Code::invalid_argument, "not an integer: '" + trimmed + "'");
+    return value;
+}
+
+Result<double> parseDouble(std::string_view text) {
+    const std::string trimmed = trim(text);
+    if (trimmed.empty()) return err(Error::Code::invalid_argument, "empty number");
+    char* endPtr = nullptr;
+    const double value = std::strtod(trimmed.c_str(), &endPtr);
+    if (endPtr != trimmed.c_str() + trimmed.size())
+        return err(Error::Code::invalid_argument, "not a number: '" + trimmed + "'");
+    return value;
+}
+
+std::string format(const char* fmt, ...) {
+    va_list args;
+    va_start(args, fmt);
+    va_list argsCopy;
+    va_copy(argsCopy, args);
+    const int needed = std::vsnprintf(nullptr, 0, fmt, args);
+    va_end(args);
+    std::string out(needed > 0 ? std::size_t(needed) : 0, '\0');
+    if (needed > 0) std::vsnprintf(out.data(), out.size() + 1, fmt, argsCopy);
+    va_end(argsCopy);
+    return out;
+}
+
+}  // namespace onelab::util

@@ -1,0 +1,37 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/result.hpp"
+
+namespace onelab::util {
+
+/// Split on a separator character; empty fields are preserved.
+[[nodiscard]] std::vector<std::string> split(std::string_view text, char sep);
+
+/// Split on runs of whitespace; empty tokens are dropped.
+[[nodiscard]] std::vector<std::string> splitWhitespace(std::string_view text);
+
+/// Strip leading/trailing whitespace (space, tab, CR, LF).
+[[nodiscard]] std::string trim(std::string_view text);
+
+[[nodiscard]] bool startsWith(std::string_view text, std::string_view prefix) noexcept;
+[[nodiscard]] bool endsWith(std::string_view text, std::string_view suffix) noexcept;
+
+/// Join with a separator.
+[[nodiscard]] std::string join(const std::vector<std::string>& parts, std::string_view sep);
+
+/// Uppercase ASCII copy.
+[[nodiscard]] std::string toUpper(std::string_view text);
+
+/// Parse helpers returning Result rather than throwing.
+[[nodiscard]] Result<std::int64_t> parseInt(std::string_view text);
+[[nodiscard]] Result<double> parseDouble(std::string_view text);
+
+/// printf-style formatting into a std::string.
+[[nodiscard]] std::string format(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+}  // namespace onelab::util

@@ -1,0 +1,45 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace onelab::util {
+
+std::string Table::render() const {
+    std::vector<std::size_t> widths(header_.size(), 0);
+    for (std::size_t i = 0; i < header_.size(); ++i) widths[i] = header_[i].size();
+    for (const auto& row : rows_)
+        for (std::size_t i = 0; i < row.size() && i < widths.size(); ++i)
+            widths[i] = std::max(widths[i], row[i].size());
+
+    std::ostringstream out;
+    auto emitRow = [&](const std::vector<std::string>& row) {
+        for (std::size_t i = 0; i < widths.size(); ++i) {
+            const std::string& cell = i < row.size() ? row[i] : std::string{};
+            out << cell << std::string(widths[i] - cell.size() + 2, ' ');
+        }
+        out << '\n';
+    };
+    emitRow(header_);
+    std::size_t total = 0;
+    for (const std::size_t w : widths) total += w + 2;
+    out << std::string(total, '-') << '\n';
+    for (const auto& row : rows_) emitRow(row);
+    return out.str();
+}
+
+std::string Table::csv() const {
+    std::ostringstream out;
+    auto emitRow = [&](const std::vector<std::string>& row) {
+        for (std::size_t i = 0; i < row.size(); ++i) {
+            if (i != 0) out << ',';
+            out << row[i];
+        }
+        out << '\n';
+    };
+    emitRow(header_);
+    for (const auto& row : rows_) emitRow(row);
+    return out.str();
+}
+
+}  // namespace onelab::util

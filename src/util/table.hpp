@@ -1,0 +1,29 @@
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace onelab::util {
+
+/// Column-aligned text table with CSV export; used by the figure
+/// benches to print the series the paper plots.
+class Table {
+  public:
+    explicit Table(std::vector<std::string> header) : header_(std::move(header)) {}
+
+    void addRow(std::vector<std::string> row) { rows_.push_back(std::move(row)); }
+
+    /// Render with aligned columns.
+    [[nodiscard]] std::string render() const;
+    /// Render as CSV (comma-separated, header first).
+    [[nodiscard]] std::string csv() const;
+
+    [[nodiscard]] std::size_t rowCount() const noexcept { return rows_.size(); }
+
+  private:
+    std::vector<std::string> header_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace onelab::util

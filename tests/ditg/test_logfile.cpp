@@ -1,0 +1,128 @@
+#include "ditg/logfile.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "ditg/decoder.hpp"
+
+namespace onelab::ditg {
+namespace {
+
+SenderLog sampleSenderLog() {
+    SenderLog log;
+    for (int i = 0; i < 5; ++i) {
+        TxRecord tx;
+        tx.sequence = std::uint32_t(i);
+        tx.payloadBytes = 90 + std::size_t(i);
+        tx.txTime = sim::millis(10.0 * i);
+        tx.sendFailed = i == 3;
+        log.packets.push_back(tx);
+    }
+    log.rtts.push_back(RttRecord{2, sim::millis(20), sim::millis(150)});
+    return log;
+}
+
+ReceiverLog sampleReceiverLog() {
+    ReceiverLog log;
+    for (int i = 0; i < 4; ++i) {
+        RxRecord rx;
+        rx.flowId = 7;
+        rx.sequence = std::uint32_t(i);
+        rx.payloadBytes = 90;
+        rx.txTime = sim::millis(10.0 * i);
+        rx.rxTime = rx.txTime + sim::millis(55);
+        log.packets.push_back(rx);
+    }
+    return log;
+}
+
+TEST(LogFile, SenderRoundTrip) {
+    const SenderLog original = sampleSenderLog();
+    const util::Bytes blob = logfile::encodeSenderLog(original);
+    const auto decoded = logfile::decodeSenderLog({blob.data(), blob.size()});
+    ASSERT_TRUE(decoded.ok());
+    ASSERT_EQ(decoded.value().packets.size(), 5u);
+    EXPECT_EQ(decoded.value().packets[3].sendFailed, true);
+    EXPECT_EQ(decoded.value().packets[4].payloadBytes, 94u);
+    EXPECT_EQ(decoded.value().packets[2].txTime, sim::millis(20));
+    ASSERT_EQ(decoded.value().rtts.size(), 1u);
+    EXPECT_EQ(decoded.value().rtts[0].rtt, sim::millis(150));
+}
+
+TEST(LogFile, ReceiverRoundTrip) {
+    const ReceiverLog original = sampleReceiverLog();
+    const util::Bytes blob = logfile::encodeReceiverLog(original);
+    const auto decoded = logfile::decodeReceiverLog({blob.data(), blob.size()});
+    ASSERT_TRUE(decoded.ok());
+    ASSERT_EQ(decoded.value().packets.size(), 4u);
+    EXPECT_EQ(decoded.value().packets[0].flowId, 7);
+    EXPECT_EQ(decoded.value().packets[3].rxTime, sim::millis(85));
+}
+
+TEST(LogFile, KindMismatchRejected) {
+    const util::Bytes sender = logfile::encodeSenderLog(sampleSenderLog());
+    EXPECT_FALSE(logfile::decodeReceiverLog({sender.data(), sender.size()}).ok());
+    const util::Bytes receiver = logfile::encodeReceiverLog(sampleReceiverLog());
+    EXPECT_FALSE(logfile::decodeSenderLog({receiver.data(), receiver.size()}).ok());
+}
+
+TEST(LogFile, GarbageRejected) {
+    const util::Bytes junk{'N', 'O', 'P', 'E', 1, 1};
+    EXPECT_FALSE(logfile::decodeSenderLog({junk.data(), junk.size()}).ok());
+    EXPECT_FALSE(logfile::decodeSenderLog({}).ok());
+}
+
+TEST(LogFile, TruncationRejected) {
+    util::Bytes blob = logfile::encodeSenderLog(sampleSenderLog());
+    blob.resize(blob.size() - 4);
+    EXPECT_FALSE(logfile::decodeSenderLog({blob.data(), blob.size()}).ok());
+}
+
+TEST(LogFile, FileRoundTripAndDecode) {
+    // The §3.1 workflow: write logs on the nodes, retrieve them, run
+    // ITGDec on the files.
+    const std::string senderPath = "/tmp/onelab_umts_test_sender.itg";
+    const std::string receiverPath = "/tmp/onelab_umts_test_receiver.itg";
+    ASSERT_TRUE(logfile::writeFile(senderPath, [&] {
+                    static util::Bytes blob = logfile::encodeSenderLog(sampleSenderLog());
+                    return util::ByteView{blob.data(), blob.size()};
+                }()).ok());
+    const util::Bytes receiverBlob = logfile::encodeReceiverLog(sampleReceiverLog());
+    ASSERT_TRUE(
+        logfile::writeFile(receiverPath, {receiverBlob.data(), receiverBlob.size()}).ok());
+
+    const auto senderBlob = logfile::readFile(senderPath);
+    ASSERT_TRUE(senderBlob.ok());
+    const auto sender = logfile::decodeSenderLog(
+        {senderBlob.value().data(), senderBlob.value().size()});
+    const auto receiverRead = logfile::readFile(receiverPath);
+    ASSERT_TRUE(receiverRead.ok());
+    const auto receiver = logfile::decodeReceiverLog(
+        {receiverRead.value().data(), receiverRead.value().size()});
+    ASSERT_TRUE(sender.ok());
+    ASSERT_TRUE(receiver.ok());
+
+    const QosSummary summary = ItgDec::summarize(sender.value(), receiver.value());
+    EXPECT_EQ(summary.sent, 5u);
+    EXPECT_EQ(summary.received, 4u);
+    EXPECT_NEAR(summary.meanOwdSeconds, 0.055, 1e-9);
+
+    std::remove(senderPath.c_str());
+    std::remove(receiverPath.c_str());
+}
+
+TEST(LogFile, ReadMissingFileFails) {
+    EXPECT_FALSE(logfile::readFile("/tmp/definitely_missing_itg_log_4711.itg").ok());
+}
+
+TEST(Decoder, OwdSeriesMatchesSyntheticDelay) {
+    const QosSeries series =
+        ItgDec::decode(sampleSenderLog(), sampleReceiverLog(), 0.2);
+    ASSERT_FALSE(series.owdSeconds.empty());
+    for (const util::SeriesPoint& point : series.owdSeconds)
+        EXPECT_NEAR(point.value, 0.055, 1e-9);
+}
+
+}  // namespace
+}  // namespace onelab::ditg

@@ -1,0 +1,178 @@
+#include <gtest/gtest.h>
+
+#include "ditg/decoder.hpp"
+#include "ditg/receiver.hpp"
+#include "ditg/sender.hpp"
+#include "net/internet.hpp"
+
+namespace onelab::ditg {
+namespace {
+
+using sim::seconds;
+
+/// Sender and receiver hosts joined by a clean wired Internet.
+struct SendRecvTest : ::testing::Test {
+    SendRecvTest() : internet(sim, util::RandomStream{11}) {
+        sender = makeHost("tx", net::Ipv4Address{10, 0, 0, 1});
+        receiver = makeHost("rx", net::Ipv4Address{10, 0, 0, 2});
+    }
+
+    net::NetworkStack* makeHost(const std::string& name, net::Ipv4Address addr) {
+        hosts.push_back(std::make_unique<net::NetworkStack>(sim, name));
+        net::NetworkStack& host = *hosts.back();
+        net::Interface& eth = host.addInterface("eth0");
+        eth.setAddress(addr);
+        eth.setUp(true);
+        internet.attach(eth, net::AccessLink{});
+        host.router().table(net::PolicyRouter::kMainTable)
+            .addRoute({net::Prefix::any(), "eth0", std::nullopt, 0});
+        return &host;
+    }
+
+    sim::Simulator sim;
+    net::Internet internet;
+    std::vector<std::unique_ptr<net::NetworkStack>> hosts;
+    net::NetworkStack* sender = nullptr;
+    net::NetworkStack* receiver = nullptr;
+};
+
+TEST_F(SendRecvTest, CbrFlowDeliversAllPackets) {
+    auto rxSocket = receiver->openUdp(0, 9001).value();
+    ItgRecv recv{*rxSocket};
+    auto txSocket = sender->openUdp(0).value();
+    ItgSend send{sim, *txSocket, cbrFlow(1, 100.0, 200, 2.0), net::Ipv4Address{10, 0, 0, 2},
+                 9001, util::RandomStream{1}};
+    bool completed = false;
+    send.start([&] { completed = true; });
+    sim.runUntil(seconds(4.0));
+
+    EXPECT_TRUE(completed);
+    EXPECT_TRUE(send.finished());
+    // 2 s at 100 pkt/s: the first packet goes at t=0, the last before 2 s.
+    EXPECT_EQ(send.packetsSent(), 200u);
+    EXPECT_EQ(send.sendErrors(), 0u);
+    EXPECT_EQ(recv.packetsReceived(), 200u);
+    EXPECT_EQ(recv.log(1).packets.size(), 200u);
+    EXPECT_EQ(recv.acksSent(), 200u);
+    EXPECT_EQ(send.log().rtts.size(), 200u);
+}
+
+TEST_F(SendRecvTest, PayloadSizesHonoured) {
+    auto rxSocket = receiver->openUdp(0, 9001).value();
+    ItgRecv recv{*rxSocket};
+    auto txSocket = sender->openUdp(0).value();
+    ItgSend send{sim, *txSocket, cbrFlow(1, 50.0, 512, 1.0), net::Ipv4Address{10, 0, 0, 2},
+                 9001, util::RandomStream{1}};
+    send.start();
+    sim.runUntil(seconds(2.0));
+    for (const RxRecord& rx : recv.log(1).packets) EXPECT_EQ(rx.payloadBytes, 512u);
+}
+
+TEST_F(SendRecvTest, RttMeasuredViaAcks) {
+    auto rxSocket = receiver->openUdp(0, 9001).value();
+    ItgRecv recv{*rxSocket};
+    auto txSocket = sender->openUdp(0).value();
+    ItgSend send{sim, *txSocket, cbrFlow(1, 20.0, 100, 1.0), net::Ipv4Address{10, 0, 0, 2},
+                 9001, util::RandomStream{1}};
+    send.start();
+    sim.runUntil(seconds(3.0));
+    ASSERT_FALSE(send.log().rtts.empty());
+    for (const RttRecord& rtt : send.log().rtts) {
+        // Round trip over two ~5.2 ms access paths.
+        EXPECT_GT(sim::toMillis(rtt.rtt), 5.0);
+        EXPECT_LT(sim::toMillis(rtt.rtt), 50.0);
+    }
+}
+
+TEST_F(SendRecvTest, ReceiverWithoutAcksSendsNone) {
+    auto rxSocket = receiver->openUdp(0, 9001).value();
+    ItgRecv recv{*rxSocket, /*sendAcks=*/false};
+    auto txSocket = sender->openUdp(0).value();
+    ItgSend send{sim, *txSocket, cbrFlow(1, 50.0, 100, 1.0), net::Ipv4Address{10, 0, 0, 2},
+                 9001, util::RandomStream{1}};
+    send.start();
+    sim.runUntil(seconds(3.0));
+    EXPECT_EQ(recv.acksSent(), 0u);
+    EXPECT_TRUE(send.log().rtts.empty());
+    EXPECT_GT(recv.packetsReceived(), 0u);
+}
+
+TEST_F(SendRecvTest, VariablePacketSizesAndIdt) {
+    auto rxSocket = receiver->openUdp(0, 9001).value();
+    ItgRecv recv{*rxSocket};
+    auto txSocket = sender->openUdp(0).value();
+    FlowSpec spec;
+    spec.name = "exp-uniform";
+    spec.flowId = 4;
+    spec.idtSeconds = util::exponentialVariable(0.01);
+    spec.payloadBytes = util::uniformVariable(64, 512);
+    spec.durationSeconds = 3.0;
+    ItgSend send{sim, *txSocket, std::move(spec), net::Ipv4Address{10, 0, 0, 2}, 9001,
+                 util::RandomStream{5}};
+    send.start();
+    sim.runUntil(seconds(5.0));
+    // Roughly 300 packets expected; allow generous slack.
+    EXPECT_GT(send.packetsSent(), 150u);
+    EXPECT_LT(send.packetsSent(), 600u);
+    // Sizes vary within bounds.
+    std::size_t minSize = 10000, maxSize = 0;
+    for (const RxRecord& rx : recv.log(4).packets) {
+        minSize = std::min(minSize, rx.payloadBytes);
+        maxSize = std::max(maxSize, rx.payloadBytes);
+    }
+    EXPECT_GE(minSize, 17u);
+    EXPECT_LE(maxSize, 512u);
+    EXPECT_NE(minSize, maxSize);
+}
+
+TEST_F(SendRecvTest, TwoFlowsKeepSeparateLogs) {
+    auto rxSocket = receiver->openUdp(0, 9001).value();
+    ItgRecv recv{*rxSocket};
+    auto txSocket1 = sender->openUdp(0).value();
+    auto txSocket2 = sender->openUdp(0).value();
+    ItgSend flow1{sim, *txSocket1, cbrFlow(1, 50.0, 100, 1.0), net::Ipv4Address{10, 0, 0, 2},
+                  9001, util::RandomStream{1}};
+    ItgSend flow2{sim, *txSocket2, cbrFlow(2, 25.0, 300, 1.0), net::Ipv4Address{10, 0, 0, 2},
+                  9001, util::RandomStream{2}};
+    flow1.start();
+    flow2.start();
+    sim.runUntil(seconds(3.0));
+    EXPECT_EQ(recv.log(1).packets.size(), flow1.packetsSent());
+    EXPECT_EQ(recv.log(2).packets.size(), flow2.packetsSent());
+    for (const RxRecord& rx : recv.log(2).packets) EXPECT_EQ(rx.payloadBytes, 300u);
+}
+
+TEST_F(SendRecvTest, StartOffsetDelaysFlow) {
+    auto rxSocket = receiver->openUdp(0, 9001).value();
+    ItgRecv recv{*rxSocket};
+    auto txSocket = sender->openUdp(0).value();
+    FlowSpec spec = cbrFlow(1, 100.0, 100, 1.0);
+    spec.startOffsetSeconds = 2.0;
+    ItgSend send{sim, *txSocket, std::move(spec), net::Ipv4Address{10, 0, 0, 2}, 9001,
+                 util::RandomStream{1}};
+    send.start();
+    sim.runUntil(seconds(1.5));
+    EXPECT_EQ(send.packetsSent(), 0u);
+    sim.runUntil(seconds(5.0));
+    EXPECT_GT(send.packetsSent(), 0u);
+    ASSERT_FALSE(send.log().packets.empty());
+    EXPECT_GE(send.log().packets.front().txTime, seconds(2.0));
+}
+
+TEST_F(SendRecvTest, EndToEndDecodeMatchesExpectations) {
+    auto rxSocket = receiver->openUdp(0, 9001).value();
+    ItgRecv recv{*rxSocket};
+    auto txSocket = sender->openUdp(0).value();
+    // 400 kbps CBR over a clean 100 Mbps path: all delivered.
+    ItgSend send{sim, *txSocket, cbrFlow(1, 100.0, 500, 4.0), net::Ipv4Address{10, 0, 0, 2},
+                 9001, util::RandomStream{1}};
+    send.start();
+    sim.runUntil(seconds(6.0));
+    const QosSummary summary = ItgDec::summarize(send.log(), recv.log(1));
+    EXPECT_EQ(summary.lost, 0u);
+    EXPECT_NEAR(summary.meanBitrateKbps, 400.0, 40.0);
+    EXPECT_LT(summary.meanJitterSeconds, 0.001);
+}
+
+}  // namespace
+}  // namespace onelab::ditg

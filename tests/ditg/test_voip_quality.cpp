@@ -1,0 +1,75 @@
+#include "ditg/voip_quality.hpp"
+
+#include <gtest/gtest.h>
+
+#include "scenario/experiment.hpp"
+
+namespace onelab::ditg {
+namespace {
+
+TEST(VoipQuality, CleanPathIsToll) {
+    const VoipQuality quality = estimateVoipQuality(0.020, 0.0001, 0.0);
+    EXPECT_GT(quality.rFactor, 88.0);
+    EXPECT_GT(quality.mos, 4.2);
+    EXPECT_TRUE(quality.satisfying());
+    EXPECT_FALSE(quality.nearlyImpossible());
+}
+
+TEST(VoipQuality, DelayDegradesMonotonically) {
+    double previous = 5.0;
+    for (const double owd : {0.05, 0.15, 0.25, 0.40, 0.80}) {
+        const VoipQuality quality = estimateVoipQuality(owd, 0.005, 0.0);
+        EXPECT_LT(quality.mos, previous) << owd;
+        previous = quality.mos;
+    }
+}
+
+TEST(VoipQuality, LossDegradesSharply) {
+    const VoipQuality light = estimateVoipQuality(0.1, 0.005, 0.01);
+    const VoipQuality heavy = estimateVoipQuality(0.1, 0.005, 0.30);
+    EXPECT_GT(light.mos, 3.5);
+    EXPECT_LT(heavy.mos, 2.2);
+    EXPECT_TRUE(heavy.nearlyImpossible());
+}
+
+TEST(VoipQuality, ExtremesClampToScale) {
+    const VoipQuality terrible = estimateVoipQuality(5.0, 1.0, 0.9);
+    EXPECT_GE(terrible.mos, 1.0);
+    EXPECT_LE(terrible.rFactor, 100.0);
+    EXPECT_EQ(terrible.mos, 1.0);
+}
+
+// --- the paper's two qualitative claims, measured ---
+
+TEST(VoipQuality, PaperClaimUmtsVoipIsSatisfying) {
+    // §3.2: jitter/RTT on UMTS "still allows a VoIP communication to
+    // be satisfying for the users".
+    scenario::ExperimentOptions options;
+    options.workload = scenario::Workload::voip_g711;
+    options.durationSeconds = 60.0;
+    const scenario::PathRun run =
+        scenario::runPath(scenario::PathKind::umts_to_ethernet, options);
+    const VoipQuality quality = estimateVoipQuality(run.summary);
+    EXPECT_TRUE(quality.satisfying())
+        << "R=" << quality.rFactor << " MOS=" << quality.mos;
+    // And the wired path is better still.
+    const scenario::PathRun wired =
+        scenario::runPath(scenario::PathKind::ethernet_to_ethernet, options);
+    EXPECT_GT(estimateVoipQuality(wired.summary).mos, quality.mos);
+}
+
+TEST(VoipQuality, PaperClaimSaturatedLinkIsNearlyImpossible) {
+    // §3.2 on the 1 Mbps flow: "makes a real time communication
+    // nearly impossible".
+    scenario::ExperimentOptions options;
+    options.workload = scenario::Workload::cbr_1mbps;
+    options.durationSeconds = 60.0;
+    const scenario::PathRun run =
+        scenario::runPath(scenario::PathKind::umts_to_ethernet, options);
+    const VoipQuality quality = estimateVoipQuality(run.summary);
+    EXPECT_TRUE(quality.nearlyImpossible())
+        << "R=" << quality.rFactor << " MOS=" << quality.mos;
+}
+
+}  // namespace
+}  // namespace onelab::ditg

@@ -1,0 +1,70 @@
+// Hostile input on the modem TTY: random bytes and degenerate command
+// lines must never crash the AT engine or wedge it.
+#include <gtest/gtest.h>
+
+#include "modem/cards.hpp"
+#include "net/internet.hpp"
+
+namespace onelab::modem {
+namespace {
+
+class AtFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(AtFuzz, RandomBytesNeverCrashOrWedge) {
+    sim::Simulator sim;
+    net::Internet internet{sim, util::RandomStream{1}};
+    umts::UmtsNetwork network{sim, internet, umts::commercialItalianOperator(),
+                              util::RandomStream{2}};
+    sim::Pipe pipe{sim};
+    HuaweiE620Modem modem{sim, &network, {}};
+    modem.attachTty(pipe.b());
+    std::string received;
+    pipe.a().onData([&](util::ByteView data) { received.append(data.begin(), data.end()); });
+
+    util::RandomStream rng{GetParam()};
+    for (int burst = 0; burst < 100; ++burst) {
+        util::Bytes noise(std::size_t(rng.uniformInt(1, 40)));
+        for (auto& byte : noise) byte = std::uint8_t(rng.uniformInt(0, 255));
+        pipe.a().write({noise.data(), noise.size()});
+        sim.runUntil(sim.now() + sim::millis(20));
+    }
+    // The engine must still answer a clean command afterwards.
+    received.clear();
+    const std::string probe = "\rAT\r";
+    pipe.a().write({reinterpret_cast<const std::uint8_t*>(probe.data()), probe.size()});
+    sim.runUntil(sim.now() + sim::millis(100));
+    EXPECT_NE(received.find("OK"), std::string::npos);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AtFuzz, ::testing::Values(11, 22, 33, 44));
+
+TEST(AtEdgeCases, DegenerateLines) {
+    sim::Simulator sim;
+    net::Internet internet{sim, util::RandomStream{1}};
+    umts::UmtsNetwork network{sim, internet, umts::commercialItalianOperator(),
+                              util::RandomStream{2}};
+    sim::Pipe pipe{sim};
+    HuaweiE620Modem modem{sim, &network, {}};
+    modem.attachTty(pipe.b());
+    std::string received;
+    pipe.a().onData([&](util::ByteView data) { received.append(data.begin(), data.end()); });
+
+    auto send = [&](const std::string& text) {
+        received.clear();
+        pipe.a().write({reinterpret_cast<const std::uint8_t*>(text.data()), text.size()});
+        sim.runUntil(sim.now() + sim::millis(50));
+    };
+    send("\r\r\r");                      // empty lines: silence
+    EXPECT_EQ(received.find("ERROR"), std::string::npos);
+    send(std::string(4096, 'A') + "\r");  // monster line: ERROR, no crash
+    EXPECT_NE(received.find("ERROR"), std::string::npos);
+    send("AT+CGDCONT=\r");               // malformed setter
+    EXPECT_NE(received.find("ERROR"), std::string::npos);
+    send("AT+CPIN=\r");                  // empty pin attempt
+    EXPECT_NE(received.find("OK"), std::string::npos);  // SIM has no PIN: OK
+    send("AT\r");                        // still alive
+    EXPECT_NE(received.find("OK"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace onelab::modem

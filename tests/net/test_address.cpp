@@ -1,0 +1,74 @@
+#include "net/address.hpp"
+
+#include <gtest/gtest.h>
+
+namespace onelab::net {
+namespace {
+
+TEST(Ipv4Address, ParseAndFormatRoundTrip) {
+    const auto addr = Ipv4Address::parse("143.225.229.10");
+    ASSERT_TRUE(addr.ok());
+    EXPECT_EQ(addr.value().str(), "143.225.229.10");
+    EXPECT_EQ(addr.value(), (Ipv4Address{143, 225, 229, 10}));
+}
+
+TEST(Ipv4Address, ParseRejectsMalformed) {
+    EXPECT_FALSE(Ipv4Address::parse("1.2.3").ok());
+    EXPECT_FALSE(Ipv4Address::parse("1.2.3.4.5").ok());
+    EXPECT_FALSE(Ipv4Address::parse("1.2.3.256").ok());
+    EXPECT_FALSE(Ipv4Address::parse("a.b.c.d").ok());
+    EXPECT_FALSE(Ipv4Address::parse("").ok());
+}
+
+TEST(Ipv4Address, Unspecified) {
+    EXPECT_TRUE(Ipv4Address{}.isUnspecified());
+    EXPECT_FALSE((Ipv4Address{10, 0, 0, 1}).isUnspecified());
+}
+
+TEST(Ipv4Address, Ordering) {
+    EXPECT_LT((Ipv4Address{10, 0, 0, 1}), (Ipv4Address{10, 0, 0, 2}));
+    EXPECT_LT((Ipv4Address{9, 255, 255, 255}), (Ipv4Address{10, 0, 0, 0}));
+}
+
+TEST(Prefix, ContainsAndNormalisesBase) {
+    const Prefix prefix{Ipv4Address{93, 57, 12, 34}, 16};
+    EXPECT_EQ(prefix.base(), (Ipv4Address{93, 57, 0, 0}));  // host bits cleared
+    EXPECT_TRUE(prefix.contains(Ipv4Address{93, 57, 200, 1}));
+    EXPECT_FALSE(prefix.contains(Ipv4Address{93, 58, 0, 1}));
+}
+
+TEST(Prefix, HostRoute) {
+    const Prefix host = Prefix::host(Ipv4Address{1, 2, 3, 4});
+    EXPECT_EQ(host.length(), 32);
+    EXPECT_TRUE(host.contains(Ipv4Address{1, 2, 3, 4}));
+    EXPECT_FALSE(host.contains(Ipv4Address{1, 2, 3, 5}));
+}
+
+TEST(Prefix, DefaultMatchesEverything) {
+    const Prefix any = Prefix::any();
+    EXPECT_EQ(any.length(), 0);
+    EXPECT_TRUE(any.contains(Ipv4Address{}));
+    EXPECT_TRUE(any.contains(Ipv4Address{255, 255, 255, 255}));
+}
+
+TEST(Prefix, ParseWithAndWithoutLength) {
+    const auto cidr = Prefix::parse("10.1.0.0/16");
+    ASSERT_TRUE(cidr.ok());
+    EXPECT_EQ(cidr.value().length(), 16);
+    const auto bare = Prefix::parse("10.1.2.3");
+    ASSERT_TRUE(bare.ok());
+    EXPECT_EQ(bare.value().length(), 32);
+}
+
+TEST(Prefix, ParseRejectsBadLength) {
+    EXPECT_FALSE(Prefix::parse("10.0.0.0/33").ok());
+    EXPECT_FALSE(Prefix::parse("10.0.0.0/-1").ok());
+    EXPECT_FALSE(Prefix::parse("10.0.0.0/x").ok());
+}
+
+TEST(Prefix, StrFormat) {
+    EXPECT_EQ((Prefix{Ipv4Address{10, 0, 0, 0}, 8}).str(), "10.0.0.0/8");
+}
+
+}  // namespace
+}  // namespace onelab::net

@@ -1,0 +1,74 @@
+#include "net/interface.hpp"
+
+#include <gtest/gtest.h>
+
+namespace onelab::net {
+namespace {
+
+Packet somePacket(std::size_t payload = 10) {
+    return makeUdpPacket(Ipv4Address{1, 1, 1, 1}, 1, Ipv4Address{2, 2, 2, 2}, 2,
+                         util::Bytes(payload, 0));
+}
+
+TEST(Interface, StartsDownWithDefaults) {
+    Interface iface{"eth0"};
+    EXPECT_FALSE(iface.isUp());
+    EXPECT_EQ(iface.mtu(), 1500u);
+    EXPECT_TRUE(iface.address().isUnspecified());
+    EXPECT_FALSE(iface.peerAddress().has_value());
+}
+
+TEST(Interface, TransmitWhenDownCountsDrop) {
+    Interface iface{"eth0"};
+    int transmitted = 0;
+    iface.setTxHandler([&](Packet) { ++transmitted; });
+    iface.transmit(somePacket());
+    EXPECT_EQ(transmitted, 0);
+    EXPECT_EQ(iface.counters().txDropped, 1u);
+
+    iface.setUp(true);
+    iface.transmit(somePacket());
+    EXPECT_EQ(transmitted, 1);
+    EXPECT_EQ(iface.counters().txPackets, 1u);
+}
+
+TEST(Interface, TransmitWithoutDriverCountsDrop) {
+    Interface iface{"ppp0"};
+    iface.setUp(true);
+    iface.transmit(somePacket());
+    EXPECT_EQ(iface.counters().txDropped, 1u);
+    EXPECT_EQ(iface.counters().txPackets, 0u);
+}
+
+TEST(Interface, DeliverWhenDownIsSilentlyDropped) {
+    Interface iface{"eth0"};
+    int received = 0;
+    iface.setRxHandler([&](Packet) { ++received; });
+    iface.deliver(somePacket());
+    EXPECT_EQ(received, 0);
+    iface.setUp(true);
+    iface.deliver(somePacket());
+    EXPECT_EQ(received, 1);
+    EXPECT_EQ(iface.counters().rxPackets, 1u);
+}
+
+TEST(Interface, ByteCountersUseWireSize) {
+    Interface iface{"eth0"};
+    iface.setUp(true);
+    iface.setTxHandler([](Packet) {});
+    iface.transmit(somePacket(100));
+    EXPECT_EQ(iface.counters().txBytes, 128u);  // 20 IP + 8 UDP + 100
+}
+
+TEST(Interface, PeerAddressForPointToPoint) {
+    Interface iface{"ppp0"};
+    iface.setAddress(Ipv4Address{93, 57, 0, 16});
+    iface.setPeerAddress(Ipv4Address{93, 57, 0, 1});
+    ASSERT_TRUE(iface.peerAddress().has_value());
+    EXPECT_EQ(*iface.peerAddress(), (Ipv4Address{93, 57, 0, 1}));
+    iface.setPeerAddress(std::nullopt);
+    EXPECT_FALSE(iface.peerAddress().has_value());
+}
+
+}  // namespace
+}  // namespace onelab::net

@@ -1,0 +1,176 @@
+#include "net/netfilter.hpp"
+
+#include <gtest/gtest.h>
+
+namespace onelab::net {
+namespace {
+
+Packet slicePacket(int xid, Ipv4Address dst = Ipv4Address{10, 0, 0, 9}) {
+    Packet pkt = makeUdpPacket(Ipv4Address{10, 0, 0, 1}, 1000, dst, 2000, {});
+    pkt.sliceXid = xid;
+    return pkt;
+}
+
+TEST(Netfilter, EmptyChainAccepts) {
+    Netfilter nf;
+    Packet pkt = slicePacket(1);
+    EXPECT_EQ(nf.runChain(ChainHook::filter_output, pkt, "eth0"), Verdict::accept);
+}
+
+TEST(Netfilter, MarkTargetMutatesAndContinues) {
+    Netfilter nf;
+    FilterRule markRule;
+    markRule.match.sliceXid = 100;
+    markRule.target = {FilterTarget::Kind::mark, 0x64};
+    nf.append(ChainHook::mangle_output, markRule);
+
+    Packet pkt = slicePacket(100);
+    EXPECT_EQ(nf.runChain(ChainHook::mangle_output, pkt, {}), Verdict::accept);
+    EXPECT_EQ(pkt.fwmark, 0x64u);
+
+    Packet other = slicePacket(101);
+    nf.runChain(ChainHook::mangle_output, other, {});
+    EXPECT_EQ(other.fwmark, 0u);
+}
+
+TEST(Netfilter, DropIsTerminating) {
+    Netfilter nf;
+    FilterRule drop;
+    drop.match.outInterface = "ppp0";
+    drop.target.kind = FilterTarget::Kind::drop;
+    nf.append(ChainHook::filter_output, drop);
+
+    Packet pkt = slicePacket(1);
+    EXPECT_EQ(nf.runChain(ChainHook::filter_output, pkt, "ppp0"), Verdict::drop);
+    EXPECT_EQ(nf.dropCount(), 1u);
+    // Same rule does not match a different oif.
+    Packet viaEth = slicePacket(1);
+    EXPECT_EQ(nf.runChain(ChainHook::filter_output, viaEth, "eth0"), Verdict::accept);
+}
+
+TEST(Netfilter, NegatedSliceMatch) {
+    // The paper's isolation rule: -o ppp0 -m slice ! --xid N -j DROP.
+    Netfilter nf;
+    FilterRule rule;
+    rule.match.outInterface = "ppp0";
+    rule.match.sliceXid = 100;
+    rule.match.negateSlice = true;
+    rule.target.kind = FilterTarget::Kind::drop;
+    nf.append(ChainHook::filter_output, rule);
+
+    Packet owner = slicePacket(100);
+    EXPECT_EQ(nf.runChain(ChainHook::filter_output, owner, "ppp0"), Verdict::accept);
+    Packet intruder = slicePacket(101);
+    EXPECT_EQ(nf.runChain(ChainHook::filter_output, intruder, "ppp0"), Verdict::drop);
+    Packet root = slicePacket(0);
+    EXPECT_EQ(nf.runChain(ChainHook::filter_output, root, "ppp0"), Verdict::drop);
+}
+
+TEST(Netfilter, FirstTerminatingRuleWins) {
+    Netfilter nf;
+    FilterRule accept;
+    accept.match.sliceXid = 5;
+    accept.target.kind = FilterTarget::Kind::accept;
+    FilterRule drop;
+    drop.target.kind = FilterTarget::Kind::drop;
+    nf.append(ChainHook::filter_output, accept);
+    nf.append(ChainHook::filter_output, drop);
+
+    Packet five = slicePacket(5);
+    EXPECT_EQ(nf.runChain(ChainHook::filter_output, five, "eth0"), Verdict::accept);
+    Packet six = slicePacket(6);
+    EXPECT_EQ(nf.runChain(ChainHook::filter_output, six, "eth0"), Verdict::drop);
+}
+
+TEST(Netfilter, InsertPutsRuleFirst) {
+    Netfilter nf;
+    FilterRule drop;
+    drop.target.kind = FilterTarget::Kind::drop;
+    nf.append(ChainHook::input, drop);
+    FilterRule accept;
+    accept.target.kind = FilterTarget::Kind::accept;
+    nf.insert(ChainHook::input, accept);
+
+    Packet pkt = slicePacket(1);
+    EXPECT_EQ(nf.runChain(ChainHook::input, pkt, {}), Verdict::accept);
+}
+
+TEST(Netfilter, DeleteById) {
+    Netfilter nf;
+    FilterRule drop;
+    drop.target.kind = FilterTarget::Kind::drop;
+    const std::uint64_t id = nf.append(ChainHook::filter_output, drop);
+    EXPECT_EQ(nf.ruleCount(), 1u);
+    EXPECT_TRUE(nf.deleteRule(id).ok());
+    EXPECT_EQ(nf.ruleCount(), 0u);
+    EXPECT_FALSE(nf.deleteRule(id).ok());
+}
+
+TEST(Netfilter, FlushClearsOnlyThatChain) {
+    Netfilter nf;
+    FilterRule rule;
+    nf.append(ChainHook::mangle_output, rule);
+    nf.append(ChainHook::filter_output, rule);
+    nf.flush(ChainHook::mangle_output);
+    EXPECT_EQ(nf.ruleCount(), 1u);
+    EXPECT_TRUE(nf.listChain(ChainHook::mangle_output).empty());
+    EXPECT_EQ(nf.listChain(ChainHook::filter_output).size(), 1u);
+}
+
+TEST(Netfilter, MatchOnPrefixesAndProtocol) {
+    Netfilter nf;
+    FilterRule rule;
+    rule.match.dst = Prefix{Ipv4Address{138, 96, 0, 0}, 16};
+    rule.match.protocol = IpProto::udp;
+    rule.target.kind = FilterTarget::Kind::drop;
+    nf.append(ChainHook::filter_output, rule);
+
+    Packet match = slicePacket(1, Ipv4Address{138, 96, 250, 20});
+    EXPECT_EQ(nf.runChain(ChainHook::filter_output, match, "eth0"), Verdict::drop);
+    Packet wrongDst = slicePacket(1, Ipv4Address{130, 1, 1, 1});
+    EXPECT_EQ(nf.runChain(ChainHook::filter_output, wrongDst, "eth0"), Verdict::accept);
+    Packet icmp = makeIcmpEcho(Ipv4Address{}, Ipv4Address{138, 96, 250, 20}, false, 1, 1);
+    EXPECT_EQ(nf.runChain(ChainHook::filter_output, icmp, "eth0"), Verdict::accept);
+}
+
+TEST(Netfilter, MarkMatchSelects) {
+    Netfilter nf;
+    FilterRule rule;
+    rule.match.fwmark = 0x64;
+    rule.target.kind = FilterTarget::Kind::drop;
+    nf.append(ChainHook::filter_output, rule);
+
+    Packet marked = slicePacket(1);
+    marked.fwmark = 0x64;
+    EXPECT_EQ(nf.runChain(ChainHook::filter_output, marked, "eth0"), Verdict::drop);
+    Packet unmarked = slicePacket(1);
+    EXPECT_EQ(nf.runChain(ChainHook::filter_output, unmarked, "eth0"), Verdict::accept);
+}
+
+TEST(Netfilter, HitCountersIncrement) {
+    Netfilter nf;
+    FilterRule rule;
+    rule.target.kind = FilterTarget::Kind::accept;
+    const auto id = nf.append(ChainHook::input, rule);
+    Packet pkt = slicePacket(1);
+    nf.runChain(ChainHook::input, pkt, {});
+    nf.runChain(ChainHook::input, pkt, {});
+    const auto chain = nf.listChain(ChainHook::input);
+    ASSERT_EQ(chain.size(), 1u);
+    EXPECT_EQ(chain[0].first, id);
+    EXPECT_EQ(chain[0].second.packets, 2u);
+}
+
+TEST(Netfilter, DescribeRendersMatchers) {
+    FilterMatch match;
+    match.sliceXid = 7;
+    match.negateSlice = true;
+    match.outInterface = "ppp0";
+    const std::string text = match.describe();
+    EXPECT_NE(text.find("!xid=7"), std::string::npos);
+    EXPECT_NE(text.find("ppp0"), std::string::npos);
+    EXPECT_EQ(FilterMatch{}.describe(), "any");
+}
+
+}  // namespace
+}  // namespace onelab::net

@@ -1,0 +1,100 @@
+#include "net/packet.hpp"
+
+#include <gtest/gtest.h>
+
+namespace onelab::net {
+namespace {
+
+TEST(Packet, UdpSerializeParseRoundTrip) {
+    Packet pkt = makeUdpPacket(Ipv4Address{10, 0, 0, 1}, 5000, Ipv4Address{10, 0, 0, 2}, 9001,
+                               util::Bytes{1, 2, 3, 4, 5});
+    pkt.ip.ttl = 17;
+    pkt.ip.tos = 0x10;
+    pkt.fwmark = 99;       // metadata, must NOT survive the wire
+    pkt.sliceXid = 123;
+
+    const util::Bytes wire = pkt.serialize();
+    EXPECT_EQ(wire.size(), pkt.wireSize());
+
+    const auto parsed = Packet::parse({wire.data(), wire.size()});
+    ASSERT_TRUE(parsed.ok());
+    const Packet& out = parsed.value();
+    EXPECT_EQ(out.ip.src, pkt.ip.src);
+    EXPECT_EQ(out.ip.dst, pkt.ip.dst);
+    EXPECT_EQ(out.ip.ttl, 17);
+    EXPECT_EQ(out.ip.tos, 0x10);
+    EXPECT_EQ(out.udp.srcPort, 5000);
+    EXPECT_EQ(out.udp.dstPort, 9001);
+    EXPECT_EQ(out.payload, pkt.payload);
+    // skb-style metadata defaults after parse.
+    EXPECT_EQ(out.fwmark, 0u);
+    EXPECT_EQ(out.sliceXid, 0);
+}
+
+TEST(Packet, IcmpEchoRoundTrip) {
+    Packet pkt = makeIcmpEcho(Ipv4Address{1, 1, 1, 1}, Ipv4Address{2, 2, 2, 2},
+                              /*isReply=*/false, 7, 42, util::Bytes{0xaa, 0xbb});
+    const util::Bytes wire = pkt.serialize();
+    const auto parsed = Packet::parse({wire.data(), wire.size()});
+    ASSERT_TRUE(parsed.ok());
+    EXPECT_EQ(parsed.value().ip.protocol, IpProto::icmp);
+    EXPECT_EQ(parsed.value().icmp.type, 8);
+    EXPECT_EQ(parsed.value().icmp.id, 7);
+    EXPECT_EQ(parsed.value().icmp.sequence, 42);
+    EXPECT_EQ(parsed.value().payload, (util::Bytes{0xaa, 0xbb}));
+}
+
+TEST(Packet, EchoReplyType) {
+    const Packet reply = makeIcmpEcho(Ipv4Address{}, Ipv4Address{}, /*isReply=*/true, 1, 1);
+    EXPECT_EQ(reply.icmp.type, 0);
+}
+
+TEST(Packet, ParseDetectsCorruptedHeader) {
+    Packet pkt = makeUdpPacket(Ipv4Address{10, 0, 0, 1}, 1, Ipv4Address{10, 0, 0, 2}, 2,
+                               util::Bytes(8, 0));
+    util::Bytes wire = pkt.serialize();
+    wire[8] ^= 0xff;  // corrupt the TTL: header checksum must fail
+    EXPECT_FALSE(Packet::parse({wire.data(), wire.size()}).ok());
+}
+
+TEST(Packet, ParseRejectsTruncated) {
+    Packet pkt = makeUdpPacket(Ipv4Address{10, 0, 0, 1}, 1, Ipv4Address{10, 0, 0, 2}, 2,
+                               util::Bytes(100, 0));
+    util::Bytes wire = pkt.serialize();
+    wire.resize(24);
+    EXPECT_FALSE(Packet::parse({wire.data(), wire.size()}).ok());
+}
+
+TEST(Packet, ParseRejectsNonIpv4) {
+    util::Bytes wire(28, 0);
+    wire[0] = 0x65;  // version 6
+    EXPECT_FALSE(Packet::parse({wire.data(), wire.size()}).ok());
+}
+
+TEST(Packet, WireSizeAccounting) {
+    const Packet udp = makeUdpPacket(Ipv4Address{}, 0, Ipv4Address{}, 0, util::Bytes(100, 0));
+    EXPECT_EQ(udp.wireSize(), 20u + 8 + 100);
+    const Packet icmp = makeIcmpEcho(Ipv4Address{}, Ipv4Address{}, false, 0, 0,
+                                     util::Bytes(10, 0));
+    EXPECT_EQ(icmp.wireSize(), 20u + 8 + 10);
+}
+
+TEST(Packet, EmptyPayload) {
+    const Packet pkt = makeUdpPacket(Ipv4Address{1, 2, 3, 4}, 10, Ipv4Address{5, 6, 7, 8}, 20,
+                                     {});
+    const util::Bytes wire = pkt.serialize();
+    const auto parsed = Packet::parse({wire.data(), wire.size()});
+    ASSERT_TRUE(parsed.ok());
+    EXPECT_TRUE(parsed.value().payload.empty());
+}
+
+TEST(Packet, DescribeMentionsEndpoints) {
+    const Packet pkt = makeUdpPacket(Ipv4Address{1, 2, 3, 4}, 10, Ipv4Address{5, 6, 7, 8}, 20,
+                                     {});
+    const std::string text = pkt.describe();
+    EXPECT_NE(text.find("1.2.3.4"), std::string::npos);
+    EXPECT_NE(text.find("5.6.7.8"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace onelab::net

@@ -1,0 +1,230 @@
+#include "net/stack.hpp"
+
+#include <gtest/gtest.h>
+
+namespace onelab::net {
+namespace {
+
+/// Two stacks joined by directly cross-wiring their interfaces.
+struct TwoHosts : ::testing::Test {
+    void SetUp() override {
+        a = std::make_unique<NetworkStack>(sim, "a");
+        b = std::make_unique<NetworkStack>(sim, "b");
+        Interface& ethA = a->addInterface("eth0");
+        Interface& ethB = b->addInterface("eth0");
+        ethA.setAddress(addrA);
+        ethB.setAddress(addrB);
+        ethA.setUp(true);
+        ethB.setUp(true);
+        // Direct wire: transmit on one side delivers on the other
+        // (deferred through the simulator to avoid re-entrancy).
+        ethA.setTxHandler([this, &ethB](Packet pkt) {
+            auto shared = std::make_shared<Packet>(std::move(pkt));
+            sim.schedule(sim::millis(1), [&ethB, shared] { ethB.deliver(std::move(*shared)); });
+        });
+        ethB.setTxHandler([this, &ethA](Packet pkt) {
+            auto shared = std::make_shared<Packet>(std::move(pkt));
+            sim.schedule(sim::millis(1), [&ethA, shared] { ethA.deliver(std::move(*shared)); });
+        });
+        a->router().table(PolicyRouter::kMainTable)
+            .addRoute({Prefix::any(), "eth0", std::nullopt, 0});
+        b->router().table(PolicyRouter::kMainTable)
+            .addRoute({Prefix::any(), "eth0", std::nullopt, 0});
+    }
+
+    sim::Simulator sim;
+    Ipv4Address addrA{10, 0, 0, 1};
+    Ipv4Address addrB{10, 0, 0, 2};
+    std::unique_ptr<NetworkStack> a;
+    std::unique_ptr<NetworkStack> b;
+};
+
+TEST_F(TwoHosts, UdpDatagramDelivery) {
+    auto rxSocket = b->openUdp(0, 9000);
+    ASSERT_TRUE(rxSocket.ok());
+    std::vector<Datagram> got;
+    rxSocket.value()->onReceive([&](Datagram d) { got.push_back(std::move(d)); });
+
+    auto txSocket = a->openUdp(0);
+    ASSERT_TRUE(txSocket.ok());
+    ASSERT_TRUE(txSocket.value()->sendTo(addrB, 9000, util::Bytes{1, 2, 3}).ok());
+    sim.run();
+
+    ASSERT_EQ(got.size(), 1u);
+    EXPECT_EQ(got[0].src, addrA);  // source selected from oif
+    EXPECT_EQ(got[0].payload, (util::Bytes{1, 2, 3}));
+    EXPECT_EQ(got[0].dstPort, 9000);
+}
+
+TEST_F(TwoHosts, ReplyReachesEphemeralPort) {
+    auto rxSocket = b->openUdp(0, 9000);
+    rxSocket.value()->onReceive([&](Datagram d) {
+        (void)rxSocket.value()->sendTo(d.src, d.srcPort, util::Bytes{9});
+    });
+    auto txSocket = a->openUdp(0);
+    int replies = 0;
+    txSocket.value()->onReceive([&](Datagram) { ++replies; });
+    (void)txSocket.value()->sendTo(addrB, 9000, util::Bytes{1});
+    sim.run();
+    EXPECT_EQ(replies, 1);
+}
+
+TEST_F(TwoHosts, PortConflictRejected) {
+    ASSERT_TRUE(b->openUdp(0, 9000).ok());
+    const auto second = b->openUdp(0, 9000);
+    ASSERT_FALSE(second.ok());
+    EXPECT_EQ(second.error().code, util::Error::Code::busy);
+}
+
+TEST_F(TwoHosts, CloseFreesPort) {
+    auto socket = b->openUdp(0, 9000);
+    b->closeUdp(socket.value());
+    EXPECT_TRUE(b->openUdp(0, 9000).ok());
+}
+
+TEST_F(TwoHosts, NoListenerDropsSilently) {
+    auto txSocket = a->openUdp(0);
+    EXPECT_TRUE(txSocket.value()->sendTo(addrB, 12345, util::Bytes{1}).ok());
+    EXPECT_NO_FATAL_FAILURE(sim.run());
+    EXPECT_EQ(b->deliveredPackets(), 1u);
+}
+
+TEST_F(TwoHosts, NoRouteFails) {
+    a->router().table(PolicyRouter::kMainTable).clear();
+    auto txSocket = a->openUdp(0);
+    const auto sent = txSocket.value()->sendTo(addrB, 9000, util::Bytes{1});
+    ASSERT_FALSE(sent.ok());
+    EXPECT_EQ(sent.error().code, util::Error::Code::not_found);
+    EXPECT_EQ(a->routeFailures(), 1u);
+}
+
+TEST_F(TwoHosts, DownInterfaceFails) {
+    a->findInterface("eth0")->setUp(false);
+    auto txSocket = a->openUdp(0);
+    EXPECT_FALSE(txSocket.value()->sendTo(addrB, 9000, util::Bytes{1}).ok());
+}
+
+TEST_F(TwoHosts, SliceMarkAndIsolationDrop) {
+    // Reproduce the §2.3 rule pair on a second ("ppp0") interface.
+    Interface& ppp = a->addInterface("ppp0");
+    ppp.setAddress(Ipv4Address{93, 57, 0, 16});
+    ppp.setUp(true);
+    std::vector<Packet> pppTx;
+    ppp.setTxHandler([&](Packet pkt) { pppTx.push_back(std::move(pkt)); });
+
+    FilterRule mark;
+    mark.match.sliceXid = 100;
+    mark.target = {FilterTarget::Kind::mark, 100};
+    a->netfilter().append(ChainHook::mangle_output, mark);
+
+    FilterRule drop;
+    drop.match.outInterface = "ppp0";
+    drop.match.sliceXid = 100;
+    drop.match.negateSlice = true;
+    drop.target.kind = FilterTarget::Kind::drop;
+    a->netfilter().append(ChainHook::filter_output, drop);
+
+    a->router().table(100).addRoute({Prefix::any(), "ppp0", std::nullopt, 0});
+    PolicyRule rule;
+    rule.priority = 1000;
+    rule.fwmark = 100;
+    rule.dstSelector = Prefix::host(addrB);
+    rule.tableId = 100;
+    a->router().addRule(rule);
+
+    // Owner slice: routed via ppp0 and accepted.
+    auto owner = a->openUdp(100);
+    EXPECT_TRUE(owner.value()->sendTo(addrB, 9000, util::Bytes{1}).ok());
+    ASSERT_EQ(pppTx.size(), 1u);
+    EXPECT_EQ(pppTx[0].fwmark, 100u);
+
+    // Another slice binding to the UMTS address and aiming at ppp0:
+    // not marked, so routed via eth0 — and if it forces the source
+    // address, the filter/OUTPUT drop still protects ppp0.
+    auto intruder = a->openUdp(101);
+    intruder.value()->bindAddress(Ipv4Address{93, 57, 0, 16});
+    PolicyRule srcRule;
+    srcRule.priority = 999;
+    srcRule.srcSelector = Prefix::host(Ipv4Address{93, 57, 0, 16});
+    srcRule.tableId = 100;
+    a->router().addRule(srcRule);  // src-based rule with no mark requirement
+    const auto sent = intruder.value()->sendTo(addrB, 9000, util::Bytes{1});
+    ASSERT_FALSE(sent.ok());
+    EXPECT_EQ(sent.error().code, util::Error::Code::permission_denied);
+    EXPECT_EQ(pppTx.size(), 1u);  // nothing else left via ppp0
+}
+
+TEST_F(TwoHosts, PingEchoRoundTrip) {
+    std::optional<PingReply> reply;
+    ASSERT_TRUE(a->ping(addrB, [&](PingReply r) { reply = r; }).ok());
+    sim.run();
+    ASSERT_TRUE(reply.has_value());
+    EXPECT_EQ(reply->rtt, sim::millis(2));  // 1 ms each way
+}
+
+TEST_F(TwoHosts, LocalDeliveryLoopback) {
+    auto rx = a->openUdp(0, 7777);
+    int got = 0;
+    rx.value()->onReceive([&](Datagram) { ++got; });
+    auto tx = a->openUdp(0);
+    EXPECT_TRUE(tx.value()->sendTo(addrA, 7777, util::Bytes{1}).ok());
+    EXPECT_EQ(got, 1);  // synchronous local delivery
+}
+
+TEST_F(TwoHosts, ForwardingDisabledByDefault) {
+    // Deliver a packet addressed to someone else: host drops it.
+    Packet transit = makeUdpPacket(Ipv4Address{1, 1, 1, 1}, 1, Ipv4Address{2, 2, 2, 2}, 2, {});
+    b->findInterface("eth0")->deliver(std::move(transit));
+    EXPECT_EQ(b->forwardedPackets(), 0u);
+}
+
+TEST_F(TwoHosts, ForwardingDecrementsTtlAndFilters) {
+    b->setForwarding(true);
+    b->router().table(PolicyRouter::kMainTable)
+        .addRoute({Prefix::any(), "eth0", std::nullopt, 0});
+    int filtered = 0;
+    b->setForwardFilter([&](const Packet&, const std::string&) {
+        ++filtered;
+        return true;
+    });
+    Packet transit = makeUdpPacket(Ipv4Address{1, 1, 1, 1}, 1, addrA, 2, {});
+    transit.ip.ttl = 5;
+    b->findInterface("eth0")->deliver(std::move(transit));
+    EXPECT_EQ(b->forwardedPackets(), 1u);
+    EXPECT_EQ(filtered, 1);
+
+    Packet dead = makeUdpPacket(Ipv4Address{1, 1, 1, 1}, 1, addrA, 2, {});
+    dead.ip.ttl = 1;
+    b->findInterface("eth0")->deliver(std::move(dead));
+    EXPECT_EQ(b->forwardedPackets(), 1u);  // TTL expired
+}
+
+TEST_F(TwoHosts, SnifferSeesDeliveredPackets) {
+    int sniffed = 0;
+    b->setSniffer([&](const Packet&, const std::string& iif) {
+        EXPECT_EQ(iif, "eth0");
+        ++sniffed;
+    });
+    auto tx = a->openUdp(0);
+    (void)tx.value()->sendTo(addrB, 9000, util::Bytes{1});
+    sim.run();
+    EXPECT_EQ(sniffed, 1);
+}
+
+TEST_F(TwoHosts, RemoveInterface) {
+    EXPECT_TRUE(a->removeInterface("eth0").ok());
+    EXPECT_FALSE(a->removeInterface("eth0").ok());
+    EXPECT_EQ(a->findInterface("eth0"), nullptr);
+}
+
+TEST_F(TwoHosts, InterfaceCounters) {
+    auto tx = a->openUdp(0);
+    (void)tx.value()->sendTo(addrB, 9000, util::Bytes(100, 0));
+    sim.run();
+    const InterfaceCounters& counters = a->findInterface("eth0")->counters();
+    EXPECT_EQ(counters.txPackets, 1u);
+    EXPECT_EQ(counters.txBytes, 128u);  // 20 IP + 8 UDP + 100
+}
+
+}  // namespace
+}  // namespace onelab::net

@@ -1,0 +1,306 @@
+#include "net/tcp.hpp"
+
+#include <gtest/gtest.h>
+
+#include "net/internet.hpp"
+
+namespace onelab::net {
+namespace {
+
+struct TcpTest : ::testing::Test {
+    TcpTest() : internet(sim, util::RandomStream{21}) {}
+
+    struct Host {
+        std::unique_ptr<NetworkStack> stack;
+        std::unique_ptr<TcpHost> tcp;
+    };
+
+    Host makeHost(const std::string& name, Ipv4Address addr, AccessLink link = AccessLink{}) {
+        Host host;
+        host.stack = std::make_unique<NetworkStack>(sim, name);
+        Interface& eth = host.stack->addInterface("eth0");
+        eth.setAddress(addr);
+        eth.setUp(true);
+        internet.attach(eth, link);
+        host.stack->router().table(PolicyRouter::kMainTable)
+            .addRoute({Prefix::any(), "eth0", std::nullopt, 0});
+        host.tcp = std::make_unique<TcpHost>(sim, *host.stack, util::RandomStream{addr.value()});
+        return host;
+    }
+
+    sim::Simulator sim;
+    Internet internet;
+};
+
+TEST_F(TcpTest, HandshakeEstablishesBothSides) {
+    Host client = makeHost("c", Ipv4Address{10, 0, 0, 1});
+    Host server = makeHost("s", Ipv4Address{10, 0, 0, 2});
+    TcpConnection* accepted = nullptr;
+    ASSERT_TRUE(server.tcp->listen(80, [&](TcpConnection& c) { accepted = &c; }).ok());
+    bool connected = false;
+    TcpConnection* conn = client.tcp->connect(Ipv4Address{10, 0, 0, 2}, 80);
+    conn->onConnected = [&] { connected = true; };
+    sim.runUntil(sim::seconds(5.0));
+    EXPECT_TRUE(connected);
+    ASSERT_NE(accepted, nullptr);
+    EXPECT_TRUE(conn->isEstablished());
+    EXPECT_TRUE(accepted->isEstablished());
+    EXPECT_EQ(accepted->remotePort(), conn->localPort());
+}
+
+TEST_F(TcpTest, EchoRoundTrip) {
+    Host client = makeHost("c", Ipv4Address{10, 0, 0, 1});
+    Host server = makeHost("s", Ipv4Address{10, 0, 0, 2});
+    ASSERT_TRUE(server.tcp
+                    ->listen(80,
+                             [&](TcpConnection& c) {
+                                 c.onData = [&c](util::ByteView data) {
+                                     (void)c.send(data);  // echo
+                                 };
+                             })
+                    .ok());
+    TcpConnection* conn = client.tcp->connect(Ipv4Address{10, 0, 0, 2}, 80);
+    std::string received;
+    conn->onData = [&](util::ByteView data) { received.append(data.begin(), data.end()); };
+    conn->onConnected = [&] {
+        const std::string hello = "hello umts world";
+        (void)conn->send({reinterpret_cast<const std::uint8_t*>(hello.data()), hello.size()});
+    };
+    sim.runUntil(sim::seconds(5.0));
+    EXPECT_EQ(received, "hello umts world");
+}
+
+TEST_F(TcpTest, BulkTransferIsLossless) {
+    Host client = makeHost("c", Ipv4Address{10, 0, 0, 1});
+    Host server = makeHost("s", Ipv4Address{10, 0, 0, 2});
+    std::size_t receivedBytes = 0;
+    std::uint8_t expected = 0;
+    bool corrupted = false;
+    ASSERT_TRUE(server.tcp
+                    ->listen(80,
+                             [&](TcpConnection& c) {
+                                 c.onData = [&](util::ByteView data) {
+                                     for (const std::uint8_t byte : data) {
+                                         if (byte != expected) corrupted = true;
+                                         expected = std::uint8_t(expected + 1);
+                                     }
+                                     receivedBytes += data.size();
+                                 };
+                             })
+                    .ok());
+    TcpConnection* conn = client.tcp->connect(Ipv4Address{10, 0, 0, 2}, 80);
+    constexpr std::size_t kTotal = 1 << 20;  // 1 MiB
+    conn->onConnected = [&] {
+        util::Bytes chunk(kTotal);
+        for (std::size_t i = 0; i < chunk.size(); ++i) chunk[i] = std::uint8_t(i);
+        ASSERT_TRUE(conn->send({chunk.data(), chunk.size()}).ok());
+        conn->close();
+    };
+    sim.runUntil(sim::seconds(60.0));
+    EXPECT_EQ(receivedBytes, kTotal);
+    EXPECT_FALSE(corrupted);
+    EXPECT_EQ(conn->stats().bytesAcked >= kTotal, true);
+}
+
+TEST_F(TcpTest, LossyPathRecoversViaRetransmission) {
+    AccessLink lossy;
+    lossy.lossProbability = 0.03;
+    Host client = makeHost("c", Ipv4Address{10, 0, 0, 1}, lossy);
+    Host server = makeHost("s", Ipv4Address{10, 0, 0, 2});
+    std::size_t receivedBytes = 0;
+    ASSERT_TRUE(server.tcp
+                    ->listen(80,
+                             [&](TcpConnection& c) {
+                                 c.onData = [&](util::ByteView data) {
+                                     receivedBytes += data.size();
+                                 };
+                             })
+                    .ok());
+    TcpConnection* conn = client.tcp->connect(Ipv4Address{10, 0, 0, 2}, 80);
+    constexpr std::size_t kTotal = 256 * 1024;
+    conn->onConnected = [&] {
+        const util::Bytes chunk(kTotal, 0x5a);
+        (void)conn->send({chunk.data(), chunk.size()});
+        conn->close();
+    };
+    sim.runUntil(sim::seconds(120.0));
+    EXPECT_EQ(receivedBytes, kTotal);
+    EXPECT_GT(conn->stats().retransmissions, 0u);
+}
+
+TEST_F(TcpTest, GracefulCloseReachesClosedOnBothSides) {
+    Host client = makeHost("c", Ipv4Address{10, 0, 0, 1});
+    Host server = makeHost("s", Ipv4Address{10, 0, 0, 2});
+    TcpConnection* accepted = nullptr;
+    bool serverSawFin = false;
+    ASSERT_TRUE(server.tcp
+                    ->listen(80,
+                             [&](TcpConnection& c) {
+                                 accepted = &c;
+                                 c.onPeerClosed = [&] {
+                                     serverSawFin = true;
+                                     c.close();  // close our side too
+                                 };
+                             })
+                    .ok());
+    TcpConnection* conn = client.tcp->connect(Ipv4Address{10, 0, 0, 2}, 80);
+    int closedCallbacks = 0;
+    conn->onClosed = [&] { ++closedCallbacks; };
+    conn->onConnected = [&] { conn->close(); };
+    sim.runUntil(sim::seconds(20.0));
+    EXPECT_TRUE(serverSawFin);
+    EXPECT_EQ(conn->state(), TcpState::closed);
+    ASSERT_NE(accepted, nullptr);
+    EXPECT_EQ(accepted->state(), TcpState::closed);
+    EXPECT_EQ(closedCallbacks, 1);
+}
+
+TEST_F(TcpTest, SimultaneousCloseReachesClosed) {
+    Host a = makeHost("a", Ipv4Address{10, 0, 0, 1});
+    Host b = makeHost("b", Ipv4Address{10, 0, 0, 2});
+    TcpConnection* accepted = nullptr;
+    ASSERT_TRUE(b.tcp->listen(80, [&](TcpConnection& c) { accepted = &c; }).ok());
+    TcpConnection* conn = a.tcp->connect(Ipv4Address{10, 0, 0, 2}, 80);
+    sim.runUntil(sim::seconds(2.0));
+    ASSERT_NE(accepted, nullptr);
+    ASSERT_TRUE(conn->isEstablished());
+    // Both sides close in the same instant: FINs cross in flight.
+    conn->close();
+    accepted->close();
+    sim.runUntil(sim.now() + sim::seconds(10.0));
+    EXPECT_EQ(conn->state(), TcpState::closed);
+    EXPECT_EQ(accepted->state(), TcpState::closed);
+}
+
+TEST_F(TcpTest, HalfCloseStillReceives) {
+    // Client closes its send side; the server keeps pushing data and
+    // the client must keep delivering it (FIN-WAIT-2 semantics).
+    Host client = makeHost("c", Ipv4Address{10, 0, 0, 1});
+    Host server = makeHost("s", Ipv4Address{10, 0, 0, 2});
+    TcpConnection* accepted = nullptr;
+    ASSERT_TRUE(server.tcp->listen(80, [&](TcpConnection& c) { accepted = &c; }).ok());
+    TcpConnection* conn = client.tcp->connect(Ipv4Address{10, 0, 0, 2}, 80);
+    std::size_t received = 0;
+    conn->onData = [&](util::ByteView d) { received += d.size(); };
+    conn->onConnected = [&] { conn->close(); };
+    sim.runUntil(sim::seconds(3.0));
+    ASSERT_NE(accepted, nullptr);
+    // Server saw the FIN but its send side is still open.
+    const util::Bytes blob(50000, 3);
+    ASSERT_TRUE(accepted->send({blob.data(), blob.size()}).ok());
+    sim.runUntil(sim.now() + sim::seconds(10.0));
+    EXPECT_EQ(received, 50000u);
+    EXPECT_EQ(conn->state(), TcpState::fin_wait_2);
+    // Server finally closes; everything reaches CLOSED.
+    accepted->close();
+    sim.runUntil(sim.now() + sim::seconds(10.0));
+    EXPECT_EQ(conn->state(), TcpState::closed);
+    EXPECT_EQ(accepted->state(), TcpState::closed);
+}
+
+TEST_F(TcpTest, SendAfterCloseRejected) {
+    Host client = makeHost("c", Ipv4Address{10, 0, 0, 1});
+    Host server = makeHost("s", Ipv4Address{10, 0, 0, 2});
+    ASSERT_TRUE(server.tcp->listen(80, [](TcpConnection&) {}).ok());
+    TcpConnection* conn = client.tcp->connect(Ipv4Address{10, 0, 0, 2}, 80);
+    sim.runUntil(sim::seconds(2.0));
+    ASSERT_TRUE(conn->isEstablished());
+    conn->close();
+    const util::Bytes data(10, 0);
+    const auto sent = conn->send({data.data(), data.size()});
+    ASSERT_FALSE(sent.ok());
+    EXPECT_EQ(sent.error().code, util::Error::Code::state);
+}
+
+TEST_F(TcpTest, ConnectToClosedPortIsReset) {
+    Host client = makeHost("c", Ipv4Address{10, 0, 0, 1});
+    Host server = makeHost("s", Ipv4Address{10, 0, 0, 2});
+    (void)server;  // no listener on 81
+    TcpConnection* conn = client.tcp->connect(Ipv4Address{10, 0, 0, 2}, 81);
+    bool closed = false;
+    bool connected = false;
+    conn->onClosed = [&] { closed = true; };
+    conn->onConnected = [&] { connected = true; };
+    sim.runUntil(sim::seconds(5.0));
+    EXPECT_TRUE(closed);
+    EXPECT_FALSE(connected);
+    EXPECT_GE(server.tcp->rstsSent(), 1u);
+}
+
+TEST_F(TcpTest, AbortSendsRstToPeer) {
+    Host client = makeHost("c", Ipv4Address{10, 0, 0, 1});
+    Host server = makeHost("s", Ipv4Address{10, 0, 0, 2});
+    TcpConnection* accepted = nullptr;
+    ASSERT_TRUE(server.tcp->listen(80, [&](TcpConnection& c) { accepted = &c; }).ok());
+    TcpConnection* conn = client.tcp->connect(Ipv4Address{10, 0, 0, 2}, 80);
+    sim.runUntil(sim::seconds(2.0));
+    ASSERT_NE(accepted, nullptr);
+    bool peerClosed = false;
+    accepted->onClosed = [&] { peerClosed = true; };
+    conn->abort();
+    sim.runUntil(sim.now() + sim::seconds(2.0));
+    EXPECT_TRUE(peerClosed);
+    EXPECT_EQ(conn->state(), TcpState::closed);
+}
+
+TEST_F(TcpTest, UnreachablePeerGivesUpEventually) {
+    Host client = makeHost("c", Ipv4Address{10, 0, 0, 1});
+    TcpConnection* conn = client.tcp->connect(Ipv4Address{203, 0, 113, 9}, 80);
+    bool closed = false;
+    conn->onClosed = [&] { closed = true; };
+    sim.runUntil(sim::seconds(600.0));
+    EXPECT_TRUE(closed);
+    EXPECT_GT(conn->stats().timeouts, 3u);
+}
+
+TEST_F(TcpTest, ListenPortConflictRejected) {
+    Host server = makeHost("s", Ipv4Address{10, 0, 0, 2});
+    ASSERT_TRUE(server.tcp->listen(80, [](TcpConnection&) {}).ok());
+    EXPECT_FALSE(server.tcp->listen(80, [](TcpConnection&) {}).ok());
+    server.tcp->stopListening(80);
+    EXPECT_TRUE(server.tcp->listen(80, [](TcpConnection&) {}).ok());
+}
+
+TEST_F(TcpTest, CongestionWindowGrowsOnCleanPath) {
+    Host client = makeHost("c", Ipv4Address{10, 0, 0, 1});
+    Host server = makeHost("s", Ipv4Address{10, 0, 0, 2});
+    ASSERT_TRUE(server.tcp->listen(80, [](TcpConnection& c) {
+        c.onData = [](util::ByteView) {};
+    }).ok());
+    TcpConnection* conn = client.tcp->connect(Ipv4Address{10, 0, 0, 2}, 80);
+    conn->onConnected = [&] {
+        const util::Bytes chunk(512 * 1024, 1);
+        (void)conn->send({chunk.data(), chunk.size()});
+    };
+    sim.runUntil(sim::seconds(30.0));
+    EXPECT_GT(conn->stats().cwndBytes, 8 * TcpConnection::kMss);
+    EXPECT_GT(conn->stats().srttSeconds, 0.0);
+    EXPECT_EQ(conn->stats().retransmissions, 0u);
+}
+
+TEST_F(TcpTest, BidirectionalSimultaneousTransfer) {
+    Host a = makeHost("a", Ipv4Address{10, 0, 0, 1});
+    Host b = makeHost("b", Ipv4Address{10, 0, 0, 2});
+    std::size_t atB = 0;
+    std::size_t atA = 0;
+    ASSERT_TRUE(b.tcp
+                    ->listen(80,
+                             [&](TcpConnection& c) {
+                                 c.onData = [&](util::ByteView d) { atB += d.size(); };
+                                 const util::Bytes blob(100000, 2);
+                                 (void)c.send({blob.data(), blob.size()});
+                             })
+                    .ok());
+    TcpConnection* conn = a.tcp->connect(Ipv4Address{10, 0, 0, 2}, 80);
+    conn->onData = [&](util::ByteView d) { atA += d.size(); };
+    conn->onConnected = [&] {
+        const util::Bytes blob(100000, 1);
+        (void)conn->send({blob.data(), blob.size()});
+    };
+    sim.runUntil(sim::seconds(30.0));
+    EXPECT_EQ(atB, 100000u);
+    EXPECT_EQ(atA, 100000u);
+}
+
+}  // namespace
+}  // namespace onelab::net

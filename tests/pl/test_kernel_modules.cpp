@@ -1,0 +1,108 @@
+#include "pl/kernel_modules.hpp"
+
+#include <gtest/gtest.h>
+
+#include "pl/node_os.hpp"
+
+namespace onelab::pl {
+namespace {
+
+struct ModulesTest : ::testing::Test {
+    ModulesTest() : registry(kPlanetLabKernel) { installPaperModuleSet(registry); }
+    KernelModuleRegistry registry;
+};
+
+TEST_F(ModulesTest, ModprobeLoadsDependenciesInOrder) {
+    ASSERT_TRUE(registry.modprobe("ppp_async").ok());
+    EXPECT_TRUE(registry.isLoaded("ppp_async"));
+    EXPECT_TRUE(registry.isLoaded("ppp_generic"));
+    EXPECT_TRUE(registry.isLoaded("slhc"));
+    const auto order = registry.loadedModules();
+    ASSERT_EQ(order.size(), 3u);
+    EXPECT_EQ(order[0], "slhc");
+    EXPECT_EQ(order[1], "ppp_generic");
+    EXPECT_EQ(order[2], "ppp_async");
+}
+
+TEST_F(ModulesTest, ModprobeIsIdempotent) {
+    ASSERT_TRUE(registry.modprobe("ppp_deflate").ok());
+    ASSERT_TRUE(registry.modprobe("ppp_deflate").ok());
+    EXPECT_EQ(registry.loadedModules().size(), 3u);  // slhc, ppp_generic, ppp_deflate
+}
+
+TEST_F(ModulesTest, MissingModuleFails) {
+    const auto result = registry.modprobe("fglrx");
+    ASSERT_FALSE(result.ok());
+    EXPECT_EQ(result.error().code, util::Error::Code::not_found);
+}
+
+TEST_F(ModulesTest, VanillaNozomiRefusesThePlanetLabKernel) {
+    // The paper §2.3: the nozomi module required modifications to run
+    // with the PlanetLab 2.6.22 kernel.
+    const auto vanilla = registry.modprobe("nozomi");
+    ASSERT_FALSE(vanilla.ok());
+    EXPECT_EQ(vanilla.error().code, util::Error::Code::unsupported);
+    EXPECT_FALSE(registry.isLoaded("nozomi"));
+
+    const auto patched = registry.modprobe("nozomi_onelab");
+    EXPECT_TRUE(patched.ok());
+    EXPECT_TRUE(registry.isLoaded("nozomi_onelab"));
+}
+
+TEST_F(ModulesTest, HuaweiChainLoads) {
+    ASSERT_TRUE(registry.modprobe("pl2303").ok());
+    EXPECT_TRUE(registry.isLoaded("usbserial"));
+}
+
+TEST_F(ModulesTest, RmmodRespectsDependents) {
+    ASSERT_TRUE(registry.modprobe("ppp_async").ok());
+    const auto busy = registry.rmmod("ppp_generic");
+    ASSERT_FALSE(busy.ok());
+    EXPECT_EQ(busy.error().code, util::Error::Code::busy);
+    EXPECT_TRUE(registry.rmmod("ppp_async").ok());
+    EXPECT_TRUE(registry.rmmod("ppp_generic").ok());
+    EXPECT_FALSE(registry.rmmod("ppp_generic").ok());  // already gone
+}
+
+TEST_F(ModulesTest, DependencyCycleDetected) {
+    KernelModuleRegistry cyclic{"1.0"};
+    cyclic.install({.name = "a", .dependencies = {"b"}, .requiredKernelPrefix = ""});
+    cyclic.install({.name = "b", .dependencies = {"a"}, .requiredKernelPrefix = ""});
+    const auto result = cyclic.modprobe("a");
+    ASSERT_FALSE(result.ok());
+    EXPECT_EQ(result.error().code, util::Error::Code::invalid_argument);
+}
+
+TEST(NodeModules, ShellModprobeLsmodRmmod) {
+    sim::Simulator sim;
+    NodeOs node{sim, "node"};
+    tools::RootShell* shell = node.shell(node.rootContext()).value();
+    ASSERT_TRUE(shell->exec("modprobe ppp_async").ok());
+    const auto listing = shell->exec("lsmod");
+    ASSERT_TRUE(listing.ok());
+    EXPECT_NE(listing.value().find("ppp_generic"), std::string::npos);
+    EXPECT_NE(listing.value().find("ppp_async"), std::string::npos);
+    // Dependency protection surfaces through the shell too.
+    EXPECT_FALSE(shell->exec("rmmod ppp_generic").ok());
+    EXPECT_TRUE(shell->exec("rmmod ppp_async").ok());
+    EXPECT_TRUE(shell->exec("rmmod ppp_generic").ok());
+    EXPECT_FALSE(shell->exec("modprobe nozomi").ok());  // wrong kernel
+    EXPECT_FALSE(shell->exec("modprobe").ok());         // usage error
+}
+
+TEST(NodeModules, RootContextGuard) {
+    sim::Simulator sim;
+    NodeOs node{sim, "node"};
+    Slice& slice = node.createSlice("s");
+    const auto denied = node.modules(node.sliceContext(slice));
+    ASSERT_FALSE(denied.ok());
+    EXPECT_EQ(denied.error().code, util::Error::Code::permission_denied);
+    const auto granted = node.modules(node.rootContext());
+    ASSERT_TRUE(granted.ok());
+    // The paper's module set ships with the node image.
+    EXPECT_TRUE(granted.value()->modprobe("ppp_async").ok());
+    EXPECT_EQ(granted.value()->kernelVersion(), kPlanetLabKernel);
+}
+
+}  // namespace
+}  // namespace onelab::pl

@@ -1,0 +1,112 @@
+#include "pl/vsys.hpp"
+
+#include <gtest/gtest.h>
+
+namespace onelab::pl {
+namespace {
+
+Slice makeSlice(const std::string& name, int xid) { return Slice{name, xid}; }
+
+struct VsysTest : ::testing::Test {
+    util::Result<VsysResult> invoke(const Slice& slice, const std::string& script,
+                                    const std::vector<std::string>& args) {
+        std::optional<util::Result<VsysResult>> outcome;
+        vsys.invoke(slice, script, args,
+                    [&](util::Result<VsysResult> r) { outcome = std::move(r); });
+        if (!outcome) return util::err(util::Error::Code::timeout, "no completion");
+        return std::move(*outcome);
+    }
+
+    Vsys vsys;
+};
+
+TEST_F(VsysTest, UnknownScriptFails) {
+    const auto result = invoke(makeSlice("s", 100), "nosuch", {});
+    ASSERT_FALSE(result.ok());
+    EXPECT_EQ(result.error().code, util::Error::Code::not_found);
+}
+
+TEST_F(VsysTest, AclEnforced) {
+    vsys.install("umts", [](const Slice&, const std::vector<std::string>&,
+                            Vsys::Completion done) { done(VsysResult{0, {"ok"}}); });
+    const auto denied = invoke(makeSlice("outsider", 101), "umts", {"start"});
+    ASSERT_FALSE(denied.ok());
+    EXPECT_EQ(denied.error().code, util::Error::Code::permission_denied);
+
+    vsys.allow("umts", "insider");
+    EXPECT_TRUE(vsys.isAllowed("umts", "insider"));
+    EXPECT_FALSE(vsys.isAllowed("umts", "outsider"));
+    const auto allowed = invoke(makeSlice("insider", 102), "umts", {"start"});
+    ASSERT_TRUE(allowed.ok());
+    EXPECT_EQ(allowed.value().exitCode, 0);
+}
+
+TEST_F(VsysTest, RevokeRemovesAccess) {
+    vsys.install("umts", [](const Slice&, const std::vector<std::string>&,
+                            Vsys::Completion done) { done(VsysResult{0, {}}); });
+    vsys.allow("umts", "s");
+    vsys.revoke("umts", "s");
+    EXPECT_FALSE(invoke(makeSlice("s", 100), "umts", {}).ok());
+}
+
+TEST_F(VsysTest, ArgsMarshalThroughPipeLine) {
+    std::vector<std::string> seenArgs;
+    std::string seenSlice;
+    vsys.install("echo", [&](const Slice& caller, const std::vector<std::string>& args,
+                             Vsys::Completion done) {
+        seenSlice = caller.name;
+        seenArgs = args;
+        done(VsysResult{0, {"echoed"}});
+    });
+    vsys.allow("echo", "s");
+    const auto result =
+        invoke(makeSlice("s", 100), "echo", {"add", "destination", "138.96.250.20/32"});
+    ASSERT_TRUE(result.ok());
+    EXPECT_EQ(seenSlice, "s");
+    EXPECT_EQ(seenArgs, (std::vector<std::string>{"add", "destination", "138.96.250.20/32"}));
+    EXPECT_EQ(result.value().output, (std::vector<std::string>{"echoed"}));
+}
+
+TEST_F(VsysTest, RejectsPipeUnsafeArguments) {
+    vsys.install("echo", [](const Slice&, const std::vector<std::string>&,
+                            Vsys::Completion done) { done(VsysResult{0, {}}); });
+    vsys.allow("echo", "s");
+    EXPECT_FALSE(invoke(makeSlice("s", 100), "echo", {"two words"}).ok());
+    EXPECT_FALSE(invoke(makeSlice("s", 100), "echo", {""}).ok());
+    EXPECT_FALSE(invoke(makeSlice("s", 100), "echo", {"line\nbreak"}).ok());
+}
+
+TEST_F(VsysTest, NonZeroExitCodePropagates) {
+    vsys.install("fail", [](const Slice&, const std::vector<std::string>&,
+                            Vsys::Completion done) { done(VsysResult{16, {"error=busy"}}); });
+    vsys.allow("fail", "s");
+    const auto result = invoke(makeSlice("s", 100), "fail", {});
+    ASSERT_TRUE(result.ok());  // invocation succeeded...
+    EXPECT_FALSE(result.value().ok());  // ...but the backend reported failure
+    EXPECT_EQ(result.value().exitCode, 16);
+}
+
+TEST_F(VsysTest, AsyncBackendCompletesLater) {
+    Vsys::Completion saved;
+    vsys.install("slow", [&](const Slice&, const std::vector<std::string>&,
+                             Vsys::Completion done) { saved = std::move(done); });
+    vsys.allow("slow", "s");
+    std::optional<int> exitCode;
+    vsys.invoke(makeSlice("s", 100), "slow", {},
+                [&](util::Result<VsysResult> r) { exitCode = r.value().exitCode; });
+    EXPECT_FALSE(exitCode.has_value());  // backend still "running"
+    saved(VsysResult{0, {}});
+    EXPECT_EQ(exitCode, 0);
+}
+
+TEST_F(VsysTest, ScriptListing) {
+    vsys.install("umts", [](const Slice&, const std::vector<std::string>&,
+                            Vsys::Completion done) { done(VsysResult{0, {}}); });
+    vsys.install("other", [](const Slice&, const std::vector<std::string>&,
+                             Vsys::Completion done) { done(VsysResult{0, {}}); });
+    const auto scripts = vsys.scripts();
+    EXPECT_EQ(scripts.size(), 2u);
+}
+
+}  // namespace
+}  // namespace onelab::pl

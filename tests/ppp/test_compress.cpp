@@ -1,0 +1,102 @@
+#include "ppp/compress.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/rand.hpp"
+
+namespace onelab::ppp {
+namespace {
+
+util::Bytes roundTrip(util::ByteView input) {
+    const util::Bytes compressed = LzssCodec::compress(input);
+    const auto plain = LzssCodec::decompress({compressed.data(), compressed.size()});
+    EXPECT_TRUE(plain.ok());
+    return plain.ok() ? plain.value() : util::Bytes{};
+}
+
+TEST(Lzss, EmptyInput) {
+    EXPECT_TRUE(roundTrip({}).empty());
+}
+
+TEST(Lzss, ZeroPaddingCompressesWell) {
+    // D-ITG payloads are header + zero padding: highly compressible.
+    util::Bytes input(1024, 0);
+    const util::Bytes compressed = LzssCodec::compress({input.data(), input.size()});
+    EXPECT_LT(compressed.size(), input.size() / 4);
+    EXPECT_EQ(roundTrip({input.data(), input.size()}), input);
+}
+
+TEST(Lzss, RepeatedTextCompresses) {
+    std::string text;
+    for (int i = 0; i < 50; ++i) text += "the quick brown fox ";
+    util::Bytes input{text.begin(), text.end()};
+    const util::Bytes compressed = LzssCodec::compress({input.data(), input.size()});
+    EXPECT_LT(compressed.size(), input.size() / 2);
+    EXPECT_EQ(roundTrip({input.data(), input.size()}), input);
+}
+
+TEST(Lzss, IncompressibleFallsBackToStored) {
+    util::RandomStream rng{99};
+    util::Bytes input(512);
+    for (auto& byte : input) byte = std::uint8_t(rng.uniformInt(0, 255));
+    const util::Bytes compressed = LzssCodec::compress({input.data(), input.size()});
+    // Stored format costs exactly 1 method byte.
+    EXPECT_EQ(compressed.size(), input.size() + 1);
+    EXPECT_EQ(compressed[0], 0);  // stored
+    EXPECT_EQ(roundTrip({input.data(), input.size()}), input);
+}
+
+class LzssRoundTrip : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(LzssRoundTrip, SemiStructuredDataSurvives) {
+    // Property: decompress(compress(x)) == x over varied structure.
+    util::RandomStream rng{GetParam()};
+    util::Bytes input;
+    const int segments = int(rng.uniformInt(1, 12));
+    for (int s = 0; s < segments; ++s) {
+        const int kind = int(rng.uniformInt(0, 2));
+        const std::size_t length = std::size_t(rng.uniformInt(1, 400));
+        if (kind == 0) {
+            input.insert(input.end(), length, std::uint8_t(rng.uniformInt(0, 255)));
+        } else if (kind == 1) {
+            for (std::size_t i = 0; i < length; ++i)
+                input.push_back(std::uint8_t(rng.uniformInt(0, 255)));
+        } else if (!input.empty()) {
+            // Copy a previous region (creates long matches).
+            const std::size_t from = std::size_t(rng.uniformInt(0, long(input.size() - 1)));
+            for (std::size_t i = 0; i < length; ++i)
+                input.push_back(input[from + (i % (input.size() - from))]);
+        }
+    }
+    EXPECT_EQ(roundTrip({input.data(), input.size()}), input);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LzssRoundTrip, ::testing::Range<std::uint64_t>(1, 21));
+
+TEST(Lzss, DecompressRejectsMalformed) {
+    EXPECT_FALSE(LzssCodec::decompress({}).ok());
+    const util::Bytes unknownMethod{7, 1, 2, 3};
+    EXPECT_FALSE(LzssCodec::decompress({unknownMethod.data(), unknownMethod.size()}).ok());
+    // LZSS back-reference pointing before the start of output.
+    const util::Bytes badRef{1, 0x00, 0xff, 0x00};
+    EXPECT_FALSE(LzssCodec::decompress({badRef.data(), badRef.size()}).ok());
+    // Truncated back-reference (flag says pair, only one byte left).
+    const util::Bytes truncated{1, 0x00, 0x00};
+    EXPECT_FALSE(LzssCodec::decompress({truncated.data(), truncated.size()}).ok());
+}
+
+TEST(Lzss, MaxMatchRunLength) {
+    // A long run should use repeated max-length matches correctly.
+    util::Bytes input(LzssCodec::kMaxMatch * 10 + 7, 0x42);
+    EXPECT_EQ(roundTrip({input.data(), input.size()}), input);
+}
+
+TEST(Lzss, OverlappingMatchDecodes) {
+    // "ababab..." exercises overlapping back-references.
+    util::Bytes input;
+    for (int i = 0; i < 100; ++i) input.push_back(i % 2 ? 'a' : 'b');
+    EXPECT_EQ(roundTrip({input.data(), input.size()}), input);
+}
+
+}  // namespace
+}  // namespace onelab::ppp

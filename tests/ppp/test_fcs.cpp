@@ -1,0 +1,51 @@
+#include "ppp/fcs.hpp"
+
+#include <gtest/gtest.h>
+
+namespace onelab::ppp {
+namespace {
+
+TEST(Fcs, KnownVector) {
+    // CRC-16/X.25 of "123456789" has check value 0x906e; the running
+    // FCS register before complementing is ~0x906e.
+    const util::Bytes data{'1', '2', '3', '4', '5', '6', '7', '8', '9'};
+    const std::uint16_t fcs = fcs16({data.data(), data.size()});
+    EXPECT_EQ(std::uint16_t(~fcs & 0xffff), 0x906e);
+}
+
+TEST(Fcs, GoodFrameVerifies) {
+    util::Bytes frame{0xff, 0x03, 0xc0, 0x21, 0x01, 0x01, 0x00, 0x04};
+    const std::uint16_t fcs = std::uint16_t(~fcs16({frame.data(), frame.size()}) & 0xffff);
+    frame.push_back(std::uint8_t(fcs & 0xff));  // LSB first on the wire
+    frame.push_back(std::uint8_t(fcs >> 8));
+    EXPECT_TRUE(fcsValid({frame.data(), frame.size()}));
+}
+
+TEST(Fcs, CorruptionDetected) {
+    util::Bytes frame{0xff, 0x03, 0x00, 0x21, 0x45, 0x00};
+    const std::uint16_t fcs = std::uint16_t(~fcs16({frame.data(), frame.size()}) & 0xffff);
+    frame.push_back(std::uint8_t(fcs & 0xff));
+    frame.push_back(std::uint8_t(fcs >> 8));
+    ASSERT_TRUE(fcsValid({frame.data(), frame.size()}));
+    for (std::size_t i = 0; i < frame.size(); ++i) {
+        util::Bytes corrupted = frame;
+        corrupted[i] ^= 0x01;
+        EXPECT_FALSE(fcsValid({corrupted.data(), corrupted.size()})) << "byte " << i;
+    }
+}
+
+TEST(Fcs, IncrementalMatchesBulk) {
+    const util::Bytes data{0x01, 0x02, 0x03, 0x04, 0x05};
+    std::uint16_t incremental = kFcsInit;
+    for (const std::uint8_t byte : data) incremental = fcsStep(incremental, byte);
+    EXPECT_EQ(incremental, fcs16({data.data(), data.size()}));
+}
+
+TEST(Fcs, TooShortInvalid) {
+    const util::Bytes one{0x42};
+    EXPECT_FALSE(fcsValid({one.data(), one.size()}));
+    EXPECT_FALSE(fcsValid({}));
+}
+
+}  // namespace
+}  // namespace onelab::ppp

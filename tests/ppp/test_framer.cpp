@@ -1,0 +1,170 @@
+#include "ppp/framer.hpp"
+
+#include <gtest/gtest.h>
+
+namespace onelab::ppp {
+namespace {
+
+std::vector<Frame> decodeAll(util::ByteView wire) {
+    Deframer deframer;
+    std::vector<Frame> frames;
+    deframer.onFrame([&](Frame frame) { frames.push_back(std::move(frame)); });
+    deframer.feed(wire);
+    return frames;
+}
+
+TEST(Framer, RoundTripDefaults) {
+    Frame frame{Protocol::lcp, util::Bytes{0x01, 0x02, 0x03}};
+    const util::Bytes wire = encodeFrame(frame, FramerConfig{});
+    EXPECT_EQ(wire.front(), 0x7e);
+    EXPECT_EQ(wire.back(), 0x7e);
+    const auto frames = decodeAll({wire.data(), wire.size()});
+    ASSERT_EQ(frames.size(), 1u);
+    EXPECT_EQ(frames[0].protocol, Protocol::lcp);
+    EXPECT_EQ(frames[0].info, frame.info);
+}
+
+TEST(Framer, EscapesFlagAndEscapeInPayload) {
+    Frame frame{Protocol::ip, util::Bytes{0x7e, 0x7d, 0x41}};
+    const util::Bytes wire = encodeFrame(frame, FramerConfig{});
+    // Between the delimiting flags no raw 0x7e may appear.
+    for (std::size_t i = 1; i + 1 < wire.size(); ++i) EXPECT_NE(wire[i], 0x7e);
+    const auto frames = decodeAll({wire.data(), wire.size()});
+    ASSERT_EQ(frames.size(), 1u);
+    EXPECT_EQ(frames[0].info, frame.info);
+}
+
+TEST(Framer, AccmControlsControlCharEscaping) {
+    Frame frame{Protocol::ip, util::Bytes{0x01, 0x11, 0x13}};  // XON/XOFF territory
+    FramerConfig escapeAll;  // default ACCM 0xffffffff
+    const util::Bytes escaped = encodeFrame(frame, escapeAll);
+    FramerConfig escapeNone;
+    escapeNone.sendAccm = 0x00000000;
+    const util::Bytes plain = encodeFrame(frame, escapeNone);
+    EXPECT_GT(escaped.size(), plain.size());
+    EXPECT_EQ(decodeAll({escaped.data(), escaped.size()})[0].info, frame.info);
+    EXPECT_EQ(decodeAll({plain.data(), plain.size()})[0].info, frame.info);
+}
+
+TEST(Framer, ProtocolFieldCompression) {
+    Frame frame{Protocol::ip, util::Bytes{0xaa}};  // 0x0021 compresses to 0x21
+    FramerConfig pfc;
+    pfc.compressProtocolField = true;
+    pfc.sendAccm = 0;  // keep FCS escaping from blurring the size check
+    FramerConfig fullConfig;
+    fullConfig.sendAccm = 0;
+    const util::Bytes compressed = encodeFrame(frame, pfc);
+    const util::Bytes full = encodeFrame(frame, fullConfig);
+    EXPECT_LT(compressed.size(), full.size());
+    const auto frames = decodeAll({compressed.data(), compressed.size()});
+    ASSERT_EQ(frames.size(), 1u);
+    EXPECT_EQ(frames[0].protocol, Protocol::ip);
+}
+
+TEST(Framer, PfcDoesNotCompressHighProtocols) {
+    Frame frame{Protocol::lcp, util::Bytes{}};  // 0xc021 cannot compress
+    FramerConfig pfc;
+    pfc.compressProtocolField = true;
+    const util::Bytes wire = encodeFrame(frame, pfc);
+    const auto frames = decodeAll({wire.data(), wire.size()});
+    ASSERT_EQ(frames.size(), 1u);
+    EXPECT_EQ(frames[0].protocol, Protocol::lcp);
+}
+
+TEST(Framer, AddressControlFieldCompression) {
+    Frame frame{Protocol::ip, util::Bytes{0x55}};
+    FramerConfig acfc;
+    acfc.compressAddressControl = true;
+    acfc.sendAccm = 0;
+    FramerConfig fullConfig;
+    fullConfig.sendAccm = 0;
+    const util::Bytes compressed = encodeFrame(frame, acfc);
+    const util::Bytes full = encodeFrame(frame, fullConfig);
+    EXPECT_LT(compressed.size(), full.size());
+    const auto frames = decodeAll({compressed.data(), compressed.size()});
+    ASSERT_EQ(frames.size(), 1u);
+    EXPECT_EQ(frames[0].info, frame.info);
+}
+
+TEST(Framer, BadFcsDropped) {
+    Frame frame{Protocol::ip, util::Bytes{1, 2, 3, 4}};
+    util::Bytes wire = encodeFrame(frame, FramerConfig{});
+    wire[5] ^= 0x04;  // flip a payload bit (not a flag/escape position)
+    Deframer deframer;
+    int good = 0;
+    deframer.onFrame([&](Frame) { ++good; });
+    deframer.feed({wire.data(), wire.size()});
+    EXPECT_EQ(good, 0);
+    EXPECT_EQ(deframer.badFrames(), 1u);
+}
+
+TEST(Framer, MultipleFramesInOneFeed) {
+    util::Bytes wire;
+    for (int i = 0; i < 3; ++i) {
+        const util::Bytes one =
+            encodeFrame(Frame{Protocol::ip, util::Bytes{std::uint8_t(i)}}, FramerConfig{});
+        wire.insert(wire.end(), one.begin(), one.end());
+    }
+    const auto frames = decodeAll({wire.data(), wire.size()});
+    ASSERT_EQ(frames.size(), 3u);
+    for (int i = 0; i < 3; ++i) EXPECT_EQ(frames[std::size_t(i)].info[0], i);
+}
+
+TEST(Framer, ByteAtATimeFeeding) {
+    const util::Bytes wire =
+        encodeFrame(Frame{Protocol::ipcp, util::Bytes{9, 8, 7}}, FramerConfig{});
+    Deframer deframer;
+    std::vector<Frame> frames;
+    deframer.onFrame([&](Frame f) { frames.push_back(std::move(f)); });
+    for (const std::uint8_t byte : wire) deframer.feed({&byte, 1});
+    ASSERT_EQ(frames.size(), 1u);
+    EXPECT_EQ(frames[0].protocol, Protocol::ipcp);
+}
+
+TEST(Framer, BackToBackFlagsIgnored) {
+    const util::Bytes flags{0x7e, 0x7e, 0x7e};
+    Deframer deframer;
+    int count = 0;
+    deframer.onFrame([&](Frame) { ++count; });
+    deframer.feed({flags.data(), flags.size()});
+    EXPECT_EQ(count, 0);
+    EXPECT_EQ(deframer.badFrames(), 0u);
+}
+
+TEST(Framer, ResetDropsPartialFrame) {
+    const util::Bytes wire = encodeFrame(Frame{Protocol::ip, util::Bytes{1}}, FramerConfig{});
+    Deframer deframer;
+    int count = 0;
+    deframer.onFrame([&](Frame) { ++count; });
+    deframer.feed({wire.data(), wire.size() / 2});
+    deframer.reset();
+    deframer.feed({wire.data() + wire.size() / 2, wire.size() - wire.size() / 2});
+    EXPECT_EQ(count, 0);  // the second half alone is not a good frame
+}
+
+TEST(Framer, EmptyInfoField) {
+    const util::Bytes wire = encodeFrame(Frame{Protocol::lcp, {}}, FramerConfig{});
+    const auto frames = decodeAll({wire.data(), wire.size()});
+    ASSERT_EQ(frames.size(), 1u);
+    EXPECT_TRUE(frames[0].info.empty());
+}
+
+TEST(Framer, OverheadAccounting) {
+    EXPECT_EQ(framingOverhead(FramerConfig{}), 8u);  // flags + a/c + proto + fcs
+    FramerConfig slim;
+    slim.compressProtocolField = true;
+    slim.compressAddressControl = true;
+    EXPECT_EQ(framingOverhead(slim), 5u);
+}
+
+TEST(Framer, LargeDeterministicPayloadRoundTrip) {
+    util::Bytes payload(1500);
+    for (std::size_t i = 0; i < payload.size(); ++i) payload[i] = std::uint8_t(i * 37 + 11);
+    const util::Bytes wire = encodeFrame(Frame{Protocol::ip, payload}, FramerConfig{});
+    const auto frames = decodeAll({wire.data(), wire.size()});
+    ASSERT_EQ(frames.size(), 1u);
+    EXPECT_EQ(frames[0].info, payload);
+}
+
+}  // namespace
+}  // namespace onelab::ppp

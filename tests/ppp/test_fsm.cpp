@@ -1,0 +1,268 @@
+#include "ppp/fsm.hpp"
+
+#include <gtest/gtest.h>
+
+namespace onelab::ppp {
+namespace {
+
+/// Minimal concrete protocol for exercising the RFC 1661 automaton: a
+/// single byte option (type 1) that either side accepts when nonzero.
+class ToyProtocol final : public Fsm {
+  public:
+    ToyProtocol(sim::Simulator& simulator, std::uint8_t desired, Timers timers = {})
+        : Fsm(simulator, "toy", timers), desired_(desired) {}
+
+    int upCount = 0;
+    int downCount = 0;
+    int finishedCount = 0;
+    std::uint8_t peerValue = 0;
+
+  protected:
+    std::vector<Option> buildConfigRequest() override {
+        Option option;
+        option.type = 1;
+        option.value.push_back(desired_);
+        return {option};
+    }
+    ConfigDecision checkConfigRequest(const std::vector<Option>& options) override {
+        ConfigDecision decision;
+        for (const Option& option : options) {
+            if (option.type != 1) {
+                decision.options.push_back(option);
+                decision.verdict = ConfigDecision::Verdict::reject;
+            }
+        }
+        if (decision.verdict == ConfigDecision::Verdict::reject) return decision;
+        for (const Option& option : options) {
+            if (option.value.size() == 1 && option.value[0] == 0) {
+                Option nak = option;
+                nak.value[0] = 7;  // suggest 7
+                decision.options.push_back(nak);
+                decision.verdict = ConfigDecision::Verdict::nak;
+            }
+        }
+        if (decision.verdict == ConfigDecision::Verdict::ack)
+            for (const Option& option : options)
+                if (option.type == 1 && !option.value.empty()) peerValue = option.value[0];
+        return decision;
+    }
+    void onConfigAcked(const std::vector<Option>&) override {}
+    void onConfigNakOrReject(bool, const std::vector<Option>& options) override {
+        for (const Option& option : options)
+            if (option.type == 1 && !option.value.empty()) desired_ = option.value[0];
+    }
+    void onThisLayerUp() override { ++upCount; }
+    void onThisLayerDown() override { ++downCount; }
+    void onThisLayerFinished() override { ++finishedCount; }
+
+  private:
+    std::uint8_t desired_;
+};
+
+/// Wires two FSMs together through the simulator with a delivery delay
+/// and an optional per-packet drop predicate.
+struct FsmPair : ::testing::Test {
+    void connect(ToyProtocol& from, ToyProtocol& to) {
+        from.setSender([this, &to](const ControlPacket& pkt) {
+            ++packetsSent;
+            if (dropNext > 0) {
+                --dropNext;
+                return;
+            }
+            const util::Bytes wire = pkt.serialize();
+            sim.schedule(sim::millis(10), [&to, wire] {
+                const auto parsed = ControlPacket::parse({wire.data(), wire.size()});
+                ASSERT_TRUE(parsed.ok());
+                to.receive(parsed.value());
+            });
+        });
+    }
+
+    sim::Simulator sim;
+    int packetsSent = 0;
+    int dropNext = 0;
+};
+
+TEST_F(FsmPair, BothSidesReachOpened) {
+    ToyProtocol a{sim, 3};
+    ToyProtocol b{sim, 5};
+    connect(a, b);
+    connect(b, a);
+    a.open();
+    a.up();
+    b.open();
+    b.up();
+    sim.runUntil(sim::seconds(2.0));
+    EXPECT_TRUE(a.isOpened());
+    EXPECT_TRUE(b.isOpened());
+    EXPECT_EQ(a.upCount, 1);
+    EXPECT_EQ(b.upCount, 1);
+    EXPECT_EQ(a.peerValue, 5);
+    EXPECT_EQ(b.peerValue, 3);
+}
+
+TEST_F(FsmPair, PassiveSideOpensWhenPeerInitiates) {
+    ToyProtocol a{sim, 3};
+    ToyProtocol b{sim, 5};
+    connect(a, b);
+    connect(b, a);
+    // b is up but passive (open, no CR until provoked is not RFC —
+    // both open; a starts slightly later).
+    b.open();
+    b.up();
+    sim.runUntil(sim::millis(100));
+    a.open();
+    a.up();
+    sim.runUntil(sim::seconds(3.0));
+    EXPECT_TRUE(a.isOpened());
+    EXPECT_TRUE(b.isOpened());
+}
+
+TEST_F(FsmPair, LostConfigureRequestIsRetransmitted) {
+    ToyProtocol a{sim, 3};
+    ToyProtocol b{sim, 5};
+    connect(a, b);
+    connect(b, a);
+    dropNext = 1;  // a's first Configure-Request vanishes
+    a.open();
+    a.up();
+    b.open();
+    b.up();
+    sim.runUntil(sim::seconds(5.0));
+    EXPECT_TRUE(a.isOpened());
+    EXPECT_TRUE(b.isOpened());
+}
+
+TEST_F(FsmPair, NakConvergesOnSuggestedValue) {
+    ToyProtocol a{sim, 0};  // 0 is nak'ed with suggestion 7
+    ToyProtocol b{sim, 5};
+    connect(a, b);
+    connect(b, a);
+    a.open();
+    a.up();
+    b.open();
+    b.up();
+    sim.runUntil(sim::seconds(2.0));
+    EXPECT_TRUE(a.isOpened());
+    EXPECT_TRUE(b.isOpened());
+    EXPECT_EQ(b.peerValue, 7);  // a adopted the suggestion
+}
+
+TEST_F(FsmPair, GracefulTerminate) {
+    ToyProtocol a{sim, 3};
+    ToyProtocol b{sim, 5};
+    connect(a, b);
+    connect(b, a);
+    a.open();
+    a.up();
+    b.open();
+    b.up();
+    sim.runUntil(sim::seconds(2.0));
+    ASSERT_TRUE(a.isOpened());
+
+    a.close();
+    sim.runUntil(sim::seconds(4.0));
+    EXPECT_EQ(a.state(), FsmState::closed);
+    EXPECT_EQ(a.downCount, 1);
+    EXPECT_EQ(a.finishedCount, 1);
+    // The peer saw Terminate-Request and stopped.
+    EXPECT_FALSE(b.isOpened());
+    EXPECT_EQ(b.downCount, 1);
+}
+
+TEST_F(FsmPair, NoPeerGivesUpAfterMaxConfigure) {
+    Fsm::Timers fast;
+    fast.restartTimer = sim::millis(100);
+    fast.maxConfigure = 3;
+    ToyProtocol a{sim, 3, fast};
+    a.setSender([this](const ControlPacket&) { ++packetsSent; });
+    a.open();
+    a.up();
+    sim.runUntil(sim::seconds(5.0));
+    EXPECT_EQ(a.state(), FsmState::stopped);
+    EXPECT_EQ(a.finishedCount, 1);
+    EXPECT_EQ(packetsSent, 3);  // initial + 2 retries
+}
+
+TEST_F(FsmPair, DownInOpenedSignalsThisLayerDown) {
+    ToyProtocol a{sim, 3};
+    ToyProtocol b{sim, 5};
+    connect(a, b);
+    connect(b, a);
+    a.open();
+    a.up();
+    b.open();
+    b.up();
+    sim.runUntil(sim::seconds(2.0));
+    ASSERT_TRUE(a.isOpened());
+    a.down();
+    EXPECT_EQ(a.downCount, 1);
+    EXPECT_EQ(a.state(), FsmState::starting);
+    // Coming back up renegotiates.
+    a.up();
+    sim.runUntil(sim::seconds(5.0));
+    EXPECT_TRUE(a.isOpened());
+    EXPECT_EQ(a.upCount, 2);
+}
+
+TEST_F(FsmPair, UnknownCodeGetsCodeReject) {
+    ToyProtocol a{sim, 3};
+    ToyProtocol b{sim, 5};
+    connect(a, b);
+    connect(b, a);
+    a.open();
+    a.up();
+    b.open();
+    b.up();
+    sim.runUntil(sim::seconds(2.0));
+    ASSERT_TRUE(a.isOpened());
+
+    const int sentBefore = packetsSent;
+    ControlPacket bogus;
+    bogus.code = Code{42};
+    bogus.identifier = 9;
+    a.receive(bogus);
+    EXPECT_GT(packetsSent, sentBefore);  // a Code-Reject went out
+    EXPECT_TRUE(a.isOpened());           // unknown codes are not fatal
+}
+
+TEST_F(FsmPair, ProtocolRejectedInOpenedTerminates) {
+    ToyProtocol a{sim, 3};
+    ToyProtocol b{sim, 5};
+    connect(a, b);
+    connect(b, a);
+    a.open();
+    a.up();
+    b.open();
+    b.up();
+    sim.runUntil(sim::seconds(2.0));
+    ASSERT_TRUE(a.isOpened());
+    a.protocolRejected();
+    sim.runUntil(sim::seconds(6.0));
+    EXPECT_FALSE(a.isOpened());
+    EXPECT_GE(a.downCount, 1);
+}
+
+TEST_F(FsmPair, StaleConfigureAckIgnored) {
+    ToyProtocol a{sim, 3};
+    std::vector<ControlPacket> sent;
+    a.setSender([&](const ControlPacket& pkt) { sent.push_back(pkt); });
+    a.open();
+    a.up();
+    ASSERT_FALSE(sent.empty());
+    ControlPacket staleAck;
+    staleAck.code = Code::configure_ack;
+    staleAck.identifier = std::uint8_t(sent.back().identifier + 13);
+    staleAck.data = sent.back().data;
+    a.receive(staleAck);
+    EXPECT_EQ(a.state(), FsmState::req_sent);  // unchanged
+}
+
+TEST(FsmStateNames, AllDistinct) {
+    EXPECT_STREQ(fsmStateName(FsmState::initial), "Initial");
+    EXPECT_STREQ(fsmStateName(FsmState::opened), "Opened");
+    EXPECT_STREQ(fsmStateName(FsmState::stopping), "Stopping");
+}
+
+}  // namespace
+}  // namespace onelab::ppp

@@ -1,0 +1,87 @@
+#include "ppp/options.hpp"
+
+#include <gtest/gtest.h>
+
+namespace onelab::ppp {
+namespace {
+
+TEST(ControlPacket, SerializeParseRoundTrip) {
+    ControlPacket pkt;
+    pkt.code = Code::configure_request;
+    pkt.identifier = 42;
+    pkt.data = util::Bytes{1, 4, 0x05, 0xdc};  // MRU option
+    const util::Bytes wire = pkt.serialize();
+    EXPECT_EQ(wire.size(), 8u);
+    EXPECT_EQ(wire[2], 0);  // length high byte
+    EXPECT_EQ(wire[3], 8);  // length low byte
+
+    const auto parsed = ControlPacket::parse({wire.data(), wire.size()});
+    ASSERT_TRUE(parsed.ok());
+    EXPECT_EQ(parsed.value().code, Code::configure_request);
+    EXPECT_EQ(parsed.value().identifier, 42);
+    EXPECT_EQ(parsed.value().data, pkt.data);
+}
+
+TEST(ControlPacket, ParseRejectsTruncated) {
+    const util::Bytes tooShort{1, 2};
+    EXPECT_FALSE(ControlPacket::parse({tooShort.data(), tooShort.size()}).ok());
+    const util::Bytes badLength{1, 2, 0, 20, 0};  // claims 20 bytes, has 5
+    EXPECT_FALSE(ControlPacket::parse({badLength.data(), badLength.size()}).ok());
+}
+
+TEST(ControlPacket, ParseIgnoresTrailingPadding) {
+    ControlPacket pkt;
+    pkt.code = Code::echo_request;
+    pkt.identifier = 1;
+    util::Bytes wire = pkt.serialize();
+    wire.push_back(0xff);  // padding beyond the declared length
+    const auto parsed = ControlPacket::parse({wire.data(), wire.size()});
+    ASSERT_TRUE(parsed.ok());
+    EXPECT_TRUE(parsed.value().data.empty());
+}
+
+TEST(Options, EncodeParseRoundTrip) {
+    std::vector<Option> options;
+    options.push_back(makeU16Option(lcp_opt::mru, 1500));
+    options.push_back(makeU32Option(lcp_opt::magic_number, 0xdeadbeef));
+    options.push_back(Option{lcp_opt::pfc, {}});
+    const util::Bytes data = encodeOptions(options);
+    const auto parsed = parseOptions({data.data(), data.size()});
+    ASSERT_TRUE(parsed.ok());
+    ASSERT_EQ(parsed.value().size(), 3u);
+    EXPECT_EQ(optionU16(parsed.value()[0]), 1500);
+    EXPECT_EQ(optionU32(parsed.value()[1]), 0xdeadbeefu);
+    EXPECT_EQ(parsed.value()[2].type, lcp_opt::pfc);
+    EXPECT_TRUE(parsed.value()[2].value.empty());
+}
+
+TEST(Options, ParseRejectsBadLength) {
+    const util::Bytes zeroLength{1, 0};  // option length < 2
+    EXPECT_FALSE(parseOptions({zeroLength.data(), zeroLength.size()}).ok());
+    const util::Bytes overrun{1, 10, 0};  // claims 10, only 3 present
+    EXPECT_FALSE(parseOptions({overrun.data(), overrun.size()}).ok());
+    const util::Bytes danglingHeader{1};
+    EXPECT_FALSE(parseOptions({danglingHeader.data(), danglingHeader.size()}).ok());
+}
+
+TEST(Options, EmptyListParses) {
+    const auto parsed = parseOptions({});
+    ASSERT_TRUE(parsed.ok());
+    EXPECT_TRUE(parsed.value().empty());
+}
+
+TEST(Options, AccessorsRejectWrongSize) {
+    const Option wide = makeU32Option(5, 1);
+    EXPECT_FALSE(optionU16(wide).has_value());
+    const Option narrow = makeU16Option(1, 1);
+    EXPECT_FALSE(optionU32(narrow).has_value());
+}
+
+TEST(Options, CodeNames) {
+    EXPECT_STREQ(codeName(Code::configure_request), "Configure-Request");
+    EXPECT_STREQ(codeName(Code::echo_reply), "Echo-Reply");
+    EXPECT_STREQ(codeName(Code{99}), "Unknown");
+}
+
+}  // namespace
+}  // namespace onelab::ppp

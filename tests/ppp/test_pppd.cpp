@@ -1,0 +1,268 @@
+#include "ppp/pppd.hpp"
+
+#include <gtest/gtest.h>
+
+#include "net/packet.hpp"
+
+namespace onelab::ppp {
+namespace {
+
+struct PppdPair : ::testing::Test {
+    PppdPair() : pipe(sim, sim::micros(100)) {}
+
+    PppdConfig clientConfig() {
+        PppdConfig config;
+        config.name = "client";
+        config.credentials = {"onelab", "onelab"};
+        config.requestDns = true;
+        config.seed = 11;
+        return config;
+    }
+
+    PppdConfig serverConfig() {
+        PppdConfig config;
+        config.name = "server";
+        config.isServer = true;
+        config.requireAuth = AuthProtocol::chap_md5;
+        config.secretLookup = [](const std::string& user) -> std::optional<std::string> {
+            if (user == "onelab") return "onelab";
+            return std::nullopt;
+        };
+        config.localAddress = net::Ipv4Address{93, 57, 0, 1};
+        config.addressForPeer = net::Ipv4Address{93, 57, 0, 16};
+        config.dnsServer = net::Ipv4Address{93, 57, 0, 53};
+        config.seed = 22;
+        return config;
+    }
+
+    void bringUp(Pppd& client, Pppd& server) {
+        client.attach(pipe.a());
+        server.attach(pipe.b());
+        server.start();
+        client.start();
+        sim.runUntil(sim.now() + sim::seconds(10.0));
+    }
+
+    sim::Simulator sim;
+    sim::Pipe pipe;
+};
+
+TEST_F(PppdPair, NegotiatesToRunningWithAddresses) {
+    Pppd client{sim, clientConfig()};
+    Pppd server{sim, serverConfig()};
+    std::optional<IpcpResult> clientUp;
+    client.onNetworkUp = [&](const IpcpResult& result) { clientUp = result; };
+    bringUp(client, server);
+
+    ASSERT_TRUE(client.isRunning());
+    ASSERT_TRUE(server.isRunning());
+    ASSERT_TRUE(clientUp.has_value());
+    EXPECT_EQ(clientUp->localAddress, (net::Ipv4Address{93, 57, 0, 16}));
+    EXPECT_EQ(clientUp->peerAddress, (net::Ipv4Address{93, 57, 0, 1}));
+    EXPECT_EQ(clientUp->dnsServer, (net::Ipv4Address{93, 57, 0, 53}));
+}
+
+TEST_F(PppdPair, IpDatagramsFlowBothWays) {
+    Pppd client{sim, clientConfig()};
+    Pppd server{sim, serverConfig()};
+    util::Bytes atServer;
+    util::Bytes atClient;
+    server.onIpDatagram = [&](util::ByteView d) { atServer.assign(d.begin(), d.end()); };
+    client.onIpDatagram = [&](util::ByteView d) { atClient.assign(d.begin(), d.end()); };
+    bringUp(client, server);
+    ASSERT_TRUE(client.isRunning());
+
+    const net::Packet up = net::makeUdpPacket(net::Ipv4Address{93, 57, 0, 16}, 1000,
+                                              net::Ipv4Address{138, 96, 250, 20}, 9001,
+                                              util::Bytes{1, 2, 3});
+    const util::Bytes upWire = up.serialize();
+    ASSERT_TRUE(client.sendIpDatagram({upWire.data(), upWire.size()}).ok());
+    const net::Packet down = net::makeUdpPacket(net::Ipv4Address{138, 96, 250, 20}, 9001,
+                                                net::Ipv4Address{93, 57, 0, 16}, 1000,
+                                                util::Bytes{4, 5, 6});
+    const util::Bytes downWire = down.serialize();
+    ASSERT_TRUE(server.sendIpDatagram({downWire.data(), downWire.size()}).ok());
+    sim.runUntil(sim.now() + sim::seconds(1.0));
+
+    EXPECT_EQ(atServer, upWire);
+    EXPECT_EQ(atClient, downWire);
+    // And they parse back to the original packets.
+    const auto parsed = net::Packet::parse({atServer.data(), atServer.size()});
+    ASSERT_TRUE(parsed.ok());
+    EXPECT_EQ(parsed.value().payload, (util::Bytes{1, 2, 3}));
+    EXPECT_EQ(client.counters().ipFramesSent, 1u);
+    EXPECT_EQ(client.counters().ipFramesReceived, 1u);
+}
+
+TEST_F(PppdPair, CcpNegotiatedWhenBothEnable) {
+    PppdConfig cc = clientConfig();
+    cc.ccp.enable = true;
+    PppdConfig sc = serverConfig();
+    sc.ccp.enable = true;
+    Pppd client{sim, cc};
+    Pppd server{sim, sc};
+    util::Bytes atServer;
+    server.onIpDatagram = [&](util::ByteView d) { atServer.assign(d.begin(), d.end()); };
+    bringUp(client, server);
+    ASSERT_TRUE(client.isRunning());
+    EXPECT_TRUE(client.compressionActive());
+
+    // A compressible datagram (zero padding) shrinks on the wire.
+    const net::Packet pkt = net::makeUdpPacket(net::Ipv4Address{1, 1, 1, 1}, 1,
+                                               net::Ipv4Address{2, 2, 2, 2}, 2,
+                                               util::Bytes(900, 0));
+    const util::Bytes wire = pkt.serialize();
+    ASSERT_TRUE(client.sendIpDatagram({wire.data(), wire.size()}).ok());
+    sim.runUntil(sim.now() + sim::seconds(1.0));
+    EXPECT_EQ(atServer, wire);  // decompressed losslessly
+    EXPECT_LT(client.counters().compressedOut, client.counters().compressedIn / 2);
+}
+
+TEST_F(PppdPair, CcpRejectedWhenClientDisables) {
+    PppdConfig sc = serverConfig();
+    sc.ccp.enable = true;  // server offers, client (default) refuses
+    Pppd client{sim, clientConfig()};
+    Pppd server{sim, sc};
+    bringUp(client, server);
+    ASSERT_TRUE(client.isRunning());
+    ASSERT_TRUE(server.isRunning());
+    EXPECT_FALSE(client.compressionActive());
+    EXPECT_FALSE(server.compressionActive());
+}
+
+TEST_F(PppdPair, PapAuthenticationPath) {
+    PppdConfig sc = serverConfig();
+    sc.requireAuth = AuthProtocol::pap;
+    Pppd client{sim, clientConfig()};
+    Pppd server{sim, sc};
+    bringUp(client, server);
+    EXPECT_TRUE(client.isRunning());
+    EXPECT_TRUE(server.isRunning());
+}
+
+TEST_F(PppdPair, WrongCredentialsTerminateLink) {
+    PppdConfig cc = clientConfig();
+    cc.credentials = {"intruder", "nope"};
+    Pppd client{sim, cc};
+    Pppd server{sim, serverConfig()};
+    std::string clientDownReason;
+    client.onLinkDown = [&](const std::string& reason) { clientDownReason = reason; };
+    bringUp(client, server);
+    EXPECT_FALSE(client.isRunning());
+    EXPECT_FALSE(server.isRunning());
+    EXPECT_FALSE(clientDownReason.empty());
+}
+
+TEST_F(PppdPair, NegotiatedFramingReducesOverhead) {
+    Pppd client{sim, clientConfig()};
+    Pppd server{sim, serverConfig()};
+    bringUp(client, server);
+    ASSERT_TRUE(client.isRunning());
+    // Both requested ACCM 0, PFC and ACFC; the peer acked.
+    EXPECT_EQ(client.lcpResult().sendAccm, 0u);
+    EXPECT_TRUE(client.lcpResult().sendPfc);
+    EXPECT_TRUE(client.lcpResult().sendAcfc);
+    EXPECT_EQ(client.lcpResult().peerRequiresAuth, AuthProtocol::chap_md5);
+    EXPECT_NE(client.lcpResult().localMagic, server.lcpResult().localMagic);
+}
+
+TEST_F(PppdPair, MruEnforcedOnSend) {
+    Pppd client{sim, clientConfig()};
+    Pppd server{sim, serverConfig()};
+    bringUp(client, server);
+    ASSERT_TRUE(client.isRunning());
+    const util::Bytes oversize(2000, 0);
+    const auto sent = client.sendIpDatagram({oversize.data(), oversize.size()});
+    ASSERT_FALSE(sent.ok());
+    EXPECT_EQ(sent.error().code, util::Error::Code::invalid_argument);
+    EXPECT_EQ(client.counters().sendErrors, 1u);
+}
+
+TEST_F(PppdPair, SendBeforeRunningFails) {
+    Pppd client{sim, clientConfig()};
+    client.attach(pipe.a());
+    const util::Bytes data(40, 0);
+    const auto sent = client.sendIpDatagram({data.data(), data.size()});
+    ASSERT_FALSE(sent.ok());
+    EXPECT_EQ(sent.error().code, util::Error::Code::state);
+}
+
+TEST_F(PppdPair, GracefulStopNotifiesOnce) {
+    Pppd client{sim, clientConfig()};
+    Pppd server{sim, serverConfig()};
+    int clientDown = 0;
+    int serverDown = 0;
+    client.onLinkDown = [&](const std::string&) { ++clientDown; };
+    server.onLinkDown = [&](const std::string&) { ++serverDown; };
+    bringUp(client, server);
+    ASSERT_TRUE(client.isRunning());
+
+    client.stop();
+    sim.runUntil(sim.now() + sim::seconds(10.0));
+    EXPECT_EQ(client.phase(), PppPhase::dead);
+    EXPECT_FALSE(server.isRunning());
+    EXPECT_EQ(clientDown, 1);
+    EXPECT_GE(serverDown, 1);
+}
+
+TEST_F(PppdPair, EchoKeepaliveDetectsDeadPeer) {
+    PppdConfig cc = clientConfig();
+    cc.enableEcho = true;
+    cc.echoInterval = sim::seconds(1.0);
+    cc.echoFailureLimit = 2;
+    Pppd client{sim, cc};
+    Pppd server{sim, serverConfig()};
+    std::string reason;
+    client.onLinkDown = [&](const std::string& r) { reason = r; };
+    bringUp(client, server);
+    ASSERT_TRUE(client.isRunning());
+
+    // Carrier drop on the server side without Terminate: the client's
+    // echoes go unanswered (server is dead, not responding).
+    server.abortLink();
+    sim.runUntil(sim.now() + sim::seconds(20.0));
+    EXPECT_FALSE(client.isRunning());
+    EXPECT_EQ(reason, "keepalive timeout");
+}
+
+TEST_F(PppdPair, EchoKeptAliveByResponsivePeer) {
+    PppdConfig cc = clientConfig();
+    cc.enableEcho = true;
+    cc.echoInterval = sim::seconds(1.0);
+    cc.echoFailureLimit = 2;
+    Pppd client{sim, cc};
+    Pppd server{sim, serverConfig()};
+    bringUp(client, server);
+    ASSERT_TRUE(client.isRunning());
+    sim.runUntil(sim.now() + sim::seconds(30.0));
+    EXPECT_TRUE(client.isRunning());  // echoes answered, link stays up
+}
+
+TEST_F(PppdPair, RestartAfterStop) {
+    Pppd client{sim, clientConfig()};
+    Pppd server{sim, serverConfig()};
+    bringUp(client, server);
+    ASSERT_TRUE(client.isRunning());
+    client.stop();
+    sim.runUntil(sim.now() + sim::seconds(10.0));
+    ASSERT_EQ(client.phase(), PppPhase::dead);
+
+    // Dial again over the same line.
+    server.start();
+    client.start();
+    sim.runUntil(sim.now() + sim::seconds(10.0));
+    EXPECT_TRUE(client.isRunning());
+    EXPECT_TRUE(server.isRunning());
+}
+
+TEST_F(PppdPair, CountersTrackLineBytes) {
+    Pppd client{sim, clientConfig()};
+    Pppd server{sim, serverConfig()};
+    bringUp(client, server);
+    EXPECT_GT(client.counters().bytesToLine, 0u);
+    EXPECT_GT(client.counters().bytesFromLine, 0u);
+    EXPECT_EQ(client.counters().badFrames, 0u);
+}
+
+}  // namespace
+}  // namespace onelab::ppp

@@ -1,0 +1,112 @@
+#include "scenario/experiment.hpp"
+
+#include <gtest/gtest.h>
+
+namespace onelab::scenario {
+namespace {
+
+/// Full-length (120 s) paper experiments; each runs in well under a
+/// second of wall-clock time.
+
+TEST(VoipExperiment, MatchesPaperFigures1To3) {
+    ExperimentOptions options;
+    options.workload = Workload::voip_g711;
+    const ExperimentResult result = runExperiment(options);
+
+    // Figure 1: both paths sustain the required 72 kbps on average.
+    EXPECT_NEAR(util::meanInWindow(result.umts.series.bitrateKbps, 2, 118), 72.0, 4.0);
+    EXPECT_NEAR(util::meanInWindow(result.ethernet.series.bitrateKbps, 2, 118), 72.0, 2.0);
+    // ...with the UMTS series fluctuating more.
+    EXPECT_GT(util::summarize(result.umts.series.bitrateKbps).stddev,
+              util::summarize(result.ethernet.series.bitrateKbps).stddev * 2);
+
+    // No loss in this experiment (paper: "always equal to 0").
+    EXPECT_EQ(result.umts.summary.lost, 0u);
+    EXPECT_EQ(result.ethernet.summary.lost, 0u);
+
+    // Figure 2: UMTS jitter is higher and more fluctuating, reaching
+    // tens of ms but staying VoIP-usable (paper: up to ~30 ms).
+    EXPECT_GT(result.umts.summary.meanJitterSeconds,
+              result.ethernet.summary.meanJitterSeconds * 10);
+    EXPECT_GT(result.umts.summary.maxJitterSeconds, 0.010);
+    EXPECT_LT(result.umts.summary.maxJitterSeconds, 0.080);
+
+    // Figure 3: UMTS RTT well above Ethernet, spiking toward ~700 ms.
+    EXPECT_GT(result.umts.summary.meanRttSeconds,
+              result.ethernet.summary.meanRttSeconds * 4);
+    EXPECT_GT(result.umts.summary.maxRttSeconds, 0.3);
+    EXPECT_LT(result.umts.summary.maxRttSeconds, 1.2);
+    EXPECT_LT(result.ethernet.summary.maxRttSeconds, 0.05);
+
+    // No bearer upgrade: VoIP does not saturate the uplink.
+    EXPECT_EQ(result.umts.bearerUpgrades, 0);
+}
+
+TEST(CbrExperiment, MatchesPaperFigures4To7) {
+    ExperimentOptions options;
+    options.workload = Workload::cbr_1mbps;
+    const ExperimentResult result = runExperiment(options);
+
+    // Figure 4 (Ethernet): the wired path carries the full 1 Mbps.
+    EXPECT_NEAR(util::meanInWindow(result.ethernet.series.bitrateKbps, 2, 118), 999.0, 20.0);
+    EXPECT_EQ(result.ethernet.summary.lost, 0u);
+
+    // Figure 4 (UMTS): saturation at a small fraction of the offered
+    // load; ~150 kbps first, more than doubling after the on-demand
+    // re-allocation around t=50 s; peak around 400 kbps.
+    const double early = util::meanInWindow(result.umts.series.bitrateKbps, 5, 45);
+    const double late = util::meanInWindow(result.umts.series.bitrateKbps, 60, 115);
+    EXPECT_NEAR(early, 135.0, 25.0);
+    EXPECT_GT(late, early * 2.0);
+    EXPECT_NEAR(late, 360.0, 60.0);
+    EXPECT_LT(result.umts.summary.maxBitrateKbps, 520.0);
+    ASSERT_EQ(result.umts.bearerUpgrades, 1);
+    EXPECT_GT(result.umts.upgradeTimeSeconds, 40.0);
+    EXPECT_LT(result.umts.upgradeTimeSeconds, 58.0);
+
+    // Figure 6: heavy loss throughout on UMTS, decreasing after the
+    // upgrade but still substantial.
+    EXPECT_GT(result.umts.summary.lossRate, 0.55);
+    const double lossEarly = util::meanInWindow(result.umts.series.lossPackets, 5, 45);
+    const double lossLate = util::meanInWindow(result.umts.series.lossPackets, 60, 115);
+    EXPECT_GT(lossEarly, lossLate);
+    EXPECT_GT(lossLate, 5.0);  // still losing most of 24.4 pkt/window
+
+    // Figure 7: RTT in the seconds, up to ~3 s (paper: "as large as 3
+    // seconds"), improving after the upgrade.
+    EXPECT_GT(result.umts.summary.maxRttSeconds, 2.0);
+    EXPECT_LT(result.umts.summary.maxRttSeconds, 4.0);
+    EXPECT_GT(result.umts.summary.meanRttSeconds, 1.0);
+    EXPECT_LT(result.ethernet.summary.maxRttSeconds, 0.1);
+
+    // Figure 5: jitter far beyond real-time limits on UMTS.
+    EXPECT_GT(result.umts.summary.maxJitterSeconds, 0.1);
+    EXPECT_GT(result.umts.summary.meanJitterSeconds,
+              result.ethernet.summary.meanJitterSeconds * 50);
+}
+
+TEST(Experiment, WorkloadFactories) {
+    const ditg::FlowSpec voip = makeWorkload(Workload::voip_g711, 60.0);
+    EXPECT_NEAR(voip.nominalKbps(), 72.0, 0.1);
+    EXPECT_DOUBLE_EQ(voip.durationSeconds, 60.0);
+    const ditg::FlowSpec cbr = makeWorkload(Workload::cbr_1mbps, 60.0);
+    EXPECT_NEAR(cbr.nominalKbps(), 999.4, 1.0);
+    EXPECT_STREQ(workloadName(Workload::voip_g711), "voip-g711-72kbps");
+    EXPECT_STREQ(pathName(PathKind::umts_to_ethernet), "UMTS-to-Ethernet");
+}
+
+TEST(Experiment, UmtsPathReportsConnectionMetadata) {
+    ExperimentOptions options;
+    options.workload = Workload::voip_g711;
+    options.durationSeconds = 10.0;
+    const PathRun run = runPath(PathKind::umts_to_ethernet, options);
+    EXPECT_TRUE(run.umtsUsed);
+    EXPECT_FALSE(run.operatorName.empty());
+    EXPECT_FALSE(run.umtsAddress.isUnspecified());
+    EXPECT_EQ(run.packetsSent, 1000u);
+    const PathRun eth = runPath(PathKind::ethernet_to_ethernet, options);
+    EXPECT_FALSE(eth.umtsUsed);
+}
+
+}  // namespace
+}  // namespace onelab::scenario

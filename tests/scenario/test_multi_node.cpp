@@ -1,0 +1,140 @@
+// The paper's goal was "to provide every node of the testbed with the
+// possibility of using a UMTS interface" (§2). This suite equips a
+// SECOND PlanetLab node with its own card and umts extension, against
+// the same operator network, and checks the two UMTS connections are
+// fully independent.
+#include <gtest/gtest.h>
+
+#include "ditg/decoder.hpp"
+#include "ditg/receiver.hpp"
+#include "ditg/sender.hpp"
+#include "scenario/testbed.hpp"
+
+namespace onelab::scenario {
+namespace {
+
+struct SecondSite {
+    explicit SecondSite(Testbed& tb)
+        : node(tb.sim(), "planetlab1.polito.it"), tty(tb.sim()) {
+        net::Interface& eth = node.stack().addInterface("eth0");
+        eth.setAddress(net::Ipv4Address{130, 192, 16, 5});
+        eth.setUp(true);
+        tb.internet().attach(eth, net::AccessLink{});
+        node.stack().router().table(net::PolicyRouter::kMainTable)
+            .addRoute({net::Prefix::any(), "eth0", std::nullopt, 0});
+
+        modem::ModemConfig modemConfig;
+        modemConfig.imsi = "222880000000002";
+        modemConfig.pin = "1234";
+        card = std::make_unique<modem::HuaweiE620Modem>(tb.sim(), &tb.operatorNetwork(),
+                                                        modemConfig);
+        card->attachTty(tty.b());
+
+        slice = &node.createSlice("polito_umts");
+        umtsctl::UmtsBackendConfig backendConfig;
+        backendConfig.comgt.pin = "1234";
+        backendConfig.comgt.extraInit = {"AT^CURC=0"};
+        backendConfig.dialer.apn = tb.operatorNetwork().profile().apn;
+        backendConfig.requiredModules.push_back("pl2303");
+        backend = std::make_unique<umtsctl::UmtsBackend>(tb.sim(), node, tty.a(),
+                                                         backendConfig);
+        backend->dropDtr = [this] { card->dropDtr(); };
+        card->onCarrierLost = [this] { backend->notifyCarrierLost(); };
+        backend->installVsys();
+        node.vsys().allow("umts", slice->name);
+        frontend = std::make_unique<umtsctl::UmtsFrontend>(node, *slice);
+    }
+
+    util::Result<umtsctl::UmtsReport> start(Testbed& tb) {
+        std::optional<util::Result<umtsctl::UmtsReport>> outcome;
+        frontend->start([&](util::Result<umtsctl::UmtsReport> r) { outcome = std::move(r); });
+        const sim::SimTime deadline = tb.sim().now() + sim::seconds(60.0);
+        while (!outcome && tb.sim().now() < deadline)
+            tb.sim().runUntil(tb.sim().now() + sim::millis(100));
+        if (!outcome) return util::err(util::Error::Code::timeout, "second-site start timeout");
+        return std::move(*outcome);
+    }
+
+    pl::NodeOs node;
+    sim::Pipe tty;
+    std::unique_ptr<modem::UmtsModem> card;
+    pl::Slice* slice = nullptr;
+    std::unique_ptr<umtsctl::UmtsBackend> backend;
+    std::unique_ptr<umtsctl::UmtsFrontend> frontend;
+};
+
+TEST(MultiNode, TwoSitesHoldIndependentPdpContexts) {
+    Testbed tb;
+    SecondSite polito{tb};
+
+    const auto first = tb.startUmts();
+    ASSERT_TRUE(first.ok()) << first.error().message;
+    const auto second = polito.start(tb);
+    ASSERT_TRUE(second.ok()) << second.error().message;
+
+    EXPECT_EQ(tb.operatorNetwork().activeSessions(), 2u);
+    EXPECT_NE(first.value().address, second.value().address);
+    EXPECT_TRUE(tb.operatorNetwork().profile().subscriberPool.contains(second.value().address));
+    // Each node has its own ppp0 with its own address.
+    EXPECT_EQ(tb.napoli().stack().findInterface("ppp0")->address(), first.value().address);
+    EXPECT_EQ(polito.node.stack().findInterface("ppp0")->address(), second.value().address);
+}
+
+TEST(MultiNode, ConcurrentFlowsFromBothSites) {
+    Testbed tb;
+    SecondSite polito{tb};
+    ASSERT_TRUE(tb.startUmts().ok());
+    ASSERT_TRUE(polito.start(tb).ok());
+    ASSERT_TRUE(tb.addUmtsDestination(tb.inriaEthAddress().str() + "/32").ok());
+    {
+        std::optional<util::Result<void>> added;
+        polito.frontend->addDestination(tb.inriaEthAddress().str() + "/32",
+                                        [&](util::Result<void> r) { added = std::move(r); });
+        tb.sim().runUntil(tb.sim().now() + sim::millis(100));
+        ASSERT_TRUE(added && added->ok());
+    }
+
+    auto rxSocket = tb.inria().openSliceUdp(tb.inriaSlice(), 9001).value();
+    ditg::ItgRecv receiver{*rxSocket};
+    auto socketA = tb.napoli().openSliceUdp(tb.umtsSlice()).value();
+    auto socketB = polito.node.openSliceUdp(*polito.slice).value();
+    ditg::ItgSend senderA{tb.sim(), *socketA, ditg::voipG711Flow(1, 20.0),
+                          tb.inriaEthAddress(), 9001, util::RandomStream{1}};
+    ditg::ItgSend senderB{tb.sim(), *socketB, ditg::voipG711Flow(2, 20.0),
+                          tb.inriaEthAddress(), 9001, util::RandomStream{2}};
+    senderA.start();
+    senderB.start();
+    tb.sim().runUntil(tb.sim().now() + sim::seconds(25.0));
+
+    // Both flows ride their own bearers: full delivery, no cross-talk.
+    const auto summaryA = ditg::ItgDec::summarize(senderA.log(), receiver.log(1));
+    const auto summaryB = ditg::ItgDec::summarize(senderB.log(), receiver.log(2));
+    EXPECT_EQ(summaryA.lost, 0u);
+    EXPECT_EQ(summaryB.lost, 0u);
+    EXPECT_NEAR(summaryA.meanRttSeconds, summaryB.meanRttSeconds, 0.15);
+    // Arrivals carry each node's own subscriber address.
+    const auto& logA = receiver.log(1).packets;
+    const auto& logB = receiver.log(2).packets;
+    ASSERT_FALSE(logA.empty());
+    ASSERT_FALSE(logB.empty());
+}
+
+TEST(MultiNode, OneSiteStoppingDoesNotDisturbTheOther) {
+    Testbed tb;
+    SecondSite polito{tb};
+    ASSERT_TRUE(tb.startUmts().ok());
+    ASSERT_TRUE(polito.start(tb).ok());
+    ASSERT_TRUE(tb.stopUmts().ok());
+    EXPECT_EQ(tb.operatorNetwork().activeSessions(), 1u);
+    // The surviving site still has a working connection.
+    EXPECT_NE(polito.node.stack().findInterface("ppp0"), nullptr);
+    EXPECT_TRUE(polito.backend->state().connected);
+    // And its slice can still emit traffic through it.
+    auto socket = polito.node.openSliceUdp(*polito.slice).value();
+    socket->bindAddress(polito.node.stack().findInterface("ppp0")->address());
+    EXPECT_TRUE(socket->sendTo(tb.inriaEthAddress(), 9001, util::Bytes{1}).ok());
+    EXPECT_EQ(polito.node.stack().findInterface("ppp0")->counters().txPackets, 1u);
+}
+
+}  // namespace
+}  // namespace onelab::scenario

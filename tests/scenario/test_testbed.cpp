@@ -1,0 +1,111 @@
+#include "scenario/testbed.hpp"
+
+#include <gtest/gtest.h>
+
+namespace onelab::scenario {
+namespace {
+
+TEST(Testbed, ConstructsPaperTopology) {
+    Testbed tb;
+    EXPECT_EQ(tb.napoli().hostname(), "planetlab1.unina.it");
+    EXPECT_EQ(tb.inria().hostname(), "planetlab1.inria.fr");
+    EXPECT_EQ(tb.operatorNetwork().profile().name, "commercial-it");
+    EXPECT_NE(tb.napoli().findSlice(tb.config().umtsSliceName), nullptr);
+    EXPECT_TRUE(tb.napoli().vsys().isAllowed("umts", tb.config().umtsSliceName));
+    EXPECT_FALSE(tb.napoli().vsys().isAllowed("umts", tb.config().otherSliceName));
+}
+
+TEST(Testbed, EthernetPathWorksWithoutUmts) {
+    Testbed tb;
+    auto rx = tb.inria().openSliceUdp(tb.inriaSlice(), 9001).value();
+    int got = 0;
+    rx->onReceive([&](net::Datagram) { ++got; });
+    auto tx = tb.napoli().openSliceUdp(tb.umtsSlice()).value();
+    ASSERT_TRUE(tx->sendTo(tb.inriaEthAddress(), 9001, util::Bytes{1}).ok());
+    tb.sim().runUntil(sim::seconds(1.0));
+    EXPECT_EQ(got, 1);
+}
+
+TEST(Testbed, EthernetRttAroundTwentyMs) {
+    Testbed tb;
+    std::optional<net::PingReply> reply;
+    ASSERT_TRUE(tb.napoli().stack()
+                    .ping(tb.inriaEthAddress(), [&](net::PingReply r) { reply = r; })
+                    .ok());
+    tb.sim().runUntil(sim::seconds(1.0));
+    ASSERT_TRUE(reply.has_value());
+    const double rttMs = sim::toMillis(reply->rtt);
+    EXPECT_GT(rttMs, 15.0);
+    EXPECT_LT(rttMs, 30.0);
+}
+
+TEST(Testbed, StartUmtsEndToEnd) {
+    Testbed tb;
+    const auto started = tb.startUmts();
+    ASSERT_TRUE(started.ok()) << started.error().message;
+    EXPECT_TRUE(started.value().connected);
+    // Takes realistic setup time: registration + dial + PPP.
+    EXPECT_GT(sim::toSeconds(tb.sim().now()), 3.0);
+    EXPECT_LT(sim::toSeconds(tb.sim().now()), 20.0);
+}
+
+TEST(Testbed, GlobetrotterCardVariant) {
+    TestbedConfig config;
+    config.card = CardKind::globetrotter;
+    Testbed tb{config};
+    const auto started = tb.startUmts();
+    ASSERT_TRUE(started.ok()) << started.error().message;
+    EXPECT_EQ(tb.card().identity().manufacturer, "Option N.V.");
+}
+
+TEST(Testbed, MicrocellOperatorVariant) {
+    TestbedConfig config;
+    config.operatorProfile = umts::alcatelLucentMicrocell();
+    Testbed tb{config};
+    const auto started = tb.startUmts();
+    ASSERT_TRUE(started.ok()) << started.error().message;
+    EXPECT_EQ(started.value().operatorName, "ALU 3G Reality Center");
+    EXPECT_TRUE(tb.operatorNetwork().profile().subscriberPool.contains(
+        started.value().address));
+}
+
+TEST(Testbed, PingOverUmtsAfterAddDestination) {
+    Testbed tb;
+    ASSERT_TRUE(tb.startUmts().ok());
+    ASSERT_TRUE(tb.addUmtsDestination(tb.inriaEthAddress().str() + "/32").ok());
+    // ICMP from the slice context, marked and routed via ppp0.
+    std::optional<net::PingReply> reply;
+    ASSERT_TRUE(tb.napoli().stack()
+                    .ping(tb.inriaEthAddress(), [&](net::PingReply r) { reply = r; },
+                          tb.umtsSlice().xid)
+                    .ok());
+    tb.sim().runUntil(tb.sim().now() + sim::seconds(5.0));
+    ASSERT_TRUE(reply.has_value());
+    // UMTS RTT is an order of magnitude above the wired path.
+    EXPECT_GT(sim::toMillis(reply->rtt), 100.0);
+}
+
+TEST(Testbed, OperatorFirewallBlocksInboundToUmtsAddress) {
+    // The paper's §2.2 rationale for keeping control traffic on eth0:
+    // the UMTS-side address is not reachable from outside.
+    Testbed tb;
+    const auto started = tb.startUmts();
+    ASSERT_TRUE(started.ok());
+    auto probe = tb.inria().openSliceUdp(tb.inriaSlice()).value();
+    ASSERT_TRUE(probe->sendTo(started.value().address, 22, util::Bytes{1}).ok());
+    tb.sim().runUntil(tb.sim().now() + sim::seconds(2.0));
+    EXPECT_GE(tb.operatorNetwork().firewallBlockedInbound(), 1u);
+}
+
+TEST(Testbed, StopAndRestartCycleTwice) {
+    Testbed tb;
+    for (int cycle = 0; cycle < 2; ++cycle) {
+        const auto started = tb.startUmts();
+        ASSERT_TRUE(started.ok()) << "cycle " << cycle << ": " << started.error().message;
+        const auto stopped = tb.stopUmts();
+        ASSERT_TRUE(stopped.ok()) << "cycle " << cycle << ": " << stopped.error().message;
+    }
+}
+
+}  // namespace
+}  // namespace onelab::scenario

@@ -1,0 +1,105 @@
+#include "sim/pipe.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace onelab::sim {
+namespace {
+
+util::Bytes toBytes(const std::string& text) {
+    return util::Bytes{text.begin(), text.end()};
+}
+
+TEST(Pipe, BidirectionalDelivery) {
+    Simulator sim;
+    Pipe pipe{sim};
+    std::string atB;
+    std::string atA;
+    pipe.b().onData([&](util::ByteView data) { atB.append(data.begin(), data.end()); });
+    pipe.a().onData([&](util::ByteView data) { atA.append(data.begin(), data.end()); });
+
+    const auto hello = toBytes("hello");
+    pipe.a().write({hello.data(), hello.size()});
+    const auto world = toBytes("world");
+    pipe.b().write({world.data(), world.size()});
+    sim.run();
+    EXPECT_EQ(atB, "hello");
+    EXPECT_EQ(atA, "world");
+}
+
+TEST(Pipe, DeliveryIsDeferredNotReentrant) {
+    Simulator sim;
+    Pipe pipe{sim};
+    bool delivered = false;
+    pipe.b().onData([&](util::ByteView) { delivered = true; });
+    const auto data = toBytes("x");
+    pipe.a().write({data.data(), data.size()});
+    EXPECT_FALSE(delivered);  // not until events run
+    sim.run();
+    EXPECT_TRUE(delivered);
+}
+
+TEST(Pipe, PreservesWriteOrder) {
+    Simulator sim;
+    Pipe pipe{sim};
+    std::string received;
+    pipe.b().onData([&](util::ByteView data) { received.append(data.begin(), data.end()); });
+    for (const char* chunk : {"a", "b", "c", "d"}) {
+        const auto bytes = toBytes(chunk);
+        pipe.a().write({bytes.data(), bytes.size()});
+    }
+    sim.run();
+    EXPECT_EQ(received, "abcd");
+}
+
+TEST(Pipe, LatencyApplied) {
+    Simulator sim;
+    Pipe pipe{sim, millis(5)};
+    SimTime deliveredAt{-1};
+    pipe.b().onData([&](util::ByteView) { deliveredAt = sim.now(); });
+    const auto data = toBytes("x");
+    pipe.a().write({data.data(), data.size()});
+    sim.run();
+    EXPECT_EQ(deliveredAt, millis(5));
+}
+
+TEST(Pipe, WriteWithoutHandlerIsDropped) {
+    Simulator sim;
+    Pipe pipe{sim};
+    const auto data = toBytes("lost");
+    pipe.a().write({data.data(), data.size()});
+    EXPECT_NO_FATAL_FAILURE(sim.run());
+}
+
+TEST(Pipe, DestroyedPipeDoesNotDeliver) {
+    Simulator sim;
+    bool delivered = false;
+    {
+        Pipe pipe{sim, millis(10)};
+        pipe.b().onData([&](util::ByteView) { delivered = true; });
+        const auto data = toBytes("x");
+        pipe.a().write({data.data(), data.size()});
+    }  // pipe destroyed with the delivery still in flight
+    sim.run();
+    EXPECT_FALSE(delivered);
+}
+
+TEST(Pipe, HandlerCanBeReplaced) {
+    Simulator sim;
+    Pipe pipe{sim};
+    int firstCount = 0;
+    int secondCount = 0;
+    pipe.b().onData([&](util::ByteView) { ++firstCount; });
+    const auto data = toBytes("1");
+    pipe.a().write({data.data(), data.size()});
+    sim.run();
+    pipe.b().onData([&](util::ByteView) { ++secondCount; });
+    pipe.a().write({data.data(), data.size()});
+    sim.run();
+    EXPECT_EQ(firstCount, 1);
+    EXPECT_EQ(secondCount, 1);
+}
+
+}  // namespace
+}  // namespace onelab::sim

@@ -1,0 +1,149 @@
+#include "sim/simulator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace onelab::sim {
+namespace {
+
+TEST(Simulator, RunsEventsInTimeOrder) {
+    Simulator sim;
+    std::vector<int> order;
+    sim.schedule(millis(30), [&] { order.push_back(3); });
+    sim.schedule(millis(10), [&] { order.push_back(1); });
+    sim.schedule(millis(20), [&] { order.push_back(2); });
+    sim.run();
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+    EXPECT_EQ(sim.now(), millis(30));
+}
+
+TEST(Simulator, FifoTieBreakAtSameTimestamp) {
+    Simulator sim;
+    std::vector<int> order;
+    for (int i = 0; i < 10; ++i) sim.schedule(millis(5), [&order, i] { order.push_back(i); });
+    sim.run();
+    for (int i = 0; i < 10; ++i) EXPECT_EQ(order[std::size_t(i)], i);
+}
+
+TEST(Simulator, RunUntilStopsAtHorizon) {
+    Simulator sim;
+    int fired = 0;
+    sim.schedule(millis(10), [&] { ++fired; });
+    sim.schedule(millis(30), [&] { ++fired; });
+    sim.runUntil(millis(20));
+    EXPECT_EQ(fired, 1);
+    EXPECT_EQ(sim.now(), millis(20));
+    sim.run();
+    EXPECT_EQ(fired, 2);
+}
+
+TEST(Simulator, RunUntilIncludesEventsExactlyAtHorizon) {
+    Simulator sim;
+    bool fired = false;
+    sim.schedule(millis(20), [&] { fired = true; });
+    sim.runUntil(millis(20));
+    EXPECT_TRUE(fired);
+}
+
+TEST(Simulator, ClockAdvancesEvenWithEmptyQueue) {
+    Simulator sim;
+    sim.runUntil(seconds(5.0));
+    EXPECT_EQ(sim.now(), seconds(5.0));
+}
+
+TEST(Simulator, CancelPreventsExecution) {
+    Simulator sim;
+    bool fired = false;
+    const EventHandle handle = sim.schedule(millis(10), [&] { fired = true; });
+    EXPECT_TRUE(sim.cancel(handle));
+    sim.run();
+    EXPECT_FALSE(fired);
+}
+
+TEST(Simulator, CancelReturnsFalseForFiredEvent) {
+    Simulator sim;
+    const EventHandle handle = sim.schedule(millis(1), [] {});
+    sim.run();
+    EXPECT_FALSE(sim.cancel(handle));
+    EXPECT_EQ(sim.pendingEvents(), 0u);
+}
+
+TEST(Simulator, CancelInvalidHandle) {
+    Simulator sim;
+    EXPECT_FALSE(sim.cancel(EventHandle{}));
+}
+
+TEST(Simulator, EventsScheduledFromEventsRun) {
+    Simulator sim;
+    int depth = 0;
+    std::function<void()> chain = [&] {
+        if (++depth < 5) sim.schedule(millis(1), chain);
+    };
+    sim.schedule(millis(1), chain);
+    sim.run();
+    EXPECT_EQ(depth, 5);
+    EXPECT_EQ(sim.now(), millis(5));
+}
+
+TEST(Simulator, NegativeDelayClampsToNow) {
+    Simulator sim;
+    sim.runUntil(millis(100));
+    bool fired = false;
+    sim.schedule(millis(-50), [&] { fired = true; });
+    sim.run();
+    EXPECT_TRUE(fired);
+    EXPECT_EQ(sim.now(), millis(100));
+}
+
+TEST(Simulator, ScheduleAtInThePastClampsToNow) {
+    Simulator sim;
+    sim.runUntil(millis(100));
+    SimTime firedAt{};
+    sim.scheduleAt(millis(10), [&] { firedAt = sim.now(); });
+    sim.run();
+    EXPECT_EQ(firedAt, millis(100));
+}
+
+TEST(Simulator, PendingAndExecutedCounters) {
+    Simulator sim;
+    sim.schedule(millis(1), [] {});
+    sim.schedule(millis(2), [] {});
+    EXPECT_EQ(sim.pendingEvents(), 2u);
+    sim.run();
+    EXPECT_EQ(sim.pendingEvents(), 0u);
+    EXPECT_EQ(sim.executedEvents(), 2u);
+}
+
+TEST(Simulator, ClearDropsAllPending) {
+    Simulator sim;
+    bool fired = false;
+    sim.schedule(millis(1), [&] { fired = true; });
+    sim.clear();
+    sim.run();
+    EXPECT_FALSE(fired);
+    EXPECT_EQ(sim.pendingEvents(), 0u);
+}
+
+TEST(TimeHelpers, Conversions) {
+    EXPECT_EQ(seconds(1.5), SimTime{1'500'000'000});
+    EXPECT_EQ(millis(2.5), SimTime{2'500'000});
+    EXPECT_EQ(micros(3.0), SimTime{3'000});
+    EXPECT_DOUBLE_EQ(toSeconds(seconds(2.0)), 2.0);
+    EXPECT_DOUBLE_EQ(toMillis(millis(7.0)), 7.0);
+}
+
+TEST(TimeHelpers, TransmissionTime) {
+    // 1000 bytes at 8 kbps = 1 second.
+    EXPECT_EQ(transmissionTime(1000, 8000.0), seconds(1.0));
+}
+
+TEST(TimeHelpers, Format) {
+    EXPECT_EQ(formatTime(SimTime{500}), "500ns");
+    EXPECT_EQ(formatTime(micros(1.5)), "1.500us");
+    EXPECT_EQ(formatTime(millis(2.25)), "2.250ms");
+    EXPECT_EQ(formatTime(seconds(3.5)), "3.500s");
+}
+
+}  // namespace
+}  // namespace onelab::sim

@@ -1,0 +1,118 @@
+#include "tools/comgt.hpp"
+
+#include <gtest/gtest.h>
+
+#include "modem/cards.hpp"
+#include "net/internet.hpp"
+
+namespace onelab::tools {
+namespace {
+
+struct ComgtTest : ::testing::Test {
+    ComgtTest()
+        : internet(sim, util::RandomStream{3}),
+          network(sim, internet, umts::commercialItalianOperator(), util::RandomStream{4}),
+          pipe(sim) {}
+
+    void makeModem(modem::ModemConfig config = {}) {
+        card = std::make_unique<modem::HuaweiE620Modem>(sim, &network, config);
+        card->attachTty(pipe.b());
+    }
+
+    util::Result<ComgtReport> run(ComgtConfig config = {}) {
+        Comgt comgt{sim, pipe.a(), config};
+        std::optional<util::Result<ComgtReport>> outcome;
+        comgt.run([&](util::Result<ComgtReport> r) { outcome = std::move(r); });
+        sim.runUntil(sim.now() + sim::seconds(60.0));
+        if (!outcome) return util::err(util::Error::Code::timeout, "comgt never finished");
+        return std::move(*outcome);
+    }
+
+    sim::Simulator sim;
+    net::Internet internet;
+    umts::UmtsNetwork network;
+    sim::Pipe pipe;
+    std::unique_ptr<modem::UmtsModem> card;
+};
+
+TEST_F(ComgtTest, RegistersWithoutPin) {
+    makeModem();
+    const auto report = run();
+    ASSERT_TRUE(report.ok());
+    EXPECT_EQ(report.value().operatorName, "IT Mobile");
+    EXPECT_GT(report.value().signalQuality, 10);
+    EXPECT_FALSE(report.value().enteredPin);
+}
+
+TEST_F(ComgtTest, EntersPinWhenLocked) {
+    modem::ModemConfig modemConfig;
+    modemConfig.pin = "1234";
+    makeModem(modemConfig);
+    ComgtConfig config;
+    config.pin = "1234";
+    const auto report = run(config);
+    ASSERT_TRUE(report.ok());
+    EXPECT_TRUE(report.value().enteredPin);
+    EXPECT_EQ(card->registration(), modem::RegistrationState::registered_home);
+}
+
+TEST_F(ComgtTest, FailsWithoutRequiredPin) {
+    modem::ModemConfig modemConfig;
+    modemConfig.pin = "1234";
+    makeModem(modemConfig);
+    const auto report = run();  // no PIN configured
+    ASSERT_FALSE(report.ok());
+    EXPECT_EQ(report.error().code, util::Error::Code::state);
+}
+
+TEST_F(ComgtTest, FailsWithWrongPin) {
+    modem::ModemConfig modemConfig;
+    modemConfig.pin = "1234";
+    makeModem(modemConfig);
+    ComgtConfig config;
+    config.pin = "9999";
+    const auto report = run(config);
+    ASSERT_FALSE(report.ok());
+    EXPECT_EQ(report.error().code, util::Error::Code::permission_denied);
+}
+
+TEST_F(ComgtTest, TimesOutWithoutCoverage) {
+    network.setCoverage(false);  // before the card powers up
+    makeModem();
+    ComgtConfig config;
+    config.registrationTimeout = sim::seconds(5.0);
+    const auto report = run(config);
+    ASSERT_FALSE(report.ok());
+    EXPECT_EQ(report.error().code, util::Error::Code::timeout);
+}
+
+TEST_F(ComgtTest, CardInitStringsApplied) {
+    makeModem();
+    ComgtConfig config;
+    config.extraInit = {"AT^CURC=0"};  // the Huawei chatter killer
+    const auto report = run(config);
+    ASSERT_TRUE(report.ok());
+    auto* huawei = dynamic_cast<modem::HuaweiE620Modem*>(card.get());
+    ASSERT_NE(huawei, nullptr);
+    EXPECT_FALSE(huawei->unsolicitedReportsEnabled());
+}
+
+TEST_F(ComgtTest, BadInitStringFails) {
+    makeModem();
+    ComgtConfig config;
+    config.extraInit = {"AT+NOSUCHCOMMAND"};
+    const auto report = run(config);
+    ASSERT_FALSE(report.ok());
+    EXPECT_EQ(report.error().code, util::Error::Code::io);
+}
+
+TEST_F(ComgtTest, SurvivesRssiChatter) {
+    // Do NOT silence ^CURC: comgt must still register despite the
+    // unsolicited reports interleaving with its chat.
+    makeModem();
+    const auto report = run();
+    EXPECT_TRUE(report.ok());
+}
+
+}  // namespace
+}  // namespace onelab::tools

@@ -1,0 +1,182 @@
+#include "tools/shell.hpp"
+
+#include <gtest/gtest.h>
+
+namespace onelab::tools {
+namespace {
+
+struct ShellTest : ::testing::Test {
+    ShellTest() : stack(sim, "node"), shell(stack) {
+        net::Interface& eth = stack.addInterface("eth0");
+        eth.setAddress(net::Ipv4Address{143, 225, 229, 10});
+        eth.setUp(true);
+        net::Interface& ppp = stack.addInterface("ppp0");
+        ppp.setAddress(net::Ipv4Address{93, 57, 0, 16});
+        ppp.setUp(true);
+    }
+
+    std::string mustExec(const std::string& command) {
+        const auto result = shell.exec(command);
+        EXPECT_TRUE(result.ok()) << command << ": "
+                                 << (result.ok() ? "" : result.error().message);
+        return result.ok() ? result.value() : std::string{};
+    }
+
+    sim::Simulator sim;
+    net::NetworkStack stack;
+    RootShell shell;
+};
+
+TEST_F(ShellTest, UnknownCommandRejected) {
+    const auto result = shell.exec("rm -rf /");
+    ASSERT_FALSE(result.ok());
+    EXPECT_EQ(result.error().code, util::Error::Code::not_found);
+    EXPECT_FALSE(shell.exec("").ok());
+}
+
+TEST_F(ShellTest, IpRouteAddAndList) {
+    mustExec("ip route add default dev eth0");
+    mustExec("ip route add 10.0.0.0/8 dev ppp0 metric 5");
+    const std::string listing = mustExec("ip route list");
+    EXPECT_NE(listing.find("default dev eth0"), std::string::npos);
+    EXPECT_NE(listing.find("10.0.0.0/8 dev ppp0 metric 5"), std::string::npos);
+}
+
+TEST_F(ShellTest, IpRouteInAlternateTable) {
+    mustExec("ip route add default dev ppp0 table 100");
+    const std::string main = mustExec("ip route list");
+    EXPECT_EQ(main.find("ppp0"), std::string::npos);
+    const std::string table100 = mustExec("ip route list table 100");
+    EXPECT_NE(table100.find("default dev ppp0"), std::string::npos);
+}
+
+TEST_F(ShellTest, IpRouteDelAndFlush) {
+    mustExec("ip route add default dev ppp0 table 100");
+    mustExec("ip route del default dev ppp0 table 100");
+    EXPECT_FALSE(shell.exec("ip route del default dev ppp0 table 100").ok());
+    mustExec("ip route add 10.0.0.0/8 dev ppp0 table 100");
+    mustExec("ip route flush table 100");
+    EXPECT_FALSE(shell.exec("ip route list table 100").ok());  // table forgotten
+}
+
+TEST_F(ShellTest, IpRouteViaGateway) {
+    mustExec("ip route add default via 143.225.229.1 dev eth0");
+    const std::string listing = mustExec("ip route list");
+    EXPECT_NE(listing.find("via 143.225.229.1"), std::string::npos);
+}
+
+TEST_F(ShellTest, IpRouteErrors) {
+    EXPECT_FALSE(shell.exec("ip route add default").ok());          // no dev
+    EXPECT_FALSE(shell.exec("ip route add 300.0.0.0/8 dev e").ok());  // bad prefix
+    EXPECT_FALSE(shell.exec("ip route frobnicate").ok());
+    EXPECT_FALSE(shell.exec("ip route add default dev eth0 bogus x").ok());
+}
+
+TEST_F(ShellTest, IpRuleAddListDel) {
+    mustExec("ip rule add prio 1000 fwmark 0x64 to 138.96.250.20/32 lookup 100");
+    const std::string listing = mustExec("ip rule list");
+    EXPECT_NE(listing.find("1000:"), std::string::npos);
+    EXPECT_NE(listing.find("fwmark 0x64"), std::string::npos);
+    EXPECT_NE(listing.find("lookup 100"), std::string::npos);
+    EXPECT_NE(listing.find("32766:"), std::string::npos);  // default main rule
+
+    mustExec("ip rule del prio 1000 fwmark 0x64 to 138.96.250.20/32 lookup 100");
+    EXPECT_EQ(mustExec("ip rule list").find("1000:"), std::string::npos);
+}
+
+TEST_F(ShellTest, IpRuleFromSelector) {
+    mustExec("ip rule add prio 1000 fwmark 100 from 93.57.0.16/32 lookup 100");
+    mustExec("ip route add default dev ppp0 table 100");
+    // Check behaviour, not just listing: a marked packet with that
+    // source resolves through table 100.
+    net::Packet pkt = net::makeUdpPacket(net::Ipv4Address{93, 57, 0, 16}, 1,
+                                         net::Ipv4Address{8, 8, 8, 8}, 2, {});
+    pkt.fwmark = 100;
+    EXPECT_EQ(stack.router().resolve(pkt).value().oifName, "ppp0");
+}
+
+TEST_F(ShellTest, IpRuleErrors) {
+    EXPECT_FALSE(shell.exec("ip rule add fwmark 1 lookup 100").ok());      // no prio
+    EXPECT_FALSE(shell.exec("ip rule add prio 10 fwmark 1").ok());         // no table
+    EXPECT_FALSE(shell.exec("ip rule add prio x fwmark 1 lookup 1").ok()); // bad prio
+    EXPECT_FALSE(shell.exec("ip rule del prio 1 lookup 9").ok());          // no match
+    EXPECT_FALSE(shell.exec("ip frobnicate").ok());
+    EXPECT_FALSE(shell.exec("ip").ok());
+}
+
+TEST_F(ShellTest, IptablesMangleMarkRule) {
+    mustExec("iptables -t mangle -A OUTPUT -m slice --xid 100 -j MARK --set-mark 0x64");
+    net::Packet pkt = net::makeUdpPacket({}, 1, net::Ipv4Address{1, 1, 1, 1}, 2, {});
+    pkt.sliceXid = 100;
+    stack.netfilter().runChain(net::ChainHook::mangle_output, pkt, {});
+    EXPECT_EQ(pkt.fwmark, 0x64u);
+}
+
+TEST_F(ShellTest, IptablesNegatedSliceDropRule) {
+    mustExec("iptables -A OUTPUT -o ppp0 -m slice ! --xid 100 -j DROP");
+    net::Packet intruder = net::makeUdpPacket({}, 1, net::Ipv4Address{1, 1, 1, 1}, 2, {});
+    intruder.sliceXid = 101;
+    EXPECT_EQ(stack.netfilter().runChain(net::ChainHook::filter_output, intruder, "ppp0"),
+              net::Verdict::drop);
+    net::Packet owner = intruder;
+    owner.sliceXid = 100;
+    EXPECT_EQ(stack.netfilter().runChain(net::ChainHook::filter_output, owner, "ppp0"),
+              net::Verdict::accept);
+}
+
+TEST_F(ShellTest, IptablesDeleteBySpec) {
+    mustExec("iptables -A OUTPUT -o ppp0 -m slice ! --xid 100 -j DROP");
+    EXPECT_EQ(stack.netfilter().ruleCount(), 1u);
+    mustExec("iptables -D OUTPUT -o ppp0 -m slice ! --xid 100 -j DROP");
+    EXPECT_EQ(stack.netfilter().ruleCount(), 0u);
+    EXPECT_FALSE(shell.exec("iptables -D OUTPUT -o ppp0 -m slice ! --xid 100 -j DROP").ok());
+}
+
+TEST_F(ShellTest, IptablesInsertFlushList) {
+    mustExec("iptables -A INPUT -p udp -j ACCEPT");
+    mustExec("iptables -I INPUT -s 10.0.0.0/8 -j DROP");
+    const std::string listing = mustExec("iptables -L");
+    EXPECT_NE(listing.find("DROP"), std::string::npos);
+    EXPECT_NE(listing.find("ACCEPT"), std::string::npos);
+    mustExec("iptables -F INPUT");
+    EXPECT_EQ(stack.netfilter().ruleCount(), 0u);
+}
+
+TEST_F(ShellTest, IptablesMatchersParse) {
+    mustExec("iptables -A OUTPUT -m mark --mark 0x64 -d 138.96.0.0/16 -p udp -j ACCEPT");
+    const auto rules = stack.netfilter().listChain(net::ChainHook::filter_output);
+    ASSERT_EQ(rules.size(), 1u);
+    EXPECT_EQ(rules[0].second.match.fwmark, 0x64u);
+    EXPECT_EQ(rules[0].second.match.protocol, net::IpProto::udp);
+}
+
+TEST_F(ShellTest, IptablesErrors) {
+    EXPECT_FALSE(shell.exec("iptables -A OUTPUT -j NOSUCH").ok());
+    EXPECT_FALSE(shell.exec("iptables -A NOCHAIN -j DROP").ok());
+    EXPECT_FALSE(shell.exec("iptables -A OUTPUT").ok());  // no target
+    EXPECT_FALSE(shell.exec("iptables -t nat -A OUTPUT -j DROP").ok());
+    EXPECT_FALSE(shell.exec("iptables -A OUTPUT -p tcp -j DROP").ok());
+    EXPECT_FALSE(shell.exec("iptables -A OUTPUT -m conntrack -j DROP").ok());
+}
+
+TEST_F(ShellTest, ExternalCommandsDispatch) {
+    shell.installCommand("modprobe",
+                         [](const std::vector<std::string>& argv) -> util::Result<std::string> {
+                             if (argv.size() != 2)
+                                 return util::err(util::Error::Code::invalid_argument, "usage");
+                             return "loaded " + argv[1];
+                         });
+    const auto result = shell.exec("modprobe ppp_async");
+    ASSERT_TRUE(result.ok());
+    EXPECT_EQ(result.value(), "loaded ppp_async");
+    EXPECT_FALSE(shell.exec("rmmod ppp_async").ok());  // not installed
+}
+
+TEST_F(ShellTest, IfconfigShowsInterfaces) {
+    const std::string listing = mustExec("ifconfig");
+    EXPECT_NE(listing.find("eth0: UP inet 143.225.229.10"), std::string::npos);
+    EXPECT_NE(listing.find("ppp0: UP inet 93.57.0.16"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace onelab::tools

@@ -1,0 +1,130 @@
+#include "tools/wvdial.hpp"
+
+#include <gtest/gtest.h>
+
+#include "modem/cards.hpp"
+#include "net/internet.hpp"
+
+namespace onelab::tools {
+namespace {
+
+struct WvDialTest : ::testing::Test {
+    WvDialTest()
+        : internet(sim, util::RandomStream{3}),
+          network(sim, internet, umts::commercialItalianOperator(), util::RandomStream{4}),
+          pipe(sim),
+          card(sim, &network, modem::ModemConfig{}) {
+        card.attachTty(pipe.b());
+        // Card must be registered before dialing (comgt's job).
+        sim.runUntil(sim::seconds(5.0));
+        EXPECT_EQ(card.registration(), modem::RegistrationState::registered_home);
+    }
+
+    WvDialConfig config() {
+        WvDialConfig c;
+        c.apn = "internet.it";
+        c.username = "onelab";
+        c.password = "onelab";
+        c.seed = 31;
+        return c;
+    }
+
+    util::Result<ppp::IpcpResult> dialAndWait(WvDial& dialer) {
+        std::optional<util::Result<ppp::IpcpResult>> outcome;
+        dialer.dial([&](util::Result<ppp::IpcpResult> r) { outcome = std::move(r); });
+        sim.runUntil(sim.now() + sim::seconds(40.0));
+        if (!outcome) return util::err(util::Error::Code::timeout, "dial never completed");
+        return std::move(*outcome);
+    }
+
+    sim::Simulator sim;
+    net::Internet internet;
+    umts::UmtsNetwork network;
+    sim::Pipe pipe;
+    modem::HuaweiE620Modem card;
+};
+
+TEST_F(WvDialTest, DialBringsPppUp) {
+    WvDial dialer{sim, pipe.a(), config()};
+    dialer.dropDtr = [this] { card.dropDtr(); };
+    const auto result = dialAndWait(dialer);
+    ASSERT_TRUE(result.ok()) << result.error().message;
+    EXPECT_TRUE(dialer.connected());
+    EXPECT_TRUE(network.profile().subscriberPool.contains(result.value().localAddress));
+    EXPECT_EQ(result.value().peerAddress, network.profile().ggsnAddress);
+    EXPECT_EQ(result.value().dnsServer, network.profile().dnsServer);
+    EXPECT_EQ(network.activeSessions(), 1u);
+}
+
+TEST_F(WvDialTest, HangupTearsDownAndReturnsModemToCommandMode) {
+    WvDial dialer{sim, pipe.a(), config()};
+    dialer.dropDtr = [this] { card.dropDtr(); };
+    ASSERT_TRUE(dialAndWait(dialer).ok());
+    dialer.hangup();
+    sim.runUntil(sim.now() + sim::seconds(5.0));
+    EXPECT_FALSE(dialer.connected());
+    EXPECT_FALSE(card.inDataMode());
+    EXPECT_EQ(network.activeSessions(), 0u);
+}
+
+TEST_F(WvDialTest, RedialAfterHangup) {
+    {
+        WvDial dialer{sim, pipe.a(), config()};
+        dialer.dropDtr = [this] { card.dropDtr(); };
+        ASSERT_TRUE(dialAndWait(dialer).ok());
+        dialer.hangup();
+        sim.runUntil(sim.now() + sim::seconds(5.0));
+    }
+    WvDial again{sim, pipe.a(), config()};
+    again.dropDtr = [this] { card.dropDtr(); };
+    EXPECT_TRUE(dialAndWait(again).ok());
+}
+
+TEST_F(WvDialTest, SecondDialWhileConnectedFails) {
+    WvDial dialer{sim, pipe.a(), config()};
+    dialer.dropDtr = [this] { card.dropDtr(); };
+    ASSERT_TRUE(dialAndWait(dialer).ok());
+    std::optional<util::Error::Code> code;
+    dialer.dial([&](util::Result<ppp::IpcpResult> r) {
+        if (!r.ok()) code = r.error().code;
+    });
+    EXPECT_EQ(code, util::Error::Code::busy);
+}
+
+TEST_F(WvDialTest, DisconnectCallbackOnNetworkLoss) {
+    WvDial dialer{sim, pipe.a(), config()};
+    dialer.dropDtr = [this] { card.dropDtr(); };
+    card.onCarrierLost = [&] { dialer.carrierLost(); };  // DCD line
+    ASSERT_TRUE(dialAndWait(dialer).ok());
+    std::string reason;
+    dialer.onDisconnected = [&](const std::string& r) { reason = r; };
+    // Operator kills the PDP context (e.g. admin detach).
+    network.deactivatePdp(network.sessionAt(0));
+    sim.runUntil(sim.now() + sim::seconds(5.0));
+    EXPECT_FALSE(reason.empty());
+    EXPECT_FALSE(dialer.connected());
+}
+
+TEST_F(WvDialTest, DialFailsWhenNotRegistered) {
+    network.detachUe("222880000000001");
+    card.setNetwork(&network);  // re-registration starts over
+    network.setCoverage(false);
+    sim.runUntil(sim.now() + sim::seconds(2.0));
+    WvDial dialer{sim, pipe.a(), config()};
+    dialer.dropDtr = [this] { card.dropDtr(); };
+    const auto result = dialAndWait(dialer);
+    ASSERT_FALSE(result.ok());
+    EXPECT_EQ(result.error().code, util::Error::Code::io);
+}
+
+TEST_F(WvDialTest, CompressionNegotiatedWhenRequested) {
+    WvDialConfig c = config();
+    c.ccp.enable = true;  // the GGSN offers deflate, we accept
+    WvDial dialer{sim, pipe.a(), c};
+    dialer.dropDtr = [this] { card.dropDtr(); };
+    ASSERT_TRUE(dialAndWait(dialer).ok());
+    EXPECT_TRUE(dialer.pppd()->compressionActive());
+}
+
+}  // namespace
+}  // namespace onelab::tools

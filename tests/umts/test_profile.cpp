@@ -1,0 +1,60 @@
+#include "umts/profile.hpp"
+
+#include <gtest/gtest.h>
+
+namespace onelab::umts {
+namespace {
+
+TEST(Profile, CommercialOperatorShape) {
+    const OperatorProfile profile = commercialItalianOperator();
+    EXPECT_EQ(profile.name, "commercial-it");
+    // On-demand allocation starting from a mid-ladder DCH is the
+    // mechanism behind the Fig. 4 knee.
+    EXPECT_TRUE(profile.onDemandAllocation);
+    ASSERT_GE(profile.uplinkRatesBps.size(), 2u);
+    EXPECT_LT(profile.initialUplinkIndex, profile.uplinkRatesBps.size() - 1);
+    // The ladder must be ascending.
+    for (std::size_t i = 1; i < profile.uplinkRatesBps.size(); ++i)
+        EXPECT_GT(profile.uplinkRatesBps[i], profile.uplinkRatesBps[i - 1]);
+    // Consumer operator: firewalled, accepts any credentials.
+    EXPECT_TRUE(profile.statefulFirewall);
+    EXPECT_TRUE(profile.acceptAnyCredentials);
+    // Subscriber pool contains GGSN + DNS addresses.
+    EXPECT_TRUE(profile.subscriberPool.contains(profile.ggsnAddress));
+    EXPECT_TRUE(profile.subscriberPool.contains(profile.dnsServer));
+}
+
+TEST(Profile, MicrocellShape) {
+    const OperatorProfile profile = alcatelLucentMicrocell();
+    EXPECT_EQ(profile.name, "alcatel-microcell");
+    // Private cell: full rate immediately, no consumer firewall, and a
+    // real subscriber database.
+    EXPECT_FALSE(profile.onDemandAllocation);
+    EXPECT_FALSE(profile.statefulFirewall);
+    EXPECT_FALSE(profile.acceptAnyCredentials);
+    EXPECT_FALSE(profile.subscribers.empty());
+    EXPECT_GT(profile.signalQualityCsq, commercialItalianOperator().signalQualityCsq);
+    EXPECT_LT(sim::toMillis(profile.registrationDelay),
+              sim::toMillis(commercialItalianOperator().registrationDelay));
+}
+
+TEST(Profile, DistinctAddressSpaces) {
+    const OperatorProfile a = commercialItalianOperator();
+    const OperatorProfile b = alcatelLucentMicrocell();
+    EXPECT_FALSE(a.subscriberPool.contains(b.ggsnAddress));
+    EXPECT_FALSE(b.subscriberPool.contains(a.ggsnAddress));
+}
+
+TEST(Profile, UplinkSaturationHeadroom) {
+    // The calibration invariant behind Figs 1-3: a 72 kbps VoIP flow
+    // (~104 kbps on the wire) must fit the initial bearer, while the
+    // 1 Mbps flow must not fit even the top one.
+    const OperatorProfile profile = commercialItalianOperator();
+    const double initial = profile.uplinkRatesBps[profile.initialUplinkIndex];
+    const double top = profile.uplinkRatesBps.back();
+    EXPECT_GT(initial, 110e3);  // VoIP wire rate fits
+    EXPECT_LT(top, 1e6);        // 1 Mbps saturates
+}
+
+}  // namespace
+}  // namespace onelab::umts

@@ -1,0 +1,375 @@
+#include <gtest/gtest.h>
+
+#include "scenario/testbed.hpp"
+
+namespace onelab::umtsctl {
+namespace {
+
+using scenario::Testbed;
+using scenario::TestbedConfig;
+
+struct UmtsctlTest : ::testing::Test {
+    UmtsctlTest() : tb(TestbedConfig{}) {}
+
+    /// Synchronously invoke the umts vsys script from a slice.
+    pl::VsysResult invoke(pl::Slice& slice, const std::vector<std::string>& args,
+                          double waitSeconds = 30.0) {
+        std::optional<util::Result<pl::VsysResult>> outcome;
+        tb.napoli().vsys().invoke(slice, "umts", args,
+                                  [&](util::Result<pl::VsysResult> r) { outcome = std::move(r); });
+        const sim::SimTime deadline = tb.sim().now() + sim::seconds(waitSeconds);
+        while (!outcome && tb.sim().now() < deadline)
+            tb.sim().runUntil(tb.sim().now() + sim::millis(50));
+        if (!outcome) return pl::VsysResult{-1, {"timeout"}};
+        if (!outcome->ok()) return pl::VsysResult{-2, {outcome->error().message}};
+        return outcome->value();
+    }
+
+    static bool hasLine(const pl::VsysResult& result, const std::string& needle) {
+        for (const std::string& line : result.output)
+            if (line.find(needle) != std::string::npos) return true;
+        return false;
+    }
+
+    Testbed tb;
+};
+
+TEST_F(UmtsctlTest, StartConnectsAndReportsAddress) {
+    const auto started = tb.startUmts();
+    ASSERT_TRUE(started.ok()) << started.error().message;
+    EXPECT_TRUE(started.value().connected);
+    EXPECT_TRUE(tb.operatorNetwork().profile().subscriberPool.contains(
+        started.value().address));
+    EXPECT_EQ(started.value().operatorName, "IT Mobile");
+    EXPECT_GT(started.value().signalQuality, 0);
+    // ppp0 exists on the node, with the negotiated address.
+    net::Interface* ppp = tb.napoli().stack().findInterface("ppp0");
+    ASSERT_NE(ppp, nullptr);
+    EXPECT_TRUE(ppp->isUp());
+    EXPECT_EQ(ppp->address(), started.value().address);
+}
+
+TEST_F(UmtsctlTest, StartFailureReleasesLock) {
+    // No coverage: registration times out, the lock must come free.
+    tb.operatorNetwork().setCoverage(false);
+    const auto result = tb.startUmts(sim::seconds(60.0));
+    ASSERT_FALSE(result.ok());
+    EXPECT_FALSE(tb.backend().state().locked);
+    EXPECT_EQ(tb.napoli().stack().findInterface("ppp0"), nullptr);
+    // Coverage returns: the same slice can start successfully.
+    tb.operatorNetwork().setCoverage(true);
+    EXPECT_TRUE(tb.startUmts().ok());
+}
+
+TEST_F(UmtsctlTest, ConcurrentStartRaceSecondSliceLosesImmediately) {
+    // The second slice's start must fail fast with EBUSY while the
+    // first is still registering/dialing (check-and-lock semantics).
+    tb.napoli().vsys().allow("umts", tb.otherSlice().name);
+    std::optional<pl::VsysResult> first;
+    std::optional<pl::VsysResult> second;
+    tb.napoli().vsys().invoke(tb.umtsSlice(), "umts", {"start"},
+                              [&](util::Result<pl::VsysResult> r) { first = r.value(); });
+    tb.sim().runUntil(tb.sim().now() + sim::millis(500));  // mid-registration
+    tb.napoli().vsys().invoke(tb.otherSlice(), "umts", {"start"},
+                              [&](util::Result<pl::VsysResult> r) { second = r.value(); });
+    // The loser is answered immediately, the winner keeps dialing.
+    ASSERT_TRUE(second.has_value());
+    EXPECT_EQ(second->exitCode, exit_code::busy);
+    EXPECT_FALSE(first.has_value());
+    tb.sim().runUntil(tb.sim().now() + sim::seconds(30.0));
+    ASSERT_TRUE(first.has_value());
+    EXPECT_EQ(first->exitCode, exit_code::ok);
+}
+
+TEST_F(UmtsctlTest, WrongPinConfigurationFailsCleanly) {
+    // The site operator misconfigured the backend's PIN: comgt's
+    // AT+CPIN attempt is rejected, start fails, nothing stays locked.
+    TestbedConfig config;
+    config.simPin = "1234";
+    config.backendPinOverride = "9999";
+    Testbed broken{config};
+    const auto result = broken.startUmts(sim::seconds(30.0));
+    ASSERT_FALSE(result.ok());
+    EXPECT_NE(result.error().message.find("registration"), std::string::npos);
+    EXPECT_FALSE(broken.backend().state().locked);
+    EXPECT_EQ(broken.napoli().stack().findInterface("ppp0"), nullptr);
+    EXPECT_EQ(broken.operatorNetwork().activeSessions(), 0u);
+}
+
+TEST_F(UmtsctlTest, StartLoadsPppAndDriverModules) {
+    pl::KernelModuleRegistry* modules =
+        tb.napoli().modules(tb.napoli().rootContext()).value();
+    EXPECT_FALSE(modules->isLoaded("ppp_async"));
+    ASSERT_TRUE(tb.startUmts().ok());
+    EXPECT_TRUE(modules->isLoaded("ppp_generic"));
+    EXPECT_TRUE(modules->isLoaded("ppp_async"));
+    EXPECT_TRUE(modules->isLoaded("ppp_deflate"));
+    EXPECT_TRUE(modules->isLoaded("pl2303"));  // huawei card default
+    EXPECT_TRUE(modules->isLoaded("usbserial"));
+}
+
+TEST_F(UmtsctlTest, StartFailsWhenDriverCannotLoad) {
+    // The vanilla nozomi refuses the PlanetLab kernel (§2.3); without
+    // the OneLab patch the whole start aborts.
+    TestbedConfig config;
+    config.extraRequiredModules = {"nozomi"};
+    Testbed broken{config};
+    const auto result = broken.startUmts(sim::seconds(10.0));
+    ASSERT_FALSE(result.ok());
+    EXPECT_NE(result.error().message.find("modprobe"), std::string::npos);
+    EXPECT_FALSE(broken.backend().state().locked);
+}
+
+TEST_F(UmtsctlTest, StartInstallsExactRuleSet) {
+    ASSERT_TRUE(tb.startUmts().ok());
+    net::NetworkStack& stack = tb.napoli().stack();
+    // One MARK rule in mangle/OUTPUT keyed on the slice xid.
+    const auto mangle = stack.netfilter().listChain(net::ChainHook::mangle_output);
+    ASSERT_EQ(mangle.size(), 1u);
+    EXPECT_EQ(mangle[0].second.match.sliceXid, tb.umtsSlice().xid);
+    EXPECT_EQ(mangle[0].second.target.kind, net::FilterTarget::Kind::mark);
+    // One negated-slice DROP rule on ppp0 in filter/OUTPUT.
+    const auto filter = stack.netfilter().listChain(net::ChainHook::filter_output);
+    ASSERT_EQ(filter.size(), 1u);
+    EXPECT_TRUE(filter[0].second.match.negateSlice);
+    EXPECT_EQ(filter[0].second.match.outInterface, "ppp0");
+    // Table 100 holds exactly the default-via-ppp0 route.
+    const net::RoutingTable* table = stack.router().findTable(100);
+    ASSERT_NE(table, nullptr);
+    ASSERT_EQ(table->routes().size(), 1u);
+    EXPECT_EQ(table->routes()[0].oifName, "ppp0");
+    EXPECT_EQ(table->routes()[0].dst, net::Prefix::any());
+    // The from-<ppp0-addr> rule plus the default main rule.
+    EXPECT_EQ(stack.router().rules().size(), 2u);
+}
+
+TEST_F(UmtsctlTest, SecondSliceStartIsLockedOut) {
+    ASSERT_TRUE(tb.startUmts().ok());
+    // Allow the other slice in the ACL, then try to start: EBUSY.
+    tb.napoli().vsys().allow("umts", tb.otherSlice().name);
+    const auto result = invoke(tb.otherSlice(), {"start"});
+    EXPECT_EQ(result.exitCode, exit_code::busy);
+    EXPECT_TRUE(hasLine(result, "locked by slice"));
+}
+
+TEST_F(UmtsctlTest, StartWhileAlreadyStartedIsIdempotent) {
+    ASSERT_TRUE(tb.startUmts().ok());
+    const auto again = invoke(tb.umtsSlice(), {"start"});
+    EXPECT_EQ(again.exitCode, exit_code::ok);
+    EXPECT_TRUE(hasLine(again, "already-connected"));
+}
+
+TEST_F(UmtsctlTest, SliceNotInAclIsRefusedByVsys) {
+    const auto result = invoke(tb.otherSlice(), {"start"});
+    EXPECT_EQ(result.exitCode, -2);  // vsys-level permission denial
+}
+
+TEST_F(UmtsctlTest, StatusReportsState) {
+    auto status = invoke(tb.umtsSlice(), {"status"});
+    EXPECT_EQ(status.exitCode, exit_code::ok);
+    EXPECT_TRUE(hasLine(status, "locked=0"));
+    ASSERT_TRUE(tb.startUmts().ok());
+    status = invoke(tb.umtsSlice(), {"status"});
+    EXPECT_TRUE(hasLine(status, "locked=1"));
+    EXPECT_TRUE(hasLine(status, "owner=" + tb.umtsSlice().name));
+    EXPECT_TRUE(hasLine(status, "connected=1"));
+    EXPECT_TRUE(hasLine(status, "operator=IT Mobile"));
+}
+
+TEST_F(UmtsctlTest, AddAndDelDestination) {
+    ASSERT_TRUE(tb.startUmts().ok());
+    const auto added = invoke(tb.umtsSlice(), {"add", "destination", "138.96.250.20/32"});
+    EXPECT_EQ(added.exitCode, exit_code::ok);
+    EXPECT_EQ(tb.napoli().stack().router().rules().size(), 3u);
+
+    // Duplicates rejected.
+    const auto dup = invoke(tb.umtsSlice(), {"add", "destination", "138.96.250.20/32"});
+    EXPECT_EQ(dup.exitCode, exit_code::inval);
+
+    const auto status = invoke(tb.umtsSlice(), {"status"});
+    EXPECT_TRUE(hasLine(status, "destination=138.96.250.20/32"));
+
+    const auto deleted = invoke(tb.umtsSlice(), {"del", "destination", "138.96.250.20/32"});
+    EXPECT_EQ(deleted.exitCode, exit_code::ok);
+    EXPECT_EQ(tb.napoli().stack().router().rules().size(), 2u);
+
+    const auto missing = invoke(tb.umtsSlice(), {"del", "destination", "138.96.250.20/32"});
+    EXPECT_EQ(missing.exitCode, exit_code::noent);
+}
+
+TEST_F(UmtsctlTest, DestinationRequiresOwnership) {
+    ASSERT_TRUE(tb.startUmts().ok());
+    tb.napoli().vsys().allow("umts", tb.otherSlice().name);
+    const auto result = invoke(tb.otherSlice(), {"add", "destination", "1.2.3.4/32"});
+    EXPECT_EQ(result.exitCode, exit_code::perm);
+}
+
+TEST_F(UmtsctlTest, BadDestinationRejected) {
+    ASSERT_TRUE(tb.startUmts().ok());
+    EXPECT_EQ(invoke(tb.umtsSlice(), {"add", "destination", "not-an-address"}).exitCode,
+              exit_code::inval);
+    EXPECT_EQ(invoke(tb.umtsSlice(), {"add", "destination", "10.0.0.0/99"}).exitCode,
+              exit_code::inval);
+}
+
+TEST_F(UmtsctlTest, UnknownVerbRejected) {
+    EXPECT_EQ(invoke(tb.umtsSlice(), {"frobnicate"}).exitCode, exit_code::inval);
+}
+
+TEST_F(UmtsctlTest, StopRestoresStateExactly) {
+    ASSERT_TRUE(tb.startUmts().ok());
+    ASSERT_TRUE(tb.addUmtsDestination("138.96.250.20/32").ok());
+    ASSERT_TRUE(tb.stopUmts().ok());
+
+    net::NetworkStack& stack = tb.napoli().stack();
+    // Invariant 4 (DESIGN.md): no rule leaks after stop.
+    EXPECT_EQ(stack.netfilter().ruleCount(), 0u);
+    EXPECT_EQ(stack.router().rules().size(), 1u);  // only the main rule
+    EXPECT_EQ(stack.router().findTable(100), nullptr);
+    EXPECT_EQ(stack.findInterface("ppp0"), nullptr);
+    EXPECT_EQ(tb.operatorNetwork().activeSessions(), 0u);
+    // And the modem is back in command mode.
+    EXPECT_FALSE(tb.card().inDataMode());
+}
+
+TEST_F(UmtsctlTest, StopByNonOwnerDenied) {
+    ASSERT_TRUE(tb.startUmts().ok());
+    tb.napoli().vsys().allow("umts", tb.otherSlice().name);
+    const auto result = invoke(tb.otherSlice(), {"stop"});
+    EXPECT_EQ(result.exitCode, exit_code::perm);
+    EXPECT_TRUE(tb.backend().state().connected);
+}
+
+TEST_F(UmtsctlTest, StopWhenNotStartedIsNoop) {
+    const auto result = invoke(tb.umtsSlice(), {"stop"});
+    EXPECT_EQ(result.exitCode, exit_code::ok);
+    EXPECT_TRUE(hasLine(result, "not-started"));
+}
+
+TEST_F(UmtsctlTest, RestartAfterStopWorks) {
+    ASSERT_TRUE(tb.startUmts().ok());
+    ASSERT_TRUE(tb.stopUmts().ok());
+    const auto second = tb.startUmts();
+    ASSERT_TRUE(second.ok()) << second.error().message;
+    EXPECT_TRUE(second.value().connected);
+}
+
+// --- Isolation invariants (DESIGN.md §4), enforced end to end ---
+
+TEST_F(UmtsctlTest, OnlyOwnerSliceTrafficUsesUmts) {
+    ASSERT_TRUE(tb.startUmts().ok());
+    ASSERT_TRUE(tb.addUmtsDestination(tb.inriaEthAddress().str() + "/32").ok());
+    net::Interface* ppp = tb.napoli().stack().findInterface("ppp0");
+    ASSERT_NE(ppp, nullptr);
+
+    // Owner-slice packet to the registered destination: via ppp0.
+    auto ownerSocket = tb.napoli().openSliceUdp(tb.umtsSlice()).value();
+    ASSERT_TRUE(ownerSocket->sendTo(tb.inriaEthAddress(), 9001, util::Bytes{1}).ok());
+    EXPECT_EQ(ppp->counters().txPackets, 1u);
+
+    // Invariant 2: other-slice packet to the same destination: eth0.
+    net::Interface* eth = tb.napoli().stack().findInterface("eth0");
+    const std::uint64_t ethBefore = eth->counters().txPackets;
+    auto otherSocket = tb.napoli().openSliceUdp(tb.otherSlice()).value();
+    ASSERT_TRUE(otherSocket->sendTo(tb.inriaEthAddress(), 9001, util::Bytes{1}).ok());
+    EXPECT_EQ(ppp->counters().txPackets, 1u);
+    EXPECT_EQ(eth->counters().txPackets, ethBefore + 1);
+}
+
+TEST_F(UmtsctlTest, IntruderBindingToUmtsAddressIsDropped) {
+    // Invariant 1: even binding to the UMTS address or addressing the
+    // PPP peer does not get another slice onto ppp0 (§2.3's special
+    // cases, handled by the DROP rule).
+    const auto started = tb.startUmts();
+    ASSERT_TRUE(started.ok());
+    ASSERT_TRUE(tb.addUmtsDestination(tb.inriaEthAddress().str() + "/32").ok());
+    net::Interface* ppp = tb.napoli().stack().findInterface("ppp0");
+
+    auto intruder = tb.napoli().openSliceUdp(tb.otherSlice()).value();
+    intruder->bindAddress(started.value().address);
+    (void)intruder->sendTo(tb.inriaEthAddress(), 9001, util::Bytes{1});
+    EXPECT_EQ(ppp->counters().txPackets, 0u);
+
+    // Packets aimed at the PPP peer (the GGSN end of the link).
+    auto intruder2 = tb.napoli().openSliceUdp(tb.otherSlice()).value();
+    (void)intruder2->sendTo(tb.operatorNetwork().profile().ggsnAddress, 22, util::Bytes{1});
+    EXPECT_EQ(ppp->counters().txPackets, 0u);
+    // The hostile traffic fell through to the default route instead.
+    EXPECT_GE(tb.napoli().stack().findInterface("eth0")->counters().txPackets, 2u);
+}
+
+TEST_F(UmtsctlTest, OwnerUnmarkedDestinationsStayOnEth) {
+    // Invariant 2: the default route is untouched; the owner's traffic
+    // to unregistered destinations also stays on eth0.
+    ASSERT_TRUE(tb.startUmts().ok());
+    net::Interface* ppp = tb.napoli().stack().findInterface("ppp0");
+    net::Interface* eth = tb.napoli().stack().findInterface("eth0");
+    auto socket = tb.napoli().openSliceUdp(tb.umtsSlice()).value();
+    ASSERT_TRUE(socket->sendTo(net::Ipv4Address{8, 8, 8, 8}, 53, util::Bytes{1}).ok());
+    EXPECT_EQ(ppp->counters().txPackets, 0u);
+    EXPECT_GE(eth->counters().txPackets, 1u);
+}
+
+TEST_F(UmtsctlTest, OwnerCanForceUmtsByBinding) {
+    // §2.2: "or to explicitly bind to the UMTS interface". The
+    // from-<addr> rule routes owner packets bound to ppp0's address.
+    const auto started = tb.startUmts();
+    ASSERT_TRUE(started.ok());
+    net::Interface* ppp = tb.napoli().stack().findInterface("ppp0");
+    auto socket = tb.napoli().openSliceUdp(tb.umtsSlice()).value();
+    socket->bindAddress(started.value().address);
+    ASSERT_TRUE(socket->sendTo(net::Ipv4Address{8, 8, 8, 8}, 53, util::Bytes{1}).ok());
+    EXPECT_EQ(ppp->counters().txPackets, 1u);
+}
+
+TEST_F(UmtsctlTest, StatusDuringDialShowsLockedNotConnected) {
+    std::optional<pl::VsysResult> startResult;
+    tb.napoli().vsys().invoke(tb.umtsSlice(), "umts", {"start"},
+                              [&](util::Result<pl::VsysResult> r) { startResult = r.value(); });
+    tb.sim().runUntil(tb.sim().now() + sim::millis(800));  // mid-registration
+    const auto status = invoke(tb.umtsSlice(), {"status"});
+    EXPECT_EQ(status.exitCode, exit_code::ok);
+    EXPECT_TRUE(hasLine(status, "locked=1"));
+    EXPECT_TRUE(hasLine(status, "connected=0"));
+    tb.sim().runUntil(tb.sim().now() + sim::seconds(30.0));
+    ASSERT_TRUE(startResult.has_value());
+    EXPECT_EQ(startResult->exitCode, exit_code::ok);
+}
+
+TEST_F(UmtsctlTest, CoverageLossMidFlowCleansUpAndTrafficFallsBack) {
+    // Failure injection: the operator drops the PDP context while a
+    // slice is actively sending. The backend must tear down its state;
+    // subsequent slice traffic to the registered destination falls
+    // back to the default (eth0) route instead of vanishing.
+    ASSERT_TRUE(tb.startUmts().ok());
+    ASSERT_TRUE(tb.addUmtsDestination(tb.inriaEthAddress().str() + "/32").ok());
+    auto socket = tb.napoli().openSliceUdp(tb.umtsSlice()).value();
+    ASSERT_TRUE(socket->sendTo(tb.inriaEthAddress(), 9001, util::Bytes{1}).ok());
+
+    tb.operatorNetwork().detachUe("222880000000001");  // admin detach
+    tb.sim().runUntil(tb.sim().now() + sim::seconds(5.0));
+    EXPECT_FALSE(tb.backend().state().connected);
+    EXPECT_FALSE(tb.backend().state().locked);
+    EXPECT_EQ(tb.napoli().stack().findInterface("ppp0"), nullptr);
+
+    net::Interface* eth = tb.napoli().stack().findInterface("eth0");
+    const std::uint64_t ethBefore = eth->counters().txPackets;
+    ASSERT_TRUE(socket->sendTo(tb.inriaEthAddress(), 9001, util::Bytes{2}).ok());
+    EXPECT_EQ(eth->counters().txPackets, ethBefore + 1);
+}
+
+TEST_F(UmtsctlTest, LinkLossCleansUpAndUnlocks) {
+    ASSERT_TRUE(tb.startUmts().ok());
+    // The operator kills the PDP context under us.
+    tb.operatorNetwork().deactivatePdp(tb.operatorNetwork().sessionAt(0));
+    tb.sim().runUntil(tb.sim().now() + sim::seconds(10.0));
+    EXPECT_FALSE(tb.backend().state().locked);
+    EXPECT_FALSE(tb.backend().state().connected);
+    EXPECT_EQ(tb.napoli().stack().findInterface("ppp0"), nullptr);
+    EXPECT_EQ(tb.napoli().stack().netfilter().ruleCount(), 0u);
+    // A new start succeeds afterwards.
+    EXPECT_TRUE(tb.startUmts().ok());
+}
+
+}  // namespace
+}  // namespace onelab::umtsctl

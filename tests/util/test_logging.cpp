@@ -1,0 +1,76 @@
+#include "util/logging.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace onelab::util {
+namespace {
+
+/// Captures emitted lines and restores global state afterwards.
+struct LoggingTest : ::testing::Test {
+    void SetUp() override {
+        LogConfig::instance().setSink([this](std::string_view line) {
+            lines.emplace_back(line);
+        });
+        LogConfig::instance().setLevel(LogLevel::trace);
+        LogConfig::instance().setClock(nullptr);
+    }
+    void TearDown() override {
+        LogConfig::instance().setSink(
+            [](std::string_view) {});  // silence; tests shouldn't spam stderr
+        LogConfig::instance().setLevel(LogLevel::warn);
+        LogConfig::instance().setClock(nullptr);
+    }
+    std::vector<std::string> lines;
+};
+
+TEST_F(LoggingTest, LevelsFilter) {
+    LogConfig::instance().setLevel(LogLevel::warn);
+    Logger log{"test"};
+    log.debug() << "hidden";
+    log.info() << "hidden too";
+    log.warn() << "visible";
+    log.error() << "also visible";
+    ASSERT_EQ(lines.size(), 2u);
+    EXPECT_NE(lines[0].find("WARN"), std::string::npos);
+    EXPECT_NE(lines[1].find("ERROR"), std::string::npos);
+}
+
+TEST_F(LoggingTest, ComponentAndMessageInLine) {
+    Logger log{"ppp.lcp"};
+    log.info() << "state " << 42 << " -> " << 43;
+    ASSERT_EQ(lines.size(), 1u);
+    EXPECT_NE(lines[0].find("ppp.lcp"), std::string::npos);
+    EXPECT_NE(lines[0].find("state 42 -> 43"), std::string::npos);
+}
+
+TEST_F(LoggingTest, SimClockPrefixesSeconds) {
+    LogConfig::instance().setClock([] { return std::int64_t(1'500'000'000); });
+    Logger log{"test"};
+    log.info() << "tick";
+    ASSERT_EQ(lines.size(), 1u);
+    EXPECT_NE(lines[0].find("[1.500000s]"), std::string::npos);
+}
+
+TEST_F(LoggingTest, EnabledReflectsLevel) {
+    LogConfig::instance().setLevel(LogLevel::error);
+    Logger log{"x"};
+    EXPECT_FALSE(log.enabled(LogLevel::debug));
+    EXPECT_TRUE(log.enabled(LogLevel::error));
+}
+
+TEST_F(LoggingTest, OffSilencesEverything) {
+    LogConfig::instance().setLevel(LogLevel::off);
+    Logger log{"x"};
+    log.error() << "nope";
+    EXPECT_TRUE(lines.empty());
+}
+
+TEST_F(LoggingTest, LevelNames) {
+    EXPECT_EQ(logLevelName(LogLevel::trace), "TRACE");
+    EXPECT_EQ(logLevelName(LogLevel::off), "OFF");
+}
+
+}  // namespace
+}  // namespace onelab::util

@@ -1,0 +1,57 @@
+#include "util/md5.hpp"
+
+#include <gtest/gtest.h>
+
+namespace onelab::util {
+namespace {
+
+std::string md5Hex(const std::string& text) {
+    Md5 md5;
+    md5.update(text);
+    return toHex(md5.finish());
+}
+
+// RFC 1321 appendix A.5 test suite.
+TEST(Md5, Rfc1321Vectors) {
+    EXPECT_EQ(md5Hex(""), "d41d8cd98f00b204e9800998ecf8427e");
+    EXPECT_EQ(md5Hex("a"), "0cc175b9c0f1b6a831c399e269772661");
+    EXPECT_EQ(md5Hex("abc"), "900150983cd24fb0d6963f7d28e17f72");
+    EXPECT_EQ(md5Hex("message digest"), "f96b697d7cb7938d525a2f31aaf161d0");
+    EXPECT_EQ(md5Hex("abcdefghijklmnopqrstuvwxyz"), "c3fcd3d76192e4007dfb496cca67e13b");
+    EXPECT_EQ(md5Hex("ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789"),
+              "d174ab98d277d9f5a5611c2c9f419d9f");
+    EXPECT_EQ(
+        md5Hex("12345678901234567890123456789012345678901234567890123456789012345678901234567890"),
+        "57edf4a22be3c955ac49da2e2107b67a");
+}
+
+TEST(Md5, IncrementalMatchesOneShot) {
+    const std::string text = "The quick brown fox jumps over the lazy dog";
+    Md5 incremental;
+    incremental.update(text.substr(0, 10));
+    incremental.update(text.substr(10));
+    Md5 oneShot;
+    oneShot.update(text);
+    EXPECT_EQ(toHex(incremental.finish()), toHex(oneShot.finish()));
+}
+
+TEST(Md5, SpansBlockBoundary) {
+    // 63, 64 and 65 bytes exercise the padding edge cases.
+    for (const std::size_t length : {55u, 56u, 63u, 64u, 65u, 128u}) {
+        const std::string text(length, 'x');
+        Md5 a;
+        a.update(text);
+        Md5 b;
+        for (const char c : text) b.update(std::string(1, c));
+        EXPECT_EQ(toHex(a.finish()), toHex(b.finish())) << "length " << length;
+    }
+}
+
+TEST(Md5, HashStaticHelper) {
+    const Bytes data{'a', 'b', 'c'};
+    EXPECT_EQ(toHex(Md5::hash({data.data(), data.size()})),
+              "900150983cd24fb0d6963f7d28e17f72");
+}
+
+}  // namespace
+}  // namespace onelab::util

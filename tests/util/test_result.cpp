@@ -1,0 +1,59 @@
+#include "util/result.hpp"
+
+#include <gtest/gtest.h>
+
+namespace onelab::util {
+namespace {
+
+TEST(Result, HoldsValue) {
+    Result<int> r{42};
+    ASSERT_TRUE(r.ok());
+    EXPECT_EQ(r.value(), 42);
+    EXPECT_EQ(r.valueOr(7), 42);
+}
+
+TEST(Result, HoldsError) {
+    Result<int> r{err(Error::Code::busy, "locked")};
+    ASSERT_FALSE(r.ok());
+    EXPECT_EQ(r.error().code, Error::Code::busy);
+    EXPECT_EQ(r.error().message, "locked");
+    EXPECT_EQ(r.valueOr(7), 7);
+}
+
+TEST(Result, ValueOnErrorThrows) {
+    Result<int> r{err(Error::Code::io, "boom")};
+    EXPECT_THROW((void)r.value(), std::runtime_error);
+}
+
+TEST(Result, TakeMovesValue) {
+    Result<std::string> r{std::string("payload")};
+    const std::string taken = std::move(r).take();
+    EXPECT_EQ(taken, "payload");
+}
+
+TEST(Result, VoidSpecialization) {
+    Result<void> ok{};
+    EXPECT_TRUE(ok.ok());
+    Result<void> bad{err(Error::Code::timeout, "slow")};
+    ASSERT_FALSE(bad.ok());
+    EXPECT_EQ(bad.error().code, Error::Code::timeout);
+}
+
+TEST(Result, BoolConversion) {
+    Result<int> good{1};
+    Result<int> bad{err(Error::Code::none, "")};
+    EXPECT_TRUE(bool(good));
+    EXPECT_FALSE(bool(bad));
+}
+
+TEST(Error, CodeNamesAreStable) {
+    EXPECT_STREQ(err(Error::Code::permission_denied, "").codeName(), "EPERM");
+    EXPECT_STREQ(err(Error::Code::busy, "").codeName(), "EBUSY");
+    EXPECT_STREQ(err(Error::Code::not_found, "").codeName(), "ENOENT");
+    EXPECT_STREQ(err(Error::Code::invalid_argument, "").codeName(), "EINVAL");
+    EXPECT_STREQ(err(Error::Code::timeout, "").codeName(), "ETIMEDOUT");
+    EXPECT_STREQ(err(Error::Code::protocol, "").codeName(), "EPROTO");
+}
+
+}  // namespace
+}  // namespace onelab::util

@@ -1,0 +1,92 @@
+#include "util/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace onelab::util {
+namespace {
+
+TEST(OnlineStats, Empty) {
+    OnlineStats stats;
+    EXPECT_EQ(stats.count(), 0u);
+    EXPECT_DOUBLE_EQ(stats.mean(), 0.0);
+    EXPECT_DOUBLE_EQ(stats.stddev(), 0.0);
+}
+
+TEST(OnlineStats, KnownMoments) {
+    OnlineStats stats;
+    for (const double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) stats.add(v);
+    EXPECT_EQ(stats.count(), 8u);
+    EXPECT_DOUBLE_EQ(stats.mean(), 5.0);
+    // Sample variance with n-1 = 32/7.
+    EXPECT_NEAR(stats.variance(), 32.0 / 7.0, 1e-12);
+    EXPECT_DOUBLE_EQ(stats.min(), 2.0);
+    EXPECT_DOUBLE_EQ(stats.max(), 9.0);
+    EXPECT_DOUBLE_EQ(stats.sum(), 40.0);
+}
+
+TEST(OnlineStats, SingleSampleVarianceZero) {
+    OnlineStats stats;
+    stats.add(3.0);
+    EXPECT_DOUBLE_EQ(stats.variance(), 0.0);
+}
+
+TEST(PercentileSampler, ExactPercentiles) {
+    PercentileSampler sampler;
+    for (int i = 1; i <= 100; ++i) sampler.add(double(i));
+    EXPECT_DOUBLE_EQ(sampler.percentile(0), 1.0);
+    EXPECT_DOUBLE_EQ(sampler.percentile(100), 100.0);
+    EXPECT_NEAR(sampler.percentile(50), 50.5, 1e-9);
+    EXPECT_NEAR(sampler.percentile(99), 99.01, 1e-9);
+}
+
+TEST(PercentileSampler, EmptyReturnsZero) {
+    PercentileSampler sampler;
+    EXPECT_DOUBLE_EQ(sampler.percentile(50), 0.0);
+}
+
+TEST(PercentileSampler, AddAfterQueryResorts) {
+    PercentileSampler sampler;
+    sampler.add(10.0);
+    EXPECT_DOUBLE_EQ(sampler.percentile(50), 10.0);
+    sampler.add(0.0);
+    EXPECT_DOUBLE_EQ(sampler.percentile(0), 0.0);
+}
+
+TEST(Histogram, BinsAndEdges) {
+    Histogram hist{0.0, 10.0, 10};
+    hist.add(0.5);   // bin 0
+    hist.add(9.5);   // bin 9
+    hist.add(-3.0);  // clamps to bin 0
+    hist.add(42.0);  // clamps to bin 9
+    EXPECT_EQ(hist.binCount(0), 2u);
+    EXPECT_EQ(hist.binCount(9), 2u);
+    EXPECT_EQ(hist.total(), 4u);
+    EXPECT_DOUBLE_EQ(hist.binLow(5), 5.0);
+}
+
+TEST(Histogram, RenderContainsBars) {
+    Histogram hist{0.0, 1.0, 2};
+    hist.add(0.1);
+    const std::string text = hist.render();
+    EXPECT_NE(text.find('#'), std::string::npos);
+}
+
+TEST(Series, Summarize) {
+    Series series{{0.1, 10.0}, {0.3, 20.0}, {0.5, 30.0}};
+    const SeriesSummary summary = summarize(series);
+    EXPECT_EQ(summary.points, 3u);
+    EXPECT_DOUBLE_EQ(summary.mean, 20.0);
+    EXPECT_DOUBLE_EQ(summary.min, 10.0);
+    EXPECT_DOUBLE_EQ(summary.max, 30.0);
+}
+
+TEST(Series, MeanInWindowSelectsHalfOpenRange) {
+    Series series{{0.0, 1.0}, {1.0, 2.0}, {2.0, 3.0}, {3.0, 4.0}};
+    EXPECT_DOUBLE_EQ(meanInWindow(series, 1.0, 3.0), 2.5);  // picks t=1,2
+    EXPECT_DOUBLE_EQ(meanInWindow(series, 10.0, 20.0), 0.0);
+}
+
+}  // namespace
+}  // namespace onelab::util

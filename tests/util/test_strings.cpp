@@ -1,0 +1,82 @@
+#include "util/strings.hpp"
+
+#include <gtest/gtest.h>
+
+namespace onelab::util {
+namespace {
+
+TEST(Strings, SplitPreservesEmptyFields) {
+    const auto parts = split("a,,b,", ',');
+    ASSERT_EQ(parts.size(), 4u);
+    EXPECT_EQ(parts[0], "a");
+    EXPECT_EQ(parts[1], "");
+    EXPECT_EQ(parts[2], "b");
+    EXPECT_EQ(parts[3], "");
+}
+
+TEST(Strings, SplitSingleToken) {
+    const auto parts = split("alone", ':');
+    ASSERT_EQ(parts.size(), 1u);
+    EXPECT_EQ(parts[0], "alone");
+}
+
+TEST(Strings, SplitWhitespaceDropsRuns) {
+    const auto parts = splitWhitespace("  ip   rule\tadd \n prio 100  ");
+    ASSERT_EQ(parts.size(), 5u);
+    EXPECT_EQ(parts[0], "ip");
+    EXPECT_EQ(parts[4], "100");
+}
+
+TEST(Strings, SplitWhitespaceEmpty) {
+    EXPECT_TRUE(splitWhitespace("   \t\n").empty());
+    EXPECT_TRUE(splitWhitespace("").empty());
+}
+
+TEST(Strings, Trim) {
+    EXPECT_EQ(trim("  hello \r\n"), "hello");
+    EXPECT_EQ(trim("nospace"), "nospace");
+    EXPECT_EQ(trim("   "), "");
+}
+
+TEST(Strings, StartsEndsWith) {
+    EXPECT_TRUE(startsWith("AT+CPIN?", "AT"));
+    EXPECT_FALSE(startsWith("A", "AT"));
+    EXPECT_TRUE(endsWith("config.hpp", ".hpp"));
+    EXPECT_FALSE(endsWith("hpp", ".hpp"));
+}
+
+TEST(Strings, Join) {
+    EXPECT_EQ(join({"a", "b", "c"}, ", "), "a, b, c");
+    EXPECT_EQ(join({}, ","), "");
+    EXPECT_EQ(join({"solo"}, ","), "solo");
+}
+
+TEST(Strings, ToUpper) { EXPECT_EQ(toUpper("at+csq"), "AT+CSQ"); }
+
+TEST(Strings, ParseIntValid) {
+    const auto r = parseInt(" -42 ");
+    ASSERT_TRUE(r.ok());
+    EXPECT_EQ(r.value(), -42);
+}
+
+TEST(Strings, ParseIntRejectsGarbage) {
+    EXPECT_FALSE(parseInt("12x").ok());
+    EXPECT_FALSE(parseInt("").ok());
+    EXPECT_FALSE(parseInt("abc").ok());
+}
+
+TEST(Strings, ParseDoubleValid) {
+    const auto r = parseDouble("3.25");
+    ASSERT_TRUE(r.ok());
+    EXPECT_DOUBLE_EQ(r.value(), 3.25);
+}
+
+TEST(Strings, ParseDoubleRejectsTrailing) { EXPECT_FALSE(parseDouble("1.5abc").ok()); }
+
+TEST(Strings, Format) {
+    EXPECT_EQ(format("%s=%d", "x", 7), "x=7");
+    EXPECT_EQ(format("%.2f", 3.14159), "3.14");
+}
+
+}  // namespace
+}  // namespace onelab::util
