@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_badstate.dir/ablation_badstate.cpp.o"
+  "CMakeFiles/ablation_badstate.dir/ablation_badstate.cpp.o.d"
+  "ablation_badstate"
+  "ablation_badstate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_badstate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

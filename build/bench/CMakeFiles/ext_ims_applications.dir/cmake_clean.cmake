@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_ims_applications.dir/ext_ims_applications.cpp.o"
+  "CMakeFiles/ext_ims_applications.dir/ext_ims_applications.cpp.o.d"
+  "ext_ims_applications"
+  "ext_ims_applications.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_ims_applications.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_tcp_bufferbloat.dir/ext_tcp_bufferbloat.cpp.o"
+  "CMakeFiles/ext_tcp_bufferbloat.dir/ext_tcp_bufferbloat.cpp.o.d"
+  "ext_tcp_bufferbloat"
+  "ext_tcp_bufferbloat.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_tcp_bufferbloat.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for ext_tcp_bufferbloat.
+# This may be replaced when dependencies are built.

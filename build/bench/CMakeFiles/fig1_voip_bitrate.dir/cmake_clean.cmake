@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig1_voip_bitrate.dir/fig1_voip_bitrate.cpp.o"
+  "CMakeFiles/fig1_voip_bitrate.dir/fig1_voip_bitrate.cpp.o.d"
+  "fig1_voip_bitrate"
+  "fig1_voip_bitrate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_voip_bitrate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/fig2_voip_jitter.cpp" "bench/CMakeFiles/fig2_voip_jitter.dir/fig2_voip_jitter.cpp.o" "gcc" "bench/CMakeFiles/fig2_voip_jitter.dir/fig2_voip_jitter.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/bench/CMakeFiles/onelab_bench_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/scenario/CMakeFiles/onelab_scenario.dir/DependInfo.cmake"
+  "/root/repo/build/src/umtsctl/CMakeFiles/onelab_umtsctl.dir/DependInfo.cmake"
+  "/root/repo/build/src/pl/CMakeFiles/onelab_pl.dir/DependInfo.cmake"
+  "/root/repo/build/src/tools/CMakeFiles/onelab_tools.dir/DependInfo.cmake"
+  "/root/repo/build/src/modem/CMakeFiles/onelab_modem.dir/DependInfo.cmake"
+  "/root/repo/build/src/umts/CMakeFiles/onelab_umts.dir/DependInfo.cmake"
+  "/root/repo/build/src/ppp/CMakeFiles/onelab_ppp.dir/DependInfo.cmake"
+  "/root/repo/build/src/ditg/CMakeFiles/onelab_ditg.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/onelab_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/onelab_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/onelab_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_voip_jitter.dir/fig2_voip_jitter.cpp.o"
+  "CMakeFiles/fig2_voip_jitter.dir/fig2_voip_jitter.cpp.o.d"
+  "fig2_voip_jitter"
+  "fig2_voip_jitter.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_voip_jitter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_voip_rtt.dir/fig3_voip_rtt.cpp.o"
+  "CMakeFiles/fig3_voip_rtt.dir/fig3_voip_rtt.cpp.o.d"
+  "fig3_voip_rtt"
+  "fig3_voip_rtt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_voip_rtt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_cbr_bitrate.dir/fig4_cbr_bitrate.cpp.o"
+  "CMakeFiles/fig4_cbr_bitrate.dir/fig4_cbr_bitrate.cpp.o.d"
+  "fig4_cbr_bitrate"
+  "fig4_cbr_bitrate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_cbr_bitrate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

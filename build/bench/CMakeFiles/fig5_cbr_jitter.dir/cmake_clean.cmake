@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_cbr_jitter.dir/fig5_cbr_jitter.cpp.o"
+  "CMakeFiles/fig5_cbr_jitter.dir/fig5_cbr_jitter.cpp.o.d"
+  "fig5_cbr_jitter"
+  "fig5_cbr_jitter.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_cbr_jitter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

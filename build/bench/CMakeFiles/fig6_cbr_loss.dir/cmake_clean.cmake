@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_cbr_loss.dir/fig6_cbr_loss.cpp.o"
+  "CMakeFiles/fig6_cbr_loss.dir/fig6_cbr_loss.cpp.o.d"
+  "fig6_cbr_loss"
+  "fig6_cbr_loss.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_cbr_loss.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

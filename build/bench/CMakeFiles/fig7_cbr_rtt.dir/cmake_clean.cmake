@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_cbr_rtt.dir/fig7_cbr_rtt.cpp.o"
+  "CMakeFiles/fig7_cbr_rtt.dir/fig7_cbr_rtt.cpp.o.d"
+  "fig7_cbr_rtt"
+  "fig7_cbr_rtt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_cbr_rtt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/onelab_bench_common.dir/figure_common.cpp.o"
+  "CMakeFiles/onelab_bench_common.dir/figure_common.cpp.o.d"
+  "libonelab_bench_common.a"
+  "libonelab_bench_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/onelab_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/itgdec_logs.dir/itgdec_logs.cpp.o"
+  "CMakeFiles/itgdec_logs.dir/itgdec_logs.cpp.o.d"
+  "itgdec_logs"
+  "itgdec_logs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/itgdec_logs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

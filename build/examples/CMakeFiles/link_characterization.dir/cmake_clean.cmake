@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/link_characterization.dir/link_characterization.cpp.o"
+  "CMakeFiles/link_characterization.dir/link_characterization.cpp.o.d"
+  "link_characterization"
+  "link_characterization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/link_characterization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

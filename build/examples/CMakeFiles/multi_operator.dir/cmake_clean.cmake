@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multi_operator.dir/multi_operator.cpp.o"
+  "CMakeFiles/multi_operator.dir/multi_operator.cpp.o.d"
+  "multi_operator"
+  "multi_operator.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multi_operator.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

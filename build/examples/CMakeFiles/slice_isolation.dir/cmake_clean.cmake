@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/slice_isolation.dir/slice_isolation.cpp.o"
+  "CMakeFiles/slice_isolation.dir/slice_isolation.cpp.o.d"
+  "slice_isolation"
+  "slice_isolation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/slice_isolation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ditg/decoder.cpp" "src/ditg/CMakeFiles/onelab_ditg.dir/decoder.cpp.o" "gcc" "src/ditg/CMakeFiles/onelab_ditg.dir/decoder.cpp.o.d"
+  "/root/repo/src/ditg/flow.cpp" "src/ditg/CMakeFiles/onelab_ditg.dir/flow.cpp.o" "gcc" "src/ditg/CMakeFiles/onelab_ditg.dir/flow.cpp.o.d"
+  "/root/repo/src/ditg/logfile.cpp" "src/ditg/CMakeFiles/onelab_ditg.dir/logfile.cpp.o" "gcc" "src/ditg/CMakeFiles/onelab_ditg.dir/logfile.cpp.o.d"
+  "/root/repo/src/ditg/receiver.cpp" "src/ditg/CMakeFiles/onelab_ditg.dir/receiver.cpp.o" "gcc" "src/ditg/CMakeFiles/onelab_ditg.dir/receiver.cpp.o.d"
+  "/root/repo/src/ditg/sender.cpp" "src/ditg/CMakeFiles/onelab_ditg.dir/sender.cpp.o" "gcc" "src/ditg/CMakeFiles/onelab_ditg.dir/sender.cpp.o.d"
+  "/root/repo/src/ditg/voip_quality.cpp" "src/ditg/CMakeFiles/onelab_ditg.dir/voip_quality.cpp.o" "gcc" "src/ditg/CMakeFiles/onelab_ditg.dir/voip_quality.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/net/CMakeFiles/onelab_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/onelab_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/onelab_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/onelab_ditg.dir/decoder.cpp.o"
+  "CMakeFiles/onelab_ditg.dir/decoder.cpp.o.d"
+  "CMakeFiles/onelab_ditg.dir/flow.cpp.o"
+  "CMakeFiles/onelab_ditg.dir/flow.cpp.o.d"
+  "CMakeFiles/onelab_ditg.dir/logfile.cpp.o"
+  "CMakeFiles/onelab_ditg.dir/logfile.cpp.o.d"
+  "CMakeFiles/onelab_ditg.dir/receiver.cpp.o"
+  "CMakeFiles/onelab_ditg.dir/receiver.cpp.o.d"
+  "CMakeFiles/onelab_ditg.dir/sender.cpp.o"
+  "CMakeFiles/onelab_ditg.dir/sender.cpp.o.d"
+  "CMakeFiles/onelab_ditg.dir/voip_quality.cpp.o"
+  "CMakeFiles/onelab_ditg.dir/voip_quality.cpp.o.d"
+  "libonelab_ditg.a"
+  "libonelab_ditg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/onelab_ditg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for onelab_ditg.
+# This may be replaced when dependencies are built.

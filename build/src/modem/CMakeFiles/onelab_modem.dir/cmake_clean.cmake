@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/onelab_modem.dir/at_engine.cpp.o"
+  "CMakeFiles/onelab_modem.dir/at_engine.cpp.o.d"
+  "CMakeFiles/onelab_modem.dir/cards.cpp.o"
+  "CMakeFiles/onelab_modem.dir/cards.cpp.o.d"
+  "CMakeFiles/onelab_modem.dir/umts_modem.cpp.o"
+  "CMakeFiles/onelab_modem.dir/umts_modem.cpp.o.d"
+  "libonelab_modem.a"
+  "libonelab_modem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/onelab_modem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/net/address.cpp" "src/net/CMakeFiles/onelab_net.dir/address.cpp.o" "gcc" "src/net/CMakeFiles/onelab_net.dir/address.cpp.o.d"
+  "/root/repo/src/net/dns.cpp" "src/net/CMakeFiles/onelab_net.dir/dns.cpp.o" "gcc" "src/net/CMakeFiles/onelab_net.dir/dns.cpp.o.d"
+  "/root/repo/src/net/internet.cpp" "src/net/CMakeFiles/onelab_net.dir/internet.cpp.o" "gcc" "src/net/CMakeFiles/onelab_net.dir/internet.cpp.o.d"
+  "/root/repo/src/net/netfilter.cpp" "src/net/CMakeFiles/onelab_net.dir/netfilter.cpp.o" "gcc" "src/net/CMakeFiles/onelab_net.dir/netfilter.cpp.o.d"
+  "/root/repo/src/net/packet.cpp" "src/net/CMakeFiles/onelab_net.dir/packet.cpp.o" "gcc" "src/net/CMakeFiles/onelab_net.dir/packet.cpp.o.d"
+  "/root/repo/src/net/queue.cpp" "src/net/CMakeFiles/onelab_net.dir/queue.cpp.o" "gcc" "src/net/CMakeFiles/onelab_net.dir/queue.cpp.o.d"
+  "/root/repo/src/net/routing.cpp" "src/net/CMakeFiles/onelab_net.dir/routing.cpp.o" "gcc" "src/net/CMakeFiles/onelab_net.dir/routing.cpp.o.d"
+  "/root/repo/src/net/stack.cpp" "src/net/CMakeFiles/onelab_net.dir/stack.cpp.o" "gcc" "src/net/CMakeFiles/onelab_net.dir/stack.cpp.o.d"
+  "/root/repo/src/net/tcp.cpp" "src/net/CMakeFiles/onelab_net.dir/tcp.cpp.o" "gcc" "src/net/CMakeFiles/onelab_net.dir/tcp.cpp.o.d"
+  "/root/repo/src/net/traceroute.cpp" "src/net/CMakeFiles/onelab_net.dir/traceroute.cpp.o" "gcc" "src/net/CMakeFiles/onelab_net.dir/traceroute.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/onelab_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/onelab_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/onelab_net.dir/address.cpp.o"
+  "CMakeFiles/onelab_net.dir/address.cpp.o.d"
+  "CMakeFiles/onelab_net.dir/dns.cpp.o"
+  "CMakeFiles/onelab_net.dir/dns.cpp.o.d"
+  "CMakeFiles/onelab_net.dir/internet.cpp.o"
+  "CMakeFiles/onelab_net.dir/internet.cpp.o.d"
+  "CMakeFiles/onelab_net.dir/netfilter.cpp.o"
+  "CMakeFiles/onelab_net.dir/netfilter.cpp.o.d"
+  "CMakeFiles/onelab_net.dir/packet.cpp.o"
+  "CMakeFiles/onelab_net.dir/packet.cpp.o.d"
+  "CMakeFiles/onelab_net.dir/queue.cpp.o"
+  "CMakeFiles/onelab_net.dir/queue.cpp.o.d"
+  "CMakeFiles/onelab_net.dir/routing.cpp.o"
+  "CMakeFiles/onelab_net.dir/routing.cpp.o.d"
+  "CMakeFiles/onelab_net.dir/stack.cpp.o"
+  "CMakeFiles/onelab_net.dir/stack.cpp.o.d"
+  "CMakeFiles/onelab_net.dir/tcp.cpp.o"
+  "CMakeFiles/onelab_net.dir/tcp.cpp.o.d"
+  "CMakeFiles/onelab_net.dir/traceroute.cpp.o"
+  "CMakeFiles/onelab_net.dir/traceroute.cpp.o.d"
+  "libonelab_net.a"
+  "libonelab_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/onelab_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

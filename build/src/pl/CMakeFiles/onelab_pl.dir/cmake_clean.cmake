@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/onelab_pl.dir/kernel_modules.cpp.o"
+  "CMakeFiles/onelab_pl.dir/kernel_modules.cpp.o.d"
+  "CMakeFiles/onelab_pl.dir/node_os.cpp.o"
+  "CMakeFiles/onelab_pl.dir/node_os.cpp.o.d"
+  "CMakeFiles/onelab_pl.dir/vsys.cpp.o"
+  "CMakeFiles/onelab_pl.dir/vsys.cpp.o.d"
+  "libonelab_pl.a"
+  "libonelab_pl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/onelab_pl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ppp/auth.cpp" "src/ppp/CMakeFiles/onelab_ppp.dir/auth.cpp.o" "gcc" "src/ppp/CMakeFiles/onelab_ppp.dir/auth.cpp.o.d"
+  "/root/repo/src/ppp/ccp.cpp" "src/ppp/CMakeFiles/onelab_ppp.dir/ccp.cpp.o" "gcc" "src/ppp/CMakeFiles/onelab_ppp.dir/ccp.cpp.o.d"
+  "/root/repo/src/ppp/compress.cpp" "src/ppp/CMakeFiles/onelab_ppp.dir/compress.cpp.o" "gcc" "src/ppp/CMakeFiles/onelab_ppp.dir/compress.cpp.o.d"
+  "/root/repo/src/ppp/fcs.cpp" "src/ppp/CMakeFiles/onelab_ppp.dir/fcs.cpp.o" "gcc" "src/ppp/CMakeFiles/onelab_ppp.dir/fcs.cpp.o.d"
+  "/root/repo/src/ppp/framer.cpp" "src/ppp/CMakeFiles/onelab_ppp.dir/framer.cpp.o" "gcc" "src/ppp/CMakeFiles/onelab_ppp.dir/framer.cpp.o.d"
+  "/root/repo/src/ppp/fsm.cpp" "src/ppp/CMakeFiles/onelab_ppp.dir/fsm.cpp.o" "gcc" "src/ppp/CMakeFiles/onelab_ppp.dir/fsm.cpp.o.d"
+  "/root/repo/src/ppp/ipcp.cpp" "src/ppp/CMakeFiles/onelab_ppp.dir/ipcp.cpp.o" "gcc" "src/ppp/CMakeFiles/onelab_ppp.dir/ipcp.cpp.o.d"
+  "/root/repo/src/ppp/lcp.cpp" "src/ppp/CMakeFiles/onelab_ppp.dir/lcp.cpp.o" "gcc" "src/ppp/CMakeFiles/onelab_ppp.dir/lcp.cpp.o.d"
+  "/root/repo/src/ppp/options.cpp" "src/ppp/CMakeFiles/onelab_ppp.dir/options.cpp.o" "gcc" "src/ppp/CMakeFiles/onelab_ppp.dir/options.cpp.o.d"
+  "/root/repo/src/ppp/pppd.cpp" "src/ppp/CMakeFiles/onelab_ppp.dir/pppd.cpp.o" "gcc" "src/ppp/CMakeFiles/onelab_ppp.dir/pppd.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/net/CMakeFiles/onelab_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/onelab_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/onelab_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

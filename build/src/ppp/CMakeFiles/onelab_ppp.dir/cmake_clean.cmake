@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/onelab_ppp.dir/auth.cpp.o"
+  "CMakeFiles/onelab_ppp.dir/auth.cpp.o.d"
+  "CMakeFiles/onelab_ppp.dir/ccp.cpp.o"
+  "CMakeFiles/onelab_ppp.dir/ccp.cpp.o.d"
+  "CMakeFiles/onelab_ppp.dir/compress.cpp.o"
+  "CMakeFiles/onelab_ppp.dir/compress.cpp.o.d"
+  "CMakeFiles/onelab_ppp.dir/fcs.cpp.o"
+  "CMakeFiles/onelab_ppp.dir/fcs.cpp.o.d"
+  "CMakeFiles/onelab_ppp.dir/framer.cpp.o"
+  "CMakeFiles/onelab_ppp.dir/framer.cpp.o.d"
+  "CMakeFiles/onelab_ppp.dir/fsm.cpp.o"
+  "CMakeFiles/onelab_ppp.dir/fsm.cpp.o.d"
+  "CMakeFiles/onelab_ppp.dir/ipcp.cpp.o"
+  "CMakeFiles/onelab_ppp.dir/ipcp.cpp.o.d"
+  "CMakeFiles/onelab_ppp.dir/lcp.cpp.o"
+  "CMakeFiles/onelab_ppp.dir/lcp.cpp.o.d"
+  "CMakeFiles/onelab_ppp.dir/options.cpp.o"
+  "CMakeFiles/onelab_ppp.dir/options.cpp.o.d"
+  "CMakeFiles/onelab_ppp.dir/pppd.cpp.o"
+  "CMakeFiles/onelab_ppp.dir/pppd.cpp.o.d"
+  "libonelab_ppp.a"
+  "libonelab_ppp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/onelab_ppp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

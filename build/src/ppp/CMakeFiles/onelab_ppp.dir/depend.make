@@ -1,0 +1,2 @@
+# Empty dependencies file for onelab_ppp.
+# This may be replaced when dependencies are built.

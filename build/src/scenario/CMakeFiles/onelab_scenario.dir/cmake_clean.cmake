@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/onelab_scenario.dir/experiment.cpp.o"
+  "CMakeFiles/onelab_scenario.dir/experiment.cpp.o.d"
+  "CMakeFiles/onelab_scenario.dir/testbed.cpp.o"
+  "CMakeFiles/onelab_scenario.dir/testbed.cpp.o.d"
+  "libonelab_scenario.a"
+  "libonelab_scenario.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/onelab_scenario.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

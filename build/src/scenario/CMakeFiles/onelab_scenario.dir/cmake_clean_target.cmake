@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libonelab_scenario.a"
+)

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/onelab_sim.dir/pipe.cpp.o"
+  "CMakeFiles/onelab_sim.dir/pipe.cpp.o.d"
+  "CMakeFiles/onelab_sim.dir/simulator.cpp.o"
+  "CMakeFiles/onelab_sim.dir/simulator.cpp.o.d"
+  "CMakeFiles/onelab_sim.dir/time.cpp.o"
+  "CMakeFiles/onelab_sim.dir/time.cpp.o.d"
+  "libonelab_sim.a"
+  "libonelab_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/onelab_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

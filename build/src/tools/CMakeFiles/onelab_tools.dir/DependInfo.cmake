@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/tools/chat.cpp" "src/tools/CMakeFiles/onelab_tools.dir/chat.cpp.o" "gcc" "src/tools/CMakeFiles/onelab_tools.dir/chat.cpp.o.d"
+  "/root/repo/src/tools/comgt.cpp" "src/tools/CMakeFiles/onelab_tools.dir/comgt.cpp.o" "gcc" "src/tools/CMakeFiles/onelab_tools.dir/comgt.cpp.o.d"
+  "/root/repo/src/tools/shell.cpp" "src/tools/CMakeFiles/onelab_tools.dir/shell.cpp.o" "gcc" "src/tools/CMakeFiles/onelab_tools.dir/shell.cpp.o.d"
+  "/root/repo/src/tools/wvdial.cpp" "src/tools/CMakeFiles/onelab_tools.dir/wvdial.cpp.o" "gcc" "src/tools/CMakeFiles/onelab_tools.dir/wvdial.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/modem/CMakeFiles/onelab_modem.dir/DependInfo.cmake"
+  "/root/repo/build/src/ppp/CMakeFiles/onelab_ppp.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/onelab_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/onelab_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/onelab_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/umts/CMakeFiles/onelab_umts.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

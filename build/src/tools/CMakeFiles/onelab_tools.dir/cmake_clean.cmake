@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/onelab_tools.dir/chat.cpp.o"
+  "CMakeFiles/onelab_tools.dir/chat.cpp.o.d"
+  "CMakeFiles/onelab_tools.dir/comgt.cpp.o"
+  "CMakeFiles/onelab_tools.dir/comgt.cpp.o.d"
+  "CMakeFiles/onelab_tools.dir/shell.cpp.o"
+  "CMakeFiles/onelab_tools.dir/shell.cpp.o.d"
+  "CMakeFiles/onelab_tools.dir/wvdial.cpp.o"
+  "CMakeFiles/onelab_tools.dir/wvdial.cpp.o.d"
+  "libonelab_tools.a"
+  "libonelab_tools.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/onelab_tools.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

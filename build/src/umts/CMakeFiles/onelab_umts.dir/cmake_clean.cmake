@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/onelab_umts.dir/bearer.cpp.o"
+  "CMakeFiles/onelab_umts.dir/bearer.cpp.o.d"
+  "CMakeFiles/onelab_umts.dir/network.cpp.o"
+  "CMakeFiles/onelab_umts.dir/network.cpp.o.d"
+  "CMakeFiles/onelab_umts.dir/profile.cpp.o"
+  "CMakeFiles/onelab_umts.dir/profile.cpp.o.d"
+  "libonelab_umts.a"
+  "libonelab_umts.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/onelab_umts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for onelab_umts.
+# This may be replaced when dependencies are built.

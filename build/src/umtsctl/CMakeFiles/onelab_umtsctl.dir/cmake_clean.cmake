@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/onelab_umtsctl.dir/backend.cpp.o"
+  "CMakeFiles/onelab_umtsctl.dir/backend.cpp.o.d"
+  "CMakeFiles/onelab_umtsctl.dir/frontend.cpp.o"
+  "CMakeFiles/onelab_umtsctl.dir/frontend.cpp.o.d"
+  "libonelab_umtsctl.a"
+  "libonelab_umtsctl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/onelab_umtsctl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/onelab_util.dir/ascii_plot.cpp.o"
+  "CMakeFiles/onelab_util.dir/ascii_plot.cpp.o.d"
+  "CMakeFiles/onelab_util.dir/bytes.cpp.o"
+  "CMakeFiles/onelab_util.dir/bytes.cpp.o.d"
+  "CMakeFiles/onelab_util.dir/logging.cpp.o"
+  "CMakeFiles/onelab_util.dir/logging.cpp.o.d"
+  "CMakeFiles/onelab_util.dir/md5.cpp.o"
+  "CMakeFiles/onelab_util.dir/md5.cpp.o.d"
+  "CMakeFiles/onelab_util.dir/rand.cpp.o"
+  "CMakeFiles/onelab_util.dir/rand.cpp.o.d"
+  "CMakeFiles/onelab_util.dir/result.cpp.o"
+  "CMakeFiles/onelab_util.dir/result.cpp.o.d"
+  "CMakeFiles/onelab_util.dir/stats.cpp.o"
+  "CMakeFiles/onelab_util.dir/stats.cpp.o.d"
+  "CMakeFiles/onelab_util.dir/strings.cpp.o"
+  "CMakeFiles/onelab_util.dir/strings.cpp.o.d"
+  "CMakeFiles/onelab_util.dir/table.cpp.o"
+  "CMakeFiles/onelab_util.dir/table.cpp.o.d"
+  "libonelab_util.a"
+  "libonelab_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/onelab_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

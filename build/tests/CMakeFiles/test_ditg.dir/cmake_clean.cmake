@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ditg.dir/ditg/test_decoder.cpp.o"
+  "CMakeFiles/test_ditg.dir/ditg/test_decoder.cpp.o.d"
+  "CMakeFiles/test_ditg.dir/ditg/test_flow.cpp.o"
+  "CMakeFiles/test_ditg.dir/ditg/test_flow.cpp.o.d"
+  "CMakeFiles/test_ditg.dir/ditg/test_logfile.cpp.o"
+  "CMakeFiles/test_ditg.dir/ditg/test_logfile.cpp.o.d"
+  "CMakeFiles/test_ditg.dir/ditg/test_send_recv.cpp.o"
+  "CMakeFiles/test_ditg.dir/ditg/test_send_recv.cpp.o.d"
+  "CMakeFiles/test_ditg.dir/ditg/test_voip_quality.cpp.o"
+  "CMakeFiles/test_ditg.dir/ditg/test_voip_quality.cpp.o.d"
+  "test_ditg"
+  "test_ditg.pdb"
+  "test_ditg[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ditg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/modem/test_at_engine.cpp" "tests/CMakeFiles/test_modem.dir/modem/test_at_engine.cpp.o" "gcc" "tests/CMakeFiles/test_modem.dir/modem/test_at_engine.cpp.o.d"
+  "/root/repo/tests/modem/test_cards.cpp" "tests/CMakeFiles/test_modem.dir/modem/test_cards.cpp.o" "gcc" "tests/CMakeFiles/test_modem.dir/modem/test_cards.cpp.o.d"
+  "/root/repo/tests/modem/test_fuzz.cpp" "tests/CMakeFiles/test_modem.dir/modem/test_fuzz.cpp.o" "gcc" "tests/CMakeFiles/test_modem.dir/modem/test_fuzz.cpp.o.d"
+  "/root/repo/tests/modem/test_modem.cpp" "tests/CMakeFiles/test_modem.dir/modem/test_modem.cpp.o" "gcc" "tests/CMakeFiles/test_modem.dir/modem/test_modem.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/scenario/CMakeFiles/onelab_scenario.dir/DependInfo.cmake"
+  "/root/repo/build/src/umtsctl/CMakeFiles/onelab_umtsctl.dir/DependInfo.cmake"
+  "/root/repo/build/src/pl/CMakeFiles/onelab_pl.dir/DependInfo.cmake"
+  "/root/repo/build/src/tools/CMakeFiles/onelab_tools.dir/DependInfo.cmake"
+  "/root/repo/build/src/modem/CMakeFiles/onelab_modem.dir/DependInfo.cmake"
+  "/root/repo/build/src/umts/CMakeFiles/onelab_umts.dir/DependInfo.cmake"
+  "/root/repo/build/src/ditg/CMakeFiles/onelab_ditg.dir/DependInfo.cmake"
+  "/root/repo/build/src/ppp/CMakeFiles/onelab_ppp.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/onelab_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/onelab_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/onelab_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_modem.dir/modem/test_at_engine.cpp.o"
+  "CMakeFiles/test_modem.dir/modem/test_at_engine.cpp.o.d"
+  "CMakeFiles/test_modem.dir/modem/test_cards.cpp.o"
+  "CMakeFiles/test_modem.dir/modem/test_cards.cpp.o.d"
+  "CMakeFiles/test_modem.dir/modem/test_fuzz.cpp.o"
+  "CMakeFiles/test_modem.dir/modem/test_fuzz.cpp.o.d"
+  "CMakeFiles/test_modem.dir/modem/test_modem.cpp.o"
+  "CMakeFiles/test_modem.dir/modem/test_modem.cpp.o.d"
+  "test_modem"
+  "test_modem.pdb"
+  "test_modem[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_modem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,40 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/net/test_address.cpp" "tests/CMakeFiles/test_net.dir/net/test_address.cpp.o" "gcc" "tests/CMakeFiles/test_net.dir/net/test_address.cpp.o.d"
+  "/root/repo/tests/net/test_dns.cpp" "tests/CMakeFiles/test_net.dir/net/test_dns.cpp.o" "gcc" "tests/CMakeFiles/test_net.dir/net/test_dns.cpp.o.d"
+  "/root/repo/tests/net/test_icmp_traceroute.cpp" "tests/CMakeFiles/test_net.dir/net/test_icmp_traceroute.cpp.o" "gcc" "tests/CMakeFiles/test_net.dir/net/test_icmp_traceroute.cpp.o.d"
+  "/root/repo/tests/net/test_interface.cpp" "tests/CMakeFiles/test_net.dir/net/test_interface.cpp.o" "gcc" "tests/CMakeFiles/test_net.dir/net/test_interface.cpp.o.d"
+  "/root/repo/tests/net/test_internet.cpp" "tests/CMakeFiles/test_net.dir/net/test_internet.cpp.o" "gcc" "tests/CMakeFiles/test_net.dir/net/test_internet.cpp.o.d"
+  "/root/repo/tests/net/test_netfilter.cpp" "tests/CMakeFiles/test_net.dir/net/test_netfilter.cpp.o" "gcc" "tests/CMakeFiles/test_net.dir/net/test_netfilter.cpp.o.d"
+  "/root/repo/tests/net/test_packet.cpp" "tests/CMakeFiles/test_net.dir/net/test_packet.cpp.o" "gcc" "tests/CMakeFiles/test_net.dir/net/test_packet.cpp.o.d"
+  "/root/repo/tests/net/test_queue.cpp" "tests/CMakeFiles/test_net.dir/net/test_queue.cpp.o" "gcc" "tests/CMakeFiles/test_net.dir/net/test_queue.cpp.o.d"
+  "/root/repo/tests/net/test_routing.cpp" "tests/CMakeFiles/test_net.dir/net/test_routing.cpp.o" "gcc" "tests/CMakeFiles/test_net.dir/net/test_routing.cpp.o.d"
+  "/root/repo/tests/net/test_stack.cpp" "tests/CMakeFiles/test_net.dir/net/test_stack.cpp.o" "gcc" "tests/CMakeFiles/test_net.dir/net/test_stack.cpp.o.d"
+  "/root/repo/tests/net/test_tcp.cpp" "tests/CMakeFiles/test_net.dir/net/test_tcp.cpp.o" "gcc" "tests/CMakeFiles/test_net.dir/net/test_tcp.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/scenario/CMakeFiles/onelab_scenario.dir/DependInfo.cmake"
+  "/root/repo/build/src/umtsctl/CMakeFiles/onelab_umtsctl.dir/DependInfo.cmake"
+  "/root/repo/build/src/pl/CMakeFiles/onelab_pl.dir/DependInfo.cmake"
+  "/root/repo/build/src/tools/CMakeFiles/onelab_tools.dir/DependInfo.cmake"
+  "/root/repo/build/src/modem/CMakeFiles/onelab_modem.dir/DependInfo.cmake"
+  "/root/repo/build/src/umts/CMakeFiles/onelab_umts.dir/DependInfo.cmake"
+  "/root/repo/build/src/ditg/CMakeFiles/onelab_ditg.dir/DependInfo.cmake"
+  "/root/repo/build/src/ppp/CMakeFiles/onelab_ppp.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/onelab_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/onelab_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/onelab_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

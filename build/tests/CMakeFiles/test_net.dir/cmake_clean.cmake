@@ -1,0 +1,32 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_net.dir/net/test_address.cpp.o"
+  "CMakeFiles/test_net.dir/net/test_address.cpp.o.d"
+  "CMakeFiles/test_net.dir/net/test_dns.cpp.o"
+  "CMakeFiles/test_net.dir/net/test_dns.cpp.o.d"
+  "CMakeFiles/test_net.dir/net/test_icmp_traceroute.cpp.o"
+  "CMakeFiles/test_net.dir/net/test_icmp_traceroute.cpp.o.d"
+  "CMakeFiles/test_net.dir/net/test_interface.cpp.o"
+  "CMakeFiles/test_net.dir/net/test_interface.cpp.o.d"
+  "CMakeFiles/test_net.dir/net/test_internet.cpp.o"
+  "CMakeFiles/test_net.dir/net/test_internet.cpp.o.d"
+  "CMakeFiles/test_net.dir/net/test_netfilter.cpp.o"
+  "CMakeFiles/test_net.dir/net/test_netfilter.cpp.o.d"
+  "CMakeFiles/test_net.dir/net/test_packet.cpp.o"
+  "CMakeFiles/test_net.dir/net/test_packet.cpp.o.d"
+  "CMakeFiles/test_net.dir/net/test_queue.cpp.o"
+  "CMakeFiles/test_net.dir/net/test_queue.cpp.o.d"
+  "CMakeFiles/test_net.dir/net/test_routing.cpp.o"
+  "CMakeFiles/test_net.dir/net/test_routing.cpp.o.d"
+  "CMakeFiles/test_net.dir/net/test_stack.cpp.o"
+  "CMakeFiles/test_net.dir/net/test_stack.cpp.o.d"
+  "CMakeFiles/test_net.dir/net/test_tcp.cpp.o"
+  "CMakeFiles/test_net.dir/net/test_tcp.cpp.o.d"
+  "test_net"
+  "test_net.pdb"
+  "test_net[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

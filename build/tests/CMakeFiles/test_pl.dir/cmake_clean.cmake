@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_pl.dir/pl/test_kernel_modules.cpp.o"
+  "CMakeFiles/test_pl.dir/pl/test_kernel_modules.cpp.o.d"
+  "CMakeFiles/test_pl.dir/pl/test_node_os.cpp.o"
+  "CMakeFiles/test_pl.dir/pl/test_node_os.cpp.o.d"
+  "CMakeFiles/test_pl.dir/pl/test_vsys.cpp.o"
+  "CMakeFiles/test_pl.dir/pl/test_vsys.cpp.o.d"
+  "test_pl"
+  "test_pl.pdb"
+  "test_pl[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_pl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

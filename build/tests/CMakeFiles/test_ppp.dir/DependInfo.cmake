@@ -1,0 +1,39 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/ppp/test_auth.cpp" "tests/CMakeFiles/test_ppp.dir/ppp/test_auth.cpp.o" "gcc" "tests/CMakeFiles/test_ppp.dir/ppp/test_auth.cpp.o.d"
+  "/root/repo/tests/ppp/test_compress.cpp" "tests/CMakeFiles/test_ppp.dir/ppp/test_compress.cpp.o" "gcc" "tests/CMakeFiles/test_ppp.dir/ppp/test_compress.cpp.o.d"
+  "/root/repo/tests/ppp/test_fcs.cpp" "tests/CMakeFiles/test_ppp.dir/ppp/test_fcs.cpp.o" "gcc" "tests/CMakeFiles/test_ppp.dir/ppp/test_fcs.cpp.o.d"
+  "/root/repo/tests/ppp/test_framer.cpp" "tests/CMakeFiles/test_ppp.dir/ppp/test_framer.cpp.o" "gcc" "tests/CMakeFiles/test_ppp.dir/ppp/test_framer.cpp.o.d"
+  "/root/repo/tests/ppp/test_fsm.cpp" "tests/CMakeFiles/test_ppp.dir/ppp/test_fsm.cpp.o" "gcc" "tests/CMakeFiles/test_ppp.dir/ppp/test_fsm.cpp.o.d"
+  "/root/repo/tests/ppp/test_fuzz.cpp" "tests/CMakeFiles/test_ppp.dir/ppp/test_fuzz.cpp.o" "gcc" "tests/CMakeFiles/test_ppp.dir/ppp/test_fuzz.cpp.o.d"
+  "/root/repo/tests/ppp/test_lcp.cpp" "tests/CMakeFiles/test_ppp.dir/ppp/test_lcp.cpp.o" "gcc" "tests/CMakeFiles/test_ppp.dir/ppp/test_lcp.cpp.o.d"
+  "/root/repo/tests/ppp/test_options.cpp" "tests/CMakeFiles/test_ppp.dir/ppp/test_options.cpp.o" "gcc" "tests/CMakeFiles/test_ppp.dir/ppp/test_options.cpp.o.d"
+  "/root/repo/tests/ppp/test_pppd.cpp" "tests/CMakeFiles/test_ppp.dir/ppp/test_pppd.cpp.o" "gcc" "tests/CMakeFiles/test_ppp.dir/ppp/test_pppd.cpp.o.d"
+  "/root/repo/tests/ppp/test_pppd_lossy.cpp" "tests/CMakeFiles/test_ppp.dir/ppp/test_pppd_lossy.cpp.o" "gcc" "tests/CMakeFiles/test_ppp.dir/ppp/test_pppd_lossy.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/scenario/CMakeFiles/onelab_scenario.dir/DependInfo.cmake"
+  "/root/repo/build/src/umtsctl/CMakeFiles/onelab_umtsctl.dir/DependInfo.cmake"
+  "/root/repo/build/src/pl/CMakeFiles/onelab_pl.dir/DependInfo.cmake"
+  "/root/repo/build/src/tools/CMakeFiles/onelab_tools.dir/DependInfo.cmake"
+  "/root/repo/build/src/modem/CMakeFiles/onelab_modem.dir/DependInfo.cmake"
+  "/root/repo/build/src/umts/CMakeFiles/onelab_umts.dir/DependInfo.cmake"
+  "/root/repo/build/src/ditg/CMakeFiles/onelab_ditg.dir/DependInfo.cmake"
+  "/root/repo/build/src/ppp/CMakeFiles/onelab_ppp.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/onelab_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/onelab_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/onelab_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

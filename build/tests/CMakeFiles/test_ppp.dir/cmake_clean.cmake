@@ -1,0 +1,30 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ppp.dir/ppp/test_auth.cpp.o"
+  "CMakeFiles/test_ppp.dir/ppp/test_auth.cpp.o.d"
+  "CMakeFiles/test_ppp.dir/ppp/test_compress.cpp.o"
+  "CMakeFiles/test_ppp.dir/ppp/test_compress.cpp.o.d"
+  "CMakeFiles/test_ppp.dir/ppp/test_fcs.cpp.o"
+  "CMakeFiles/test_ppp.dir/ppp/test_fcs.cpp.o.d"
+  "CMakeFiles/test_ppp.dir/ppp/test_framer.cpp.o"
+  "CMakeFiles/test_ppp.dir/ppp/test_framer.cpp.o.d"
+  "CMakeFiles/test_ppp.dir/ppp/test_fsm.cpp.o"
+  "CMakeFiles/test_ppp.dir/ppp/test_fsm.cpp.o.d"
+  "CMakeFiles/test_ppp.dir/ppp/test_fuzz.cpp.o"
+  "CMakeFiles/test_ppp.dir/ppp/test_fuzz.cpp.o.d"
+  "CMakeFiles/test_ppp.dir/ppp/test_lcp.cpp.o"
+  "CMakeFiles/test_ppp.dir/ppp/test_lcp.cpp.o.d"
+  "CMakeFiles/test_ppp.dir/ppp/test_options.cpp.o"
+  "CMakeFiles/test_ppp.dir/ppp/test_options.cpp.o.d"
+  "CMakeFiles/test_ppp.dir/ppp/test_pppd.cpp.o"
+  "CMakeFiles/test_ppp.dir/ppp/test_pppd.cpp.o.d"
+  "CMakeFiles/test_ppp.dir/ppp/test_pppd_lossy.cpp.o"
+  "CMakeFiles/test_ppp.dir/ppp/test_pppd_lossy.cpp.o.d"
+  "test_ppp"
+  "test_ppp.pdb"
+  "test_ppp[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ppp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_scenario.dir/scenario/test_experiment.cpp.o"
+  "CMakeFiles/test_scenario.dir/scenario/test_experiment.cpp.o.d"
+  "CMakeFiles/test_scenario.dir/scenario/test_multi_node.cpp.o"
+  "CMakeFiles/test_scenario.dir/scenario/test_multi_node.cpp.o.d"
+  "CMakeFiles/test_scenario.dir/scenario/test_properties.cpp.o"
+  "CMakeFiles/test_scenario.dir/scenario/test_properties.cpp.o.d"
+  "CMakeFiles/test_scenario.dir/scenario/test_tcp_umts.cpp.o"
+  "CMakeFiles/test_scenario.dir/scenario/test_tcp_umts.cpp.o.d"
+  "CMakeFiles/test_scenario.dir/scenario/test_testbed.cpp.o"
+  "CMakeFiles/test_scenario.dir/scenario/test_testbed.cpp.o.d"
+  "test_scenario"
+  "test_scenario.pdb"
+  "test_scenario[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_scenario.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_tools.dir/tools/test_chat.cpp.o"
+  "CMakeFiles/test_tools.dir/tools/test_chat.cpp.o.d"
+  "CMakeFiles/test_tools.dir/tools/test_comgt.cpp.o"
+  "CMakeFiles/test_tools.dir/tools/test_comgt.cpp.o.d"
+  "CMakeFiles/test_tools.dir/tools/test_shell.cpp.o"
+  "CMakeFiles/test_tools.dir/tools/test_shell.cpp.o.d"
+  "CMakeFiles/test_tools.dir/tools/test_wvdial.cpp.o"
+  "CMakeFiles/test_tools.dir/tools/test_wvdial.cpp.o.d"
+  "test_tools"
+  "test_tools.pdb"
+  "test_tools[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_tools.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

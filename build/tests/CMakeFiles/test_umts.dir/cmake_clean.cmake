@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_umts.dir/umts/test_bearer.cpp.o"
+  "CMakeFiles/test_umts.dir/umts/test_bearer.cpp.o.d"
+  "CMakeFiles/test_umts.dir/umts/test_network.cpp.o"
+  "CMakeFiles/test_umts.dir/umts/test_network.cpp.o.d"
+  "CMakeFiles/test_umts.dir/umts/test_profile.cpp.o"
+  "CMakeFiles/test_umts.dir/umts/test_profile.cpp.o.d"
+  "test_umts"
+  "test_umts.pdb"
+  "test_umts[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_umts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

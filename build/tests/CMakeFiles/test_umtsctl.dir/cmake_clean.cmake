@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_umtsctl.dir/umtsctl/test_umtsctl.cpp.o"
+  "CMakeFiles/test_umtsctl.dir/umtsctl/test_umtsctl.cpp.o.d"
+  "test_umtsctl"
+  "test_umtsctl.pdb"
+  "test_umtsctl[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_umtsctl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_util[1]_include.cmake")
+include("/root/repo/build/tests/test_sim[1]_include.cmake")
+include("/root/repo/build/tests/test_net[1]_include.cmake")
+include("/root/repo/build/tests/test_ppp[1]_include.cmake")
+include("/root/repo/build/tests/test_umts[1]_include.cmake")
+include("/root/repo/build/tests/test_modem[1]_include.cmake")
+include("/root/repo/build/tests/test_tools[1]_include.cmake")
+include("/root/repo/build/tests/test_pl[1]_include.cmake")
+include("/root/repo/build/tests/test_umtsctl[1]_include.cmake")
+include("/root/repo/build/tests/test_ditg[1]_include.cmake")
+include("/root/repo/build/tests/test_scenario[1]_include.cmake")
