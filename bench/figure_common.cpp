@@ -5,6 +5,7 @@
 #include <map>
 
 #include "ditg/voip_quality.hpp"
+#include "obs/telemetry.hpp"
 #include "util/ascii_plot.hpp"
 #include "util/strings.hpp"
 #include "util/table.hpp"
@@ -40,10 +41,18 @@ int runFigure(const FigureSpec& spec, int argc, char** argv) {
     std::string csvPath;
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
-        if (arg == "--csv" && i + 1 < argc)
+        if (arg == "--csv" && i + 1 < argc) {
             csvPath = argv[++i];
-        else
+        } else if (arg == "--telemetry" && i + 1 < argc) {
+            options.telemetryDir = argv[++i];
+        } else if (arg == "--csv" || arg == "--telemetry") {
+            std::fprintf(stderr, "%s requires a value\nusage: %s [seed] [--csv path] "
+                                 "[--telemetry dir]\n",
+                         arg.c_str(), argv[0]);
+            return 1;
+        } else {
             options.seed = std::strtoull(arg.c_str(), nullptr, 10);
+        }
     }
 
     std::printf("=== %s: %s ===\n", spec.id.c_str(), spec.title.c_str());
@@ -51,7 +60,13 @@ int runFigure(const FigureSpec& spec, int argc, char** argv) {
                 scenario::workloadName(spec.workload), options.durationSeconds,
                 (unsigned long long)options.seed);
 
-    const scenario::ExperimentResult result = scenario::runExperiment(options);
+    scenario::ExperimentResult result;
+    try {
+        result = scenario::runExperiment(options);
+    } catch (const std::exception& error) {
+        std::fprintf(stderr, "error: %s\n", error.what());
+        return 1;
+    }
     const util::Series& umts = select(result.umts, spec.metric);
     const util::Series& eth = select(result.ethernet, spec.metric);
 
@@ -123,6 +138,9 @@ int runFigure(const FigureSpec& spec, int argc, char** argv) {
         std::fclose(file);
         std::printf("full series written to %s\n", csvPath.c_str());
     }
+    if (!options.telemetryDir.empty())
+        std::printf("telemetry written to %s/{%s,%s}\n", options.telemetryDir.c_str(),
+                    obs::kMetricsFile, obs::kTraceFile);
     return 0;
 }
 

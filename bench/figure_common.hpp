@@ -22,8 +22,10 @@ struct FigureSpec {
 
 /// Run the experiment for `spec` (both paths, 120 s, paper seed) and
 /// print the figure: aligned table of the two series, an ASCII plot,
-/// and the shape checks. Usage: `figN [seed] [--csv path]` — with
-/// --csv the full (unthinned) series is also written as CSV.
+/// and the shape checks. Usage: `figN [seed] [--csv path]
+/// [--telemetry dir]` — with --csv the full (unthinned) series is also
+/// written as CSV; with --telemetry a metrics-registry snapshot
+/// (metrics.json) and a Chrome trace (trace.json) land in `dir`.
 int runFigure(const FigureSpec& spec, int argc, char** argv);
 
 }  // namespace onelab::bench

@@ -1,13 +1,29 @@
 #include "ditg/receiver.hpp"
 
+#include "obs/trace.hpp"
+
 namespace onelab::ditg {
 
+/// Same bucket layout as the sender's rtt_us histogram.
+static constexpr obs::HistogramSpec kOwdUsBuckets{1000.0, 2.0, 16};
+
 ItgRecv::ItgRecv(net::UdpSocket& socket, bool sendAcks)
-    : socket_(socket), sendAcks_(sendAcks) {
+    : socket_(socket),
+      sendAcks_(sendAcks),
+      receivedMetric_(obs::Registry::instance().counter("ditg.flow.packets_received")),
+      acksSentMetric_(obs::Registry::instance().counter("ditg.flow.acks_sent")),
+      owdMetric_(obs::Registry::instance().histogram("ditg.flow.owd_us", kOwdUsBuckets)) {
     socket_.onReceive([this](net::Datagram dgram) {
         const auto header = ProbeHeader::decode({dgram.payload.data(), dgram.payload.size()});
         if (!header || header->isAck) return;
         ++received_;
+        receivedMetric_.inc();
+        owdMetric_.observe(double((dgram.rxTime - sim::SimTime{header->txTimeNs}).count()) /
+                           1e3);
+        obs::Tracer& tracer = obs::Tracer::instance();
+        if (tracer.enabled())
+            tracer.instant("ditg", "recv", "flow=" + std::to_string(header->flowId) +
+                                               " seq=" + std::to_string(header->sequence));
         RxRecord record;
         record.flowId = header->flowId;
         record.sequence = header->sequence;
@@ -19,8 +35,10 @@ ItgRecv::ItgRecv(net::UdpSocket& socket, bool sendAcks)
         if (sendAcks_) {
             ProbeHeader ack = *header;
             ack.isAck = true;
-            if (socket_.sendTo(dgram.src, dgram.srcPort, ack.encode(ProbeHeader::kSize)).ok())
+            if (socket_.sendTo(dgram.src, dgram.srcPort, ack.encode(ProbeHeader::kSize)).ok()) {
                 ++acksSent_;
+                acksSentMetric_.inc();
+            }
         }
     });
 }

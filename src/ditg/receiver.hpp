@@ -3,6 +3,7 @@
 #include "ditg/flow.hpp"
 #include "ditg/logs.hpp"
 #include "net/stack.hpp"
+#include "obs/registry.hpp"
 #include "util/logging.hpp"
 
 namespace onelab::ditg {
@@ -26,6 +27,11 @@ class ItgRecv {
     mutable std::map<std::uint16_t, ReceiverLog> logs_;
     std::uint64_t received_ = 0;
     std::uint64_t acksSent_ = 0;
+
+    // Registry-backed flow metrics (ditg.flow.*).
+    obs::Counter& receivedMetric_;
+    obs::Counter& acksSentMetric_;
+    obs::Histogram& owdMetric_;  ///< ditg.flow.owd_us, log-scale buckets
 };
 
 }  // namespace onelab::ditg

@@ -1,6 +1,11 @@
 #include "ditg/sender.hpp"
 
+#include "obs/trace.hpp"
+
 namespace onelab::ditg {
+
+/// Buckets for the microsecond latency histograms: 1 ms .. ~32 s.
+static constexpr obs::HistogramSpec kLatencyUsBuckets{1000.0, 2.0, 16};
 
 ItgSend::ItgSend(sim::Simulator& simulator, net::UdpSocket& socket, FlowSpec spec,
                  net::Ipv4Address destination, std::uint16_t destinationPort,
@@ -10,7 +15,10 @@ ItgSend::ItgSend(sim::Simulator& simulator, net::UdpSocket& socket, FlowSpec spe
       spec_(std::move(spec)),
       destination_(destination),
       destinationPort_(destinationPort),
-      rng_(std::move(rng)) {}
+      rng_(std::move(rng)),
+      sentMetric_(obs::Registry::instance().counter("ditg.flow.packets_sent")),
+      sendErrorsMetric_(obs::Registry::instance().counter("ditg.flow.send_errors")),
+      rttMetric_(obs::Registry::instance().histogram("ditg.flow.rtt_us", kLatencyUsBuckets)) {}
 
 void ItgSend::start(std::function<void()> onComplete) {
     onComplete_ = std::move(onComplete);
@@ -18,7 +26,9 @@ void ItgSend::start(std::function<void()> onComplete) {
         const auto header = ProbeHeader::decode({dgram.payload.data(), dgram.payload.size()});
         if (!header || !header->isAck || header->flowId != spec_.flowId) return;
         const sim::SimTime txTime{header->txTimeNs};
-        log_.rtts.push_back(RttRecord{header->sequence, txTime, dgram.rxTime - txTime});
+        const sim::SimTime rtt = dgram.rxTime - txTime;
+        rttMetric_.observe(double(rtt.count()) / 1e3);
+        log_.rtts.push_back(RttRecord{header->sequence, txTime, rtt});
     });
     sim_.schedule(sim::seconds(spec_.startOffsetSeconds), [this] {
         endTime_ = sim_.now() + sim::seconds(spec_.durationSeconds);
@@ -59,10 +69,16 @@ void ItgSend::emitPacket() {
                                      header.encode(payloadSize));
     if (sent.ok()) {
         ++sent_;
+        sentMetric_.inc();
     } else {
         ++sendErrors_;
+        sendErrorsMetric_.inc();
         record.sendFailed = true;
     }
+    obs::Tracer& tracer = obs::Tracer::instance();
+    if (tracer.enabled())
+        tracer.instant("ditg", "send", "flow=" + std::to_string(spec_.flowId) +
+                                           " seq=" + std::to_string(header.sequence));
     log_.packets.push_back(record);
     scheduleNext();
 }

@@ -5,6 +5,7 @@
 #include "ditg/flow.hpp"
 #include "ditg/logs.hpp"
 #include "net/stack.hpp"
+#include "obs/registry.hpp"
 #include "sim/simulator.hpp"
 #include "util/logging.hpp"
 
@@ -49,6 +50,12 @@ class ItgSend {
     std::uint64_t sendErrors_ = 0;
     bool finished_ = false;
     std::function<void()> onComplete_;
+
+    // Registry-backed flow metrics (ditg.flow.*), aggregated across
+    // flows by name.
+    obs::Counter& sentMetric_;
+    obs::Counter& sendErrorsMetric_;
+    obs::Histogram& rttMetric_;  ///< ditg.flow.rtt_us, log-scale buckets
 };
 
 }  // namespace onelab::ditg

@@ -1,11 +1,14 @@
 #include "modem/at_engine.hpp"
 
+#include "obs/registry.hpp"
+#include "obs/trace.hpp"
 #include "util/strings.hpp"
 
 namespace onelab::modem {
 
 AtEngine::AtEngine(sim::Simulator& simulator, std::string logTag)
-    : sim_(simulator), log_("modem.at." + logTag) {}
+    : sim_(simulator), log_("modem.at." + logTag),
+      commandsMetric_(obs::Registry::instance().counter("modem.at.commands")) {}
 
 void AtEngine::attachTty(sim::ByteChannel& tty) {
     tty_ = &tty;
@@ -24,6 +27,11 @@ void AtEngine::reply(const std::string& line) {
 
 void AtEngine::final(const std::string& result) {
     busy_ = false;
+    if (!openSpan_.empty()) {
+        obs::Tracer::instance().instant("modem.at", "final", result);
+        obs::Tracer::instance().end("modem.at", openSpan_);
+        openSpan_.clear();
+    }
     reply(result);
 }
 
@@ -118,6 +126,7 @@ void AtEngine::processLine(const std::string& line) {
         return;
     }
     ++commandsHandled_;
+    commandsMetric_.inc();
     const std::string body = trimmed.substr(2);
     if (body.empty()) {
         reply("OK");
@@ -143,6 +152,12 @@ void AtEngine::dispatch(const std::string& body) {
         return;
     }
     busy_ = true;
+    // Span covering the whole exchange: dispatch -> final result.
+    obs::Tracer& tracer = obs::Tracer::instance();
+    if (tracer.enabled()) {
+        openSpan_ = "AT" + upper;
+        tracer.begin("modem.at", openSpan_);
+    }
     (*best)("AT" + body, body.substr(bestLength));
 }
 

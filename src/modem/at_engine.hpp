@@ -5,6 +5,7 @@
 #include <map>
 #include <string>
 
+#include "obs/registry.hpp"
 #include "sim/pipe.hpp"
 #include "sim/simulator.hpp"
 #include "util/logging.hpp"
@@ -74,6 +75,7 @@ class AtEngine {
     std::string lineBuffer_;
     bool echo_ = true;
     bool busy_ = false;       ///< a handler owes a final result
+    std::string openSpan_;    ///< command name of the open tracer span, if any
     bool dataMode_ = false;
     std::function<void(util::ByteView)> dataSink_;
 
@@ -84,6 +86,7 @@ class AtEngine {
     sim::EventHandle escapeTimer_;
 
     std::uint64_t commandsHandled_ = 0;
+    obs::Counter& commandsMetric_;  ///< modem.at.commands
 };
 
 }  // namespace onelab::modem

@@ -1,16 +1,36 @@
 #include "net/queue.hpp"
 
+#include "obs/registry.hpp"
 #include "sim/time.hpp"
 
 namespace onelab::net {
 
+namespace {
+
+/// Aggregate net.queue.* metrics, shared by every TxQueue in the
+/// process (Ethernet egress, RLC buffers, internet core).
+struct QueueMetrics {
+    obs::Counter& dropped = obs::Registry::instance().counter("net.queue.dropped");
+    obs::Counter& completed = obs::Registry::instance().counter("net.queue.completed");
+    obs::Gauge& depth = obs::Registry::instance().gauge("net.queue.depth");
+
+    static QueueMetrics& get() {
+        static QueueMetrics metrics;
+        return metrics;
+    }
+};
+
+}  // namespace
+
 bool TxQueue::enqueue(std::size_t bytes, std::function<void()> onSerialized) {
     if (backlogBytes_ + bytes > byteLimit_) {
         ++drops_;
+        QueueMetrics::get().dropped.inc();
         return false;
     }
     queue_.push_back(Item{bytes, std::move(onSerialized)});
     backlogBytes_ += bytes;
+    QueueMetrics::get().depth.add(std::int64_t(bytes));
     if (!busy_) startNext();
     return true;
 }
@@ -31,13 +51,16 @@ void TxQueue::startNext() {
         Item item = std::move(queue_.front());
         queue_.pop_front();
         backlogBytes_ -= item.bytes;
+        QueueMetrics::get().depth.add(-std::int64_t(item.bytes));
         ++completed_;
+        QueueMetrics::get().completed.inc();
         if (item.action) item.action();
         startNext();
     });
 }
 
 void TxQueue::clear() {
+    QueueMetrics::get().depth.add(-std::int64_t(backlogBytes_));
     queue_.clear();
     backlogBytes_ = 0;
     busy_ = false;

@@ -1,0 +1,145 @@
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace onelab::obs {
+
+/// What kind of metric a registry entry is.
+enum class MetricKind : std::uint8_t { counter, gauge, histogram };
+
+[[nodiscard]] const char* metricKindName(MetricKind kind) noexcept;
+
+/// Monotonic event count. Increments are lock-free and cheap enough
+/// for the datapath; registration happens once, at construction.
+class Counter {
+  public:
+    void inc(std::uint64_t n = 1) noexcept { value_.fetch_add(n, std::memory_order_relaxed); }
+    [[nodiscard]] std::uint64_t value() const noexcept {
+        return value_.load(std::memory_order_relaxed);
+    }
+
+  private:
+    friend class Registry;
+    Counter() = default;
+    void reset() noexcept { value_.store(0, std::memory_order_relaxed); }
+    std::atomic<std::uint64_t> value_{0};
+};
+
+/// Instantaneous signed level (queue depth, backlog bytes).
+class Gauge {
+  public:
+    void set(std::int64_t v) noexcept { value_.store(v, std::memory_order_relaxed); }
+    void add(std::int64_t delta) noexcept { value_.fetch_add(delta, std::memory_order_relaxed); }
+    [[nodiscard]] std::int64_t value() const noexcept {
+        return value_.load(std::memory_order_relaxed);
+    }
+
+  private:
+    friend class Registry;
+    Gauge() = default;
+    void reset() noexcept { value_.store(0, std::memory_order_relaxed); }
+    std::atomic<std::int64_t> value_{0};
+};
+
+/// Bucket layout for a Histogram: geometric (log-scale) upper bounds
+/// firstBound * growth^i, plus an implicit +inf overflow bucket.
+/// The default spans 1 ms .. ~32 s when observations are microseconds.
+struct HistogramSpec {
+    double firstBound = 1000.0;
+    double growth = 2.0;
+    std::size_t buckets = 16;
+};
+
+/// Fixed-bucket histogram with lock-free observation. Bucket `i`
+/// counts observations <= bucketBound(i); the last bucket is +inf.
+class Histogram {
+  public:
+    void observe(double value) noexcept;
+
+    [[nodiscard]] std::uint64_t count() const noexcept {
+        return count_.load(std::memory_order_relaxed);
+    }
+    [[nodiscard]] double sum() const noexcept { return sum_.load(std::memory_order_relaxed); }
+    /// Number of buckets including the +inf overflow bucket.
+    [[nodiscard]] std::size_t bucketCount() const noexcept { return counts_.size(); }
+    /// Upper bound of bucket `index`; +inf for the last bucket.
+    [[nodiscard]] double bucketBound(std::size_t index) const noexcept;
+    [[nodiscard]] std::uint64_t bucketValue(std::size_t index) const noexcept {
+        return counts_[index].load(std::memory_order_relaxed);
+    }
+
+  private:
+    friend class Registry;
+    explicit Histogram(HistogramSpec spec);
+    void reset() noexcept;
+    HistogramSpec spec_;
+    std::vector<double> bounds_;                     ///< finite upper bounds
+    std::vector<std::atomic<std::uint64_t>> counts_; ///< bounds_.size() + 1 (overflow)
+    std::atomic<std::uint64_t> count_{0};
+    std::atomic<double> sum_{0.0};
+};
+
+/// One metric's state at snapshot time.
+struct MetricSample {
+    std::string name;
+    MetricKind kind{};
+    std::uint64_t counterValue = 0;  ///< counter
+    std::int64_t gaugeValue = 0;     ///< gauge
+    std::uint64_t count = 0;         ///< histogram
+    double sum = 0.0;                ///< histogram
+    std::vector<double> bucketBounds;          ///< histogram (finite bounds then +inf)
+    std::vector<std::uint64_t> bucketCounts;   ///< histogram
+};
+
+/// Process-wide registry of hierarchically named metrics
+/// ("umts.bearer.ul.dropped_overflow"). Registration takes a mutex and
+/// is meant for construction time only; the returned references stay
+/// valid for the process lifetime and their updates are lock-free.
+/// Registering an existing name with the same kind returns the shared
+/// instance; a kind mismatch throws std::logic_error.
+class Registry {
+  public:
+    static Registry& instance();
+
+    Registry() = default;
+    Registry(const Registry&) = delete;
+    Registry& operator=(const Registry&) = delete;
+
+    [[nodiscard]] Counter& counter(const std::string& name);
+    [[nodiscard]] Gauge& gauge(const std::string& name);
+    /// The spec is fixed by the first registration of `name`.
+    [[nodiscard]] Histogram& histogram(const std::string& name, HistogramSpec spec = {});
+
+    /// Zero every metric's value. Registrations (and handed-out
+    /// references) survive; used between experiment runs.
+    void reset();
+
+    /// Deterministic (name-sorted) snapshot of every metric.
+    [[nodiscard]] std::vector<MetricSample> snapshot() const;
+
+    /// Snapshot as a JSON document: {"metrics": [...]}.
+    [[nodiscard]] std::string snapshotJson() const;
+
+    [[nodiscard]] std::size_t size() const;
+
+  private:
+    struct Entry {
+        MetricKind kind{};
+        std::unique_ptr<Counter> counter;
+        std::unique_ptr<Gauge> gauge;
+        std::unique_ptr<Histogram> histogram;
+    };
+
+    Entry& lookup(const std::string& name, MetricKind kind);
+
+    mutable std::mutex mutex_;
+    std::map<std::string, Entry> metrics_;
+};
+
+}  // namespace onelab::obs

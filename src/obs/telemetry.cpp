@@ -1,0 +1,46 @@
+#include "obs/telemetry.hpp"
+
+#include <cstdio>
+#include <filesystem>
+
+#include "obs/registry.hpp"
+#include "obs/trace.hpp"
+
+namespace onelab::obs {
+
+namespace {
+
+util::Result<void> writeFile(const std::filesystem::path& path, const std::string& text) {
+    std::FILE* file = std::fopen(path.string().c_str(), "w");
+    if (!file)
+        return util::Error{util::Error::Code::io, "cannot write " + path.string()};
+    const std::size_t written = std::fwrite(text.data(), 1, text.size(), file);
+    std::fclose(file);
+    if (written != text.size())
+        return util::Error{util::Error::Code::io, "short write to " + path.string()};
+    return util::Result<void>{};
+}
+
+}  // namespace
+
+util::Result<void> writeTelemetry(const std::string& directory) {
+    std::error_code ec;
+    std::filesystem::create_directories(directory, ec);
+    if (ec)
+        return util::Error{util::Error::Code::io,
+                           "cannot create " + directory + ": " + ec.message()};
+    const std::filesystem::path dir{directory};
+    auto metrics = writeFile(dir / kMetricsFile, Registry::instance().snapshotJson());
+    if (!metrics.ok()) return metrics;
+    return writeFile(dir / kTraceFile, Tracer::instance().exportChromeJson());
+}
+
+void beginRun() {
+    Registry::instance().reset();
+    Tracer& tracer = Tracer::instance();
+    tracer.clear();
+    tracer.setThread(1);
+    tracer.setEnabled(true);
+}
+
+}  // namespace onelab::obs

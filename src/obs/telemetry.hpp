@@ -1,0 +1,22 @@
+#pragma once
+
+#include <string>
+
+#include "util/result.hpp"
+
+namespace onelab::obs {
+
+/// Filenames writeTelemetry() produces under its directory.
+inline constexpr const char* kMetricsFile = "metrics.json";
+inline constexpr const char* kTraceFile = "trace.json";
+
+/// Dump the current Registry snapshot (metrics.json) and Tracer buffer
+/// (trace.json, Chrome trace_event format) under `directory`, creating
+/// it if needed.
+[[nodiscard]] util::Result<void> writeTelemetry(const std::string& directory);
+
+/// Arm telemetry for a fresh run: zero every registry metric, drop any
+/// buffered trace events, and enable the tracer.
+void beginRun();
+
+}  // namespace onelab::obs

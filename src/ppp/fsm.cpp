@@ -1,5 +1,8 @@
 #include "ppp/fsm.hpp"
 
+#include "obs/registry.hpp"
+#include "obs/trace.hpp"
+
 namespace onelab::ppp {
 
 const char* fsmStateName(FsmState state) noexcept {
@@ -19,7 +22,8 @@ const char* fsmStateName(FsmState state) noexcept {
 }
 
 Fsm::Fsm(sim::Simulator& simulator, std::string name, Timers timers)
-    : sim_(simulator), log_("ppp." + name), name_(std::move(name)), timers_(timers) {}
+    : sim_(simulator), log_("ppp." + name), name_(std::move(name)), timers_(timers),
+      renegotiations_(&obs::Registry::instance().counter("ppp." + name_ + ".renegotiations")) {}
 
 Fsm::~Fsm() { stopTimer(); }
 
@@ -34,6 +38,16 @@ void Fsm::sendPacket(const ControlPacket& packet) {
 void Fsm::setState(FsmState next) {
     if (next == state_) return;
     log_.debug() << fsmStateName(state_) << " -> " << fsmStateName(next);
+    obs::Tracer& tracer = obs::Tracer::instance();
+    if (tracer.enabled())
+        tracer.instant("ppp.fsm", "ppp." + name_ + ".state",
+                       std::string(fsmStateName(state_)) + " -> " + fsmStateName(next));
+    // Leaving Opened back into a configure exchange is a renegotiation
+    // of the already-established layer (e.g. a peer Configure-Request
+    // on a live link).
+    const bool reconfiguring = next == FsmState::req_sent || next == FsmState::ack_rcvd ||
+                               next == FsmState::ack_sent;
+    if (state_ == FsmState::opened && reconfiguring) renegotiations_->inc();
     state_ = next;
 }
 

@@ -9,6 +9,10 @@
 #include "sim/simulator.hpp"
 #include "util/logging.hpp"
 
+namespace onelab::obs {
+class Counter;
+}
+
 namespace onelab::ppp {
 
 /// RFC 1661 §4.2 automaton states.
@@ -139,6 +143,9 @@ class Fsm {
     std::string name_;
     Timers timers_;
     FsmState state_ = FsmState::initial;
+    /// Re-negotiations: leaving Opened back into a configure exchange
+    /// (registry metric "ppp.<name>.renegotiations").
+    obs::Counter* renegotiations_ = nullptr;
     std::function<void(const ControlPacket&)> sender_;
     int restartCount_ = 0;
     std::uint8_t requestId_ = 0;  ///< id of our outstanding Configure-Request

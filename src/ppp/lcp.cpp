@@ -31,18 +31,24 @@ std::optional<AuthProtocol> parseAuthOption(const Option& option) {
 }  // namespace
 
 namespace {
+std::uint32_t& magicCounter() noexcept {
+    static std::uint32_t counter = 0;
+    return counter;
+}
+
 /// Per-instance entropy mixed into magic numbers. Two endpoints
 /// seeded identically (possible in tests) must still resolve the
 /// loopback-detection Nak exchange; real pppd draws kernel entropy.
 std::uint32_t magicSalt() {
-    static std::uint32_t counter = 0;
-    std::uint32_t x = ++counter * 0x9e3779b9u;
+    std::uint32_t x = ++magicCounter() * 0x9e3779b9u;
     x ^= x >> 16;
     x *= 0x85ebca6bu;
     x ^= x >> 13;
     return x | 1u;  // never zero
 }
 }  // namespace
+
+void resetMagicEntropy() noexcept { magicCounter() = 0; }
 
 const char* authName(AuthProtocol auth) noexcept {
     switch (auth) {

@@ -13,6 +13,13 @@ enum class AuthProtocol : std::uint8_t { none, pap, chap_md5 };
 
 [[nodiscard]] const char* authName(AuthProtocol auth) noexcept;
 
+/// Rewind the process-global entropy counter mixed into LCP magic
+/// numbers. The counter exists to break rng symmetry between
+/// identically-seeded endpoints; rewinding it at the start of a run
+/// makes same-seed runs reproduce the exact same magic numbers (and
+/// hence byte-identical telemetry).
+void resetMagicEntropy() noexcept;
+
 /// Local LCP desires.
 struct LcpConfig {
     std::uint16_t mru = 1500;

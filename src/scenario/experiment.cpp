@@ -2,6 +2,10 @@
 
 #include <stdexcept>
 
+#include "obs/telemetry.hpp"
+#include "obs/trace.hpp"
+#include "ppp/lcp.hpp"
+
 namespace onelab::scenario {
 
 const char* workloadName(Workload workload) noexcept {
@@ -93,11 +97,28 @@ PathRun runPath(PathKind path, const ExperimentOptions& options) {
 }
 
 ExperimentResult runExperiment(const ExperimentOptions& options) {
+    const bool telemetry = !options.telemetryDir.empty();
+    if (telemetry) {
+        obs::beginRun();
+        // Same-seed runs must reproduce byte-identical telemetry; the
+        // LCP magic entropy is the one process-global the link layer
+        // folds into its wire bytes (via ACCM byte-stuffing).
+        ppp::resetMagicEntropy();
+    }
+
     ExperimentResult result;
     result.workload = options.workload;
     result.durationSeconds = options.durationSeconds;
     result.umts = runPath(PathKind::umts_to_ethernet, options);
+    if (telemetry) obs::Tracer::instance().setThread(2);
     result.ethernet = runPath(PathKind::ethernet_to_ethernet, options);
+
+    if (telemetry) {
+        obs::Tracer::instance().setEnabled(false);
+        const auto written = obs::writeTelemetry(options.telemetryDir);
+        if (!written.ok())
+            throw std::runtime_error("telemetry export failed: " + written.error().message);
+    }
     return result;
 }
 

@@ -46,6 +46,11 @@ struct ExperimentOptions {
     double windowSeconds = 0.2;
     std::uint64_t seed = 42;
     TestbedConfig testbed;  ///< testbed.seed is overridden by `seed`
+    /// When non-empty, runExperiment() arms the obs subsystem (fresh
+    /// registry + enabled tracer) and dumps metrics.json plus a Chrome
+    /// trace.json into this directory at the end of the run. The UMTS
+    /// path records on trace lane (tid) 1, the Ethernet path on lane 2.
+    std::string telemetryDir;
 };
 
 /// Build the FlowSpec for a workload.

@@ -2,10 +2,17 @@
 
 #include <algorithm>
 
+#include "obs/registry.hpp"
+#include "obs/trace.hpp"
 #include "util/logging.hpp"
 #include "util/strings.hpp"
 
 namespace onelab::sim {
+
+Simulator::Simulator()
+    : eventsExecuted_(&obs::Registry::instance().counter("sim.events_executed")),
+      eventsScheduled_(&obs::Registry::instance().counter("sim.events_scheduled")),
+      eventsCancelled_(&obs::Registry::instance().counter("sim.events_cancelled")) {}
 
 EventHandle Simulator::schedule(SimTime delay, std::function<void()> action) {
     return scheduleAt(now_ + std::max(SimTime{0}, delay), std::move(action));
@@ -15,6 +22,7 @@ EventHandle Simulator::scheduleAt(SimTime when, std::function<void()> action) {
     const std::uint64_t sequence = nextSequence_++;
     queue_.push(Event{std::max(when, now_), sequence, std::move(action)});
     pending_.insert(sequence);
+    eventsScheduled_->inc();
     return EventHandle{sequence};
 }
 
@@ -22,7 +30,9 @@ bool Simulator::cancel(EventHandle handle) {
     if (!handle.valid()) return false;
     // Lazy cancellation: remove the id from the pending set; the event
     // body is discarded when it reaches the head of the queue.
-    return pending_.erase(handle.id()) > 0;
+    const bool wasPending = pending_.erase(handle.id()) > 0;
+    if (wasPending) eventsCancelled_->inc();
+    return wasPending;
 }
 
 bool Simulator::popNext(Event& out) {
@@ -44,6 +54,7 @@ std::size_t Simulator::runUntil(SimTime until) {
         if (!popNext(event)) break;
         now_ = event.when;
         ++executed_;
+        eventsExecuted_->inc();
         ++ran;
         event.action();
     }
@@ -59,6 +70,7 @@ std::size_t Simulator::run() {
     while (popNext(event)) {
         now_ = event.when;
         ++executed_;
+        eventsExecuted_->inc();
         ++ran;
         event.action();
     }
@@ -72,6 +84,8 @@ void Simulator::clear() {
 
 void Simulator::attachLogClock() {
     util::LogConfig::instance().setClock([this] { return std::int64_t(now_.count()); });
+    // The tracer stamps events with the same simulated clock.
+    obs::Tracer::instance().setClock([this] { return std::int64_t(now_.count()); });
 }
 
 }  // namespace onelab::sim

@@ -8,6 +8,10 @@
 
 #include "sim/time.hpp"
 
+namespace onelab::obs {
+class Counter;
+}
+
 namespace onelab::sim {
 
 /// Handle returned by Simulator::schedule; can cancel a pending event.
@@ -29,7 +33,7 @@ class EventHandle {
 /// runs deterministic.
 class Simulator {
   public:
-    Simulator() = default;
+    Simulator();
     Simulator(const Simulator&) = delete;
     Simulator& operator=(const Simulator&) = delete;
 
@@ -83,6 +87,11 @@ class Simulator {
     SimTime now_{0};
     std::uint64_t nextSequence_ = 1;
     std::uint64_t executed_ = 0;
+    // Registry-backed mirrors of the local counters (sim.events_*);
+    // shared across Simulator instances by name.
+    obs::Counter* eventsExecuted_;
+    obs::Counter* eventsScheduled_;
+    obs::Counter* eventsCancelled_;
 };
 
 }  // namespace onelab::sim

@@ -2,19 +2,36 @@
 
 #include <algorithm>
 
+#include "obs/trace.hpp"
+#include "util/strings.hpp"
+
 namespace onelab::umts {
 
 BearerLink::BearerLink(sim::Simulator& simulator, Params params, util::RandomStream rng,
                        std::string logTag)
-    : sim_(simulator), params_(params), rng_(std::move(rng)), log_("umts." + logTag) {}
+    : sim_(simulator),
+      params_(params),
+      rng_(std::move(rng)),
+      log_("umts." + logTag),
+      metricPrefix_("umts." + logTag),
+      metrics_{obs::Registry::instance().counter(metricPrefix_ + ".chunks_in"),
+               obs::Registry::instance().counter(metricPrefix_ + ".chunks_delivered"),
+               obs::Registry::instance().counter(metricPrefix_ + ".dropped_overflow"),
+               obs::Registry::instance().counter(metricPrefix_ + ".dropped_radio"),
+               obs::Registry::instance().counter(metricPrefix_ + ".bytes_delivered"),
+               obs::Registry::instance().gauge(metricPrefix_ + ".backlog_bytes")} {}
 
 void BearerLink::send(util::Bytes chunk) {
     if (backlogBytes_ + chunk.size() > params_.bufferBytes) {
         ++stats_.droppedOverflow;
+        metrics_.droppedOverflow.inc();
+        obs::Tracer::instance().instant("umts.rlc", "drop_overflow", metricPrefix_);
         return;
     }
     ++stats_.chunksIn;
+    metrics_.chunksIn.inc();
     backlogBytes_ += chunk.size();
+    metrics_.backlogBytes.add(std::int64_t(chunk.size()));
     lastBusy_ = sim_.now();
     queue_.push_back(std::move(chunk));
     if (!serving_) {
@@ -61,10 +78,13 @@ void BearerLink::serveNext() {
         util::Bytes chunk = std::move(queue_.front());
         queue_.pop_front();
         backlogBytes_ -= chunk.size();
+        metrics_.backlogBytes.add(-std::int64_t(chunk.size()));
         lastBusy_ = sim_.now();
 
         if (rng_.chance(params_.residualLossProbability)) {
             ++stats_.droppedRadio;
+            metrics_.droppedRadio.inc();
+            obs::Tracer::instance().instant("umts.rlc", "drop_radio", metricPrefix_);
         } else {
             // RAN traversal: base delay + gamma jitter, then alignment
             // to the next TTI boundary; delivery stays in order.
@@ -84,6 +104,8 @@ void BearerLink::serveNext() {
                 if (!stillAlive || !*stillAlive || epoch != epoch_) return;
                 ++stats_.chunksDelivered;
                 stats_.bytesDelivered += shared->size();
+                metrics_.chunksDelivered.inc();
+                metrics_.bytesDelivered.inc(shared->size());
                 if (deliver_) deliver_(std::move(*shared));
             });
         }
@@ -92,6 +114,7 @@ void BearerLink::serveNext() {
 }
 
 void BearerLink::clear() {
+    metrics_.backlogBytes.add(-std::int64_t(backlogBytes_));
     queue_.clear();
     backlogBytes_ = 0;
     serving_ = false;
@@ -127,7 +150,10 @@ RadioBearer::RadioBearer(sim::Simulator& simulator, const OperatorProfile& profi
                     profile.badStateRateFactor,
                 },
                 rng_.derive("dl"), "bearer.dl"),
-      rateIndex_(profile.initialUplinkIndex) {
+      rateIndex_(profile.initialUplinkIndex),
+      upgradesMetric_(obs::Registry::instance().counter("umts.bearer.upgrades")),
+      downgradesMetric_(obs::Registry::instance().counter("umts.bearer.downgrades")),
+      rrcPromotionsMetric_(obs::Registry::instance().counter("umts.bearer.rrc_promotions")) {
     scheduleBadState();
     if (profile_.onDemandAllocation)
         monitorTimer_ = sim_.schedule(sim::millis(200), [this] { monitorTick(); });
@@ -141,6 +167,8 @@ void RadioBearer::touchRrc() {
         // holding both directions (the 3G "first-packet lag").
         rrcState_ = RrcState::cell_dch;
         ++rrcPromotions_;
+        rrcPromotionsMetric_.inc();
+        obs::Tracer::instance().instant("umts.rrc", "promotion", "CELL_FACH -> CELL_DCH");
         const sim::SimTime ready = sim_.now() + profile_.fachPromotionDelay;
         uplink_.holdService(ready);
         downlink_.holdService(ready);
@@ -158,6 +186,7 @@ void RadioBearer::armRrcIdleTimer() {
         // Only demote if genuinely idle (nothing queued either way).
         if (uplink_.backlogBytes() == 0 && downlink_.backlogBytes() == 0) {
             rrcState_ = RrcState::cell_fach;
+            obs::Tracer::instance().instant("umts.rrc", "demotion", "CELL_DCH -> CELL_FACH");
             log_.debug() << "CELL_DCH -> CELL_FACH (idle)";
         } else {
             armRrcIdleTimer();
@@ -186,6 +215,8 @@ void RadioBearer::scheduleBadState() {
         const double meanMs = sim::toMillis(profile_.badStateMeanDuration);
         const double maxMs = sim::toMillis(profile_.badStateMaxDuration);
         const double durationMs = std::min(rng_.exponential(meanMs), maxMs);
+        obs::Tracer::instance().instant("umts.radio", "bad_state",
+                                        util::format("%.1fms", durationMs));
         log_.debug() << "radio bad state for " << durationMs << "ms";
         uplink_.degrade(sim::millis(durationMs));
         downlink_.degrade(sim::millis(durationMs));
@@ -202,7 +233,18 @@ void RadioBearer::applyUplinkRate(std::size_t index) {
                 << " kbps";
     rateIndex_ = index;
     uplink_.setRate(newRate);
-    if (newRate > oldRate) ++upgrades_;
+    if (newRate > oldRate) {
+        ++upgrades_;
+        upgradesMetric_.inc();
+        obs::Tracer::instance().instant(
+            "umts.bearer", "umts.bearer.upgrade",
+            util::format("%.0f -> %.0f kbps", oldRate / 1e3, newRate / 1e3));
+    } else {
+        downgradesMetric_.inc();
+        obs::Tracer::instance().instant(
+            "umts.bearer", "umts.bearer.downgrade",
+            util::format("%.0f -> %.0f kbps", oldRate / 1e3, newRate / 1e3));
+    }
     if (onUplinkRateChange) onUplinkRateChange(oldRate, newRate);
 }
 
@@ -226,10 +268,16 @@ void RadioBearer::monitorTick() {
             const sim::SimTime grantAt = saturationOnset_ + sim::seconds(grantDelaySec);
             log_.info() << "uplink saturated; upgrade grant scheduled at t="
                         << sim::toSeconds(grantAt) << "s";
+            // Span covering the admission-control wait: saturation
+            // detected -> grant applied (the flat part before the knee).
+            obs::Tracer::instance().begin("umts.bearer", "grant_wait",
+                                          util::format("grant at t=%.1fs",
+                                                       sim::toSeconds(grantAt)));
             grantTimer_ = sim_.scheduleAt(grantAt, [this] {
                 if (shutdown_) return;
                 grantPending_ = false;
                 saturationOnset_ = sim::SimTime{-1};
+                obs::Tracer::instance().end("umts.bearer", "grant_wait");
                 applyUplinkRate(rateIndex_ + 1);
             });
         }

@@ -5,6 +5,7 @@
 #include <functional>
 #include <memory>
 
+#include "obs/registry.hpp"
 #include "sim/simulator.hpp"
 #include "umts/profile.hpp"
 #include "util/bytes.hpp"
@@ -92,6 +93,20 @@ class BearerLink {
     sim::SimTime lastBusy_{0};
     std::uint64_t epoch_ = 0;
     BearerStats stats_;
+
+    // Registry-backed mirrors of BearerStats, named "umts.<tag>.*"
+    // (e.g. umts.bearer.ul.dropped_overflow); shared by name across
+    // bearer instances, so they aggregate over a whole run.
+    struct Metrics {
+        obs::Counter& chunksIn;
+        obs::Counter& chunksDelivered;
+        obs::Counter& droppedOverflow;
+        obs::Counter& droppedRadio;
+        obs::Counter& bytesDelivered;
+        obs::Gauge& backlogBytes;
+    };
+    std::string metricPrefix_;
+    Metrics metrics_;
 };
 
 /// The full radio access bearer for one PDP context: uplink + downlink
@@ -176,6 +191,11 @@ class RadioBearer {
     RrcState rrcState_ = RrcState::cell_dch;  ///< PDP activation implies DCH
     int rrcPromotions_ = 0;
     sim::EventHandle rrcIdleTimer_;
+
+    // Registry-backed rate-adaptation / RRC counters (umts.bearer.*).
+    obs::Counter& upgradesMetric_;
+    obs::Counter& downgradesMetric_;
+    obs::Counter& rrcPromotionsMetric_;
 };
 
 }  // namespace onelab::umts

@@ -1,5 +1,6 @@
 #include "umtsctl/backend.hpp"
 
+#include "obs/registry.hpp"
 #include "util/strings.hpp"
 
 namespace onelab::umtsctl {
@@ -29,13 +30,15 @@ void UmtsBackend::dispatch(const pl::Slice& caller, const std::vector<std::strin
                            pl::Vsys::Completion done) {
     if (args.empty()) {
         reply(done, exit_code::inval,
-              {"usage: umts start|stop|status|add destination <dst>|del destination <dst>"});
+              {"usage: umts start|stop|status|stats|add destination <dst>|del destination "
+               "<dst>"});
         return;
     }
     const std::string& verb = args[0];
     if (verb == "start") return cmdStart(caller, std::move(done));
     if (verb == "stop") return cmdStop(caller, std::move(done));
     if (verb == "status") return cmdStatus(caller, std::move(done));
+    if (verb == "stats") return cmdStats(caller, std::move(done));
     if ((verb == "add" || verb == "del") && args.size() == 3 && args[1] == "destination") {
         if (verb == "add") return cmdAddDestination(caller, args[2], std::move(done));
         return cmdDelDestination(caller, args[2], std::move(done));
@@ -252,6 +255,29 @@ void UmtsBackend::cmdStatus(const pl::Slice& caller, pl::Vsys::Completion done) 
     for (const std::string& destination : destinations_)
         lines.push_back("destination=" + destination);
     if (!state_.lastError.empty()) lines.push_back("last_error=" + state_.lastError);
+    reply(done, exit_code::ok, std::move(lines));
+}
+
+void UmtsBackend::cmdStats(const pl::Slice& caller, pl::Vsys::Completion done) {
+    (void)caller;  // any ACL'ed slice may read the node metrics
+    std::vector<std::string> lines;
+    for (const obs::MetricSample& sample : obs::Registry::instance().snapshot()) {
+        std::string value;
+        switch (sample.kind) {
+            case obs::MetricKind::counter:
+                value = std::to_string(sample.counterValue);
+                break;
+            case obs::MetricKind::gauge:
+                value = std::to_string(sample.gaugeValue);
+                break;
+            case obs::MetricKind::histogram:
+                value = util::format(
+                    "count=%llu sum=%.3f mean=%.3f", (unsigned long long)sample.count,
+                    sample.sum, sample.count ? sample.sum / double(sample.count) : 0.0);
+                break;
+        }
+        lines.push_back(sample.name + "=" + metricKindName(sample.kind) + ":" + value);
+    }
     reply(done, exit_code::ok, std::move(lines));
 }
 

@@ -86,6 +86,7 @@ class UmtsBackend {
     void cmdStart(const pl::Slice& caller, pl::Vsys::Completion done);
     void cmdStop(const pl::Slice& caller, pl::Vsys::Completion done);
     void cmdStatus(const pl::Slice& caller, pl::Vsys::Completion done);
+    void cmdStats(const pl::Slice& caller, pl::Vsys::Completion done);
     void cmdAddDestination(const pl::Slice& caller, const std::string& destination,
                            pl::Vsys::Completion done);
     void cmdDelDestination(const pl::Slice& caller, const std::string& destination,

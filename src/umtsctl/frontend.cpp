@@ -2,6 +2,7 @@
 
 #include "umtsctl/backend.hpp"
 #include "util/strings.hpp"
+#include "util/table.hpp"
 
 namespace onelab::umtsctl {
 
@@ -68,6 +69,38 @@ void UmtsFrontend::start(std::function<void(util::Result<UmtsReport>)> done) {
 
 void UmtsFrontend::status(std::function<void(util::Result<UmtsReport>)> done) {
     call({"status"}, std::move(done));
+}
+
+void UmtsFrontend::stats(std::function<void(util::Result<std::string>)> done) {
+    node_.vsys().invoke(
+        slice_, "umts", {"stats"},
+        [done = std::move(done)](util::Result<pl::VsysResult> result) {
+            if (!done) return;
+            if (!result.ok()) {
+                done(result.error());
+                return;
+            }
+            if (!result.value().ok()) {
+                done(toError(result.value()));
+                return;
+            }
+            // Backend lines are `<metric>=<kind>:<value>`.
+            util::Table table({"metric", "type", "value"});
+            for (const std::string& line : result.value().output) {
+                const auto eq = line.find('=');
+                if (eq == std::string::npos) continue;
+                const std::string name = line.substr(0, eq);
+                std::string rest = line.substr(eq + 1);
+                std::string kind;
+                const auto colon = rest.find(':');
+                if (colon != std::string::npos) {
+                    kind = rest.substr(0, colon);
+                    rest = rest.substr(colon + 1);
+                }
+                table.addRow({name, kind, rest});
+            }
+            done(table.render());
+        });
 }
 
 void UmtsFrontend::stop(std::function<void(util::Result<void>)> done) {

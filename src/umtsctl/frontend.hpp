@@ -33,6 +33,9 @@ class UmtsFrontend {
     void stop(std::function<void(util::Result<void>)> done);
     /// `umts status`.
     void status(std::function<void(util::Result<UmtsReport>)> done);
+    /// `umts stats`: fetch the node's live metrics registry and render
+    /// it as an aligned metric/type/value table.
+    void stats(std::function<void(util::Result<std::string>)> done);
     /// `umts add destination <dst>`: route `dst` via the UMTS link.
     void addDestination(const std::string& destination,
                         std::function<void(util::Result<void>)> done);

@@ -23,22 +23,86 @@ LogConfig& LogConfig::instance() {
 }
 
 LogConfig::LogConfig() {
-    sink_ = [](std::string_view line) { std::fprintf(stderr, "%.*s\n", int(line.size()), line.data()); };
+    sink_ = std::make_shared<const Sink>([](std::string_view line) {
+        std::fprintf(stderr, "%.*s\n", int(line.size()), line.data());
+    });
 }
 
-void LogConfig::setSink(std::function<void(std::string_view)> sink) { sink_ = std::move(sink); }
+LogConfig::Sink LogConfig::setSink(Sink sink) {
+    auto next = std::make_shared<const Sink>(std::move(sink));
+    std::lock_guard<std::mutex> lock(mutex_);
+    Sink previous = sink_ ? *sink_ : Sink{};
+    sink_ = std::move(next);
+    return previous;
+}
 
-void LogConfig::setClock(std::function<std::int64_t()> clock) { clock_ = std::move(clock); }
+void LogConfig::setClock(Clock clock) {
+    auto next = clock ? std::make_shared<const Clock>(std::move(clock)) : nullptr;
+    std::lock_guard<std::mutex> lock(mutex_);
+    clock_ = std::move(next);
+}
 
 void LogConfig::emit(LogLevel level, std::string_view component, std::string_view message) {
-    if (level < level_ || !sink_) return;
+    if (level < level_.load(std::memory_order_relaxed)) return;
+    // Copy the hook pointers under the lock, then call outside it: a
+    // concurrent setSink/setClock cannot destroy a hook mid-call, and
+    // a sink that itself logs cannot deadlock.
+    std::shared_ptr<const Sink> sink;
+    std::shared_ptr<const Clock> clock;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        sink = sink_;
+        clock = clock_;
+    }
+    if (!sink || !*sink) return;
     std::ostringstream line;
-    if (clock_) {
-        const double seconds = double(clock_()) / 1e9;
+    if (clock && *clock) {
+        const double seconds = double((*clock)()) / 1e9;
         line << '[' << std::fixed << std::setprecision(6) << seconds << "s] ";
     }
     line << logLevelName(level) << ' ' << component << ": " << message;
-    sink_(line.str());
+    (*sink)(line.str());
+}
+
+LogCapture::LogCapture(std::size_t capacity) : state_(std::make_shared<State>()) {
+    state_->capacity = capacity == 0 ? 1 : capacity;
+    previous_ = LogConfig::instance().setSink([state = state_](std::string_view line) {
+        std::lock_guard<std::mutex> lock(state->mutex);
+        if (state->lines.size() >= state->capacity) {
+            state->lines.pop_front();
+            ++state->dropped;
+        }
+        state->lines.emplace_back(line);
+    });
+}
+
+LogCapture::~LogCapture() { (void)LogConfig::instance().setSink(std::move(previous_)); }
+
+std::vector<std::string> LogCapture::lines() const {
+    std::lock_guard<std::mutex> lock(state_->mutex);
+    return {state_->lines.begin(), state_->lines.end()};
+}
+
+std::size_t LogCapture::lineCount() const {
+    std::lock_guard<std::mutex> lock(state_->mutex);
+    return state_->lines.size();
+}
+
+std::uint64_t LogCapture::dropped() const {
+    std::lock_guard<std::mutex> lock(state_->mutex);
+    return state_->dropped;
+}
+
+bool LogCapture::contains(std::string_view needle) const {
+    std::lock_guard<std::mutex> lock(state_->mutex);
+    for (const std::string& line : state_->lines)
+        if (line.find(needle) != std::string::npos) return true;
+    return false;
+}
+
+void LogCapture::clear() {
+    std::lock_guard<std::mutex> lock(state_->mutex);
+    state_->lines.clear();
 }
 
 Logger::Line::~Line() {

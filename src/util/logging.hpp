@@ -1,10 +1,15 @@
 #pragma once
 
+#include <atomic>
 #include <cstdint>
+#include <deque>
 #include <functional>
+#include <memory>
+#include <mutex>
 #include <sstream>
 #include <string>
 #include <string_view>
+#include <vector>
 
 namespace onelab::util {
 
@@ -17,24 +22,64 @@ enum class LogLevel : std::uint8_t { trace, debug, info, warn, error, off };
 /// hook so log lines carry simulated (not wall-clock) time.
 class LogConfig {
   public:
+    using Sink = std::function<void(std::string_view)>;
+    using Clock = std::function<std::int64_t()>;
+
     static LogConfig& instance();
 
     void setLevel(LogLevel level) noexcept { level_ = level; }
     [[nodiscard]] LogLevel level() const noexcept { return level_; }
 
     /// Sink receives fully formatted lines. Default writes to stderr.
-    void setSink(std::function<void(std::string_view)> sink);
+    /// Returns the previous sink so callers (LogCapture) can restore
+    /// it. A sink installed while another thread is inside emit() is
+    /// safe: the emitting thread keeps the old sink alive via a
+    /// shared_ptr until its call returns.
+    Sink setSink(Sink sink);
 
     /// Clock hook: returns current simulated time in nanoseconds.
-    void setClock(std::function<std::int64_t()> clock);
+    void setClock(Clock clock);
 
     void emit(LogLevel level, std::string_view component, std::string_view message);
 
   private:
     LogConfig();
-    LogLevel level_ = LogLevel::warn;
-    std::function<void(std::string_view)> sink_;
-    std::function<std::int64_t()> clock_;
+    std::atomic<LogLevel> level_{LogLevel::warn};
+    std::mutex mutex_;  ///< guards the sink/clock pointers, not the calls
+    std::shared_ptr<const Sink> sink_;
+    std::shared_ptr<const Clock> clock_;
+};
+
+/// Thread-safe in-memory ring-buffer sink for tests: installs itself
+/// as the LogConfig sink on construction and restores the previous
+/// sink on destruction. Lines beyond `capacity` evict the oldest.
+class LogCapture {
+  public:
+    explicit LogCapture(std::size_t capacity = 1024);
+    ~LogCapture();
+
+    LogCapture(const LogCapture&) = delete;
+    LogCapture& operator=(const LogCapture&) = delete;
+
+    /// Snapshot of the captured lines, oldest first.
+    [[nodiscard]] std::vector<std::string> lines() const;
+    [[nodiscard]] std::size_t lineCount() const;
+    /// Lines evicted because the ring was full.
+    [[nodiscard]] std::uint64_t dropped() const;
+    [[nodiscard]] bool contains(std::string_view needle) const;
+    void clear();
+
+  private:
+    struct State {
+        mutable std::mutex mutex;
+        std::deque<std::string> lines;
+        std::size_t capacity;
+        std::uint64_t dropped = 0;
+    };
+    /// Shared with the installed sink closure so a capture destroyed
+    /// mid-emit does not leave the closure with a dangling buffer.
+    std::shared_ptr<State> state_;
+    LogConfig::Sink previous_;
 };
 
 /// Lightweight component logger: cheap to construct, stream-style use:

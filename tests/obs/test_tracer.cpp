@@ -1,0 +1,149 @@
+#include "obs/trace.hpp"
+
+#include <gtest/gtest.h>
+
+namespace onelab::obs {
+namespace {
+
+TEST(TracerTest, DisabledRecordsNothing) {
+    Tracer tracer;
+    tracer.instant("cat", "nope");
+    tracer.begin("cat", "nope");
+    tracer.end("cat", "nope");
+    EXPECT_EQ(tracer.eventCount(), 0u);
+}
+
+TEST(TracerTest, ClockStampsSimTime) {
+    Tracer tracer;
+    tracer.setEnabled(true);
+    std::int64_t now = 5'000'000;
+    tracer.setClock([&now] { return now; });
+    tracer.instant("cat", "a");
+    now = 7'000'000;
+    tracer.instant("cat", "b");
+    const auto events = tracer.events();
+    ASSERT_EQ(events.size(), 2u);
+    EXPECT_EQ(events[0].timeNs, 5'000'000);
+    EXPECT_EQ(events[1].timeNs, 7'000'000);
+}
+
+TEST(TracerTest, RingOverwritesOldestAndCountsDrops) {
+    Tracer tracer;
+    tracer.setEnabled(true);
+    tracer.setCapacity(4);
+    for (int i = 0; i < 6; ++i) tracer.instant("cat", std::to_string(i));
+    EXPECT_EQ(tracer.eventCount(), 4u);
+    EXPECT_EQ(tracer.dropped(), 2u);
+    const auto events = tracer.events();  // oldest first
+    ASSERT_EQ(events.size(), 4u);
+    EXPECT_EQ(events[0].name, "2");
+    EXPECT_EQ(events[3].name, "5");
+}
+
+TEST(TracerTest, ShrinkingCapacityKeepsNewest) {
+    Tracer tracer;
+    tracer.setEnabled(true);
+    for (int i = 0; i < 8; ++i) tracer.instant("cat", std::to_string(i));
+    tracer.setCapacity(3);
+    const auto events = tracer.events();
+    ASSERT_EQ(events.size(), 3u);
+    EXPECT_EQ(events[0].name, "5");
+    EXPECT_EQ(events[2].name, "7");
+    EXPECT_EQ(tracer.dropped(), 5u);
+}
+
+TEST(TracerTest, ChromeJsonShape) {
+    Tracer tracer;
+    tracer.setEnabled(true);
+    tracer.setClock([] { return std::int64_t(1'234'000); });
+    tracer.setThread(2);
+    tracer.begin("umts.bearer", "grant_wait");
+    tracer.instant("umts.bearer", "upgrade", "64 -> 384 kbps");
+    tracer.end("umts.bearer", "grant_wait");
+    const std::string json = tracer.exportChromeJson();
+    EXPECT_NE(json.find("{\"traceEvents\":["), std::string::npos);
+    EXPECT_NE(json.find("\"ph\":\"B\""), std::string::npos);
+    EXPECT_NE(json.find("\"ph\":\"E\""), std::string::npos);
+    EXPECT_NE(json.find("\"ph\":\"i\""), std::string::npos);
+    EXPECT_NE(json.find("\"s\":\"g\""), std::string::npos);  // global instant
+    EXPECT_NE(json.find("\"ts\":1234.000"), std::string::npos);  // us, 3 decimals
+    EXPECT_NE(json.find("\"pid\":1,\"tid\":2"), std::string::npos);
+    EXPECT_NE(json.find("\"args\":{\"detail\":\"64 -> 384 kbps\"}"), std::string::npos);
+}
+
+TEST(TracerTest, JsonStringsAreEscaped) {
+    Tracer tracer;
+    tracer.setEnabled(true);
+    tracer.instant("cat", "quote\"back\\slash", "line\nbreak");
+    const std::string json = tracer.exportChromeJson();
+    EXPECT_NE(json.find("quote\\\"back\\\\slash"), std::string::npos);
+    EXPECT_NE(json.find("line\\nbreak"), std::string::npos);
+}
+
+TEST(TracerTest, IdenticalSequencesExportIdenticalJson) {
+    const auto run = [] {
+        Tracer tracer;
+        tracer.setEnabled(true);
+        std::int64_t now = 0;
+        tracer.setClock([&now] { return now; });
+        for (int i = 0; i < 50; ++i) {
+            now += 1'000'000;
+            tracer.begin("cat", "op" + std::to_string(i));
+            tracer.instant("cat", "tick", "i=" + std::to_string(i));
+            tracer.end("cat", "op" + std::to_string(i));
+        }
+        return tracer.exportChromeJson();
+    };
+    EXPECT_EQ(run(), run());
+}
+
+TEST(TracerTest, ClearDropsEventsKeepsConfiguration) {
+    Tracer tracer;
+    tracer.setEnabled(true);
+    tracer.setClock([] { return std::int64_t(42); });
+    tracer.instant("cat", "x");
+    tracer.clear();
+    EXPECT_EQ(tracer.eventCount(), 0u);
+    EXPECT_EQ(tracer.dropped(), 0u);
+    tracer.instant("cat", "y");  // clock survives the clear
+    ASSERT_EQ(tracer.eventCount(), 1u);
+    EXPECT_EQ(tracer.events()[0].timeNs, 42);
+}
+
+TEST(TracerTest, SpanRecordsBeginEndPair) {
+    // Span uses the process-wide tracer; save/restore its state.
+    Tracer& tracer = Tracer::instance();
+    tracer.clear();
+    tracer.setEnabled(true);
+    tracer.setClock([] { return std::int64_t(1'000); });
+    {
+        Tracer::Span span("modem.at", "ATD*99#", "dial");
+        tracer.instant("modem.at", "final", "CONNECT");
+    }
+    tracer.setEnabled(false);
+    const auto events = tracer.events();
+    tracer.setClock(nullptr);
+    tracer.clear();
+    ASSERT_EQ(events.size(), 3u);
+    EXPECT_EQ(events[0].phase, TraceEvent::Phase::begin);
+    EXPECT_EQ(events[0].name, "ATD*99#");
+    EXPECT_EQ(events[0].detail, "dial");
+    EXPECT_EQ(events[1].phase, TraceEvent::Phase::instant);
+    EXPECT_EQ(events[2].phase, TraceEvent::Phase::end);
+    EXPECT_EQ(events[2].name, "ATD*99#");
+}
+
+TEST(TracerTest, ThreadLaneIsStamped) {
+    Tracer tracer;
+    tracer.setEnabled(true);
+    tracer.instant("cat", "lane1");
+    tracer.setThread(2);
+    tracer.instant("cat", "lane2");
+    const auto events = tracer.events();
+    ASSERT_EQ(events.size(), 2u);
+    EXPECT_EQ(events[0].thread, 1);
+    EXPECT_EQ(events[1].thread, 2);
+}
+
+}  // namespace
+}  // namespace onelab::obs

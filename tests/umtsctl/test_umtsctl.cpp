@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include "scenario/testbed.hpp"
+#include "umtsctl/frontend.hpp"
 
 namespace onelab::umtsctl {
 namespace {
@@ -210,6 +211,37 @@ TEST_F(UmtsctlTest, BadDestinationRejected) {
               exit_code::inval);
     EXPECT_EQ(invoke(tb.umtsSlice(), {"add", "destination", "10.0.0.0/99"}).exitCode,
               exit_code::inval);
+}
+
+TEST_F(UmtsctlTest, StatsVerbDumpsLiveRegistry) {
+    ASSERT_TRUE(tb.startUmts().ok());
+    const auto stats = invoke(tb.umtsSlice(), {"stats"});
+    EXPECT_EQ(stats.exitCode, exit_code::ok);
+    // Counters registered at construction across the layers show up,
+    // tagged with their kind; the AT dialogue has run by now.
+    EXPECT_TRUE(hasLine(stats, "modem.at.commands=counter:"));
+    EXPECT_TRUE(hasLine(stats, "umts.bearer.upgrades=counter:"));
+    bool atNonZero = false;
+    for (const std::string& line : stats.output)
+        if (line.find("modem.at.commands=counter:0") == std::string::npos &&
+            line.find("modem.at.commands=counter:") != std::string::npos)
+            atNonZero = true;
+    EXPECT_TRUE(atNonZero);
+}
+
+TEST_F(UmtsctlTest, FrontendStatsRendersTable) {
+    ASSERT_TRUE(tb.startUmts().ok());
+    UmtsFrontend frontend{tb.napoli(), tb.umtsSlice()};
+    std::optional<util::Result<std::string>> rendered;
+    frontend.stats([&](util::Result<std::string> r) { rendered = std::move(r); });
+    tb.sim().runUntil(tb.sim().now() + sim::seconds(1.0));
+    ASSERT_TRUE(rendered.has_value());
+    ASSERT_TRUE(rendered->ok()) << rendered->error().message;
+    const std::string& table = rendered->value();
+    EXPECT_NE(table.find("metric"), std::string::npos);
+    EXPECT_NE(table.find("type"), std::string::npos);
+    EXPECT_NE(table.find("modem.at.commands"), std::string::npos);
+    EXPECT_NE(table.find("counter"), std::string::npos);
 }
 
 TEST_F(UmtsctlTest, UnknownVerbRejected) {

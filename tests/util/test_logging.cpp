@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <thread>
 #include <vector>
 
 namespace onelab::util {
@@ -70,6 +72,70 @@ TEST_F(LoggingTest, OffSilencesEverything) {
 TEST_F(LoggingTest, LevelNames) {
     EXPECT_EQ(logLevelName(LogLevel::trace), "TRACE");
     EXPECT_EQ(logLevelName(LogLevel::off), "OFF");
+}
+
+TEST_F(LoggingTest, SetSinkReturnsPreviousSink) {
+    std::vector<std::string> other;
+    auto previous = LogConfig::instance().setSink(
+        [&other](std::string_view line) { other.emplace_back(line); });
+    Logger log{"test"};
+    log.info() << "to other";
+    EXPECT_EQ(other.size(), 1u);
+    EXPECT_TRUE(lines.empty());
+    // Restoring the returned sink routes lines back to the fixture.
+    LogConfig::instance().setSink(std::move(previous));
+    log.info() << "back";
+    EXPECT_EQ(other.size(), 1u);
+    EXPECT_EQ(lines.size(), 1u);
+}
+
+TEST_F(LoggingTest, CaptureCollectsAndRestores) {
+    Logger log{"cap"};
+    {
+        LogCapture capture;
+        log.info() << "captured line";
+        EXPECT_EQ(capture.lineCount(), 1u);
+        EXPECT_TRUE(capture.contains("captured line"));
+        EXPECT_FALSE(capture.contains("missing"));
+        EXPECT_TRUE(lines.empty());  // diverted away from the fixture sink
+    }
+    log.info() << "after capture";  // previous sink restored on destruction
+    ASSERT_EQ(lines.size(), 1u);
+    EXPECT_NE(lines[0].find("after capture"), std::string::npos);
+}
+
+TEST_F(LoggingTest, CaptureRingEvictsOldest) {
+    Logger log{"cap"};
+    LogCapture capture{3};
+    for (int i = 0; i < 5; ++i) log.info() << "line " << i;
+    EXPECT_EQ(capture.lineCount(), 3u);
+    EXPECT_EQ(capture.dropped(), 2u);
+    const auto kept = capture.lines();
+    EXPECT_NE(kept.front().find("line 2"), std::string::npos);
+    EXPECT_NE(kept.back().find("line 4"), std::string::npos);
+    capture.clear();
+    EXPECT_EQ(capture.lineCount(), 0u);
+}
+
+TEST_F(LoggingTest, EmitIsSafeAgainstConcurrentSinkSwap) {
+    // One thread hammers the logger while another keeps swapping the
+    // sink; emit must never call a half-replaced sink (the race this
+    // guards against crashed by invoking a moved-from std::function).
+    std::atomic<bool> stop{false};
+    std::atomic<std::uint64_t> delivered{0};
+    auto counting = [&delivered](std::string_view) { ++delivered; };
+    LogConfig::instance().setSink(counting);
+    std::thread writer{[&stop] {
+        Logger log{"race"};
+        while (!stop.load()) log.info() << "spin";
+    }};
+    // Keep swapping until the writer has demonstrably emitted through
+    // at least one of the swapped-in sinks.
+    for (int i = 0; i < 2000 || delivered.load() == 0; ++i)
+        LogConfig::instance().setSink(counting);
+    stop = true;
+    writer.join();
+    EXPECT_GT(delivered.load(), 0u);
 }
 
 }  // namespace
