@@ -1,0 +1,185 @@
+// Extension experiment: shared-cell contention. The paper measured one
+// UMTS-equipped node per cell; this sweep camps N = 1..8 UMTS nodes on
+// the SAME commercial cell and drives the §3.1 CBR workload from every
+// node at once. The cell's uplink budget (two full-rate DCHs' worth)
+// makes the on-demand ladder a contended resource: per-UE goodput
+// collapses from the solo ~350-400 kbps saturation toward the 144 kbps
+// initial grant, upgrade requests start getting DENIED, and past
+// N = 5 admissions get trimmed down the ladder. RTT inflates in step
+// (deeper RLC queues at the lower serving rate).
+//
+// Usage: ext_fleet_contention [seed] [--csv path] [--telemetry dir]
+//   --csv       per-UE rows for every N as CSV
+//   --telemetry per-N metrics.json + trace.json under <dir>/n<k>/
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "obs/telemetry.hpp"
+#include "obs/trace.hpp"
+#include "ppp/lcp.hpp"
+#include "scenario/fleet.hpp"
+#include "util/strings.hpp"
+#include "util/table.hpp"
+
+using namespace onelab;
+using namespace onelab::scenario;
+
+namespace {
+
+struct SweepPoint {
+    std::size_t ueCount = 0;
+    std::vector<FleetCbrRun> runs;
+    std::uint64_t cellDeniedUpgrades = 0;
+    std::uint64_t cellTrimmedAdmissions = 0;
+};
+
+double meanGoodputKbps(const SweepPoint& point) {
+    double sum = 0.0;
+    for (const FleetCbrRun& run : point.runs) sum += run.summary.meanBitrateKbps;
+    return point.runs.empty() ? 0.0 : sum / double(point.runs.size());
+}
+
+double meanRttMs(const SweepPoint& point) {
+    double sum = 0.0;
+    for (const FleetCbrRun& run : point.runs) sum += run.summary.meanRttSeconds;
+    return point.runs.empty() ? 0.0 : sum * 1e3 / double(point.runs.size());
+}
+
+SweepPoint runSweepPoint(std::size_t ueCount, std::uint64_t seed, double durationSeconds,
+                         const std::string& telemetryDir) {
+    const bool telemetry = !telemetryDir.empty();
+    if (telemetry) {
+        obs::beginRun();
+        ppp::resetMagicEntropy();
+    }
+
+    SweepPoint point;
+    point.ueCount = ueCount;
+    Fleet fleet{makeUniformFleet(ueCount, seed)};
+    const auto started = fleet.startAll();
+    if (!started.ok())
+        throw std::runtime_error("fleet start failed: " + started.error().message);
+    const auto routed = fleet.addDestinationAll();
+    if (!routed.ok())
+        throw std::runtime_error("fleet routing failed: " + routed.error().message);
+
+    point.runs = fleet.runCbrAll(durationSeconds);
+    point.cellDeniedUpgrades = fleet.operatorNetwork().cell().deniedUpgrades();
+    point.cellTrimmedAdmissions = fleet.operatorNetwork().cell().trimmedAdmissions();
+
+    if (telemetry) {
+        obs::Tracer::instance().setEnabled(false);
+        const auto written =
+            obs::writeTelemetry(telemetryDir + "/n" + std::to_string(ueCount));
+        if (!written.ok())
+            throw std::runtime_error("telemetry export failed: " + written.error().message);
+    }
+    return point;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    std::uint64_t seed = 42;
+    std::string csvPath;
+    std::string telemetryDir;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--csv") == 0 && i + 1 < argc)
+            csvPath = argv[++i];
+        else if (std::strcmp(argv[i], "--telemetry") == 0 && i + 1 < argc)
+            telemetryDir = argv[++i];
+        else
+            seed = std::strtoull(argv[i], nullptr, 10);
+    }
+    constexpr double kDuration = 120.0;
+    constexpr std::size_t kMaxUes = 8;
+
+    std::printf("=== Extension: shared-cell contention (N-UE fleet) ===\n");
+    std::printf("N UMTS nodes, one commercial cell (768 kbps uplink budget),\n"
+                "1 Mbps CBR uplink from every node for %.0f s, seed %llu\n\n",
+                kDuration, (unsigned long long)seed);
+
+    std::vector<SweepPoint> sweep;
+    for (std::size_t n = 1; n <= kMaxUes; ++n)
+        sweep.push_back(runSweepPoint(n, seed, kDuration, telemetryDir));
+
+    util::Table table({"N", "per-UE goodput [kbps]", "mean RTT [ms]", "upgrades", "denied",
+                       "trimmed"});
+    for (const SweepPoint& point : sweep) {
+        int upgrades = 0;
+        int denied = 0;
+        int trimmed = 0;
+        for (const FleetCbrRun& run : point.runs) {
+            upgrades += run.bearerUpgrades;
+            denied += run.deniedUpgrades;
+            trimmed += run.admissionTrimmed ? 1 : 0;
+        }
+        table.addRow({std::to_string(point.ueCount),
+                      util::format("%.1f", meanGoodputKbps(point)),
+                      util::format("%.1f", meanRttMs(point)), std::to_string(upgrades),
+                      std::to_string(denied), std::to_string(trimmed)});
+    }
+    std::printf("%s\n", table.render().c_str());
+
+    if (!csvPath.empty()) {
+        std::ofstream csv{csvPath};
+        csv << "n,imsi,goodput_kbps,mean_rtt_ms,max_rtt_ms,loss_pct,upgrades,denied,"
+               "admission_trimmed\n";
+        for (const SweepPoint& point : sweep)
+            for (const FleetCbrRun& run : point.runs)
+                csv << point.ueCount << ',' << run.imsi << ','
+                    << util::format("%.3f", run.summary.meanBitrateKbps) << ','
+                    << util::format("%.3f", run.summary.meanRttSeconds * 1e3) << ','
+                    << util::format("%.3f", run.summary.maxRttSeconds * 1e3) << ','
+                    << util::format("%.3f", run.summary.lossRate * 100.0) << ','
+                    << run.bearerUpgrades << ',' << run.deniedUpgrades << ','
+                    << (run.admissionTrimmed ? 1 : 0) << '\n';
+        std::printf("per-UE series written to %s\n", csvPath.c_str());
+    }
+
+    // --- shape checks ---
+    int failures = 0;
+    const auto check = [&failures](bool ok, const char* what) {
+        std::printf("  [%s] %s\n", ok ? "PASS" : "FAIL", what);
+        if (!ok) ++failures;
+    };
+    const SweepPoint& solo = sweep[0];
+    const SweepPoint& four = sweep[3];
+    const double soloGoodput = meanGoodputKbps(solo);
+
+    std::printf("shape checks:\n");
+    check(soloGoodput >= 250.0 && soloGoodput <= 450.0,
+          "solo run saturates near the paper's ~350-400 kbps (post-knee mean)");
+    bool fourBelowSolo = true;
+    for (const FleetCbrRun& run : four.runs)
+        if (run.summary.meanBitrateKbps >= soloGoodput) fourBelowSolo = false;
+    check(fourBelowSolo, "N=4: every per-UE goodput strictly below the solo saturation");
+    check(four.cellDeniedUpgrades + four.cellTrimmedAdmissions >= 1,
+          "N=4: at least one upgrade denied or admission trimmed");
+    check(meanRttMs(four) > meanRttMs(solo), "N=4: RTT inflated vs solo");
+    bool monotoneDenials = sweep[7].cellDeniedUpgrades + sweep[7].cellTrimmedAdmissions >=
+                           four.cellDeniedUpgrades + four.cellTrimmedAdmissions;
+    check(monotoneDenials, "N=8 at least as contended as N=4");
+
+    // Determinism: the same seed must reproduce the same numbers.
+    const SweepPoint replay = runSweepPoint(4, seed, kDuration, "");
+    bool identical = replay.runs.size() == four.runs.size();
+    for (std::size_t i = 0; identical && i < replay.runs.size(); ++i) {
+        identical = replay.runs[i].summary.meanBitrateKbps ==
+                        four.runs[i].summary.meanBitrateKbps &&
+                    replay.runs[i].summary.meanRttSeconds ==
+                        four.runs[i].summary.meanRttSeconds &&
+                    replay.runs[i].deniedUpgrades == four.runs[i].deniedUpgrades;
+    }
+    check(identical, "N=4 replay with the same seed is bit-identical");
+
+    std::printf("\nPer-UE goodput collapses toward the 144 kbps initial grant as the\n"
+                "cell's 768 kbps budget is shared; the ~50 s upgrade that saved the\n"
+                "solo flow (Fig. 4) is denied under contention, and past N=5 the\n"
+                "admission itself is trimmed down the bearer ladder.\n");
+    return failures == 0 ? 0 : 1;
+}

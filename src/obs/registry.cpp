@@ -53,6 +53,45 @@ void Histogram::reset() noexcept {
     sum_.store(0.0, std::memory_order_relaxed);
 }
 
+NameLease::NameLease(Registry& registry, std::string prefix)
+    : registry_(&registry), prefix_(std::move(prefix)) {
+    registry_->claimName(prefix_);
+}
+
+NameLease::~NameLease() { release(); }
+
+NameLease::NameLease(NameLease&& other) noexcept
+    : registry_(other.registry_), prefix_(std::move(other.prefix_)) {
+    other.registry_ = nullptr;
+}
+
+NameLease& NameLease::operator=(NameLease&& other) noexcept {
+    if (this != &other) {
+        release();
+        registry_ = other.registry_;
+        prefix_ = std::move(other.prefix_);
+        other.registry_ = nullptr;
+    }
+    return *this;
+}
+
+void NameLease::release() noexcept {
+    if (registry_) registry_->releaseName(prefix_);
+    registry_ = nullptr;
+}
+
+void Registry::claimName(const std::string& prefix) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (!leasedPrefixes_.insert(prefix).second)
+        throw std::logic_error("metric name prefix '" + prefix +
+                               "' already claimed by a live instance");
+}
+
+void Registry::releaseName(const std::string& prefix) noexcept {
+    std::lock_guard<std::mutex> lock(mutex_);
+    leasedPrefixes_.erase(prefix);
+}
+
 Registry& Registry::instance() {
     static Registry registry;
     return registry;

@@ -5,6 +5,7 @@
 #include <map>
 #include <memory>
 #include <mutex>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -97,6 +98,40 @@ struct MetricSample {
     std::vector<std::uint64_t> bucketCounts;   ///< histogram
 };
 
+class Registry;
+
+/// RAII exclusive claim on a metric name prefix. A component that
+/// registers a per-instance metric family (one RadioBearer's
+/// "umts.bearer.<imsi>.*", say) holds a lease on the family prefix:
+/// a second live claim of the same prefix throws std::logic_error
+/// instead of silently aliasing the first instance's counters. The
+/// claim is released on destruction, so a stop/restart cycle may
+/// re-register the same prefix (and keep accumulating into the same
+/// registry entries, which is the intended aggregate-across-restarts
+/// behavior).
+class NameLease {
+  public:
+    NameLease() = default;
+    /// Claims `prefix` in `registry`; throws std::logic_error when the
+    /// prefix is already held by another live lease.
+    NameLease(Registry& registry, std::string prefix);
+    ~NameLease();
+
+    NameLease(const NameLease&) = delete;
+    NameLease& operator=(const NameLease&) = delete;
+    NameLease(NameLease&& other) noexcept;
+    NameLease& operator=(NameLease&& other) noexcept;
+
+    /// Drop the claim early (idempotent).
+    void release() noexcept;
+    [[nodiscard]] bool held() const noexcept { return registry_ != nullptr; }
+    [[nodiscard]] const std::string& prefix() const noexcept { return prefix_; }
+
+  private:
+    Registry* registry_ = nullptr;
+    std::string prefix_;
+};
+
 /// Process-wide registry of hierarchically named metrics
 /// ("umts.bearer.ul.dropped_overflow"). Registration takes a mutex and
 /// is meant for construction time only; the returned references stay
@@ -129,6 +164,8 @@ class Registry {
     [[nodiscard]] std::size_t size() const;
 
   private:
+    friend class NameLease;
+
     struct Entry {
         MetricKind kind{};
         std::unique_ptr<Counter> counter;
@@ -137,9 +174,12 @@ class Registry {
     };
 
     Entry& lookup(const std::string& name, MetricKind kind);
+    void claimName(const std::string& prefix);
+    void releaseName(const std::string& prefix) noexcept;
 
     mutable std::mutex mutex_;
     std::map<std::string, Entry> metrics_;
+    std::set<std::string> leasedPrefixes_;
 };
 
 }  // namespace onelab::obs

@@ -1,0 +1,196 @@
+#include "scenario/fleet.hpp"
+
+#include "ditg/receiver.hpp"
+#include "ditg/sender.hpp"
+
+namespace onelab::scenario {
+
+FleetConfig makeUniformFleet(std::size_t ueCount, std::uint64_t seed,
+                             umts::OperatorProfile profile) {
+    FleetConfig config;
+    config.seed = seed;
+    config.operatorProfile = std::move(profile);
+    for (std::size_t i = 0; i < ueCount; ++i) {
+        UmtsNodeSiteConfig site;
+        site.hostname = "planetlab" + std::to_string(i + 1) + ".unina.it";
+        site.ethAddress = net::Ipv4Address{143, 225, 229, std::uint8_t(10 + i)};
+        // IMSIs count up from the historic single-node identity.
+        site.imsi = "22288000000000" + std::to_string(1 + i);
+        site.umtsSliceName = "unina_umts";
+        site.dialerSeedTag = i == 0 ? "dialer" : "dialer-" + std::to_string(i);
+        config.umtsSites.push_back(std::move(site));
+    }
+    WiredSiteConfig receiver;
+    receiver.hostname = "planetlab1.inria.fr";
+    receiver.address = net::Ipv4Address{138, 96, 250, 20};
+    receiver.sliceNames = {"inria_recv"};
+    config.wiredSites.push_back(std::move(receiver));
+    return config;
+}
+
+Fleet::Fleet(FleetConfig config) : config_(std::move(config)), rng_(config_.seed) {
+    internet_ = std::make_unique<net::Internet>(sim_, rng_.derive("internet"));
+    operator_ = std::make_unique<umts::UmtsNetwork>(sim_, *internet_, config_.operatorProfile,
+                                                    rng_.derive("operator"));
+
+    for (const UmtsNodeSiteConfig& siteConfig : config_.umtsSites)
+        umtsSites_.push_back(
+            std::make_unique<UmtsNodeSite>(sim_, *internet_, *operator_, rng_, siteConfig));
+    for (const WiredSiteConfig& siteConfig : config_.wiredSites)
+        wiredSites_.push_back(std::make_unique<WiredSite>(sim_, *internet_, siteConfig));
+
+    // Wired transit delays between every site pair (and the operator's
+    // core toward each). Ordered UE x wired first to match the
+    // two-node testbed's historical call sequence exactly.
+    for (auto& ue : umtsSites_)
+        for (auto& wired : wiredSites_)
+            internet_->setTransitDelay(ue->eth(), wired->eth(), config_.ethTransitOneWay);
+    for (std::size_t i = 0; i < umtsSites_.size(); ++i)
+        for (std::size_t k = i + 1; k < umtsSites_.size(); ++k)
+            internet_->setTransitDelay(umtsSites_[i]->eth(), umtsSites_[k]->eth(),
+                                       config_.ethTransitOneWay);
+    for (std::size_t i = 0; i < wiredSites_.size(); ++i)
+        for (std::size_t k = i + 1; k < wiredSites_.size(); ++k)
+            internet_->setTransitDelay(wiredSites_[i]->eth(), wiredSites_[k]->eth(),
+                                       config_.ethTransitOneWay);
+    for (auto& wired : wiredSites_)
+        internet_->setTransitDelay(operator_->wanInterface(), wired->eth(),
+                                   config_.ggsnTransitOneWay);
+    for (auto& ue : umtsSites_)
+        internet_->setTransitDelay(operator_->wanInterface(), ue->eth(),
+                                   config_.ggsnTransitOneWay);
+
+    // The operator's resolver knows every fleet hostname.
+    for (auto& ue : umtsSites_) operator_->addDnsRecord(ue->hostname(), ue->ethAddress());
+    for (auto& wired : wiredSites_)
+        operator_->addDnsRecord(wired->hostname(), wired->address());
+}
+
+Fleet::~Fleet() = default;
+
+util::Result<umtsctl::UmtsReport> Fleet::startUmts(std::size_t index, sim::SimTime timeout) {
+    return umtsSites_.at(index)->startUmts(timeout);
+}
+
+util::Result<void> Fleet::startAll(sim::SimTime timeout) {
+    std::vector<std::optional<util::Result<umtsctl::UmtsReport>>> outcomes(umtsSites_.size());
+    for (std::size_t i = 0; i < umtsSites_.size(); ++i)
+        umtsSites_[i]->frontend().start(
+            [&outcomes, i](util::Result<umtsctl::UmtsReport> result) {
+                outcomes[i] = std::move(result);
+            });
+    const sim::SimTime deadline = sim_.now() + timeout;
+    const auto allDone = [&outcomes] {
+        for (const auto& outcome : outcomes)
+            if (!outcome) return false;
+        return true;
+    };
+    while (!allDone() && sim_.now() < deadline) sim_.runUntil(sim_.now() + sim::millis(100));
+    for (std::size_t i = 0; i < outcomes.size(); ++i) {
+        if (!outcomes[i])
+            return util::err(util::Error::Code::timeout,
+                             "umts start timed out on " + umtsSites_[i]->hostname());
+        if (!outcomes[i]->ok())
+            return util::err(outcomes[i]->error().code,
+                             umtsSites_[i]->hostname() + ": " + outcomes[i]->error().message);
+    }
+    return util::Result<void>{};
+}
+
+util::Result<void> Fleet::addUmtsDestination(std::size_t index, const std::string& destination,
+                                             sim::SimTime timeout) {
+    return umtsSites_.at(index)->addUmtsDestination(destination, timeout);
+}
+
+util::Result<void> Fleet::addDestinationAll(sim::SimTime timeout) {
+    if (wiredSites_.empty())
+        return util::err(util::Error::Code::state, "fleet has no wired receiver site");
+    const std::string destination = wiredSites_.front()->address().str() + "/32";
+    for (auto& ue : umtsSites_) {
+        const auto added = ue->addUmtsDestination(destination, timeout);
+        if (!added.ok())
+            return util::err(added.error().code,
+                             ue->hostname() + ": " + added.error().message);
+    }
+    return util::Result<void>{};
+}
+
+util::Result<void> Fleet::stopUmts(std::size_t index, sim::SimTime timeout) {
+    return umtsSites_.at(index)->stopUmts(timeout);
+}
+
+FleetCbrRun Fleet::runCbr(std::size_t index, double durationSeconds, double windowSeconds) {
+    return runCbrOnSites({index}, durationSeconds, windowSeconds).front();
+}
+
+std::vector<FleetCbrRun> Fleet::runCbrAll(double durationSeconds, double windowSeconds) {
+    std::vector<std::size_t> indices(umtsSites_.size());
+    for (std::size_t i = 0; i < indices.size(); ++i) indices[i] = i;
+    return runCbrOnSites(indices, durationSeconds, windowSeconds);
+}
+
+std::vector<FleetCbrRun> Fleet::runCbrOnSites(const std::vector<std::size_t>& indices,
+                                              double durationSeconds, double windowSeconds) {
+    if (wiredSites_.empty()) throw std::runtime_error("fleet has no wired receiver site");
+    WiredSite& receiverSite = *wiredSites_.front();
+
+    auto recvSocket = receiverSite.node().openSliceUdp(receiverSite.firstSlice(), 9001);
+    if (!recvSocket.ok())
+        throw std::runtime_error("receiver socket: " + recvSocket.error().message);
+    ditg::ItgRecv receiver{*recvSocket.value()};
+
+    struct ActiveFlow {
+        std::size_t siteIndex;
+        std::uint16_t flowId;
+        net::UdpSocket* socket;
+        std::unique_ptr<ditg::ItgSend> sender;
+    };
+    std::vector<ActiveFlow> flows;
+    flows.reserve(indices.size());
+    for (const std::size_t index : indices) {
+        UmtsNodeSite& site = *umtsSites_.at(index);
+        auto sendSocket = site.node().openSliceUdp(site.umtsSlice());
+        if (!sendSocket.ok())
+            throw std::runtime_error(site.hostname() + " sender socket: " +
+                                     sendSocket.error().message);
+        // One flow id per site so a single receiver log disambiguates.
+        const auto flowId = std::uint16_t(10 + index);
+        ditg::FlowSpec spec = ditg::cbr1MbpsFlow(flowId, durationSeconds);
+        util::RandomStream flowRng = rng_.derive("flow@" + site.imsi());
+        auto sender = std::make_unique<ditg::ItgSend>(sim_, *sendSocket.value(),
+                                                      std::move(spec),
+                                                      receiverSite.address(), 9001,
+                                                      std::move(flowRng));
+        flows.push_back(ActiveFlow{index, flowId, sendSocket.value(), std::move(sender)});
+    }
+
+    const sim::SimTime flowStart = sim_.now();
+    for (ActiveFlow& flow : flows) flow.sender->start();
+    // Run the flows plus a drain tail (RLC buffers + ACK round trips).
+    sim_.runUntil(flowStart + sim::seconds(durationSeconds) + sim::seconds(10.0));
+
+    std::vector<FleetCbrRun> runs;
+    runs.reserve(flows.size());
+    for (ActiveFlow& flow : flows) {
+        UmtsNodeSite& site = *umtsSites_[flow.siteIndex];
+        FleetCbrRun run;
+        run.imsi = site.imsi();
+        run.summary = ditg::ItgDec::summarize(flow.sender->log(), receiver.log(flow.flowId));
+        (void)windowSeconds;
+        run.packetsSent = flow.sender->packetsSent();
+        run.packetsReceived = run.summary.received;
+        // The live session's bearer knows its contention history.
+        for (std::size_t k = 0; k < operator_->activeSessions(); ++k) {
+            umts::UmtsSession* session = operator_->sessionAt(k);
+            if (!session || session->imsi() != site.imsi()) continue;
+            run.bearerUpgrades = session->bearer().upgradeCount();
+            run.deniedUpgrades = session->bearer().deniedUpgrades();
+            run.admissionTrimmed = session->bearer().admissionTrimmed();
+            break;
+        }
+        runs.push_back(std::move(run));
+    }
+    return runs;
+}
+
+}  // namespace onelab::scenario

@@ -2,114 +2,39 @@
 
 namespace onelab::scenario {
 
-Testbed::Testbed(TestbedConfig config) : config_(std::move(config)), rng_(config_.seed) {
-    internet_ = std::make_unique<net::Internet>(sim_, rng_.derive("internet"));
+Testbed::Testbed(TestbedConfig config) : config_(std::move(config)) {
+    FleetConfig fleetConfig;
+    fleetConfig.seed = config_.seed;
+    fleetConfig.operatorProfile = config_.operatorProfile;
+    fleetConfig.ethTransitOneWay = config_.ethTransitOneWay;
+    fleetConfig.ggsnTransitOneWay = config_.ggsnTransitOneWay;
 
-    // --- operator network (radio + core + GGSN) ---
-    operator_ = std::make_unique<umts::UmtsNetwork>(sim_, *internet_, config_.operatorProfile,
-                                                    rng_.derive("operator"));
+    UmtsNodeSiteConfig napoli;
+    napoli.hostname = "planetlab1.unina.it";
+    napoli.ethAddress = napoliEth_;
+    napoli.card = config_.card;
+    napoli.simPin = config_.simPin;
+    napoli.backendPinOverride = config_.backendPinOverride;
+    napoli.umtsSliceName = config_.umtsSliceName;
+    napoli.extraSliceNames = {config_.otherSliceName};
+    napoli.dialerCompression = config_.dialerCompression;
+    napoli.extraRequiredModules = config_.extraRequiredModules;
+    napoli.dialerSeedTag = "dialer";  // the historical testbed stream
+    napoli.ethernet.accessRateBps = config_.ethAccessRateBps;
+    napoli.ethernet.jitterStddevMillis = config_.ethJitterStddevMillis;
+    fleetConfig.umtsSites.push_back(std::move(napoli));
 
-    // --- PlanetLab nodes ---
-    napoli_ = std::make_unique<pl::NodeOs>(sim_, "planetlab1.unina.it");
-    inria_ = std::make_unique<pl::NodeOs>(sim_, "planetlab1.inria.fr");
+    WiredSiteConfig inria;
+    inria.hostname = "planetlab1.inria.fr";
+    inria.address = inriaEth_;
+    inria.sliceNames = {config_.inriaSliceName};
+    inria.ethernet.accessRateBps = config_.ethAccessRateBps;
+    inria.ethernet.jitterStddevMillis = config_.ethJitterStddevMillis;
+    fleetConfig.wiredSites.push_back(std::move(inria));
 
-    auto wireEthernet = [&](pl::NodeOs& node, net::Ipv4Address address) -> net::Interface& {
-        net::Interface& eth = node.stack().addInterface("eth0");
-        eth.setAddress(address);
-        eth.setUp(true);
-        net::AccessLink link;
-        link.rateBitsPerSecond = config_.ethAccessRateBps;
-        link.baseDelay = sim::micros(200);
-        link.jitterStddevMillis = config_.ethJitterStddevMillis;
-        internet_->attach(eth, link);
-        node.stack().router().table(net::PolicyRouter::kMainTable)
-            .addRoute(net::Route{net::Prefix::any(), "eth0", std::nullopt, 0});
-        return eth;
-    };
-    net::Interface& napoliEth = wireEthernet(*napoli_, napoliEth_);
-    net::Interface& inriaEth = wireEthernet(*inria_, inriaEth_);
-
-    internet_->setTransitDelay(napoliEth, inriaEth, config_.ethTransitOneWay);
-    internet_->setTransitDelay(operator_->wanInterface(), inriaEth, config_.ggsnTransitOneWay);
-    internet_->setTransitDelay(operator_->wanInterface(), napoliEth, config_.ggsnTransitOneWay);
-
-    // The operator's resolver knows the testbed hostnames.
-    operator_->addDnsRecord(napoli_->hostname(), napoliEth_);
-    operator_->addDnsRecord(inria_->hostname(), inriaEth_);
-
-    // --- slices ---
-    umtsSlice_ = &napoli_->createSlice(config_.umtsSliceName);
-    otherSlice_ = &napoli_->createSlice(config_.otherSliceName);
-    inriaSlice_ = &inria_->createSlice(config_.inriaSliceName);
-
-    // --- the UMTS card on its TTY (/dev/ttyUSB0 in the paper) ---
-    tty_ = std::make_unique<sim::Pipe>(sim_);
-    modem::ModemConfig modemConfig;
-    modemConfig.pin = config_.simPin;
-    std::vector<std::string> cardInit;
-    if (config_.card == CardKind::globetrotter) {
-        modem_ = std::make_unique<modem::GlobetrotterModem>(sim_, operator_.get(), modemConfig);
-        cardInit = {"AT_OPSYS=3"};  // prefer 3G
-    } else {
-        modem_ = std::make_unique<modem::HuaweiE620Modem>(sim_, operator_.get(), modemConfig);
-        cardInit = {"AT^CURC=0"};  // silence ^RSSI chatter
-    }
-    modem_->attachTty(tty_->b());
-
-    // --- the umts backend (root context) + vsys wiring ---
-    umtsctl::UmtsBackendConfig backendConfig;
-    backendConfig.comgt.pin =
-        config_.backendPinOverride.empty() ? config_.simPin : config_.backendPinOverride;
-    backendConfig.comgt.extraInit = cardInit;
-    // The card's driver, on top of the PPP stack. The vanilla `nozomi`
-    // does not build for the PlanetLab kernel; the OneLab patch does.
-    backendConfig.requiredModules.push_back(
-        config_.card == CardKind::globetrotter ? "nozomi_onelab" : "pl2303");
-    for (const std::string& module : config_.extraRequiredModules)
-        backendConfig.requiredModules.push_back(module);
-    backendConfig.dialer.apn = config_.operatorProfile.apn;
-    backendConfig.dialer.username = "onelab";
-    backendConfig.dialer.password = "onelab";
-    backendConfig.dialer.ccp.enable = config_.dialerCompression;
-    backendConfig.dialer.seed = rng_.derive("dialer").seed();
-    backend_ = std::make_unique<umtsctl::UmtsBackend>(sim_, *napoli_, tty_->a(), backendConfig);
-    backend_->dropDtr = [this] { modem_->dropDtr(); };
-    modem_->onCarrierLost = [this] { backend_->notifyCarrierLost(); };
-    backend_->installVsys();
-    napoli_->vsys().allow("umts", config_.umtsSliceName);
-
-    frontend_ = std::make_unique<umtsctl::UmtsFrontend>(*napoli_, *umtsSlice_);
+    fleet_ = std::make_unique<Fleet>(std::move(fleetConfig));
 }
 
 Testbed::~Testbed() = default;
-
-util::Result<umtsctl::UmtsReport> Testbed::startUmts(sim::SimTime timeout) {
-    std::optional<util::Result<umtsctl::UmtsReport>> outcome;
-    frontend_->start([&](util::Result<umtsctl::UmtsReport> result) { outcome = std::move(result); });
-    const sim::SimTime deadline = sim_.now() + timeout;
-    while (!outcome && sim_.now() < deadline) sim_.runUntil(sim_.now() + sim::millis(100));
-    if (!outcome) return util::err(util::Error::Code::timeout, "umts start timed out");
-    return std::move(*outcome);
-}
-
-util::Result<void> Testbed::addUmtsDestination(const std::string& destination,
-                                               sim::SimTime timeout) {
-    std::optional<util::Result<void>> outcome;
-    frontend_->addDestination(destination,
-                              [&](util::Result<void> result) { outcome = std::move(result); });
-    const sim::SimTime deadline = sim_.now() + timeout;
-    while (!outcome && sim_.now() < deadline) sim_.runUntil(sim_.now() + sim::millis(10));
-    if (!outcome) return util::err(util::Error::Code::timeout, "add destination timed out");
-    return std::move(*outcome);
-}
-
-util::Result<void> Testbed::stopUmts(sim::SimTime timeout) {
-    std::optional<util::Result<void>> outcome;
-    frontend_->stop([&](util::Result<void> result) { outcome = std::move(result); });
-    const sim::SimTime deadline = sim_.now() + timeout;
-    while (!outcome && sim_.now() < deadline) sim_.runUntil(sim_.now() + sim::millis(10));
-    if (!outcome) return util::err(util::Error::Code::timeout, "umts stop timed out");
-    return std::move(*outcome);
-}
 
 }  // namespace onelab::scenario

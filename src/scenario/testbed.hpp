@@ -2,17 +2,10 @@
 
 #include <memory>
 
-#include "modem/cards.hpp"
-#include "net/internet.hpp"
-#include "pl/node_os.hpp"
-#include "umts/network.hpp"
-#include "umtsctl/backend.hpp"
-#include "umtsctl/frontend.hpp"
+#include "scenario/fleet.hpp"
+#include "scenario/site.hpp"
 
 namespace onelab::scenario {
-
-/// Which UMTS card sits in the Napoli node.
-enum class CardKind { globetrotter, huawei_e620 };
 
 /// Testbed parameters. Defaults reproduce the paper's §3 setup: a
 /// UMTS-equipped PlanetLab node in Napoli, an Ethernet-connected node
@@ -51,6 +44,11 @@ struct TestbedConfig {
 /// node's TTY, and the umts vsys extension installed and ACL'ed. Every
 /// component is the real module; nothing here is a shortcut around the
 /// production code paths.
+///
+/// Since the fleet refactor this is a thin two-node façade over a
+/// 1-UE / 1-wired-site Fleet: the same builders that compose N-UE
+/// shared-cell fleets compose this, and every accessor simply
+/// forwards. Existing tests and benches compile and behave unchanged.
 class Testbed {
   public:
     explicit Testbed(TestbedConfig config = {});
@@ -59,54 +57,61 @@ class Testbed {
     Testbed(const Testbed&) = delete;
     Testbed& operator=(const Testbed&) = delete;
 
-    [[nodiscard]] sim::Simulator& sim() noexcept { return sim_; }
-    [[nodiscard]] net::Internet& internet() noexcept { return *internet_; }
-    [[nodiscard]] umts::UmtsNetwork& operatorNetwork() noexcept { return *operator_; }
-    [[nodiscard]] pl::NodeOs& napoli() noexcept { return *napoli_; }
-    [[nodiscard]] pl::NodeOs& inria() noexcept { return *inria_; }
-    [[nodiscard]] modem::UmtsModem& card() noexcept { return *modem_; }
-    [[nodiscard]] umtsctl::UmtsBackend& backend() noexcept { return *backend_; }
+    [[nodiscard]] sim::Simulator& sim() noexcept { return fleet_->sim(); }
+    [[nodiscard]] net::Internet& internet() noexcept { return fleet_->internet(); }
+    [[nodiscard]] umts::UmtsNetwork& operatorNetwork() noexcept {
+        return fleet_->operatorNetwork();
+    }
+    [[nodiscard]] pl::NodeOs& napoli() noexcept { return fleet_->umtsSite(0).node(); }
+    [[nodiscard]] pl::NodeOs& inria() noexcept { return fleet_->wiredSite(0).node(); }
+    [[nodiscard]] modem::UmtsModem& card() noexcept { return fleet_->umtsSite(0).card(); }
+    [[nodiscard]] umtsctl::UmtsBackend& backend() noexcept {
+        return fleet_->umtsSite(0).backend();
+    }
 
     /// The experiment slice on the Napoli node (in the umts ACL).
-    [[nodiscard]] pl::Slice& umtsSlice() noexcept { return *umtsSlice_; }
+    [[nodiscard]] pl::Slice& umtsSlice() noexcept { return fleet_->umtsSite(0).umtsSlice(); }
     /// A second slice, NOT entitled to the UMTS interface.
-    [[nodiscard]] pl::Slice& otherSlice() noexcept { return *otherSlice_; }
+    [[nodiscard]] pl::Slice& otherSlice() noexcept {
+        return *fleet_->umtsSite(0).slice(config_.otherSliceName);
+    }
     /// Receiver slice on the INRIA node.
-    [[nodiscard]] pl::Slice& inriaSlice() noexcept { return *inriaSlice_; }
+    [[nodiscard]] pl::Slice& inriaSlice() noexcept {
+        return fleet_->wiredSite(0).firstSlice();
+    }
 
     /// Frontend for the umts slice.
-    [[nodiscard]] umtsctl::UmtsFrontend& umtsCommand() noexcept { return *frontend_; }
+    [[nodiscard]] umtsctl::UmtsFrontend& umtsCommand() noexcept {
+        return fleet_->umtsSite(0).frontend();
+    }
 
     [[nodiscard]] net::Ipv4Address napoliEthAddress() const noexcept { return napoliEth_; }
     [[nodiscard]] net::Ipv4Address inriaEthAddress() const noexcept { return inriaEth_; }
 
     [[nodiscard]] const TestbedConfig& config() const noexcept { return config_; }
 
+    /// The underlying one-UE fleet (for tests that grow the scenario).
+    [[nodiscard]] Fleet& fleet() noexcept { return *fleet_; }
+
     // --- synchronous drivers (run the simulator until completion) ---
 
     /// `umts start` + wait. Returns the connection report.
-    util::Result<umtsctl::UmtsReport> startUmts(sim::SimTime timeout = sim::seconds(60.0));
+    util::Result<umtsctl::UmtsReport> startUmts(sim::SimTime timeout = sim::seconds(60.0)) {
+        return fleet_->startUmts(0, timeout);
+    }
     /// `umts add destination` + wait.
     util::Result<void> addUmtsDestination(const std::string& destination,
-                                          sim::SimTime timeout = sim::seconds(5.0));
+                                          sim::SimTime timeout = sim::seconds(5.0)) {
+        return fleet_->addUmtsDestination(0, destination, timeout);
+    }
     /// `umts stop` + wait.
-    util::Result<void> stopUmts(sim::SimTime timeout = sim::seconds(10.0));
+    util::Result<void> stopUmts(sim::SimTime timeout = sim::seconds(10.0)) {
+        return fleet_->stopUmts(0, timeout);
+    }
 
   private:
     TestbedConfig config_;
-    sim::Simulator sim_;
-    util::RandomStream rng_;
-    std::unique_ptr<net::Internet> internet_;
-    std::unique_ptr<umts::UmtsNetwork> operator_;
-    std::unique_ptr<pl::NodeOs> napoli_;
-    std::unique_ptr<pl::NodeOs> inria_;
-    std::unique_ptr<sim::Pipe> tty_;
-    std::unique_ptr<modem::UmtsModem> modem_;
-    std::unique_ptr<umtsctl::UmtsBackend> backend_;
-    std::unique_ptr<umtsctl::UmtsFrontend> frontend_;
-    pl::Slice* umtsSlice_ = nullptr;
-    pl::Slice* otherSlice_ = nullptr;
-    pl::Slice* inriaSlice_ = nullptr;
+    std::unique_ptr<Fleet> fleet_;
     net::Ipv4Address napoliEth_{143, 225, 229, 10};
     net::Ipv4Address inriaEth_{138, 96, 250, 20};
 };

@@ -121,11 +121,23 @@ void BearerLink::clear() {
     ++epoch_;
 }
 
+namespace {
+/// Metric family tag for one bearer: "bearer.<imsi>" when the session's
+/// IMSI is known, the legacy "bearer" for standalone (test) bearers.
+std::string bearerTag(const std::string& imsi) {
+    return imsi.empty() ? std::string{"bearer"} : "bearer." + imsi;
+}
+}  // namespace
+
 RadioBearer::RadioBearer(sim::Simulator& simulator, const OperatorProfile& profile,
-                         util::RandomStream rng)
+                         util::RandomStream rng, std::string imsi, CellCapacity* cell)
     : sim_(simulator),
       profile_(profile),
       rng_(std::move(rng)),
+      imsi_(std::move(imsi)),
+      cell_(cell),
+      nameLease_(obs::Registry::instance(), "umts." + bearerTag(imsi_)),
+      log_("umts." + bearerTag(imsi_)),
       uplink_(simulator,
               BearerLink::Params{
                   profile.uplinkRatesBps.at(profile.initialUplinkIndex),
@@ -137,7 +149,7 @@ RadioBearer::RadioBearer(sim::Simulator& simulator, const OperatorProfile& profi
                   profile.residualLossProbability,
                   profile.badStateRateFactor,
               },
-              rng_.derive("ul"), "bearer.ul"),
+              rng_.derive("ul"), bearerTag(imsi_) + ".ul"),
       downlink_(simulator,
                 BearerLink::Params{
                     profile.downlinkRateBps,
@@ -149,11 +161,44 @@ RadioBearer::RadioBearer(sim::Simulator& simulator, const OperatorProfile& profi
                     profile.residualLossProbability,
                     profile.badStateRateFactor,
                 },
-                rng_.derive("dl"), "bearer.dl"),
+                rng_.derive("dl"), bearerTag(imsi_) + ".dl"),
       rateIndex_(profile.initialUplinkIndex),
-      upgradesMetric_(obs::Registry::instance().counter("umts.bearer.upgrades")),
-      downgradesMetric_(obs::Registry::instance().counter("umts.bearer.downgrades")),
-      rrcPromotionsMetric_(obs::Registry::instance().counter("umts.bearer.rrc_promotions")) {
+      upgradesMetric_(obs::Registry::instance().counter("umts." + bearerTag(imsi_) +
+                                                        ".upgrades")),
+      downgradesMetric_(obs::Registry::instance().counter("umts." + bearerTag(imsi_) +
+                                                          ".downgrades")),
+      rrcPromotionsMetric_(obs::Registry::instance().counter("umts." + bearerTag(imsi_) +
+                                                             ".rrc_promotions")),
+      deniedUpgradesMetric_(obs::Registry::instance().counter("umts." + bearerTag(imsi_) +
+                                                              ".denied_upgrades")),
+      trimmedAdmissionsMetric_(obs::Registry::instance().counter(
+          "umts." + bearerTag(imsi_) + ".trimmed_admissions")) {
+    if (cell_) {
+        // Admission: ask for the profile's initial grant, trimming down
+        // the ladder while the pool cannot cover it. The lowest step is
+        // always granted (possibly oversubscribing) — a loaded cell
+        // degrades, it does not refuse service.
+        std::size_t index = profile_.initialUplinkIndex;
+        while (index > 0 && profile_.uplinkRatesBps[index] > cell_->uplinkAvailableBps())
+            --index;
+        grantedUplinkBps_ = profile_.uplinkRatesBps[index];
+        cell_->reserveUplink(grantedUplinkBps_);
+        if (index < profile_.initialUplinkIndex) {
+            admissionTrimmed_ = true;
+            trimmedAdmissionsMetric_.inc();
+            cell_->countTrimmedAdmission();
+            log_.info() << "admission trimmed: "
+                        << profile_.uplinkRatesBps[profile_.initialUplinkIndex] / 1e3
+                        << " -> " << grantedUplinkBps_ / 1e3 << " kbps uplink";
+            rateIndex_ = index;
+            uplink_.setRate(grantedUplinkBps_);
+        }
+        grantedDownlinkBps_ =
+            cell_->admitDownlink(profile_.downlinkRateBps, profile_.downlinkFloorBps);
+        if (grantedDownlinkBps_ < profile_.downlinkRateBps)
+            downlink_.setRate(grantedDownlinkBps_);
+        waiterId_ = cell_->addWaiter([this] { onCapacityFreed(); });
+    }
     scheduleBadState();
     if (profile_.onDemandAllocation)
         monitorTimer_ = sim_.schedule(sim::millis(200), [this] { monitorTick(); });
@@ -205,6 +250,19 @@ void RadioBearer::shutdown() {
     if (rrcIdleTimer_.valid()) sim_.cancel(rrcIdleTimer_);
     uplink_.clear();
     downlink_.clear();
+    if (cell_) {
+        // Leave the waiter list before releasing so our own freed
+        // budget is not offered back to us; the release synchronously
+        // re-grants waiting bearers (detach-triggered upgrade).
+        cell_->removeWaiter(waiterId_);
+        cell_->releaseDownlink(grantedDownlinkBps_);
+        grantedDownlinkBps_ = 0.0;
+        const double freed = grantedUplinkBps_;
+        grantedUplinkBps_ = 0.0;
+        cell_->releaseUplink(freed);
+        cell_ = nullptr;
+    }
+    nameLease_.release();
 }
 
 void RadioBearer::scheduleBadState() {
@@ -248,6 +306,47 @@ void RadioBearer::applyUplinkRate(std::size_t index) {
     if (onUplinkRateChange) onUplinkRateChange(oldRate, newRate);
 }
 
+bool RadioBearer::tryGrantUplinkIndex(std::size_t index) {
+    index = std::min(index, profile_.uplinkRatesBps.size() - 1);
+    if (!cell_) {
+        applyUplinkRate(index);
+        return true;
+    }
+    const double want = profile_.uplinkRatesBps[index];
+    if (want > grantedUplinkBps_) {
+        if (!cell_->tryGrowUplink(want - grantedUplinkBps_)) return false;
+        grantedUplinkBps_ = want;
+        applyUplinkRate(index);
+    } else if (want < grantedUplinkBps_) {
+        const double freed = grantedUplinkBps_ - want;
+        grantedUplinkBps_ = want;
+        applyUplinkRate(index);
+        // Released last: the synchronous waiter re-grant may re-enter
+        // other bearers, which must observe our settled state.
+        cell_->releaseUplink(freed);
+    } else {
+        applyUplinkRate(index);
+    }
+    return true;
+}
+
+void RadioBearer::onCapacityFreed() {
+    if (shutdown_ || !cell_) return;
+    // A trimmed admission recovers toward the profile's initial grant
+    // before any on-demand upgrade is considered.
+    while (rateIndex_ < profile_.initialUplinkIndex) {
+        if (!tryGrantUplinkIndex(rateIndex_ + 1)) return;
+    }
+    if (upgradeWaiting_ && rateIndex_ + 1 < profile_.uplinkRatesBps.size()) {
+        // The admission-control delay was already paid when the
+        // upgrade was denied; a freed budget re-grants immediately.
+        if (tryGrantUplinkIndex(rateIndex_ + 1)) {
+            upgradeWaiting_ = false;
+            log_.info() << "waiting upgrade re-granted after capacity release";
+        }
+    }
+}
+
 void RadioBearer::monitorTick() {
     if (shutdown_) return;
     const auto threshold =
@@ -257,7 +356,8 @@ void RadioBearer::monitorTick() {
     if (saturated) {
         if (saturationOnset_ < sim::SimTime{0}) saturationOnset_ = sim_.now();
         const bool sustained = sim_.now() - saturationOnset_ >= profile_.upgradeSustain;
-        if (sustained && !grantPending_ && rateIndex_ + 1 < profile_.uplinkRatesBps.size()) {
+        if (sustained && !grantPending_ && !upgradeWaiting_ &&
+            rateIndex_ + 1 < profile_.uplinkRatesBps.size()) {
             // The network's admission control takes its time: the new
             // grant arrives a long, operator-dependent delay after the
             // demand first appeared (observed as ~50 s in the paper).
@@ -278,15 +378,30 @@ void RadioBearer::monitorTick() {
                 grantPending_ = false;
                 saturationOnset_ = sim::SimTime{-1};
                 obs::Tracer::instance().end("umts.bearer", "grant_wait");
-                applyUplinkRate(rateIndex_ + 1);
+                if (!tryGrantUplinkIndex(rateIndex_ + 1)) {
+                    // The cell has no headroom: admission control denies
+                    // the upgrade. Park until another UE releases
+                    // capacity (downgrade or detach) re-grants us.
+                    ++deniedUpgrades_;
+                    deniedUpgradesMetric_.inc();
+                    if (cell_) cell_->countDeniedUpgrade();
+                    upgradeWaiting_ = true;
+                    obs::Tracer::instance().instant("umts.bearer", "upgrade_denied",
+                                                    "cell capacity exhausted");
+                    log_.info() << "uplink upgrade denied (cell capacity exhausted); "
+                                   "waiting for release";
+                }
             });
         }
     } else {
         if (!grantPending_) saturationOnset_ = sim::SimTime{-1};
-        // Idle long enough: the network reclaims the fat bearer.
-        if (rateIndex_ > profile_.initialUplinkIndex && uplink_.backlogBytes() == 0 &&
+        // Idle long enough: the network reclaims the fat bearer (and a
+        // parked upgrade request — the demand is gone).
+        if (uplink_.backlogBytes() == 0 &&
             sim_.now() - uplink_.lastBusy() >= profile_.downgradeIdle) {
-            applyUplinkRate(profile_.initialUplinkIndex);
+            upgradeWaiting_ = false;
+            if (rateIndex_ > profile_.initialUplinkIndex)
+                tryGrantUplinkIndex(profile_.initialUplinkIndex);
         }
     }
     monitorTimer_ = sim_.schedule(sim::millis(200), [this] { monitorTick(); });

@@ -7,6 +7,7 @@
 
 #include "obs/registry.hpp"
 #include "sim/simulator.hpp"
+#include "umts/cell.hpp"
 #include "umts/profile.hpp"
 #include "util/bytes.hpp"
 #include "util/logging.hpp"
@@ -113,10 +114,22 @@ class BearerLink {
 /// BearerLinks, a shared bad-state (fading / shared-cell congestion)
 /// process that pauses both, and the on-demand uplink rate allocation
 /// responsible for the paper's Fig. 4 knee at ~50 s.
+///
+/// When attached to a CellCapacity pool every grant is an allocation
+/// from the shared budget: the admission grant can be trimmed down the
+/// ladder (lowest step always granted), an on-demand upgrade can be
+/// denied when the pool is dry — the bearer then waits and is
+/// re-granted the moment another UE releases capacity (detach or
+/// downgrade) — and the downlink is trimmed against a guaranteed
+/// floor. With a non-empty `imsi` all metrics live under the
+/// per-instance prefix "umts.bearer.<imsi>.*" and the prefix is
+/// exclusively leased for the bearer's lifetime, so two bearers can
+/// never silently alias each other's counters.
 class RadioBearer {
   public:
     RadioBearer(sim::Simulator& simulator, const OperatorProfile& profile,
-                util::RandomStream rng);
+                util::RandomStream rng, std::string imsi = "",
+                CellCapacity* cell = nullptr);
     ~RadioBearer();
 
     RadioBearer(const RadioBearer&) = delete;
@@ -156,6 +169,16 @@ class RadioBearer {
     [[nodiscard]] const BearerStats& uplinkStats() const noexcept { return uplink_.stats(); }
     [[nodiscard]] const BearerStats& downlinkStats() const noexcept { return downlink_.stats(); }
 
+    // --- shared-cell contention (all zero without a pool) ---
+    /// Upgrade attempts refused because the cell budget was exhausted.
+    [[nodiscard]] int deniedUpgrades() const noexcept { return deniedUpgrades_; }
+    /// Whether the admission grant was trimmed below the profile's
+    /// initial ladder step.
+    [[nodiscard]] bool admissionTrimmed() const noexcept { return admissionTrimmed_; }
+    /// Whether a denied upgrade is parked waiting for capacity.
+    [[nodiscard]] bool upgradeWaiting() const noexcept { return upgradeWaiting_; }
+    [[nodiscard]] const std::string& imsi() const noexcept { return imsi_; }
+
     /// Fires on every uplink rate change (old, new) — surfaced by
     /// `umts status` and the ablation benches.
     std::function<void(double, double)> onUplinkRateChange;
@@ -167,12 +190,22 @@ class RadioBearer {
     void scheduleBadState();
     void monitorTick();
     void applyUplinkRate(std::size_t index);
+    /// Move the pool reservation to ladder step `index` (grow or
+    /// shrink) and apply the rate. Returns false when the cell cannot
+    /// cover the growth; the reservation is left unchanged.
+    bool tryGrantUplinkIndex(std::size_t index);
+    /// Cell waiter callback: capacity was released somewhere — recover
+    /// a trimmed admission and retry a denied upgrade.
+    void onCapacityFreed();
     void touchRrc();
     void armRrcIdleTimer();
 
     sim::Simulator& sim_;
     OperatorProfile profile_;
     util::RandomStream rng_;
+    std::string imsi_;
+    CellCapacity* cell_ = nullptr;
+    obs::NameLease nameLease_;
     util::Logger log_{"umts.bearer"};
     BearerLink uplink_;
     BearerLink downlink_;
@@ -180,6 +213,14 @@ class RadioBearer {
     std::size_t rateIndex_;
     int upgrades_ = 0;
     bool shutdown_ = false;
+
+    // Shared-cell allocation state.
+    double grantedUplinkBps_ = 0.0;
+    double grantedDownlinkBps_ = 0.0;
+    int deniedUpgrades_ = 0;
+    bool admissionTrimmed_ = false;
+    bool upgradeWaiting_ = false;
+    CellCapacity::WaiterId waiterId_ = 0;
 
     // Saturation tracking for on-demand allocation.
     sim::SimTime saturationOnset_{-1};
@@ -192,10 +233,14 @@ class RadioBearer {
     int rrcPromotions_ = 0;
     sim::EventHandle rrcIdleTimer_;
 
-    // Registry-backed rate-adaptation / RRC counters (umts.bearer.*).
+    // Registry-backed rate-adaptation / RRC / contention counters,
+    // named "umts.bearer.<imsi>.*" (or the legacy "umts.bearer.*"
+    // when no imsi is given).
     obs::Counter& upgradesMetric_;
     obs::Counter& downgradesMetric_;
     obs::Counter& rrcPromotionsMetric_;
+    obs::Counter& deniedUpgradesMetric_;
+    obs::Counter& trimmedAdmissionsMetric_;
 };
 
 }  // namespace onelab::umts

@@ -1,0 +1,96 @@
+#include "umts/cell.hpp"
+
+#include <algorithm>
+#include <vector>
+
+namespace onelab::umts {
+
+CellCapacity::CellCapacity(double uplinkCapacityBps, double downlinkCapacityBps)
+    : uplinkCapacityBps_(uplinkCapacityBps),
+      downlinkCapacityBps_(downlinkCapacityBps),
+      uplinkAllocatedMetric_(obs::Registry::instance().gauge("umts.cell.ul_allocated_bps")),
+      downlinkAllocatedMetric_(obs::Registry::instance().gauge("umts.cell.dl_allocated_bps")),
+      deniedUpgradesMetric_(obs::Registry::instance().counter("umts.cell.denied_upgrades")),
+      trimmedAdmissionsMetric_(
+          obs::Registry::instance().counter("umts.cell.trimmed_admissions")),
+      regrantsMetric_(obs::Registry::instance().counter("umts.cell.regrants")) {}
+
+double CellCapacity::uplinkAvailableBps() const noexcept {
+    return std::max(0.0, uplinkCapacityBps_ - uplinkAllocatedBps_);
+}
+
+void CellCapacity::reserveUplink(double bps) {
+    uplinkAllocatedBps_ += bps;
+    uplinkAllocatedMetric_.set(static_cast<std::int64_t>(uplinkAllocatedBps_));
+}
+
+bool CellCapacity::tryGrowUplink(double bps) {
+    if (bps > uplinkAvailableBps()) return false;
+    reserveUplink(bps);
+    return true;
+}
+
+void CellCapacity::releaseUplink(double bps) {
+    uplinkAllocatedBps_ = std::max(0.0, uplinkAllocatedBps_ - bps);
+    uplinkAllocatedMetric_.set(static_cast<std::int64_t>(uplinkAllocatedBps_));
+    notifyWaiters();
+}
+
+double CellCapacity::downlinkAvailableBps() const noexcept {
+    return std::max(0.0, downlinkCapacityBps_ - downlinkAllocatedBps_);
+}
+
+double CellCapacity::admitDownlink(double desiredBps, double floorBps) {
+    const double granted = std::max(floorBps, std::min(desiredBps, downlinkAvailableBps()));
+    if (granted < desiredBps) {
+        countTrimmedAdmission();
+        log_.info() << "downlink admission trimmed: " << desiredBps / 1e3 << " -> "
+                    << granted / 1e3 << " kbps";
+    }
+    downlinkAllocatedBps_ += granted;
+    downlinkAllocatedMetric_.set(static_cast<std::int64_t>(downlinkAllocatedBps_));
+    return granted;
+}
+
+void CellCapacity::releaseDownlink(double bps) {
+    downlinkAllocatedBps_ = std::max(0.0, downlinkAllocatedBps_ - bps);
+    downlinkAllocatedMetric_.set(static_cast<std::int64_t>(downlinkAllocatedBps_));
+}
+
+void CellCapacity::countDeniedUpgrade() noexcept {
+    ++deniedUpgrades_;
+    deniedUpgradesMetric_.inc();
+}
+
+void CellCapacity::countTrimmedAdmission() noexcept {
+    ++trimmedAdmissions_;
+    trimmedAdmissionsMetric_.inc();
+}
+
+CellCapacity::WaiterId CellCapacity::addWaiter(std::function<void()> retry) {
+    const WaiterId id = nextWaiterId_++;
+    waiters_.emplace(id, std::move(retry));
+    return id;
+}
+
+void CellCapacity::removeWaiter(WaiterId id) noexcept { waiters_.erase(id); }
+
+void CellCapacity::notifyWaiters() {
+    // A waiter's retry callback may itself release capacity (rate
+    // change) — guard against re-entrant notification, and iterate a
+    // snapshot of ids so callbacks may add/remove waiters freely.
+    if (notifying_ || waiters_.empty()) return;
+    notifying_ = true;
+    std::vector<WaiterId> ids;
+    ids.reserve(waiters_.size());
+    for (const auto& [id, retry] : waiters_) ids.push_back(id);
+    for (const WaiterId id : ids) {
+        const auto it = waiters_.find(id);
+        if (it == waiters_.end()) continue;  // removed by an earlier callback
+        regrantsMetric_.inc();
+        it->second();
+    }
+    notifying_ = false;
+}
+
+}  // namespace onelab::umts

@@ -1,0 +1,95 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+
+#include "obs/registry.hpp"
+#include "util/logging.hpp"
+
+namespace onelab::umts {
+
+/// The finite uplink/downlink budget of one cell, shared by every
+/// active radio bearer attached to it. The pool is pure accounting —
+/// no randomness, no timers — so it never perturbs a solo run: with a
+/// single UE every request fits and the bearer behaves exactly as the
+/// unshared model did. Under contention the pool is what makes
+/// on-demand upgrades deniable, admissions trimmable, and a detach
+/// visible to the survivors: releasing capacity synchronously
+/// re-offers it to registered waiters in registration order, keeping
+/// multi-UE runs deterministic.
+class CellCapacity {
+  public:
+    using WaiterId = std::uint64_t;
+
+    CellCapacity(double uplinkCapacityBps, double downlinkCapacityBps);
+
+    CellCapacity(const CellCapacity&) = delete;
+    CellCapacity& operator=(const CellCapacity&) = delete;
+
+    // --- uplink pool ---
+    [[nodiscard]] double uplinkCapacityBps() const noexcept { return uplinkCapacityBps_; }
+    [[nodiscard]] double uplinkAllocatedBps() const noexcept { return uplinkAllocatedBps_; }
+    /// Headroom left for new grants; never negative (the pool can be
+    /// oversubscribed by floor-guaranteed admissions).
+    [[nodiscard]] double uplinkAvailableBps() const noexcept;
+
+    /// Take `bps` out of the pool unconditionally (the caller decided
+    /// the grant — possibly a floor-guaranteed, oversubscribing one).
+    void reserveUplink(double bps);
+    /// Grow an existing allocation by `bps` if the headroom covers it.
+    [[nodiscard]] bool tryGrowUplink(double bps);
+    /// Return `bps` to the pool and re-offer it to waiting bearers.
+    void releaseUplink(double bps);
+
+    // --- downlink pool ---
+    [[nodiscard]] double downlinkCapacityBps() const noexcept { return downlinkCapacityBps_; }
+    [[nodiscard]] double downlinkAllocatedBps() const noexcept { return downlinkAllocatedBps_; }
+    [[nodiscard]] double downlinkAvailableBps() const noexcept;
+
+    /// Admit a downlink bearer: grants min(desired, headroom) but
+    /// never less than `floorBps`. Returns the granted rate.
+    [[nodiscard]] double admitDownlink(double desiredBps, double floorBps);
+    void releaseDownlink(double bps);
+
+    // --- contention bookkeeping (read by stats/benches) ---
+    void countDeniedUpgrade() noexcept;
+    void countTrimmedAdmission() noexcept;
+    [[nodiscard]] std::uint64_t deniedUpgrades() const noexcept { return deniedUpgrades_; }
+    [[nodiscard]] std::uint64_t trimmedAdmissions() const noexcept {
+        return trimmedAdmissions_;
+    }
+
+    // --- waiters ---
+    /// Bearers blocked on capacity park a callback here; every uplink
+    /// release re-offers the freed budget by invoking the callbacks in
+    /// registration order. Callbacks must tolerate being invoked when
+    /// nothing useful is available (they re-check the pool).
+    [[nodiscard]] WaiterId addWaiter(std::function<void()> retry);
+    void removeWaiter(WaiterId id) noexcept;
+
+  private:
+    void notifyWaiters();
+
+    double uplinkCapacityBps_;
+    double downlinkCapacityBps_;
+    double uplinkAllocatedBps_ = 0.0;
+    double downlinkAllocatedBps_ = 0.0;
+    std::uint64_t deniedUpgrades_ = 0;
+    std::uint64_t trimmedAdmissions_ = 0;
+    std::map<WaiterId, std::function<void()>> waiters_;
+    WaiterId nextWaiterId_ = 1;
+    bool notifying_ = false;
+    util::Logger log_{"umts.cell"};
+
+    // Registry-backed cell-level aggregates (umts.cell.*); shared by
+    // name across cells, so they sum over a whole run.
+    obs::Gauge& uplinkAllocatedMetric_;
+    obs::Gauge& downlinkAllocatedMetric_;
+    obs::Counter& deniedUpgradesMetric_;
+    obs::Counter& trimmedAdmissionsMetric_;
+    obs::Counter& regrantsMetric_;
+};
+
+}  // namespace onelab::umts

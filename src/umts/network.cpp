@@ -46,7 +46,8 @@ UmtsSession::UmtsSession(UmtsNetwork& network, std::string imsi,
       sessionId_(sessionId),
       pdpIfaceName_("pdp" + std::to_string(sessionId)) {
     bearer_ = std::make_unique<RadioBearer>(network_.sim_, network_.profile_,
-                                            network_.rng_.derive("bearer-" + imsi_));
+                                            network_.rng_.derive("bearer-" + imsi_), imsi_,
+                                            &network_.cell_);
     ueChannel_ = std::make_unique<Channel>(*bearer_, /*ueSide=*/true);
     netChannel_ = std::make_unique<Channel>(*bearer_, /*ueSide=*/false);
 }
@@ -63,7 +64,8 @@ UmtsNetwork::UmtsNetwork(sim::Simulator& simulator, net::Internet& internet,
       internet_(internet),
       profile_(std::move(profile)),
       rng_(std::move(rng)),
-      log_("umts.net." + profile_.name) {
+      log_("umts.net." + profile_.name),
+      cell_(profile_.cellUplinkCapacityBps, profile_.cellDownlinkCapacityBps) {
     ggsn_ = std::make_unique<net::NetworkStack>(sim_, "ggsn-" + profile_.name);
     ggsn_->setForwarding(true);
     ggsn_->setForwardFilter(
@@ -229,9 +231,28 @@ void UmtsNetwork::activatePdp(const std::string& imsi, const std::string& apn,
         if (done) done(util::err(util::Error::Code::invalid_argument, "unknown APN '" + apn + "'"));
         return;
     }
-    sim_.schedule(profile_.pdpActivationDelay, [this, imsi, done] {
+    // One PDP context per IMSI: a second concurrent activation would
+    // alias the first session's bearer (and its leased metric prefix).
+    const auto hasPdp = [this](const std::string& subscriber) {
+        return std::any_of(sessions_.begin(), sessions_.end(), [&](const auto& s) {
+            return s->imsi() == subscriber && s->active();
+        });
+    };
+    if (hasPdp(imsi)) {
+        if (done)
+            done(util::err(util::Error::Code::state,
+                           "PDP context already active for " + imsi));
+        return;
+    }
+    sim_.schedule(profile_.pdpActivationDelay, [this, imsi, done, hasPdp] {
         if (!isAttached(imsi)) {
             if (done) done(util::err(util::Error::Code::state, "UE detached during activation"));
+            return;
+        }
+        if (hasPdp(imsi)) {
+            if (done)
+                done(util::err(util::Error::Code::state,
+                               "PDP context already active for " + imsi));
             return;
         }
         auto session = std::unique_ptr<UmtsSession>(

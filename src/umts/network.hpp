@@ -11,6 +11,7 @@
 #include "ppp/pppd.hpp"
 #include "sim/pipe.hpp"
 #include "umts/bearer.hpp"
+#include "umts/cell.hpp"
 #include "umts/profile.hpp"
 
 namespace onelab::umts {
@@ -103,6 +104,10 @@ class UmtsNetwork {
     [[nodiscard]] net::NetworkStack& ggsn() noexcept { return *ggsn_; }
     [[nodiscard]] net::Interface& wanInterface() noexcept { return *wanIface_; }
 
+    /// The shared cell budget every bearer allocates from.
+    [[nodiscard]] CellCapacity& cell() noexcept { return cell_; }
+    [[nodiscard]] const CellCapacity& cell() const noexcept { return cell_; }
+
     [[nodiscard]] std::uint64_t firewallBlockedInbound() const noexcept {
         return firewallBlocked_;
     }
@@ -129,6 +134,7 @@ class UmtsNetwork {
     OperatorProfile profile_;
     util::RandomStream rng_;
     util::Logger log_;
+    CellCapacity cell_;
 
     std::unique_ptr<net::NetworkStack> ggsn_;
     net::Interface* wanIface_ = nullptr;

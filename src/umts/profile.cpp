@@ -12,6 +12,12 @@ OperatorProfile commercialItalianOperator() {
     profile.initialUplinkIndex = 1;
     profile.downlinkRateBps = 1.8e6;
     profile.onDemandAllocation = true;
+    // A loaded public macro-cell: roughly two full-rate uplink DCHs
+    // worth of budget. One UE gets the whole ladder (the paper's solo
+    // measurements are unchanged); four UEs at the 144 kbps initial
+    // grant already leave too little headroom for a 384 kbps upgrade.
+    profile.cellUplinkCapacityBps = 768e3;
+    profile.cellDownlinkCapacityBps = 7.2e6;
     profile.badStateRatePerSec = 0.05;
     profile.signalQualityCsq = 17;
     profile.statefulFirewall = true;
@@ -34,6 +40,10 @@ OperatorProfile alcatelLucentMicrocell() {
     profile.uplinkRatesBps = {384e3};
     profile.initialUplinkIndex = 0;
     profile.downlinkRateBps = 3.6e6;
+    // The research micro-cell is dimensioned for the lab's handful of
+    // UEs: five full-rate uplink grants before contention bites.
+    profile.cellUplinkCapacityBps = 1.92e6;
+    profile.cellDownlinkCapacityBps = 14.4e6;
     profile.onDemandAllocation = false;
     profile.badStateRatePerSec = 0.01;
     profile.badStateMeanDuration = sim::millis(300);

@@ -51,6 +51,20 @@ struct OperatorProfile {
     /// Residual post-RLC loss (acknowledged mode makes this tiny).
     double residualLossProbability = 0.0;
 
+    // --- shared cell capacity ---
+    /// Aggregate uplink/downlink rate the cell can grant across all
+    /// active bearers (the Node B's code/power budget). Every bearer
+    /// allocation comes out of this pool: with one UE in the cell the
+    /// full ladder fits and nothing changes; with many UEs on-demand
+    /// upgrades get denied and admissions get trimmed down the ladder.
+    /// The lowest ladder step (and `downlinkFloorBps` downlink) is
+    /// always granted — admission is never refused, the cell degrades
+    /// instead, which is what a loaded commercial cell does.
+    double cellUplinkCapacityBps = 768e3;
+    double cellDownlinkCapacityBps = 7.2e6;
+    /// Guaranteed downlink floor per bearer when the pool runs dry.
+    double downlinkFloorBps = 384e3;
+
     // --- on-demand allocation (the paper's Fig. 4 knee) ---
     bool onDemandAllocation = true;
     double upgradeBacklogFraction = 0.5;   ///< backlog threshold to count as saturated

@@ -38,7 +38,10 @@ void UmtsBackend::dispatch(const pl::Slice& caller, const std::vector<std::strin
     if (verb == "start") return cmdStart(caller, std::move(done));
     if (verb == "stop") return cmdStop(caller, std::move(done));
     if (verb == "status") return cmdStatus(caller, std::move(done));
-    if (verb == "stats") return cmdStats(caller, std::move(done));
+    if (verb == "stats") {
+        const bool includeAll = args.size() >= 2 && args[1] == "all";
+        return cmdStats(caller, std::move(done), includeAll);
+    }
     if ((verb == "add" || verb == "del") && args.size() == 3 && args[1] == "destination") {
         if (verb == "add") return cmdAddDestination(caller, args[2], std::move(done));
         return cmdDelDestination(caller, args[2], std::move(done));
@@ -258,10 +261,34 @@ void UmtsBackend::cmdStatus(const pl::Slice& caller, pl::Vsys::Completion done) 
     reply(done, exit_code::ok, std::move(lines));
 }
 
-void UmtsBackend::cmdStats(const pl::Slice& caller, pl::Vsys::Completion done) {
+namespace {
+
+/// True when `name` is a per-session bearer metric belonging to a
+/// session other than `ownImsi`: "umts.bearer.<token>.*" with an
+/// all-digit token. Non-digit second segments (the legacy "ul"/"dl"
+/// aggregates) and every other namespace are node-wide.
+bool belongsToOtherSession(const std::string& name, const std::string& ownImsi) {
+    constexpr const char* prefix = "umts.bearer.";
+    constexpr std::size_t prefixLen = 12;
+    if (name.compare(0, prefixLen, prefix) != 0) return false;
+    const std::size_t dot = name.find('.', prefixLen);
+    if (dot == std::string::npos) return false;
+    const std::string token = name.substr(prefixLen, dot - prefixLen);
+    if (token.empty() || token.find_first_not_of("0123456789") != std::string::npos)
+        return false;
+    return token != ownImsi;
+}
+
+}  // namespace
+
+void UmtsBackend::cmdStats(const pl::Slice& caller, pl::Vsys::Completion done,
+                           bool includeAll) {
     (void)caller;  // any ACL'ed slice may read the node metrics
     std::vector<std::string> lines;
     for (const obs::MetricSample& sample : obs::Registry::instance().snapshot()) {
+        if (!includeAll && !config_.statsScopeImsi.empty() &&
+            belongsToOtherSession(sample.name, config_.statsScopeImsi))
+            continue;
         std::string value;
         switch (sample.kind) {
             case obs::MetricKind::counter:

@@ -36,6 +36,12 @@ struct UmtsBackendConfig {
     /// Kernel modules `umts start` modprobes before touching the TTY
     /// (§2.3): the PPP stack plus the card's driver.
     std::vector<std::string> requiredModules{"ppp_async", "ppp_deflate", "bsd_comp"};
+    /// When set, `umts stats` hides per-session bearer metric families
+    /// ("umts.bearer.<imsi>.*") belonging to OTHER sessions, so a node
+    /// in an N-UE fleet only reports its own radio link. Node-wide
+    /// metrics (and "umts stats all") are unaffected. Empty = no
+    /// scoping, everything is shown.
+    std::string statsScopeImsi;
 };
 
 /// Connection state the backend reports.
@@ -86,7 +92,10 @@ class UmtsBackend {
     void cmdStart(const pl::Slice& caller, pl::Vsys::Completion done);
     void cmdStop(const pl::Slice& caller, pl::Vsys::Completion done);
     void cmdStatus(const pl::Slice& caller, pl::Vsys::Completion done);
-    void cmdStats(const pl::Slice& caller, pl::Vsys::Completion done);
+    /// `stats` scopes per-session metrics to `statsScopeImsi`;
+    /// `stats all` (includeAll) dumps the whole registry.
+    void cmdStats(const pl::Slice& caller, pl::Vsys::Completion done,
+                  bool includeAll = false);
     void cmdAddDestination(const pl::Slice& caller, const std::string& destination,
                            pl::Vsys::Completion done);
     void cmdDelDestination(const pl::Slice& caller, const std::string& destination,

@@ -71,9 +71,12 @@ void UmtsFrontend::status(std::function<void(util::Result<UmtsReport>)> done) {
     call({"status"}, std::move(done));
 }
 
-void UmtsFrontend::stats(std::function<void(util::Result<std::string>)> done) {
+void UmtsFrontend::stats(std::function<void(util::Result<std::string>)> done,
+                         bool includeAll) {
+    std::vector<std::string> args{"stats"};
+    if (includeAll) args.push_back("all");
     node_.vsys().invoke(
-        slice_, "umts", {"stats"},
+        slice_, "umts", std::move(args),
         [done = std::move(done)](util::Result<pl::VsysResult> result) {
             if (!done) return;
             if (!result.ok()) {

@@ -34,8 +34,10 @@ class UmtsFrontend {
     /// `umts status`.
     void status(std::function<void(util::Result<UmtsReport>)> done);
     /// `umts stats`: fetch the node's live metrics registry and render
-    /// it as an aligned metric/type/value table.
-    void stats(std::function<void(util::Result<std::string>)> done);
+    /// it as an aligned metric/type/value table. The backend scopes
+    /// per-session bearer metrics to the calling node's own session;
+    /// `includeAll` sends `stats all` to dump the whole registry.
+    void stats(std::function<void(util::Result<std::string>)> done, bool includeAll = false);
     /// `umts add destination <dst>`: route `dst` via the UMTS link.
     void addDestination(const std::string& destination,
                         std::function<void(util::Result<void>)> done);

@@ -146,5 +146,47 @@ TEST(RegistryTest, ProcessWideInstanceIsStable) {
     EXPECT_EQ(&Registry::instance(), &Registry::instance());
 }
 
+TEST(NameLeaseTest, DuplicateLiveClaimThrows) {
+    Registry registry;
+    NameLease first{registry, "umts.bearer.222880000000001"};
+    EXPECT_TRUE(first.held());
+    EXPECT_THROW((NameLease{registry, "umts.bearer.222880000000001"}), std::logic_error);
+    // A different prefix is fine — collisions are per-family, not global.
+    NameLease other{registry, "umts.bearer.222880000000002"};
+    EXPECT_TRUE(other.held());
+}
+
+TEST(NameLeaseTest, ReleaseAllowsReclaim) {
+    Registry registry;
+    NameLease lease{registry, "umts.bearer"};
+    lease.release();
+    EXPECT_FALSE(lease.held());
+    lease.release();  // idempotent
+    NameLease again{registry, "umts.bearer"};
+    EXPECT_TRUE(again.held());
+}
+
+TEST(NameLeaseTest, DestructionReleasesClaim) {
+    Registry registry;
+    { NameLease lease{registry, "p"}; }
+    NameLease again{registry, "p"};
+    EXPECT_TRUE(again.held());
+}
+
+TEST(NameLeaseTest, MoveTransfersOwnership) {
+    Registry registry;
+    NameLease source{registry, "moved"};
+    NameLease target{std::move(source)};
+    EXPECT_FALSE(source.held());
+    EXPECT_TRUE(target.held());
+    EXPECT_THROW((NameLease{registry, "moved"}), std::logic_error);
+    NameLease assigned;
+    assigned = std::move(target);
+    EXPECT_TRUE(assigned.held());
+    assigned.release();
+    NameLease again{registry, "moved"};
+    EXPECT_TRUE(again.held());
+}
+
 }  // namespace
 }  // namespace onelab::obs

@@ -74,9 +74,10 @@ TEST_F(TelemetryTest, CbrRunEmitsUpgradeEventAndMetrics) {
 
     const std::string metrics = readFile(dir / kMetricsFile);
     ASSERT_FALSE(metrics.empty());
-    // Exactly the one upgrade the knee produces, mirrored in the counter...
-    EXPECT_NE(metrics.find("\"name\":\"umts.bearer.upgrades\",\"type\":\"counter\","
-                           "\"value\":1"),
+    // Exactly the one upgrade the knee produces, mirrored in the
+    // (per-IMSI) counter...
+    EXPECT_NE(metrics.find("\"name\":\"umts.bearer.222880000000001.upgrades\","
+                           "\"type\":\"counter\",\"value\":1"),
               std::string::npos);
     // ...and non-zero datapath metrics on both layers.
     EXPECT_EQ(metrics.find("\"name\":\"ditg.flow.packets_sent\",\"type\":\"counter\","
@@ -85,7 +86,9 @@ TEST_F(TelemetryTest, CbrRunEmitsUpgradeEventAndMetrics) {
     EXPECT_NE(metrics.find("\"name\":\"ditg.flow.packets_sent\""), std::string::npos);
     EXPECT_NE(metrics.find("\"name\":\"ditg.flow.rtt_us\""), std::string::npos);
     EXPECT_GT(Registry::instance().counter("ditg.flow.packets_sent").value(), 0u);
-    EXPECT_GT(Registry::instance().counter("umts.bearer.ul.chunks_delivered").value(), 0u);
+    EXPECT_GT(
+        Registry::instance().counter("umts.bearer.222880000000001.ul.chunks_delivered").value(),
+        0u);
     EXPECT_GT(Registry::instance().histogram("ditg.flow.rtt_us").count(), 0u);
 
     const std::string trace = readFile(dir / kTraceFile);

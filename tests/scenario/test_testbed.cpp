@@ -97,6 +97,53 @@ TEST(Testbed, OperatorFirewallBlocksInboundToUmtsAddress) {
     EXPECT_GE(tb.operatorNetwork().firewallBlockedInbound(), 1u);
 }
 
+TEST(Testbed, StopMidTransferTearsDownCleanly) {
+    Testbed tb;
+    ASSERT_TRUE(tb.startUmts().ok());
+    ASSERT_TRUE(tb.addUmtsDestination(tb.inriaEthAddress().str() + "/32").ok());
+    auto tx = tb.napoli().openSliceUdp(tb.umtsSlice()).value();
+    // A saturating burst that outlives the stop: the RLC queue is full
+    // of in-flight chunks when the PDP context is torn down, and the
+    // sender keeps writing into the (now unrouted) socket afterwards.
+    const sim::SimTime base = tb.sim().now();
+    for (int i = 0; i < 20 * 35; ++i)
+        tb.sim().scheduleAt(base + sim::millis(i * 28.0), [&tb, tx] {
+            (void)tx->sendTo(tb.inriaEthAddress(), 9001, util::Bytes(1052, 0));
+        });
+    tb.sim().runUntil(base + sim::seconds(5.0));
+    const auto stopped = tb.stopUmts();
+    ASSERT_TRUE(stopped.ok()) << stopped.error().message;
+    EXPECT_EQ(tb.operatorNetwork().activeSessions(), 0u);
+    // The stop returned the bearer's capacity to the cell pool.
+    EXPECT_DOUBLE_EQ(tb.operatorNetwork().cell().uplinkAllocatedBps(), 0.0);
+    // Drain the rest of the burst: no dangling bearer/ByteChannel
+    // callbacks may fire into the torn-down session.
+    tb.sim().runUntil(base + sim::seconds(25.0));
+    // And the node can dial again afterwards.
+    const auto restarted = tb.startUmts();
+    ASSERT_TRUE(restarted.ok()) << restarted.error().message;
+}
+
+TEST(Testbed, DestructionMidTransferIsClean) {
+    // Destroying the whole testbed while chunks sit in the RLC queues
+    // and PPP frames sit in the TTY pipes must not fire any callback
+    // into freed objects (exercised under ASan via tools/sanitize.sh).
+    auto tb = std::make_unique<Testbed>();
+    ASSERT_TRUE(tb->startUmts().ok());
+    ASSERT_TRUE(tb->addUmtsDestination(tb->inriaEthAddress().str() + "/32").ok());
+    auto tx = tb->napoli().openSliceUdp(tb->umtsSlice()).value();
+    Testbed& ref = *tb;
+    const sim::SimTime base = ref.sim().now();
+    for (int i = 0; i < 10 * 35; ++i)
+        ref.sim().scheduleAt(base + sim::millis(i * 28.0), [&ref, tx] {
+            (void)tx->sendTo(ref.inriaEthAddress(), 9001, util::Bytes(1052, 0));
+        });
+    // Stop in the middle of the burst with the uplink saturated.
+    ref.sim().runUntil(base + sim::seconds(3.0));
+    EXPECT_GT(ref.operatorNetwork().activeSessions(), 0u);
+    tb.reset();
+}
+
 TEST(Testbed, StopAndRestartCycleTwice) {
     Testbed tb;
     for (int cycle = 0; cycle < 2; ++cycle) {

@@ -304,5 +304,95 @@ TEST(RadioBearer, ShutdownStopsEverything) {
     EXPECT_EQ(delivered, 0);
 }
 
+// --- RadioBearer on a shared cell ---
+
+TEST(RadioBearer, SameImsiTwiceThrowsInsteadOfAliasingMetrics) {
+    sim::Simulator sim;
+    CellCapacity cell{768e3, 7.2e6};
+    RadioBearer first{sim, onDemandProfile(), util::RandomStream{1}, "222880000000009",
+                      &cell};
+    // A second live bearer for the same IMSI would silently write into
+    // the first one's "umts.bearer.<imsi>.*" counters; that's an error.
+    EXPECT_THROW((RadioBearer{sim, onDemandProfile(), util::RandomStream{2},
+                              "222880000000009", &cell}),
+                 std::logic_error);
+    // After the first session ends the prefix is claimable again.
+    first.shutdown();
+    RadioBearer second{sim, onDemandProfile(), util::RandomStream{2}, "222880000000009",
+                       &cell};
+    EXPECT_EQ(second.imsi(), "222880000000009");
+}
+
+TEST(RadioBearer, UpgradeDeniedWhenCellIsDry) {
+    sim::Simulator sim;
+    CellCapacity cell{768e3, 7.2e6};
+    // Another UE holds everything above one initial grant.
+    cell.reserveUplink(768e3 - 144e3);
+    RadioBearer bearer{sim, onDemandProfile(), util::RandomStream{1}, "222880000000011",
+                       &cell};
+    EXPECT_DOUBLE_EQ(bearer.currentUplinkRateBps(), 144e3);
+    EXPECT_FALSE(bearer.admissionTrimmed());
+    bearer.setUplinkSink([](util::Bytes) {});
+    for (int i = 0; i < 10 * 35; ++i)
+        sim.schedule(sim::millis(i * 28.0), [&] { bearer.sendUplink(util::Bytes(1052, 0)); });
+    sim.runUntil(sim::seconds(12.0));
+    EXPECT_EQ(bearer.upgradeCount(), 0);
+    EXPECT_GE(bearer.deniedUpgrades(), 1);
+    EXPECT_TRUE(bearer.upgradeWaiting());
+    EXPECT_DOUBLE_EQ(bearer.currentUplinkRateBps(), 144e3);
+    EXPECT_GE(cell.deniedUpgrades(), 1u);
+    bearer.shutdown();
+}
+
+TEST(RadioBearer, ReleasedCapacityRegrantsParkedUpgrade) {
+    sim::Simulator sim;
+    CellCapacity cell{768e3, 7.2e6};
+    cell.reserveUplink(768e3 - 144e3);  // the "other UE"
+    RadioBearer bearer{sim, onDemandProfile(), util::RandomStream{1}, "222880000000012",
+                       &cell};
+    bearer.setUplinkSink([](util::Bytes) {});
+    for (int i = 0; i < 10 * 35; ++i)
+        sim.schedule(sim::millis(i * 28.0), [&] { bearer.sendUplink(util::Bytes(1052, 0)); });
+    sim.runUntil(sim::seconds(12.0));
+    ASSERT_TRUE(bearer.upgradeWaiting());
+    // The other UE detaches: its capacity returns to the pool and the
+    // parked upgrade is granted immediately (its delay was already
+    // paid), without waiting for a new saturation episode.
+    cell.releaseUplink(768e3 - 144e3);
+    EXPECT_FALSE(bearer.upgradeWaiting());
+    EXPECT_GT(bearer.currentUplinkRateBps(), 144e3);
+    EXPECT_GE(bearer.upgradeCount(), 1);
+    bearer.shutdown();
+}
+
+TEST(RadioBearer, AdmissionTrimmedToLadderFloorWhenPoolNearlyFull) {
+    sim::Simulator sim;
+    CellCapacity cell{768e3, 7.2e6};
+    cell.reserveUplink(768e3 - 30e3);  // 30k headroom: not even the floor fits
+    RadioBearer bearer{sim, onDemandProfile(), util::RandomStream{1}, "222880000000013",
+                       &cell};
+    // Trimmed down the ladder to the 64k floor step; the floor is
+    // granted even though it oversubscribes the pool.
+    EXPECT_TRUE(bearer.admissionTrimmed());
+    EXPECT_DOUBLE_EQ(bearer.currentUplinkRateBps(), 64e3);
+    EXPECT_GE(cell.trimmedAdmissions(), 1u);
+    EXPECT_DOUBLE_EQ(cell.uplinkAvailableBps(), 0.0);  // oversubscribed clamps at 0
+    bearer.shutdown();
+}
+
+TEST(RadioBearer, ShutdownReturnsCapacityToPool) {
+    sim::Simulator sim;
+    CellCapacity cell{768e3, 7.2e6};
+    const double downlinkBefore = cell.downlinkAllocatedBps();
+    {
+        RadioBearer bearer{sim, onDemandProfile(), util::RandomStream{1},
+                           "222880000000014", &cell};
+        EXPECT_DOUBLE_EQ(cell.uplinkAllocatedBps(), 144e3);
+        bearer.shutdown();
+    }
+    EXPECT_DOUBLE_EQ(cell.uplinkAllocatedBps(), 0.0);
+    EXPECT_DOUBLE_EQ(cell.downlinkAllocatedBps(), downlinkBefore);
+}
+
 }  // namespace
 }  // namespace onelab::umts

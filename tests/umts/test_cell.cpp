@@ -1,0 +1,114 @@
+#include "umts/cell.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace onelab::umts {
+namespace {
+
+TEST(CellCapacity, ReserveGrowReleaseAccounting) {
+    CellCapacity cell{768e3, 7.2e6};
+    EXPECT_DOUBLE_EQ(cell.uplinkAvailableBps(), 768e3);
+    cell.reserveUplink(144e3);
+    EXPECT_DOUBLE_EQ(cell.uplinkAllocatedBps(), 144e3);
+    EXPECT_DOUBLE_EQ(cell.uplinkAvailableBps(), 624e3);
+    // Grow 144k -> 384k takes another 240k.
+    EXPECT_TRUE(cell.tryGrowUplink(240e3));
+    EXPECT_DOUBLE_EQ(cell.uplinkAllocatedBps(), 384e3);
+    // A second full-rate grant still fits; a third does not.
+    EXPECT_TRUE(cell.tryGrowUplink(384e3));
+    EXPECT_FALSE(cell.tryGrowUplink(240e3));
+    EXPECT_DOUBLE_EQ(cell.uplinkAllocatedBps(), 768e3);
+    cell.releaseUplink(384e3);
+    EXPECT_DOUBLE_EQ(cell.uplinkAvailableBps(), 384e3);
+}
+
+TEST(CellCapacity, OversubscribedPoolReportsZeroHeadroom) {
+    CellCapacity cell{100e3, 1e6};
+    // Floor-guaranteed admissions may push past the budget; headroom
+    // clamps at zero rather than going negative.
+    cell.reserveUplink(64e3);
+    cell.reserveUplink(64e3);
+    EXPECT_DOUBLE_EQ(cell.uplinkAllocatedBps(), 128e3);
+    EXPECT_DOUBLE_EQ(cell.uplinkAvailableBps(), 0.0);
+    EXPECT_FALSE(cell.tryGrowUplink(1.0));
+}
+
+TEST(CellCapacity, DownlinkAdmissionTrimsToHeadroomButNotBelowFloor) {
+    CellCapacity cell{768e3, 1000e3};
+    EXPECT_DOUBLE_EQ(cell.admitDownlink(700e3, 384e3), 700e3);  // fits untouched
+    EXPECT_DOUBLE_EQ(cell.admitDownlink(700e3, 384e3), 384e3);  // 300k left -> floor
+    EXPECT_DOUBLE_EQ(cell.downlinkAllocatedBps(), 1084e3);
+    cell.releaseDownlink(700e3);
+    EXPECT_DOUBLE_EQ(cell.admitDownlink(500e3, 384e3), 500e3);
+}
+
+TEST(CellCapacity, ContentionCountersAccumulate) {
+    CellCapacity cell{768e3, 7.2e6};
+    EXPECT_EQ(cell.deniedUpgrades(), 0u);
+    EXPECT_EQ(cell.trimmedAdmissions(), 0u);
+    cell.countDeniedUpgrade();
+    cell.countDeniedUpgrade();
+    cell.countTrimmedAdmission();
+    EXPECT_EQ(cell.deniedUpgrades(), 2u);
+    EXPECT_EQ(cell.trimmedAdmissions(), 1u);
+}
+
+TEST(CellCapacity, ReleaseNotifiesWaitersInRegistrationOrder) {
+    CellCapacity cell{768e3, 7.2e6};
+    cell.reserveUplink(768e3);
+    std::vector<int> order;
+    (void)cell.addWaiter([&] { order.push_back(1); });
+    (void)cell.addWaiter([&] { order.push_back(2); });
+    (void)cell.addWaiter([&] { order.push_back(3); });
+    cell.releaseUplink(240e3);
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(CellCapacity, RemovedWaiterIsNotNotified) {
+    CellCapacity cell{768e3, 7.2e6};
+    cell.reserveUplink(768e3);
+    std::vector<int> order;
+    (void)cell.addWaiter([&] { order.push_back(1); });
+    const CellCapacity::WaiterId second = cell.addWaiter([&] { order.push_back(2); });
+    cell.removeWaiter(second);
+    cell.releaseUplink(100e3);
+    EXPECT_EQ(order, (std::vector<int>{1}));
+    cell.removeWaiter(second);  // idempotent
+}
+
+TEST(CellCapacity, WaiterReleasingDuringNotifyDoesNotRecurse) {
+    CellCapacity cell{768e3, 7.2e6};
+    cell.reserveUplink(768e3);
+    int calls = 0;
+    // A waiter that itself releases capacity (a bearer shrinking as it
+    // re-grants) must not re-enter the notification loop.
+    (void)cell.addWaiter([&] {
+        ++calls;
+        if (calls == 1) cell.releaseUplink(100e3);
+    });
+    cell.releaseUplink(100e3);
+    EXPECT_EQ(calls, 1);
+    EXPECT_DOUBLE_EQ(cell.uplinkAllocatedBps(), 568e3);
+}
+
+TEST(CellCapacity, WaiterTakingTheFreedCapacityStarvesLaterWaiters) {
+    CellCapacity cell{384e3, 7.2e6};
+    cell.reserveUplink(384e3);
+    std::vector<int> grabbed;
+    (void)cell.addWaiter([&] {
+        if (cell.tryGrowUplink(240e3)) grabbed.push_back(1);
+    });
+    (void)cell.addWaiter([&] {
+        if (cell.tryGrowUplink(240e3)) grabbed.push_back(2);
+    });
+    cell.releaseUplink(240e3);
+    // First-registered waiter wins the budget; the second re-checks,
+    // finds the pool dry again, and stays parked.
+    EXPECT_EQ(grabbed, (std::vector<int>{1}));
+    EXPECT_DOUBLE_EQ(cell.uplinkAvailableBps(), 0.0);
+}
+
+}  // namespace
+}  // namespace onelab::umts

@@ -220,7 +220,7 @@ TEST_F(UmtsctlTest, StatsVerbDumpsLiveRegistry) {
     // Counters registered at construction across the layers show up,
     // tagged with their kind; the AT dialogue has run by now.
     EXPECT_TRUE(hasLine(stats, "modem.at.commands=counter:"));
-    EXPECT_TRUE(hasLine(stats, "umts.bearer.upgrades=counter:"));
+    EXPECT_TRUE(hasLine(stats, "umts.bearer.222880000000001.upgrades=counter:"));
     bool atNonZero = false;
     for (const std::string& line : stats.output)
         if (line.find("modem.at.commands=counter:0") == std::string::npos &&
