@@ -1,0 +1,246 @@
+// Chaos/soak harness: an N-UE shared-cell fleet runs CBR traffic for
+// long sim-hours while a seeded FaultPlan injects radio drops, detach
+// storms, coverage holes, capacity squeezes, RLC outages and loss
+// bursts, modem resets, AT failures, serial corruption/stalls and LCP
+// renegotiations. Auto-redial recovery is ON, so the run measures the
+// stack's ability to come back — and the harness asserts invariants a
+// survivable deployment must hold:
+//
+//   1. no capacity leak: once every site is stopped, the cell pool's
+//      allocated budget is exactly zero;
+//   2. every drop recovers or surfaces: at soak end each site is
+//      either connected again or reports a terminal error (lock
+//      released, lastError set) — nobody is stuck half-dead;
+//   3. determinism: the same seed + the same plan reproduces the
+//      exported telemetry byte for byte (checked for the first seed).
+//
+// Profiles: --profile pr (short, CI-blocking) or nightly (sim-hour
+// soaks). A scripted plan can replace the seeded one: --faults p.json.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "fault/injector.hpp"
+#include "fault/plan.hpp"
+#include "obs/telemetry.hpp"
+#include "obs/trace.hpp"
+#include "ppp/lcp.hpp"
+#include "scenario/fleet.hpp"
+
+using namespace onelab;
+
+namespace {
+
+struct SoakOptions {
+    std::string profile = "pr";
+    std::size_t ues = 3;
+    double soakSeconds = 180.0;       // per seed, after bring-up
+    std::vector<std::uint64_t> seeds{1, 2, 3};
+    std::string faultsFile;           // scripted plan overrides seeding
+    std::string exportDir = "/tmp/onelab_chaos";
+    bool checkDeterminism = true;
+};
+
+struct SoakOutcome {
+    bool ok = true;
+    std::size_t injected = 0;
+    std::size_t skipped = 0;
+    std::string failure;
+};
+
+std::string slurp(const std::string& path) {
+    std::ifstream in{path, std::ios::binary};
+    std::ostringstream out;
+    out << in.rdbuf();
+    return out.str();
+}
+
+/// One full soak: bring the fleet up, arm the plan, push traffic past
+/// the fault horizon, then check the invariants. Telemetry lands in
+/// `directory`.
+SoakOutcome runSoak(const SoakOptions& options, std::uint64_t seed,
+                    const std::string& directory) {
+    SoakOutcome outcome;
+    const auto fail = [&outcome](std::string what) {
+        outcome.ok = false;
+        outcome.failure = std::move(what);
+        return outcome;
+    };
+
+    obs::beginRun();
+    ppp::resetMagicEntropy();
+    if (options.profile == "nightly") obs::Tracer::instance().setEnabled(false);
+
+    scenario::FleetConfig config = scenario::makeUniformFleet(options.ues, seed);
+    for (auto& site : config.umtsSites) {
+        site.autoRedial.enable = true;
+        site.autoRedial.maxAttempts = 8;
+    }
+    scenario::Fleet fleet{config};
+
+    const auto started = fleet.startAll();
+    if (!started.ok()) return fail("fleet start: " + started.error().message);
+    const auto routed = fleet.addDestinationAll();
+    if (!routed.ok()) return fail("fleet routing: " + routed.error().message);
+
+    // The plan covers [now+10s, now+soak]; a scripted plan keeps its
+    // absolute times (events already past are skipped at arm time).
+    fault::FaultPlan plan;
+    if (!options.faultsFile.empty()) {
+        auto loaded = fault::FaultPlan::loadFile(options.faultsFile);
+        if (!loaded.ok()) return fail("fault plan: " + loaded.error().message);
+        plan = std::move(loaded).take();
+    } else {
+        fault::RandomPlanConfig planConfig;
+        planConfig.seed = seed;
+        planConfig.siteCount = options.ues;
+        planConfig.start = fleet.sim().now() + sim::seconds(10.0);
+        planConfig.horizon = fleet.sim().now() + sim::seconds(options.soakSeconds);
+        planConfig.meanGap = sim::seconds(options.soakSeconds / 12.0);
+        plan = fault::FaultPlan::random(planConfig);
+    }
+    fault::FaultInjector injector{fleet, plan};
+    injector.arm();
+
+    // Traffic in waves until the fault horizon passes, then a settle
+    // tail long enough for every windowed fault to restore and every
+    // redial backoff to either reconnect or exhaust.
+    const sim::SimTime horizon = fleet.sim().now() + sim::seconds(options.soakSeconds);
+    while (fleet.sim().now() < horizon) fleet.runCbrAll(20.0);
+    fleet.sim().runUntil(fleet.sim().now() + sim::seconds(240.0));
+
+    outcome.injected = injector.stats().fired - injector.stats().skipped;
+    outcome.skipped = injector.stats().skipped;
+    if (plan.size() > 0 && outcome.injected == 0)
+        return fail("plan had events but nothing was injected");
+
+    // Invariant 2: connected again, or terminally down with a reason.
+    for (std::size_t i = 0; i < fleet.umtsSiteCount(); ++i) {
+        const umtsctl::UmtsState& state = fleet.umtsSite(i).backend().state();
+        const bool recovered = state.connected;
+        const bool surfaced = !state.locked && !state.lastError.empty();
+        const bool untouched = !state.locked && state.lastError.empty();
+        if (!recovered && !surfaced && !untouched)
+            return fail(fleet.umtsSite(i).hostname() +
+                        " is stuck: not connected, lock held, no terminal error");
+    }
+
+    // Invariant 1: stop every site and demand a drained pool.
+    for (std::size_t i = 0; i < fleet.umtsSiteCount(); ++i)
+        (void)fleet.stopUmts(i);  // already-down sites report an error; fine
+    fleet.sim().runUntil(fleet.sim().now() + sim::seconds(30.0));
+    umts::CellCapacity& cell = fleet.operatorNetwork().cell();
+    if (cell.uplinkAllocatedBps() != 0.0 || cell.downlinkAllocatedBps() != 0.0)
+        return fail("capacity leak: uplink " + std::to_string(cell.uplinkAllocatedBps()) +
+                    " bps, downlink " + std::to_string(cell.downlinkAllocatedBps()) +
+                    " bps still allocated after full stop");
+
+    obs::Tracer::instance().setEnabled(false);
+    const auto written = obs::writeTelemetry(directory);
+    if (!written.ok()) return fail("telemetry export: " + written.error().message);
+    return outcome;
+}
+
+void usage(const char* argv0) {
+    std::printf(
+        "usage: %s [--profile pr|nightly] [--ues N] [--seconds S]\n"
+        "          [--seeds a,b,c] [--faults plan.json] [--export dir]\n",
+        argv0);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    SoakOptions options;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        const auto next = [&]() -> const char* {
+            return i + 1 < argc ? argv[++i] : nullptr;
+        };
+        if (arg == "--profile") {
+            const char* value = next();
+            if (!value) { usage(argv[0]); return 2; }
+            options.profile = value;
+            if (options.profile == "nightly") {
+                options.soakSeconds = 3600.0;
+                options.checkDeterminism = false;  // sim-hour runs; once is enough
+            }
+        } else if (arg == "--ues") {
+            const char* value = next();
+            if (!value) { usage(argv[0]); return 2; }
+            options.ues = std::size_t(std::atoi(value));
+        } else if (arg == "--seconds") {
+            const char* value = next();
+            if (!value) { usage(argv[0]); return 2; }
+            options.soakSeconds = std::atof(value);
+        } else if (arg == "--seeds") {
+            const char* value = next();
+            if (!value) { usage(argv[0]); return 2; }
+            options.seeds.clear();
+            std::stringstream list{value};
+            std::string token;
+            while (std::getline(list, token, ','))
+                options.seeds.push_back(std::strtoull(token.c_str(), nullptr, 10));
+        } else if (arg == "--faults") {
+            const char* value = next();
+            if (!value) { usage(argv[0]); return 2; }
+            options.faultsFile = value;
+        } else if (arg == "--export") {
+            const char* value = next();
+            if (!value) { usage(argv[0]); return 2; }
+            options.exportDir = value;
+        } else {
+            usage(argv[0]);
+            return arg == "--help" ? 0 : 2;
+        }
+    }
+    if (options.seeds.empty()) { usage(argv[0]); return 2; }
+
+    std::printf("=== Chaos soak: %zu-UE fleet, %s profile, %.0f s per seed ===\n\n",
+                options.ues, options.profile.c_str(), options.soakSeconds);
+
+    bool allOk = true;
+    for (const std::uint64_t seed : options.seeds) {
+        const std::string directory = options.exportDir + "_seed" + std::to_string(seed);
+        const SoakOutcome outcome = runSoak(options, seed, directory);
+        if (outcome.ok)
+            std::printf("seed %llu: OK — %zu faults injected, %zu skipped "
+                        "(no live target), invariants hold\n",
+                        static_cast<unsigned long long>(seed), outcome.injected,
+                        outcome.skipped);
+        else
+            std::printf("seed %llu: FAIL — %s\n", static_cast<unsigned long long>(seed),
+                        outcome.failure.c_str());
+        allOk = allOk && outcome.ok;
+    }
+
+    if (allOk && options.checkDeterminism) {
+        // Invariant 3: re-run the first seed and diff the exports.
+        const std::uint64_t seed = options.seeds.front();
+        const std::string dirA = options.exportDir + "_seed" + std::to_string(seed);
+        const std::string dirB = dirA + "_repeat";
+        const SoakOutcome repeat = runSoak(options, seed, dirB);
+        if (!repeat.ok) {
+            std::printf("determinism re-run FAILED: %s\n", repeat.failure.c_str());
+            allOk = false;
+        } else {
+            const std::string metricsA = slurp(dirA + "/metrics.json");
+            const std::string metricsB = slurp(dirB + "/metrics.json");
+            const std::string traceA = slurp(dirA + "/trace.json");
+            const std::string traceB = slurp(dirB + "/trace.json");
+            const bool identical = !metricsA.empty() && metricsA == metricsB &&
+                                   traceA == traceB;
+            std::printf("determinism: seed %llu telemetry %s (%zu bytes)\n",
+                        static_cast<unsigned long long>(seed),
+                        identical ? "byte-identical" : "DIFFERS", metricsA.size());
+            allOk = allOk && identical;
+        }
+    }
+
+    std::printf("\nchaos soak: %s\n", allOk ? "PASS" : "FAIL");
+    return allOk ? 0 : 1;
+}

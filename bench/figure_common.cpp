@@ -12,9 +12,7 @@
 
 namespace onelab::bench {
 
-namespace {
-
-const util::Series& select(const scenario::PathRun& run, Metric metric) {
+const util::Series& selectSeries(const scenario::PathRun& run, Metric metric) {
     switch (metric) {
         case Metric::bitrate_kbps: return run.series.bitrateKbps;
         case Metric::jitter_seconds: return run.series.jitterSeconds;
@@ -23,6 +21,19 @@ const util::Series& select(const scenario::PathRun& run, Metric metric) {
     }
     return run.series.bitrateKbps;
 }
+
+std::string figureCsv(const scenario::ExperimentResult& result, Metric metric) {
+    util::Table csv({"time_s", "path", "value"});
+    for (const util::SeriesPoint& p : selectSeries(result.umts, metric))
+        csv.addRow({util::format("%.3f", p.timeSeconds), "umts",
+                    util::format("%.6f", p.value)});
+    for (const util::SeriesPoint& p : selectSeries(result.ethernet, metric))
+        csv.addRow({util::format("%.3f", p.timeSeconds), "ethernet",
+                    util::format("%.6f", p.value)});
+    return csv.csv();
+}
+
+namespace {
 
 /// Thin the series for the printed table (every Nth window) so the
 /// output stays readable; the plot uses the full series.
@@ -67,8 +78,8 @@ int runFigure(const FigureSpec& spec, int argc, char** argv) {
         std::fprintf(stderr, "error: %s\n", error.what());
         return 1;
     }
-    const util::Series& umts = select(result.umts, spec.metric);
-    const util::Series& eth = select(result.ethernet, spec.metric);
+    const util::Series& umts = selectSeries(result.umts, spec.metric);
+    const util::Series& eth = selectSeries(result.ethernet, spec.metric);
 
     // --- the two series the paper plots, thinned to ~24 rows ---
     util::Table table({"time[s]", "UMTS-to-Ethernet", "Ethernet-to-Ethernet"});
@@ -121,19 +132,12 @@ int runFigure(const FigureSpec& spec, int argc, char** argv) {
     std::printf("\npaper expectation: %s\n", spec.expectation.c_str());
 
     if (!csvPath.empty()) {
-        util::Table csv({"time_s", "path", "value"});
-        for (const util::SeriesPoint& p : umts)
-            csv.addRow({util::format("%.3f", p.timeSeconds), "umts",
-                        util::format("%.6f", p.value)});
-        for (const util::SeriesPoint& p : eth)
-            csv.addRow({util::format("%.3f", p.timeSeconds), "ethernet",
-                        util::format("%.6f", p.value)});
         std::FILE* file = std::fopen(csvPath.c_str(), "w");
         if (!file) {
             std::fprintf(stderr, "cannot write %s\n", csvPath.c_str());
             return 1;
         }
-        const std::string text = csv.csv();
+        const std::string text = figureCsv(result, spec.metric);
         std::fwrite(text.data(), 1, text.size(), file);
         std::fclose(file);
         std::printf("full series written to %s\n", csvPath.c_str());

@@ -20,6 +20,14 @@ struct FigureSpec {
     std::string expectation;
 };
 
+/// The QoS series of `run` that `metric` plots.
+[[nodiscard]] const util::Series& selectSeries(const scenario::PathRun& run, Metric metric);
+
+/// The exact CSV the `--csv` flag writes for a figure: both paths'
+/// full series of `metric`, one row per window. The byte format is
+/// FROZEN — the golden digests in tests/bench pin it per figure.
+[[nodiscard]] std::string figureCsv(const scenario::ExperimentResult& result, Metric metric);
+
 /// Run the experiment for `spec` (both paths, 120 s, paper seed) and
 /// print the figure: aligned table of the two series, an ASCII plot,
 /// and the shape checks. Usage: `figN [seed] [--csv path]

@@ -1,0 +1,74 @@
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "fault/plan.hpp"
+#include "scenario/fleet.hpp"
+#include "util/logging.hpp"
+
+namespace onelab::fault {
+
+/// Injection bookkeeping, exposed for invariant checks. Everything
+/// here is also published under the "fault.*" metric families.
+struct InjectorStats {
+    std::size_t scheduled = 0;  ///< events armed onto the simulator
+    std::size_t fired = 0;      ///< events whose hook actually ran
+    std::size_t skipped = 0;    ///< fired with no live target (no-op)
+    std::size_t cancelled = 0;  ///< unarmed by cancelAll()/teardown
+};
+
+/// Binds a FaultPlan to a live Fleet: arms every event on the fleet's
+/// simulator and, at fire time, resolves the target (site by index,
+/// session by IMSI) and drives the matching injection hook. Targets
+/// are deliberately NOT captured at arm time — a bearer scheduled for
+/// a drop at t=300s may have died and been re-created by then; the
+/// injector finds whatever is live when the event fires, and counts a
+/// skip when nothing is.
+///
+/// The injector registers a Fleet teardown hook so a fleet destroyed
+/// mid-plan cancels every pending injection instead of letting them
+/// fire into destroyed sites. Destroying the injector first is equally
+/// safe (the hook no-ops through a liveness token).
+class FaultInjector {
+  public:
+    FaultInjector(scenario::Fleet& fleet, FaultPlan plan);
+    ~FaultInjector();
+
+    FaultInjector(const FaultInjector&) = delete;
+    FaultInjector& operator=(const FaultInjector&) = delete;
+
+    /// Schedule every plan event whose time is still ahead, relative
+    /// to sim time zero (events already in the past are skipped).
+    void arm();
+
+    /// Cancel every armed-but-unfired event. Idempotent.
+    void cancelAll();
+
+    [[nodiscard]] const InjectorStats& stats() const noexcept { return stats_; }
+    [[nodiscard]] const FaultPlan& plan() const noexcept { return plan_; }
+
+  private:
+    void fire(std::size_t eventIndex);
+    /// Schedule a delayed un-doing of a windowed fault (capacity
+    /// restore, corruption off) through the same cancellation path.
+    void scheduleRestore(sim::SimTime at, std::function<void()> restore);
+    [[nodiscard]] scenario::UmtsNodeSite* site(int index) noexcept;
+    [[nodiscard]] umts::UmtsSession* sessionForSite(int index) noexcept;
+
+    scenario::Fleet* fleet_;  ///< null once the fleet tore down
+    FaultPlan plan_;
+    util::Logger log_{"fault.injector"};
+    std::shared_ptr<bool> alive_ = std::make_shared<bool>(true);
+
+    struct Armed {
+        sim::EventHandle handle;
+        bool fired = false;
+    };
+    std::vector<Armed> armed_;
+    std::vector<Armed> restores_;
+    InjectorStats stats_;
+};
+
+}  // namespace onelab::fault

@@ -1,0 +1,112 @@
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "sim/time.hpp"
+#include "util/result.hpp"
+
+namespace onelab::fault {
+
+/// Every injectable failure the testbed knows about. Each kind maps to
+/// one injection hook somewhere in the stack (umts::, modem::, ppp::,
+/// sim::Pipe) — see FaultInjector::fire for the dispatch.
+enum class FaultKind : std::uint8_t {
+    bearer_drop,      ///< network drops the PDP context (NO CARRIER)
+    ue_detach,        ///< network-initiated GPRS detach
+    coverage_outage,  ///< cell loses coverage for `duration`
+    cell_squeeze,     ///< cell budget scaled to `magnitude` for `duration`
+    rlc_outage,       ///< bearer RLC service hold for `duration`
+    rlc_loss_burst,   ///< +`magnitude` RLC loss for `duration`
+    modem_reset,      ///< card power-cycle (hard reset)
+    at_error,         ///< next `magnitude` AT commands answered ERROR
+    serial_corrupt,   ///< TTY flips bytes w.p. `magnitude` for `duration`
+    serial_stall,     ///< TTY delivers nothing for `duration`
+    lcp_renegotiate,  ///< PPP link renegotiates LCP from scratch
+};
+
+inline constexpr std::size_t kFaultKindCount = 11;
+
+[[nodiscard]] const char* kindName(FaultKind kind) noexcept;
+[[nodiscard]] std::optional<FaultKind> kindFromName(std::string_view name) noexcept;
+
+/// One scheduled injection. `site` indexes the fleet's UMTS sites and
+/// is ignored by cell-wide kinds (coverage_outage, cell_squeeze).
+/// `magnitude` and `duration` are kind-specific (see FaultKind docs);
+/// unused fields are ignored.
+struct FaultEvent {
+    sim::SimTime at{0};
+    FaultKind kind = FaultKind::bearer_drop;
+    int site = 0;
+    double magnitude = 0.0;
+    sim::SimTime duration{0};
+};
+
+/// Knobs for seeded random plan generation. Defaults give a plan that
+/// keeps an N-UE fleet busy without drowning it: one fault roughly
+/// every `meanGap` of sim time, uniformly spread over the sites, with
+/// kind-specific magnitudes/durations drawn from ranges a flaky
+/// commercial deployment would plausibly show.
+struct RandomPlanConfig {
+    std::uint64_t seed = 1;
+    std::size_t siteCount = 1;
+    sim::SimTime start = sim::seconds(30.0);  ///< let the fleet dial first
+    sim::SimTime horizon = sim::seconds(600.0);
+    sim::SimTime meanGap = sim::seconds(45.0);
+    /// Relative weight per kind, indexed by FaultKind. Zero disables a
+    /// kind entirely.
+    std::array<double, kFaultKindCount> weights{
+        2.0,  // bearer_drop
+        1.5,  // ue_detach
+        0.5,  // coverage_outage
+        1.0,  // cell_squeeze
+        1.5,  // rlc_outage
+        1.5,  // rlc_loss_burst
+        1.0,  // modem_reset
+        1.0,  // at_error
+        1.0,  // serial_corrupt
+        1.0,  // serial_stall
+        1.0,  // lcp_renegotiate
+    };
+};
+
+/// A deterministic, serialisable schedule of fault injections. Either
+/// scripted (add events by hand), generated from a seed, or loaded
+/// from JSON (`--faults plan.json`). Events are kept sorted by time;
+/// ties keep insertion order so the same plan always fires the same
+/// way.
+class FaultPlan {
+  public:
+    FaultPlan() = default;
+
+    /// Append an event (re-sorts; stable, so equal-time events keep
+    /// their insertion order).
+    void add(FaultEvent event);
+
+    [[nodiscard]] const std::vector<FaultEvent>& events() const noexcept { return events_; }
+    [[nodiscard]] std::size_t size() const noexcept { return events_.size(); }
+    [[nodiscard]] bool empty() const noexcept { return events_.empty(); }
+
+    /// Generate a random plan from a seed. Same config => identical
+    /// plan, bit for bit.
+    [[nodiscard]] static FaultPlan random(const RandomPlanConfig& config);
+
+    /// JSON round-trip. The format is a flat object:
+    ///   {"events": [{"at_ms": 40000, "kind": "bearer_drop",
+    ///                "site": 0, "magnitude": 0, "duration_ms": 0}, ...]}
+    [[nodiscard]] std::string toJson() const;
+    [[nodiscard]] static util::Result<FaultPlan> parseJson(const std::string& text);
+
+    /// File convenience wrappers around the JSON round-trip.
+    [[nodiscard]] util::Result<void> saveFile(const std::string& path) const;
+    [[nodiscard]] static util::Result<FaultPlan> loadFile(const std::string& path);
+
+  private:
+    std::vector<FaultEvent> events_;
+};
+
+}  // namespace onelab::fault

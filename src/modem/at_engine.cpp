@@ -127,12 +127,24 @@ void AtEngine::processLine(const std::string& line) {
     }
     ++commandsHandled_;
     commandsMetric_.inc();
+    if (forcedCount_ > 0) {
+        --forcedCount_;
+        log_.warn() << "injected final for " << trimmed << ": " << forcedResult_;
+        obs::Registry::instance().counter("fault.modem.at_forced").inc();
+        reply(forcedResult_);
+        return;
+    }
     const std::string body = trimmed.substr(2);
     if (body.empty()) {
         reply("OK");
         return;
     }
     dispatch(body);
+}
+
+void AtEngine::forceFinal(const std::string& result, int count) {
+    forcedResult_ = result;
+    forcedCount_ = count;
 }
 
 void AtEngine::dispatch(const std::string& body) {

@@ -63,6 +63,12 @@ class AtEngine {
 
     [[nodiscard]] std::uint64_t commandsHandled() const noexcept { return commandsHandled_; }
 
+    /// Fault hook: answer the next `count` commands with `result`
+    /// ("ERROR", "NO CARRIER", "+CME ERROR: 30", ...) instead of
+    /// invoking their handlers. Models wedged firmware / SIM glitches.
+    void forceFinal(const std::string& result, int count = 1);
+    [[nodiscard]] int forcedFinalsPending() const noexcept { return forcedCount_; }
+
   private:
     void onHostData(util::ByteView data);
     void processLine(const std::string& line);
@@ -86,6 +92,8 @@ class AtEngine {
     sim::EventHandle escapeTimer_;
 
     std::uint64_t commandsHandled_ = 0;
+    std::string forcedResult_;
+    int forcedCount_ = 0;
     obs::Counter& commandsMetric_;  ///< modem.at.commands
 };
 

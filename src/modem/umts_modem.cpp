@@ -1,5 +1,8 @@
 #include "modem/umts_modem.hpp"
 
+#include <algorithm>
+
+#include "obs/registry.hpp"
 #include "util/strings.hpp"
 
 namespace onelab::modem {
@@ -37,6 +40,7 @@ UmtsModem::UmtsModem(sim::Simulator& simulator, umts::UmtsNetwork* network,
 
 UmtsModem::~UmtsModem() {
     if (registrationRetry_.valid()) sim_.cancel(registrationRetry_);
+    if (network_) network_->onUeDetached(config_.imsi, nullptr);
     if (session_ && network_) {
         session_->onTeardown = nullptr;
         network_->deactivatePdp(session_);
@@ -48,8 +52,10 @@ void UmtsModem::attachTty(sim::ByteChannel& tty) { engine_.attachTty(tty); }
 
 void UmtsModem::setNetwork(umts::UmtsNetwork* network) {
     hangup(false);
+    if (network_) network_->onUeDetached(config_.imsi, nullptr);
     network_ = network;
     registration_ = RegistrationState::not_registered;
+    registrationBackoff_ = sim::SimTime{0};
     if (pinUnlocked_) startRegistration();
 }
 
@@ -58,18 +64,73 @@ void UmtsModem::dropDtr() {
     hangup(false);
 }
 
+void UmtsModem::hardReset() {
+    log_.warn() << "hard reset injected";
+    obs::Registry::instance().counter("fault.modem.hard_resets").inc();
+    const bool wasOnline = session_ != nullptr || engine_.inDataMode();
+    hangup(false);
+    if (network_) network_->detachUe(config_.imsi);
+    registration_ = RegistrationState::not_registered;
+    if (registrationRetry_.valid()) {
+        sim_.cancel(registrationRetry_);
+        registrationRetry_ = {};
+    }
+    registrationBackoff_ = sim::SimTime{0};
+    // Volatile card state is gone with the power.
+    pdpContexts_.clear();
+    pinUnlocked_ = config_.pin.empty();
+    pinAttemptsLeft_ = config_.pinAttemptsAllowed;
+    engine_.setEcho(true);
+    if (wasOnline && onCarrierLost) onCarrierLost();  // DCD drops with power
+    // The card re-appears after its boot delay and scans again.
+    registrationRetry_ = sim_.schedule(kBootDelay, [this] {
+        registrationRetry_ = {};
+        obs::Registry::instance().counter("recovery.modem.reinits").inc();
+        if (pinUnlocked_) startRegistration();
+    });
+}
+
+void UmtsModem::injectAtFailure(const std::string& result, int count) {
+    engine_.forceFinal(result, count);
+}
+
 void UmtsModem::startRegistration() {
     if (!network_) return;
     registration_ = RegistrationState::searching;
     network_->attachUe(config_.imsi, [this](util::Result<void> result) {
         if (result.ok()) {
             registration_ = RegistrationState::registered_home;
+            registrationBackoff_ = sim::SimTime{0};
+            watchDetach();
             return;
         }
-        // Like a real card, keep scanning: retry while powered.
+        // Like a real card, keep scanning: retry while powered, with
+        // capped exponential backoff so a refusing/absent SGSN is not
+        // hammered at a fixed cadence.
         registration_ = RegistrationState::not_registered;
+        registrationBackoff_ = registrationBackoff_.count() == 0
+                                   ? kRegistrationRetryInitial
+                                   : std::min(registrationBackoff_ * 2, kRegistrationRetryMax);
+        obs::Registry::instance().counter("recovery.modem.registration_retries").inc();
         if (registrationRetry_.valid()) sim_.cancel(registrationRetry_);
-        registrationRetry_ = sim_.schedule(sim::seconds(5.0), [this] {
+        registrationRetry_ = sim_.schedule(registrationBackoff_, [this] {
+            registrationRetry_ = {};
+            if (registration_ != RegistrationState::registered_home) startRegistration();
+        });
+    });
+}
+
+void UmtsModem::watchDetach() {
+    if (!network_) return;
+    network_->onUeDetached(config_.imsi, [this] {
+        // Network-initiated detach (injected fault or coverage loss):
+        // the card loses registration and starts scanning again.
+        if (registration_ == RegistrationState::not_registered) return;
+        log_.warn() << "network-initiated detach; rescanning";
+        registration_ = RegistrationState::not_registered;
+        obs::Registry::instance().counter("recovery.modem.reregistrations").inc();
+        if (registrationRetry_.valid()) sim_.cancel(registrationRetry_);
+        registrationRetry_ = sim_.schedule(kDetachRescanDelay, [this] {
             registrationRetry_ = {};
             if (registration_ != RegistrationState::registered_home) startRegistration();
         });

@@ -61,6 +61,16 @@ class UmtsModem {
     /// SIM/operator in the experiment).
     void setNetwork(umts::UmtsNetwork* network);
 
+    /// Fault hook: power-cycle the card. The data call, registration,
+    /// volatile PDP contexts and echo state are lost; the host sees
+    /// DCD drop. The card reboots and, PIN permitting, re-registers
+    /// after a short boot delay.
+    void hardReset();
+
+    /// Fault hook: answer the next `count` AT commands with `result`
+    /// instead of executing them (see AtEngine::forceFinal).
+    void injectAtFailure(const std::string& result, int count = 1);
+
     // --- inspection for tests/status ---
     [[nodiscard]] bool pinUnlocked() const noexcept { return pinUnlocked_; }
     [[nodiscard]] bool simBlocked() const noexcept { return pinAttemptsLeft_ <= 0; }
@@ -80,6 +90,7 @@ class UmtsModem {
   private:
     void installStandardCommands();
     void startRegistration();
+    void watchDetach();
     void dial(const std::string& dialString);
     void hangup(bool notifyNoCarrier);
     void bridgeDataMode();
@@ -100,6 +111,14 @@ class UmtsModem {
 
     umts::UmtsSession* session_ = nullptr;
     sim::EventHandle registrationRetry_;
+
+    // Re-registration backoff: 5 s after the first failure, doubling
+    // to a cap — a commercial card never hammers a refusing SGSN.
+    static constexpr sim::SimTime kRegistrationRetryInitial = sim::seconds(5.0);
+    static constexpr sim::SimTime kRegistrationRetryMax = sim::seconds(80.0);
+    static constexpr sim::SimTime kBootDelay = sim::seconds(2.0);
+    static constexpr sim::SimTime kDetachRescanDelay = sim::seconds(1.0);
+    sim::SimTime registrationBackoff_{0};
 };
 
 }  // namespace onelab::modem

@@ -1,5 +1,6 @@
 #include "ppp/pppd.hpp"
 
+#include "obs/registry.hpp"
 #include "ppp/compress.hpp"
 
 namespace onelab::ppp {
@@ -106,6 +107,21 @@ void Pppd::abortLink() {
     lcp_->down();
     setPhase(PppPhase::dead);
     linkDown("carrier lost");
+}
+
+void Pppd::renegotiateLcp() {
+    if (phase_ == PppPhase::dead || phase_ == PppPhase::terminate) return;
+    log_.warn() << "injected LCP renegotiation";
+    obs::Registry::instance().counter("fault.ppp.lcp_renegotiations").inc();
+    // Back to default framing until the new LCP opens; the peer's FSM
+    // follows our Configure-Request out of its Opened state.
+    sendFramer_ = FramerConfig{};
+    deframer_.reset();
+    peerAuthOk_ = false;
+    localAuthOk_ = false;
+    setPhase(PppPhase::establish);
+    lcp_->down();
+    lcp_->up();
 }
 
 void Pppd::sendControl(Protocol protocol, const ControlPacket& packet) {

@@ -93,6 +93,12 @@ class Pppd {
     /// Carrier lost: immediate down without Terminate exchange.
     void abortLink();
 
+    /// Fault hook: force an LCP renegotiation — the link drops back to
+    /// the establish phase and re-negotiates from scratch (the peer
+    /// follows per RFC 1661). Traffic stalls during the exchange but
+    /// onLinkDown does NOT fire: this is a transparent reconfigure.
+    void renegotiateLcp();
+
     /// Send one IP datagram (serialised IPv4 bytes). Fails unless the
     /// session is running. Applies CCP compression when negotiated.
     util::Result<void> sendIpDatagram(util::ByteView datagram);

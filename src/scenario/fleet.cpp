@@ -66,7 +66,18 @@ Fleet::Fleet(FleetConfig config) : config_(std::move(config)), rng_(config_.seed
         operator_->addDnsRecord(wired->hostname(), wired->address());
 }
 
-Fleet::~Fleet() = default;
+Fleet::~Fleet() {
+    // Give external layers (fault injectors, monitors) a chance to
+    // cancel simulator events aimed at fleet members before the sites
+    // those events reference are destroyed.
+    for (auto it = teardownHooks_.rbegin(); it != teardownHooks_.rend(); ++it)
+        if (*it) (*it)();
+    teardownHooks_.clear();
+}
+
+void Fleet::addTeardownHook(std::function<void()> hook) {
+    teardownHooks_.push_back(std::move(hook));
+}
 
 util::Result<umtsctl::UmtsReport> Fleet::startUmts(std::size_t index, sim::SimTime timeout) {
     return umtsSites_.at(index)->startUmts(timeout);
@@ -190,6 +201,15 @@ std::vector<FleetCbrRun> Fleet::runCbrOnSites(const std::vector<std::size_t>& in
         }
         runs.push_back(std::move(run));
     }
+
+    // Close the flow sockets: the receiver object dies with this scope
+    // (its handler must not fire again), and the next wave re-binds
+    // port 9001.
+    for (ActiveFlow& flow : flows) {
+        UmtsNodeSite& site = *umtsSites_[flow.siteIndex];
+        site.node().stack().closeUdp(flow.socket);
+    }
+    receiverSite.node().stack().closeUdp(recvSocket.value());
     return runs;
 }
 

@@ -1,5 +1,6 @@
 #pragma once
 
+#include <functional>
 #include <memory>
 #include <vector>
 
@@ -92,6 +93,13 @@ class Fleet {
     /// — the shared-cell contention workload. Flows start together.
     std::vector<FleetCbrRun> runCbrAll(double durationSeconds, double windowSeconds = 0.2);
 
+    /// Register a hook run at the START of fleet destruction, before
+    /// any site is torn down. External layers holding scheduled
+    /// simulator events against fleet members (e.g. a fault injector)
+    /// register a cancellation here so no event fires into a destroyed
+    /// node. Hooks run in reverse registration order.
+    void addTeardownHook(std::function<void()> hook);
+
   private:
     std::vector<FleetCbrRun> runCbrOnSites(const std::vector<std::size_t>& indices,
                                            double durationSeconds, double windowSeconds);
@@ -103,6 +111,7 @@ class Fleet {
     std::unique_ptr<umts::UmtsNetwork> operator_;
     std::vector<std::unique_ptr<UmtsNodeSite>> umtsSites_;
     std::vector<std::unique_ptr<WiredSite>> wiredSites_;
+    std::vector<std::function<void()>> teardownHooks_;
 };
 
 }  // namespace onelab::scenario

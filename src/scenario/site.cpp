@@ -84,6 +84,7 @@ UmtsNodeSite::UmtsNodeSite(sim::Simulator& simulator, net::Internet& internet,
     // `umts stats` on this node reports this node's radio session, not
     // every bearer camping on the shared cell.
     backendConfig.statsScopeImsi = config_.imsi;
+    backendConfig.autoRedial = config_.autoRedial;
     backend_ = std::make_unique<umtsctl::UmtsBackend>(simulator, *node_, tty_->a(),
                                                       backendConfig);
     backend_->dropDtr = [this] { modem_->dropDtr(); };

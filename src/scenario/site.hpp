@@ -80,6 +80,10 @@ struct UmtsNodeSiteConfig {
     /// single-node testbed stream.
     std::string dialerSeedTag = "dialer";
     EthernetParams ethernet;
+    /// Backend auto-redial policy after unexpected link loss. Off by
+    /// default (historic behaviour); chaos runs turn it on so drops
+    /// recover instead of staying down.
+    umtsctl::UmtsBackendConfig::AutoRedial autoRedial;
 };
 
 /// A UMTS-equipped PlanetLab site — the paper's full Napoli bundle:
@@ -103,6 +107,9 @@ class UmtsNodeSite {
     [[nodiscard]] const std::string& hostname() const noexcept { return config_.hostname; }
     [[nodiscard]] const std::string& imsi() const noexcept { return config_.imsi; }
     [[nodiscard]] modem::UmtsModem& card() noexcept { return *modem_; }
+    /// The serial line between backend and card — exposed so fault
+    /// injection can corrupt/stall bytes on the wire.
+    [[nodiscard]] sim::Pipe& tty() noexcept { return *tty_; }
     [[nodiscard]] umtsctl::UmtsBackend& backend() noexcept { return *backend_; }
     [[nodiscard]] umtsctl::UmtsFrontend& frontend() noexcept { return *frontend_; }
     [[nodiscard]] pl::Slice& umtsSlice() noexcept { return *umtsSlice_; }

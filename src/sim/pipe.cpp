@@ -1,5 +1,9 @@
 #include "sim/pipe.hpp"
 
+#include <algorithm>
+
+#include "util/rand.hpp"
+
 namespace onelab::sim {
 
 class Pipe::End final : public ByteChannel {
@@ -17,9 +21,23 @@ class Pipe::End final : public ByteChannel {
         // the simulator breaks timestamp ties in scheduling order. The
         // peer's alive flag guards against delivery after destruction.
         auto copy = std::make_shared<util::Bytes>(data.begin(), data.end());
+        if (corruption_ && corruptProbability_ > 0.0) {
+            for (auto& byte : *copy) {
+                if (!corruption_->chance(corruptProbability_)) continue;
+                // XOR with a nonzero mask so a corrupted byte always
+                // differs from the original.
+                byte ^= std::uint8_t(corruption_->uniformInt(1, 255));
+                ++corruptedBytes_;
+            }
+        }
         End* peer = peer_;
         std::weak_ptr<bool> peerAlive = peer->alive_;
-        sim_.schedule(latency_, [peer, peerAlive, copy] {
+        // A stall delays delivery until the stall window closes; FIFO
+        // survives because held writes share the same release instant
+        // and the simulator breaks ties in scheduling order.
+        const SimTime departure = sim_.now() + latency_;
+        const SimTime delivery = std::max(departure, stallUntil_);
+        sim_.schedule(delivery - sim_.now(), [peer, peerAlive, copy] {
             const auto alive = peerAlive.lock();
             if (!alive || !*alive) return;
             // Copy the handler before invoking: handlers may replace
@@ -35,12 +53,32 @@ class Pipe::End final : public ByteChannel {
         handler_ = std::move(handler);
     }
 
+    void stallFor(SimTime duration) {
+        stallUntil_ = std::max(stallUntil_, sim_.now() + duration);
+    }
+
+    void setCorruption(double probability, std::uint64_t seed) {
+        corruptProbability_ = probability;
+        if (probability > 0.0)
+            corruption_ = std::make_unique<util::RandomStream>(seed);
+        else
+            corruption_.reset();
+    }
+
+    [[nodiscard]] std::uint64_t corruptedBytes() const noexcept {
+        return corruptedBytes_;
+    }
+
   private:
     Simulator& sim_;
     SimTime latency_;
     std::shared_ptr<bool> alive_;
     End* peer_ = nullptr;
     std::function<void(util::ByteView)> handler_;
+    SimTime stallUntil_{0};
+    double corruptProbability_ = 0.0;
+    std::unique_ptr<util::RandomStream> corruption_;
+    std::uint64_t corruptedBytes_ = 0;
 };
 
 Pipe::Pipe(Simulator& simulator, SimTime latency)
@@ -54,5 +92,21 @@ Pipe::~Pipe() = default;
 
 ByteChannel& Pipe::a() noexcept { return *a_; }
 ByteChannel& Pipe::b() noexcept { return *b_; }
+
+void Pipe::injectStall(SimTime duration) {
+    a_->stallFor(duration);
+    b_->stallFor(duration);
+}
+
+void Pipe::setCorruption(double byteFlipProbability, std::uint64_t seed) {
+    // Derive distinct per-direction seeds so the two ends do not mirror
+    // each other's draws.
+    a_->setCorruption(byteFlipProbability, seed * 2654435761u + 1);
+    b_->setCorruption(byteFlipProbability, seed * 2654435761u + 2);
+}
+
+std::uint64_t Pipe::corruptedBytes() const noexcept {
+    return a_->corruptedBytes() + b_->corruptedBytes();
+}
 
 }  // namespace onelab::sim

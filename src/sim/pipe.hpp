@@ -40,6 +40,19 @@ class Pipe {
     /// Endpoint B (e.g. the device side of a TTY).
     [[nodiscard]] ByteChannel& b() noexcept;
 
+    /// Fault hook: hold all deliveries (both directions) written from
+    /// now until `duration` has elapsed; held bytes arrive, in order,
+    /// once the stall ends. Models a wedged serial line / driver stall.
+    void injectStall(SimTime duration);
+
+    /// Fault hook: flip each transferred byte with the given
+    /// probability, drawing from a stream seeded deterministically.
+    /// Probability 0 (the default) disables corruption.
+    void setCorruption(double byteFlipProbability, std::uint64_t seed);
+
+    /// Total bytes corrupted by setCorruption since construction.
+    [[nodiscard]] std::uint64_t corruptedBytes() const noexcept;
+
   private:
     class End;
     std::unique_ptr<End> a_;

@@ -50,6 +50,13 @@ std::size_t Simulator::runUntil(SimTime until) {
     std::size_t ran = 0;
     Event event;
     while (!queue_.empty()) {
+        // Discard lazily-cancelled entries before the horizon check:
+        // a cancelled tombstone with an early timestamp must not let
+        // popNext hand us a live event from beyond `until`.
+        if (pending_.count(queue_.top().sequence) == 0) {
+            queue_.pop();
+            continue;
+        }
         if (queue_.top().when > until) break;
         if (!popNext(event)) break;
         now_ = event.when;

@@ -50,6 +50,11 @@ void BearerLink::holdService(sim::SimTime until) {
     holdUntil_ = std::max(holdUntil_, until);
 }
 
+void BearerLink::boostLoss(double probability, sim::SimTime duration) {
+    lossBoostProbability_ = probability;
+    lossBoostUntil_ = std::max(lossBoostUntil_, sim_.now() + duration);
+}
+
 void BearerLink::serveNext() {
     if (queue_.empty()) {
         serving_ = false;
@@ -81,7 +86,10 @@ void BearerLink::serveNext() {
         metrics_.backlogBytes.add(-std::int64_t(chunk.size()));
         lastBusy_ = sim_.now();
 
-        if (rng_.chance(params_.residualLossProbability)) {
+        const double lossProbability =
+            params_.residualLossProbability +
+            (sim_.now() < lossBoostUntil_ ? lossBoostProbability_ : 0.0);
+        if (rng_.chance(std::min(1.0, lossProbability))) {
             ++stats_.droppedRadio;
             metrics_.droppedRadio.inc();
             obs::Tracer::instance().instant("umts.rlc", "drop_radio", metricPrefix_);
@@ -345,6 +353,26 @@ void RadioBearer::onCapacityFreed() {
             log_.info() << "waiting upgrade re-granted after capacity release";
         }
     }
+}
+
+void RadioBearer::injectOutage(sim::SimTime duration) {
+    if (shutdown_) return;
+    obs::Registry::instance().counter("fault.umts.rlc_outages").inc();
+    obs::Tracer::instance().instant("umts.radio", "outage",
+                                    util::format("%.0fms", sim::toMillis(duration)));
+    log_.warn() << "injected RLC outage for " << sim::toMillis(duration) << "ms";
+    const sim::SimTime until = sim_.now() + duration;
+    uplink_.holdService(until);
+    downlink_.holdService(until);
+}
+
+void RadioBearer::injectLossBurst(double probability, sim::SimTime duration) {
+    if (shutdown_) return;
+    obs::Registry::instance().counter("fault.umts.loss_bursts").inc();
+    log_.warn() << "injected loss burst p=" << probability << " for "
+                << sim::toMillis(duration) << "ms";
+    uplink_.boostLoss(probability, duration);
+    downlink_.boostLoss(probability, duration);
 }
 
 void RadioBearer::monitorTick() {

@@ -67,6 +67,10 @@ class BearerLink {
     /// Suspend serving entirely until `until` (RRC promotion hold).
     void holdService(sim::SimTime until);
 
+    /// Fault hook: add `probability` to the residual radio loss for
+    /// `duration` (extends any current burst window).
+    void boostLoss(double probability, sim::SimTime duration);
+
     [[nodiscard]] std::size_t backlogBytes() const noexcept { return backlogBytes_; }
     [[nodiscard]] sim::SimTime lastBusy() const noexcept { return lastBusy_; }
     [[nodiscard]] const BearerStats& stats() const noexcept { return stats_; }
@@ -90,6 +94,8 @@ class BearerLink {
     bool serving_ = false;
     sim::SimTime degradedUntil_{0};
     sim::SimTime holdUntil_{0};
+    sim::SimTime lossBoostUntil_{0};
+    double lossBoostProbability_ = 0.0;
     sim::SimTime lastArrival_{0};
     sim::SimTime lastBusy_{0};
     std::uint64_t epoch_ = 0;
@@ -182,6 +188,14 @@ class RadioBearer {
     /// Fires on every uplink rate change (old, new) — surfaced by
     /// `umts status` and the ablation benches.
     std::function<void(double, double)> onUplinkRateChange;
+
+    // --- fault hooks (driven by fault::FaultInjector) ---
+    /// RLC outage: both directions stop serving for `duration`; queued
+    /// chunks resume (overflow drops accumulate) when it ends.
+    void injectOutage(sim::SimTime duration);
+    /// Loss burst: add `probability` residual radio loss to both
+    /// directions for `duration`.
+    void injectLossBurst(double probability, sim::SimTime duration);
 
     /// Tear down: flush queues and stop internal timers.
     void shutdown();

@@ -16,7 +16,7 @@ CellCapacity::CellCapacity(double uplinkCapacityBps, double downlinkCapacityBps)
       regrantsMetric_(obs::Registry::instance().counter("umts.cell.regrants")) {}
 
 double CellCapacity::uplinkAvailableBps() const noexcept {
-    return std::max(0.0, uplinkCapacityBps_ - uplinkAllocatedBps_);
+    return std::max(0.0, uplinkCapacityBps_ * capacityScale_ - uplinkAllocatedBps_);
 }
 
 void CellCapacity::reserveUplink(double bps) {
@@ -37,7 +37,19 @@ void CellCapacity::releaseUplink(double bps) {
 }
 
 double CellCapacity::downlinkAvailableBps() const noexcept {
-    return std::max(0.0, downlinkCapacityBps_ - downlinkAllocatedBps_);
+    return std::max(0.0, downlinkCapacityBps_ * capacityScale_ - downlinkAllocatedBps_);
+}
+
+void CellCapacity::setCapacityScale(double scale) {
+    const double clamped = std::clamp(scale, 0.0, 1.0);
+    if (clamped == capacityScale_) return;
+    const bool restoring = clamped > capacityScale_;
+    if (!restoring) obs::Registry::instance().counter("fault.umts.cell_squeezes").inc();
+    log_.warn() << "cell capacity scale " << capacityScale_ << " -> " << clamped;
+    capacityScale_ = clamped;
+    // Restoring budget is a release in disguise: parked upgrades may
+    // now fit.
+    if (restoring) notifyWaiters();
 }
 
 double CellCapacity::admitDownlink(double desiredBps, double floorBps) {

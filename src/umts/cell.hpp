@@ -61,6 +61,14 @@ class CellCapacity {
         return trimmedAdmissions_;
     }
 
+    // --- fault hook: capacity squeeze ---
+    /// Scale the effective budget of both pools (0..1]. Existing
+    /// grants are untouched — the squeeze only starves new growth, as
+    /// a congested NodeB does. Raising the scale re-offers the
+    /// recovered headroom to registered waiters.
+    void setCapacityScale(double scale);
+    [[nodiscard]] double capacityScale() const noexcept { return capacityScale_; }
+
     // --- waiters ---
     /// Bearers blocked on capacity park a callback here; every uplink
     /// release re-offers the freed budget by invoking the callbacks in
@@ -76,6 +84,7 @@ class CellCapacity {
     double downlinkCapacityBps_;
     double uplinkAllocatedBps_ = 0.0;
     double downlinkAllocatedBps_ = 0.0;
+    double capacityScale_ = 1.0;
     std::uint64_t deniedUpgrades_ = 0;
     std::uint64_t trimmedAdmissions_ = 0;
     std::map<WaiterId, std::function<void()>> waiters_;

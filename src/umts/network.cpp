@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/registry.hpp"
 #include "util/strings.hpp"
 
 namespace onelab::umts {
@@ -160,6 +161,7 @@ void UmtsNetwork::natInbound(net::Packet& pkt, const std::string& iif) {
 }
 
 UmtsNetwork::~UmtsNetwork() {
+    if (coverageRestore_.valid()) sim_.cancel(coverageRestore_);
     while (!sessions_.empty()) deactivatePdp(sessions_.back().get());
     if (wanIface_) internet_.detach(*wanIface_);
 }
@@ -207,6 +209,64 @@ void UmtsNetwork::detachUe(const std::string& imsi) {
 }
 
 bool UmtsNetwork::isAttached(const std::string& imsi) const { return attached_.count(imsi) > 0; }
+
+void UmtsNetwork::onUeDetached(const std::string& imsi, std::function<void()> callback) {
+    if (callback)
+        detachListeners_[imsi] = std::move(callback);
+    else
+        detachListeners_.erase(imsi);
+}
+
+void UmtsNetwork::notifyDetached(const std::string& imsi) {
+    // Copy before invoking: the listener may re-register itself.
+    const auto it = detachListeners_.find(imsi);
+    if (it == detachListeners_.end()) return;
+    const auto callback = it->second;
+    if (callback) callback();
+}
+
+void UmtsNetwork::injectDetach(const std::string& imsi) {
+    if (!attached_.count(imsi) && !attaching_.count(imsi)) return;
+    log_.warn() << "injected network detach for " << imsi;
+    obs::Registry::instance().counter("fault.umts.detaches").inc();
+    detachUe(imsi);
+    notifyDetached(imsi);
+}
+
+bool UmtsNetwork::injectBearerDrop(const std::string& imsi) {
+    for (std::size_t i = 0; i < sessions_.size(); ++i) {
+        if (sessions_[i]->imsi() != imsi || !sessions_[i]->active()) continue;
+        log_.warn() << "injected bearer drop for " << imsi;
+        obs::Registry::instance().counter("fault.umts.bearer_drops").inc();
+        deactivatePdp(sessions_[i].get());
+        return true;
+    }
+    return false;
+}
+
+void UmtsNetwork::injectCoverageOutage(sim::SimTime duration) {
+    obs::Registry::instance().counter("fault.umts.coverage_outages").inc();
+    log_.warn() << "coverage lost for " << sim::formatTime(duration);
+    coverage_ = false;
+    // Every camped (or attaching) UE loses registration; sessions drop
+    // with it. Listeners fire so cards start scanning again.
+    std::vector<std::string> victims;
+    for (const auto& imsi : attached_) victims.push_back(imsi);
+    for (const auto& [imsi, handle] : attaching_)
+        if (!attached_.count(imsi)) victims.push_back(imsi);
+    for (const std::string& imsi : victims) {
+        detachUe(imsi);
+        notifyDetached(imsi);
+    }
+    const sim::SimTime restoreAt = std::max(coverageRestoreAt_, sim_.now() + duration);
+    coverageRestoreAt_ = restoreAt;
+    if (coverageRestore_.valid()) sim_.cancel(coverageRestore_);
+    coverageRestore_ = sim_.scheduleAt(restoreAt, [this] {
+        coverageRestore_ = {};
+        coverage_ = true;
+        log_.info() << "coverage restored";
+    });
+}
 
 net::Ipv4Address UmtsNetwork::allocateSubscriberAddress() {
     if (!freedAddresses_.empty()) {

@@ -31,6 +31,9 @@ class UmtsSession {
     [[nodiscard]] sim::ByteChannel& ueChannel() noexcept;
 
     [[nodiscard]] RadioBearer& bearer() noexcept { return *bearer_; }
+    /// The GGSN-side pppd terminating this context (fault injection
+    /// drives LCP renegotiation from here; the UE's pppd follows).
+    [[nodiscard]] ppp::Pppd& ggsnPppd() noexcept { return *ggsnPppd_; }
     [[nodiscard]] net::Ipv4Address subscriberAddress() const noexcept { return subscriberAddr_; }
     [[nodiscard]] const std::string& imsi() const noexcept { return imsi_; }
     [[nodiscard]] bool active() const noexcept { return active_; }
@@ -87,6 +90,24 @@ class UmtsNetwork {
     void detachUe(const std::string& imsi);
     [[nodiscard]] bool isAttached(const std::string& imsi) const;
 
+    /// Register a callback fired when the NETWORK detaches this IMSI
+    /// (injected detach, coverage loss). UE-initiated detachUe() does
+    /// not fire it. Pass nullptr to unregister.
+    void onUeDetached(const std::string& imsi, std::function<void()> callback);
+
+    // --- fault hooks (driven by fault::FaultInjector) ---
+    /// Network-initiated detach: drops registration and any sessions,
+    /// then notifies the UE's detach listener so the card re-scans.
+    void injectDetach(const std::string& imsi);
+    /// Drop this IMSI's PDP context/radio bearer without detaching;
+    /// the modem sees NO CARRIER and the host must re-dial. Returns
+    /// false if no active session matched.
+    bool injectBearerDrop(const std::string& imsi);
+    /// Coverage hole: every camped UE is detached (listeners fire) and
+    /// attach attempts fail until coverage returns after `duration`.
+    /// Overlapping outages extend to the farthest restore instant.
+    void injectCoverageOutage(sim::SimTime duration);
+
     /// Activate a PDP context (ATD*99# path). Asynchronous; the modem
     /// reports CONNECT when the callback delivers the session.
     void activatePdp(const std::string& imsi, const std::string& apn,
@@ -128,6 +149,7 @@ class UmtsNetwork {
     void releaseSubscriberAddress(net::Ipv4Address addr);
     void installSession(UmtsSession& session);
     void removeSession(UmtsSession& session);
+    void notifyDetached(const std::string& imsi);
 
     sim::Simulator& sim_;
     net::Internet& internet_;
@@ -143,6 +165,9 @@ class UmtsNetwork {
     bool coverage_ = true;
     std::set<std::string> attached_;
     std::map<std::string, sim::EventHandle> attaching_;
+    std::map<std::string, std::function<void()>> detachListeners_;
+    sim::EventHandle coverageRestore_;
+    sim::SimTime coverageRestoreAt_{0};
 
     std::vector<std::unique_ptr<UmtsSession>> sessions_;
     int nextSessionId_ = 1;

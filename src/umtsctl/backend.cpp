@@ -1,5 +1,7 @@
 #include "umtsctl/backend.hpp"
 
+#include <algorithm>
+
 #include "obs/registry.hpp"
 #include "util/strings.hpp"
 
@@ -9,7 +11,7 @@ UmtsBackend::UmtsBackend(sim::Simulator& simulator, pl::NodeOs& node,
                          sim::ByteChannel& modemTty, UmtsBackendConfig config)
     : sim_(simulator), node_(node), modemTty_(modemTty), config_(std::move(config)) {}
 
-UmtsBackend::~UmtsBackend() = default;
+UmtsBackend::~UmtsBackend() { cancelRedial(); }
 
 tools::RootShell& UmtsBackend::shell() {
     // The backend runs in the root context by construction.
@@ -85,13 +87,29 @@ void UmtsBackend::cmdStart(const pl::Slice& caller, pl::Vsys::Completion done) {
     destinations_.clear();
     log_.info() << "start requested by slice '" << caller.name << "' (xid " << caller.xid << ")";
 
+    startConnection([this, done = std::move(done)](
+                        util::Result<ppp::IpcpResult> addresses) mutable {
+        busy_ = false;
+        if (!addresses.ok()) {
+            state_.locked = false;
+            state_.lastError = addresses.error().message;
+            reply(done, exit_code::error, {"error=" + addresses.error().message});
+            return;
+        }
+        reply(done, exit_code::ok,
+              {"status=connected", "ip=" + state_.address.str(),
+               "operator=" + state_.operatorName,
+               "csq=" + std::to_string(state_.signalQuality)});
+    });
+}
+
+void UmtsBackend::startConnection(std::function<void(util::Result<ppp::IpcpResult>)> done) {
     comgt_ = std::make_unique<tools::Comgt>(sim_, modemTty_, config_.comgt);
     comgt_->run([this, done = std::move(done)](util::Result<tools::ComgtReport> report) mutable {
         if (!report.ok()) {
-            busy_ = false;
-            state_.locked = false;
             state_.lastError = report.error().message;
-            reply(done, exit_code::error, {"error=registration: " + report.error().message});
+            done(util::err(report.error().code,
+                           "registration: " + report.error().message));
             return;
         }
         state_.operatorName = report.value().operatorName;
@@ -104,20 +122,16 @@ void UmtsBackend::cmdStart(const pl::Slice& caller, pl::Vsys::Completion done) {
         wvdial_->onDisconnected = [this](const std::string& reason) { onLinkLost(reason); };
         wvdial_->dial([this, done = std::move(done)](
                           util::Result<ppp::IpcpResult> addresses) mutable {
-            busy_ = false;
             if (!addresses.ok()) {
-                state_.locked = false;
                 state_.lastError = addresses.error().message;
                 if (dropDtr) dropDtr();
                 wvdial_.reset();
-                reply(done, exit_code::error, {"error=dial: " + addresses.error().message});
+                done(util::err(addresses.error().code,
+                               "dial: " + addresses.error().message));
                 return;
             }
             setupDataPlane(addresses.value());
-            reply(done, exit_code::ok,
-                  {"status=connected", "ip=" + state_.address.str(),
-                   "operator=" + state_.operatorName,
-                   "csq=" + std::to_string(state_.signalQuality)});
+            done(addresses.value());
         });
     });
 }
@@ -201,6 +215,8 @@ void UmtsBackend::notifyCarrierLost() {
 void UmtsBackend::onLinkLost(const std::string& reason) {
     if (!state_.connected) return;
     log_.warn() << "connection lost: " << reason;
+    obs::Registry::instance().counter("fault.umtsctl.link_losses").inc();
+    const std::set<std::string> stashed = destinations_;
     teardownDataPlane();
     if (dropDtr) dropDtr();
     // This callback can arrive from deep inside the dialer's own pppd
@@ -208,8 +224,76 @@ void UmtsBackend::onLinkLost(const std::string& reason) {
     // the current event unwinds.
     sim_.schedule(sim::millis(1), [dead = std::shared_ptr<tools::WvDial>(std::move(wvdial_))] {
     });
-    state_.locked = false;
     state_.lastError = reason;
+    if (!config_.autoRedial.enable) {
+        state_.locked = false;
+        return;
+    }
+    // Recovery: keep the slice's lock and re-dial with capped
+    // exponential backoff; the destination rules are re-installed on
+    // success.
+    redialDestinations_ = stashed;
+    redialAttempt_ = 0;
+    redialBackoff_ = config_.autoRedial.initialBackoff;
+    scheduleRedial();
+}
+
+void UmtsBackend::scheduleRedial() {
+    if (redialTimer_.valid()) sim_.cancel(redialTimer_);
+    log_.info() << "auto-redial in " << sim::toSeconds(redialBackoff_) << "s";
+    redialTimer_ = sim_.schedule(redialBackoff_, [this] { attemptRedial(); });
+}
+
+void UmtsBackend::attemptRedial() {
+    redialTimer_ = {};
+    if (!state_.locked || state_.connected || busy_) return;
+    ++redialAttempt_;
+    obs::Registry::instance().counter("recovery.redial.attempts").inc();
+    log_.info() << "auto-redial attempt " << redialAttempt_ << "/"
+                << config_.autoRedial.maxAttempts;
+    busy_ = true;
+    startConnection([this](util::Result<ppp::IpcpResult> result) {
+        busy_ = false;
+        if (result.ok()) {
+            obs::Registry::instance().counter("recovery.redial.successes").inc();
+            log_.info() << "auto-redial succeeded: " << state_.address.str();
+            reinstallDestinations();
+            return;
+        }
+        state_.lastError = result.error().message;
+        if (redialAttempt_ >= config_.autoRedial.maxAttempts) {
+            // Terminal: surface the error and release the lock so the
+            // slice can decide what to do.
+            obs::Registry::instance().counter("recovery.redial.exhausted").inc();
+            log_.error() << "auto-redial exhausted after " << redialAttempt_
+                         << " attempts: " << state_.lastError;
+            state_.locked = false;
+            return;
+        }
+        redialBackoff_ = std::min(redialBackoff_ * 2, config_.autoRedial.maxBackoff);
+        scheduleRedial();
+    });
+}
+
+void UmtsBackend::reinstallDestinations() {
+    for (const std::string& destination : redialDestinations_) {
+        const auto result = shell().exec(
+            util::format("ip rule add prio %d fwmark 0x%x to %s lookup %d",
+                         config_.destinationRulePriority, mark(), destination.c_str(),
+                         config_.routingTable));
+        if (result.ok())
+            destinations_.insert(destination);
+        else
+            log_.error() << "failed to re-install destination " << destination << ": "
+                         << result.error().message;
+    }
+    redialDestinations_.clear();
+}
+
+void UmtsBackend::cancelRedial() {
+    if (redialTimer_.valid()) sim_.cancel(redialTimer_);
+    redialTimer_ = {};
+    redialDestinations_.clear();
 }
 
 void UmtsBackend::cmdStop(const pl::Slice& caller, pl::Vsys::Completion done) {
@@ -226,6 +310,7 @@ void UmtsBackend::cmdStop(const pl::Slice& caller, pl::Vsys::Completion done) {
         return;
     }
     log_.info() << "stop requested by slice '" << caller.name << "'";
+    cancelRedial();
     teardownDataPlane();
     if (wvdial_) {
         wvdial_->onDisconnected = nullptr;  // expected teardown

@@ -42,6 +42,18 @@ struct UmtsBackendConfig {
     /// metrics (and "umts stats all") are unaffected. Empty = no
     /// scoping, everything is shown.
     std::string statsScopeImsi;
+    /// Automatic re-dial after an unexpected link loss: the backend
+    /// keeps the slice's lock, re-runs registration + dialing with
+    /// capped exponential backoff, and re-installs the slice's
+    /// destination rules. Off by default (historic behaviour: report
+    /// the error, release the lock, stay down).
+    struct AutoRedial {
+        bool enable = false;
+        int maxAttempts = 6;
+        sim::SimTime initialBackoff = sim::seconds(2.0);
+        sim::SimTime maxBackoff = sim::seconds(60.0);
+    };
+    AutoRedial autoRedial;
 };
 
 /// Connection state the backend reports.
@@ -104,9 +116,16 @@ class UmtsBackend {
   private:
     void dispatch(const pl::Slice& caller, const std::vector<std::string>& args,
                   pl::Vsys::Completion done);
+    /// The registration + dial chain shared by cmdStart and the
+    /// auto-redial path; on success the data plane is up.
+    void startConnection(std::function<void(util::Result<ppp::IpcpResult>)> done);
     void setupDataPlane(const ppp::IpcpResult& addresses);
     void teardownDataPlane();
     void onLinkLost(const std::string& reason);
+    void scheduleRedial();
+    void attemptRedial();
+    void reinstallDestinations();
+    void cancelRedial();
     [[nodiscard]] tools::RootShell& shell();
     [[nodiscard]] std::uint32_t mark() const noexcept { return ownerMark_; }
     static void reply(pl::Vsys::Completion& done, int code,
@@ -125,6 +144,12 @@ class UmtsBackend {
     std::unique_ptr<tools::WvDial> wvdial_;
     std::set<std::string> destinations_;
     bool busy_ = false;  ///< a start/stop is in flight
+
+    // Auto-redial recovery state.
+    sim::EventHandle redialTimer_;
+    int redialAttempt_ = 0;
+    sim::SimTime redialBackoff_{0};
+    std::set<std::string> redialDestinations_;  ///< rules to re-install
 };
 
 }  // namespace onelab::umtsctl

@@ -1,0 +1,121 @@
+// FaultInjector: arming, firing into live targets, skipping dead
+// ones, and — the regression that motivated Fleet teardown hooks —
+// cancelling every pending injection when the fleet dies mid-plan
+// instead of firing into destroyed nodes.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "fault/injector.hpp"
+#include "obs/registry.hpp"
+#include "obs/telemetry.hpp"
+
+namespace onelab::fault {
+namespace {
+
+FaultPlan planOf(std::initializer_list<FaultEvent> events) {
+    FaultPlan plan;
+    for (const FaultEvent& event : events) plan.add(event);
+    return plan;
+}
+
+TEST(FaultInjector, FiresIntoLiveFleetAndCounts) {
+    obs::beginRun();
+    scenario::Fleet fleet{scenario::makeUniformFleet(1, 5)};
+    ASSERT_TRUE(fleet.startAll().ok());
+
+    const sim::SimTime now = fleet.sim().now();
+    FaultInjector injector{
+        fleet, planOf({{now + sim::seconds(1.0), FaultKind::bearer_drop, 0, 0.0, {}},
+                       {now + sim::seconds(2.0), FaultKind::cell_squeeze, 0, 0.5,
+                        sim::seconds(3.0)}})};
+    injector.arm();
+    EXPECT_EQ(injector.stats().scheduled, 2u);
+
+    fleet.sim().runUntil(now + sim::seconds(2.5));
+    EXPECT_EQ(injector.stats().fired, 2u);
+    EXPECT_EQ(injector.stats().skipped, 0u);
+    EXPECT_EQ(obs::Registry::instance().counter("fault.injected").value(), 2u);
+    EXPECT_DOUBLE_EQ(fleet.operatorNetwork().cell().capacityScale(), 0.5);
+
+    // The squeeze's restore is scheduled through the injector too.
+    fleet.sim().runUntil(now + sim::seconds(6.0));
+    EXPECT_DOUBLE_EQ(fleet.operatorNetwork().cell().capacityScale(), 1.0);
+}
+
+TEST(FaultInjector, SkipsWhenTargetIsDead) {
+    obs::beginRun();
+    scenario::Fleet fleet{scenario::makeUniformFleet(1, 5)};
+    // No umts start: no session exists, and site 9 never will.
+    const sim::SimTime now = fleet.sim().now();
+    FaultInjector injector{
+        fleet, planOf({{now + sim::seconds(1.0), FaultKind::rlc_outage, 0, 0.0,
+                        sim::seconds(1.0)},
+                       {now + sim::seconds(1.0), FaultKind::modem_reset, 9, 0.0, {}}})};
+    injector.arm();
+    fleet.sim().runUntil(now + sim::seconds(2.0));
+    EXPECT_EQ(injector.stats().fired, 2u);
+    EXPECT_EQ(injector.stats().skipped, 2u);
+    EXPECT_EQ(obs::Registry::instance().counter("fault.skipped").value(), 2u);
+}
+
+TEST(FaultInjector, ArmSkipsEventsAlreadyInThePast) {
+    obs::beginRun();
+    scenario::Fleet fleet{scenario::makeUniformFleet(1, 5)};
+    fleet.sim().runUntil(sim::seconds(10.0));
+    FaultInjector injector{
+        fleet, planOf({{sim::seconds(5.0), FaultKind::ue_detach, 0, 0.0, {}},
+                       {sim::seconds(15.0), FaultKind::ue_detach, 0, 0.0, {}}})};
+    injector.arm();
+    EXPECT_EQ(injector.stats().scheduled, 1u);
+    EXPECT_EQ(injector.stats().skipped, 1u);
+}
+
+/// THE regression: a fleet destroyed while injections (including a
+/// pending coverage outage) are still scheduled must cancel them via
+/// its teardown hooks — previously such events would fire into
+/// destroyed sites.
+TEST(FaultInjector, FleetTeardownCancelsPendingInjections) {
+    obs::beginRun();
+    auto fleet = std::make_unique<scenario::Fleet>(scenario::makeUniformFleet(2, 5));
+    ASSERT_TRUE(fleet->startAll().ok());
+    const sim::SimTime now = fleet->sim().now();
+    FaultInjector injector{
+        *fleet,
+        planOf({{now + sim::seconds(50.0), FaultKind::coverage_outage, 0, 0.0,
+                 sim::seconds(20.0)},
+                {now + sim::seconds(60.0), FaultKind::modem_reset, 1, 0.0, {}},
+                {now + sim::seconds(70.0), FaultKind::serial_stall, 0, 0.0,
+                 sim::seconds(1.0)}})};
+    injector.arm();
+    ASSERT_EQ(injector.stats().scheduled, 3u);
+
+    // Tear the fleet down with all three injections still pending.
+    fleet.reset();
+    EXPECT_EQ(injector.stats().cancelled, 3u);
+    EXPECT_EQ(injector.stats().fired, 0u);
+    // Cancelling twice (the injector's own destructor will too) is a
+    // no-op.
+    injector.cancelAll();
+    EXPECT_EQ(injector.stats().cancelled, 3u);
+}
+
+/// The mirror image: destroying the injector before the fleet must
+/// leave the fleet fully usable (the teardown hook no-ops through the
+/// liveness token) and unarm everything it scheduled.
+TEST(FaultInjector, InjectorDestroyedBeforeFleetIsSafe) {
+    obs::beginRun();
+    scenario::Fleet fleet{scenario::makeUniformFleet(1, 5)};
+    const sim::SimTime now = fleet.sim().now();
+    {
+        FaultInjector injector{
+            fleet, planOf({{now + sim::seconds(30.0), FaultKind::modem_reset, 0, 0.0, {}}})};
+        injector.arm();
+    }
+    // The scheduled reset died with the injector: nothing fires.
+    fleet.sim().runUntil(now + sim::seconds(40.0));
+    EXPECT_EQ(obs::Registry::instance().counter("fault.injected").value(), 0u);
+}
+
+}  // namespace
+}  // namespace onelab::fault

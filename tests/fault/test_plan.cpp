@@ -1,0 +1,131 @@
+// FaultPlan: seeded generation must be deterministic, events stay
+// sorted, and the JSON round-trip preserves every field (times to
+// sub-microsecond, magnitudes exactly).
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "fault/plan.hpp"
+
+namespace onelab::fault {
+namespace {
+
+RandomPlanConfig config(std::uint64_t seed) {
+    RandomPlanConfig c;
+    c.seed = seed;
+    c.siteCount = 3;
+    c.start = sim::seconds(10.0);
+    c.horizon = sim::seconds(600.0);
+    c.meanGap = sim::seconds(20.0);
+    return c;
+}
+
+TEST(FaultPlan, SameSeedSamePlan) {
+    const FaultPlan a = FaultPlan::random(config(7));
+    const FaultPlan b = FaultPlan::random(config(7));
+    ASSERT_EQ(a.size(), b.size());
+    ASSERT_GT(a.size(), 0u);
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        EXPECT_EQ(a.events()[i].at, b.events()[i].at);
+        EXPECT_EQ(a.events()[i].kind, b.events()[i].kind);
+        EXPECT_EQ(a.events()[i].site, b.events()[i].site);
+        EXPECT_EQ(a.events()[i].magnitude, b.events()[i].magnitude);
+        EXPECT_EQ(a.events()[i].duration, b.events()[i].duration);
+    }
+}
+
+TEST(FaultPlan, DifferentSeedDifferentPlan) {
+    const FaultPlan a = FaultPlan::random(config(7));
+    const FaultPlan b = FaultPlan::random(config(8));
+    bool differs = a.size() != b.size();
+    for (std::size_t i = 0; !differs && i < a.size(); ++i)
+        differs = a.events()[i].at != b.events()[i].at ||
+                  a.events()[i].kind != b.events()[i].kind;
+    EXPECT_TRUE(differs);
+}
+
+TEST(FaultPlan, GeneratedEventsAreSortedAndInRange) {
+    const RandomPlanConfig c = config(42);
+    const FaultPlan plan = FaultPlan::random(c);
+    ASSERT_GT(plan.size(), 0u);
+    sim::SimTime previous = c.start;
+    for (const FaultEvent& event : plan.events()) {
+        EXPECT_GE(event.at, previous);
+        EXPECT_LT(event.at, c.horizon);
+        EXPECT_GE(event.site, 0);
+        EXPECT_LT(event.site, int(c.siteCount));
+        previous = event.at;
+    }
+}
+
+TEST(FaultPlan, AddKeepsSortedStable) {
+    FaultPlan plan;
+    plan.add({sim::seconds(5.0), FaultKind::modem_reset, 1, 0.0, {}});
+    plan.add({sim::seconds(1.0), FaultKind::ue_detach, 0, 0.0, {}});
+    plan.add({sim::seconds(5.0), FaultKind::at_error, 2, 1.0, {}});  // tie with [0]
+    ASSERT_EQ(plan.size(), 3u);
+    EXPECT_EQ(plan.events()[0].kind, FaultKind::ue_detach);
+    EXPECT_EQ(plan.events()[1].kind, FaultKind::modem_reset);  // inserted first, stays first
+    EXPECT_EQ(plan.events()[2].kind, FaultKind::at_error);
+}
+
+TEST(FaultPlan, KindNamesRoundTrip) {
+    for (std::size_t i = 0; i < kFaultKindCount; ++i) {
+        const auto kind = FaultKind(i);
+        const auto back = kindFromName(kindName(kind));
+        ASSERT_TRUE(back.has_value()) << kindName(kind);
+        EXPECT_EQ(*back, kind);
+    }
+    EXPECT_FALSE(kindFromName("definitely_not_a_fault").has_value());
+}
+
+TEST(FaultPlan, JsonRoundTripPreservesEveryField) {
+    const FaultPlan original = FaultPlan::random(config(123));
+    ASSERT_GT(original.size(), 0u);
+    const auto parsed = FaultPlan::parseJson(original.toJson());
+    ASSERT_TRUE(parsed.ok()) << parsed.error().message;
+    const FaultPlan& copy = parsed.value();
+    ASSERT_EQ(copy.size(), original.size());
+    for (std::size_t i = 0; i < original.size(); ++i) {
+        const FaultEvent& a = original.events()[i];
+        const FaultEvent& b = copy.events()[i];
+        // Times travel as milliseconds-as-double: exact to well under
+        // a microsecond, which is far below any injection granularity.
+        EXPECT_LE(std::abs((a.at - b.at).count()), 1000) << "event " << i;
+        EXPECT_LE(std::abs((a.duration - b.duration).count()), 1000) << "event " << i;
+        EXPECT_EQ(a.kind, b.kind) << "event " << i;
+        EXPECT_EQ(a.site, b.site) << "event " << i;
+        EXPECT_EQ(a.magnitude, b.magnitude) << "event " << i;  // %.17g: exact
+    }
+}
+
+TEST(FaultPlan, ParseRejectsMalformedInput) {
+    EXPECT_FALSE(FaultPlan::parseJson("").ok());
+    EXPECT_FALSE(FaultPlan::parseJson("[]").ok());
+    EXPECT_FALSE(FaultPlan::parseJson("{\"events\": [{}]}").ok());  // missing kind
+    EXPECT_FALSE(
+        FaultPlan::parseJson("{\"events\": [{\"kind\": \"warp_core_breach\"}]}").ok());
+    EXPECT_FALSE(FaultPlan::parseJson("{\"bogus\": 1}").ok());
+    EXPECT_FALSE(FaultPlan::parseJson("{\"events\": []} trailing").ok());
+    EXPECT_FALSE(FaultPlan::parseJson(
+                     "{\"events\": [{\"kind\": \"ue_detach\", \"at_ms\": -5}]}")
+                     .ok());
+    const auto minimal = FaultPlan::parseJson("{\"events\": [{\"kind\": \"ue_detach\"}]}");
+    ASSERT_TRUE(minimal.ok());
+    EXPECT_EQ(minimal.value().size(), 1u);
+}
+
+TEST(FaultPlan, FileRoundTrip) {
+    const FaultPlan original = FaultPlan::random(config(99));
+    const std::string path = "/tmp/onelab_test_fault_plan.json";
+    ASSERT_TRUE(original.saveFile(path).ok());
+    const auto loaded = FaultPlan::loadFile(path);
+    ASSERT_TRUE(loaded.ok()) << loaded.error().message;
+    EXPECT_EQ(loaded.value().size(), original.size());
+    std::remove(path.c_str());
+    EXPECT_FALSE(FaultPlan::loadFile("/tmp/onelab_no_such_plan.json").ok());
+}
+
+}  // namespace
+}  // namespace onelab::fault

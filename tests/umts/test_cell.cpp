@@ -2,7 +2,12 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cstdint>
+#include <memory>
 #include <vector>
+
+#include "util/rand.hpp"
 
 namespace onelab::umts {
 namespace {
@@ -109,6 +114,149 @@ TEST(CellCapacity, WaiterTakingTheFreedCapacityStarvesLaterWaiters) {
     EXPECT_EQ(grabbed, (std::vector<int>{1}));
     EXPECT_DOUBLE_EQ(cell.uplinkAvailableBps(), 0.0);
 }
+
+// ------------------------------------------------------------------
+// Randomized interleaving invariants: 1000 seeded schedules of
+// reserve / tryGrow / release / admit / releaseDownlink / squeeze /
+// waiter churn, with a shadow model checked after every step:
+//
+//   * conservation: allocated == sum of outstanding grants the
+//     schedule handed out (both pools, at every step);
+//   * no over-commit: tryGrowUplink never pushes allocation past the
+//     effective budget, and headroom is exactly
+//     max(0, budget*scale - allocated);
+//   * waiter order: whenever a release/raise notifies, parked waiters
+//     run in registration order.
+// ------------------------------------------------------------------
+
+class CellInvariants : public ::testing::TestWithParam<int> {};
+
+TEST_P(CellInvariants, RandomInterleavingsHoldTheLedger) {
+    constexpr double kUplinkBudget = 768e3;
+    constexpr double kDownlinkBudget = 7.2e6;
+    constexpr int kSchedulesPerShard = 125;  // 8 shards x 125 = 1000
+    constexpr int kStepsPerSchedule = 60;
+
+    for (int schedule = 0; schedule < kSchedulesPerShard; ++schedule) {
+        const std::uint64_t seed =
+            std::uint64_t(GetParam()) * kSchedulesPerShard + std::uint64_t(schedule) + 1;
+        util::RandomStream rng{seed};
+        CellCapacity cell{kUplinkBudget, kDownlinkBudget};
+
+        std::vector<double> uplinkGrants;    // outstanding uplink reservations
+        std::vector<double> downlinkGrants;  // outstanding downlink admissions
+        double scale = 1.0;
+        std::vector<CellCapacity::WaiterId> waiters;
+        std::vector<CellCapacity::WaiterId> notified;  // order of callbacks
+
+        const auto sum = [](const std::vector<double>& grants) {
+            double total = 0.0;
+            for (const double grant : grants) total += grant;
+            return total;
+        };
+        const auto checkLedger = [&](const char* when) {
+            const double upAllocated = sum(uplinkGrants);
+            const double downAllocated = sum(downlinkGrants);
+            ASSERT_NEAR(cell.uplinkAllocatedBps(), upAllocated, 1e-6)
+                << "seed " << seed << " after " << when;
+            ASSERT_NEAR(cell.downlinkAllocatedBps(), downAllocated, 1e-6)
+                << "seed " << seed << " after " << when;
+            ASSERT_NEAR(cell.uplinkAvailableBps(),
+                        std::max(0.0, kUplinkBudget * scale - upAllocated), 1e-6)
+                << "seed " << seed << " after " << when;
+            ASSERT_NEAR(cell.downlinkAvailableBps(),
+                        std::max(0.0, kDownlinkBudget * scale - downAllocated), 1e-6)
+                << "seed " << seed << " after " << when;
+        };
+
+        for (int step = 0; step < kStepsPerSchedule; ++step) {
+            switch (rng.uniformInt(0, 7)) {
+                case 0: {  // floor-guaranteed reservation (may oversubscribe)
+                    const double bps = rng.uniform(16e3, 384e3);
+                    cell.reserveUplink(bps);
+                    uplinkGrants.push_back(bps);
+                    checkLedger("reserveUplink");
+                    break;
+                }
+                case 1: {  // conditional growth
+                    const double bps = rng.uniform(16e3, 384e3);
+                    const double headroom = cell.uplinkAvailableBps();
+                    const bool grown = cell.tryGrowUplink(bps);
+                    ASSERT_EQ(grown, bps <= headroom) << "seed " << seed;
+                    if (grown) uplinkGrants.push_back(bps);
+                    ASSERT_LE(cell.uplinkAllocatedBps(),
+                              std::max(sum(uplinkGrants), kUplinkBudget * scale) + 1e-6)
+                        << "tryGrowUplink over-committed, seed " << seed;
+                    checkLedger("tryGrowUplink");
+                    break;
+                }
+                case 2: {  // release an outstanding uplink grant
+                    if (uplinkGrants.empty()) break;
+                    const auto victim = std::size_t(
+                        rng.uniformInt(0, std::int64_t(uplinkGrants.size()) - 1));
+                    notified.clear();
+                    cell.releaseUplink(uplinkGrants[victim]);
+                    uplinkGrants.erase(uplinkGrants.begin() + std::ptrdiff_t(victim));
+                    // Re-grant offers must respect registration order.
+                    ASSERT_TRUE(std::is_sorted(notified.begin(), notified.end()))
+                        << "waiters notified out of registration order, seed " << seed;
+                    checkLedger("releaseUplink");
+                    break;
+                }
+                case 3: {  // downlink admission (trims, floors)
+                    const double desired = rng.uniform(64e3, 2e6);
+                    const double floor = rng.uniform(16e3, 384e3);
+                    const double granted = cell.admitDownlink(desired, floor);
+                    ASSERT_GE(granted, std::min(desired, floor) - 1e-6) << "seed " << seed;
+                    ASSERT_LE(granted, std::max(desired, floor) + 1e-6) << "seed " << seed;
+                    downlinkGrants.push_back(granted);
+                    checkLedger("admitDownlink");
+                    break;
+                }
+                case 4: {  // release a downlink admission
+                    if (downlinkGrants.empty()) break;
+                    const auto victim = std::size_t(
+                        rng.uniformInt(0, std::int64_t(downlinkGrants.size()) - 1));
+                    cell.releaseDownlink(downlinkGrants[victim]);
+                    downlinkGrants.erase(downlinkGrants.begin() + std::ptrdiff_t(victim));
+                    checkLedger("releaseDownlink");
+                    break;
+                }
+                case 5: {  // capacity squeeze / restore
+                    notified.clear();
+                    scale = rng.chance(0.5) ? rng.uniform(0.2, 0.9) : 1.0;
+                    cell.setCapacityScale(scale);
+                    ASSERT_TRUE(std::is_sorted(notified.begin(), notified.end()))
+                        << "seed " << seed;
+                    checkLedger("setCapacityScale");
+                    break;
+                }
+                case 6: {  // park a waiter
+                    if (waiters.size() >= 8) break;
+                    // The callback records its own id; ids are handed
+                    // out monotonically, so sortedness of the recorded
+                    // ids IS registration order.
+                    auto self = std::make_shared<CellCapacity::WaiterId>(0);
+                    *self = cell.addWaiter(
+                        [&notified, self] { notified.push_back(*self); });
+                    waiters.push_back(*self);
+                    break;
+                }
+                case 7: {  // unpark a random waiter
+                    if (waiters.empty()) break;
+                    const auto victim = std::size_t(
+                        rng.uniformInt(0, std::int64_t(waiters.size()) - 1));
+                    cell.removeWaiter(waiters[victim]);
+                    waiters.erase(waiters.begin() + std::ptrdiff_t(victim));
+                    break;
+                }
+            }
+        }
+        for (const CellCapacity::WaiterId id : waiters) cell.removeWaiter(id);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Shards, CellInvariants, ::testing::Range(0, 8));
 
 }  // namespace
 }  // namespace onelab::umts
