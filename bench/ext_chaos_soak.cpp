@@ -30,6 +30,7 @@
 #include "obs/trace.hpp"
 #include "ppp/lcp.hpp"
 #include "scenario/fleet.hpp"
+#include "sweep_runner.hpp"
 
 using namespace onelab;
 
@@ -43,6 +44,7 @@ struct SoakOptions {
     std::string faultsFile;           // scripted plan overrides seeding
     std::string exportDir = "/tmp/onelab_chaos";
     bool checkDeterminism = true;
+    std::size_t jobs = 1;             // seeds run on this many workers
 };
 
 struct SoakOutcome {
@@ -148,7 +150,10 @@ SoakOutcome runSoak(const SoakOptions& options, std::uint64_t seed,
 void usage(const char* argv0) {
     std::printf(
         "usage: %s [--profile pr|nightly] [--ues N] [--seconds S]\n"
-        "          [--seeds a,b,c] [--faults plan.json] [--export dir]\n",
+        "          [--seeds a,b,c] [--faults plan.json] [--export dir]\n"
+        "          [--jobs N]   (0 = all hardware threads; per-seed\n"
+        "                        outcomes and telemetry are identical\n"
+        "                        to a serial run)\n",
         argv0);
 }
 
@@ -193,6 +198,10 @@ int main(int argc, char** argv) {
             const char* value = next();
             if (!value) { usage(argv[0]); return 2; }
             options.exportDir = value;
+        } else if (arg == "--jobs") {
+            const char* value = next();
+            if (!value) { usage(argv[0]); return 2; }
+            options.jobs = bench::SweepRunner::parseJobsValue(value);
         } else {
             usage(argv[0]);
             return arg == "--help" ? 0 : 2;
@@ -200,13 +209,25 @@ int main(int argc, char** argv) {
     }
     if (options.seeds.empty()) { usage(argv[0]); return 2; }
 
-    std::printf("=== Chaos soak: %zu-UE fleet, %s profile, %.0f s per seed ===\n\n",
-                options.ues, options.profile.c_str(), options.soakSeconds);
+    std::printf("=== Chaos soak: %zu-UE fleet, %s profile, %.0f s per seed, "
+                "%zu job%s ===\n\n",
+                options.ues, options.profile.c_str(), options.soakSeconds, options.jobs,
+                options.jobs == 1 ? "" : "s");
+
+    // Seeds are independent soaks; run them as sweep points (each in
+    // its own RunContext) and report in seed order once all are done.
+    bench::SweepRunner runner{options.jobs};
+    const std::vector<SoakOutcome> outcomes =
+        runner.map<SoakOutcome>(options.seeds.size(), [&](std::size_t index) {
+            const std::uint64_t seed = options.seeds[index];
+            return runSoak(options, seed,
+                           options.exportDir + "_seed" + std::to_string(seed));
+        });
 
     bool allOk = true;
-    for (const std::uint64_t seed : options.seeds) {
-        const std::string directory = options.exportDir + "_seed" + std::to_string(seed);
-        const SoakOutcome outcome = runSoak(options, seed, directory);
+    for (std::size_t i = 0; i < options.seeds.size(); ++i) {
+        const std::uint64_t seed = options.seeds[i];
+        const SoakOutcome& outcome = outcomes[i];
         if (outcome.ok)
             std::printf("seed %llu: OK — %zu faults injected, %zu skipped "
                         "(no live target), invariants hold\n",
@@ -223,7 +244,11 @@ int main(int argc, char** argv) {
         const std::uint64_t seed = options.seeds.front();
         const std::string dirA = options.exportDir + "_seed" + std::to_string(seed);
         const std::string dirB = dirA + "_repeat";
-        const SoakOutcome repeat = runSoak(options, seed, dirB);
+        // Replay through a one-job runner: the repeat sees the same
+        // isolated RunContext a worker would, so this diff also pins
+        // serial-equals-parallel telemetry.
+        const SoakOutcome repeat = bench::SweepRunner{1}.map<SoakOutcome>(
+            1, [&](std::size_t) { return runSoak(options, seed, dirB); })[0];
         if (!repeat.ok) {
             std::printf("determinism re-run FAILED: %s\n", repeat.failure.c_str());
             allOk = false;

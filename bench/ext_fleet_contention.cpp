@@ -8,9 +8,12 @@
 // N = 5 admissions get trimmed down the ladder. RTT inflates in step
 // (deeper RLC queues at the lower serving rate).
 //
-// Usage: ext_fleet_contention [seed] [--csv path] [--telemetry dir]
+// Usage: ext_fleet_contention [seed] [--csv path] [--telemetry dir] [--jobs N]
 //   --csv       per-UE rows for every N as CSV
 //   --telemetry per-N metrics.json + trace.json under <dir>/n<k>/
+//   --jobs      run the N=1..8 sweep points on N worker threads
+//               (0 = all hardware threads); output is byte-identical
+//               to the serial sweep
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -22,6 +25,7 @@
 #include "obs/trace.hpp"
 #include "ppp/lcp.hpp"
 #include "scenario/fleet.hpp"
+#include "sweep_runner.hpp"
 #include "util/strings.hpp"
 #include "util/table.hpp"
 
@@ -52,10 +56,10 @@ double meanRttMs(const SweepPoint& point) {
 SweepPoint runSweepPoint(std::size_t ueCount, std::uint64_t seed, double durationSeconds,
                          const std::string& telemetryDir) {
     const bool telemetry = !telemetryDir.empty();
-    if (telemetry) {
-        obs::beginRun();
-        ppp::resetMagicEntropy();
-    }
+    if (telemetry) obs::beginRun();
+    // Always start the LCP magic sequence from zero so a point's
+    // results are the same whether it runs serially or on a worker.
+    ppp::resetMagicEntropy();
 
     SweepPoint point;
     point.ueCount = ueCount;
@@ -87,11 +91,14 @@ int main(int argc, char** argv) {
     std::uint64_t seed = 42;
     std::string csvPath;
     std::string telemetryDir;
+    std::size_t jobs = 1;
     for (int i = 1; i < argc; ++i) {
         if (std::strcmp(argv[i], "--csv") == 0 && i + 1 < argc)
             csvPath = argv[++i];
         else if (std::strcmp(argv[i], "--telemetry") == 0 && i + 1 < argc)
             telemetryDir = argv[++i];
+        else if (std::strcmp(argv[i], "--jobs") == 0 && i + 1 < argc)
+            jobs = bench::SweepRunner::parseJobsValue(argv[++i]);
         else
             seed = std::strtoull(argv[i], nullptr, 10);
     }
@@ -100,12 +107,14 @@ int main(int argc, char** argv) {
 
     std::printf("=== Extension: shared-cell contention (N-UE fleet) ===\n");
     std::printf("N UMTS nodes, one commercial cell (768 kbps uplink budget),\n"
-                "1 Mbps CBR uplink from every node for %.0f s, seed %llu\n\n",
-                kDuration, (unsigned long long)seed);
+                "1 Mbps CBR uplink from every node for %.0f s, seed %llu, %zu job%s\n\n",
+                kDuration, (unsigned long long)seed, jobs, jobs == 1 ? "" : "s");
 
-    std::vector<SweepPoint> sweep;
-    for (std::size_t n = 1; n <= kMaxUes; ++n)
-        sweep.push_back(runSweepPoint(n, seed, kDuration, telemetryDir));
+    bench::SweepRunner runner{jobs};
+    const std::vector<SweepPoint> sweep =
+        runner.map<SweepPoint>(kMaxUes, [&](std::size_t index) {
+            return runSweepPoint(index + 1, seed, kDuration, telemetryDir);
+        });
 
     util::Table table({"N", "per-UE goodput [kbps]", "mean RTT [ms]", "upgrades", "denied",
                        "trimmed"});
@@ -165,8 +174,12 @@ int main(int argc, char** argv) {
                            four.cellDeniedUpgrades + four.cellTrimmedAdmissions;
     check(monotoneDenials, "N=8 at least as contended as N=4");
 
-    // Determinism: the same seed must reproduce the same numbers.
-    const SweepPoint replay = runSweepPoint(4, seed, kDuration, "");
+    // Determinism: the same seed must reproduce the same numbers —
+    // replayed through a fresh one-job runner, so this also pins
+    // serial-equals-parallel (every point sees the same isolated
+    // RunContext either way).
+    const SweepPoint replay = bench::SweepRunner{1}.map<SweepPoint>(
+        1, [&](std::size_t) { return runSweepPoint(4, seed, kDuration, ""); })[0];
     bool identical = replay.runs.size() == four.runs.size();
     for (std::size_t i = 0; identical && i < replay.runs.size(); ++i) {
         identical = replay.runs[i].summary.meanBitrateKbps ==

@@ -2,7 +2,12 @@
 // similar results were obtained." This bench repeats the (shortened)
 // experiments across 20 seeds and reports mean ± stddev of the
 // headline metrics, quantifying that claim for this reproduction.
+//
+// Usage: repeatability [--jobs N]   (0 = all hardware threads)
+// Seeds are independent sweep points; aggregation order is fixed, so
+// the report is byte-identical at any job count.
 #include <cstdio>
+#include <cstring>
 #include <fstream>
 #include <sstream>
 
@@ -13,6 +18,7 @@
 #include "ppp/lcp.hpp"
 #include "scenario/experiment.hpp"
 #include "scenario/fleet.hpp"
+#include "sweep_runner.hpp"
 #include "util/strings.hpp"
 #include "util/table.hpp"
 
@@ -28,18 +34,38 @@ struct Aggregate {
     util::OnlineStats lossPct;
 };
 
-Aggregate sweep(Workload workload, double duration, int runs) {
+/// One seed's headline numbers (what the Aggregate folds over).
+struct RunMetrics {
+    double bitrate = 0.0;
+    double rttMs = 0.0;
+    double jitterMs = 0.0;
+    double lossPct = 0.0;
+};
+
+Aggregate sweep(Workload workload, double duration, int runs,
+                bench::SweepRunner& runner) {
+    const std::vector<RunMetrics> points =
+        runner.map<RunMetrics>(std::size_t(runs), [&](std::size_t index) {
+            ExperimentOptions options;
+            options.workload = workload;
+            options.durationSeconds = duration;
+            options.seed = std::uint64_t(index + 1);
+            const PathRun run = runPath(PathKind::umts_to_ethernet, options);
+            return RunMetrics{
+                util::meanInWindow(run.series.bitrateKbps, 2, duration - 2),
+                run.summary.meanRttSeconds * 1e3,
+                run.summary.meanJitterSeconds * 1e3,
+                run.summary.lossRate * 100.0,
+            };
+        });
+    // Fold in seed order whatever order the points finished in, so the
+    // running mean/stddev come out bit-identical to the serial sweep.
     Aggregate aggregate;
-    for (int seed = 1; seed <= runs; ++seed) {
-        ExperimentOptions options;
-        options.workload = workload;
-        options.durationSeconds = duration;
-        options.seed = std::uint64_t(seed);
-        const PathRun run = runPath(PathKind::umts_to_ethernet, options);
-        aggregate.bitrate.add(util::meanInWindow(run.series.bitrateKbps, 2, duration - 2));
-        aggregate.rttMs.add(run.summary.meanRttSeconds * 1e3);
-        aggregate.jitterMs.add(run.summary.meanJitterSeconds * 1e3);
-        aggregate.lossPct.add(run.summary.lossRate * 100.0);
+    for (const RunMetrics& point : points) {
+        aggregate.bitrate.add(point.bitrate);
+        aggregate.rttMs.add(point.rttMs);
+        aggregate.jitterMs.add(point.jitterMs);
+        aggregate.lossPct.add(point.lossPct);
     }
     return aggregate;
 }
@@ -72,9 +98,12 @@ void runFleetTelemetry(const std::string& directory) {
 /// bytes: a 3-UE shared-cell run is re-executed in a fresh registry
 /// and the two telemetry exports (which include the per-IMSI
 /// `umts.bearer.<imsi>.*` metric families) are compared byte for byte.
-bool fleetTelemetryIdentical() {
-    runFleetTelemetry("/tmp/onelab_repeat_fleet_a");
-    runFleetTelemetry("/tmp/onelab_repeat_fleet_b");
+bool fleetTelemetryIdentical(bench::SweepRunner& runner) {
+    const char* const dirs[] = {"/tmp/onelab_repeat_fleet_a", "/tmp/onelab_repeat_fleet_b"};
+    (void)runner.map<int>(2, [&](std::size_t index) {
+        runFleetTelemetry(dirs[index]);
+        return 0;
+    });
     const std::string metricsA = slurp("/tmp/onelab_repeat_fleet_a/metrics.json");
     const std::string metricsB = slurp("/tmp/onelab_repeat_fleet_b/metrics.json");
     const std::string traceA = slurp("/tmp/onelab_repeat_fleet_a/trace.json");
@@ -121,9 +150,12 @@ void runFaultedFleetTelemetry(const std::string& directory) {
 /// Same seed + same FaultPlan must also reproduce byte for byte: the
 /// chaos path (injections, recoveries, redials) is part of the
 /// deterministic surface, not an excuse to diverge.
-bool faultedTelemetryIdentical() {
-    runFaultedFleetTelemetry("/tmp/onelab_repeat_fault_a");
-    runFaultedFleetTelemetry("/tmp/onelab_repeat_fault_b");
+bool faultedTelemetryIdentical(bench::SweepRunner& runner) {
+    const char* const dirs[] = {"/tmp/onelab_repeat_fault_a", "/tmp/onelab_repeat_fault_b"};
+    (void)runner.map<int>(2, [&](std::size_t index) {
+        runFaultedFleetTelemetry(dirs[index]);
+        return 0;
+    });
     const std::string metricsA = slurp("/tmp/onelab_repeat_fault_a/metrics.json");
     const std::string metricsB = slurp("/tmp/onelab_repeat_fault_b/metrics.json");
     const std::string traceA = slurp("/tmp/onelab_repeat_fault_a/trace.json");
@@ -139,16 +171,23 @@ bool faultedTelemetryIdentical() {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+    std::size_t jobs = 1;
+    for (int i = 1; i < argc; ++i)
+        if (std::strcmp(argv[i], "--jobs") == 0 && i + 1 < argc)
+            jobs = bench::SweepRunner::parseJobsValue(argv[++i]);
+    bench::SweepRunner runner{jobs};
+
     constexpr int kRuns = 20;
-    std::printf("=== Repeatability: %d seeded runs per experiment (paper §3.1) ===\n\n",
-                kRuns);
+    std::printf("=== Repeatability: %d seeded runs per experiment (paper §3.1), "
+                "%zu job%s ===\n\n",
+                kRuns, jobs, jobs == 1 ? "" : "s");
     util::Table table({"experiment (UMTS path)", "bitrate [kbps]", "RTT [ms]",
                        "jitter [ms]", "loss [%]"});
-    const Aggregate voip = sweep(Workload::voip_g711, 30.0, kRuns);
+    const Aggregate voip = sweep(Workload::voip_g711, 30.0, kRuns, runner);
     table.addRow({"VoIP 72 kbps, 30 s", cell(voip.bitrate), cell(voip.rttMs),
                   cell(voip.jitterMs), cell(voip.lossPct)});
-    const Aggregate cbr = sweep(Workload::cbr_1mbps, 30.0, kRuns);
+    const Aggregate cbr = sweep(Workload::cbr_1mbps, 30.0, kRuns, runner);
     table.addRow({"CBR 1 Mbps, 30 s", cell(cbr.bitrate), cell(cbr.rttMs),
                   cell(cbr.jitterMs), cell(cbr.lossPct)});
     std::printf("%s\n", table.render().c_str());
@@ -156,7 +195,7 @@ int main() {
     std::printf("run-to-run spread of the VoIP bitrate mean: %.1f%% — \"very similar\n"
                 "results\", as the paper reports for its 20 repetitions.\n\n",
                 spread * 100.0);
-    const bool fleetOk = fleetTelemetryIdentical();
-    const bool faultOk = faultedTelemetryIdentical();
+    const bool fleetOk = fleetTelemetryIdentical(runner);
+    const bool faultOk = faultedTelemetryIdentical(runner);
     return (spread < 0.05 && fleetOk && faultOk) ? 0 : 1;
 }

@@ -1,0 +1,56 @@
+#include "sweep_runner.hpp"
+
+#include <atomic>
+#include <cstdlib>
+#include <exception>
+#include <thread>
+
+#include "obs/run_context.hpp"
+
+namespace onelab::bench {
+
+std::size_t SweepRunner::parseJobsValue(const char* text) {
+    const unsigned long long value = std::strtoull(text, nullptr, 10);
+    if (value == 0) {
+        const unsigned hardware = std::thread::hardware_concurrency();
+        return hardware == 0 ? 1 : hardware;
+    }
+    return std::size_t(value);
+}
+
+void SweepRunner::runIndexed(std::size_t count,
+                             const std::function<void(std::size_t)>& body) {
+    if (count == 0) return;
+    std::vector<std::exception_ptr> errors(count);
+    std::atomic<std::size_t> next{0};
+    const auto worker = [&] {
+        for (;;) {
+            const std::size_t index = next.fetch_add(1, std::memory_order_relaxed);
+            if (index >= count) return;
+            try {
+                // The context seeds nothing the points use (they carry
+                // their own seeds); it exists to isolate registry,
+                // tracer and log state per point.
+                obs::RunContext context{index};
+                body(index);
+            } catch (...) {
+                errors[index] = std::current_exception();
+            }
+        }
+    };
+    const std::size_t workers = jobs_ < count ? jobs_ : count;
+    if (workers <= 1) {
+        // Same per-point RunContext isolation, on the caller's thread —
+        // serial output is byte-identical to any parallel schedule.
+        worker();
+    } else {
+        std::vector<std::thread> threads;
+        threads.reserve(workers);
+        for (std::size_t i = 0; i < workers; ++i) threads.emplace_back(worker);
+        for (std::thread& thread : threads) thread.join();
+    }
+    for (std::exception_ptr& error : errors)
+        if (error) std::rethrow_exception(error);
+}
+
+}  // namespace onelab::bench

@@ -1,0 +1,50 @@
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+namespace onelab::bench {
+
+/// Runs `count` independent sweep points on up to `jobs` worker
+/// threads (a work-stealing index queue; points are claimed in order
+/// but may complete out of order).
+///
+/// Determinism contract: every point executes inside its own
+/// obs::RunContext — a private metric registry, tracer and log config
+/// for the executing thread — so a point's outputs depend only on its
+/// own inputs, never on which thread ran it, what ran before it on
+/// that thread, or how many workers exist. `jobs == 1` runs the points
+/// on the calling thread through the exact same per-point context, so
+/// serial and parallel sweeps produce byte-identical results.
+///
+/// Results are returned indexed by point, i.e. in submission order
+/// regardless of completion order. The first point (by index) that
+/// threw has its exception rethrown on the caller after every worker
+/// has drained.
+class SweepRunner {
+  public:
+    explicit SweepRunner(std::size_t jobs = 1) : jobs_(jobs == 0 ? 1 : jobs) {}
+
+    [[nodiscard]] std::size_t jobs() const noexcept { return jobs_; }
+
+    /// Evaluate `fn(index)` for index in [0, count) and return the
+    /// results in index order. `fn` must be invocable concurrently
+    /// from multiple threads (each call sees its own RunContext).
+    template <typename Result, typename Fn>
+    [[nodiscard]] std::vector<Result> map(std::size_t count, Fn fn) {
+        std::vector<Result> results(count);
+        runIndexed(count, [&](std::size_t index) { results[index] = fn(index); });
+        return results;
+    }
+
+    /// Value for a `--jobs N` flag: 0 means "all hardware threads".
+    [[nodiscard]] static std::size_t parseJobsValue(const char* text);
+
+  private:
+    void runIndexed(std::size_t count, const std::function<void(std::size_t)>& body);
+
+    std::size_t jobs_;
+};
+
+}  // namespace onelab::bench

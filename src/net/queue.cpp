@@ -8,14 +8,25 @@ namespace onelab::net {
 namespace {
 
 /// Aggregate net.queue.* metrics, shared by every TxQueue in the
-/// process (Ethernet egress, RLC buffers, internet core).
+/// current registry (Ethernet egress, RLC buffers, internet core).
+/// The cache is thread-local and keyed by the registry's process-wide
+/// unique id: when a RunContext swaps the thread's registry the stale
+/// references are rebound instead of dangling into the old one.
 struct QueueMetrics {
-    obs::Counter& dropped = obs::Registry::instance().counter("net.queue.dropped");
-    obs::Counter& completed = obs::Registry::instance().counter("net.queue.completed");
-    obs::Gauge& depth = obs::Registry::instance().gauge("net.queue.depth");
+    std::uint64_t registryId = 0;  ///< 0 never matches a live registry
+    obs::Counter* dropped = nullptr;
+    obs::Counter* completed = nullptr;
+    obs::Gauge* depth = nullptr;
 
     static QueueMetrics& get() {
-        static QueueMetrics metrics;
+        thread_local QueueMetrics metrics;
+        obs::Registry& registry = obs::Registry::instance();
+        if (metrics.registryId != registry.id()) {
+            metrics.registryId = registry.id();
+            metrics.dropped = &registry.counter("net.queue.dropped");
+            metrics.completed = &registry.counter("net.queue.completed");
+            metrics.depth = &registry.gauge("net.queue.depth");
+        }
         return metrics;
     }
 };
@@ -25,12 +36,12 @@ struct QueueMetrics {
 bool TxQueue::enqueue(std::size_t bytes, std::function<void()> onSerialized) {
     if (backlogBytes_ + bytes > byteLimit_) {
         ++drops_;
-        QueueMetrics::get().dropped.inc();
+        QueueMetrics::get().dropped->inc();
         return false;
     }
     queue_.push_back(Item{bytes, std::move(onSerialized)});
     backlogBytes_ += bytes;
-    QueueMetrics::get().depth.add(std::int64_t(bytes));
+    QueueMetrics::get().depth->add(std::int64_t(bytes));
     if (!busy_) startNext();
     return true;
 }
@@ -51,16 +62,16 @@ void TxQueue::startNext() {
         Item item = std::move(queue_.front());
         queue_.pop_front();
         backlogBytes_ -= item.bytes;
-        QueueMetrics::get().depth.add(-std::int64_t(item.bytes));
+        QueueMetrics::get().depth->add(-std::int64_t(item.bytes));
         ++completed_;
-        QueueMetrics::get().completed.inc();
+        QueueMetrics::get().completed->inc();
         if (item.action) item.action();
         startNext();
     });
 }
 
 void TxQueue::clear() {
-    QueueMetrics::get().depth.add(-std::int64_t(backlogBytes_));
+    QueueMetrics::get().depth->add(-std::int64_t(backlogBytes_));
     queue_.clear();
     backlogBytes_ = 0;
     busy_ = false;

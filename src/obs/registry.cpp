@@ -92,9 +92,24 @@ void Registry::releaseName(const std::string& prefix) noexcept {
     leasedPrefixes_.erase(prefix);
 }
 
+namespace {
+/// Thread-local instance() override (see Registry::setCurrent).
+thread_local Registry* currentRegistry = nullptr;
+std::atomic<std::uint64_t> nextRegistryId{1};
+}  // namespace
+
+Registry::Registry() : id_(nextRegistryId.fetch_add(1, std::memory_order_relaxed)) {}
+
 Registry& Registry::instance() {
+    if (currentRegistry) return *currentRegistry;
     static Registry registry;
     return registry;
+}
+
+Registry* Registry::setCurrent(Registry* registry) noexcept {
+    Registry* previous = currentRegistry;
+    currentRegistry = registry;
+    return previous;
 }
 
 Registry::Entry& Registry::lookup(const std::string& name, MetricKind kind) {

@@ -16,11 +16,18 @@ enum class MetricKind : std::uint8_t { counter, gauge, histogram };
 
 [[nodiscard]] const char* metricKindName(MetricKind kind) noexcept;
 
-/// Monotonic event count. Increments are lock-free and cheap enough
-/// for the datapath; registration happens once, at construction.
+/// Monotonic event count. Registration happens once, at construction.
+/// Single-writer: a registry is owned by one thread (process-wide by
+/// default, per-worker under an obs::RunContext), so inc() is a plain
+/// load+store on an atomic word — readers on other threads see a
+/// consistent (possibly slightly stale) value without the cost of an
+/// atomic read-modify-write on the datapath.
 class Counter {
   public:
-    void inc(std::uint64_t n = 1) noexcept { value_.fetch_add(n, std::memory_order_relaxed); }
+    void inc(std::uint64_t n = 1) noexcept {
+        value_.store(value_.load(std::memory_order_relaxed) + n,
+                     std::memory_order_relaxed);
+    }
     [[nodiscard]] std::uint64_t value() const noexcept {
         return value_.load(std::memory_order_relaxed);
     }
@@ -33,10 +40,14 @@ class Counter {
 };
 
 /// Instantaneous signed level (queue depth, backlog bytes).
+/// Single-writer like Counter: add() avoids the atomic RMW.
 class Gauge {
   public:
     void set(std::int64_t v) noexcept { value_.store(v, std::memory_order_relaxed); }
-    void add(std::int64_t delta) noexcept { value_.fetch_add(delta, std::memory_order_relaxed); }
+    void add(std::int64_t delta) noexcept {
+        value_.store(value_.load(std::memory_order_relaxed) + delta,
+                     std::memory_order_relaxed);
+    }
     [[nodiscard]] std::int64_t value() const noexcept {
         return value_.load(std::memory_order_relaxed);
     }
@@ -132,19 +143,34 @@ class NameLease {
     std::string prefix_;
 };
 
-/// Process-wide registry of hierarchically named metrics
+/// Registry of hierarchically named metrics
 /// ("umts.bearer.ul.dropped_overflow"). Registration takes a mutex and
 /// is meant for construction time only; the returned references stay
-/// valid for the process lifetime and their updates are lock-free.
+/// valid for the registry's lifetime and their updates are lock-free.
 /// Registering an existing name with the same kind returns the shared
 /// instance; a kind mismatch throws std::logic_error.
+///
+/// `instance()` resolves to the calling thread's current registry: the
+/// process-wide singleton by default, or a thread-local override
+/// installed by RunContext so parallel sweep workers each collect into
+/// a private registry without touching any call site.
 class Registry {
   public:
     static Registry& instance();
 
-    Registry() = default;
+    /// Install `registry` as the calling thread's instance() (nullptr
+    /// restores the process singleton). Returns the previous override.
+    /// Prefer obs::RunContext over calling this directly.
+    static Registry* setCurrent(Registry* registry) noexcept;
+
+    Registry();
     Registry(const Registry&) = delete;
     Registry& operator=(const Registry&) = delete;
+
+    /// Process-unique id (never reused), letting per-thread caches of
+    /// counter references detect that instance() changed identity even
+    /// when a new registry lands on a freed one's address.
+    [[nodiscard]] std::uint64_t id() const noexcept { return id_; }
 
     [[nodiscard]] Counter& counter(const std::string& name);
     [[nodiscard]] Gauge& gauge(const std::string& name);
@@ -177,6 +203,7 @@ class Registry {
     void claimName(const std::string& prefix);
     void releaseName(const std::string& prefix) noexcept;
 
+    const std::uint64_t id_;
     mutable std::mutex mutex_;
     std::map<std::string, Entry> metrics_;
     std::set<std::string> leasedPrefixes_;

@@ -1,0 +1,21 @@
+#include "obs/run_context.hpp"
+
+namespace onelab::obs {
+
+RunContext::RunContext(std::uint64_t seed)
+    : seed_(seed), rng_(seed) {
+    // Read the inherited level before installing the override — after
+    // installation instance() would resolve to our own config.
+    log_.setLevel(util::LogConfig::instance().level());
+    previousRegistry_ = Registry::setCurrent(&registry_);
+    previousTracer_ = Tracer::setCurrent(&tracer_);
+    previousLog_ = util::LogConfig::setCurrent(&log_);
+}
+
+RunContext::~RunContext() {
+    util::LogConfig::setCurrent(previousLog_);
+    Tracer::setCurrent(previousTracer_);
+    Registry::setCurrent(previousRegistry_);
+}
+
+}  // namespace onelab::obs

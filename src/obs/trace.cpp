@@ -40,9 +40,20 @@ void appendJsonString(std::ostringstream& out, const std::string& text) {
 
 }  // namespace
 
+namespace {
+thread_local Tracer* currentTracer = nullptr;
+}  // namespace
+
 Tracer& Tracer::instance() {
+    if (currentTracer) return *currentTracer;
     static Tracer tracer;
     return tracer;
+}
+
+Tracer* Tracer::setCurrent(Tracer* tracer) noexcept {
+    Tracer* previous = currentTracer;
+    currentTracer = tracer;
+    return previous;
 }
 
 void Tracer::setClock(std::function<std::int64_t()> clock) {

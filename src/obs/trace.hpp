@@ -28,7 +28,14 @@ struct TraceEvent {
 /// clock.
 class Tracer {
   public:
+    /// The calling thread's current tracer: the process singleton, or
+    /// a thread-local override installed by RunContext.
     static Tracer& instance();
+
+    /// Install `tracer` as the calling thread's instance() (nullptr
+    /// restores the process singleton). Returns the previous override.
+    /// Prefer obs::RunContext over calling this directly.
+    static Tracer* setCurrent(Tracer* tracer) noexcept;
 
     Tracer() = default;
     Tracer(const Tracer&) = delete;

@@ -32,7 +32,10 @@ std::optional<AuthProtocol> parseAuthOption(const Option& option) {
 
 namespace {
 std::uint32_t& magicCounter() noexcept {
-    static std::uint32_t counter = 0;
+    // thread_local so parallel sweep workers draw independent magic
+    // sequences; every run entry point resets it (on its own thread)
+    // before bring-up, keeping runs deterministic wherever they land.
+    thread_local std::uint32_t counter = 0;
     return counter;
 }
 

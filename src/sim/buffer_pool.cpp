@@ -1,0 +1,37 @@
+#include "sim/buffer_pool.hpp"
+
+#include <cstring>
+
+#include "obs/registry.hpp"
+
+namespace onelab::sim {
+
+BufferPool::BufferPool()
+    : reusedCounter_(&obs::Registry::instance().counter("sim.pool.buffers_reused")),
+      allocatedCounter_(&obs::Registry::instance().counter("sim.pool.buffers_allocated")) {
+    free_.reserve(kMaxPooled);  // release() must not allocate (noexcept)
+}
+
+util::Bytes BufferPool::allocate(std::size_t size) {
+    ++allocations_;
+    return util::Bytes(size);
+}
+
+void BufferPool::syncCounters() noexcept {
+    if (reuses_ != syncedReuses_) {
+        reusedCounter_->inc(reuses_ - syncedReuses_);
+        syncedReuses_ = reuses_;
+    }
+    if (allocations_ != syncedAllocations_) {
+        allocatedCounter_->inc(allocations_ - syncedAllocations_);
+        syncedAllocations_ = allocations_;
+    }
+}
+
+util::Bytes BufferPool::acquire(util::ByteView data) {
+    util::Bytes buffer = acquire(data.size());
+    if (!data.empty()) std::memcpy(buffer.data(), data.data(), data.size());
+    return buffer;
+}
+
+}  // namespace onelab::sim

@@ -1,0 +1,80 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "obs/registry.hpp"
+#include "util/bytes.hpp"
+
+namespace onelab::sim {
+
+/// Freelist of util::Bytes buffers for the simulation datapath.
+/// Steady-state traffic (a CBR flow writing the same-sized chunk into
+/// a pipe every few milliseconds) recycles capacity instead of paying
+/// a heap allocation per write. Single-threaded, like the Simulator
+/// that owns it; releasing is optional — a buffer that is simply
+/// destroyed (cancelled event, cleared queue) is a missed reuse, never
+/// a leak or a double free.
+class BufferPool {
+  public:
+    BufferPool();
+    ~BufferPool() { syncCounters(); }
+
+    BufferPool(const BufferPool&) = delete;
+    BufferPool& operator=(const BufferPool&) = delete;
+
+    /// A buffer of exactly `size` bytes (contents unspecified),
+    /// reusing pooled capacity when available. Inline: this is the
+    /// per-write datapath fast path — only the local tallies are
+    /// touched; the registry mirrors catch up via syncCounters().
+    [[nodiscard]] util::Bytes acquire(std::size_t size) {
+        if (!free_.empty()) {
+            util::Bytes buffer = std::move(free_.back());
+            free_.pop_back();
+            buffer.resize(size);
+            ++reuses_;
+            return buffer;
+        }
+        return allocate(size);
+    }
+
+    /// A buffer holding a copy of `data`.
+    [[nodiscard]] util::Bytes acquire(util::ByteView data);
+
+    /// Return a buffer's capacity to the pool. Buffers above the
+    /// retention cap (or when the pool is full) are simply freed.
+    void release(util::Bytes&& buffer) noexcept {
+        if (free_.size() >= kMaxPooled || buffer.capacity() > kMaxBufferBytes) return;
+        free_.push_back(std::move(buffer));
+    }
+
+    [[nodiscard]] std::size_t pooledBuffers() const noexcept { return free_.size(); }
+    [[nodiscard]] std::uint64_t reuses() const noexcept { return reuses_; }
+    [[nodiscard]] std::uint64_t allocations() const noexcept { return allocations_; }
+
+    /// Push the local tallies into the registry mirrors
+    /// (sim.pool.buffers_*). The owning Simulator calls this at
+    /// run-loop exit, so exports and assertions (which happen outside
+    /// run loops) always see exact values.
+    void syncCounters() noexcept;
+
+  private:
+    /// Bound the pool so a burst cannot pin memory forever.
+    static constexpr std::size_t kMaxPooled = 256;
+    static constexpr std::size_t kMaxBufferBytes = 64 * 1024;
+
+    /// Slow path: the pool is empty, go to the allocator.
+    [[nodiscard]] util::Bytes allocate(std::size_t size);
+
+    std::vector<util::Bytes> free_;
+    std::uint64_t reuses_ = 0;
+    std::uint64_t allocations_ = 0;
+    std::uint64_t syncedReuses_ = 0;
+    std::uint64_t syncedAllocations_ = 0;
+    // Registry-backed mirrors, shared by name (like sim.events_*).
+    obs::Counter* reusedCounter_;
+    obs::Counter* allocatedCounter_;
+};
+
+}  // namespace onelab::sim

@@ -1,0 +1,152 @@
+#pragma once
+
+#include <cstddef>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace onelab::sim {
+
+/// Move-only type-erased `void()` callable with small-buffer storage.
+/// Callables up to kInlineBytes live inside the object, so the common
+/// schedule/fire path (a lambda capturing a few pointers and a byte
+/// buffer) performs zero heap allocations; larger callables fall back
+/// to the heap. Unlike std::function the stored callable only needs to
+/// be move-constructible, so events may own move-only state (a pooled
+/// buffer, a unique_ptr) directly instead of through a shared_ptr.
+class InplaceAction {
+  public:
+    /// Sized so the datapath's delivery closures (a couple of pointers,
+    /// a weak_ptr and a util::Bytes) stay inline.
+    static constexpr std::size_t kInlineBytes = 64;
+
+    InplaceAction() noexcept = default;
+
+    template <typename F,
+              typename = std::enable_if_t<
+                  !std::is_same_v<std::decay_t<F>, InplaceAction> &&
+                  std::is_invocable_r_v<void, std::decay_t<F>&>>>
+    InplaceAction(F&& fn) {  // NOLINT(google-explicit-constructor): callable wrapper
+        construct(std::forward<F>(fn));
+    }
+
+    /// Replace the stored callable, constructing the new one directly
+    /// in this object's storage (the Simulator's schedule fast path —
+    /// no intermediate InplaceAction is materialized and relocated).
+    template <typename F,
+              typename = std::enable_if_t<
+                  !std::is_same_v<std::decay_t<F>, InplaceAction> &&
+                  std::is_invocable_r_v<void, std::decay_t<F>&>>>
+    InplaceAction& operator=(F&& fn) {
+        reset();
+        construct(std::forward<F>(fn));
+        return *this;
+    }
+
+    InplaceAction(InplaceAction&& other) noexcept : vtable_(other.vtable_) {
+        if (vtable_) vtable_->relocate(other.storage(), storage());
+        other.vtable_ = nullptr;
+    }
+
+    InplaceAction& operator=(InplaceAction&& other) noexcept {
+        if (this != &other) {
+            reset();
+            vtable_ = other.vtable_;
+            if (vtable_) vtable_->relocate(other.storage(), storage());
+            other.vtable_ = nullptr;
+        }
+        return *this;
+    }
+
+    InplaceAction(const InplaceAction&) = delete;
+    InplaceAction& operator=(const InplaceAction&) = delete;
+
+    ~InplaceAction() { reset(); }
+
+    void operator()() { vtable_->invoke(storage()); }
+
+    /// Invoke and destroy in one step (one indirect call instead of
+    /// two on the Simulator's fire path). Leaves this action empty.
+    void invokeOnce() {
+        const VTable* vtable = vtable_;
+        vtable_ = nullptr;
+        vtable->invokeDestroy(storage());
+    }
+
+    [[nodiscard]] explicit operator bool() const noexcept { return vtable_ != nullptr; }
+
+    /// Destroy the stored callable (idempotent).
+    void reset() noexcept {
+        if (vtable_) {
+            vtable_->destroy(storage());
+            vtable_ = nullptr;
+        }
+    }
+
+  private:
+    struct VTable {
+        void (*invoke)(void* storage);
+        /// Invoke, then destroy the callable (even on unwind).
+        void (*invokeDestroy)(void* storage);
+        /// Move the callable from `from` into `to` and destroy `from`.
+        void (*relocate)(void* from, void* to) noexcept;
+        void (*destroy)(void* storage) noexcept;
+    };
+
+    template <typename F>
+    static constexpr VTable kInlineVTable{
+        [](void* s) { (*std::launder(reinterpret_cast<F*>(s)))(); },
+        [](void* s) {
+            F* fn = std::launder(reinterpret_cast<F*>(s));
+            struct Guard {
+                F* fn;
+                ~Guard() { fn->~F(); }
+            } guard{fn};
+            (*fn)();
+        },
+        [](void* from, void* to) noexcept {
+            F* source = std::launder(reinterpret_cast<F*>(from));
+            ::new (to) F(std::move(*source));
+            source->~F();
+        },
+        [](void* s) noexcept { std::launder(reinterpret_cast<F*>(s))->~F(); },
+    };
+
+    template <typename F>
+    static constexpr VTable kHeapVTable{
+        [](void* s) { (**std::launder(reinterpret_cast<F**>(s)))(); },
+        [](void* s) {
+            F* fn = *std::launder(reinterpret_cast<F**>(s));
+            struct Guard {
+                F* fn;
+                ~Guard() { delete fn; }
+            } guard{fn};
+            (*fn)();
+        },
+        [](void* from, void* to) noexcept {
+            *reinterpret_cast<F**>(to) = *std::launder(reinterpret_cast<F**>(from));
+        },
+        [](void* s) noexcept { delete *std::launder(reinterpret_cast<F**>(s)); },
+    };
+
+    template <typename F>
+    void construct(F&& fn) {
+        using Decayed = std::decay_t<F>;
+        if constexpr (sizeof(Decayed) <= kInlineBytes &&
+                      alignof(Decayed) <= alignof(std::max_align_t) &&
+                      std::is_nothrow_move_constructible_v<Decayed>) {
+            ::new (storage()) Decayed(std::forward<F>(fn));
+            vtable_ = &kInlineVTable<Decayed>;
+        } else {
+            *reinterpret_cast<Decayed**>(storage()) = new Decayed(std::forward<F>(fn));
+            vtable_ = &kHeapVTable<Decayed>;
+        }
+    }
+
+    [[nodiscard]] void* storage() noexcept { return storage_; }
+
+    alignas(std::max_align_t) unsigned char storage_[kInlineBytes];
+    const VTable* vtable_ = nullptr;
+};
+
+}  // namespace onelab::sim

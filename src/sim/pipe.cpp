@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/registry.hpp"
 #include "util/rand.hpp"
 
 namespace onelab::sim {
@@ -9,7 +10,11 @@ namespace onelab::sim {
 class Pipe::End final : public ByteChannel {
   public:
     End(Simulator& simulator, SimTime latency)
-        : sim_(simulator), latency_(latency), alive_(std::make_shared<bool>(true)) {}
+        : sim_(simulator),
+          latency_(latency),
+          alive_(std::make_shared<bool>(true)),
+          droppedNoHandler_(
+              &obs::Registry::instance().counter("sim.pipe.dropped_no_handler")) {}
 
     ~End() override { *alive_ = false; }
 
@@ -17,12 +22,23 @@ class Pipe::End final : public ByteChannel {
 
     void write(util::ByteView data) override {
         if (!peer_) return;
-        // Copy now; deliver later. FIFO order is guaranteed because
-        // the simulator breaks timestamp ties in scheduling order. The
-        // peer's alive flag guards against delivery after destruction.
-        auto copy = std::make_shared<util::Bytes>(data.begin(), data.end());
+        if (!peer_->handler_) {
+            // The peer never installed a receive callback: the bytes
+            // would be dropped at delivery time anyway, so skip the
+            // copy, the corruption pass and the scheduled event — but
+            // keep the count visible. (Handlers are installed before
+            // traffic in every bring-up path; a write landing here is
+            // a half-wired endpoint, not an in-flight race.)
+            droppedNoHandler_->inc(data.size());
+            return;
+        }
+        // Copy now (into a pooled buffer); deliver later. FIFO order is
+        // guaranteed because the simulator breaks timestamp ties in
+        // scheduling order. The peer's alive flag guards against
+        // delivery after destruction.
+        util::Bytes copy = sim_.bufferPool().acquire(data);
         if (corruption_ && corruptProbability_ > 0.0) {
-            for (auto& byte : *copy) {
+            for (auto& byte : copy) {
                 if (!corruption_->chance(corruptProbability_)) continue;
                 // XOR with a nonzero mask so a corrupted byte always
                 // differs from the original.
@@ -37,7 +53,9 @@ class Pipe::End final : public ByteChannel {
         // and the simulator breaks ties in scheduling order.
         const SimTime departure = sim_.now() + latency_;
         const SimTime delivery = std::max(departure, stallUntil_);
-        sim_.schedule(delivery - sim_.now(), [peer, peerAlive, copy] {
+        BufferPool* pool = &sim_.bufferPool();
+        sim_.schedule(delivery - sim_.now(),
+                      [peer, peerAlive, pool, buffer = std::move(copy)]() mutable {
             const auto alive = peerAlive.lock();
             if (!alive || !*alive) return;
             // Copy the handler before invoking: handlers may replace
@@ -45,7 +63,10 @@ class Pipe::End final : public ByteChannel {
             // within a delivery), and invoking the member directly
             // would destroy the executing closure.
             const auto handler = peer->handler_;
-            if (handler) handler(*copy);
+            if (handler) handler(buffer);
+            // Recycle the buffer for the next write. An event that
+            // never fires (cancel/clear) just frees it — fine.
+            pool->release(std::move(buffer));
         });
     }
 
@@ -79,6 +100,7 @@ class Pipe::End final : public ByteChannel {
     double corruptProbability_ = 0.0;
     std::unique_ptr<util::RandomStream> corruption_;
     std::uint64_t corruptedBytes_ = 0;
+    obs::Counter* droppedNoHandler_;
 };
 
 Pipe::Pipe(Simulator& simulator, SimTime latency)

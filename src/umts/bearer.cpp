@@ -7,19 +7,54 @@
 
 namespace onelab::umts {
 
+namespace {
+
+/// Builds "<prefix>.<leaf>" metric names into one reused buffer, so
+/// registering a bearer's whole metric family costs a single prefix
+/// construction instead of a fresh concatenation per metric — bearer
+/// churn under chaos plans (detach/redial cycles re-creating bearers)
+/// stays off the allocator.
+class MetricNames {
+  public:
+    explicit MetricNames(std::string prefix) : buffer_(std::move(prefix)) {
+        base_ = buffer_.size();
+        buffer_.reserve(base_ + 24);
+    }
+
+    [[nodiscard]] const std::string& operator()(const char* leaf) {
+        buffer_.resize(base_);
+        buffer_ += '.';
+        buffer_ += leaf;
+        return buffer_;
+    }
+
+    /// The bare prefix (what metricPrefix_ stores).
+    [[nodiscard]] std::string prefix() const { return buffer_.substr(0, base_); }
+
+  private:
+    std::string buffer_;
+    std::size_t base_;
+};
+
+}  // namespace
+
 BearerLink::BearerLink(sim::Simulator& simulator, Params params, util::RandomStream rng,
                        std::string logTag)
     : sim_(simulator),
       params_(params),
       rng_(std::move(rng)),
       log_("umts." + logTag),
-      metricPrefix_("umts." + logTag),
-      metrics_{obs::Registry::instance().counter(metricPrefix_ + ".chunks_in"),
-               obs::Registry::instance().counter(metricPrefix_ + ".chunks_delivered"),
-               obs::Registry::instance().counter(metricPrefix_ + ".dropped_overflow"),
-               obs::Registry::instance().counter(metricPrefix_ + ".dropped_radio"),
-               obs::Registry::instance().counter(metricPrefix_ + ".bytes_delivered"),
-               obs::Registry::instance().gauge(metricPrefix_ + ".backlog_bytes")} {}
+      metricPrefix_("umts." + std::move(logTag)),
+      metrics_([this] {
+          MetricNames name{metricPrefix_};
+          obs::Registry& registry = obs::Registry::instance();
+          return Metrics{registry.counter(name("chunks_in")),
+                         registry.counter(name("chunks_delivered")),
+                         registry.counter(name("dropped_overflow")),
+                         registry.counter(name("dropped_radio")),
+                         registry.counter(name("bytes_delivered")),
+                         registry.gauge(name("backlog_bytes"))};
+      }()) {}
 
 void BearerLink::send(util::Bytes chunk) {
     if (backlogBytes_ + chunk.size() > params_.bufferBytes) {
@@ -106,15 +141,17 @@ void BearerLink::serveNext() {
             }
             arrival = std::max(arrival, lastArrival_);
             lastArrival_ = arrival;
-            auto shared = std::make_shared<util::Bytes>(std::move(chunk));
-            sim_.scheduleAt(arrival, [this, epoch, alive, shared] {
+            // The chunk moves straight into the event's inline storage;
+            // no shared_ptr box (InplaceAction takes move-only closures).
+            sim_.scheduleAt(arrival, [this, epoch, alive,
+                                      chunk = std::move(chunk)]() mutable {
                 const auto stillAlive = alive.lock();
                 if (!stillAlive || !*stillAlive || epoch != epoch_) return;
                 ++stats_.chunksDelivered;
-                stats_.bytesDelivered += shared->size();
+                stats_.bytesDelivered += chunk.size();
                 metrics_.chunksDelivered.inc();
-                metrics_.bytesDelivered.inc(shared->size());
-                if (deliver_) deliver_(std::move(*shared));
+                metrics_.bytesDelivered.inc(chunk.size());
+                if (deliver_) deliver_(std::move(chunk));
             });
         }
         serveNext();
@@ -144,8 +181,9 @@ RadioBearer::RadioBearer(sim::Simulator& simulator, const OperatorProfile& profi
       rng_(std::move(rng)),
       imsi_(std::move(imsi)),
       cell_(cell),
-      nameLease_(obs::Registry::instance(), "umts." + bearerTag(imsi_)),
-      log_("umts." + bearerTag(imsi_)),
+      family_("umts." + bearerTag(imsi_)),
+      nameLease_(obs::Registry::instance(), family_),
+      log_(family_),
       uplink_(simulator,
               BearerLink::Params{
                   profile.uplinkRatesBps.at(profile.initialUplinkIndex),
@@ -171,16 +209,15 @@ RadioBearer::RadioBearer(sim::Simulator& simulator, const OperatorProfile& profi
                 },
                 rng_.derive("dl"), bearerTag(imsi_) + ".dl"),
       rateIndex_(profile.initialUplinkIndex),
-      upgradesMetric_(obs::Registry::instance().counter("umts." + bearerTag(imsi_) +
-                                                        ".upgrades")),
-      downgradesMetric_(obs::Registry::instance().counter("umts." + bearerTag(imsi_) +
-                                                          ".downgrades")),
-      rrcPromotionsMetric_(obs::Registry::instance().counter("umts." + bearerTag(imsi_) +
-                                                             ".rrc_promotions")),
-      deniedUpgradesMetric_(obs::Registry::instance().counter("umts." + bearerTag(imsi_) +
-                                                              ".denied_upgrades")),
-      trimmedAdmissionsMetric_(obs::Registry::instance().counter(
-          "umts." + bearerTag(imsi_) + ".trimmed_admissions")) {
+      metrics_([this] {
+          MetricNames name{family_};
+          obs::Registry& registry = obs::Registry::instance();
+          return Metrics{registry.counter(name("upgrades")),
+                         registry.counter(name("downgrades")),
+                         registry.counter(name("rrc_promotions")),
+                         registry.counter(name("denied_upgrades")),
+                         registry.counter(name("trimmed_admissions"))};
+      }()) {
     if (cell_) {
         // Admission: ask for the profile's initial grant, trimming down
         // the ladder while the pool cannot cover it. The lowest step is
@@ -193,7 +230,7 @@ RadioBearer::RadioBearer(sim::Simulator& simulator, const OperatorProfile& profi
         cell_->reserveUplink(grantedUplinkBps_);
         if (index < profile_.initialUplinkIndex) {
             admissionTrimmed_ = true;
-            trimmedAdmissionsMetric_.inc();
+            metrics_.trimmedAdmissions.inc();
             cell_->countTrimmedAdmission();
             log_.info() << "admission trimmed: "
                         << profile_.uplinkRatesBps[profile_.initialUplinkIndex] / 1e3
@@ -220,7 +257,7 @@ void RadioBearer::touchRrc() {
         // holding both directions (the 3G "first-packet lag").
         rrcState_ = RrcState::cell_dch;
         ++rrcPromotions_;
-        rrcPromotionsMetric_.inc();
+        metrics_.rrcPromotions.inc();
         obs::Tracer::instance().instant("umts.rrc", "promotion", "CELL_FACH -> CELL_DCH");
         const sim::SimTime ready = sim_.now() + profile_.fachPromotionDelay;
         uplink_.holdService(ready);
@@ -301,12 +338,12 @@ void RadioBearer::applyUplinkRate(std::size_t index) {
     uplink_.setRate(newRate);
     if (newRate > oldRate) {
         ++upgrades_;
-        upgradesMetric_.inc();
+        metrics_.upgrades.inc();
         obs::Tracer::instance().instant(
             "umts.bearer", "umts.bearer.upgrade",
             util::format("%.0f -> %.0f kbps", oldRate / 1e3, newRate / 1e3));
     } else {
-        downgradesMetric_.inc();
+        metrics_.downgrades.inc();
         obs::Tracer::instance().instant(
             "umts.bearer", "umts.bearer.downgrade",
             util::format("%.0f -> %.0f kbps", oldRate / 1e3, newRate / 1e3));
@@ -411,7 +448,7 @@ void RadioBearer::monitorTick() {
                     // the upgrade. Park until another UE releases
                     // capacity (downgrade or detach) re-grants us.
                     ++deniedUpgrades_;
-                    deniedUpgradesMetric_.inc();
+                    metrics_.deniedUpgrades.inc();
                     if (cell_) cell_->countDeniedUpgrade();
                     upgradeWaiting_ = true;
                     obs::Tracer::instance().instant("umts.bearer", "upgrade_denied",

@@ -219,6 +219,9 @@ class RadioBearer {
     util::RandomStream rng_;
     std::string imsi_;
     CellCapacity* cell_ = nullptr;
+    /// Metric family prefix ("umts.bearer.<imsi>"), built once and
+    /// reused for the lease, the logger and every counter name.
+    std::string family_;
     obs::NameLease nameLease_;
     util::Logger log_{"umts.bearer"};
     BearerLink uplink_;
@@ -249,12 +252,15 @@ class RadioBearer {
 
     // Registry-backed rate-adaptation / RRC / contention counters,
     // named "umts.bearer.<imsi>.*" (or the legacy "umts.bearer.*"
-    // when no imsi is given).
-    obs::Counter& upgradesMetric_;
-    obs::Counter& downgradesMetric_;
-    obs::Counter& rrcPromotionsMetric_;
-    obs::Counter& deniedUpgradesMetric_;
-    obs::Counter& trimmedAdmissionsMetric_;
+    // when no imsi is given); registered as one family off `family_`.
+    struct Metrics {
+        obs::Counter& upgrades;
+        obs::Counter& downgrades;
+        obs::Counter& rrcPromotions;
+        obs::Counter& deniedUpgrades;
+        obs::Counter& trimmedAdmissions;
+    };
+    Metrics metrics_;
 };
 
 }  // namespace onelab::umts

@@ -17,9 +17,20 @@ std::string_view logLevelName(LogLevel level) noexcept {
     return "?";
 }
 
+namespace {
+thread_local LogConfig* currentLogConfig = nullptr;
+}  // namespace
+
 LogConfig& LogConfig::instance() {
+    if (currentLogConfig) return *currentLogConfig;
     static LogConfig config;
     return config;
+}
+
+LogConfig* LogConfig::setCurrent(LogConfig* config) noexcept {
+    LogConfig* previous = currentLogConfig;
+    currentLogConfig = config;
+    return previous;
 }
 
 LogConfig::LogConfig() {

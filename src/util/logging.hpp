@@ -18,14 +18,28 @@ enum class LogLevel : std::uint8_t { trace, debug, info, warn, error, off };
 
 [[nodiscard]] std::string_view logLevelName(LogLevel level) noexcept;
 
-/// Process-wide logging configuration. The simulator installs a clock
-/// hook so log lines carry simulated (not wall-clock) time.
+/// Logging configuration. The simulator installs a clock hook so log
+/// lines carry simulated (not wall-clock) time. `instance()` resolves
+/// to the calling thread's current config — the process singleton by
+/// default, or a thread-local override installed by obs::RunContext so
+/// parallel sweep workers keep independent sinks, clocks and levels.
 class LogConfig {
   public:
     using Sink = std::function<void(std::string_view)>;
     using Clock = std::function<std::int64_t()>;
 
     static LogConfig& instance();
+
+    /// Install `config` as the calling thread's instance() (nullptr
+    /// restores the process singleton). Returns the previous override.
+    /// Prefer obs::RunContext over calling this directly.
+    static LogConfig* setCurrent(LogConfig* config) noexcept;
+
+    /// Public so a RunContext can own a private instance; everything
+    /// else should go through instance().
+    LogConfig();
+    LogConfig(const LogConfig&) = delete;
+    LogConfig& operator=(const LogConfig&) = delete;
 
     void setLevel(LogLevel level) noexcept { level_ = level; }
     [[nodiscard]] LogLevel level() const noexcept { return level_; }
@@ -43,7 +57,6 @@ class LogConfig {
     void emit(LogLevel level, std::string_view component, std::string_view message);
 
   private:
-    LogConfig();
     std::atomic<LogLevel> level_{LogLevel::warn};
     std::mutex mutex_;  ///< guards the sink/clock pointers, not the calls
     std::shared_ptr<const Sink> sink_;

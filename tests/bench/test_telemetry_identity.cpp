@@ -1,0 +1,55 @@
+// Equivalence guard for the event core + pooled datapath: the fig4
+// (CBR) workload, run twice under fresh obs::RunContexts, must produce
+// BYTE-IDENTICAL telemetry — the full name-sorted metrics snapshot and
+// the fig4 CSV. This is the test that caught nothing moving when the
+// indexed-heap core replaced the priority_queue one, and it keeps any
+// future core change honest: a single reordered event or double-synced
+// pool counter shows up as a snapshot diff.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "figure_common.hpp"
+#include "obs/registry.hpp"
+#include "obs/run_context.hpp"
+#include "ppp/lcp.hpp"
+#include "scenario/experiment.hpp"
+
+namespace onelab::bench {
+namespace {
+
+struct Fig4Run {
+    std::string metricsJson;
+    std::string fig4Csv;
+};
+
+/// One fig4-style CBR run in a private observability world. Shorter
+/// than the 120 s paper run — identity, not figures, is under test.
+Fig4Run runFig4Workload() {
+    obs::RunContext context(42);
+    ppp::resetMagicEntropy();
+    scenario::ExperimentOptions options;
+    options.workload = scenario::Workload::cbr_1mbps;
+    options.durationSeconds = 20.0;
+    const scenario::ExperimentResult result = scenario::runExperiment(options);
+    return Fig4Run{obs::Registry::instance().snapshotJson(),
+                   figureCsv(result, Metric::bitrate_kbps)};
+}
+
+TEST(TelemetryIdentity, Fig4RunsAreByteIdentical) {
+    const Fig4Run first = runFig4Workload();
+    const Fig4Run second = runFig4Workload();
+
+    // Sanity: the run actually exercised the event core and datapath.
+    EXPECT_NE(first.metricsJson.find("sim.events_executed"), std::string::npos);
+    EXPECT_NE(first.metricsJson.find("sim.pool.buffers_reused"), std::string::npos);
+    EXPECT_GT(first.fig4Csv.size(), 0u);
+
+    EXPECT_EQ(first.metricsJson, second.metricsJson)
+        << "telemetry snapshot drifted between identical runs (" << first.metricsJson.size()
+        << " vs " << second.metricsJson.size() << " bytes)";
+    EXPECT_EQ(first.fig4Csv, second.fig4Csv);
+}
+
+}  // namespace
+}  // namespace onelab::bench

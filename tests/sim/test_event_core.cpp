@@ -1,0 +1,205 @@
+// Event-core invariants: randomized schedule/cancel/clear/run
+// interleavings checked against a naive reference model (mirroring the
+// CellCapacity invariant suite), plus regressions pinning handle
+// invalidation across clear() and slot recycling, exception safety of
+// the run loop, and exactness of the sim.events_* registry mirrors
+// under counter batching.
+#include "sim/simulator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <functional>
+#include <iterator>
+#include <limits>
+#include <random>
+#include <stdexcept>
+#include <vector>
+
+#include "obs/registry.hpp"
+#include "obs/run_context.hpp"
+
+namespace onelab::sim {
+namespace {
+
+/// What the naive model knows about one pending event.
+struct ModelEvent {
+    SimTime when{};
+    std::uint64_t seq = 0;  ///< scheduling order, the FIFO tie-break
+    int id = 0;
+};
+
+bool modelBefore(const ModelEvent& a, const ModelEvent& b) {
+    if (a.when != b.when) return a.when < b.when;
+    return a.seq < b.seq;
+}
+
+TEST(EventCore, RandomizedOpsMatchReferenceModel) {
+    Simulator sim;
+    std::mt19937_64 rng(0xC0FFEE);
+
+    std::vector<ModelEvent> model;                       // pending, unordered
+    std::vector<std::pair<int, EventHandle>> handles;    // every handle ever issued
+    std::vector<int> fired;                              // actual firing order
+    std::vector<int> expected;                           // model firing order
+    SimTime now{0};
+    std::uint64_t seq = 0;
+    int nextId = 0;
+
+    // Small delay set on purpose: lots of same-timestamp collisions so
+    // the FIFO tie-break is exercised hard, plus negatives for the
+    // clamp-to-now path.
+    const SimTime delays[] = {millis(-3), millis(0), millis(0), millis(1),
+                              millis(2),  millis(5), millis(17)};
+
+    const auto drainUpTo = [&](SimTime horizon) {
+        std::sort(model.begin(), model.end(), modelBefore);
+        auto it = model.begin();
+        while (it != model.end() && it->when <= horizon) {
+            expected.push_back(it->id);
+            ++it;
+        }
+        model.erase(model.begin(), it);
+    };
+
+    for (int op = 0; op < 1000; ++op) {
+        const std::uint64_t roll = rng() % 100;
+        if (roll < 55) {
+            const SimTime delay = delays[rng() % std::size(delays)];
+            const int id = nextId++;
+            const EventHandle handle = sim.schedule(delay, [id, &fired] { fired.push_back(id); });
+            handles.emplace_back(id, handle);
+            model.push_back(ModelEvent{now + std::max(SimTime{0}, delay), seq++, id});
+        } else if (roll < 75 && !handles.empty()) {
+            // Cancel a random handle — possibly one that already fired,
+            // was cancelled, or was dropped by clear(); the model says
+            // exactly when cancel must report success.
+            const auto& [id, handle] = handles[rng() % handles.size()];
+            const auto it = std::find_if(model.begin(), model.end(),
+                                         [id = id](const ModelEvent& e) { return e.id == id; });
+            const bool pending = it != model.end();
+            EXPECT_EQ(sim.cancel(handle), pending) << "op " << op << " id " << id;
+            if (pending) model.erase(it);
+        } else if (roll < 90) {
+            const SimTime horizon = now + SimTime{std::int64_t(rng() % 40) * 1'000'000};
+            sim.runUntil(horizon);
+            drainUpTo(horizon);
+            now = std::max(now, horizon);
+        } else if (roll < 95) {
+            sim.clear();
+            model.clear();
+        } else {
+            if (!model.empty()) {
+                std::sort(model.begin(), model.end(), modelBefore);
+                now = std::max(now, model.back().when);
+            }
+            sim.run();
+            drainUpTo(SimTime{std::numeric_limits<std::int64_t>::max()});
+        }
+        ASSERT_EQ(sim.pendingEvents(), model.size()) << "op " << op;
+        ASSERT_EQ(sim.now(), now) << "op " << op;
+    }
+
+    if (!model.empty()) now = std::max(now, std::max_element(model.begin(), model.end(), modelBefore)->when);
+    sim.run();
+    drainUpTo(SimTime{std::numeric_limits<std::int64_t>::max()});
+    EXPECT_EQ(fired, expected);
+}
+
+TEST(EventCore, CancelAfterClearReturnsFalse) {
+    Simulator sim;
+    bool firedDropped = false;
+    const EventHandle handle = sim.schedule(millis(1), [&] { firedDropped = true; });
+    sim.clear();
+    EXPECT_FALSE(sim.cancel(handle));
+    sim.run();
+    EXPECT_FALSE(firedDropped);
+}
+
+TEST(EventCore, StaleHandleCannotCancelRecycledSlot) {
+    Simulator sim;
+    // Fire-then-reschedule recycles the same slot; the stale handle
+    // carries the old generation and must not cancel the new event.
+    const EventHandle stale = sim.schedule(millis(1), [] {});
+    sim.run();
+    bool fired = false;
+    sim.schedule(millis(1), [&] { fired = true; });
+    EXPECT_FALSE(sim.cancel(stale));
+    sim.run();
+    EXPECT_TRUE(fired);
+
+    // Same via clear(): the dropped event's slot is recycled too.
+    bool secondFired = false;
+    const EventHandle dropped = sim.schedule(millis(1), [] {});
+    sim.clear();
+    sim.schedule(millis(1), [&] { secondFired = true; });
+    EXPECT_FALSE(sim.cancel(dropped));
+    sim.run();
+    EXPECT_TRUE(secondFired);
+}
+
+TEST(EventCore, ClearPreservesClockAndExecutedCount) {
+    Simulator sim;
+    sim.schedule(millis(10), [] {});
+    sim.run();
+    sim.schedule(millis(5), [] {});
+    sim.clear();
+    // Documented semantics: clear() drops pending work only — the
+    // clock and the lifetime executed count stay monotonic.
+    EXPECT_EQ(sim.now(), millis(10));
+    EXPECT_EQ(sim.executedEvents(), 1u);
+    EXPECT_EQ(sim.pendingEvents(), 0u);
+}
+
+TEST(EventCore, ThrowingEventPropagatesAndQueueSurvives) {
+    Simulator sim;
+    bool laterFired = false;
+    sim.schedule(millis(1), [] { throw std::runtime_error("boom"); });
+    sim.schedule(millis(2), [&] { laterFired = true; });
+    EXPECT_THROW(sim.run(), std::runtime_error);
+    EXPECT_FALSE(laterFired);
+    EXPECT_EQ(sim.pendingEvents(), 1u);
+    sim.run();  // the loop is reusable after unwinding
+    EXPECT_TRUE(laterFired);
+    EXPECT_EQ(sim.executedEvents(), 2u);
+}
+
+TEST(EventCore, RegistryMirrorsAreExactOutsideRunLoops) {
+    // The hot loop batches sim.events_* updates; every observation
+    // point sits outside a run loop and must see exact values.
+    obs::RunContext context;
+    Simulator sim;
+    sim.schedule(millis(1), [] {});
+    sim.schedule(millis(2), [] {});
+    const EventHandle cancelled = sim.schedule(millis(3), [] {});
+    EXPECT_TRUE(sim.cancel(cancelled));
+    sim.schedule(millis(4), [&sim] {
+        // Scheduled (and cancelled) from inside the loop: lands in the
+        // pending deltas, flushed at loop exit.
+        const EventHandle inner = sim.schedule(millis(1), [] {});
+        EXPECT_TRUE(sim.cancel(inner));
+    });
+    sim.run();
+    auto& registry = obs::Registry::instance();
+    EXPECT_EQ(registry.counter("sim.events_scheduled").value(), 5u);
+    EXPECT_EQ(registry.counter("sim.events_executed").value(), 3u);
+    EXPECT_EQ(registry.counter("sim.events_cancelled").value(), 2u);
+}
+
+TEST(EventCore, RescheduleFromOwnCallbackRunsToCompletion) {
+    Simulator sim;
+    int ticks = 0;
+    // Self-rescheduling chain through recycled slots, as periodic
+    // sources (CBR writers, RLC timers) do.
+    std::function<void()> tick = [&] {
+        if (++ticks < 100) sim.schedule(millis(1), tick);
+    };
+    sim.schedule(millis(1), tick);
+    EXPECT_EQ(sim.run(), 100u);
+    EXPECT_EQ(ticks, 100);
+    EXPECT_EQ(sim.now(), millis(100));
+}
+
+}  // namespace
+}  // namespace onelab::sim

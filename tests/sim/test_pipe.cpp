@@ -4,6 +4,9 @@
 
 #include <string>
 
+#include "obs/registry.hpp"
+#include "obs/run_context.hpp"
+
 namespace onelab::sim {
 namespace {
 
@@ -70,6 +73,40 @@ TEST(Pipe, WriteWithoutHandlerIsDropped) {
     const auto data = toBytes("lost");
     pipe.a().write({data.data(), data.size()});
     EXPECT_NO_FATAL_FAILURE(sim.run());
+}
+
+TEST(Pipe, WriteWithoutHandlerEarlyOutsAndCounts) {
+    obs::RunContext context;
+    Simulator sim;
+    Pipe pipe{sim};
+    const auto data = toBytes("lost");
+    pipe.a().write({data.data(), data.size()});
+    // The early-out skips the copy AND the delivery event; the dropped
+    // bytes stay visible in the counter.
+    EXPECT_EQ(sim.pendingEvents(), 0u);
+    EXPECT_EQ(obs::Registry::instance().counter("sim.pipe.dropped_no_handler").value(),
+              data.size());
+    // Once a handler is installed, writes flow again.
+    std::string received;
+    pipe.b().onData([&](util::ByteView view) { received.append(view.begin(), view.end()); });
+    pipe.a().write({data.data(), data.size()});
+    sim.run();
+    EXPECT_EQ(received, "lost");
+    EXPECT_EQ(obs::Registry::instance().counter("sim.pipe.dropped_no_handler").value(),
+              data.size());
+}
+
+TEST(Pipe, DeliveryRecyclesPooledBuffers) {
+    Simulator sim;
+    Pipe pipe{sim};
+    pipe.b().onData([](util::ByteView) {});
+    const auto data = toBytes("steady-state frame");
+    pipe.a().write({data.data(), data.size()});
+    sim.run();  // first write allocates; delivery returns it to the pool
+    pipe.a().write({data.data(), data.size()});
+    sim.run();
+    EXPECT_EQ(sim.bufferPool().allocations(), 1u);
+    EXPECT_EQ(sim.bufferPool().reuses(), 1u);
 }
 
 TEST(Pipe, DestroyedPipeDoesNotDeliver) {
