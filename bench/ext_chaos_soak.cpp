@@ -26,6 +26,7 @@
 
 #include "fault/injector.hpp"
 #include "fault/plan.hpp"
+#include "obs/registry.hpp"
 #include "obs/telemetry.hpp"
 #include "obs/trace.hpp"
 #include "ppp/lcp.hpp"
@@ -45,6 +46,10 @@ struct SoakOptions {
     std::string exportDir = "/tmp/onelab_chaos";
     bool checkDeterminism = true;
     std::size_t jobs = 1;             // seeds run on this many workers
+    /// Supervised leg: the LinkSupervisor owns recovery (in place of
+    /// the backend's auto-redial) and the wedge invariant becomes
+    /// "every supervisor reaches HEALTHY or FAILED_OVER".
+    bool supervise = false;
 };
 
 struct SoakOutcome {
@@ -79,8 +84,12 @@ SoakOutcome runSoak(const SoakOptions& options, std::uint64_t seed,
 
     scenario::FleetConfig config = scenario::makeUniformFleet(options.ues, seed);
     for (auto& site : config.umtsSites) {
-        site.autoRedial.enable = true;
-        site.autoRedial.maxAttempts = 8;
+        if (options.supervise) {
+            site.supervise.enable = true;
+        } else {
+            site.autoRedial.enable = true;
+            site.autoRedial.maxAttempts = 8;
+        }
     }
     scenario::Fleet fleet{config};
 
@@ -120,15 +129,55 @@ SoakOutcome runSoak(const SoakOptions& options, std::uint64_t seed,
     if (plan.size() > 0 && outcome.injected == 0)
         return fail("plan had events but nothing was injected");
 
-    // Invariant 2: connected again, or terminally down with a reason.
-    for (std::size_t i = 0; i < fleet.umtsSiteCount(); ++i) {
-        const umtsctl::UmtsState& state = fleet.umtsSite(i).backend().state();
-        const bool recovered = state.connected;
-        const bool surfaced = !state.locked && !state.lastError.empty();
-        const bool untouched = !state.locked && state.lastError.empty();
-        if (!recovered && !surfaced && !untouched)
-            return fail(fleet.umtsSite(i).hostname() +
-                        " is stuck: not connected, lock held, no terminal error");
+    // Invariant 2 (unsupervised): connected again, or terminally down
+    // with a reason. Supervised: every supervisor reaches a terminal
+    // state — HEALTHY (link recovered, flows failed back) or
+    // FAILED_OVER (parked on wired, cooldown retry armed) — and no UE
+    // is wedged without pending recovery work.
+    if (options.supervise) {
+        const sim::SimTime settleDeadline = fleet.sim().now() + sim::seconds(600.0);
+        const auto settled = [&fleet] {
+            for (std::size_t i = 0; i < fleet.umtsSiteCount(); ++i) {
+                const supervise::Health health = fleet.umtsSite(i).supervisor()->health();
+                if (health != supervise::Health::healthy &&
+                    health != supervise::Health::failed_over)
+                    return false;
+            }
+            return true;
+        };
+        while (!settled() && fleet.sim().now() < settleDeadline)
+            fleet.sim().runUntil(fleet.sim().now() + sim::seconds(5.0));
+        for (std::size_t i = 0; i < fleet.umtsSiteCount(); ++i) {
+            scenario::UmtsNodeSite& site = fleet.umtsSite(i);
+            const supervise::LinkSupervisor& sup = *site.supervisor();
+            const umtsctl::UmtsState& state = site.backend().state();
+            const bool healthyUp =
+                sup.health() == supervise::Health::healthy && (state.connected || !state.locked);
+            const bool parked = sup.health() == supervise::Health::failed_over;
+            if (!healthyUp && !parked && !sup.hasPendingWork())
+                return fail(site.hostname() + " is wedged: supervisor in " +
+                            supervise::healthName(sup.health()) +
+                            " with no pending recovery work");
+        }
+        // Every link loss the backend saw must have opened a
+        // supervisor incident — the detection path is alive.
+        const std::uint64_t losses =
+            obs::Registry::instance().counter("fault.umtsctl.link_losses").value();
+        const std::uint64_t incidents =
+            obs::Registry::instance().counter("supervise.incidents").value();
+        if (losses > 0 && incidents == 0)
+            return fail("supervisor missed every link loss (losses=" +
+                        std::to_string(losses) + ", incidents=0)");
+    } else {
+        for (std::size_t i = 0; i < fleet.umtsSiteCount(); ++i) {
+            const umtsctl::UmtsState& state = fleet.umtsSite(i).backend().state();
+            const bool recovered = state.connected;
+            const bool surfaced = !state.locked && !state.lastError.empty();
+            const bool untouched = !state.locked && state.lastError.empty();
+            if (!recovered && !surfaced && !untouched)
+                return fail(fleet.umtsSite(i).hostname() +
+                            " is stuck: not connected, lock held, no terminal error");
+        }
     }
 
     // Invariant 1: stop every site and demand a drained pool.
@@ -151,6 +200,8 @@ void usage(const char* argv0) {
     std::printf(
         "usage: %s [--profile pr|nightly] [--ues N] [--seconds S]\n"
         "          [--seeds a,b,c] [--faults plan.json] [--export dir]\n"
+        "          [--supervise]  (LinkSupervisor owns recovery instead\n"
+        "                          of backend auto-redial)\n"
         "          [--jobs N]   (0 = all hardware threads; per-seed\n"
         "                        outcomes and telemetry are identical\n"
         "                        to a serial run)\n",
@@ -202,6 +253,8 @@ int main(int argc, char** argv) {
             const char* value = next();
             if (!value) { usage(argv[0]); return 2; }
             options.jobs = bench::SweepRunner::parseJobsValue(value);
+        } else if (arg == "--supervise") {
+            options.supervise = true;
         } else {
             usage(argv[0]);
             return arg == "--help" ? 0 : 2;
@@ -209,9 +262,10 @@ int main(int argc, char** argv) {
     }
     if (options.seeds.empty()) { usage(argv[0]); return 2; }
 
-    std::printf("=== Chaos soak: %zu-UE fleet, %s profile, %.0f s per seed, "
+    std::printf("=== Chaos soak: %zu-UE fleet, %s profile%s, %.0f s per seed, "
                 "%zu job%s ===\n\n",
-                options.ues, options.profile.c_str(), options.soakSeconds, options.jobs,
+                options.ues, options.profile.c_str(),
+                options.supervise ? " (supervised)" : "", options.soakSeconds, options.jobs,
                 options.jobs == 1 ? "" : "s");
 
     // Seeds are independent soaks; run them as sweep points (each in

@@ -23,9 +23,10 @@ void registerFaultMetricFamilies() {
              "fault.umts.cell_squeezes", "fault.umts.coverage_outages",
              "fault.umts.detaches", "fault.umts.loss_bursts",
              "fault.umts.rlc_outages", "fault.umtsctl.link_losses",
-             "recovery.modem.registration_retries", "recovery.modem.reinits",
-             "recovery.modem.reregistrations", "recovery.redial.attempts",
-             "recovery.redial.exhausted", "recovery.redial.successes",
+             "recovery.modem.reattaches", "recovery.modem.registration_retries",
+             "recovery.modem.reinits", "recovery.modem.reregistrations",
+             "recovery.redial.attempts", "recovery.redial.exhausted",
+             "recovery.redial.successes",
          })
         (void)registry.counter(name);
     for (std::size_t kind = 0; kind < kFaultKindCount; ++kind)

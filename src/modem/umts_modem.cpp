@@ -94,6 +94,25 @@ void UmtsModem::injectAtFailure(const std::string& result, int count) {
     engine_.forceFinal(result, count);
 }
 
+void UmtsModem::reattach() {
+    log_.warn() << "deliberate detach/re-attach";
+    obs::Registry::instance().counter("recovery.modem.reattaches").inc();
+    const bool wasOnline = session_ != nullptr || engine_.inDataMode();
+    hangup(false);
+    if (network_) network_->detachUe(config_.imsi);
+    registration_ = RegistrationState::not_registered;
+    if (registrationRetry_.valid()) {
+        sim_.cancel(registrationRetry_);
+        registrationRetry_ = {};
+    }
+    registrationBackoff_ = sim::SimTime{0};
+    if (wasOnline && onCarrierLost) onCarrierLost();
+    registrationRetry_ = sim_.schedule(kDetachRescanDelay, [this] {
+        registrationRetry_ = {};
+        if (pinUnlocked_) startRegistration();
+    });
+}
+
 void UmtsModem::startRegistration() {
     if (!network_) return;
     registration_ = RegistrationState::searching;

@@ -71,6 +71,13 @@ class UmtsModem {
     /// instead of executing them (see AtEngine::forceFinal).
     void injectAtFailure(const std::string& result, int count = 1);
 
+    /// Recovery hook: deliberate detach + re-attach (AT+CGATT=0 then
+    /// =1, as recovery tooling issues it). Gentler than hardReset():
+    /// volatile card state — PDP definitions, PIN, echo — survives; the
+    /// card drops its registration and rescans after the detach settle
+    /// time, with no boot delay.
+    void reattach();
+
     // --- inspection for tests/status ---
     [[nodiscard]] bool pinUnlocked() const noexcept { return pinUnlocked_; }
     [[nodiscard]] bool simBlocked() const noexcept { return pinAttemptsLeft_ <= 0; }

@@ -29,7 +29,11 @@ Pppd::Pppd(sim::Simulator& simulator, PppdConfig config)
     lcp_->onUp = [this] { onLcpUp(); };
     lcp_->onDown = [this] { onLcpDown(); };
     lcp_->onFinished = [this] { onLcpFinished(); };
-    lcp_->onEchoReply = [this] { echoOutstanding_ = 0; };
+    lcp_->onEchoReply = [this] {
+        echoOutstanding_ = 0;
+        ++counters_.echoRepliesReceived;
+        if (onEchoStatus) onEchoStatus(0);
+    };
 
     IpcpConfig ipcpConfig;
     ipcpConfig.isServer = config_.isServer;
@@ -225,6 +229,7 @@ void Pppd::onLcpFinished() {
 void Pppd::scheduleEcho() {
     if (!config_.enableEcho) return;
     echoOutstanding_ = 0;
+    echoRxMark_ = counters_.bytesFromLine;
     armEchoTimer();
 }
 
@@ -233,15 +238,29 @@ void Pppd::armEchoTimer() {
     echoTimer_ = sim_.schedule(config_.echoInterval, [this] {
         echoTimer_ = {};
         if (phase_ != PppPhase::running) return;
-        if (echoOutstanding_ >= config_.echoFailureLimit) {
-            log_.warn() << "LCP keepalive: " << echoOutstanding_
+        const int missed = echoOutstanding_;
+        if (config_.echoAdaptive && counters_.bytesFromLine != echoRxMark_) {
+            // The peer spoke during the interval — alive by inference,
+            // no probe needed (and none sent: the wire stays identical
+            // to an unsupervised run as long as traffic flows).
+            echoRxMark_ = counters_.bytesFromLine;
+            echoOutstanding_ = 0;
+            if (onEchoStatus) onEchoStatus(0);
+            armEchoTimer();
+            return;
+        }
+        if (missed >= config_.echoFailureLimit) {
+            log_.warn() << "LCP keepalive: " << missed
                         << " echo requests unanswered, assuming dead link";
             lcp_->down();
             setPhase(PppPhase::dead);
             linkDown("keepalive timeout");
             return;
         }
+        if (onEchoStatus) onEchoStatus(missed);
+        echoRxMark_ = counters_.bytesFromLine;
         ++echoOutstanding_;
+        ++counters_.echoRequestsSent;
         lcp_->sendEchoRequest();
         armEchoTimer();
     });

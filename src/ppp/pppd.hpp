@@ -50,10 +50,14 @@ struct PppdConfig {
     CcpConfig ccp{.enable = false, .windowCode = 12};
     Fsm::Timers timers;
 
-    // LCP echo keepalive.
+    // LCP echo keepalive (pppd's lcp-echo-interval / lcp-echo-failure).
     bool enableEcho = true;
     sim::SimTime echoInterval = sim::seconds(10.0);
     int echoFailureLimit = 3;
+    /// pppd's lcp-echo-adaptive: only probe when the line has been
+    /// silent for a whole interval. Any received bytes count as proof
+    /// of life, so a loaded link never carries extra echo traffic.
+    bool echoAdaptive = false;
 
     std::uint64_t seed = 1;
 };
@@ -68,6 +72,8 @@ struct PppdCounters {
     std::uint64_t compressedOut = 0;  ///< post-compression payload bytes
     std::uint64_t sendErrors = 0;
     std::uint64_t badFrames = 0;
+    std::uint64_t echoRequestsSent = 0;
+    std::uint64_t echoRepliesReceived = 0;
 };
 
 /// The PPP daemon: drives HDLC framing, LCP, authentication, IPCP and
@@ -109,12 +115,20 @@ class Pppd {
     std::function<void(const IpcpResult&)> onNetworkUp;
     /// Terminal link down (fires once per session).
     std::function<void(std::string reason)> onLinkDown;
+    /// Keepalive verdict at each echo tick (and on recovery): the
+    /// number of unanswered echo requests at that point. 0 means the
+    /// link just proved itself (reply arrived, or adaptive mode saw RX
+    /// traffic); the value hits echoFailureLimit right before the
+    /// keepalive declares the link dead. Health monitors subscribe
+    /// here instead of polling.
+    std::function<void(int outstanding)> onEchoStatus;
 
     [[nodiscard]] PppPhase phase() const noexcept { return phase_; }
     [[nodiscard]] bool isRunning() const noexcept { return phase_ == PppPhase::running; }
     [[nodiscard]] const LcpResult& lcpResult() const noexcept { return lcp_->result(); }
     [[nodiscard]] const IpcpResult& ipcpResult() const noexcept { return ipcp_->result(); }
     [[nodiscard]] bool compressionActive() const noexcept { return ccp_->sendCompressed(); }
+    [[nodiscard]] int echoOutstanding() const noexcept { return echoOutstanding_; }
     [[nodiscard]] const PppdCounters& counters() const noexcept { return counters_; }
 
   private:
@@ -152,6 +166,7 @@ class Pppd {
     bool localAuthOk_ = false;  ///< peer proved itself (or not needed)
     bool linkDownNotified_ = true;
     int echoOutstanding_ = 0;
+    std::uint64_t echoRxMark_ = 0;  ///< bytesFromLine at the last echo tick
     sim::EventHandle echoTimer_;
     PppdCounters counters_;
 };

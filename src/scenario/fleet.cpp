@@ -2,6 +2,7 @@
 
 #include "ditg/receiver.hpp"
 #include "ditg/sender.hpp"
+#include "obs/registry.hpp"
 
 namespace onelab::scenario {
 
@@ -29,6 +30,9 @@ FleetConfig makeUniformFleet(std::size_t ueCount, std::uint64_t seed,
 }
 
 Fleet::Fleet(FleetConfig config) : config_(std::move(config)), rng_(config_.seed) {
+    // Registered up front so a telemetry export carries the family
+    // (zero included) whether or not a bring-up ever failed.
+    (void)obs::Registry::instance().counter("fleet.start_failures");
     internet_ = std::make_unique<net::Internet>(sim_, rng_.derive("internet"));
     operator_ = std::make_unique<umts::UmtsNetwork>(sim_, *internet_, config_.operatorProfile,
                                                     rng_.derive("operator"));
@@ -97,15 +101,31 @@ util::Result<void> Fleet::startAll(sim::SimTime timeout) {
         return true;
     };
     while (!allDone() && sim_.now() < deadline) sim_.runUntil(sim_.now() + sim::millis(100));
+    // Collect every site's bring-up failure instead of aborting on the
+    // first one: the sites that DID come up stay up and usable, and
+    // the caller gets the full damage report in one message.
+    std::vector<std::string> failures;
+    util::Error::Code code = util::Error::Code::io;
     for (std::size_t i = 0; i < outcomes.size(); ++i) {
-        if (!outcomes[i])
-            return util::err(util::Error::Code::timeout,
-                             "umts start timed out on " + umtsSites_[i]->hostname());
-        if (!outcomes[i]->ok())
-            return util::err(outcomes[i]->error().code,
-                             umtsSites_[i]->hostname() + ": " + outcomes[i]->error().message);
+        if (!outcomes[i]) {
+            failures.push_back(umtsSites_[i]->hostname() + ": start timed out");
+            code = util::Error::Code::timeout;
+            obs::Registry::instance().counter("fleet.start_failures").inc();
+        } else if (!outcomes[i]->ok()) {
+            failures.push_back(umtsSites_[i]->hostname() + ": " +
+                               outcomes[i]->error().message);
+            code = outcomes[i]->error().code;
+            obs::Registry::instance().counter("fleet.start_failures").inc();
+        }
     }
-    return util::Result<void>{};
+    if (failures.empty()) return util::Result<void>{};
+    std::string message = std::to_string(failures.size()) + "/" +
+                          std::to_string(outcomes.size()) + " sites failed to start: ";
+    for (std::size_t i = 0; i < failures.size(); ++i) {
+        if (i) message += "; ";
+        message += failures[i];
+    }
+    return util::err(code, message);
 }
 
 util::Result<void> Fleet::addUmtsDestination(std::size_t index, const std::string& destination,

@@ -81,10 +81,23 @@ UmtsNodeSite::UmtsNodeSite(sim::Simulator& simulator, net::Internet& internet,
     backendConfig.dialer.password = "onelab";
     backendConfig.dialer.ccp.enable = config_.dialerCompression;
     backendConfig.dialer.seed = rootRng.derive(config_.dialerSeedTag).seed();
+    if (config_.supervise.enable) {
+        // The supervisor needs the keepalive as its health signal;
+        // adaptive mode keeps a loaded link free of echo traffic (the
+        // wire — and thus every figure CSV — stays identical while
+        // the link is healthy and carrying flows).
+        backendConfig.dialer.lcpEcho = true;
+        backendConfig.dialer.lcpEchoAdaptive = true;
+        backendConfig.dialer.lcpEchoInterval = config_.supervise.echoInterval;
+        backendConfig.dialer.lcpEchoFailure = config_.supervise.echoFailureLimit;
+    }
     // `umts stats` on this node reports this node's radio session, not
     // every bearer camping on the shared cell.
     backendConfig.statsScopeImsi = config_.imsi;
     backendConfig.autoRedial = config_.autoRedial;
+    if (backendConfig.autoRedial.jitterSeed == 0)
+        backendConfig.autoRedial.jitterSeed =
+            rootRng.derive(config_.dialerSeedTag + "/redial").seed();
     backend_ = std::make_unique<umtsctl::UmtsBackend>(simulator, *node_, tty_->a(),
                                                       backendConfig);
     backend_->dropDtr = [this] { modem_->dropDtr(); };
@@ -93,6 +106,16 @@ UmtsNodeSite::UmtsNodeSite(sim::Simulator& simulator, net::Internet& internet,
     node_->vsys().allow("umts", config_.umtsSliceName);
 
     frontend_ = std::make_unique<umtsctl::UmtsFrontend>(*node_, *umtsSlice_);
+
+    if (config_.supervise.enable) {
+        supervise::SupervisorConfig supConfig = config_.supervise.config;
+        const supervise::SupervisorConfig defaults;
+        if (supConfig.name == defaults.name) supConfig.name = config_.imsi;
+        if (supConfig.seed == defaults.seed)
+            supConfig.seed = rootRng.derive(config_.dialerSeedTag + "/supervise").seed();
+        supervisor_ = std::make_unique<supervise::LinkSupervisor>(
+            simulator, *backend_, *modem_, tty_->a(), supConfig);
+    }
 }
 
 UmtsNodeSite::~UmtsNodeSite() = default;

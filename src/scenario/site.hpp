@@ -7,6 +7,7 @@
 #include "modem/cards.hpp"
 #include "net/internet.hpp"
 #include "pl/node_os.hpp"
+#include "supervise/supervisor.hpp"
 #include "umts/network.hpp"
 #include "umtsctl/backend.hpp"
 #include "umtsctl/frontend.hpp"
@@ -84,6 +85,19 @@ struct UmtsNodeSiteConfig {
     /// default (historic behaviour); chaos runs turn it on so drops
     /// recover instead of staying down.
     umtsctl::UmtsBackendConfig::AutoRedial autoRedial;
+    /// Per-site link supervision (subsumes autoRedial when enabled:
+    /// the supervisor owns recovery and the backend's own auto-redial
+    /// is ignored). Turns on the dialer's adaptive LCP keepalive.
+    struct Supervise {
+        bool enable = false;
+        /// Dialer keepalive (pppd lcp-echo-interval / lcp-echo-failure).
+        sim::SimTime echoInterval = sim::seconds(10.0);
+        int echoFailureLimit = 3;
+        /// Supervisor tuning. `name`/`seed` left at their defaults are
+        /// filled in per site (IMSI, derived stream).
+        supervise::SupervisorConfig config;
+    };
+    Supervise supervise;
 };
 
 /// A UMTS-equipped PlanetLab site — the paper's full Napoli bundle:
@@ -112,6 +126,10 @@ class UmtsNodeSite {
     [[nodiscard]] sim::Pipe& tty() noexcept { return *tty_; }
     [[nodiscard]] umtsctl::UmtsBackend& backend() noexcept { return *backend_; }
     [[nodiscard]] umtsctl::UmtsFrontend& frontend() noexcept { return *frontend_; }
+    /// The site's link supervisor; nullptr unless config.supervise.enable.
+    [[nodiscard]] supervise::LinkSupervisor* supervisor() noexcept {
+        return supervisor_.get();
+    }
     [[nodiscard]] pl::Slice& umtsSlice() noexcept { return *umtsSlice_; }
     [[nodiscard]] pl::Slice* slice(const std::string& name) noexcept;
 
@@ -130,6 +148,9 @@ class UmtsNodeSite {
     std::unique_ptr<modem::UmtsModem> modem_;
     std::unique_ptr<umtsctl::UmtsBackend> backend_;
     std::unique_ptr<umtsctl::UmtsFrontend> frontend_;
+    /// Declared after backend_/modem_ (and destroyed first): the
+    /// supervisor unhooks its backend/pppd callbacks on destruction.
+    std::unique_ptr<supervise::LinkSupervisor> supervisor_;
     pl::Slice* umtsSlice_ = nullptr;
     std::vector<pl::Slice*> extraSlices_;
 };

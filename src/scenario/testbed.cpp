@@ -20,6 +20,7 @@ Testbed::Testbed(TestbedConfig config) : config_(std::move(config)) {
     napoli.dialerCompression = config_.dialerCompression;
     napoli.extraRequiredModules = config_.extraRequiredModules;
     napoli.dialerSeedTag = "dialer";  // the historical testbed stream
+    napoli.supervise = config_.supervise;
     napoli.ethernet.accessRateBps = config_.ethAccessRateBps;
     napoli.ethernet.jitterStddevMillis = config_.ethJitterStddevMillis;
     fleetConfig.umtsSites.push_back(std::move(napoli));

@@ -37,6 +37,10 @@ struct TestbedConfig {
     /// Extra kernel modules `umts start` must modprobe (tests use this
     /// to exercise driver-load failures, e.g. the vanilla nozomi).
     std::vector<std::string> extraRequiredModules;
+
+    /// Link supervision on the Napoli node (off by default; the golden
+    /// figure tests verify enabling it is a no-op on a fault-free run).
+    UmtsNodeSiteConfig::Supervise supervise;
 };
 
 /// The Private OneLab testbed in miniature: two PlanetLab nodes on the

@@ -1,0 +1,35 @@
+#include "supervise/breaker.hpp"
+
+namespace onelab::supervise {
+
+void FlapBreaker::expire(sim::SimTime now) {
+    while (!flaps_.empty() && now - flaps_.front() > config_.window) flaps_.pop_front();
+}
+
+bool FlapBreaker::recordFlap(sim::SimTime now) {
+    expire(now);
+    flaps_.push_back(now);
+    if (open(now)) return false;  // already tripped; cooling down
+    if (int(flaps_.size()) < config_.flapThreshold) return false;
+    openUntil_ = now + config_.cooldown;
+    ++trips_;
+    // A fresh window after the cooldown: old flaps must not re-trip
+    // the breaker the moment the link comes back.
+    flaps_.clear();
+    return true;
+}
+
+int FlapBreaker::flapsInWindow(sim::SimTime now) const noexcept {
+    int count = 0;
+    for (const sim::SimTime t : flaps_)
+        if (now - t <= config_.window) ++count;
+    return count;
+}
+
+void FlapBreaker::reset() {
+    flaps_.clear();
+    openUntil_ = sim::SimTime{0};
+    trips_ = 0;
+}
+
+}  // namespace onelab::supervise

@@ -1,0 +1,57 @@
+#pragma once
+
+#include <deque>
+
+#include "sim/time.hpp"
+
+namespace onelab::supervise {
+
+/// Flap-detection thresholds for a supervised link.
+struct BreakerConfig {
+    /// Trip after this many link losses inside the window.
+    int flapThreshold = 4;
+    /// Sliding window the flaps are counted over.
+    sim::SimTime window = sim::seconds(120.0);
+    /// How long a tripped link is parked before recovery may retry.
+    sim::SimTime cooldown = sim::seconds(180.0);
+};
+
+/// Circuit breaker over link-loss events. A link that keeps dying
+/// right after recovery ("flapping") burns dial attempts, radio
+/// signalling and cell capacity for nothing; once flapThreshold losses
+/// land inside the sliding window the breaker opens and the supervisor
+/// parks the link in FAILED_OVER until the cooldown expires. Pure
+/// sim-time bookkeeping — no timers, no side effects — so it is
+/// trivially unit-testable.
+class FlapBreaker {
+  public:
+    explicit FlapBreaker(BreakerConfig config) : config_(config) {}
+
+    /// Record a link loss at `now`. Returns true when this flap trips
+    /// the breaker (it was closed and the threshold is now reached).
+    bool recordFlap(sim::SimTime now);
+
+    /// Open (tripped and still cooling down) at `now`?
+    [[nodiscard]] bool open(sim::SimTime now) const noexcept {
+        return now < openUntil_;
+    }
+    /// When the current cooldown ends (meaningful while open()).
+    [[nodiscard]] sim::SimTime openUntil() const noexcept { return openUntil_; }
+
+    [[nodiscard]] int flapsInWindow(sim::SimTime now) const noexcept;
+    [[nodiscard]] int trips() const noexcept { return trips_; }
+    [[nodiscard]] const BreakerConfig& config() const noexcept { return config_; }
+
+    /// Forget history (administrative restart).
+    void reset();
+
+  private:
+    void expire(sim::SimTime now);
+
+    BreakerConfig config_;
+    std::deque<sim::SimTime> flaps_;
+    sim::SimTime openUntil_{0};
+    int trips_ = 0;
+};
+
+}  // namespace onelab::supervise

@@ -56,6 +56,9 @@ void WvDial::dial(std::function<void(util::Result<ppp::IpcpResult>)> done) {
                                         pppConfig.requestDns = config_.requestDns;
                                         pppConfig.ccp = config_.ccp;
                                         pppConfig.enableEcho = config_.lcpEcho;
+                                        pppConfig.echoInterval = config_.lcpEchoInterval;
+                                        pppConfig.echoFailureLimit = config_.lcpEchoFailure;
+                                        pppConfig.echoAdaptive = config_.lcpEchoAdaptive;
                                         pppConfig.seed = config_.seed;
                                         pppd_ = std::make_unique<ppp::Pppd>(sim_, pppConfig);
                                         pppd_->attach(tty_);

@@ -18,8 +18,12 @@ struct WvDialConfig {
     ppp::CcpConfig ccp{.enable = false, .windowCode = 12};
     /// Operator dial-up configs typically set lcp-echo-interval 0; a
     /// saturated uplink would otherwise drop enough echoes to kill the
-    /// link mid-experiment.
+    /// link mid-experiment. Supervised sites re-enable the keepalive
+    /// with lcpEchoAdaptive so only a silent line is ever probed.
     bool lcpEcho = false;
+    sim::SimTime lcpEchoInterval = sim::seconds(10.0);
+    int lcpEchoFailure = 3;
+    bool lcpEchoAdaptive = false;
     sim::SimTime commandTimeout = sim::seconds(5.0);
     sim::SimTime connectTimeout = sim::seconds(30.0);
     std::uint64_t seed = 7;

@@ -85,6 +85,8 @@ void UmtsBackend::cmdStart(const pl::Slice& caller, pl::Vsys::Completion done) {
     ownerMark_ = caller.defaultMark();
     busy_ = true;
     destinations_.clear();
+    parkedDestinations_.clear();
+    routesParked_ = false;
     log_.info() << "start requested by slice '" << caller.name << "' (xid " << caller.xid << ")";
 
     startConnection([this, done = std::move(done)](
@@ -181,6 +183,7 @@ void UmtsBackend::setupDataPlane(const ppp::IpcpResult& addresses) {
     state_.connected = true;
     state_.address = addresses.localAddress;
     log_.info() << "UMTS connection up: " << addresses.localAddress.str() << " on " << ifname;
+    if (onConnectionEstablished) onConnectionEstablished();
 }
 
 void UmtsBackend::teardownDataPlane() {
@@ -225,23 +228,38 @@ void UmtsBackend::onLinkLost(const std::string& reason) {
     sim_.schedule(sim::millis(1), [dead = std::shared_ptr<tools::WvDial>(std::move(wvdial_))] {
     });
     state_.lastError = reason;
+    if (onConnectionLost) {
+        // Supervised mode: keep the lock, park the slice's destination
+        // rules (its flows now resolve via the wired main table) and
+        // hand recovery to the supervisor.
+        parkedDestinations_.insert(stashed.begin(), stashed.end());
+        routesParked_ = true;
+        onConnectionLost(reason);
+        return;
+    }
     if (!config_.autoRedial.enable) {
         state_.locked = false;
         return;
     }
-    // Recovery: keep the slice's lock and re-dial with capped
-    // exponential backoff; the destination rules are re-installed on
-    // success.
+    // Recovery: keep the slice's lock and re-dial with capped,
+    // jittered exponential backoff; the destination rules are
+    // re-installed on success.
     redialDestinations_ = stashed;
     redialAttempt_ = 0;
-    redialBackoff_ = config_.autoRedial.initialBackoff;
+    redialBackoff_.emplace(util::BackoffConfig{
+        .initialSeconds = sim::toSeconds(config_.autoRedial.initialBackoff),
+        .maxSeconds = sim::toSeconds(config_.autoRedial.maxBackoff),
+        .jitterFraction = config_.autoRedial.jitterFraction,
+        .seed = config_.autoRedial.jitterSeed,
+    });
     scheduleRedial();
 }
 
 void UmtsBackend::scheduleRedial() {
     if (redialTimer_.valid()) sim_.cancel(redialTimer_);
-    log_.info() << "auto-redial in " << sim::toSeconds(redialBackoff_) << "s";
-    redialTimer_ = sim_.schedule(redialBackoff_, [this] { attemptRedial(); });
+    const sim::SimTime delay = sim::seconds(redialBackoff_->nextSeconds());
+    log_.info() << "auto-redial in " << sim::toSeconds(delay) << "s";
+    redialTimer_ = sim_.schedule(delay, [this] { attemptRedial(); });
 }
 
 void UmtsBackend::attemptRedial() {
@@ -270,9 +288,65 @@ void UmtsBackend::attemptRedial() {
             state_.locked = false;
             return;
         }
-        redialBackoff_ = std::min(redialBackoff_ * 2, config_.autoRedial.maxBackoff);
         scheduleRedial();
     });
+}
+
+void UmtsBackend::redial(std::function<void(util::Result<void>)> done) {
+    if (busy_ || !state_.locked || state_.connected) {
+        if (done)
+            done(util::err(util::Error::Code::state,
+                           busy_ ? "operation in progress"
+                                 : state_.connected ? "already connected" : "not locked"));
+        return;
+    }
+    obs::Registry::instance().counter("recovery.redial.attempts").inc();
+    busy_ = true;
+    startConnection([this, done = std::move(done)](util::Result<ppp::IpcpResult> result) mutable {
+        busy_ = false;
+        if (!result.ok()) {
+            state_.lastError = result.error().message;
+            if (done) done(util::err(result.error().code, result.error().message));
+            return;
+        }
+        obs::Registry::instance().counter("recovery.redial.successes").inc();
+        // Parked destination rules stay parked: the supervisor fails
+        // traffic back only after its stability window.
+        if (done) done(util::Result<void>{});
+    });
+}
+
+void UmtsBackend::failoverRoutes() {
+    for (const std::string& destination : destinations_) {
+        (void)shell().exec(util::format("ip rule del prio %d fwmark 0x%x to %s lookup %d",
+                                        config_.destinationRulePriority, mark(),
+                                        destination.c_str(), config_.routingTable));
+        parkedDestinations_.insert(destination);
+    }
+    destinations_.clear();
+    routesParked_ = !parkedDestinations_.empty() || routesParked_;
+    if (routesParked_) log_.info() << "destination rules parked: traffic on wired path";
+}
+
+void UmtsBackend::failbackRoutes() {
+    if (!state_.connected) {
+        log_.warn() << "failbackRoutes() while not connected";
+        return;
+    }
+    for (const std::string& destination : parkedDestinations_) {
+        const auto result = shell().exec(
+            util::format("ip rule add prio %d fwmark 0x%x to %s lookup %d",
+                         config_.destinationRulePriority, mark(), destination.c_str(),
+                         config_.routingTable));
+        if (result.ok())
+            destinations_.insert(destination);
+        else
+            log_.error() << "failed to fail back destination " << destination << ": "
+                         << result.error().message;
+    }
+    parkedDestinations_.clear();
+    routesParked_ = false;
+    log_.info() << "destination rules restored: traffic back on " << config_.pppInterface;
 }
 
 void UmtsBackend::reinstallDestinations() {
@@ -311,6 +385,8 @@ void UmtsBackend::cmdStop(const pl::Slice& caller, pl::Vsys::Completion done) {
     }
     log_.info() << "stop requested by slice '" << caller.name << "'";
     cancelRedial();
+    parkedDestinations_.clear();
+    routesParked_ = false;
     teardownDataPlane();
     if (wvdial_) {
         wvdial_->onDisconnected = nullptr;  // expected teardown
@@ -342,6 +418,9 @@ void UmtsBackend::cmdStatus(const pl::Slice& caller, pl::Vsys::Completion done) 
     }
     for (const std::string& destination : destinations_)
         lines.push_back("destination=" + destination);
+    if (routesParked_) lines.push_back("failover=wired");
+    for (const std::string& destination : parkedDestinations_)
+        lines.push_back("parked_destination=" + destination);
     if (!state_.lastError.empty()) lines.push_back("last_error=" + state_.lastError);
     reply(done, exit_code::ok, std::move(lines));
 }
@@ -399,7 +478,7 @@ void UmtsBackend::cmdAddDestination(const pl::Slice& caller, const std::string& 
         reply(done, exit_code::perm, {"error=not the owner of the UMTS connection"});
         return;
     }
-    if (!state_.connected) {
+    if (!state_.connected && !routesParked_) {
         reply(done, exit_code::error, {"error=not connected"});
         return;
     }
@@ -409,8 +488,15 @@ void UmtsBackend::cmdAddDestination(const pl::Slice& caller, const std::string& 
         return;
     }
     const std::string canonical = prefix.value().str();
-    if (destinations_.count(canonical)) {
+    if (destinations_.count(canonical) || parkedDestinations_.count(canonical)) {
         reply(done, exit_code::inval, {"error=destination already present"});
+        return;
+    }
+    if (routesParked_) {
+        // Failed over: remember the destination and install its rule
+        // when traffic fails back to the UMTS path.
+        parkedDestinations_.insert(canonical);
+        reply(done, exit_code::ok, {"destination=" + canonical, "failover=wired"});
         return;
     }
     const auto result = shell().exec(
@@ -437,6 +523,10 @@ void UmtsBackend::cmdDelDestination(const pl::Slice& caller, const std::string& 
         return;
     }
     const std::string canonical = prefix.value().str();
+    if (parkedDestinations_.erase(canonical)) {
+        reply(done, exit_code::ok, {"deleted=" + canonical});
+        return;
+    }
     if (!destinations_.count(canonical)) {
         reply(done, exit_code::noent, {"error=no such destination"});
         return;

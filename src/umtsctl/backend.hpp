@@ -9,6 +9,7 @@
 #include "pl/node_os.hpp"
 #include "tools/comgt.hpp"
 #include "tools/wvdial.hpp"
+#include "util/backoff.hpp"
 
 namespace onelab::umtsctl {
 
@@ -52,6 +53,10 @@ struct UmtsBackendConfig {
         int maxAttempts = 6;
         sim::SimTime initialBackoff = sim::seconds(2.0);
         sim::SimTime maxBackoff = sim::seconds(60.0);
+        /// ± jitter applied to every backoff step so N UEs recovering
+        /// from a shared-cell outage don't redial in lockstep.
+        double jitterFraction = 0.2;
+        std::uint64_t jitterSeed = 0;
     };
     AutoRedial autoRedial;
 };
@@ -97,6 +102,34 @@ class UmtsBackend {
     /// DCD line from the modem: the data call died under us. Tears the
     /// data plane down and releases the lock.
     void notifyCarrierLost();
+
+    // --- supervision driver surface (src/supervise) ---------------
+    // When onConnectionLost is set, an unexpected link loss keeps the
+    // slice's lock, parks the installed destination rules (traffic
+    // falls back to the wired default route) and defers recovery to
+    // the supervisor instead of the built-in auto-redial.
+
+    /// Link died unexpectedly (data plane already torn down, routes
+    /// parked). The supervisor owns recovery from here.
+    std::function<void(const std::string& reason)> onConnectionLost;
+    /// Data plane came up (initial start or a successful redial).
+    std::function<void()> onConnectionEstablished;
+
+    /// One supervised dial attempt (registration + dial + data plane).
+    /// Parked destination rules stay parked — the caller decides when
+    /// to fail traffic back with failbackRoutes().
+    void redial(std::function<void(util::Result<void>)> done);
+    /// Remove the slice's installed destination rules while the link
+    /// stays up: marked flows fall through to the wired main table.
+    void failoverRoutes();
+    /// Re-install every parked destination rule (requires connected).
+    void failbackRoutes();
+    [[nodiscard]] bool routesParked() const noexcept { return routesParked_; }
+    [[nodiscard]] bool busy() const noexcept { return busy_; }
+    /// The live pppd of the current connection, or nullptr.
+    [[nodiscard]] ppp::Pppd* livePppd() noexcept {
+        return wvdial_ ? wvdial_->pppd() : nullptr;
+    }
 
     [[nodiscard]] const UmtsState& state() const noexcept { return state_; }
 
@@ -148,8 +181,14 @@ class UmtsBackend {
     // Auto-redial recovery state.
     sim::EventHandle redialTimer_;
     int redialAttempt_ = 0;
-    sim::SimTime redialBackoff_{0};
+    std::optional<util::JitteredBackoff> redialBackoff_;
     std::set<std::string> redialDestinations_;  ///< rules to re-install
+
+    // Supervised failover state: destination rules pulled off the UMTS
+    // path (either by a link loss or an explicit failoverRoutes()),
+    // waiting for failbackRoutes() to re-install them.
+    std::set<std::string> parkedDestinations_;
+    bool routesParked_ = false;
 };
 
 }  // namespace onelab::umtsctl

@@ -1,0 +1,22 @@
+#include "util/backoff.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace onelab::util {
+
+JitteredBackoff::JitteredBackoff(BackoffConfig config)
+    : config_(config), rng_(config.seed) {}
+
+double JitteredBackoff::nextSeconds() {
+    const int step = std::min(attempt_, 60);  // 2^60 is already past any cap
+    ++attempt_;
+    const double base =
+        std::min(config_.initialSeconds * std::ldexp(1.0, step), config_.maxSeconds);
+    double jitter = 0.0;
+    if (config_.jitterFraction > 0.0)
+        jitter = rng_.uniform(-config_.jitterFraction, config_.jitterFraction);
+    return std::max(base * (1.0 + jitter), 0.001);
+}
+
+}  // namespace onelab::util

@@ -62,11 +62,15 @@ std::string md5Hex(const std::string& text) {
 
 /// Run one workload exactly as a fresh `figN` process does (paper
 /// seed 42, 120 s, entropy reset) and check every figure it feeds.
-void checkWorkload(scenario::Workload workload) {
+/// With `supervised` the link supervisor rides along; on a fault-free
+/// run its probes and hooks must be a byte-exact no-op, so the SAME
+/// digests apply.
+void checkWorkload(scenario::Workload workload, bool supervised = false) {
     obs::beginRun();
     ppp::resetMagicEntropy();
     scenario::ExperimentOptions options;
     options.workload = workload;
+    options.testbed.supervise.enable = supervised;
     const scenario::ExperimentResult result = scenario::runExperiment(options);
     for (const GoldenFigure& golden : kGoldenFigures) {
         if (golden.workload != workload) continue;
@@ -83,6 +87,18 @@ TEST(FigGolden, VoipFiguresReproduce) {
 
 TEST(FigGolden, CbrFiguresReproduce) {
     checkWorkload(scenario::Workload::cbr_1mbps);
+}
+
+// The supervisor guard: enabling supervision on a fault-free run must
+// not move a single byte of any figure CSV. The adaptive LCP echo only
+// probes a silent line (the workloads keep it busy), and a supervisor
+// that never sees trouble never acts.
+TEST(FigGolden, VoipFiguresReproduceSupervised) {
+    checkWorkload(scenario::Workload::voip_g711, /*supervised=*/true);
+}
+
+TEST(FigGolden, CbrFiguresReproduceSupervised) {
+    checkWorkload(scenario::Workload::cbr_1mbps, /*supervised=*/true);
 }
 
 }  // namespace

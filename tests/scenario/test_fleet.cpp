@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include "obs/registry.hpp"
 #include "scenario/testbed.hpp"
 #include "umtsctl/frontend.hpp"
 
@@ -31,6 +32,31 @@ TEST(Fleet, StartAllBringsUpEverySession) {
     EXPECT_EQ(fleet.operatorNetwork().activeSessions(), 3u);
     // Three initial grants are now carved out of the shared pool.
     EXPECT_DOUBLE_EQ(fleet.operatorNetwork().cell().uplinkAllocatedBps(), 3 * 144e3);
+}
+
+TEST(Fleet, StartAllCollectsPerSiteFailuresAndKeepsSurvivorsUp) {
+    const double failuresBefore =
+        obs::Registry::instance().counter("fleet.start_failures").value();
+    FleetConfig config = makeUniformFleet(2);
+    // Site 0's backend comgt config carries the wrong PIN: its
+    // bring-up fails deterministically while site 1 is healthy.
+    config.umtsSites[0].backendPinOverride = "0000";
+    Fleet fleet{std::move(config)};
+    const auto started = fleet.startAll();
+    ASSERT_FALSE(started.ok());
+    // The aggregate error names the failing host — and only it.
+    EXPECT_NE(started.error().message.find("1/2 sites failed to start"), std::string::npos)
+        << started.error().message;
+    EXPECT_NE(started.error().message.find(fleet.umtsSite(0).hostname()), std::string::npos)
+        << started.error().message;
+    EXPECT_EQ(started.error().message.find(fleet.umtsSite(1).hostname()), std::string::npos)
+        << started.error().message;
+    // The survivor was NOT torn down by its neighbour's failure.
+    EXPECT_TRUE(fleet.umtsSite(1).backend().state().connected);
+    EXPECT_FALSE(fleet.umtsSite(0).backend().state().connected);
+    EXPECT_DOUBLE_EQ(
+        obs::Registry::instance().counter("fleet.start_failures").value(),
+        failuresBefore + 1);
 }
 
 TEST(Fleet, TestbedFacadeIsAOneUeFleet) {

@@ -1,0 +1,85 @@
+#include "supervise/breaker.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sim/time.hpp"
+
+namespace onelab::supervise {
+namespace {
+
+using sim::seconds;
+
+BreakerConfig tightConfig() {
+    BreakerConfig config;
+    config.flapThreshold = 3;
+    config.window = seconds(60.0);
+    config.cooldown = seconds(120.0);
+    return config;
+}
+
+TEST(FlapBreaker, TripsAtThresholdWithinWindow) {
+    FlapBreaker breaker{tightConfig()};
+    EXPECT_FALSE(breaker.recordFlap(seconds(0.0)));
+    EXPECT_FALSE(breaker.recordFlap(seconds(10.0)));
+    EXPECT_FALSE(breaker.open(seconds(10.0)));
+    EXPECT_TRUE(breaker.recordFlap(seconds(20.0)));
+    EXPECT_TRUE(breaker.open(seconds(20.0)));
+    EXPECT_EQ(breaker.trips(), 1);
+    EXPECT_EQ(breaker.openUntil(), seconds(20.0) + seconds(120.0));
+}
+
+TEST(FlapBreaker, OldFlapsSlideOutOfTheWindow) {
+    FlapBreaker breaker{tightConfig()};
+    EXPECT_FALSE(breaker.recordFlap(seconds(0.0)));
+    EXPECT_FALSE(breaker.recordFlap(seconds(10.0)));
+    // The third flap lands after the first has aged out of the 60 s
+    // window, so only two are in view — no trip.
+    EXPECT_FALSE(breaker.recordFlap(seconds(65.0)));
+    EXPECT_EQ(breaker.flapsInWindow(seconds(65.0)), 2);
+    EXPECT_FALSE(breaker.open(seconds(65.0)));
+    EXPECT_EQ(breaker.trips(), 0);
+}
+
+TEST(FlapBreaker, FlapsWhileOpenDoNotRetrip) {
+    FlapBreaker breaker{tightConfig()};
+    (void)breaker.recordFlap(seconds(0.0));
+    (void)breaker.recordFlap(seconds(1.0));
+    EXPECT_TRUE(breaker.recordFlap(seconds(2.0)));
+    // Further flaps during the cooldown are recorded but never report
+    // a fresh trip — the link is already parked.
+    EXPECT_FALSE(breaker.recordFlap(seconds(3.0)));
+    EXPECT_FALSE(breaker.recordFlap(seconds(4.0)));
+    EXPECT_EQ(breaker.trips(), 1);
+    EXPECT_TRUE(breaker.open(seconds(100.0)));
+    EXPECT_FALSE(breaker.open(seconds(122.0)));
+}
+
+TEST(FlapBreaker, TripClearsHistorySoCooldownExitGetsAFreshWindow) {
+    FlapBreaker breaker{tightConfig()};
+    (void)breaker.recordFlap(seconds(0.0));
+    (void)breaker.recordFlap(seconds(1.0));
+    EXPECT_TRUE(breaker.recordFlap(seconds(2.0)));
+    // Past the cooldown the breaker is closed and the pre-trip flaps
+    // are gone: the link gets a clean slate, not an instant re-trip.
+    const sim::SimTime later = seconds(2.0) + seconds(120.0) + seconds(1.0);
+    EXPECT_FALSE(breaker.open(later));
+    EXPECT_EQ(breaker.flapsInWindow(later), 0);
+    EXPECT_FALSE(breaker.recordFlap(later));
+    EXPECT_FALSE(breaker.recordFlap(later + seconds(1.0)));
+    EXPECT_TRUE(breaker.recordFlap(later + seconds(2.0)));
+    EXPECT_EQ(breaker.trips(), 2);
+}
+
+TEST(FlapBreaker, ResetClosesAndForgets) {
+    FlapBreaker breaker{tightConfig()};
+    (void)breaker.recordFlap(seconds(0.0));
+    (void)breaker.recordFlap(seconds(1.0));
+    (void)breaker.recordFlap(seconds(2.0));
+    ASSERT_TRUE(breaker.open(seconds(3.0)));
+    breaker.reset();
+    EXPECT_FALSE(breaker.open(seconds(3.0)));
+    EXPECT_EQ(breaker.flapsInWindow(seconds(3.0)), 0);
+}
+
+}  // namespace
+}  // namespace onelab::supervise

@@ -1,0 +1,94 @@
+#include "util/backoff.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace onelab::util {
+namespace {
+
+TEST(JitteredBackoff, SameSeedSameSchedule) {
+    BackoffConfig config;
+    config.seed = 99;
+    JitteredBackoff a{config};
+    JitteredBackoff b{config};
+    for (int i = 0; i < 10; ++i) EXPECT_DOUBLE_EQ(a.nextSeconds(), b.nextSeconds());
+}
+
+TEST(JitteredBackoff, DistinctSeedsDecorrelate) {
+    BackoffConfig configA;
+    configA.seed = 1;
+    BackoffConfig configB;
+    configB.seed = 2;
+    JitteredBackoff a{configA};
+    JitteredBackoff b{configB};
+    // A whole fleet redialling in lockstep is exactly what the jitter
+    // exists to prevent: at least one step must differ.
+    bool anyDifferent = false;
+    for (int i = 0; i < 10; ++i)
+        if (a.nextSeconds() != b.nextSeconds()) anyDifferent = true;
+    EXPECT_TRUE(anyDifferent);
+}
+
+TEST(JitteredBackoff, DelaysStayWithinJitterOfDoubledBase) {
+    BackoffConfig config;
+    config.initialSeconds = 1.0;
+    config.maxSeconds = 64.0;
+    config.jitterFraction = 0.25;
+    config.seed = 7;
+    JitteredBackoff backoff{config};
+    for (int attempt = 0; attempt < 12; ++attempt) {
+        const double base = std::min(config.initialSeconds * std::ldexp(1.0, attempt),
+                                     config.maxSeconds);
+        const double delay = backoff.nextSeconds();
+        EXPECT_GE(delay, base * (1.0 - config.jitterFraction));
+        EXPECT_LE(delay, base * (1.0 + config.jitterFraction));
+    }
+}
+
+TEST(JitteredBackoff, CapBoundsEveryDelay) {
+    BackoffConfig config;
+    config.initialSeconds = 2.0;
+    config.maxSeconds = 30.0;
+    config.jitterFraction = 0.2;
+    config.seed = 3;
+    JitteredBackoff backoff{config};
+    // The cap clamps the base before jitter, so no delay can exceed
+    // max * (1 + jitter) however many attempts pile up.
+    for (int i = 0; i < 40; ++i) EXPECT_LE(backoff.nextSeconds(), 30.0 * 1.2);
+}
+
+TEST(JitteredBackoff, ResetRestartsDoublingButNotTheJitterStream) {
+    BackoffConfig config;
+    config.seed = 5;
+    JitteredBackoff backoff{config};
+    const double first = backoff.nextSeconds();
+    (void)backoff.nextSeconds();
+    (void)backoff.nextSeconds();
+    EXPECT_EQ(backoff.attempt(), 3);
+    backoff.reset();
+    EXPECT_EQ(backoff.attempt(), 0);
+    const double afterReset = backoff.nextSeconds();
+    // Base is back at initialSeconds but the jitter stream kept
+    // advancing, so the delay differs from the very first draw while
+    // staying within the first-attempt envelope.
+    EXPECT_NE(afterReset, first);
+    EXPECT_GE(afterReset, config.initialSeconds * (1.0 - config.jitterFraction));
+    EXPECT_LE(afterReset, config.initialSeconds * (1.0 + config.jitterFraction));
+}
+
+// Pinned schedule: the exact delays the default config with seed 42
+// produces. Guards the seeded-jitter determinism that byte-identical
+// replay depends on — any change to the RNG draw order or the backoff
+// arithmetic shows up here first.
+TEST(JitteredBackoff, PinnedScheduleSeed42) {
+    BackoffConfig config;
+    config.seed = 42;
+    JitteredBackoff backoff{config};
+    const double expected[] = {2.204124426, 4.222450230, 8.806864642, 13.672145175,
+                               37.161842770, 50.257639482, 61.789687299, 56.949304787};
+    for (const double value : expected) EXPECT_NEAR(backoff.nextSeconds(), value, 1e-6);
+}
+
+}  // namespace
+}  // namespace onelab::util
