@@ -16,16 +16,20 @@
 //
 // Profiles: --profile pr (short, CI-blocking) or nightly (sim-hour
 // soaks). A scripted plan can replace the seeded one: --faults p.json.
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <optional>
 #include <sstream>
 #include <string>
 #include <vector>
 
 #include "fault/injector.hpp"
 #include "fault/plan.hpp"
+#include "obs/flight.hpp"
+#include "obs/profiler.hpp"
 #include "obs/registry.hpp"
 #include "obs/telemetry.hpp"
 #include "obs/trace.hpp"
@@ -57,6 +61,8 @@ struct SoakOutcome {
     std::size_t injected = 0;
     std::size_t skipped = 0;
     std::string failure;
+    double simSeconds = 0.0;   ///< simulated time covered by the soak
+    double wallSeconds = 0.0;  ///< wall time the worker spent on it
 };
 
 std::string slurp(const std::string& path) {
@@ -72,15 +78,37 @@ std::string slurp(const std::string& path) {
 SoakOutcome runSoak(const SoakOptions& options, std::uint64_t seed,
                     const std::string& directory) {
     SoakOutcome outcome;
-    const auto fail = [&outcome](std::string what) {
+    const auto wallStart = std::chrono::steady_clock::now();
+    sim::Simulator* simPtr = nullptr;
+    const auto stamp = [&outcome, wallStart, &simPtr] {
+        outcome.wallSeconds = std::chrono::duration<double>(
+                                  std::chrono::steady_clock::now() - wallStart)
+                                  .count();
+        if (simPtr) outcome.simSeconds = sim::toSeconds(simPtr->now());
+    };
+    const auto fail = [&outcome, &stamp](std::string what) {
         outcome.ok = false;
         outcome.failure = std::move(what);
+        // Freeze the black box with the breach on record (once per
+        // run; repeat triggers are no-ops).
+        obs::FlightRecorder::instance().requestDump("invariant breach: " +
+                                                    outcome.failure);
+        stamp();
         return outcome;
     };
 
     obs::beginRun();
+    obs::FlightRecorder::instance().setDumpPath(directory + "/" + obs::kFlightFile);
+    obs::Profiler::instance().setEnabled(true);
     ppp::resetMagicEntropy();
     if (options.profile == "nightly") obs::Tracer::instance().setEnabled(false);
+
+    // Root scope: fleet construction, plan generation and invariant
+    // checks land here as self-time (deeper scopes subtract), so the
+    // exported profile attributes (nearly) the whole window. Closed
+    // before the export reads the totals.
+    std::optional<obs::ProfileScope> harnessScope;
+    harnessScope.emplace(obs::ProfileCategory::scenario_harness);
 
     scenario::FleetConfig config = scenario::makeUniformFleet(options.ues, seed);
     for (auto& site : config.umtsSites) {
@@ -92,6 +120,10 @@ SoakOutcome runSoak(const SoakOptions& options, std::uint64_t seed,
         }
     }
     scenario::Fleet fleet{config};
+    simPtr = &fleet.sim();
+    // Stamp trace + flight entries with simulated time (the clocks
+    // land in this point's RunContext-private instances).
+    fleet.sim().attachLogClock();
 
     const auto started = fleet.startAll();
     if (!started.ok()) return fail("fleet start: " + started.error().message);
@@ -190,9 +222,11 @@ SoakOutcome runSoak(const SoakOptions& options, std::uint64_t seed,
                     " bps, downlink " + std::to_string(cell.downlinkAllocatedBps()) +
                     " bps still allocated after full stop");
 
+    harnessScope.reset();
     obs::Tracer::instance().setEnabled(false);
     const auto written = obs::writeTelemetry(directory);
     if (!written.ok()) return fail("telemetry export: " + written.error().message);
+    stamp();
     return outcome;
 }
 
@@ -204,14 +238,56 @@ void usage(const char* argv0) {
         "                          of backend auto-redial)\n"
         "          [--jobs N]   (0 = all hardware threads; per-seed\n"
         "                        outcomes and telemetry are identical\n"
-        "                        to a serial run)\n",
+        "                        to a serial run)\n"
+        "          [--json path] (machine-readable results incl.\n"
+        "                         sim-seconds-per-wall-second per seed)\n",
         argv0);
+}
+
+/// BENCH_chaos.json: per-seed outcomes plus the soak throughput figure
+/// (simulated seconds per wall second) the sharding roadmap item wants
+/// tracked over time.
+bool writeResultsJson(const std::string& path, const SoakOptions& options,
+                      const std::vector<SoakOutcome>& outcomes) {
+    std::FILE* file = std::fopen(path.c_str(), "w");
+    if (!file) return false;
+    double simTotal = 0.0;
+    double wallTotal = 0.0;
+    std::fprintf(file,
+                 "{\"bench\":\"ext_chaos_soak\",\"profile\":\"%s\",\"ues\":%zu,"
+                 "\"supervised\":%s,\"jobs\":%zu,\"seeds\":[",
+                 options.profile.c_str(), options.ues,
+                 options.supervise ? "true" : "false", options.jobs);
+    for (std::size_t i = 0; i < outcomes.size(); ++i) {
+        const SoakOutcome& outcome = outcomes[i];
+        simTotal += outcome.simSeconds;
+        wallTotal += outcome.wallSeconds;
+        std::fprintf(file,
+                     "%s{\"seed\":%llu,\"ok\":%s,\"injected\":%zu,\"skipped\":%zu,"
+                     "\"sim_seconds\":%.3f,\"wall_seconds\":%.3f,"
+                     "\"sim_per_wall\":%.2f}",
+                     i ? "," : "",
+                     static_cast<unsigned long long>(options.seeds[i]),
+                     outcome.ok ? "true" : "false", outcome.injected, outcome.skipped,
+                     outcome.simSeconds, outcome.wallSeconds,
+                     outcome.wallSeconds > 0.0 ? outcome.simSeconds / outcome.wallSeconds
+                                               : 0.0);
+    }
+    std::fprintf(file,
+                 "],\"total_sim_seconds\":%.3f,\"total_wall_seconds\":%.3f,"
+                 "\"sim_per_wall\":%.2f}\n",
+                 simTotal, wallTotal, wallTotal > 0.0 ? simTotal / wallTotal : 0.0);
+    std::fclose(file);
+    return true;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
+    // A crashing soak should leave its black box behind.
+    obs::installCrashDump();
     SoakOptions options;
+    std::string jsonPath;
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
         const auto next = [&]() -> const char* {
@@ -253,6 +329,10 @@ int main(int argc, char** argv) {
             const char* value = next();
             if (!value) { usage(argv[0]); return 2; }
             options.jobs = bench::SweepRunner::parseJobsValue(value);
+        } else if (arg == "--json") {
+            const char* value = next();
+            if (!value) { usage(argv[0]); return 2; }
+            jsonPath = value;
         } else if (arg == "--supervise") {
             options.supervise = true;
         } else {
@@ -284,13 +364,24 @@ int main(int argc, char** argv) {
         const SoakOutcome& outcome = outcomes[i];
         if (outcome.ok)
             std::printf("seed %llu: OK — %zu faults injected, %zu skipped "
-                        "(no live target), invariants hold\n",
+                        "(no live target), invariants hold "
+                        "(%.0f sim-s in %.1f wall-s, %.0fx)\n",
                         static_cast<unsigned long long>(seed), outcome.injected,
-                        outcome.skipped);
+                        outcome.skipped, outcome.simSeconds, outcome.wallSeconds,
+                        outcome.wallSeconds > 0.0
+                            ? outcome.simSeconds / outcome.wallSeconds
+                            : 0.0);
         else
             std::printf("seed %llu: FAIL — %s\n", static_cast<unsigned long long>(seed),
                         outcome.failure.c_str());
         allOk = allOk && outcome.ok;
+    }
+
+    if (!jsonPath.empty()) {
+        if (writeResultsJson(jsonPath, options, outcomes))
+            std::printf("results JSON: %s\n", jsonPath.c_str());
+        else
+            std::printf("WARNING: could not write %s\n", jsonPath.c_str());
     }
 
     if (allOk && options.checkDeterminism) {

@@ -21,6 +21,7 @@
 #include <unordered_set>
 #include <vector>
 
+#include "obs/profiler.hpp"
 #include "obs/registry.hpp"
 #include "sim/pipe.hpp"
 #include "sim/simulator.hpp"
@@ -181,6 +182,35 @@ void BM_ScheduleFire_LegacyCore(benchmark::State& state) {
     state.SetItemsProcessed(state.iterations() * batch);
 }
 BENCHMARK(BM_ScheduleFire_LegacyCore)->Arg(64)->Arg(1024)->Arg(65536);
+
+// ---------------------------------------------------------------------------
+// The same schedule+fire batch with the sim-time profiler enabled: the
+// run loop opens a sim_run scope plus one sim_event scope per 128-event
+// dispatch batch, so the two clock reads amortise across the batch.
+// Compared against the plain EventCore run above, this is the
+// profiler's observed overhead — the acceptance budget is <2% on this
+// benchmark.
+// ---------------------------------------------------------------------------
+void BM_ScheduleFire_EventCoreProfiled(benchmark::State& state) {
+    obs::Profiler profiler;
+    profiler.setEnabled(true);
+    obs::Profiler* const previous = obs::Profiler::setCurrent(&profiler);
+    sim::Simulator sim;
+    const int batch = int(state.range(0));
+    std::uint64_t fired = 0;
+    for (auto _ : state) {
+        for (int i = 0; i < batch; ++i) {
+            const EventPayload payload{&fired, &sim, std::uint64_t(i), 0, 1500};
+            sim.schedule(sim::SimTime{delayFor(i)},
+                         [payload] { *payload.counter += payload.bytes != 0; });
+        }
+        sim.run();
+    }
+    obs::Profiler::setCurrent(previous);
+    benchmark::DoNotOptimize(fired);
+    state.SetItemsProcessed(state.iterations() * batch);
+}
+BENCHMARK(BM_ScheduleFire_EventCoreProfiled)->Arg(1024)->Arg(65536);
 
 // ---------------------------------------------------------------------------
 // schedule + fire with an MTU frame riding in the event — the shape
@@ -366,6 +396,10 @@ bool writeJson(const std::string& path,
         throughputFor(runs, "BM_ScheduleCancel_EventCore/1024", "items_per_second");
     const double cancelLegacy =
         throughputFor(runs, "BM_ScheduleCancel_LegacyCore/1024", "items_per_second");
+    const double barePlain =
+        throughputFor(runs, "BM_ScheduleFire_EventCore/65536", "items_per_second");
+    const double bareProfiled =
+        throughputFor(runs, "BM_ScheduleFire_EventCoreProfiled/65536", "items_per_second");
 
     std::ofstream out{path, std::ios::trunc};
     if (!out) return false;
@@ -391,6 +425,14 @@ bool writeJson(const std::string& path,
     out << ",\"schedule_cancel_vs_legacy\":"
         << onelab::util::format("%.2f",
                                 cancelLegacy > 0.0 ? cancelNew / cancelLegacy : 0.0);
+    out << "},\"profiler\":{";
+    // Fractional throughput lost to leaving the profiler on (the
+    // acceptance budget is < 0.02 at the 65536-event batch).
+    out << "\"events_per_second_off\":" << onelab::util::format("%.1f", barePlain)
+        << ",\"events_per_second_on\":" << onelab::util::format("%.1f", bareProfiled)
+        << ",\"overhead_fraction\":"
+        << onelab::util::format(
+               "%.4f", barePlain > 0.0 ? 1.0 - bareProfiled / barePlain : 0.0);
     out << "}}\n";
     return bool(out);
 }

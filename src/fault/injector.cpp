@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/flight.hpp"
 #include "obs/registry.hpp"
 
 namespace onelab::fault {
@@ -120,6 +121,13 @@ void FaultInjector::fire(std::size_t eventIndex) {
 
     umts::UmtsNetwork& network = fleet_->operatorNetwork();
     scenario::UmtsNodeSite* target = site(event.site);
+    // Record the plan event before applying it: a fault can cascade
+    // synchronously into a breaker park (and the flight dump), and the
+    // black box must show the fault ahead of its consequences.
+    if (auto* recorder = obs::FlightRecorder::currentIfEnabled())
+        recorder->note(obs::FlightKind::event, "fault", kindName(event.kind),
+                       "site=" + std::to_string(event.site),
+                       std::int64_t(event.site));
     bool applied = true;
     switch (event.kind) {
         case FaultKind::bearer_drop:

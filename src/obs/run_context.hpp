@@ -2,6 +2,8 @@
 
 #include <cstdint>
 
+#include "obs/flight.hpp"
+#include "obs/profiler.hpp"
 #include "obs/registry.hpp"
 #include "obs/trace.hpp"
 #include "util/logging.hpp"
@@ -35,6 +37,8 @@ class RunContext {
     [[nodiscard]] Registry& registry() noexcept { return registry_; }
     [[nodiscard]] Tracer& tracer() noexcept { return tracer_; }
     [[nodiscard]] util::LogConfig& logConfig() noexcept { return log_; }
+    [[nodiscard]] FlightRecorder& flightRecorder() noexcept { return flight_; }
+    [[nodiscard]] Profiler& profiler() noexcept { return profiler_; }
 
     /// The run's seed and root random stream. Components that need
     /// reproducible sub-streams should derive() from this root.
@@ -45,11 +49,15 @@ class RunContext {
     Registry registry_;
     Tracer tracer_;
     util::LogConfig log_;
+    FlightRecorder flight_;
+    Profiler profiler_;
     std::uint64_t seed_;
     util::RandomStream rng_;
     Registry* previousRegistry_;
     Tracer* previousTracer_;
     util::LogConfig* previousLog_;
+    FlightRecorder* previousFlight_;
+    Profiler* previousProfiler_;
 };
 
 }  // namespace onelab::obs

@@ -3,6 +3,8 @@
 #include <cstdio>
 #include <filesystem>
 
+#include "obs/flight.hpp"
+#include "obs/profiler.hpp"
 #include "obs/registry.hpp"
 #include "obs/trace.hpp"
 
@@ -30,17 +32,36 @@ util::Result<void> writeTelemetry(const std::string& directory) {
         return util::Error{util::Error::Code::io,
                            "cannot create " + directory + ": " + ec.message()};
     const std::filesystem::path dir{directory};
-    auto metrics = writeFile(dir / kMetricsFile, Registry::instance().snapshotJson());
-    if (!metrics.ok()) return metrics;
-    return writeFile(dir / kTraceFile, Tracer::instance().exportChromeJson());
+    Profiler& profiler = Profiler::instance();
+    {
+        // Close this scope before exportJson() reads the totals: the
+        // metrics + trace serialization below is the bulk of export
+        // cost, and it must land in obs.export rather than slip into
+        // the unattributed remainder of the profile window.
+        ProfileScope exportScope(ProfileCategory::obs_export);
+        Registry& registry = Registry::instance();
+        FlightRecorder::instance().syncMetrics(registry);
+        profiler.syncMetrics(registry);
+        auto metrics = writeFile(dir / kMetricsFile, registry.snapshotJson());
+        if (!metrics.ok()) return metrics;
+        auto trace = writeFile(dir / kTraceFile, Tracer::instance().exportChromeJson());
+        if (!trace.ok()) return trace;
+    }
+    return writeFile(dir / kProfileFile, profiler.exportJson());
 }
 
 void beginRun() {
+    registerFlightAndProfileMetricFamilies(Registry::instance());
+    installLogForwarding();
     Registry::instance().reset();
     Tracer& tracer = Tracer::instance();
     tracer.clear();
     tracer.setThread(1);
     tracer.setEnabled(true);
+    FlightRecorder::instance().clear();
+    // Restart the attribution window and export counters at the run
+    // boundary (even disabled profilers count exports).
+    Profiler::instance().reset();
 }
 
 }  // namespace onelab::obs

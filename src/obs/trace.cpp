@@ -2,6 +2,7 @@
 
 #include <sstream>
 
+#include "obs/flight.hpp"
 #include "util/strings.hpp"
 
 namespace onelab::obs {
@@ -109,11 +110,17 @@ void Tracer::instant(std::string category, std::string name, std::string detail)
 }
 
 void Tracer::begin(std::string category, std::string name, std::string detail) {
+    // The flight recorder shadows spans even when tracing is off: the
+    // black box must hold the recent past of runs nobody was watching.
+    if (FlightRecorder* recorder = FlightRecorder::currentIfEnabled())
+        recorder->note(FlightKind::span_begin, category, name, detail);
     if (!enabled()) return;
     record(TraceEvent::Phase::begin, std::move(category), std::move(name), std::move(detail));
 }
 
 void Tracer::end(std::string category, std::string name) {
+    if (FlightRecorder* recorder = FlightRecorder::currentIfEnabled())
+        recorder->note(FlightKind::span_end, category, name, {});
     if (!enabled()) return;
     record(TraceEvent::Phase::end, std::move(category), std::move(name), {});
 }
@@ -174,7 +181,8 @@ std::string Tracer::exportChromeJson() const {
 
 Tracer::Span::Span(std::string category, std::string name, std::string detail)
     : category_(std::move(category)), name_(std::move(name)),
-      recorded_(Tracer::instance().enabled()) {
+      recorded_(Tracer::instance().enabled() ||
+                FlightRecorder::currentIfEnabled() != nullptr) {
     if (recorded_) Tracer::instance().begin(category_, name_, std::move(detail));
 }
 

@@ -1,5 +1,6 @@
 #include "ppp/framer.hpp"
 
+#include "obs/profiler.hpp"
 #include "ppp/fcs.hpp"
 
 namespace onelab::ppp {
@@ -28,6 +29,7 @@ void putEscaped(util::Bytes& out, std::uint8_t byte, std::uint32_t accm) {
 }  // namespace
 
 util::Bytes encodeFrame(const Frame& frame, const FramerConfig& config) {
+    obs::ProfileScope scope(obs::ProfileCategory::hdlc_encode);
     // Build the unescaped contents first (addr/ctrl + protocol + info),
     // compute the FCS over them, then escape everything.
     util::Bytes raw;
@@ -45,7 +47,11 @@ util::Bytes encodeFrame(const Frame& frame, const FramerConfig& config) {
     }
     raw.insert(raw.end(), frame.info.begin(), frame.info.end());
 
-    const std::uint16_t fcs = std::uint16_t(~fcs16(raw) & 0xffff);
+    std::uint16_t fcs = 0;
+    {
+        obs::ProfileScope fcsScope(obs::ProfileCategory::fcs16);
+        fcs = std::uint16_t(~fcs16(raw) & 0xffff);
+    }
 
     util::Bytes out;
     out.reserve(raw.size() + 8);
@@ -59,6 +65,7 @@ util::Bytes encodeFrame(const Frame& frame, const FramerConfig& config) {
 }
 
 void Deframer::feed(util::ByteView data) {
+    obs::ProfileScope scope(obs::ProfileCategory::hdlc_decode);
     for (const std::uint8_t byte : data) {
         if (byte == kFlag) {
             escaped_ = false;
@@ -79,9 +86,16 @@ void Deframer::endFrame() {
     util::Bytes raw;
     raw.swap(current_);
     // Minimum: protocol (1) + FCS (2).
-    if (raw.size() < 3 || !fcsValid(raw)) {
+    if (raw.size() < 3) {
         ++bad_;
         return;
+    }
+    {
+        obs::ProfileScope fcsScope(obs::ProfileCategory::fcs16);
+        if (!fcsValid(raw)) {
+            ++bad_;
+            return;
+        }
     }
     raw.resize(raw.size() - 2);  // strip FCS
 

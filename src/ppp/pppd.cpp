@@ -1,5 +1,6 @@
 #include "ppp/pppd.hpp"
 
+#include "obs/profiler.hpp"
 #include "obs/registry.hpp"
 #include "ppp/compress.hpp"
 
@@ -296,6 +297,7 @@ util::Result<void> Pppd::sendIpDatagram(util::ByteView datagram) {
 }
 
 void Pppd::dispatchFrame(Frame frame) {
+    obs::ProfileScope scope(obs::ProfileCategory::pppd);
     switch (frame.protocol) {
         case Protocol::lcp: {
             const auto packet = ControlPacket::parse({frame.info.data(), frame.info.size()});

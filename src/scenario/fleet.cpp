@@ -2,6 +2,8 @@
 
 #include "ditg/receiver.hpp"
 #include "ditg/sender.hpp"
+#include "obs/flight.hpp"
+#include "obs/profiler.hpp"
 #include "obs/registry.hpp"
 
 namespace onelab::scenario {
@@ -125,6 +127,13 @@ util::Result<void> Fleet::startAll(sim::SimTime timeout) {
         if (i) message += "; ";
         message += failures[i];
     }
+    // A failed bring-up is a dump trigger: freeze the black box with
+    // the per-site failures on record before the caller bails out.
+    if (auto* recorder = obs::FlightRecorder::currentIfEnabled()) {
+        for (const std::string& failure : failures)
+            recorder->note(obs::FlightKind::event, "fleet", "start_failure", failure);
+        recorder->requestDump("fleet bring-up failed: " + message);
+    }
     return util::err(code, message);
 }
 
@@ -162,6 +171,10 @@ std::vector<FleetCbrRun> Fleet::runCbrAll(double durationSeconds, double windowS
 
 std::vector<FleetCbrRun> Fleet::runCbrOnSites(const std::vector<std::size_t>& indices,
                                               double durationSeconds, double windowSeconds) {
+    // Wave bookkeeping (flow/socket setup, log decode, teardown) is
+    // real CPU work outside the event loop; the sim time nested below
+    // subtracts itself, leaving the bookkeeping as this scope's self.
+    obs::ProfileScope waveScope(obs::ProfileCategory::ditg_decode);
     if (wiredSites_.empty()) throw std::runtime_error("fleet has no wired receiver site");
     WiredSite& receiverSite = *wiredSites_.front();
 

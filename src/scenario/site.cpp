@@ -115,6 +115,21 @@ UmtsNodeSite::UmtsNodeSite(sim::Simulator& simulator, net::Internet& internet,
             supConfig.seed = rootRng.derive(config_.dialerSeedTag + "/supervise").seed();
         supervisor_ = std::make_unique<supervise::LinkSupervisor>(
             simulator, *backend_, *modem_, tty_->a(), supConfig);
+        // Surface ladder state through `umts status` so a slice sees
+        // what the supervisor is doing to its link.
+        backend_->statusExtra = [this]() {
+            std::vector<std::string> lines;
+            lines.push_back(std::string("supervise_state=") +
+                            supervise::healthName(supervisor_->health()));
+            lines.push_back(
+                "supervise_time_in_state_ms=" +
+                std::to_string(long(
+                    sim::toMillis(sim_.now() - supervisor_->stateSince()))));
+            if (const auto latency = supervisor_->lastRecoveryLatency())
+                lines.push_back("supervise_last_recovery_ms=" +
+                                std::to_string(long(sim::toMillis(*latency))));
+            return lines;
+        };
     }
 }
 

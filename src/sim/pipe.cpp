@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/profiler.hpp"
 #include "obs/registry.hpp"
 #include "util/rand.hpp"
 
@@ -21,6 +22,7 @@ class Pipe::End final : public ByteChannel {
     void connect(End* peer) { peer_ = peer; }
 
     void write(util::ByteView data) override {
+        obs::ProfileScope scope(obs::ProfileCategory::pipe);
         if (!peer_) return;
         if (!peer_->handler_) {
             // The peer never installed a receive callback: the bytes

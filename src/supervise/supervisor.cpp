@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/flight.hpp"
+#include "obs/profiler.hpp"
 #include "obs/registry.hpp"
 #include "obs/trace.hpp"
 
@@ -92,9 +94,11 @@ void LinkSupervisor::enterState(Health next) {
     registry.gauge(gaugeName(health_)).add(-1);
     registry.gauge(gaugeName(next)).add(1);
     registry.counter("supervise.transitions." + std::string(healthName(next))).inc();
-    obs::Tracer::instance().instant("supervise", config_.name,
-                                    std::string(healthName(health_)) + " -> " +
-                                        healthName(next));
+    const std::string edge =
+        std::string(healthName(health_)) + " -> " + healthName(next);
+    obs::Tracer::instance().instant("supervise", config_.name, edge);
+    if (auto* recorder = obs::FlightRecorder::currentIfEnabled())
+        recorder->noteTransition("supervise", config_.name, edge);
     log_.info() << healthName(health_) << " -> " << healthName(next);
     health_ = next;
     stateSince_ = now;
@@ -209,6 +213,7 @@ void LinkSupervisor::scheduleLadderStep() {
 }
 
 void LinkSupervisor::ladderStep() {
+    obs::ProfileScope scope(obs::ProfileCategory::supervise);
     if (!backend_.state().locked) {
         // Administrative stop while we were recovering: stand down.
         log_.info() << "backend unlocked — supervisor standing down";
@@ -299,6 +304,11 @@ void LinkSupervisor::parkInCooldown() {
     const sim::SimTime wait =
         breaker_.open(now) ? breaker_.openUntil() - now : config_.breaker.cooldown;
     log_.warn() << "parked on wired path for " << sim::toSeconds(wait) << "s";
+    // A parked link is the terminal outcome of an incident: freeze the
+    // black box now so the ladder/fault sequence that led here is on
+    // disk even if the run carries on for hours.
+    if (auto* recorder = obs::FlightRecorder::currentIfEnabled())
+        recorder->requestDump("supervisor " + config_.name + " parked (failed_over)");
     if (actionTimer_.valid()) sim_.cancel(actionTimer_);
     actionTimer_ = sim_.schedule(wait, [this] {
         actionTimer_ = {};
@@ -337,9 +347,11 @@ void LinkSupervisor::onStable() {
     wiredActive_ = false;
     if (incidentOpen_) {
         incidentOpen_ = false;
+        lastRecoveryLatency_ = sim_.now() - incidentStart_;
+        hasRecovered_ = true;
         registry
             .histogram("supervise.recovery_latency_seconds", kSecondsSpec)
-            .observe(sim::toSeconds(sim_.now() - incidentStart_));
+            .observe(sim::toSeconds(lastRecoveryLatency_));
         registry.counter("supervise.recovered").inc();
         obs::Tracer::instance().end("supervise", config_.name + ".incident");
     }

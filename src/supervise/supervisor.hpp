@@ -1,6 +1,7 @@
 #pragma once
 
 #include <memory>
+#include <optional>
 #include <string>
 
 #include "modem/umts_modem.hpp"
@@ -76,6 +77,14 @@ class LinkSupervisor {
     LinkSupervisor& operator=(const LinkSupervisor&) = delete;
 
     [[nodiscard]] Health health() const noexcept { return health_; }
+    /// When the current health state was entered (sim time).
+    [[nodiscard]] sim::SimTime stateSince() const noexcept { return stateSince_; }
+    /// Duration of the most recent completed recovery (incident open ->
+    /// stable), or nullopt before the first recovery.
+    [[nodiscard]] std::optional<sim::SimTime> lastRecoveryLatency() const noexcept {
+        if (!hasRecovered_) return std::nullopt;
+        return lastRecoveryLatency_;
+    }
     [[nodiscard]] bool failedOver() const noexcept { return health_ == Health::failed_over; }
     /// Recovery incidents opened so far (a flap inside an open
     /// incident does not start a new one).
@@ -116,6 +125,8 @@ class LinkSupervisor {
 
     Health health_ = Health::healthy;
     sim::SimTime stateSince_{0};
+    sim::SimTime lastRecoveryLatency_{0};
+    bool hasRecovered_ = false;
     bool incidentOpen_ = false;
     sim::SimTime incidentStart_{0};
     int incidentCount_ = 0;

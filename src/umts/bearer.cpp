@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/flight.hpp"
+#include "obs/profiler.hpp"
 #include "obs/trace.hpp"
 #include "util/strings.hpp"
 
@@ -57,6 +59,7 @@ BearerLink::BearerLink(sim::Simulator& simulator, Params params, util::RandomStr
       }()) {}
 
 void BearerLink::send(util::Bytes chunk) {
+    obs::ProfileScope scope(obs::ProfileCategory::rlc_queue);
     if (backlogBytes_ + chunk.size() > params_.bufferBytes) {
         ++stats_.droppedOverflow;
         metrics_.droppedOverflow.inc();
@@ -91,6 +94,7 @@ void BearerLink::boostLoss(double probability, sim::SimTime duration) {
 }
 
 void BearerLink::serveNext() {
+    obs::ProfileScope scope(obs::ProfileCategory::rlc_queue);
     if (queue_.empty()) {
         serving_ = false;
         return;
@@ -259,6 +263,9 @@ void RadioBearer::touchRrc() {
         ++rrcPromotions_;
         metrics_.rrcPromotions.inc();
         obs::Tracer::instance().instant("umts.rrc", "promotion", "CELL_FACH -> CELL_DCH");
+        if (auto* recorder = obs::FlightRecorder::currentIfEnabled())
+            recorder->noteTransition("umts.rrc", imsi_.empty() ? family_ : imsi_,
+                                     "CELL_FACH -> CELL_DCH");
         const sim::SimTime ready = sim_.now() + profile_.fachPromotionDelay;
         uplink_.holdService(ready);
         downlink_.holdService(ready);
@@ -277,6 +284,9 @@ void RadioBearer::armRrcIdleTimer() {
         if (uplink_.backlogBytes() == 0 && downlink_.backlogBytes() == 0) {
             rrcState_ = RrcState::cell_fach;
             obs::Tracer::instance().instant("umts.rrc", "demotion", "CELL_DCH -> CELL_FACH");
+            if (auto* recorder = obs::FlightRecorder::currentIfEnabled())
+                recorder->noteTransition("umts.rrc", imsi_.empty() ? family_ : imsi_,
+                                         "CELL_DCH -> CELL_FACH");
             log_.debug() << "CELL_DCH -> CELL_FACH (idle)";
         } else {
             armRrcIdleTimer();

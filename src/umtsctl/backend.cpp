@@ -422,6 +422,9 @@ void UmtsBackend::cmdStatus(const pl::Slice& caller, pl::Vsys::Completion done) 
     for (const std::string& destination : parkedDestinations_)
         lines.push_back("parked_destination=" + destination);
     if (!state_.lastError.empty()) lines.push_back("last_error=" + state_.lastError);
+    if (statusExtra) {
+        for (std::string& line : statusExtra()) lines.push_back(std::move(line));
+    }
     reply(done, exit_code::ok, std::move(lines));
 }
 

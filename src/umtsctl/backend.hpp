@@ -115,6 +115,13 @@ class UmtsBackend {
     /// Data plane came up (initial start or a successful redial).
     std::function<void()> onConnectionEstablished;
 
+    /// Extra key=value lines appended to `umts status` output. Wired
+    /// by the site so the frontend can show supervisor ladder state
+    /// (supervise_state=..., supervise_time_in_state_ms=...,
+    /// supervise_last_recovery_ms=...) without umtsctl linking against
+    /// the supervise layer.
+    std::function<std::vector<std::string>()> statusExtra;
+
     /// One supervised dial attempt (registration + dial + data plane).
     /// Parked destination rules stay parked — the caller decides when
     /// to fail traffic back with failbackRoutes().

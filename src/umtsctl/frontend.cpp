@@ -27,6 +27,16 @@ UmtsReport UmtsFrontend::parseReport(const std::vector<std::string>& lines) {
             if (csq.ok()) report.signalQuality = int(csq.value());
         } else if (key == "destination") report.destinations.push_back(value);
         else if (key == "last_error") report.lastError = value;
+        else if (key == "failover") report.failedOverToWired = value == "wired";
+        else if (key == "parked_destination") report.parkedDestinations.push_back(value);
+        else if (key == "supervise_state") report.superviseState = value;
+        else if (key == "supervise_time_in_state_ms") {
+            const auto ms = util::parseInt(value);
+            if (ms.ok()) report.superviseTimeInStateMs = long(ms.value());
+        } else if (key == "supervise_last_recovery_ms") {
+            const auto ms = util::parseInt(value);
+            if (ms.ok()) report.superviseLastRecoveryMs = long(ms.value());
+        }
     }
     return report;
 }

@@ -18,6 +18,12 @@ struct UmtsReport {
     int signalQuality = 0;
     std::vector<std::string> destinations;
     std::string lastError;
+    bool failedOverToWired = false;
+    std::vector<std::string> parkedDestinations;
+    /// Supervisor ladder rows (present only on supervised nodes).
+    std::string superviseState;
+    long superviseTimeInStateMs = -1;    ///< -1 = not reported
+    long superviseLastRecoveryMs = -1;   ///< -1 = none yet / not reported
 };
 
 /// The slice-side `umts` command (§2.2): a thin front-end that passes

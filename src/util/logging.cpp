@@ -19,6 +19,9 @@ std::string_view logLevelName(LogLevel level) noexcept {
 
 namespace {
 thread_local LogConfig* currentLogConfig = nullptr;
+
+std::mutex forwarderMutex;
+std::shared_ptr<const LogConfig::Forwarder> globalForwarder;
 }  // namespace
 
 LogConfig& LogConfig::instance() {
@@ -47,6 +50,13 @@ LogConfig::Sink LogConfig::setSink(Sink sink) {
     return previous;
 }
 
+void LogConfig::setForwarder(Forwarder forwarder) {
+    auto next =
+        forwarder ? std::make_shared<const Forwarder>(std::move(forwarder)) : nullptr;
+    std::lock_guard<std::mutex> lock(forwarderMutex);
+    globalForwarder = std::move(next);
+}
+
 void LogConfig::setClock(Clock clock) {
     auto next = clock ? std::make_shared<const Clock>(std::move(clock)) : nullptr;
     std::lock_guard<std::mutex> lock(mutex_);
@@ -55,6 +65,14 @@ void LogConfig::setClock(Clock clock) {
 
 void LogConfig::emit(LogLevel level, std::string_view component, std::string_view message) {
     if (level < level_.load(std::memory_order_relaxed)) return;
+    {
+        std::shared_ptr<const Forwarder> forwarder;
+        {
+            std::lock_guard<std::mutex> lock(forwarderMutex);
+            forwarder = globalForwarder;
+        }
+        if (forwarder && *forwarder) (*forwarder)(level, component, message);
+    }
     // Copy the hook pointers under the lock, then call outside it: a
     // concurrent setSink/setClock cannot destroy a hook mid-call, and
     // a sink that itself logs cannot deadlock.

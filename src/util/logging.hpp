@@ -27,8 +27,17 @@ class LogConfig {
   public:
     using Sink = std::function<void(std::string_view)>;
     using Clock = std::function<std::int64_t()>;
+    using Forwarder =
+        std::function<void(LogLevel, std::string_view, std::string_view)>;
 
     static LogConfig& instance();
+
+    /// Process-wide tap on every emitted line (after the level gate,
+    /// before sink formatting), shared by ALL LogConfig instances.
+    /// Receives (level, component, message). Installed by the obs
+    /// layer to shadow log lines into the flight recorder without a
+    /// util -> obs dependency; null uninstalls.
+    static void setForwarder(Forwarder forwarder);
 
     /// Install `config` as the calling thread's instance() (nullptr
     /// restores the process singleton). Returns the previous override.

@@ -11,6 +11,7 @@ using scenario::TestbedConfig;
 
 struct UmtsctlTest : ::testing::Test {
     UmtsctlTest() : tb(TestbedConfig{}) {}
+    explicit UmtsctlTest(TestbedConfig config) : tb(std::move(config)) {}
 
     /// Synchronously invoke the umts vsys script from a slice.
     pl::VsysResult invoke(pl::Slice& slice, const std::vector<std::string>& args,
@@ -401,6 +402,44 @@ TEST_F(UmtsctlTest, LinkLossCleansUpAndUnlocks) {
     EXPECT_EQ(tb.napoli().stack().netfilter().ruleCount(), 0u);
     // A new start succeeds afterwards.
     EXPECT_TRUE(tb.startUmts().ok());
+}
+
+struct SupervisedUmtsctlTest : UmtsctlTest {
+    static TestbedConfig supervisedConfig() {
+        TestbedConfig config;
+        config.supervise.enable = true;
+        return config;
+    }
+    SupervisedUmtsctlTest() : UmtsctlTest(supervisedConfig()) {}
+};
+
+/// `umts status` surfaces the supervisor ladder so a slice can see
+/// what recovery is doing to its link (absent on unsupervised nodes).
+TEST_F(SupervisedUmtsctlTest, StatusReportsSuperviseLadderRows) {
+    ASSERT_TRUE(tb.startUmts().ok());
+    tb.sim().runUntil(tb.sim().now() + sim::seconds(2.0));
+    const auto status = invoke(tb.umtsSlice(), {"status"});
+    EXPECT_EQ(status.exitCode, exit_code::ok);
+    EXPECT_TRUE(hasLine(status, "supervise_state=healthy"));
+    EXPECT_TRUE(hasLine(status, "supervise_time_in_state_ms="));
+
+    // The typed report carries the same rows through the public API.
+    std::optional<util::Result<UmtsReport>> typed;
+    tb.umtsCommand().status([&](util::Result<UmtsReport> r) { typed = std::move(r); });
+    const sim::SimTime deadline = tb.sim().now() + sim::seconds(30.0);
+    while (!typed && tb.sim().now() < deadline)
+        tb.sim().runUntil(tb.sim().now() + sim::millis(50));
+    ASSERT_TRUE(typed && typed->ok());
+    EXPECT_EQ(typed->value().superviseState, "healthy");
+    EXPECT_GE(typed->value().superviseTimeInStateMs, 0);
+    EXPECT_EQ(typed->value().superviseLastRecoveryMs, -1) << "no incident has happened";
+}
+
+TEST_F(UmtsctlTest, StatusOmitsSuperviseRowsWithoutASupervisor) {
+    ASSERT_TRUE(tb.startUmts().ok());
+    const auto status = invoke(tb.umtsSlice(), {"status"});
+    EXPECT_EQ(status.exitCode, exit_code::ok);
+    EXPECT_FALSE(hasLine(status, "supervise_state="));
 }
 
 }  // namespace
