@@ -54,6 +54,9 @@ struct SoakOptions {
     /// the backend's auto-redial) and the wedge invariant becomes
     /// "every supervisor reaches HEALTHY or FAILED_OVER".
     bool supervise = false;
+    /// 0 = the legacy serial engine; N >= 1 = the sharded engine with
+    /// N shards (site stacks spread over shards 1..N-1, core on 0).
+    std::size_t shards = 0;
 };
 
 struct SoakOutcome {
@@ -111,6 +114,7 @@ SoakOutcome runSoak(const SoakOptions& options, std::uint64_t seed,
     harnessScope.emplace(obs::ProfileCategory::scenario_harness);
 
     scenario::FleetConfig config = scenario::makeUniformFleet(options.ues, seed);
+    config.shards = options.shards;
     for (auto& site : config.umtsSites) {
         if (options.supervise) {
             site.supervise.enable = true;
@@ -141,8 +145,8 @@ SoakOutcome runSoak(const SoakOptions& options, std::uint64_t seed,
         fault::RandomPlanConfig planConfig;
         planConfig.seed = seed;
         planConfig.siteCount = options.ues;
-        planConfig.start = fleet.sim().now() + sim::seconds(10.0);
-        planConfig.horizon = fleet.sim().now() + sim::seconds(options.soakSeconds);
+        planConfig.start = fleet.now() + sim::seconds(10.0);
+        planConfig.horizon = fleet.now() + sim::seconds(options.soakSeconds);
         planConfig.meanGap = sim::seconds(options.soakSeconds / 12.0);
         plan = fault::FaultPlan::random(planConfig);
     }
@@ -152,9 +156,9 @@ SoakOutcome runSoak(const SoakOptions& options, std::uint64_t seed,
     // Traffic in waves until the fault horizon passes, then a settle
     // tail long enough for every windowed fault to restore and every
     // redial backoff to either reconnect or exhaust.
-    const sim::SimTime horizon = fleet.sim().now() + sim::seconds(options.soakSeconds);
-    while (fleet.sim().now() < horizon) fleet.runCbrAll(20.0);
-    fleet.sim().runUntil(fleet.sim().now() + sim::seconds(240.0));
+    const sim::SimTime horizon = fleet.now() + sim::seconds(options.soakSeconds);
+    while (fleet.now() < horizon) fleet.runCbrAll(20.0);
+    fleet.runFor(sim::seconds(240.0));
 
     outcome.injected = injector.stats().fired - injector.stats().skipped;
     outcome.skipped = injector.stats().skipped;
@@ -167,7 +171,7 @@ SoakOutcome runSoak(const SoakOptions& options, std::uint64_t seed,
     // FAILED_OVER (parked on wired, cooldown retry armed) — and no UE
     // is wedged without pending recovery work.
     if (options.supervise) {
-        const sim::SimTime settleDeadline = fleet.sim().now() + sim::seconds(600.0);
+        const sim::SimTime settleDeadline = fleet.now() + sim::seconds(600.0);
         const auto settled = [&fleet] {
             for (std::size_t i = 0; i < fleet.umtsSiteCount(); ++i) {
                 const supervise::Health health = fleet.umtsSite(i).supervisor()->health();
@@ -177,8 +181,8 @@ SoakOutcome runSoak(const SoakOptions& options, std::uint64_t seed,
             }
             return true;
         };
-        while (!settled() && fleet.sim().now() < settleDeadline)
-            fleet.sim().runUntil(fleet.sim().now() + sim::seconds(5.0));
+        while (!settled() && fleet.now() < settleDeadline)
+            fleet.runFor(sim::seconds(5.0));
         for (std::size_t i = 0; i < fleet.umtsSiteCount(); ++i) {
             scenario::UmtsNodeSite& site = fleet.umtsSite(i);
             const supervise::LinkSupervisor& sup = *site.supervisor();
@@ -215,7 +219,7 @@ SoakOutcome runSoak(const SoakOptions& options, std::uint64_t seed,
     // Invariant 1: stop every site and demand a drained pool.
     for (std::size_t i = 0; i < fleet.umtsSiteCount(); ++i)
         (void)fleet.stopUmts(i);  // already-down sites report an error; fine
-    fleet.sim().runUntil(fleet.sim().now() + sim::seconds(30.0));
+    fleet.runFor(sim::seconds(30.0));
     umts::CellCapacity& cell = fleet.operatorNetwork().cell();
     if (cell.uplinkAllocatedBps() != 0.0 || cell.downlinkAllocatedBps() != 0.0)
         return fail("capacity leak: uplink " + std::to_string(cell.uplinkAllocatedBps()) +
@@ -224,7 +228,7 @@ SoakOutcome runSoak(const SoakOptions& options, std::uint64_t seed,
 
     harnessScope.reset();
     obs::Tracer::instance().setEnabled(false);
-    const auto written = obs::writeTelemetry(directory);
+    const auto written = fleet.writeTelemetry(directory);
     if (!written.ok()) return fail("telemetry export: " + written.error().message);
     stamp();
     return outcome;
@@ -239,6 +243,10 @@ void usage(const char* argv0) {
         "          [--jobs N]   (0 = all hardware threads; per-seed\n"
         "                        outcomes and telemetry are identical\n"
         "                        to a serial run)\n"
+        "          [--shards N] (sharded engine with N shards; output\n"
+        "                        is byte-identical across every N >= 1\n"
+        "                        but a different timeline from the\n"
+        "                        default serial engine)\n"
         "          [--json path] (machine-readable results incl.\n"
         "                         sim-seconds-per-wall-second per seed)\n",
         argv0);
@@ -255,9 +263,9 @@ bool writeResultsJson(const std::string& path, const SoakOptions& options,
     double wallTotal = 0.0;
     std::fprintf(file,
                  "{\"bench\":\"ext_chaos_soak\",\"profile\":\"%s\",\"ues\":%zu,"
-                 "\"supervised\":%s,\"jobs\":%zu,\"seeds\":[",
+                 "\"supervised\":%s,\"jobs\":%zu,\"shards\":%zu,\"seeds\":[",
                  options.profile.c_str(), options.ues,
-                 options.supervise ? "true" : "false", options.jobs);
+                 options.supervise ? "true" : "false", options.jobs, options.shards);
     for (std::size_t i = 0; i < outcomes.size(); ++i) {
         const SoakOutcome& outcome = outcomes[i];
         simTotal += outcome.simSeconds;
@@ -333,6 +341,10 @@ int main(int argc, char** argv) {
             const char* value = next();
             if (!value) { usage(argv[0]); return 2; }
             jsonPath = value;
+        } else if (arg == "--shards") {
+            const char* value = next();
+            if (!value) { usage(argv[0]); return 2; }
+            options.shards = std::size_t(std::atoi(value));
         } else if (arg == "--supervise") {
             options.supervise = true;
         } else {
@@ -343,10 +355,11 @@ int main(int argc, char** argv) {
     if (options.seeds.empty()) { usage(argv[0]); return 2; }
 
     std::printf("=== Chaos soak: %zu-UE fleet, %s profile%s, %.0f s per seed, "
-                "%zu job%s ===\n\n",
+                "%zu job%s, %zu shard%s ===\n\n",
                 options.ues, options.profile.c_str(),
                 options.supervise ? " (supervised)" : "", options.soakSeconds, options.jobs,
-                options.jobs == 1 ? "" : "s");
+                options.jobs == 1 ? "" : "s", options.shards,
+                options.shards == 1 ? "" : "s");
 
     // Seeds are independent soaks; run them as sweep points (each in
     // its own RunContext) and report in seed order once all are done.

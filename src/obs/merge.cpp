@@ -1,0 +1,88 @@
+#include "obs/merge.hpp"
+
+#include <algorithm>
+#include <map>
+#include <stdexcept>
+
+namespace onelab::obs {
+
+namespace {
+
+void combineInto(MetricSample& into, const MetricSample& sample) {
+    if (into.kind != sample.kind)
+        throw std::logic_error("mergeMetricSamples: kind mismatch for " + sample.name);
+    switch (sample.kind) {
+        case MetricKind::counter:
+            into.counterValue += sample.counterValue;
+            break;
+        case MetricKind::gauge:
+            into.gaugeValue += sample.gaugeValue;
+            break;
+        case MetricKind::histogram:
+            if (into.bucketCounts.size() != sample.bucketCounts.size() ||
+                into.bucketBounds != sample.bucketBounds)
+                throw std::logic_error("mergeMetricSamples: bucket layout mismatch for " +
+                                       sample.name);
+            into.count += sample.count;
+            into.sum += sample.sum;
+            for (std::size_t i = 0; i < sample.bucketCounts.size(); ++i)
+                into.bucketCounts[i] += sample.bucketCounts[i];
+            break;
+    }
+}
+
+int phaseOrder(TraceEvent::Phase phase) noexcept {
+    switch (phase) {
+        case TraceEvent::Phase::begin: return 0;
+        case TraceEvent::Phase::instant: return 1;
+        case TraceEvent::Phase::end: return 2;
+    }
+    return 3;
+}
+
+}  // namespace
+
+std::vector<MetricSample> mergeMetricSamples(
+    const std::vector<std::vector<MetricSample>>& snapshots) {
+    // std::map iteration is name-sorted — the same deterministic order
+    // Registry::snapshot() produces.
+    std::map<std::string, MetricSample> merged;
+    for (const std::vector<MetricSample>& snapshot : snapshots) {
+        for (const MetricSample& sample : snapshot) {
+            const auto it = merged.find(sample.name);
+            if (it == merged.end())
+                merged.emplace(sample.name, sample);
+            else
+                combineInto(it->second, sample);
+        }
+    }
+    std::vector<MetricSample> out;
+    out.reserve(merged.size());
+    for (auto& [name, sample] : merged) out.push_back(std::move(sample));
+    return out;
+}
+
+std::vector<TraceEvent> mergeTraceEvents(std::vector<std::vector<TraceEvent>> streams) {
+    std::vector<TraceEvent> merged;
+    std::size_t total = 0;
+    for (const auto& stream : streams) total += stream.size();
+    merged.reserve(total);
+    for (auto& stream : streams)
+        for (TraceEvent& event : stream) {
+            event.thread = 1;
+            merged.push_back(std::move(event));
+        }
+    std::stable_sort(merged.begin(), merged.end(),
+                     [](const TraceEvent& a, const TraceEvent& b) {
+                         if (a.timeNs != b.timeNs) return a.timeNs < b.timeNs;
+                         if (a.category != b.category) return a.category < b.category;
+                         if (a.name != b.name) return a.name < b.name;
+                         const int pa = phaseOrder(a.phase);
+                         const int pb = phaseOrder(b.phase);
+                         if (pa != pb) return pa < pb;
+                         return a.detail < b.detail;
+                     });
+    return merged;
+}
+
+}  // namespace onelab::obs

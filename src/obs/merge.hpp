@@ -1,0 +1,33 @@
+#pragma once
+
+#include <vector>
+
+#include "obs/registry.hpp"
+#include "obs/trace.hpp"
+
+namespace onelab::obs {
+
+/// Merge metric snapshots from several registries (the driver's plus
+/// one per shard) into a single name-sorted sample set: counters and
+/// gauges add, histograms combine count/sum/per-bucket. Same-named
+/// metrics must agree on kind and bucket layout (std::logic_error
+/// otherwise — they come from the same registration call sites, so a
+/// mismatch is a bug, not data).
+///
+/// Summation makes the result partition-independent: however sites are
+/// spread over shards, every increment lands in exactly one input
+/// snapshot, so the merged value — like the serial value — counts each
+/// event once.
+[[nodiscard]] std::vector<MetricSample> mergeMetricSamples(
+    const std::vector<std::vector<MetricSample>>& snapshots);
+
+/// Merge trace streams from several tracers into one deterministic
+/// lane: all events collapse to tid 1 and sort by
+/// (timeNs, category, name, phase begin<instant<end, detail) — a pure
+/// content order with no tie left to thread scheduling, so the merged
+/// trace is byte-identical for every shard count. The sort is stable;
+/// events identical in every key are interchangeable anyway.
+[[nodiscard]] std::vector<TraceEvent> mergeTraceEvents(
+    std::vector<std::vector<TraceEvent>> streams);
+
+}  // namespace onelab::obs

@@ -1,5 +1,6 @@
 #include "obs/registry.hpp"
 
+#include <cmath>
 #include <limits>
 #include <sstream>
 #include <stdexcept>
@@ -39,7 +40,7 @@ void Histogram::observe(double value) noexcept {
     }
     counts_[index].fetch_add(1, std::memory_order_relaxed);
     count_.fetch_add(1, std::memory_order_relaxed);
-    sum_.fetch_add(value, std::memory_order_relaxed);
+    sumScaled_.fetch_add(std::llround(value * kSumScale), std::memory_order_relaxed);
 }
 
 double Histogram::bucketBound(std::size_t index) const noexcept {
@@ -50,7 +51,7 @@ double Histogram::bucketBound(std::size_t index) const noexcept {
 void Histogram::reset() noexcept {
     for (auto& c : counts_) c.store(0, std::memory_order_relaxed);
     count_.store(0, std::memory_order_relaxed);
-    sum_.store(0.0, std::memory_order_relaxed);
+    sumScaled_.store(0, std::memory_order_relaxed);
 }
 
 NameLease::NameLease(Registry& registry, std::string prefix)
@@ -193,8 +194,9 @@ std::vector<MetricSample> Registry::snapshot() const {
     return samples;
 }
 
-std::string Registry::snapshotJson() const {
-    const std::vector<MetricSample> samples = snapshot();
+std::string Registry::snapshotJson() const { return metricsJson(snapshot()); }
+
+std::string metricsJson(const std::vector<MetricSample>& samples) {
     std::ostringstream out;
     out << "{\"metrics\":[";
     bool firstMetric = true;

@@ -77,7 +77,9 @@ class Histogram {
     [[nodiscard]] std::uint64_t count() const noexcept {
         return count_.load(std::memory_order_relaxed);
     }
-    [[nodiscard]] double sum() const noexcept { return sum_.load(std::memory_order_relaxed); }
+    [[nodiscard]] double sum() const noexcept {
+        return double(sumScaled_.load(std::memory_order_relaxed)) / kSumScale;
+    }
     /// Number of buckets including the +inf overflow bucket.
     [[nodiscard]] std::size_t bucketCount() const noexcept { return counts_.size(); }
     /// Upper bound of bucket `index`; +inf for the last bucket.
@@ -94,7 +96,14 @@ class Histogram {
     std::vector<double> bounds_;                     ///< finite upper bounds
     std::vector<std::atomic<std::uint64_t>> counts_; ///< bounds_.size() + 1 (overflow)
     std::atomic<std::uint64_t> count_{0};
-    std::atomic<double> sum_{0.0};
+    /// The sum accumulates in 2^16 fixed point, not double: integer
+    /// addition is associative, so the exported sum is identical no
+    /// matter how observations are grouped across shards and summed
+    /// at merge — double partial sums would drift in the last digit
+    /// with the partition. Quantization is 1/65536 of the observed
+    /// unit; headroom is ~1.4e14 units before int64 overflow.
+    static constexpr double kSumScale = 65536.0;
+    std::atomic<std::int64_t> sumScaled_{0};
 };
 
 /// One metric's state at snapshot time.
@@ -108,6 +117,12 @@ struct MetricSample {
     std::vector<double> bucketBounds;          ///< histogram (finite bounds then +inf)
     std::vector<std::uint64_t> bucketCounts;   ///< histogram
 };
+
+/// Serialize samples as the metrics.json document ({"metrics": [...]}).
+/// Registry::snapshotJson() is this applied to snapshot(); the merged
+/// multi-registry export (sharded fleets) reuses it so both paths stay
+/// byte-compatible.
+[[nodiscard]] std::string metricsJson(const std::vector<MetricSample>& samples);
 
 class Registry;
 

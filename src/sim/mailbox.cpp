@@ -1,0 +1,37 @@
+#include "sim/mailbox.hpp"
+
+namespace onelab::sim {
+
+CrossShardMailbox::CrossShardMailbox(std::string name, std::uint64_t portRank)
+    : name_(std::move(name)), portRank_(portRank) {}
+
+void CrossShardMailbox::post(SimTime when, std::function<void()> fn) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    pending_.push_back(MailboxEvent{when, nextSeq_++, std::move(fn)});
+    ++posted_;
+}
+
+std::vector<MailboxEvent> CrossShardMailbox::drain() {
+    std::vector<MailboxEvent> out;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        out.swap(pending_);
+        delivered_ += out.size();
+    }
+    return out;
+}
+
+std::size_t CrossShardMailbox::clear() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    const std::size_t count = pending_.size();
+    pending_.clear();
+    dropped_ += count;
+    return count;
+}
+
+std::size_t CrossShardMailbox::pending() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return pending_.size();
+}
+
+}  // namespace onelab::sim

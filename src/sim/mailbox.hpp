@@ -1,0 +1,74 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace onelab::sim {
+
+/// Post function handed to objects sitting on a shard cut: deliver
+/// `fn` into the peer shard's simulator at absolute time `when`.
+/// Callable from the posting shard's worker thread during a window;
+/// the group drains posts into the target simulator at barriers.
+using ShardPost = std::function<void(SimTime when, std::function<void()> fn)>;
+
+/// One timestamped event crossing a shard boundary.
+struct MailboxEvent {
+    SimTime when{};
+    std::uint64_t seq = 0;  ///< per-mailbox FIFO rank, assigned on post
+    std::function<void()> fn;
+};
+
+/// Single-producer/single-consumer timestamped mailbox forming one
+/// directed cut edge between two shards. The producer is the source
+/// shard's worker thread (posting mid-window); the consumer is the
+/// group driver draining at a barrier. Posts are rare relative to
+/// shard-local events, so a mutex-protected vector (swapped out
+/// wholesale on drain) is cheap and keeps the ordering story trivial:
+/// the per-mailbox `seq` preserves the producer's program order, and
+/// the drain pass merges mailboxes by (when, portRank, seq) so the
+/// interleaving is independent of how sites are packed onto shards.
+class CrossShardMailbox {
+  public:
+    /// `portRank` is the mailbox's stable position in the drain merge
+    /// order — derived from the site's fleet index, NOT the shard
+    /// index, so the merged event order is partition-independent.
+    CrossShardMailbox(std::string name, std::uint64_t portRank);
+
+    CrossShardMailbox(const CrossShardMailbox&) = delete;
+    CrossShardMailbox& operator=(const CrossShardMailbox&) = delete;
+
+    /// Enqueue `fn` for delivery at absolute time `when`.
+    /// Thread-safe against a concurrent drain()/clear().
+    void post(SimTime when, std::function<void()> fn);
+
+    /// Move out every pending event (consumer side, at a barrier).
+    [[nodiscard]] std::vector<MailboxEvent> drain();
+
+    /// Teardown: discard pending events without running them; returns
+    /// the number dropped (they are also added to dropped()).
+    std::size_t clear();
+
+    [[nodiscard]] const std::string& name() const noexcept { return name_; }
+    [[nodiscard]] std::uint64_t portRank() const noexcept { return portRank_; }
+    [[nodiscard]] std::uint64_t posted() const noexcept { return posted_; }
+    [[nodiscard]] std::uint64_t delivered() const noexcept { return delivered_; }
+    [[nodiscard]] std::uint64_t dropped() const noexcept { return dropped_; }
+    [[nodiscard]] std::size_t pending() const;
+
+  private:
+    const std::string name_;
+    const std::uint64_t portRank_;
+    mutable std::mutex mutex_;
+    std::vector<MailboxEvent> pending_;
+    std::uint64_t nextSeq_ = 1;
+    std::uint64_t posted_ = 0;
+    std::uint64_t delivered_ = 0;
+    std::uint64_t dropped_ = 0;
+};
+
+}  // namespace onelab::sim

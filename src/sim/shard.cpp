@@ -1,0 +1,269 @@
+#include "sim/shard.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace onelab::sim {
+
+namespace {
+
+/// One spin-wait beat: keep the core polite without a syscall.
+inline void cpuRelax() noexcept {
+#if defined(__x86_64__) || defined(__i386__)
+    __builtin_ia32_pause();
+#elif defined(__aarch64__)
+    asm volatile("yield");
+#else
+    std::this_thread::yield();
+#endif
+}
+
+}  // namespace
+
+// ------------------------------------------------------ ShardObsScope
+
+ShardObsScope::ShardObsScope(SimShard& shard)
+    : previousRegistry_(obs::Registry::setCurrent(&shard.registry_)),
+      previousTracer_(obs::Tracer::setCurrent(&shard.tracer_)),
+      previousLog_(util::LogConfig::setCurrent(&shard.log_)),
+      previousFlight_(obs::FlightRecorder::setCurrent(&shard.flight_)),
+      previousProfiler_(obs::Profiler::setCurrent(&shard.profiler_)) {}
+
+ShardObsScope::~ShardObsScope() {
+    obs::Profiler::setCurrent(previousProfiler_);
+    obs::FlightRecorder::setCurrent(previousFlight_);
+    util::LogConfig::setCurrent(previousLog_);
+    obs::Tracer::setCurrent(previousTracer_);
+    obs::Registry::setCurrent(previousRegistry_);
+}
+
+// ------------------------------------------------------------ SimShard
+
+SimShard::SimShard(std::size_t index) : index_(index) {
+    // Inherit the driver's log level and profiling decision, like
+    // obs::RunContext: a profiled sharded run profiles every shard.
+    log_.setLevel(util::LogConfig::instance().level());
+    const obs::Profiler& inheritedProfiler = obs::Profiler::instance();
+    profiler_.setClock(inheritedProfiler.clock());
+    if (inheritedProfiler.enabled()) profiler_.setEnabled(true);
+    if (obs::Tracer::instance().enabled()) tracer_.setEnabled(true);
+    // Pre-register the recorder./profile. families so the merged
+    // metrics.json carries an identical key set whether or not a dump
+    // ever fires on this shard.
+    obs::registerFlightAndProfileMetricFamilies(registry_);
+    obs::installLogForwarding();
+    ShardObsScope scope(*this);
+    sim_ = std::make_unique<Simulator>();
+    sim_->attachLogClock();
+}
+
+// ---------------------------------------------------------- ShardGroup
+
+ShardGroup::ShardGroup(std::size_t shardCount, SimTime lookahead)
+    : lookahead_(lookahead) {
+    if (shardCount == 0) throw std::invalid_argument("ShardGroup needs >= 1 shard");
+    if (lookahead_ < SimTime{1})
+        throw std::invalid_argument("ShardGroup lookahead must be >= 1ns");
+    shards_.reserve(shardCount);
+    doneEpochs_.reserve(shardCount);
+    for (std::size_t i = 0; i < shardCount; ++i) {
+        shards_.push_back(std::make_unique<SimShard>(i));
+        doneEpochs_.push_back(std::make_unique<std::atomic<std::uint64_t>>(0));
+    }
+    const unsigned cores = std::thread::hardware_concurrency();
+    oversubscribed_ = cores != 0 && cores < shardCount + 1;
+    // Workers are spawned even for one shard: thread-local state (ppp
+    // magic entropy, obs caches) then starts fresh per group on every
+    // shard count, which is part of the N-independence argument.
+    workers_.reserve(shardCount);
+    for (std::size_t i = 0; i < shardCount; ++i)
+        workers_.emplace_back([this, i] { workerMain(i); });
+}
+
+ShardGroup::~ShardGroup() { shutdown(); }
+
+void ShardGroup::shutdown() {
+    if (shutdownDone_) return;
+    shutdownDone_ = true;
+    {
+        std::lock_guard<std::mutex> lock(wakeMutex_);
+        stop_.store(true, std::memory_order_release);
+    }
+    wakeCv_.notify_all();
+    for (std::thread& worker : workers_) worker.join();
+    workers_.clear();
+    dropPendingMail();
+}
+
+ShardPost ShardGroup::makePort(std::size_t targetShard, std::string name,
+                               std::uint64_t portRank) {
+    if (targetShard >= shards_.size())
+        throw std::invalid_argument("makePort: no such shard");
+    mailboxes_.push_back(
+        Mailbox{targetShard,
+                std::make_unique<CrossShardMailbox>(std::move(name), portRank)});
+    CrossShardMailbox* box = mailboxes_.back().box.get();
+    return [box](SimTime when, std::function<void()> fn) {
+        box->post(when, std::move(fn));
+    };
+}
+
+void ShardGroup::workerMain(std::size_t index) {
+    SimShard& shard = *shards_[index];
+    // Pin this thread to the shard's obs bundle for its whole life (it
+    // dies with the group — no restore needed). Every instance() call
+    // inside shard events now resolves shard-locally.
+    obs::Registry::setCurrent(&shard.registry());
+    obs::Tracer::setCurrent(&shard.tracer());
+    util::LogConfig::setCurrent(&shard.logConfig());
+    obs::FlightRecorder::setCurrent(&shard.flightRecorder());
+    obs::Profiler::setCurrent(&shard.profiler());
+    // Spinning is only worth it when a core is free to spin on.
+    const int spinBudget = oversubscribed_ ? 0 : 20000;
+    std::uint64_t seen = 0;
+    for (;;) {
+        std::uint64_t epoch = epoch_.load(std::memory_order_acquire);
+        int spins = 0;
+        while (epoch == seen && !stop_.load(std::memory_order_acquire)) {
+            if (++spins < spinBudget) {
+                cpuRelax();
+            } else {
+                // The driver is off doing scenario work between
+                // windows: sleep until the next window (or stop). The
+                // predicate re-check under the mutex closes the race
+                // with the driver's bump-then-notify.
+                std::unique_lock<std::mutex> lock(wakeMutex_);
+                wakeCv_.wait(lock, [&] {
+                    return epoch_.load(std::memory_order_acquire) != seen ||
+                           stop_.load(std::memory_order_acquire);
+                });
+            }
+            epoch = epoch_.load(std::memory_order_acquire);
+        }
+        if (stop_.load(std::memory_order_acquire)) break;
+        seen = epoch;
+        shard.sim().runUntil(SimTime{windowEndNs_.load(std::memory_order_relaxed)});
+        doneEpochs_[index]->store(seen, std::memory_order_release);
+        if (oversubscribed_) {
+            // The driver parks instead of spinning; hand the core
+            // straight back to it. The empty critical section orders
+            // the store above against its predicate check.
+            { std::lock_guard<std::mutex> lock(doneMutex_); }
+            doneCv_.notify_one();
+        }
+    }
+}
+
+void ShardGroup::runWindow(SimTime until) {
+    windowEndNs_.store(until.count(), std::memory_order_relaxed);
+    epoch_.fetch_add(1, std::memory_order_release);
+    // Taking the mutex orders this window's publication against any
+    // worker that is deciding to sleep; notify after release.
+    { std::lock_guard<std::mutex> lock(wakeMutex_); }
+    wakeCv_.notify_all();
+    const std::uint64_t epoch = epoch_.load(std::memory_order_relaxed);
+    const auto allDone = [&] {
+        for (auto& done : doneEpochs_)
+            if (done->load(std::memory_order_acquire) != epoch) return false;
+        return true;
+    };
+    if (oversubscribed_) {
+        std::unique_lock<std::mutex> lock(doneMutex_);
+        doneCv_.wait(lock, allDone);
+    } else {
+        for (auto& done : doneEpochs_) {
+            int spins = 0;
+            while (done->load(std::memory_order_acquire) != epoch) {
+                if (++spins < 50000)
+                    cpuRelax();
+                else
+                    std::this_thread::yield();
+            }
+        }
+    }
+    ++windows_;
+}
+
+void ShardGroup::drainMail() {
+    struct DrainEntry {
+        SimTime when;
+        std::uint64_t rank;
+        std::uint64_t seq;
+        std::size_t target;
+        std::function<void()> fn;
+    };
+    std::vector<DrainEntry> entries;
+    for (Mailbox& mailbox : mailboxes_) {
+        std::vector<MailboxEvent> events = mailbox.box->drain();
+        for (MailboxEvent& event : events)
+            entries.push_back(DrainEntry{event.when, mailbox.box->portRank(),
+                                         event.seq, mailbox.targetShard,
+                                         std::move(event.fn)});
+    }
+    if (entries.empty()) return;
+    std::sort(entries.begin(), entries.end(),
+              [](const DrainEntry& a, const DrainEntry& b) {
+                  if (a.target != b.target) return a.target < b.target;
+                  if (a.when != b.when) return a.when < b.when;
+                  if (a.rank != b.rank) return a.rank < b.rank;
+                  return a.seq < b.seq;
+              });
+    for (DrainEntry& entry : entries) {
+        Simulator& sim = shards_[entry.target]->sim();
+        // A message stamped before its target's clock means a cut edge
+        // undercut the lookahead; scheduleAt clamps it to "now", so
+        // causality is only bent, not broken — but count it loudly.
+        if (entry.when < sim.now()) ++late_;
+        sim.scheduleAt(entry.when, [fn = std::move(entry.fn)] { fn(); });
+    }
+}
+
+void ShardGroup::runUntil(SimTime target) {
+    if (target < now_) target = now_;
+    for (;;) {
+        drainMail();
+        std::optional<SimTime> globalMin;
+        for (auto& shard : shards_) {
+            const std::optional<SimTime> next = shard->sim().nextEventTime();
+            if (next && (!globalMin || *next < *globalMin)) globalMin = *next;
+        }
+        // Anything posted during the window below is stamped at least
+        // globalMin + lookahead: past `target` in the clamped branch
+        // (left in the mailboxes for a future call), past the window
+        // end in the looping branch (drained at the next barrier).
+        if (!globalMin || *globalMin + lookahead_ > target) {
+            runWindow(target);
+            break;
+        }
+        runWindow(*globalMin + lookahead_ - SimTime{1});
+    }
+    // Every shard clock now equals `target`: the final window always
+    // runs runUntil(target), which advances idle clocks too.
+    now_ = std::max(now_, target);
+}
+
+std::size_t ShardGroup::dropPendingMail() {
+    std::size_t dropped = 0;
+    for (Mailbox& mailbox : mailboxes_) dropped += mailbox.box->clear();
+    return dropped;
+}
+
+std::uint64_t ShardGroup::mailPosted() const noexcept {
+    std::uint64_t total = 0;
+    for (const Mailbox& mailbox : mailboxes_) total += mailbox.box->posted();
+    return total;
+}
+
+std::uint64_t ShardGroup::mailDelivered() const noexcept {
+    std::uint64_t total = 0;
+    for (const Mailbox& mailbox : mailboxes_) total += mailbox.box->delivered();
+    return total;
+}
+
+std::uint64_t ShardGroup::mailDropped() const noexcept {
+    std::uint64_t total = 0;
+    for (const Mailbox& mailbox : mailboxes_) total += mailbox.box->dropped();
+    return total;
+}
+
+}  // namespace onelab::sim

@@ -1,0 +1,193 @@
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/flight.hpp"
+#include "obs/profiler.hpp"
+#include "obs/registry.hpp"
+#include "obs/trace.hpp"
+#include "sim/mailbox.hpp"
+#include "sim/simulator.hpp"
+#include "util/logging.hpp"
+
+namespace onelab::sim {
+
+class SimShard;
+
+/// RAII scope installing a shard's observability bundle (registry,
+/// tracer, log config, flight recorder, profiler) as the calling
+/// thread's `instance()`s, restoring the previous set on destruction.
+/// The group's worker threads install their shard's bundle for their
+/// whole life; the driver thread uses this scope around construction
+/// and barrier-time interactions so metric registrations land in the
+/// registry of the shard that will later update them (single-writer:
+/// ownership hands over at the barrier, never concurrently).
+class ShardObsScope {
+  public:
+    explicit ShardObsScope(SimShard& shard);
+    ~ShardObsScope();
+
+    ShardObsScope(const ShardObsScope&) = delete;
+    ShardObsScope& operator=(const ShardObsScope&) = delete;
+
+  private:
+    obs::Registry* previousRegistry_;
+    obs::Tracer* previousTracer_;
+    util::LogConfig* previousLog_;
+    obs::FlightRecorder* previousFlight_;
+    obs::Profiler* previousProfiler_;
+};
+
+/// One shard: a private Simulator plus a private observability bundle,
+/// pinned to one worker thread by the owning ShardGroup. Everything a
+/// shard's events touch — the event heap, the buffer pool, metric
+/// cells, trace/flight rings — is confined to the shard, so the hot
+/// path needs no locks; the only cross-shard traffic is timestamped
+/// mailbox posts, and the only cross-thread access to shard state is
+/// the driver's barrier-time work (ordered by the barrier mutex).
+class SimShard {
+  public:
+    explicit SimShard(std::size_t index);
+
+    SimShard(const SimShard&) = delete;
+    SimShard& operator=(const SimShard&) = delete;
+
+    [[nodiscard]] std::size_t index() const noexcept { return index_; }
+    [[nodiscard]] Simulator& sim() noexcept { return *sim_; }
+    [[nodiscard]] obs::Registry& registry() noexcept { return registry_; }
+    [[nodiscard]] obs::Tracer& tracer() noexcept { return tracer_; }
+    [[nodiscard]] util::LogConfig& logConfig() noexcept { return log_; }
+    [[nodiscard]] obs::FlightRecorder& flightRecorder() noexcept { return flight_; }
+    [[nodiscard]] obs::Profiler& profiler() noexcept { return profiler_; }
+
+  private:
+    friend class ShardObsScope;
+
+    const std::size_t index_;
+    obs::Registry registry_;
+    obs::Tracer tracer_;
+    util::LogConfig log_;
+    obs::FlightRecorder flight_;
+    obs::Profiler profiler_;
+    // Built inside a ShardObsScope so the simulator's sim.events_* /
+    // sim.pool.* counters register in (and its log/trace/flight clocks
+    // attach to) this shard's bundle, not the driver's.
+    std::unique_ptr<Simulator> sim_;
+};
+
+/// N shards advanced in lockstep windows under conservative lookahead
+/// (the null-message discipline, in its windowed-barrier form): with
+/// every cut edge carrying at least `lookahead` of latency, no shard
+/// can receive a message earlier than G + lookahead, where G is the
+/// earliest pending event anywhere. Each window therefore runs every
+/// shard to W - 1ns for W = G + lookahead, then drains the mailboxes
+/// at a barrier — every drained message is stamped >= W, so it is
+/// always scheduled into its target's future.
+///
+/// Determinism: G is a property of the global event set, not of the
+/// partition, so the window sequence — and with it the batch each
+/// message is drained in — is identical for every shard count. Within
+/// a batch, messages are merged by (when, portRank, seq), where
+/// portRank is a partition-independent site identity; the target
+/// simulator's FIFO tie-break then preserves that order. Same seed,
+/// any N: same interleaving.
+class ShardGroup {
+  public:
+    /// `lookahead` must be >= 1ns (throws std::invalid_argument
+    /// otherwise); it must not exceed the latency of any cut edge —
+    /// the per-mailbox late-delivery counters check this at runtime.
+    ShardGroup(std::size_t shardCount, SimTime lookahead);
+    ~ShardGroup();
+
+    ShardGroup(const ShardGroup&) = delete;
+    ShardGroup& operator=(const ShardGroup&) = delete;
+
+    [[nodiscard]] std::size_t shardCount() const noexcept { return shards_.size(); }
+    [[nodiscard]] SimShard& shard(std::size_t index) noexcept { return *shards_[index]; }
+    [[nodiscard]] SimTime lookahead() const noexcept { return lookahead_; }
+    /// Group time: the horizon reached by the last runUntil() call.
+    /// After every call all shard clocks equal now(), so barrier-time
+    /// driver work observes one consistent clock.
+    [[nodiscard]] SimTime now() const noexcept { return now_; }
+
+    /// Create a cut-edge mailbox delivering into `targetShard` and
+    /// return the post function the source side captures. `portRank`
+    /// must be partition-independent (derive it from the site index)
+    /// and unique per mailbox: it breaks same-timestamp ties in the
+    /// drain merge.
+    [[nodiscard]] ShardPost makePort(std::size_t targetShard, std::string name,
+                                     std::uint64_t portRank);
+
+    /// Advance every shard to `target` (events exactly at `target`
+    /// run, matching Simulator::runUntil). Must be called from the
+    /// driver thread; shard state may be touched between calls.
+    void runUntil(SimTime target);
+    void runFor(SimTime duration) { runUntil(now_ + duration); }
+
+    /// Drop all undelivered cross-shard mail (teardown: the targets
+    /// are about to be destroyed). Returns the number dropped.
+    std::size_t dropPendingMail();
+
+    /// Stop the workers and drop undelivered mail. Idempotent (the
+    /// destructor calls it too). Owners whose shard simulators carry
+    /// events against external objects call this before destroying
+    /// those objects; after shutdown only the accessors remain valid.
+    void shutdown();
+
+    [[nodiscard]] std::uint64_t windows() const noexcept { return windows_; }
+    [[nodiscard]] std::uint64_t mailPosted() const noexcept;
+    [[nodiscard]] std::uint64_t mailDelivered() const noexcept;
+    [[nodiscard]] std::uint64_t mailDropped() const noexcept;
+    /// Messages drained with a timestamp already in their target's
+    /// past — a lookahead violation. Always 0 unless a cut edge has
+    /// less latency than `lookahead`.
+    [[nodiscard]] std::uint64_t lateDeliveries() const noexcept { return late_; }
+
+  private:
+    struct Mailbox {
+        std::size_t targetShard;
+        std::unique_ptr<CrossShardMailbox> box;
+    };
+
+    void workerMain(std::size_t index);
+    /// Run one window: every worker advances its shard to `until`.
+    void runWindow(SimTime until);
+    /// Deliver pending mail into the target simulators (barrier only).
+    void drainMail();
+
+    const SimTime lookahead_;
+    bool shutdownDone_ = false;
+    std::vector<std::unique_ptr<SimShard>> shards_;
+    std::vector<Mailbox> mailboxes_;
+    SimTime now_{0};
+    std::uint64_t windows_ = 0;
+    std::uint64_t late_ = 0;
+
+    // Barrier: the driver publishes (windowEnd_, epoch_) and waits for
+    // every worker's doneEpoch_ to catch up. Workers spin briefly then
+    // sleep; sleepers_ tells the driver when a cv notify is needed.
+    std::atomic<std::int64_t> windowEndNs_{0};
+    std::atomic<std::uint64_t> epoch_{0};
+    std::atomic<bool> stop_{false};
+    std::vector<std::unique_ptr<std::atomic<std::uint64_t>>> doneEpochs_;
+    std::mutex wakeMutex_;
+    std::condition_variable wakeCv_;
+    // On hosts with fewer cores than threads (workers + driver), any
+    // spinning steals the timeslice the other side needs to make
+    // progress — a window then costs a scheduler round-robin (~ms)
+    // instead of a wake (~µs). Both sides park immediately instead.
+    bool oversubscribed_ = false;
+    std::mutex doneMutex_;
+    std::condition_variable doneCv_;
+    std::vector<std::thread> workers_;
+};
+
+}  // namespace onelab::sim

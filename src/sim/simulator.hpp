@@ -1,6 +1,7 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <utility>
 #include <vector>
 
@@ -90,6 +91,14 @@ class Simulator {
 
     [[nodiscard]] std::size_t pendingEvents() const noexcept { return heap_.size(); }
     [[nodiscard]] std::uint64_t executedEvents() const noexcept { return executed_; }
+
+    /// Timestamp of the earliest pending event (the heap root), or
+    /// nullopt when the queue is empty. Used by the shard scheduler to
+    /// compute conservative lookahead windows without popping.
+    [[nodiscard]] std::optional<SimTime> nextEventTime() const noexcept {
+        if (heap_.empty()) return std::nullopt;
+        return heap_.front().when;
+    }
 
     /// Buffer freelist shared by this simulator's datapath (pipe
     /// writes, RLC chunks); single-threaded like the simulator itself.

@@ -1,0 +1,89 @@
+// Sharded-fleet smoke and determinism pins. The heavyweight cross-N
+// byte-identity sweep lives in the repeatability bench; these tests
+// keep the engine honest inside the tier-1 matrix:
+//
+//   - a --shards 4 fleet brings up, pushes traffic through the TTY and
+//     Ethernet cut edges, and never violates the lookahead contract;
+//   - the merged telemetry export is byte-identical across shard
+//     counts for the same seed, on a run short enough for ctest.
+#include "scenario/fleet.hpp"
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "obs/telemetry.hpp"
+#include "obs/trace.hpp"
+#include "ppp/lcp.hpp"
+
+namespace onelab::scenario {
+namespace {
+
+std::string slurp(const std::string& path) {
+    std::ifstream in{path, std::ios::binary};
+    std::ostringstream out;
+    out << in.rdbuf();
+    return out.str();
+}
+
+TEST(FleetShards, FourShardFleetRunsTrafficAcrossCutEdges) {
+    FleetConfig config = makeUniformFleet(2, 7);
+    config.shards = 4;
+    Fleet fleet{std::move(config)};
+    ASSERT_TRUE(fleet.sharded());
+    ASSERT_NE(fleet.shardGroup(), nullptr);
+
+    const auto started = fleet.startAll();
+    ASSERT_TRUE(started.ok()) << started.error().message;
+    const auto routed = fleet.addDestinationAll();
+    ASSERT_TRUE(routed.ok()) << routed.error().message;
+    const auto runs = fleet.runCbrAll(5.0);
+    ASSERT_EQ(runs.size(), 2u);
+    for (const FleetCbrRun& run : runs) {
+        EXPECT_GT(run.packetsSent, 0u) << run.imsi;
+        EXPECT_GT(run.packetsReceived, 0u) << run.imsi;
+    }
+
+    // The traffic really crossed shard boundaries, and every mailbox
+    // delivery respected the conservative-lookahead contract.
+    sim::ShardGroup& group = *fleet.shardGroup();
+    EXPECT_EQ(group.shardCount(), 4u);
+    EXPECT_GT(group.windows(), 0u);
+    EXPECT_GT(group.mailDelivered(), 0u);
+    EXPECT_EQ(group.lateDeliveries(), 0u);
+}
+
+TEST(FleetShards, TelemetryByteIdenticalAcrossShardCounts) {
+    const auto runOnce = [](std::size_t shards, const std::string& directory) {
+        obs::beginRun();
+        ppp::resetMagicEntropy();
+        FleetConfig config = makeUniformFleet(2, 11);
+        config.shards = shards;
+        Fleet fleet{std::move(config)};
+        ASSERT_TRUE(fleet.startAll().ok());
+        ASSERT_TRUE(fleet.addDestinationAll().ok());
+        fleet.runCbrAll(5.0);
+        obs::Tracer::instance().setEnabled(false);
+        const auto written = fleet.writeTelemetry(directory);
+        ASSERT_TRUE(written.ok()) << written.error().message;
+    };
+
+    const std::string base = "/tmp/onelab_test_fleet_shards_";
+    for (std::size_t shards : {std::size_t{1}, std::size_t{2}, std::size_t{4}})
+        runOnce(shards, base + std::to_string(shards));
+
+    const std::string metrics1 = slurp(base + "1/metrics.json");
+    const std::string trace1 = slurp(base + "1/trace.json");
+    ASSERT_FALSE(metrics1.empty());
+    ASSERT_FALSE(trace1.empty());
+    for (std::size_t shards : {std::size_t{2}, std::size_t{4}}) {
+        const std::string dir = base + std::to_string(shards);
+        EXPECT_EQ(slurp(dir + "/metrics.json"), metrics1) << shards << " shards";
+        EXPECT_EQ(slurp(dir + "/trace.json"), trace1) << shards << " shards";
+    }
+}
+
+}  // namespace
+}  // namespace onelab::scenario
