@@ -3,7 +3,10 @@
 // TCP bulk upload fills it: goodput sits at the bearer rate while the
 // latency floor for everything else rises by orders of magnitude.
 // (The kind of follow-up study the integrated testbed was built for.)
+//
+// Usage: ext_tcp_bufferbloat [seed] [--cc reno|newreno|cubic]
 #include <cstdio>
+#include <cstring>
 
 #include "net/tcp.hpp"
 #include "scenario/testbed.hpp"
@@ -31,7 +34,7 @@ double pingMs(Testbed& tb, int sliceXid) {
     return reply ? sim::toMillis(reply->rtt) : -1.0;
 }
 
-UploadResult uploadOver(bool viaUmts, std::uint64_t seed) {
+UploadResult uploadOver(bool viaUmts, std::uint64_t seed, net::CcAlgorithm cc) {
     TestbedConfig config;
     config.seed = seed;
     Testbed tb{config};
@@ -56,7 +59,10 @@ UploadResult uploadOver(bool viaUmts, std::uint64_t seed) {
             lastByteAt = tb.sim().now();
         };
     });
-    net::TcpConnection* conn = client.connect(tb.inriaEthAddress(), 8080, sliceXid);
+    net::TcpOptions options;
+    options.congestion = cc;
+    net::TcpConnection* conn =
+        client.connect(tb.inriaEthAddress(), 8080, sliceXid, {}, options);
     conn->onConnected = [&] {
         const util::Bytes blob(2 * 1024 * 1024, 0x42);  // 2 MiB upload
         (void)conn->send({blob.data(), blob.size()});
@@ -79,13 +85,26 @@ UploadResult uploadOver(bool viaUmts, std::uint64_t seed) {
 }  // namespace
 
 int main(int argc, char** argv) {
-    const std::uint64_t seed = argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 42;
+    std::uint64_t seed = 42;
+    net::CcAlgorithm cc = net::CcAlgorithm::newreno;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--cc") == 0 && i + 1 < argc) {
+            const auto parsed = net::ccFromName(argv[++i]);
+            if (!parsed) {
+                std::fprintf(stderr, "unknown --cc algorithm: %s\n", argv[i]);
+                return 2;
+            }
+            cc = *parsed;
+        } else {
+            seed = std::strtoull(argv[i], nullptr, 10);
+        }
+    }
     std::printf("=== Extension: TCP bulk upload and bufferbloat over UMTS ===\n");
-    std::printf("2 MiB upload Napoli -> INRIA, 60 s measurement, seed %llu\n\n",
-                (unsigned long long)seed);
+    std::printf("2 MiB upload Napoli -> INRIA, 60 s measurement, seed %llu, %s\n\n",
+                (unsigned long long)seed, net::ccName(cc));
 
-    const UploadResult umts = uploadOver(true, seed);
-    const UploadResult eth = uploadOver(false, seed);
+    const UploadResult umts = uploadOver(true, seed, cc);
+    const UploadResult eth = uploadOver(false, seed, cc);
 
     util::Table table({"path", "goodput [kbps]", "idle RTT [ms]", "loaded RTT [ms]",
                        "TCP srtt [ms]", "retransmissions"});

@@ -1,0 +1,180 @@
+// Extension experiment: congestion-control comparison over the UMTS
+// bearer. The byte-accurate TCP stack carries the D-ITG probe workload
+// across the real PPP/RLC datapath while the RLC loses PDUs at 0, 2
+// and 5%, once per algorithm (Reno, NewReno, CUBIC). Over a 144 kbps
+// DCH with a deep RLC buffer the interesting axis is not peak goodput
+// (the bearer pins it) but how much retransmission work each algorithm
+// does to hold the rate as loss climbs.
+//
+// Usage: ext_tcp_cc_compare [seed] [--csv path] [--json path]
+//                           [--shards N] [--duration S]
+//   --csv      the frozen per-point CSV (golden-digested in tests/bench)
+//   --json     BENCH_tcp.json for the CI bench-smoke artifact
+//   --shards   fleet engine selection (0 = legacy serial; N >= 1 =
+//              sharded, byte-identical for every N >= 1)
+//   --duration per-point flow duration in simulated seconds
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "tcp_cc_common.hpp"
+#include "util/strings.hpp"
+#include "util/table.hpp"
+
+using namespace onelab;
+using namespace onelab::bench;
+
+namespace {
+
+bool writeResultsJson(const std::string& path, std::uint64_t seed,
+                      double durationSeconds, std::size_t shards,
+                      const std::vector<CcSweepPoint>& points) {
+    std::FILE* file = std::fopen(path.c_str(), "w");
+    if (!file) return false;
+    std::fprintf(file,
+                 "{\n"
+                 "  \"bench\": \"ext_tcp_cc_compare\",\n"
+                 "  \"seed\": %llu,\n"
+                 "  \"duration_seconds\": %.1f,\n"
+                 "  \"shards\": %zu,\n"
+                 "  \"points\": [",
+                 static_cast<unsigned long long>(seed), durationSeconds, shards);
+    for (std::size_t i = 0; i < points.size(); ++i) {
+        const CcSweepPoint& point = points[i];
+        std::fprintf(
+            file,
+            "%s\n"
+            "    {\"cc\": \"%s\", \"loss_pct\": %.1f, \"goodput_kbps\": %.3f,\n"
+            "     \"mean_owd_ms\": %.3f, \"probes_sent\": %llu,\n"
+            "     \"probes_received\": %llu, \"retransmissions\": %llu,\n"
+            "     \"timeouts\": %llu, \"fast_retransmits\": %llu,\n"
+            "     \"bytes_acked\": %llu}",
+            i == 0 ? "" : ",", net::ccName(point.congestion), point.lossRate * 100.0,
+            point.run.summary.meanBitrateKbps, point.run.summary.meanOwdSeconds * 1e3,
+            static_cast<unsigned long long>(point.run.probesSent),
+            static_cast<unsigned long long>(point.run.probesReceived),
+            static_cast<unsigned long long>(point.run.tcp.retransmissions),
+            static_cast<unsigned long long>(point.run.tcp.timeouts),
+            static_cast<unsigned long long>(point.run.tcp.fastRetransmits),
+            static_cast<unsigned long long>(point.run.tcp.bytesAcked));
+    }
+    std::fprintf(file, "\n  ]\n}\n");
+    std::fclose(file);
+    return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    std::uint64_t seed = 42;
+    std::string csvPath;
+    std::string jsonPath;
+    std::size_t shards = 0;
+    double duration = 30.0;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--csv") == 0 && i + 1 < argc)
+            csvPath = argv[++i];
+        else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc)
+            jsonPath = argv[++i];
+        else if (std::strcmp(argv[i], "--shards") == 0 && i + 1 < argc)
+            shards = std::strtoull(argv[++i], nullptr, 10);
+        else if (std::strcmp(argv[i], "--duration") == 0 && i + 1 < argc)
+            duration = std::strtod(argv[++i], nullptr);
+        else
+            seed = std::strtoull(argv[i], nullptr, 10);
+    }
+
+    std::printf("=== Extension: TCP congestion control over UMTS ===\n");
+    std::printf("D-ITG TCP probe flow, 1 UE, %.0f s per point, RLC loss sweep,\n"
+                "seed %llu, %zu shard%s\n\n",
+                duration, (unsigned long long)seed, shards, shards == 1 ? "" : "s");
+
+    const std::vector<CcSweepPoint> sweep = runCcSweep(seed, duration, shards);
+
+    util::Table table({"cc", "loss [%]", "goodput [kbps]", "OWD [ms]", "rexmit",
+                       "timeouts", "fast rexmit", "delivered"});
+    for (const CcSweepPoint& point : sweep)
+        table.addRow({net::ccName(point.congestion),
+                      util::format("%.1f", point.lossRate * 100.0),
+                      util::format("%.1f", point.run.summary.meanBitrateKbps),
+                      util::format("%.1f", point.run.summary.meanOwdSeconds * 1e3),
+                      std::to_string(point.run.tcp.retransmissions),
+                      std::to_string(point.run.tcp.timeouts),
+                      std::to_string(point.run.tcp.fastRetransmits),
+                      util::format("%llu/%llu",
+                                   (unsigned long long)point.run.probesReceived,
+                                   (unsigned long long)point.run.probesSent)});
+    std::printf("%s\n", table.render().c_str());
+
+    if (!csvPath.empty()) {
+        std::ofstream csv{csvPath};
+        csv << ccSweepCsv(sweep);
+        std::printf("per-point series written to %s\n", csvPath.c_str());
+    }
+    if (!jsonPath.empty()) {
+        if (writeResultsJson(jsonPath, seed, duration, shards, sweep))
+            std::printf("results JSON: %s\n", jsonPath.c_str());
+        else
+            std::printf("WARNING: could not write %s\n", jsonPath.c_str());
+    }
+
+    // --- shape checks ---
+    int failures = 0;
+    const auto check = [&failures](bool ok, const char* what) {
+        std::printf("  [%s] %s\n", ok ? "PASS" : "FAIL", what);
+        if (!ok) ++failures;
+    };
+    std::printf("shape checks:\n");
+    bool cleanDelivery = true;
+    bool cleanNoRexmit = true;
+    bool lossyProgress = true;
+    bool lossyRexmit = true;
+    for (const CcSweepPoint& point : sweep) {
+        if (point.lossRate == 0.0) {
+            cleanDelivery = cleanDelivery &&
+                            point.run.probesReceived == point.run.probesSent;
+            cleanNoRexmit = cleanNoRexmit && point.run.tcp.retransmissions == 0;
+        } else {
+            // Lossy points race the wave window: delivery is a gapless
+            // in-order prefix (TCP reassembly guarantees that; the fault
+            // tests prove byte-exactness), so delivered-within-window IS
+            // the goodput comparison. Here we only pin that the flow
+            // made real progress through the loss...
+            lossyProgress = lossyProgress && point.run.probesReceived > 0 &&
+                            point.run.probesReceived <= point.run.probesSent;
+            // ...and that recovery visibly paid in retransmissions.
+            lossyRexmit = lossyRexmit && point.run.tcp.retransmissions > 0;
+        }
+    }
+    check(cleanDelivery, "0% loss: every probe delivered for every algorithm");
+    check(cleanNoRexmit, "0% loss: no retransmissions needed");
+    check(lossyProgress, "lossy points: flow progresses through the loss");
+    check(lossyRexmit, "lossy points: recovery visibly paid in retransmissions");
+    bool lossHurts = true;
+    for (const net::CcAlgorithm cc : ccSweepAlgorithms()) {
+        double clean = -1.0;
+        double lossiest = -1.0;
+        for (const CcSweepPoint& point : sweep) {
+            if (point.congestion != cc) continue;
+            if (point.lossRate == 0.0) clean = point.run.summary.meanBitrateKbps;
+            if (point.lossRate == ccSweepLossRates().back())
+                lossiest = point.run.summary.meanBitrateKbps;
+        }
+        lossHurts = lossHurts && clean > lossiest;
+    }
+    check(lossHurts, "every algorithm: 5% RLC loss costs goodput vs clean");
+
+    // Determinism: the whole grid replays bit-identically from the
+    // same seed — the property the golden digest in tests/bench pins.
+    const std::vector<CcSweepPoint> replay = runCcSweep(seed, duration, shards);
+    check(ccSweepCsv(replay) == ccSweepCsv(sweep),
+          "full-grid replay with the same seed is byte-identical");
+
+    std::printf("\nThe bearer rate, not the algorithm, sets the goodput ceiling; the\n"
+                "algorithms differ in how they pay for loss (fast retransmit vs RTO)\n"
+                "while the delivered stream stays a byte-exact in-order prefix —\n"
+                "the property the conformance ladder proves rung by rung.\n");
+    return failures == 0 ? 0 : 1;
+}

@@ -83,13 +83,25 @@ QosSeries ItgDec::decode(const SenderLog& sender, const ReceiverLog& receiver,
 }
 
 QosSummary ItgDec::summarize(const SenderLog& sender, const ReceiverLog& receiver) {
+    // Network duplicates (or a TCP retransmission logged twice) must
+    // not count as extra deliveries: keep the first arrival of each
+    // sequence number. The dedup lives here in summarize() only — the
+    // raw log is the measurement and is stored/encoded untouched.
+    ReceiverLog unique;
+    unique.transport = receiver.transport;
+    {
+        std::set<std::uint32_t> seen;
+        for (const RxRecord& rx : receiver.packets)
+            if (seen.insert(rx.sequence).second) unique.packets.push_back(rx);
+    }
+
     QosSummary summary;
     summary.sent = sender.packets.size();
-    summary.received = receiver.packets.size();
+    summary.received = unique.packets.size();
     summary.lost = summary.sent >= summary.received ? summary.sent - summary.received : 0;
     summary.lossRate = summary.sent ? double(summary.lost) / double(summary.sent) : 0.0;
 
-    const QosSeries series = decode(sender, receiver);
+    const QosSeries series = decode(sender, unique);
     const auto bitrate = util::summarize(series.bitrateKbps);
     summary.meanBitrateKbps = bitrate.mean;
     summary.maxBitrateKbps = bitrate.max;
@@ -101,7 +113,7 @@ QosSummary ItgDec::summarize(const SenderLog& sender, const ReceiverLog& receive
     summary.maxRttSeconds = rtt.max;
 
     util::OnlineStats owd;
-    for (const RxRecord& rx : receiver.packets)
+    for (const RxRecord& rx : unique.packets)
         owd.add(sim::toSeconds(rx.rxTime - rx.txTime));
     summary.meanOwdSeconds = owd.mean();
     return summary;

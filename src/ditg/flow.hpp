@@ -4,6 +4,7 @@
 #include <optional>
 #include <string>
 
+#include "ditg/logs.hpp"
 #include "util/bytes.hpp"
 #include "util/rand.hpp"
 
@@ -33,6 +34,7 @@ struct ProbeHeader {
 struct FlowSpec {
     std::string name;
     std::uint16_t flowId = 1;
+    FlowTransport transport = FlowTransport::udp;  ///< -T in D-ITG terms
     util::RandomVariablePtr idtSeconds;   ///< inter-departure time [s]
     util::RandomVariablePtr payloadBytes; ///< packet size [bytes, >= header]
     double durationSeconds = 120.0;

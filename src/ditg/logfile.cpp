@@ -9,16 +9,22 @@ namespace {
 constexpr std::uint8_t kKindSender = 1;
 constexpr std::uint8_t kKindReceiver = 2;
 
-void putMagic(util::Bytes& out, std::uint8_t kind) {
+void putMagic(util::Bytes& out, std::uint8_t kind, FlowTransport transport) {
     out.push_back('I');
     out.push_back('T');
     out.push_back('G');
     out.push_back('L');
     util::putU8(out, kVersion);
     util::putU8(out, kind);
+    util::putU8(out, std::uint8_t(transport));  // v2 field
 }
 
-util::Result<std::uint8_t> checkMagic(util::ByteReader& reader) {
+struct Magic {
+    std::uint8_t kind = 0;
+    FlowTransport transport = FlowTransport::udp;
+};
+
+util::Result<Magic> checkMagic(util::ByteReader& reader) {
     const std::uint8_t i = reader.u8();
     const std::uint8_t t = reader.u8();
     const std::uint8_t g = reader.u8();
@@ -26,17 +32,27 @@ util::Result<std::uint8_t> checkMagic(util::ByteReader& reader) {
     if (!reader.ok() || i != 'I' || t != 'T' || g != 'G' || l != 'L')
         return util::err(util::Error::Code::protocol, "not an ITG log file");
     const std::uint8_t version = reader.u8();
-    if (version != kVersion)
+    if (version != 1 && version != kVersion)
         return util::err(util::Error::Code::unsupported,
                          "unsupported log version " + std::to_string(version));
-    return reader.u8();
+    Magic magic;
+    magic.kind = reader.u8();
+    // v1 files predate the transport byte: everything was UDP.
+    if (version >= 2) {
+        const std::uint8_t transport = reader.u8();
+        if (transport > std::uint8_t(FlowTransport::tcp))
+            return util::err(util::Error::Code::protocol,
+                             "unknown transport " + std::to_string(transport));
+        magic.transport = FlowTransport(transport);
+    }
+    return magic;
 }
 
 }  // namespace
 
 util::Bytes encodeSenderLog(const SenderLog& log) {
     util::Bytes out;
-    putMagic(out, kKindSender);
+    putMagic(out, kKindSender, log.transport);
     util::putU32(out, std::uint32_t(log.packets.size()));
     for (const TxRecord& record : log.packets) {
         util::putU32(out, record.sequence);
@@ -55,11 +71,12 @@ util::Bytes encodeSenderLog(const SenderLog& log) {
 
 util::Result<SenderLog> decodeSenderLog(util::ByteView data) {
     util::ByteReader reader{data};
-    const auto kind = checkMagic(reader);
-    if (!kind.ok()) return kind.error();
-    if (kind.value() != kKindSender)
+    const auto magic = checkMagic(reader);
+    if (!magic.ok()) return magic.error();
+    if (magic.value().kind != kKindSender)
         return util::err(util::Error::Code::protocol, "not a sender log");
     SenderLog log;
+    log.transport = magic.value().transport;
     const std::uint32_t packets = reader.u32();
     for (std::uint32_t i = 0; i < packets && reader.ok(); ++i) {
         TxRecord record;
@@ -83,7 +100,7 @@ util::Result<SenderLog> decodeSenderLog(util::ByteView data) {
 
 util::Bytes encodeReceiverLog(const ReceiverLog& log) {
     util::Bytes out;
-    putMagic(out, kKindReceiver);
+    putMagic(out, kKindReceiver, log.transport);
     util::putU32(out, std::uint32_t(log.packets.size()));
     for (const RxRecord& record : log.packets) {
         util::putU16(out, record.flowId);
@@ -97,11 +114,12 @@ util::Bytes encodeReceiverLog(const ReceiverLog& log) {
 
 util::Result<ReceiverLog> decodeReceiverLog(util::ByteView data) {
     util::ByteReader reader{data};
-    const auto kind = checkMagic(reader);
-    if (!kind.ok()) return kind.error();
-    if (kind.value() != kKindReceiver)
+    const auto magic = checkMagic(reader);
+    if (!magic.ok()) return magic.error();
+    if (magic.value().kind != kKindReceiver)
         return util::err(util::Error::Code::protocol, "not a receiver log");
     ReceiverLog log;
+    log.transport = magic.value().transport;
     const std::uint32_t packets = reader.u32();
     for (std::uint32_t i = 0; i < packets && reader.ok(); ++i) {
         RxRecord record;

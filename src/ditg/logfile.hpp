@@ -12,14 +12,15 @@ namespace onelab::ditg {
 /// files that §3.1 retrieves from the two nodes and feeds to ITGDec.
 ///
 /// Format (big-endian): magic "ITGL"(4) version(1) kind(1)
-/// recordCount(4), then fixed-width records:
+/// transport(1, v2+) recordCount(4), then fixed-width records:
 ///   sender packet:  seq(4) payload(4) txTimeNs(8) failed(1)
 ///   sender rtt:     seq(4) txTimeNs(8) rttNs(8)
 ///   receiver:       flow(2) seq(4) payload(4) txTimeNs(8) rxTimeNs(8)
 /// Sender files carry the packet block then an rttCount(4) + rtt block.
+/// v1 files (no transport byte, always UDP) still decode.
 namespace logfile {
 
-inline constexpr std::uint8_t kVersion = 1;
+inline constexpr std::uint8_t kVersion = 2;
 
 [[nodiscard]] util::Bytes encodeSenderLog(const SenderLog& log);
 [[nodiscard]] util::Result<SenderLog> decodeSenderLog(util::ByteView data);

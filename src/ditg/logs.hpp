@@ -7,6 +7,19 @@
 
 namespace onelab::ditg {
 
+/// Transport a flow rides on. UDP is D-ITG's classic probe mode; TCP
+/// frames the same probes inside a byte stream on the simulated TCP
+/// stack (net::TcpHost), so loss shows up as added delay instead of
+/// missing records.
+enum class FlowTransport : std::uint8_t {
+    udp = 0,
+    tcp = 1,
+};
+
+[[nodiscard]] constexpr const char* transportName(FlowTransport transport) noexcept {
+    return transport == FlowTransport::tcp ? "tcp" : "udp";
+}
+
 /// Sender-side record of one transmitted probe.
 struct TxRecord {
     std::uint32_t sequence = 0;
@@ -33,11 +46,13 @@ struct RxRecord {
 
 /// The two halves of a flow's measurement logs, what ITGDec consumes.
 struct SenderLog {
+    FlowTransport transport = FlowTransport::udp;
     std::vector<TxRecord> packets;
     std::vector<RttRecord> rtts;
 };
 
 struct ReceiverLog {
+    FlowTransport transport = FlowTransport::udp;
     std::vector<RxRecord> packets;
 };
 

@@ -1,0 +1,124 @@
+#pragma once
+
+#include <functional>
+#include <map>
+
+#include "ditg/flow.hpp"
+#include "ditg/logs.hpp"
+#include "net/tcp.hpp"
+#include "obs/registry.hpp"
+#include "sim/simulator.hpp"
+#include "util/logging.hpp"
+
+namespace onelab::ditg {
+
+/// Length-prefixed probe framing for TCP mode: each probe rides the
+/// byte stream as u16 length (big-endian) + the padded probe payload.
+/// TCP hands back arbitrary chunks; the framer reassembles them into
+/// complete probes.
+class ProbeStream {
+  public:
+    /// Append stream bytes; invokes `onProbe` for every completed
+    /// probe payload (in stream order).
+    void feed(util::ByteView data, const std::function<void(util::ByteView)>& onProbe);
+
+    /// Frame one probe payload for transmission.
+    [[nodiscard]] static util::Bytes frame(util::ByteView probe);
+
+  private:
+    util::Bytes buffer_;
+};
+
+/// ITGSend in TCP mode: the same probe schedule as ItgSend, framed
+/// into a net::TcpConnection. Losses never drop probes — they show up
+/// as delay/bunching at the receiver, which is exactly the comparison
+/// a TCP-vs-UDP study needs. ACK probes return on the same connection
+/// for RTT samples.
+class ItgTcpSend {
+  public:
+    ItgTcpSend(sim::Simulator& simulator, net::TcpHost& host, FlowSpec spec,
+               net::Ipv4Address destination, std::uint16_t destinationPort,
+               util::RandomStream rng, int sliceXid = 0,
+               const net::TcpOptions& options = {});
+
+    /// Connect and begin generating once established. `onComplete`
+    /// fires when the duration elapses; the connection is then closed
+    /// (FIN) but keeps draining ACK probes.
+    void start(std::function<void()> onComplete = {});
+
+    [[nodiscard]] const SenderLog& log() const noexcept { return log_; }
+    [[nodiscard]] const FlowSpec& spec() const noexcept { return spec_; }
+    [[nodiscard]] std::uint64_t probesSent() const noexcept { return sent_; }
+    [[nodiscard]] std::uint64_t sendErrors() const noexcept { return sendErrors_; }
+    [[nodiscard]] bool finished() const noexcept { return finished_; }
+    /// The underlying connection (nullptr before start()); exposes
+    /// TcpStats for goodput/retransmission reporting.
+    [[nodiscard]] net::TcpConnection* connection() noexcept { return conn_; }
+
+  private:
+    void scheduleNext();
+    void emitProbe();
+
+    sim::Simulator& sim_;
+    net::TcpHost& host_;
+    FlowSpec spec_;
+    net::Ipv4Address destination_;
+    std::uint16_t destinationPort_;
+    util::RandomStream rng_;
+    int sliceXid_;
+    net::TcpOptions options_;
+    util::Logger logger_{"ditg.tcpsend"};
+
+    net::TcpConnection* conn_ = nullptr;
+    ProbeStream ackStream_;
+    SenderLog log_;
+    sim::SimTime endTime_{};
+    std::uint32_t nextSequence_ = 0;
+    std::uint64_t sent_ = 0;
+    std::uint64_t sendErrors_ = 0;
+    bool finished_ = false;
+    std::function<void()> onComplete_;
+
+    obs::Counter& sentMetric_;
+    obs::Counter& sendErrorsMetric_;
+    obs::Histogram& rttMetric_;
+};
+
+/// ITGRecv in TCP mode: listens on a port, reassembles probes from
+/// every accepted connection, logs per-flow, and echoes ACK probes on
+/// the connection they arrived on.
+class ItgTcpRecv {
+  public:
+    ItgTcpRecv(sim::Simulator& simulator, net::TcpHost& host, std::uint16_t port,
+               bool sendAcks = true, int sliceXid = 0,
+               const net::TcpOptions& options = {});
+    ~ItgTcpRecv();
+
+    ItgTcpRecv(const ItgTcpRecv&) = delete;
+    ItgTcpRecv& operator=(const ItgTcpRecv&) = delete;
+
+    [[nodiscard]] const ReceiverLog& log(std::uint16_t flowId) const;
+    [[nodiscard]] std::uint64_t probesReceived() const noexcept { return received_; }
+    [[nodiscard]] std::uint64_t acksSent() const noexcept { return acksSent_; }
+    [[nodiscard]] std::size_t connectionsAccepted() const noexcept { return accepted_; }
+
+  private:
+    void onProbe(net::TcpConnection& conn, util::ByteView probe);
+
+    sim::Simulator& sim_;
+    net::TcpHost& host_;
+    std::uint16_t port_;
+    bool sendAcks_;
+    util::Logger logger_{"ditg.tcprecv"};
+    std::map<net::TcpConnection*, ProbeStream> streams_;
+    mutable std::map<std::uint16_t, ReceiverLog> logs_;
+    std::uint64_t received_ = 0;
+    std::uint64_t acksSent_ = 0;
+    std::size_t accepted_ = 0;
+
+    obs::Counter& receivedMetric_;
+    obs::Counter& acksSentMetric_;
+    obs::Histogram& owdMetric_;
+};
+
+}  // namespace onelab::ditg

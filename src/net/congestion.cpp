@@ -1,0 +1,217 @@
+#include "net/congestion.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace onelab::net {
+
+namespace {
+
+/// RFC 3390 initial window: min(4*MSS, max(2*MSS, 4380 bytes)).
+std::size_t initialWindow(std::size_t mss) noexcept {
+    return std::min(4 * mss, std::max(2 * mss, std::size_t{4380}));
+}
+
+}  // namespace
+
+const char* ccName(CcAlgorithm algorithm) noexcept {
+    switch (algorithm) {
+        case CcAlgorithm::reno: return "reno";
+        case CcAlgorithm::newreno: return "newreno";
+        case CcAlgorithm::cubic: return "cubic";
+    }
+    return "?";
+}
+
+std::optional<CcAlgorithm> ccFromName(std::string_view name) noexcept {
+    if (name == "reno") return CcAlgorithm::reno;
+    if (name == "newreno") return CcAlgorithm::newreno;
+    if (name == "cubic") return CcAlgorithm::cubic;
+    return std::nullopt;
+}
+
+// ---------------------------------------------------- CongestionControl
+
+void CongestionControl::reset(std::size_t mss) {
+    cwnd_ = initialWindow(mss);
+    ssthresh_ = 64 * 1024;
+}
+
+void CongestionControl::onDupAckInRecovery(const CcEvent& event) {
+    cwnd_ += event.mss;  // window inflation: the dupack left the network
+}
+
+void CongestionControl::onExitRecovery(const CcEvent&) { cwnd_ = ssthresh_; }
+
+void CongestionControl::onTimeout(const CcEvent& event) {
+    ssthresh_ = std::max(halvedFlight(event), 2 * event.mss);
+    cwnd_ = event.mss;
+}
+
+std::size_t CongestionControl::halvedFlight(const CcEvent& event) noexcept {
+    return event.inFlight / 2;
+}
+
+// ------------------------------------------------------------- Reno
+
+namespace {
+
+/// RFC 5681. Slow start / AIMD; on the third dupack ssthresh becomes
+/// half the flight and the window inflates for recovery; a PARTIAL ACK
+/// ends recovery immediately — remaining holes must earn their own
+/// dupack threshold or wait for the RTO. That early exit is classic
+/// Reno's signature weakness on multi-loss windows and exactly what
+/// the differential ladder pins against NewReno.
+class RenoCc : public CongestionControl {
+  public:
+    [[nodiscard]] CcAlgorithm algorithm() const noexcept override {
+        return CcAlgorithm::reno;
+    }
+
+    void onAck(const CcEvent& event) override {
+        if (inSlowStart())
+            cwnd_ += std::min(event.bytesAcked, event.mss);
+        else
+            cwnd_ += std::max<std::size_t>(1, event.mss * event.mss / cwnd_);
+    }
+
+    void onEnterRecovery(const CcEvent& event) override {
+        ssthresh_ = std::max(halvedFlight(event), 2 * event.mss);
+        cwnd_ = ssthresh_ + 3 * event.mss;
+    }
+
+    [[nodiscard]] bool onPartialAck(const CcEvent&) override {
+        cwnd_ = ssthresh_;
+        return false;  // leave recovery on the first partial ACK
+    }
+};
+
+/// RFC 6582. Identical to Reno outside recovery; a partial ACK keeps
+/// the connection in recovery, deflates the window by the acked amount
+/// (plus one MSS for the segment that left), and asks for the next
+/// hole to be retransmitted at once.
+class NewRenoCc : public RenoCc {
+  public:
+    [[nodiscard]] CcAlgorithm algorithm() const noexcept override {
+        return CcAlgorithm::newreno;
+    }
+
+    [[nodiscard]] bool onPartialAck(const CcEvent& event) override {
+        const std::size_t deflated =
+            cwnd_ > event.bytesAcked ? cwnd_ - event.bytesAcked : 0;
+        cwnd_ = std::max(deflated + event.mss, event.mss);
+        return true;  // retransmit the hole, stay in recovery
+    }
+};
+
+/// CUBIC-style (RFC 8312 shape): beta 0.7 multiplicative decrease and
+/// cubic regrowth W(t) = C*(t-K)^3 + W_max anchored at the last loss
+/// epoch, with the TCP-friendly region as a floor. Time is the sim
+/// clock carried in CcEvent, so seeded runs stay deterministic. Hole
+/// retransmission on partial ACKs follows NewReno (this stack has no
+/// SACK scoreboard).
+class CubicCc : public CongestionControl {
+  public:
+    static constexpr double kBeta = 0.7;
+    static constexpr double kC = 0.4;  // MSS units per second^3
+
+    [[nodiscard]] CcAlgorithm algorithm() const noexcept override {
+        return CcAlgorithm::cubic;
+    }
+
+    void reset(std::size_t mss) override {
+        CongestionControl::reset(mss);
+        wMaxBytes_ = 0;
+        epochStart_ = -1.0;
+        kSeconds_ = 0.0;
+    }
+
+    void onAck(const CcEvent& event) override {
+        if (inSlowStart()) {
+            cwnd_ += std::min(event.bytesAcked, event.mss);
+            return;
+        }
+        const double mss = double(event.mss);
+        if (epochStart_ < 0.0) {
+            // First congestion-avoidance ACK of this epoch.
+            epochStart_ = event.nowSeconds;
+            if (wMaxBytes_ < cwnd_) wMaxBytes_ = cwnd_;
+            const double wMaxMss = double(wMaxBytes_) / mss;
+            kSeconds_ = std::cbrt(wMaxMss * (1.0 - kBeta) / kC);
+        }
+        const double t = event.nowSeconds - epochStart_;
+        const double wMaxMss = double(wMaxBytes_) / mss;
+        const double shifted = t - kSeconds_;
+        double targetMss = kC * shifted * shifted * shifted + wMaxMss;
+        // TCP-friendly region: never slower than an AIMD flow with the
+        // same loss history (RFC 8312 §4.2).
+        if (event.srttSeconds > 0.0) {
+            const double friendlyMss =
+                wMaxMss * kBeta +
+                (3.0 * (1.0 - kBeta) / (1.0 + kBeta)) * (t / event.srttSeconds);
+            targetMss = std::max(targetMss, friendlyMss);
+        }
+        const auto target = std::size_t(std::max(0.0, targetMss) * mss);
+        if (target > cwnd_) {
+            // Spread the climb over the ACK clock, at most one MSS per ACK.
+            const std::size_t step =
+                (target - cwnd_) * std::max<std::size_t>(event.bytesAcked, 1) /
+                std::max<std::size_t>(cwnd_, 1);
+            cwnd_ += std::clamp<std::size_t>(step, 1, event.mss);
+        }
+    }
+
+    void onEnterRecovery(const CcEvent& event) override {
+        rememberWmax();
+        ssthresh_ = std::max(std::size_t(double(cwnd_) * kBeta), 2 * event.mss);
+        cwnd_ = ssthresh_ + 3 * event.mss;
+        epochStart_ = -1.0;
+    }
+
+    [[nodiscard]] bool onPartialAck(const CcEvent& event) override {
+        const std::size_t deflated =
+            cwnd_ > event.bytesAcked ? cwnd_ - event.bytesAcked : 0;
+        cwnd_ = std::max(deflated + event.mss, event.mss);
+        return true;
+    }
+
+    void onExitRecovery(const CcEvent& event) override {
+        CongestionControl::onExitRecovery(event);
+        epochStart_ = -1.0;
+    }
+
+    void onTimeout(const CcEvent& event) override {
+        rememberWmax();
+        ssthresh_ = std::max(std::size_t(double(cwnd_) * kBeta), 2 * event.mss);
+        cwnd_ = event.mss;
+        epochStart_ = -1.0;
+    }
+
+  private:
+    void rememberWmax() {
+        // Fast convergence: losing below the previous plateau means a
+        // new flow is taking share — concede a little extra.
+        if (cwnd_ < wMaxBytes_)
+            wMaxBytes_ = std::size_t(double(cwnd_) * (1.0 + kBeta) / 2.0);
+        else
+            wMaxBytes_ = cwnd_;
+    }
+
+    std::size_t wMaxBytes_ = 0;
+    double epochStart_ = -1.0;  ///< sim time of the current epoch, <0 = unset
+    double kSeconds_ = 0.0;     ///< time to reach W_max on the cubic curve
+};
+
+}  // namespace
+
+std::unique_ptr<CongestionControl> makeCongestionControl(CcAlgorithm algorithm) {
+    std::unique_ptr<CongestionControl> cc;
+    switch (algorithm) {
+        case CcAlgorithm::reno: cc = std::make_unique<RenoCc>(); break;
+        case CcAlgorithm::newreno: cc = std::make_unique<NewRenoCc>(); break;
+        case CcAlgorithm::cubic: cc = std::make_unique<CubicCc>(); break;
+    }
+    return cc;
+}
+
+}  // namespace onelab::net

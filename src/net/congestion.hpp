@@ -1,0 +1,88 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string_view>
+
+namespace onelab::net {
+
+/// The pluggable congestion-control algorithms the TCP stack ships.
+enum class CcAlgorithm : std::uint8_t {
+    reno,     ///< RFC 5681: fast recovery exits on the first partial ACK
+    newreno,  ///< RFC 6582: stays in recovery, retransmits one hole per partial ACK
+    cubic,    ///< CUBIC-style: beta 0.7, cubic window regrowth toward W_max
+};
+
+inline constexpr std::size_t kCcAlgorithmCount = 3;
+
+[[nodiscard]] const char* ccName(CcAlgorithm algorithm) noexcept;
+[[nodiscard]] std::optional<CcAlgorithm> ccFromName(std::string_view name) noexcept;
+
+/// Snapshot of connection state an algorithm may consult. `bytesAcked`
+/// is what this ACK newly covered (0 on a duplicate), `inFlight` the
+/// outstanding bytes before the ACK was applied, `nowSeconds` the sim
+/// clock (CUBIC's window is a function of time since the last loss).
+struct CcEvent {
+    std::size_t mss = 0;
+    std::size_t bytesAcked = 0;
+    std::size_t inFlight = 0;
+    double nowSeconds = 0.0;
+    double srttSeconds = 0.0;
+};
+
+/// Congestion-control policy for one TcpConnection. The connection
+/// owns loss DETECTION (duplicate-ACK counting, the recovery point,
+/// RTO timers) and asks the policy how the window responds; the policy
+/// owns cwnd/ssthresh. All implementations are deterministic — no
+/// wall clock, no entropy — so seeded runs replay byte-identically.
+class CongestionControl {
+  public:
+    virtual ~CongestionControl() = default;
+
+    [[nodiscard]] virtual CcAlgorithm algorithm() const noexcept = 0;
+    [[nodiscard]] const char* name() const noexcept { return ccName(algorithm()); }
+
+    /// Bytes the connection may keep in flight.
+    [[nodiscard]] std::size_t cwnd() const noexcept { return cwnd_; }
+    [[nodiscard]] std::size_t ssthresh() const noexcept { return ssthresh_; }
+    [[nodiscard]] bool inSlowStart() const noexcept { return cwnd_ < ssthresh_; }
+
+    /// Connection (re)established: initial window per RFC 5681.
+    virtual void reset(std::size_t mss);
+
+    /// Cumulative ACK advancing snd.una while NOT in recovery.
+    virtual void onAck(const CcEvent& event) = 0;
+
+    /// Loss inferred from the duplicate-ACK threshold. Sets ssthresh
+    /// and the inflated recovery window; the connection performs the
+    /// fast retransmit itself.
+    virtual void onEnterRecovery(const CcEvent& event) = 0;
+
+    /// Further duplicate ACK while in recovery (window inflation).
+    virtual void onDupAckInRecovery(const CcEvent& event);
+
+    /// Partial ACK while in recovery (progress short of the recovery
+    /// point). Returns true when the connection should retransmit the
+    /// next hole and STAY in recovery (NewReno/CUBIC), false when
+    /// recovery ends here (classic Reno — the remaining holes must
+    /// earn their own dupack threshold or time out).
+    [[nodiscard]] virtual bool onPartialAck(const CcEvent& event) = 0;
+
+    /// ACK at/above the recovery point: recovery complete, deflate.
+    virtual void onExitRecovery(const CcEvent& event);
+
+    /// Retransmission timeout fired.
+    virtual void onTimeout(const CcEvent& event);
+
+  protected:
+    [[nodiscard]] static std::size_t halvedFlight(const CcEvent& event) noexcept;
+
+    std::size_t cwnd_ = 0;
+    std::size_t ssthresh_ = 64 * 1024;
+};
+
+/// Factory for the built-in algorithms.
+[[nodiscard]] std::unique_ptr<CongestionControl> makeCongestionControl(CcAlgorithm algorithm);
+
+}  // namespace onelab::net

@@ -1,0 +1,97 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace onelab::net {
+
+/// A TCP sequence number: a point on the wrapping 32-bit circle.
+/// All ordering uses RFC 1982-style serial arithmetic — `a < b` means
+/// "a is behind b on the circle", valid whenever the two values are
+/// within 2^31 of each other (always true for live TCP state, where
+/// everything in play fits inside one receive window). Raw uint32_t
+/// comparisons break at the 2^32 wrap; this type makes them
+/// unrepresentable.
+class Seq {
+  public:
+    using value_type = std::uint32_t;
+    using distance_type = std::int32_t;
+
+    constexpr Seq() = default;
+    constexpr explicit Seq(value_type raw) noexcept : raw_(raw) {}
+
+    [[nodiscard]] constexpr value_type value() const noexcept { return raw_; }
+
+    // --- equality and serial-arithmetic ordering ---
+    [[nodiscard]] constexpr bool operator==(const Seq& other) const noexcept {
+        return raw_ == other.raw_;
+    }
+    [[nodiscard]] constexpr bool operator!=(const Seq& other) const noexcept {
+        return raw_ != other.raw_;
+    }
+    [[nodiscard]] constexpr bool operator<(const Seq& other) const noexcept {
+        return distance_type(raw_ - other.raw_) < 0;
+    }
+    [[nodiscard]] constexpr bool operator<=(const Seq& other) const noexcept {
+        return distance_type(raw_ - other.raw_) <= 0;
+    }
+    [[nodiscard]] constexpr bool operator>(const Seq& other) const noexcept {
+        return distance_type(raw_ - other.raw_) > 0;
+    }
+    [[nodiscard]] constexpr bool operator>=(const Seq& other) const noexcept {
+        return distance_type(raw_ - other.raw_) >= 0;
+    }
+
+    // --- advancing along the circle ---
+    constexpr Seq& operator+=(value_type n) noexcept {
+        raw_ += n;
+        return *this;
+    }
+    constexpr Seq& operator-=(value_type n) noexcept {
+        raw_ -= n;
+        return *this;
+    }
+    [[nodiscard]] constexpr Seq operator+(value_type n) const noexcept {
+        return Seq{raw_ + n};
+    }
+    [[nodiscard]] constexpr Seq operator-(value_type n) const noexcept {
+        return Seq{raw_ - n};
+    }
+    constexpr Seq& operator++() noexcept {
+        ++raw_;
+        return *this;
+    }
+    constexpr Seq operator++(int) noexcept {
+        const Seq before = *this;
+        ++raw_;
+        return before;
+    }
+
+    /// Signed distance from `other` to this (positive when this is
+    /// ahead). Only meaningful within 2^31 of each other.
+    [[nodiscard]] constexpr distance_type operator-(const Seq& other) const noexcept {
+        return distance_type(raw_ - other.raw_);
+    }
+
+    /// Half-open window test: *this in [lo, lo + size)?
+    [[nodiscard]] constexpr bool inWindow(Seq lo, value_type size) const noexcept {
+        return value_type(raw_ - lo.raw_) < size;
+    }
+
+    [[nodiscard]] std::string str() const { return std::to_string(raw_); }
+
+  private:
+    value_type raw_ = 0;
+};
+
+/// Ordering functor for associative containers keyed by Seq. Serial
+/// arithmetic is a strict weak ordering only on sets spanning less
+/// than half the circle — exactly what a retransmission queue or
+/// reassembly buffer holds (bounded by the window, far below 2^31).
+struct SeqLess {
+    [[nodiscard]] constexpr bool operator()(const Seq& a, const Seq& b) const noexcept {
+        return a < b;
+    }
+};
+
+}  // namespace onelab::net

@@ -6,14 +6,6 @@ namespace onelab::net {
 
 namespace {
 
-// Wraparound-safe sequence comparisons.
-constexpr bool seqGt(std::uint32_t a, std::uint32_t b) noexcept {
-    return std::int32_t(a - b) > 0;
-}
-constexpr bool seqGe(std::uint32_t a, std::uint32_t b) noexcept {
-    return std::int32_t(a - b) >= 0;
-}
-
 constexpr double kMinRto = 0.2;
 constexpr double kMaxRto = 60.0;
 constexpr int kMaxConsecutiveTimeouts = 8;
@@ -54,12 +46,12 @@ std::uint64_t TcpHost::key(Ipv4Address remote, std::uint16_t remotePort,
 }
 
 TcpConnection* TcpHost::connect(Ipv4Address remote, std::uint16_t remotePort, int sliceXid,
-                                Ipv4Address bindAddress) {
+                                Ipv4Address bindAddress, const TcpOptions& options) {
     std::uint16_t localPort = nextEphemeralPort_++;
     while (connections_.count(key(remote, remotePort, localPort)))
         localPort = nextEphemeralPort_++;
-    auto connection = std::unique_ptr<TcpConnection>(
-        new TcpConnection{*this, bindAddress, localPort, remote, remotePort, sliceXid});
+    auto connection = std::unique_ptr<TcpConnection>(new TcpConnection{
+        *this, bindAddress, localPort, remote, remotePort, sliceXid, options});
     TcpConnection* raw = connection.get();
     connections_[key(remote, remotePort, localPort)] = std::move(connection);
     raw->startConnect();
@@ -68,11 +60,11 @@ TcpConnection* TcpHost::connect(Ipv4Address remote, std::uint16_t remotePort, in
 
 util::Result<void> TcpHost::listen(std::uint16_t port,
                                    std::function<void(TcpConnection&)> onAccept,
-                                   int sliceXid) {
+                                   int sliceXid, const TcpOptions& options) {
     if (listeners_.count(port))
         return util::err(util::Error::Code::busy,
                          "TCP port " + std::to_string(port) + " already listening");
-    listeners_[port] = Listener{std::move(onAccept), sliceXid};
+    listeners_[port] = Listener{std::move(onAccept), sliceXid, options};
     return {};
 }
 
@@ -85,6 +77,19 @@ void TcpHost::destroyConnection(TcpConnection* connection) {
     if (it != connections_.end() && it->second.get() == connection) connections_.erase(it);
 }
 
+std::size_t TcpHost::reapClosed() {
+    std::size_t reaped = 0;
+    for (auto it = connections_.begin(); it != connections_.end();) {
+        if (it->second->state() == TcpState::closed) {
+            it = connections_.erase(it);
+            ++reaped;
+        } else {
+            ++it;
+        }
+    }
+    return reaped;
+}
+
 void TcpHost::dispatch(Packet pkt) {
     const auto it = connections_.find(key(pkt.ip.src, pkt.tcp.srcPort, pkt.tcp.dstPort));
     if (it != connections_.end()) {
@@ -95,9 +100,9 @@ void TcpHost::dispatch(Packet pkt) {
     if (pkt.tcp.has(tcp_flag::syn) && !pkt.tcp.has(tcp_flag::ack)) {
         const auto listener = listeners_.find(pkt.tcp.dstPort);
         if (listener != listeners_.end()) {
-            auto connection = std::unique_ptr<TcpConnection>(
-                new TcpConnection{*this, pkt.ip.dst, pkt.tcp.dstPort, pkt.ip.src,
-                                  pkt.tcp.srcPort, listener->second.sliceXid});
+            auto connection = std::unique_ptr<TcpConnection>(new TcpConnection{
+                *this, pkt.ip.dst, pkt.tcp.dstPort, pkt.ip.src, pkt.tcp.srcPort,
+                listener->second.sliceXid, listener->second.options});
             TcpConnection* raw = connection.get();
             connections_[key(pkt.ip.src, pkt.tcp.srcPort, pkt.tcp.dstPort)] =
                 std::move(connection);
@@ -133,41 +138,78 @@ util::Result<void> TcpHost::transmit(Packet pkt) { return stack_.sendPacket(std:
 // ------------------------------------------------------- TcpConnection
 
 TcpConnection::TcpConnection(TcpHost& host, Ipv4Address localAddr, std::uint16_t localPort,
-                             Ipv4Address remoteAddr, std::uint16_t remotePort, int sliceXid)
+                             Ipv4Address remoteAddr, std::uint16_t remotePort, int sliceXid,
+                             const TcpOptions& options)
     : host_(host),
       log_("tcp.conn." + std::to_string(localPort)),
       localAddr_(localAddr),
       localPort_(localPort),
       remoteAddr_(remoteAddr),
       remotePort_(remotePort),
-      sliceXid_(sliceXid) {
-    iss_ = std::uint32_t(host_.rng_.uniformInt(1, 0x0fffffff));
+      sliceXid_(sliceXid),
+      cc_(makeCongestionControl(options.congestion)),
+      receiveBufferLimit_(std::min(options.receiveBufferBytes, kReceiveWindow)) {
+    iss_ = options.fixedIss
+               ? Seq{*options.fixedIss}
+               : Seq{std::uint32_t(host_.rng_.uniformInt(1, 0x0fffffff))};
     sndUna_ = iss_;
     sndNxt_ = iss_;
+    sndMax_ = iss_;
+    cc_->reset(kMss);
+    syncCcStats();
 }
 
 TcpConnection::~TcpConnection() {
     cancelRto();
+    cancelPersist();
     if (timeWaitTimer_.valid()) host_.sim_.cancel(timeWaitTimer_);
 }
 
 std::size_t TcpConnection::effectiveWindow() const noexcept {
-    return std::min(cwnd_, std::size_t(peerWindow_));
+    return std::min(cc_->cwnd(), std::size_t(peerWindow_));
+}
+
+std::size_t TcpConnection::advertisedWindow() const noexcept {
+    // Only in-order-but-undelivered bytes shrink the window:
+    // out-of-order segments already live inside the window we
+    // advertised (it is measured from rcv.nxt), and charging them
+    // would make every dupack carry a different window — which the
+    // RFC 5681 dupack test rightly rejects as a window update.
+    const std::size_t held = recvBuffer_.size();
+    return held >= receiveBufferLimit_ ? 0 : receiveBufferLimit_ - held;
+}
+
+CcEvent TcpConnection::ccEvent(std::size_t bytesAcked) const {
+    CcEvent event;
+    event.mss = kMss;
+    event.bytesAcked = bytesAcked;
+    event.inFlight = inFlightBytes();
+    event.nowSeconds = sim::toSeconds(host_.sim_.now());
+    event.srttSeconds = srtt_;
+    return event;
+}
+
+void TcpConnection::syncCcStats() {
+    stats_.cwndBytes = cc_->cwnd();
+    stats_.ssthreshBytes = cc_->ssthresh();
+    stats_.rtoSeconds = rto_;
 }
 
 void TcpConnection::startConnect() {
     state_ = TcpState::syn_sent;
     log_.debug() << "SYN-SENT to " << remoteAddr_.str() << ":" << remotePort_;
     sndNxt_ = iss_ + 1;
+    sndMax_ = sndNxt_;
     sendSegment(iss_, {}, tcp_flag::syn);
     armRto();
 }
 
 void TcpConnection::acceptSyn(const Packet& syn) {
     state_ = TcpState::syn_rcvd;
-    rcvNxt_ = syn.tcp.seq + 1;
+    rcvNxt_ = Seq{syn.tcp.seq} + 1;
     peerWindow_ = syn.tcp.window;
     sndNxt_ = iss_ + 1;
+    sndMax_ = sndNxt_;
     sendSegment(iss_, {}, tcp_flag::syn | tcp_flag::ack);
     armRto();
 }
@@ -198,8 +240,8 @@ void TcpConnection::abort() {
     if (finished_) return;
     TcpHeader header;
     header.flags = tcp_flag::rst | tcp_flag::ack;
-    header.seq = sndNxt_;
-    header.ackNumber = rcvNxt_;
+    header.seq = sndNxt_.value();
+    header.ackNumber = rcvNxt_.value();
     Packet rst =
         makeTcpSegment(localAddr_, localPort_, remoteAddr_, remotePort_, header);
     rst.sliceXid = sliceXid_;
@@ -207,12 +249,30 @@ void TcpConnection::abort() {
     finish("aborted");
 }
 
-void TcpConnection::sendSegment(std::uint32_t seq, util::ByteView data, std::uint8_t flags) {
+void TcpConnection::pauseReading() { readPaused_ = true; }
+
+void TcpConnection::resumeReading() {
+    if (!readPaused_) return;
+    readPaused_ = false;
+    const bool wasZero = advertisedWindow() == 0;
+    if (!recvBuffer_.empty()) {
+        util::Bytes drained(recvBuffer_.begin(), recvBuffer_.end());
+        recvBuffer_.clear();
+        deliverToApp(std::move(drained));
+    }
+    deliverInOrder();
+    // Window update: the peer may be persist-probing against zero.
+    if (wasZero && advertisedWindow() > 0 && !finished_ &&
+        state_ != TcpState::syn_sent && state_ != TcpState::closed)
+        sendAck();
+}
+
+void TcpConnection::sendSegment(Seq seq, util::ByteView data, std::uint8_t flags) {
     TcpHeader header;
-    header.seq = seq;
+    header.seq = seq.value();
     header.flags = flags;
-    if (flags & tcp_flag::ack) header.ackNumber = rcvNxt_;
-    header.window = std::uint16_t(kReceiveWindow);
+    if (flags & tcp_flag::ack) header.ackNumber = rcvNxt_.value();
+    header.window = std::uint16_t(std::min(advertisedWindow(), std::size_t{0xffff}));
     Packet pkt = makeTcpSegment(localAddr_, localPort_, remoteAddr_, remotePort_, header,
                                 util::Bytes{data.begin(), data.end()});
     pkt.sliceXid = sliceXid_;
@@ -240,29 +300,45 @@ void TcpConnection::trySend() {
         util::Bytes segment(sendBuffer_.begin(), sendBuffer_.begin() + long(take));
         sendBuffer_.erase(sendBuffer_.begin(), sendBuffer_.begin() + long(take));
 
-        const std::uint32_t seq = sndNxt_;
+        const Seq seq = sndNxt_;
         unacked_[seq] = segment;
         sndNxt_ += std::uint32_t(take);
+        const bool isRetransmission = seq < sndMax_;
+        if (isRetransmission) ++stats_.retransmissions;
+        if (sndNxt_ > sndMax_) sndMax_ = sndNxt_;
         sendSegment(seq, {segment.data(), segment.size()},
                     tcp_flag::ack | tcp_flag::psh);
         sentAnything = true;
-        // One RTT sample in flight at a time (Karn's algorithm).
-        if (rttSampleSeq_ == 0) {
+        // One RTT sample in flight at a time; never time a
+        // retransmitted range (Karn's algorithm).
+        if (!rttSampleSeq_ && !isRetransmission) {
             rttSampleSeq_ = seq + std::uint32_t(take);
             rttSampleSentAt_ = host_.sim_.now();
         }
     }
 
-    // FIN once the buffer has drained.
+    // FIN once the buffer has drained. The FIN is not subject to the
+    // peer window (it carries no data) — avoids a close deadlock
+    // against a zero window.
     if (finQueued_ && !finSent_ && sendBuffer_.empty()) {
         finSeq_ = sndNxt_;
         sndNxt_ += 1;
         finSent_ = true;
+        if (finSeq_ < sndMax_) ++stats_.retransmissions;
+        if (sndNxt_ > sndMax_) sndMax_ = sndNxt_;
         sendSegment(finSeq_, {}, tcp_flag::fin | tcp_flag::ack);
         sentAnything = true;
         if (state_ == TcpState::established) state_ = TcpState::fin_wait_1;
         else if (state_ == TcpState::close_wait) state_ = TcpState::last_ack;
         log_.debug() << "FIN sent, " << tcpStateName(state_);
+    }
+
+    // Zero window with data pending: hand the clock to the persist
+    // timer (the RTO would only re-send into a closed window).
+    if (peerWindow_ == 0 && (!sendBuffer_.empty() || !unacked_.empty())) {
+        cancelRto();
+        armPersist();
+        return;
     }
 
     if (sentAnything && !rtoTimer_.valid()) armRto();
@@ -281,8 +357,22 @@ void TcpConnection::cancelRto() {
     rtoTimer_ = {};
 }
 
+void TcpConnection::retransmitFirstUnacked() {
+    const auto first = unacked_.begin();
+    if (first == unacked_.end()) return;
+    ++stats_.retransmissions;
+    rttSampleSeq_.reset();  // Karn: never time a retransmitted segment
+    sendSegment(first->first, {first->second.data(), first->second.size()},
+                tcp_flag::ack | tcp_flag::psh);
+}
+
 void TcpConnection::onRtoFire() {
     if (finished_) return;
+    if (peerWindow_ == 0 && state_ != TcpState::syn_sent && state_ != TcpState::syn_rcvd &&
+        (!unacked_.empty() || !sendBuffer_.empty())) {
+        armPersist();  // stall is flow control, not loss
+        return;
+    }
     ++stats_.timeouts;
     // Exponential backoff; give up after too many in a row (the
     // counter resets on any forward ACK progress).
@@ -291,25 +381,88 @@ void TcpConnection::onRtoFire() {
         finish("retransmission limit reached");
         return;
     }
-    rttSampleSeq_ = 0;  // Karn: no sample across retransmission
+    rttSampleSeq_.reset();  // Karn: no sample across retransmission
     dupAcks_ = 0;
     inFastRecovery_ = false;
-    ssthresh_ = std::max(inFlightBytes() / 2, 2 * kMss);
-    cwnd_ = kMss;
+    cc_->onTimeout(ccEvent(0));
+    syncCcStats();
 
     if (state_ == TcpState::syn_sent) {
         sendSegment(iss_, {}, tcp_flag::syn);
     } else if (state_ == TcpState::syn_rcvd) {
         sendSegment(iss_, {}, tcp_flag::syn | tcp_flag::ack);
-    } else if (!unacked_.empty()) {
-        ++stats_.retransmissions;
-        const auto first = unacked_.begin();
-        sendSegment(first->first, {first->second.data(), first->second.size()},
-                    tcp_flag::ack | tcp_flag::psh);
-    } else if (finSent_ && seqGe(finSeq_, sndUna_)) {
-        sendSegment(finSeq_, {}, tcp_flag::fin | tcp_flag::ack);
+    } else if (!unacked_.empty() || (finSent_ && finSeq_ >= sndUna_)) {
+        // Go-back-N: everything past snd.una is presumed lost. Re-queue
+        // it as unsent and let the collapsed window clock it back out —
+        // a lone first-segment retransmit would leave a multi-loss
+        // window crawling at one segment per backed-off RTO.
+        util::Bytes requeue;
+        for (const auto& [seq, data] : unacked_) {
+            const Seq segEnd = seq + std::uint32_t(data.size());
+            if (segEnd <= sndUna_) continue;  // fully covered (stale)
+            // A window-clamped receiver can ack mid-segment.
+            const std::size_t skip =
+                seq < sndUna_ ? std::size_t(sndUna_ - seq) : 0;
+            requeue.insert(requeue.end(), data.begin() + long(skip), data.end());
+        }
+        unacked_.clear();
+        sendBuffer_.insert(sendBuffer_.begin(), requeue.begin(), requeue.end());
+        finSent_ = false;  // trySend re-emits the FIN after the data
+        sndNxt_ = sndUna_;
+        trySend();
     }
-    armRto();
+    if (!persistTimer_.valid()) armRto();
+}
+
+void TcpConnection::armPersist() {
+    if (persistTimer_.valid() || finished_) return;
+    if (persistInterval_ <= 0.0) persistInterval_ = std::clamp(rto_, kMinRto, kMaxRto);
+    persistTimer_ = host_.sim_.schedule(sim::seconds(persistInterval_), [this] {
+        persistTimer_ = {};
+        onPersistFire();
+    });
+}
+
+void TcpConnection::cancelPersist() {
+    if (persistTimer_.valid()) host_.sim_.cancel(persistTimer_);
+    persistTimer_ = {};
+    persistInterval_ = 0.0;
+}
+
+void TcpConnection::onPersistFire() {
+    if (finished_) return;
+    if (peerWindow_ > 0) {
+        persistInterval_ = 0.0;
+        trySend();
+        return;
+    }
+    // Send a 1-byte probe: the ACK it elicits carries the current
+    // window, so an opened window is never missed (the window-update
+    // ACK itself may be lost — pure ACKs are unreliable).
+    ++stats_.zeroWindowProbes;
+    if (!unacked_.empty()) {
+        const auto first = unacked_.begin();
+        sendSegment(first->first, {first->second.data(), 1},
+                    tcp_flag::ack | tcp_flag::psh);
+    } else if (!sendBuffer_.empty()) {
+        util::Bytes probe{sendBuffer_.front()};
+        sendBuffer_.pop_front();
+        const Seq seq = sndNxt_;
+        unacked_[seq] = probe;
+        sndNxt_ += 1;
+        if (sndNxt_ > sndMax_) sndMax_ = sndNxt_;
+        sendSegment(seq, {probe.data(), probe.size()}, tcp_flag::ack | tcp_flag::psh);
+    } else if (finSent_ && finSeq_ >= sndUna_) {
+        sendSegment(finSeq_, {}, tcp_flag::fin | tcp_flag::ack);
+    } else {
+        persistInterval_ = 0.0;
+        return;  // nothing left to probe for
+    }
+    persistInterval_ = std::min(persistInterval_ * 2.0, kMaxRto);
+    persistTimer_ = host_.sim_.schedule(sim::seconds(persistInterval_), [this] {
+        persistTimer_ = {};
+        onPersistFire();
+    });
 }
 
 void TcpConnection::updateRtt(double sampleSeconds) {
@@ -322,67 +475,93 @@ void TcpConnection::updateRtt(double sampleSeconds) {
     }
     rto_ = std::clamp(srtt_ + 4.0 * rttvar_, kMinRto, kMaxRto);
     stats_.srttSeconds = srtt_;
+    stats_.rtoSeconds = rto_;
 }
 
 void TcpConnection::handleAck(const Packet& pkt) {
-    const std::uint32_t ack = pkt.tcp.ackNumber;
+    const Seq ack{pkt.tcp.ackNumber};
+    const std::uint32_t previousWindow = peerWindow_;
     peerWindow_ = pkt.tcp.window;
+    if (peerWindow_ > 0 && persistTimer_.valid()) cancelPersist();
 
-    if (seqGt(ack, sndNxt_)) return;  // acks data we never sent
+    if (ack > sndMax_) return;  // acks data we never sent
 
-    if (seqGt(ack, sndUna_)) {
+    if (ack > sndUna_) {
         consecutiveTimeouts_ = 0;
-        const std::uint32_t newlyAcked = ack - sndUna_;
+        if (ack > sndNxt_) {
+            // The ack covers bytes a go-back-N rollback re-queued as
+            // unsent — the receiver already has them (our retransmit
+            // crossed its ack). Consume them from the send buffer and
+            // jump snd.nxt forward instead of discarding the ack.
+            const std::size_t skip = std::size_t(ack - sndNxt_);
+            const std::size_t drop = std::min(skip, sendBuffer_.size());
+            sendBuffer_.erase(sendBuffer_.begin(), sendBuffer_.begin() + long(drop));
+            if (skip > drop && finQueued_ && !finSent_) {
+                // The rolled-back FIN was acked too; restore its seat
+                // so the normal teardown bookkeeping below fires.
+                finSent_ = true;
+                finSeq_ = ack - 1;
+            }
+            sndNxt_ = ack;
+        }
+        const std::size_t newlyAcked = std::size_t(ack - sndUna_);
         stats_.bytesAcked += newlyAcked;
+        const CcEvent event = ccEvent(newlyAcked);  // flight BEFORE this ACK
 
         // RTT sample (only if the timed segment is covered, Karn-safe).
-        if (rttSampleSeq_ != 0 && seqGe(ack, rttSampleSeq_)) {
+        if (rttSampleSeq_ && ack >= *rttSampleSeq_) {
             updateRtt(sim::toSeconds(host_.sim_.now() - rttSampleSentAt_));
-            rttSampleSeq_ = 0;
+            rttSampleSeq_.reset();
         }
 
         // Drop fully acknowledged segments.
         for (auto it = unacked_.begin(); it != unacked_.end();) {
-            if (seqGe(ack, it->first + std::uint32_t(it->second.size())))
+            if (ack >= it->first + std::uint32_t(it->second.size()))
                 it = unacked_.erase(it);
             else
                 break;
         }
 
         if (inFastRecovery_) {
-            if (seqGe(ack, recover_)) {
+            if (ack >= recover_) {
+                cc_->onExitRecovery(event);
                 inFastRecovery_ = false;
-                cwnd_ = ssthresh_;
                 dupAcks_ = 0;
-            } else {
-                // NewReno partial ACK: retransmit the next hole.
+            } else if (cc_->onPartialAck(event)) {
+                // NewReno-style: retransmit the next hole, stay in.
                 const auto first = unacked_.find(ack);
                 if (first != unacked_.end()) {
                     ++stats_.retransmissions;
-                    sendSegment(first->first, {first->second.data(), first->second.size()},
+                    rttSampleSeq_.reset();
+                    sendSegment(first->first,
+                                {first->second.data(), first->second.size()},
                                 tcp_flag::ack | tcp_flag::psh);
                 }
+            } else {
+                // Classic Reno: the first partial ACK ends recovery.
+                inFastRecovery_ = false;
+                dupAcks_ = 0;
             }
         } else {
             dupAcks_ = 0;
-            if (cwnd_ < ssthresh_)
-                cwnd_ += std::min<std::size_t>(newlyAcked, kMss);  // slow start
-            else
-                cwnd_ += std::max<std::size_t>(1, kMss * kMss / cwnd_);  // AIMD
+            cc_->onAck(event);
         }
+        syncCcStats();
 
         sndUna_ = ack;
         if (sndUna_ == sndNxt_)
             cancelRto();
-        else
+        else if (peerWindow_ > 0)
             armRto();
+        else
+            cancelRto();  // trySend hands off to the persist timer
 
         // Teardown bookkeeping.
-        if (state_ == TcpState::syn_rcvd && seqGe(ack, iss_ + 1)) {
+        if (state_ == TcpState::syn_rcvd && ack >= iss_ + 1) {
             state_ = TcpState::established;
             if (onConnected) onConnected();
         }
-        if (finSent_ && seqGt(ack, finSeq_)) {
+        if (finSent_ && ack > finSeq_) {
             if (state_ == TcpState::fin_wait_1)
                 state_ = peerFinReceived_ ? TcpState::time_wait : TcpState::fin_wait_2;
             else if (state_ == TcpState::closing)
@@ -397,46 +576,111 @@ void TcpConnection::handleAck(const Packet& pkt) {
         return;
     }
 
-    // Duplicate ACK.
+    // Duplicate ACK (RFC 5681 definition: no data, no SYN/FIN, no
+    // window change — a pure window update must not feed the
+    // fast-retransmit counter). A zero-window ACK never counts either:
+    // while the peer advertises zero the repeat ACKs are persist-probe
+    // answers (flow control), not evidence of loss, and feeding them
+    // to the counter would fire a bogus fast retransmit mid-persist.
     if (ack == sndUna_ && pkt.payload.empty() && !pkt.tcp.has(tcp_flag::syn) &&
-        !pkt.tcp.has(tcp_flag::fin) && inFlightBytes() > 0) {
+        !pkt.tcp.has(tcp_flag::fin) && pkt.tcp.window == previousWindow &&
+        peerWindow_ > 0 && inFlightBytes() > 0) {
         ++dupAcks_;
+        ++stats_.dupAcksSeen;
         if (dupAcks_ == 3 && !inFastRecovery_) {
             ++stats_.fastRetransmits;
-            ++stats_.retransmissions;
-            ssthresh_ = std::max(inFlightBytes() / 2, 2 * kMss);
-            cwnd_ = ssthresh_ + 3 * kMss;
+            cc_->onEnterRecovery(ccEvent(0));
             inFastRecovery_ = true;
             recover_ = sndNxt_;
-            const auto first = unacked_.begin();
-            if (first != unacked_.end())
-                sendSegment(first->first, {first->second.data(), first->second.size()},
-                            tcp_flag::ack | tcp_flag::psh);
+            retransmitFirstUnacked();
+            syncCcStats();
+            armRto();
         } else if (inFastRecovery_) {
-            cwnd_ += kMss;  // window inflation per extra dupack
+            cc_->onDupAckInRecovery(ccEvent(0));  // inflation
+            syncCcStats();
             trySend();
         }
     }
 }
 
-void TcpConnection::deliverInOrder() {
-    bool advanced = true;
-    while (advanced) {
-        advanced = false;
-        const auto it = outOfOrder_.find(rcvNxt_);
-        if (it != outOfOrder_.end()) {
-            util::Bytes data = std::move(it->second);
-            outOfOrder_.erase(it);
-            rcvNxt_ += std::uint32_t(data.size());
-            stats_.bytesReceived += data.size();
-            if (onData) onData({data.data(), data.size()});
-            advanced = true;
-        }
+void TcpConnection::deliverToApp(util::Bytes data) {
+    if (data.empty()) return;
+    if (readPaused_) {
+        recvBuffer_.insert(recvBuffer_.end(), data.begin(), data.end());
+        return;
     }
+    stats_.bytesReceived += data.size();
+    if (onData) onData({data.data(), data.size()});
+}
+
+void TcpConnection::deliverInOrder() {
+    while (!outOfOrder_.empty()) {
+        const auto it = outOfOrder_.begin();
+        const Seq segEnd = it->first + std::uint32_t(it->second.size());
+        if (segEnd <= rcvNxt_) {
+            // Entirely duplicate (e.g. a retransmission raced a
+            // reordered original).
+            outOfOrderBytes_ -= it->second.size();
+            outOfOrder_.erase(it);
+            continue;
+        }
+        if (it->first > rcvNxt_) break;  // still a hole
+        const std::size_t skip = std::size_t(rcvNxt_ - it->first);
+        util::Bytes data = std::move(it->second);
+        outOfOrderBytes_ -= data.size();
+        outOfOrder_.erase(it);
+        if (skip > 0) data.erase(data.begin(), data.begin() + long(skip));
+        rcvNxt_ += std::uint32_t(data.size());
+        deliverToApp(std::move(data));
+    }
+}
+
+void TcpConnection::acceptPayload(const Packet& pkt) {
+    const Seq seq{pkt.tcp.seq};
+    const Seq segEnd = seq + std::uint32_t(pkt.payload.size());
+
+    if (rcvNxt_ >= segEnd) {
+        sendAck();  // entirely old: re-ack
+        return;
+    }
+    if (seq <= rcvNxt_) {
+        // Usable (possibly partially old) segment; honor the window
+        // we advertised — excess bytes are dropped and the sender's
+        // persist machinery will retry them.
+        const std::size_t skip = std::size_t(rcvNxt_ - seq);
+        const std::size_t freshBytes = pkt.payload.size() - skip;
+        const std::size_t take = std::min(freshBytes, advertisedWindow());
+        if (take > 0) {
+            util::Bytes fresh(pkt.payload.begin() + long(skip),
+                              pkt.payload.begin() + long(skip + take));
+            rcvNxt_ += std::uint32_t(take);
+            deliverToApp(std::move(fresh));
+            deliverInOrder();
+        }
+        sendAck();
+        return;
+    }
+    // Future segment: buffer for reassembly if it fits the advertised
+    // window; the ACK below doubles as a duplicate ACK telling the
+    // sender about the hole.
+    const std::size_t ahead = std::size_t(segEnd - rcvNxt_);
+    if (ahead <= advertisedWindow() && outOfOrder_.size() < 256 &&
+        !outOfOrder_.count(seq)) {
+        outOfOrderBytes_ += pkt.payload.size();
+        outOfOrder_.emplace(seq, pkt.payload);
+    }
+    sendAck();
 }
 
 void TcpConnection::segmentArrived(const Packet& pkt) {
     if (finished_) return;
+
+    // Latch the source address the peer actually reached us at, as a
+    // connect-time bind would. Without this the stack re-resolves the
+    // source per segment, and a mid-connection route change (e.g. the
+    // supervisor parking UMTS routes onto the wired path) would flip
+    // the 4-tuple and draw an RST from the peer.
+    if (localAddr_.isUnspecified()) localAddr_ = pkt.ip.dst;
 
     if (pkt.tcp.has(tcp_flag::rst)) {
         log_.info() << "connection reset by peer";
@@ -446,9 +690,9 @@ void TcpConnection::segmentArrived(const Packet& pkt) {
 
     if (state_ == TcpState::syn_sent) {
         if (pkt.tcp.has(tcp_flag::syn) && pkt.tcp.has(tcp_flag::ack) &&
-            pkt.tcp.ackNumber == iss_ + 1) {
-            rcvNxt_ = pkt.tcp.seq + 1;
-            sndUna_ = pkt.tcp.ackNumber;
+            Seq{pkt.tcp.ackNumber} == iss_ + 1) {
+            rcvNxt_ = Seq{pkt.tcp.seq} + 1;
+            sndUna_ = Seq{pkt.tcp.ackNumber};
             peerWindow_ = pkt.tcp.window;
             state_ = TcpState::established;
             cancelRto();
@@ -465,31 +709,11 @@ void TcpConnection::segmentArrived(const Packet& pkt) {
     if (pkt.tcp.has(tcp_flag::ack)) handleAck(pkt);
     if (finished_) return;
 
-    // In-window data processing.
-    if (!pkt.payload.empty()) {
-        const std::uint32_t seq = pkt.tcp.seq;
-        if (seqGe(rcvNxt_, seq + std::uint32_t(pkt.payload.size()))) {
-            // Entirely old: re-ack.
-            sendAck();
-        } else {
-            if (seq == rcvNxt_ || seqGt(rcvNxt_, seq)) {
-                // Usable (possibly partially old) segment.
-                const std::uint32_t skip = rcvNxt_ - seq;
-                util::Bytes fresh(pkt.payload.begin() + skip, pkt.payload.end());
-                rcvNxt_ += std::uint32_t(fresh.size());
-                stats_.bytesReceived += fresh.size();
-                if (onData) onData({fresh.data(), fresh.size()});
-                deliverInOrder();
-            } else if (outOfOrder_.size() < 256) {
-                outOfOrder_.emplace(seq, pkt.payload);
-            }
-            sendAck();
-        }
-    }
+    if (!pkt.payload.empty()) acceptPayload(pkt);
 
     // FIN processing (consumes one sequence number after the data).
     if (pkt.tcp.has(tcp_flag::fin)) {
-        const std::uint32_t finSeq = pkt.tcp.seq + std::uint32_t(pkt.payload.size());
+        const Seq finSeq = Seq{pkt.tcp.seq} + std::uint32_t(pkt.payload.size());
         if (finSeq == rcvNxt_ && !peerFinReceived_) {
             peerFinReceived_ = true;
             peerFinSeq_ = finSeq;
@@ -511,16 +735,17 @@ void TcpConnection::segmentArrived(const Packet& pkt) {
                     break;
             }
             log_.debug() << "peer FIN, " << tcpStateName(state_);
-        } else if (seqGt(rcvNxt_, finSeq)) {
+        } else if (rcvNxt_ > finSeq) {
             sendAck();  // duplicate FIN
         }
     }
 
-    stats_.cwndBytes = cwnd_;
+    syncCcStats();
 }
 
 void TcpConnection::enterTimeWait() {
     cancelRto();
+    cancelPersist();
     if (timeWaitTimer_.valid()) host_.sim_.cancel(timeWaitTimer_);
     timeWaitTimer_ = host_.sim_.schedule(kTimeWait, [this] {
         timeWaitTimer_ = {};
@@ -533,6 +758,7 @@ void TcpConnection::finish(const char* reason) {
     finished_ = true;
     state_ = TcpState::closed;
     cancelRto();
+    cancelPersist();
     if (timeWaitTimer_.valid()) host_.sim_.cancel(timeWaitTimer_);
     log_.info() << "finished: " << reason;
     if (onClosed) onClosed();

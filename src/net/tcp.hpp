@@ -5,7 +5,10 @@
 #include <functional>
 #include <map>
 #include <memory>
+#include <optional>
 
+#include "net/congestion.hpp"
+#include "net/seq.hpp"
 #include "net/stack.hpp"
 #include "util/rand.hpp"
 
@@ -37,18 +40,34 @@ struct TcpStats {
     std::uint64_t retransmissions = 0;
     std::uint64_t fastRetransmits = 0;
     std::uint64_t timeouts = 0;
+    std::uint64_t dupAcksSeen = 0;
+    std::uint64_t zeroWindowProbes = 0;  ///< persist-timer probes sent
     double srttSeconds = 0.0;
+    double rtoSeconds = 0.0;
     std::size_t cwndBytes = 0;
+    std::size_t ssthreshBytes = 0;
+};
+
+/// Per-connection knobs. Defaults reproduce the stock stack; tests pin
+/// the ISS to script exact sequence ranges (e.g. across the 2^32 wrap)
+/// and benches select the congestion-control algorithm.
+struct TcpOptions {
+    CcAlgorithm congestion = CcAlgorithm::newreno;
+    std::optional<std::uint32_t> fixedIss;  ///< deterministic ISS override
+    std::size_t receiveBufferBytes = 65535;  ///< advertised-window ceiling
 };
 
 class TcpHost;
 
-/// One TCP connection: NewReno-style congestion control (slow start,
-/// congestion avoidance, fast retransmit/recovery), RFC 6298 RTO,
-/// cumulative ACKs with out-of-order reassembly, graceful FIN
-/// teardown and RST handling. No options (fixed 1460-byte MSS, no
-/// SACK, no window scaling — the 64 KB receive window is plenty for a
-/// 2008 UMTS BDP and exactly what makes bufferbloat visible).
+/// One TCP connection: pluggable congestion control (Reno / NewReno /
+/// CUBIC-style via net::CongestionControl), RFC 6298 RTO with Karn's
+/// rule and exponential backoff, fast retransmit/recovery, cumulative
+/// ACKs with out-of-order reassembly, receive-window flow control with
+/// zero-window persist probes, graceful FIN teardown and RST handling.
+/// No options on the wire (fixed 1460-byte MSS, no SACK, no window
+/// scaling — the 64 KB receive window is plenty for a 2008 UMTS BDP
+/// and exactly what makes bufferbloat visible). All sequence-number
+/// state is net::Seq, so behaviour is identical across the 2^32 wrap.
 class TcpConnection {
   public:
     static constexpr std::size_t kMss = 1460;
@@ -67,6 +86,14 @@ class TcpConnection {
     /// Abort with RST.
     void abort();
 
+    /// Receive-side flow control: while paused, in-order payload
+    /// accumulates in the receive buffer and the advertised window
+    /// shrinks (to zero once full — the peer then persist-probes).
+    void pauseReading();
+    /// Deliver buffered payload and re-open the window (a window
+    /// update ACK is sent if the window was zero).
+    void resumeReading();
+
     [[nodiscard]] TcpState state() const noexcept { return state_; }
     [[nodiscard]] bool isEstablished() const noexcept {
         return state_ == TcpState::established;
@@ -76,8 +103,23 @@ class TcpConnection {
     [[nodiscard]] std::uint16_t localPort() const noexcept { return localPort_; }
     [[nodiscard]] Ipv4Address remoteAddress() const noexcept { return remoteAddr_; }
     [[nodiscard]] std::uint16_t remotePort() const noexcept { return remotePort_; }
+    /// VNET+ slice tag carried by every segment of this connection.
+    [[nodiscard]] int sliceXid() const noexcept { return sliceXid_; }
     [[nodiscard]] std::size_t unsentBytes() const noexcept { return sendBuffer_.size(); }
-    [[nodiscard]] std::size_t inFlightBytes() const noexcept { return sndNxt_ - sndUna_; }
+    [[nodiscard]] std::size_t inFlightBytes() const noexcept {
+        return std::size_t(sndNxt_ - sndUna_);
+    }
+
+    // --- introspection (test ladder / benches) ---
+    [[nodiscard]] const CongestionControl& congestion() const noexcept { return *cc_; }
+    [[nodiscard]] Seq iss() const noexcept { return iss_; }
+    [[nodiscard]] Seq sndUna() const noexcept { return sndUna_; }
+    [[nodiscard]] Seq sndNxt() const noexcept { return sndNxt_; }
+    [[nodiscard]] Seq rcvNxt() const noexcept { return rcvNxt_; }
+    [[nodiscard]] std::uint32_t peerWindow() const noexcept { return peerWindow_; }
+    [[nodiscard]] std::size_t advertisedWindow() const noexcept;
+    [[nodiscard]] double currentRto() const noexcept { return rto_; }
+    [[nodiscard]] bool inFastRecovery() const noexcept { return inFastRecovery_; }
 
     // --- application callbacks ---
     std::function<void()> onConnected;
@@ -88,22 +130,31 @@ class TcpConnection {
   private:
     friend class TcpHost;
     TcpConnection(TcpHost& host, Ipv4Address localAddr, std::uint16_t localPort,
-                  Ipv4Address remoteAddr, std::uint16_t remotePort, int sliceXid);
+                  Ipv4Address remoteAddr, std::uint16_t remotePort, int sliceXid,
+                  const TcpOptions& options);
 
     void startConnect();
     void acceptSyn(const Packet& syn);
     void segmentArrived(const Packet& pkt);
     void trySend();
-    void sendSegment(std::uint32_t seq, util::ByteView data, std::uint8_t flags);
+    void sendSegment(Seq seq, util::ByteView data, std::uint8_t flags);
     void sendAck();
     void armRto();
     void cancelRto();
     void onRtoFire();
+    void armPersist();
+    void cancelPersist();
+    void onPersistFire();
     void handleAck(const Packet& pkt);
+    void acceptPayload(const Packet& pkt);
+    void deliverToApp(util::Bytes data);
     void deliverInOrder();
+    void retransmitFirstUnacked();
     void enterTimeWait();
     void finish(const char* reason);
     [[nodiscard]] std::size_t effectiveWindow() const noexcept;
+    [[nodiscard]] CcEvent ccEvent(std::size_t bytesAcked) const;
+    void syncCcStats();
     void updateRtt(double sampleSeconds);
 
     TcpHost& host_;
@@ -117,21 +168,22 @@ class TcpConnection {
 
     // Send side.
     std::deque<std::uint8_t> sendBuffer_;  ///< unsent application bytes
-    std::map<std::uint32_t, util::Bytes> unacked_;  ///< seq -> segment payload
-    std::uint32_t iss_ = 0;
-    std::uint32_t sndUna_ = 0;
-    std::uint32_t sndNxt_ = 0;
+    std::map<Seq, util::Bytes, SeqLess> unacked_;  ///< seq -> segment payload
+    Seq iss_;
+    Seq sndUna_;
+    Seq sndNxt_;
+    Seq sndMax_;  ///< highest seq ever sent; below it = retransmission
     std::uint32_t peerWindow_ = kReceiveWindow;
     bool finQueued_ = false;
     bool finSent_ = false;
-    std::uint32_t finSeq_ = 0;
+    Seq finSeq_;
 
-    // Congestion control.
-    std::size_t cwnd_ = 2 * kMss;
-    std::size_t ssthresh_ = 64 * 1024;
+    // Congestion control: the policy owns cwnd/ssthresh, the
+    // connection owns loss detection.
+    std::unique_ptr<CongestionControl> cc_;
     int dupAcks_ = 0;
     bool inFastRecovery_ = false;
-    std::uint32_t recover_ = 0;
+    Seq recover_;
 
     // RTO (RFC 6298).
     double srtt_ = 0.0;
@@ -139,14 +191,22 @@ class TcpConnection {
     double rto_ = 1.0;
     int consecutiveTimeouts_ = 0;
     sim::EventHandle rtoTimer_;
-    std::uint32_t rttSampleSeq_ = 0;   ///< segment being timed (0 = none)
+    std::optional<Seq> rttSampleSeq_;  ///< end-seq of the timed segment
     sim::SimTime rttSampleSentAt_{};
 
+    // Zero-window persist (RFC 1122 §4.2.2.17).
+    sim::EventHandle persistTimer_;
+    double persistInterval_ = 0.0;
+
     // Receive side.
-    std::uint32_t rcvNxt_ = 0;
-    std::map<std::uint32_t, util::Bytes> outOfOrder_;
+    Seq rcvNxt_;
+    std::map<Seq, util::Bytes, SeqLess> outOfOrder_;
+    std::size_t outOfOrderBytes_ = 0;
+    std::size_t receiveBufferLimit_ = kReceiveWindow;
+    std::deque<std::uint8_t> recvBuffer_;  ///< in-order, undelivered (paused)
+    bool readPaused_ = false;
     bool peerFinReceived_ = false;
-    std::uint32_t peerFinSeq_ = 0;
+    Seq peerFinSeq_;
 
     sim::EventHandle timeWaitTimer_;
     TcpStats stats_;
@@ -167,17 +227,25 @@ class TcpHost {
     /// owned by the host (valid until closed + destroyed via
     /// destroyConnection or host teardown).
     TcpConnection* connect(Ipv4Address remote, std::uint16_t remotePort,
-                           int sliceXid = 0, Ipv4Address bindAddress = {});
+                           int sliceXid = 0, Ipv4Address bindAddress = {},
+                           const TcpOptions& options = {});
 
     /// Passive open: accept connections on `port`. The callback
-    /// receives each new connection once it is established.
+    /// receives each new connection once it is established; `options`
+    /// applies to every accepted connection.
     util::Result<void> listen(std::uint16_t port,
                               std::function<void(TcpConnection&)> onAccept,
-                              int sliceXid = 0);
+                              int sliceXid = 0, const TcpOptions& options = {});
     void stopListening(std::uint16_t port);
 
     /// Destroy a fully closed connection (frees resources early).
     void destroyConnection(TcpConnection* connection);
+
+    /// Destroy every connection that has reached CLOSED (normal close,
+    /// reset, or failure) and return how many were reaped. Lets soak
+    /// waves rebind ports deterministically between waves once
+    /// TIME-WAIT has drained.
+    std::size_t reapClosed();
 
     [[nodiscard]] std::size_t connectionCount() const noexcept { return connections_.size(); }
     [[nodiscard]] std::uint64_t rstsSent() const noexcept { return rstsSent_; }
@@ -187,6 +255,7 @@ class TcpHost {
     struct Listener {
         std::function<void(TcpConnection&)> onAccept;
         int sliceXid;
+        TcpOptions options;
     };
 
     void dispatch(Packet pkt);

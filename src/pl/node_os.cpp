@@ -4,6 +4,7 @@ namespace onelab::pl {
 
 NodeOs::NodeOs(sim::Simulator& simulator, std::string hostname)
     : hostname_(std::move(hostname)),
+      sim_(simulator),
       stack_(simulator, hostname_),
       rootShell_(stack_) {
     installPaperModuleSet(modules_);
@@ -67,6 +68,21 @@ util::Result<net::UdpSocket*> NodeOs::openSliceUdp(const Slice& slice, std::uint
 
 util::Result<net::UdpSocket*> NodeOs::openRootUdp(std::uint16_t port) {
     return stack_.openUdp(0, port);
+}
+
+net::TcpHost& NodeOs::tcp() {
+    if (!tcp_) {
+        // FNV-1a over the hostname: stable across builds and shards,
+        // so ISS draws and ephemeral ports are a pure function of the
+        // node's identity.
+        std::uint64_t seed = 1469598103934665603ull;
+        for (const char c : hostname_) {
+            seed ^= std::uint8_t(c);
+            seed *= 1099511628211ull;
+        }
+        tcp_ = std::make_unique<net::TcpHost>(sim_, stack_, util::RandomStream{seed});
+    }
+    return *tcp_;
 }
 
 }  // namespace onelab::pl

@@ -5,6 +5,7 @@
 #include <string>
 
 #include "net/stack.hpp"
+#include "net/tcp.hpp"
 #include "pl/kernel_modules.hpp"
 #include "pl/slice.hpp"
 #include "pl/vsys.hpp"
@@ -52,9 +53,17 @@ class NodeOs {
     /// Root-context socket (xid 0).
     util::Result<net::UdpSocket*> openRootUdp(std::uint16_t port = 0);
 
+    /// The node's shared TCP layer (lazily created; seeded from the
+    /// hostname so fleets stay deterministic). VNET+ slice tagging is
+    /// per connection: pass `sliceContext(slice).xid()` to connect() /
+    /// listen(), exactly as openSliceUdp tags its socket.
+    [[nodiscard]] net::TcpHost& tcp();
+
   private:
     std::string hostname_;
+    sim::Simulator& sim_;
     net::NetworkStack stack_;
+    std::unique_ptr<net::TcpHost> tcp_;
     Vsys vsys_;
     tools::RootShell rootShell_;
     KernelModuleRegistry modules_{kPlanetLabKernel};

@@ -4,6 +4,7 @@
 
 #include "ditg/receiver.hpp"
 #include "ditg/sender.hpp"
+#include "ditg/tcp_flow.hpp"
 #include "obs/flight.hpp"
 #include "obs/merge.hpp"
 #include "obs/profiler.hpp"
@@ -420,6 +421,111 @@ std::vector<FleetCbrRun> Fleet::runCbrOnSites(const std::vector<std::size_t>& in
         std::optional<sim::ShardObsScope> scope;
         if (group_) scope.emplace(group_->shard(wiredShard_.front()));
         receiverSite.node().stack().closeUdp(recvSocket.value());
+    }
+    return runs;
+}
+
+FleetTcpRun Fleet::runTcp(std::size_t index, double durationSeconds,
+                          net::CcAlgorithm congestion) {
+    return runTcpOnSites({index}, durationSeconds, congestion).front();
+}
+
+std::vector<FleetTcpRun> Fleet::runTcpAll(double durationSeconds,
+                                          net::CcAlgorithm congestion) {
+    std::vector<std::size_t> indices(umtsSites_.size());
+    for (std::size_t i = 0; i < indices.size(); ++i) indices[i] = i;
+    return runTcpOnSites(indices, durationSeconds, congestion);
+}
+
+std::vector<FleetTcpRun> Fleet::runTcpOnSites(const std::vector<std::size_t>& indices,
+                                              double durationSeconds,
+                                              net::CcAlgorithm congestion) {
+    obs::ProfileScope waveScope(obs::ProfileCategory::ditg_decode);
+    if (wiredSites_.empty()) throw std::runtime_error("fleet has no wired receiver site");
+    WiredSite& receiverSite = *wiredSites_.front();
+    constexpr std::uint16_t kTcpProbePort = 9002;
+
+    net::TcpOptions options;
+    options.congestion = congestion;
+
+    // The receiver listens on the wired site's TcpHost. Constructed
+    // under the owning shard's observability scope, like the UDP wave.
+    auto receiver = [&] {
+        std::optional<sim::ShardObsScope> scope;
+        if (group_) scope.emplace(group_->shard(wiredShard_.front()));
+        return std::make_unique<ditg::ItgTcpRecv>(
+            umtsSiteSim(0), receiverSite.node().tcp(), kTcpProbePort,
+            /*sendAcks=*/true, receiverSite.firstSlice().xid, options);
+    }();
+
+    struct ActiveFlow {
+        std::size_t siteIndex;
+        std::uint16_t flowId;
+        std::unique_ptr<ditg::ItgTcpSend> sender;
+    };
+    std::vector<ActiveFlow> flows;
+    flows.reserve(indices.size());
+    for (const std::size_t index : indices) {
+        UmtsNodeSite& site = *umtsSites_.at(index);
+        std::optional<sim::ShardObsScope> siteScope;
+        if (group_) siteScope.emplace(group_->shard(umtsShard_[index]));
+        const auto flowId = std::uint16_t(10 + index);
+        // A moderate probe CBR that fits inside the uplink DCH, so the
+        // wave measures the stack (handshake, ACK clock, recovery)
+        // rather than pure bufferbloat.
+        ditg::FlowSpec spec =
+            ditg::cbrFlow(flowId, 50.0, 256, durationSeconds, "tcp-probe");
+        spec.transport = ditg::FlowTransport::tcp;
+        util::RandomStream flowRng = rng_.derive("tcpflow@" + site.imsi());
+        auto sender = std::make_unique<ditg::ItgTcpSend>(
+            umtsSiteSim(index), site.node().tcp(), std::move(spec),
+            receiverSite.address(), kTcpProbePort, std::move(flowRng),
+            site.umtsSlice().xid, options);
+        flows.push_back(ActiveFlow{index, flowId, std::move(sender)});
+    }
+
+    const sim::SimTime flowStart = now();
+    for (ActiveFlow& flow : flows) flow.sender->start();
+    // Flows + drain tail (RLC queues, retransmissions, FIN exchange).
+    runUntil(flowStart + sim::seconds(durationSeconds) + sim::seconds(10.0));
+
+    std::vector<FleetTcpRun> runs;
+    runs.reserve(flows.size());
+    for (ActiveFlow& flow : flows) {
+        UmtsNodeSite& site = *umtsSites_[flow.siteIndex];
+        FleetTcpRun run;
+        run.imsi = site.imsi();
+        run.summary =
+            ditg::ItgDec::summarize(flow.sender->log(), receiver->log(flow.flowId));
+        run.probesSent = flow.sender->probesSent();
+        run.probesReceived = run.summary.received;
+        if (net::TcpConnection* conn = flow.sender->connection()) run.tcp = conn->stats();
+        runs.push_back(std::move(run));
+    }
+
+    // Self-cleaning wave: abort anything still open (a stuck flow must
+    // not leak into the next wave), let TIME-WAIT drain, then reap
+    // every CLOSED connection on both ends so the next wave's
+    // ephemeral binds see a clean table.
+    for (ActiveFlow& flow : flows) {
+        std::optional<sim::ShardObsScope> siteScope;
+        if (group_) siteScope.emplace(group_->shard(umtsShard_[flow.siteIndex]));
+        if (net::TcpConnection* conn = flow.sender->connection();
+            conn && conn->state() != net::TcpState::closed &&
+            conn->state() != net::TcpState::time_wait)
+            conn->close();
+    }
+    runUntil(now() + sim::seconds(3.0));  // 2 s TIME-WAIT + margin
+    receiver.reset();                     // stops listening on 9002
+    for (const std::size_t index : indices) {
+        std::optional<sim::ShardObsScope> siteScope;
+        if (group_) siteScope.emplace(group_->shard(umtsShard_[index]));
+        (void)umtsSites_[index]->node().tcp().reapClosed();
+    }
+    {
+        std::optional<sim::ShardObsScope> scope;
+        if (group_) scope.emplace(group_->shard(wiredShard_.front()));
+        (void)receiverSite.node().tcp().reapClosed();
     }
     return runs;
 }

@@ -58,6 +58,15 @@ struct FleetCbrRun {
     bool admissionTrimmed = false;
 };
 
+/// Per-UE outcome of a fleet-wide TCP probe run.
+struct FleetTcpRun {
+    std::string imsi;
+    ditg::QosSummary summary;
+    std::uint64_t probesSent = 0;
+    std::uint64_t probesReceived = 0;
+    net::TcpStats tcp;  ///< sender connection stats at wave end
+};
+
 /// The N-UE testbed: every UMTS site shares one operator network (and
 /// thus one CellCapacity pool), every site pair is reachable over the
 /// wired Internet, and the operator's resolver knows every hostname.
@@ -131,6 +140,17 @@ class Fleet {
     /// — the shared-cell contention workload. Flows start together.
     std::vector<FleetCbrRun> runCbrAll(double durationSeconds, double windowSeconds = 0.2);
 
+    /// Drive one TCP probe flow (framed D-ITG probes over the real TCP
+    /// stack) from UMTS site `index` to wired site 0. Waves are
+    /// self-cleaning: connections are closed, TIME-WAIT drains, and
+    /// every CLOSED connection is reaped before returning, so repeated
+    /// soak waves rebind their ports deterministically.
+    FleetTcpRun runTcp(std::size_t index, double durationSeconds,
+                       net::CcAlgorithm congestion = net::CcAlgorithm::newreno);
+    /// Concurrent TCP flows from every UMTS site to wired site 0.
+    std::vector<FleetTcpRun> runTcpAll(double durationSeconds,
+                                       net::CcAlgorithm congestion = net::CcAlgorithm::newreno);
+
     /// Register a hook run at the START of fleet destruction, before
     /// any site is torn down. External layers holding scheduled
     /// simulator events against fleet members (e.g. a fault injector)
@@ -148,6 +168,9 @@ class Fleet {
   private:
     std::vector<FleetCbrRun> runCbrOnSites(const std::vector<std::size_t>& indices,
                                            double durationSeconds, double windowSeconds);
+    std::vector<FleetTcpRun> runTcpOnSites(const std::vector<std::size_t>& indices,
+                                           double durationSeconds,
+                                           net::CcAlgorithm congestion);
     /// Shard that owns fleet-wide site ordinal `ordinal` (UMTS sites
     /// first, then wired sites) — partition is a pure function of the
     /// ordinal and the shard count.

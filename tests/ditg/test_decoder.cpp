@@ -151,5 +151,21 @@ TEST(ItgDec, OutOfOrderArrivalsSortedForJitter) {
     EXPECT_NEAR(series.jitterSeconds[0].value, 0.010, 1e-9);  // |60-50| ms
 }
 
+TEST(ItgDec, DuplicateArrivalsCountOnceInSummary) {
+    // UDP duplication (or a TCP retransmission the receiver logged
+    // twice) must not report received > sent or negative loss: the
+    // summary counts first arrivals only. The raw log keeps both
+    // records — it is the measurement.
+    SyntheticLogs logs;
+    RxRecord dup = logs.receiver.packets[1];
+    dup.rxTime = dup.rxTime + millis(40);
+    logs.receiver.packets.push_back(dup);
+    const QosSummary summary = ItgDec::summarize(logs.sender, logs.receiver);
+    EXPECT_EQ(summary.sent, 10u);
+    EXPECT_EQ(summary.received, 8u);  // 8 unique of 9 arrivals
+    EXPECT_EQ(summary.lost, 2u);
+    EXPECT_NEAR(summary.meanOwdSeconds, 0.050, 1e-9);  // dup's OWD excluded
+}
+
 }  // namespace
 }  // namespace onelab::ditg

@@ -60,6 +60,43 @@ TEST(LogFile, ReceiverRoundTrip) {
     EXPECT_EQ(decoded.value().packets[3].rxTime, sim::millis(85));
 }
 
+TEST(LogFile, TransportTagRoundTrips) {
+    SenderLog sender = sampleSenderLog();
+    sender.transport = FlowTransport::tcp;
+    const util::Bytes senderBlob = logfile::encodeSenderLog(sender);
+    const auto senderBack = logfile::decodeSenderLog({senderBlob.data(), senderBlob.size()});
+    ASSERT_TRUE(senderBack.ok());
+    EXPECT_EQ(senderBack.value().transport, FlowTransport::tcp);
+
+    ReceiverLog receiver = sampleReceiverLog();
+    receiver.transport = FlowTransport::tcp;
+    const util::Bytes receiverBlob = logfile::encodeReceiverLog(receiver);
+    const auto receiverBack =
+        logfile::decodeReceiverLog({receiverBlob.data(), receiverBlob.size()});
+    ASSERT_TRUE(receiverBack.ok());
+    EXPECT_EQ(receiverBack.value().transport, FlowTransport::tcp);
+}
+
+TEST(LogFile, Version1FilesStillDecodeAsUdp) {
+    // A v1 file is today's layout minus the transport byte, with the
+    // version byte saying 1. Old logs keep decoding — as UDP.
+    util::Bytes v2 = logfile::encodeSenderLog(sampleSenderLog());
+    util::Bytes v1{v2.begin(), v2.end()};
+    v1[4] = 1;                   // version byte
+    v1.erase(v1.begin() + 6);    // drop the transport byte after kind
+    const auto decoded = logfile::decodeSenderLog({v1.data(), v1.size()});
+    ASSERT_TRUE(decoded.ok());
+    EXPECT_EQ(decoded.value().transport, FlowTransport::udp);
+    EXPECT_EQ(decoded.value().packets.size(), 5u);
+    EXPECT_EQ(decoded.value().rtts.size(), 1u);
+}
+
+TEST(LogFile, UnknownTransportRejected) {
+    util::Bytes blob = logfile::encodeSenderLog(sampleSenderLog());
+    blob[6] = 7;  // transport byte: no such FlowTransport
+    EXPECT_FALSE(logfile::decodeSenderLog({blob.data(), blob.size()}).ok());
+}
+
 TEST(LogFile, KindMismatchRejected) {
     const util::Bytes sender = logfile::encodeSenderLog(sampleSenderLog());
     EXPECT_FALSE(logfile::decodeReceiverLog({sender.data(), sender.size()}).ok());

@@ -1,0 +1,337 @@
+#pragma once
+
+// Scripted-segment harness for the TCP conformance ladder. One
+// NetworkStack + TcpHost is the device under test; the harness plays
+// the remote endpoint ("peer") by capturing every segment the DUT
+// transmits and injecting hand-built or auto-generated replies, with
+// seeded loss/dup/reorder/corrupt manglers on either direction. All
+// timing rides the discrete-event simulator, so every rung is
+// deterministic for a given seed.
+
+#include <deque>
+#include <functional>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "net/internet.hpp"
+#include "net/seq.hpp"
+#include "net/tcp.hpp"
+#include "sim/simulator.hpp"
+#include "util/rand.hpp"
+
+namespace onelab::net::testlab {
+
+inline Ipv4Address dutAddr() { return Ipv4Address{10, 0, 0, 1}; }
+inline Ipv4Address peerAddr() { return Ipv4Address{10, 0, 0, 2}; }
+
+/// One segment the DUT put on the wire, with its transmit time.
+struct CapturedSegment {
+    sim::SimTime at{};
+    Packet pkt;
+
+    [[nodiscard]] bool has(std::uint8_t flag) const { return pkt.tcp.has(flag); }
+    [[nodiscard]] Seq seq() const { return Seq{pkt.tcp.seq}; }
+    [[nodiscard]] Seq ack() const { return Seq{pkt.tcp.ackNumber}; }
+    [[nodiscard]] std::uint16_t window() const { return pkt.tcp.window; }
+    [[nodiscard]] std::size_t payloadSize() const { return pkt.payload.size(); }
+    [[nodiscard]] bool isData() const { return !pkt.payload.empty(); }
+    [[nodiscard]] bool isPureAck() const {
+        return pkt.payload.empty() && pkt.tcp.flags == tcp_flag::ack;
+    }
+};
+
+/// Seeded segment mangling for one direction of the wire.
+struct MangleConfig {
+    double lossProbability = 0.0;
+    double dupProbability = 0.0;
+    double reorderProbability = 0.0;  ///< hold a segment so the next passes it
+    double corruptProbability = 0.0;  ///< payload bit flip -> checksum drop
+};
+
+class TcpTestHarness {
+  public:
+    explicit TcpTestHarness(std::uint64_t seed = 1)
+        : rng_(seed),
+          dutToPeerRng_(rng_.derive("dut->peer")),
+          peerToDutRng_(rng_.derive("peer->dut")) {
+        stack_ = std::make_unique<NetworkStack>(sim, "dut");
+        eth_ = &stack_->addInterface("eth0");
+        eth_->setAddress(dutAddr());
+        eth_->setUp(true);
+        eth_->setTxHandler([this](Packet pkt) { onDutTransmit(std::move(pkt)); });
+        stack_->router()
+            .table(PolicyRouter::kMainTable)
+            .addRoute({Prefix::any(), "eth0", std::nullopt, 0});
+        tcp_ = std::make_unique<TcpHost>(sim, *stack_, rng_.derive("dut-tcp"));
+    }
+
+    sim::Simulator sim;
+
+    [[nodiscard]] TcpHost& tcp() { return *tcp_; }
+    [[nodiscard]] NetworkStack& stack() { return *stack_; }
+
+    // ------------------------------------------------------ wire knobs
+    double oneWayDelaySeconds = 0.010;  ///< each direction
+    MangleConfig dutToPeer;             ///< applied before the peer sees it
+    MangleConfig peerToDut;             ///< applied to injected segments
+
+    /// Pre-peer tap on (post-mangle) DUT segments. Return true to
+    /// consume the segment — the auto-peer never sees it.
+    std::function<bool(const Packet&)> peerTap;
+
+    /// When false the auto-peer is inert: only `peerTap` and explicit
+    /// inject() calls talk back to the DUT.
+    bool autoRespond = true;
+
+    // -------------------------------------------------- auto-peer state
+    struct PeerState {
+        Seq iss{5000};
+        Seq sndNxt{5000};
+        Seq rcvNxt{};
+        bool synSeen = false;
+        bool established = false;
+        bool finSeen = false;          ///< DUT's FIN consumed
+        bool finSent = false;
+        Seq finSeq{};
+        std::uint64_t acksSent = 0;
+        std::uint64_t rstsSeen = 0;
+        std::map<Seq, util::Bytes, SeqLess> outOfOrder;
+    };
+    PeerState peer;
+
+    /// Window the auto-peer advertises (tests shrink this to 0 for the
+    /// zero-window rung, then re-open it).
+    std::uint32_t peerWindow = 65535;
+    /// Echo FIN when the DUT closes (orderly close from the peer side).
+    bool peerClosesOnFin = true;
+    /// Bytes the auto-peer accepted in order (byte-accuracy checks).
+    util::Bytes peerReceived;
+
+    // ----------------------------------------------------- capture log
+    std::vector<CapturedSegment> sent;      ///< every DUT segment (pre-mangle)
+    std::uint64_t dutSegmentsDropped = 0;   ///< by the loss mangler
+    std::uint64_t dutSegmentsCorrupted = 0; ///< by the corrupt mangler
+
+    [[nodiscard]] std::size_t countSent(std::uint8_t flag) const {
+        std::size_t n = 0;
+        for (const auto& s : sent)
+            if (s.has(flag)) ++n;
+        return n;
+    }
+    /// Data segments (or probes) covering `seq` more than once.
+    [[nodiscard]] std::size_t transmissionsOf(Seq seq) const {
+        std::size_t n = 0;
+        for (const auto& s : sent)
+            if (s.isData() && seq.inWindow(s.seq(), std::uint32_t(s.payloadSize()))) ++n;
+        return n;
+    }
+
+    // ------------------------------------------------------- injection
+    /// Build a segment from the peer to the DUT (ports default to the
+    /// active DUT connection's).
+    [[nodiscard]] Packet makePeerSegment(std::uint8_t flags, Seq seq, Seq ack,
+                                         util::Bytes payload = {},
+                                         std::optional<std::uint32_t> window = {}) {
+        TcpHeader header;
+        header.srcPort = peerPort_;
+        header.dstPort = dutPort_;
+        header.flags = flags;
+        header.seq = seq.value();
+        header.ackNumber = ack.value();
+        header.window = std::uint16_t(window.value_or(peerWindow));
+        Packet pkt = makeTcpSegment(peerAddr(), peerPort_, dutAddr(), dutPort_, header,
+                                    std::move(payload));
+        return pkt;
+    }
+
+    /// Schedule delivery of a peer segment to the DUT after the one-way
+    /// delay (mangled per `peerToDut`).
+    void inject(Packet pkt) { scheduleDelivery(std::move(pkt), peerToDutRng_, peerToDut); }
+
+    void injectNow(std::uint8_t flags, Seq seq, Seq ack, util::Bytes payload = {},
+                   std::optional<std::uint32_t> window = {}) {
+        inject(makePeerSegment(flags, seq, ack, std::move(payload), window));
+    }
+
+    /// Peer-side send of application data to the DUT (no
+    /// retransmission — the scripts drive loss explicitly).
+    void peerSend(util::ByteView data) {
+        util::Bytes payload{data.begin(), data.end()};
+        injectNow(tcp_flag::ack | tcp_flag::psh, peer.sndNxt, peer.rcvNxt,
+                  std::move(payload));
+        peer.sndNxt += std::uint32_t(data.size());
+    }
+
+    /// Peer-side orderly close.
+    void peerClose() {
+        if (peer.finSent) return;
+        peer.finSent = true;
+        peer.finSeq = peer.sndNxt;
+        injectNow(tcp_flag::fin | tcp_flag::ack, peer.sndNxt, peer.rcvNxt);
+        peer.sndNxt += 1;
+    }
+
+    /// Peer-initiated connect (DUT must be listening). The auto-peer
+    /// completes the handshake when the SYN-ACK comes back.
+    void peerConnect(std::uint16_t dutPort, std::uint16_t fromPort = 39000) {
+        dutPort_ = dutPort;
+        peerPort_ = fromPort;
+        peerActiveOpen_ = true;
+        injectNow(tcp_flag::syn, peer.iss, Seq{0});
+        peer.sndNxt = peer.iss + 1;
+    }
+
+    // ------------------------------------------------------------- run
+    void run(double seconds) { sim.runUntil(sim.now() + sim::seconds(seconds)); }
+
+    [[nodiscard]] std::uint16_t dutPort() const { return dutPort_; }
+    [[nodiscard]] std::uint16_t peerPort() const { return peerPort_; }
+
+  private:
+    void onDutTransmit(Packet pkt) {
+        sent.push_back({sim.now(), pkt});
+        dutPort_ = pkt.tcp.srcPort;
+        peerPort_ = pkt.tcp.dstPort;
+        scheduleDelivery(std::move(pkt), dutToPeerRng_, dutToPeer, /*toPeer=*/true);
+    }
+
+    void scheduleDelivery(Packet pkt, util::RandomStream& rng, const MangleConfig& m,
+                          bool toPeer = false) {
+        if (m.lossProbability > 0.0 && rng.chance(m.lossProbability)) {
+            if (toPeer) ++dutSegmentsDropped;
+            return;
+        }
+        if (m.corruptProbability > 0.0 && !pkt.payload.empty() &&
+            rng.chance(m.corruptProbability)) {
+            // A flipped payload byte fails the checksum at the
+            // receiver, which discards silently — corruption is loss
+            // with extra steps, but it exercises the drop path with a
+            // distinct accounting trail.
+            if (toPeer) ++dutSegmentsCorrupted;
+            return;
+        }
+        double delay = oneWayDelaySeconds;
+        if (m.reorderProbability > 0.0 && rng.chance(m.reorderProbability))
+            delay += 2.5 * oneWayDelaySeconds;  // lands behind the next segment
+        const bool duplicate = m.dupProbability > 0.0 && rng.chance(m.dupProbability);
+        deliverAfter(pkt, delay, toPeer);
+        if (duplicate) deliverAfter(std::move(pkt), delay + 0.5 * oneWayDelaySeconds, toPeer);
+    }
+
+    void deliverAfter(Packet pkt, double delay, bool toPeer) {
+        sim.schedule(sim::seconds(delay), [this, pkt = std::move(pkt), toPeer]() mutable {
+            if (toPeer)
+                peerReceive(std::move(pkt));
+            else
+                eth_->deliver(std::move(pkt));
+        });
+    }
+
+    // Minimal deterministic receiver/acker automaton.
+    void peerReceive(Packet pkt) {
+        if (peerTap && peerTap(pkt)) return;
+        if (!autoRespond) return;
+
+        if (pkt.tcp.has(tcp_flag::rst)) {
+            ++peer.rstsSeen;
+            return;
+        }
+
+        const Seq seq{pkt.tcp.seq};
+
+        if (pkt.tcp.has(tcp_flag::syn) && !pkt.tcp.has(tcp_flag::ack)) {
+            // DUT active open: answer SYN-ACK.
+            peer.synSeen = true;
+            peer.rcvNxt = seq + 1;
+            injectNow(tcp_flag::syn | tcp_flag::ack, peer.iss, peer.rcvNxt);
+            peer.sndNxt = peer.iss + 1;
+            return;
+        }
+        if (pkt.tcp.has(tcp_flag::syn) && pkt.tcp.has(tcp_flag::ack)) {
+            // DUT answered our active open.
+            peer.synSeen = true;
+            peer.rcvNxt = seq + 1;
+            peer.established = true;
+            injectNow(tcp_flag::ack, peer.sndNxt, peer.rcvNxt);
+            return;
+        }
+
+        if (!peer.established && pkt.tcp.has(tcp_flag::ack) && peer.synSeen)
+            peer.established = true;  // third step of the handshake
+
+        bool shouldAck = false;
+
+        if (!pkt.payload.empty()) {
+            const Seq segEnd = seq + std::uint32_t(pkt.payload.size());
+            if (peer.rcvNxt >= segEnd) {
+                shouldAck = true;  // entirely old
+            } else if (seq <= peer.rcvNxt) {
+                const std::size_t skip = std::size_t(peer.rcvNxt - seq);
+                const std::size_t room = peerWindow;  // accept up to window
+                const std::size_t take =
+                    std::min(pkt.payload.size() - skip, room);
+                peerReceived.insert(peerReceived.end(),
+                                    pkt.payload.begin() + long(skip),
+                                    pkt.payload.begin() + long(skip + take));
+                peer.rcvNxt += std::uint32_t(take);
+                mergePeerOutOfOrder();
+                shouldAck = true;
+            } else {
+                if (!peer.outOfOrder.count(seq)) peer.outOfOrder.emplace(seq, pkt.payload);
+                shouldAck = true;  // duplicate ACK for the hole
+            }
+        }
+
+        if (pkt.tcp.has(tcp_flag::fin)) {
+            const Seq finSeq = seq + std::uint32_t(pkt.payload.size());
+            if (finSeq == peer.rcvNxt && !peer.finSeen) {
+                peer.finSeen = true;
+                peer.rcvNxt = finSeq + 1;
+                shouldAck = true;
+                if (peerClosesOnFin && !peer.finSent) {
+                    ++peer.acksSent;
+                    injectNow(tcp_flag::ack, peer.sndNxt, peer.rcvNxt);
+                    peerClose();
+                    return;
+                }
+            } else if (peer.rcvNxt > finSeq) {
+                shouldAck = true;  // duplicate FIN
+            }
+        }
+
+        if (shouldAck) {
+            ++peer.acksSent;
+            injectNow(tcp_flag::ack, peer.sndNxt, peer.rcvNxt);
+        }
+    }
+
+    void mergePeerOutOfOrder() {
+        while (!peer.outOfOrder.empty()) {
+            const auto it = peer.outOfOrder.begin();
+            const Seq segEnd = it->first + std::uint32_t(it->second.size());
+            if (segEnd <= peer.rcvNxt) {
+                peer.outOfOrder.erase(it);
+                continue;
+            }
+            if (it->first > peer.rcvNxt) break;
+            const std::size_t skip = std::size_t(peer.rcvNxt - it->first);
+            peerReceived.insert(peerReceived.end(), it->second.begin() + long(skip),
+                                it->second.end());
+            peer.rcvNxt = segEnd;
+            peer.outOfOrder.erase(it);
+        }
+    }
+
+    util::RandomStream rng_;
+    util::RandomStream dutToPeerRng_;
+    util::RandomStream peerToDutRng_;
+    std::unique_ptr<NetworkStack> stack_;
+    std::unique_ptr<TcpHost> tcp_;
+    Interface* eth_ = nullptr;
+    std::uint16_t dutPort_ = 0;
+    std::uint16_t peerPort_ = 39000;
+    bool peerActiveOpen_ = false;
+};
+
+}  // namespace onelab::net::testlab

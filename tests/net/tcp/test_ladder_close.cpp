@@ -1,0 +1,128 @@
+// Ladder rung 9: connection teardown. Orderly close from either end,
+// the simultaneous-close race (FINs crossing on the wire), a lost FIN
+// earning its retransmission, and TIME-WAIT reaping for soak waves.
+
+#include <gtest/gtest.h>
+
+#include "tcp_test_harness.hpp"
+
+namespace onelab::net::testlab {
+namespace {
+
+TEST(TcpLadderClose, OrderlyCloseRunsTheFullLadder) {
+    TcpTestHarness h;
+    TcpOptions opts;
+    opts.fixedIss = 100;
+    TcpConnection* conn = h.tcp().connect(peerAddr(), 80, 0, {}, opts);
+    bool peerClosedSeen = false, closedSeen = false;
+    conn->onPeerClosed = [&] { peerClosedSeen = true; };
+    conn->onClosed = [&] { closedSeen = true; };
+    conn->onConnected = [&] {
+        ASSERT_TRUE(conn->send(util::Bytes{'h', 'i'}).ok());
+        conn->close();
+    };
+
+    h.run(1.0);
+    // FIN sent after the payload drained; the auto-peer acked and
+    // answered with its own FIN; the DUT sits in TIME-WAIT.
+    EXPECT_TRUE(peerClosedSeen);
+    EXPECT_TRUE(h.peer.finSeen);
+    EXPECT_EQ(conn->state(), TcpState::time_wait);
+    EXPECT_EQ(h.countSent(tcp_flag::fin), 1u);
+
+    // 2 s of TIME-WAIT later the connection reaches CLOSED and can be
+    // reaped — this is what lets soak waves rebind deterministically.
+    h.run(3.0);
+    EXPECT_TRUE(closedSeen);
+    EXPECT_EQ(conn->state(), TcpState::closed);
+    EXPECT_EQ(h.tcp().connectionCount(), 1u);
+    EXPECT_EQ(h.tcp().reapClosed(), 1u);
+    EXPECT_EQ(h.tcp().connectionCount(), 0u);
+}
+
+TEST(TcpLadderClose, PeerInitiatedCloseLandsInCloseWait) {
+    TcpTestHarness h;
+    h.peerClosesOnFin = false;
+    TcpOptions opts;
+    opts.fixedIss = 100;
+    TcpConnection* conn = h.tcp().connect(peerAddr(), 80, 0, {}, opts);
+    bool peerClosedSeen = false;
+    conn->onPeerClosed = [&] { peerClosedSeen = true; };
+
+    h.run(0.5);
+    ASSERT_TRUE(conn->isEstablished());
+    h.peerClose();
+    h.run(0.5);
+
+    // Passive close half 1: FIN consumed, app told, our side still open.
+    EXPECT_TRUE(peerClosedSeen);
+    EXPECT_EQ(conn->state(), TcpState::close_wait);
+
+    // Passive close half 2: our FIN, peer's ACK, straight to CLOSED
+    // (no TIME-WAIT on the passive side).
+    conn->close();
+    h.run(1.0);
+    EXPECT_EQ(conn->state(), TcpState::closed);
+}
+
+TEST(TcpLadderClose, SimultaneousCloseCrossingFins) {
+    TcpTestHarness h;
+    h.peerClosesOnFin = false;
+    TcpOptions opts;
+    opts.fixedIss = 100;
+    TcpConnection* conn = h.tcp().connect(peerAddr(), 80, 0, {}, opts);
+
+    h.run(0.5);
+    ASSERT_TRUE(conn->isEstablished());
+
+    // Both ends close in the same instant: the FINs cross on the wire,
+    // so each side sees the other's FIN before the ACK of its own —
+    // the CLOSING state, not FIN-WAIT-2.
+    conn->close();
+    h.peerClose();
+    h.run(0.2);  // in flight: both FINs
+    h.run(3.5);  // ACKs exchanged + TIME-WAIT
+
+    EXPECT_TRUE(h.peer.finSeen);
+    EXPECT_EQ(conn->state(), TcpState::closed);
+    EXPECT_EQ(h.countSent(tcp_flag::fin), 1u);
+}
+
+TEST(TcpLadderClose, LostFinIsRetransmitted) {
+    TcpTestHarness h;
+    TcpOptions opts;
+    opts.fixedIss = 100;
+    TcpConnection* conn = h.tcp().connect(peerAddr(), 80, 0, {}, opts);
+
+    bool dropped = false;
+    h.peerTap = [&](const Packet& p) {
+        if (!dropped && p.tcp.has(tcp_flag::fin)) {
+            dropped = true;
+            return true;
+        }
+        return false;
+    };
+    conn->onConnected = [&] { conn->close(); };
+
+    h.run(10.0);
+
+    // The first FIN vanished; the RTO re-sent it and the close completed.
+    EXPECT_TRUE(dropped);
+    EXPECT_GE(h.countSent(tcp_flag::fin), 2u);
+    EXPECT_TRUE(h.peer.finSeen);
+    EXPECT_GE(conn->stats().timeouts, 1u);
+    EXPECT_TRUE(conn->state() == TcpState::time_wait ||
+                conn->state() == TcpState::closed);
+}
+
+TEST(TcpLadderClose, SendAfterCloseIsRejected) {
+    TcpTestHarness h;
+    TcpConnection* conn = h.tcp().connect(peerAddr(), 80);
+    h.run(0.5);
+    ASSERT_TRUE(conn->isEstablished());
+    conn->close();
+    EXPECT_FALSE(conn->send(util::Bytes{'x'}).ok());
+}
+
+}  // namespace
+}  // namespace onelab::net::testlab

@@ -1,0 +1,140 @@
+// Ladder rungs 5 and 6: fast retransmit fires at exactly the third
+// duplicate ACK (not the second), recovery exits back to ssthresh, and
+// the Reno / NewReno partial-ACK split lands exactly where RFC 6582
+// says it does on a two-hole window.
+
+#include <gtest/gtest.h>
+
+#include "tcp_test_harness.hpp"
+
+namespace onelab::net::testlab {
+namespace {
+
+util::Bytes filledBytes(std::size_t n, std::uint8_t seed) {
+    util::Bytes data(n);
+    for (std::size_t i = 0; i < n; ++i) data[i] = std::uint8_t(seed + i * 11);
+    return data;
+}
+
+struct RunResult {
+    TcpStats stats;
+    bool byteAccurate = false;
+    std::size_t ssthreshAfterLoss = 0;
+};
+
+/// One bulk transfer with the Nth (1-based) data segment dropped, and
+/// a second drop `alsoDrop` segments later when nonzero (two holes in
+/// the same flight window).
+RunResult runWithDrops(CcAlgorithm cc, int dropNth, int alsoDropNth = 0,
+                       std::size_t totalBytes = 96 * 1024, double horizon = 60.0) {
+    TcpTestHarness h;
+    TcpOptions opts;
+    opts.congestion = cc;
+    opts.fixedIss = 100;
+    TcpConnection* conn = h.tcp().connect(peerAddr(), 80, 0, {}, opts);
+
+    int dataSeen = 0;
+    h.peerTap = [&](const Packet& p) {
+        if (p.payload.empty()) return false;
+        ++dataSeen;
+        return dataSeen == dropNth || (alsoDropNth != 0 && dataSeen == alsoDropNth);
+    };
+
+    const util::Bytes data = filledBytes(totalBytes, 5);
+    conn->onConnected = [&] { ASSERT_TRUE(conn->send(data).ok()); };
+    h.run(horizon);
+
+    RunResult r;
+    r.stats = conn->stats();
+    r.byteAccurate = (h.peerReceived == data);
+    r.ssthreshAfterLoss = conn->stats().ssthreshBytes;
+    return r;
+}
+
+TEST(TcpLadderFastRetransmit, ThirdDupAckTriggersRecovery) {
+    // Drop the 12th data segment: slow start has grown the window well
+    // past 4 segments by then, so the hole collects >= 3 dupacks and
+    // recovery must come from fast retransmit, never the RTO.
+    const RunResult r = runWithDrops(CcAlgorithm::newreno, 12);
+    EXPECT_TRUE(r.byteAccurate);
+    EXPECT_EQ(r.stats.fastRetransmits, 1u);
+    EXPECT_EQ(r.stats.timeouts, 0u);
+    EXPECT_GE(r.stats.dupAcksSeen, 3u);
+    EXPECT_GE(r.stats.retransmissions, 1u);
+}
+
+TEST(TcpLadderFastRetransmit, TwoDupAcksAreNotEnough) {
+    // Drop the 2nd of only 4 segments: at most two dupacks can ever
+    // arrive, which must NOT trip the threshold — the hole waits for
+    // the RTO. This pins the threshold at 3 from below.
+    const RunResult r =
+        runWithDrops(CcAlgorithm::newreno, 2, 0, 4 * TcpConnection::kMss, 30.0);
+    EXPECT_TRUE(r.byteAccurate);
+    EXPECT_EQ(r.stats.fastRetransmits, 0u);
+    EXPECT_GE(r.stats.timeouts, 1u);
+    EXPECT_LE(r.stats.dupAcksSeen, 2u);
+}
+
+TEST(TcpLadderFastRetransmit, RecoveryExitRestoresSsthresh) {
+    TcpTestHarness h;
+    TcpOptions opts;
+    opts.congestion = CcAlgorithm::newreno;
+    opts.fixedIss = 100;
+    TcpConnection* conn = h.tcp().connect(peerAddr(), 80, 0, {}, opts);
+
+    int dataSeen = 0;
+    h.peerTap = [&](const Packet& p) {
+        if (p.payload.empty()) return false;
+        return ++dataSeen == 12;
+    };
+
+    const util::Bytes data = filledBytes(96 * 1024, 5);
+    conn->onConnected = [&] { ASSERT_TRUE(conn->send(data).ok()); };
+    h.run(60.0);
+
+    EXPECT_EQ(conn->stats().fastRetransmits, 1u);
+    EXPECT_FALSE(conn->inFastRecovery());
+    // ssthresh was cut from its 64 KB initial value to half the flight
+    // at loss, and the window deflated back to it on recovery exit.
+    EXPECT_LT(conn->stats().ssthreshBytes, 64u * 1024u);
+    EXPECT_GE(conn->stats().ssthreshBytes, 2 * TcpConnection::kMss);
+    EXPECT_GE(conn->stats().cwndBytes, conn->stats().ssthreshBytes);
+}
+
+TEST(TcpLadderFastRetransmit, NewRenoFillsSecondHoleWithoutTimeout) {
+    // Two holes in one flight window. NewReno's partial ACK retransmits
+    // the second hole immediately and stays in recovery: zero RTOs.
+    const RunResult r = runWithDrops(CcAlgorithm::newreno, 12, 14);
+    EXPECT_TRUE(r.byteAccurate);
+    EXPECT_EQ(r.stats.timeouts, 0u);
+    EXPECT_GE(r.stats.retransmissions, 2u);
+}
+
+TEST(TcpLadderFastRetransmit, RenoAbandonsRecoveryOnPartialAck) {
+    // Same two-hole script under classic Reno: the first partial ACK
+    // ends recovery, so the second hole needs a recovery episode of
+    // its own — another full dupack threshold (a second fast
+    // retransmit) or, when the dupack supply runs dry, the RTO. Either
+    // way Reno pays twice where NewReno paid once; the differential IS
+    // the RFC 6582 motivation, reproduced on the wire.
+    const RunResult reno = runWithDrops(CcAlgorithm::reno, 12, 14);
+    const RunResult newreno = runWithDrops(CcAlgorithm::newreno, 12, 14);
+    EXPECT_TRUE(reno.byteAccurate);
+    EXPECT_GE(reno.stats.fastRetransmits + reno.stats.timeouts, 2u);
+    EXPECT_EQ(newreno.stats.fastRetransmits + newreno.stats.timeouts, 1u);
+}
+
+TEST(TcpLadderFastRetransmit, CubicCutsShallowerThanReno) {
+    // Identical single-loss script: CUBIC's beta 0.7 must leave a
+    // larger ssthresh than Reno's half-flight cut.
+    const RunResult reno = runWithDrops(CcAlgorithm::reno, 12);
+    const RunResult cubic = runWithDrops(CcAlgorithm::cubic, 12);
+    EXPECT_TRUE(reno.byteAccurate);
+    EXPECT_TRUE(cubic.byteAccurate);
+    EXPECT_EQ(reno.stats.fastRetransmits, 1u);
+    EXPECT_EQ(cubic.stats.fastRetransmits, 1u);
+    EXPECT_GT(cubic.ssthreshAfterLoss, reno.ssthreshAfterLoss);
+}
+
+}  // namespace
+}  // namespace onelab::net::testlab

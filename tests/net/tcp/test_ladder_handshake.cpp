@@ -1,0 +1,103 @@
+// Ladder rung 1: connection establishment. Active open (DUT sends the
+// SYN), passive open (DUT answers one), and the exact sequence numbers
+// on every handshake segment.
+
+#include <gtest/gtest.h>
+
+#include "tcp_test_harness.hpp"
+
+namespace onelab::net::testlab {
+namespace {
+
+TEST(TcpLadderHandshake, ActiveOpenThreeWay) {
+    TcpTestHarness h;
+    TcpOptions opts;
+    opts.fixedIss = 1000;
+    bool connected = false;
+    TcpConnection* conn = h.tcp().connect(peerAddr(), 80, 0, {}, opts);
+    ASSERT_NE(conn, nullptr);
+    conn->onConnected = [&] { connected = true; };
+
+    h.run(1.0);
+
+    EXPECT_TRUE(connected);
+    EXPECT_EQ(conn->state(), TcpState::established);
+    EXPECT_TRUE(h.peer.established);
+
+    // Wire trace: SYN, then the ACK completing the handshake.
+    ASSERT_GE(h.sent.size(), 2u);
+    const CapturedSegment& syn = h.sent[0];
+    EXPECT_TRUE(syn.has(tcp_flag::syn));
+    EXPECT_FALSE(syn.has(tcp_flag::ack));
+    EXPECT_EQ(syn.seq(), Seq{1000});
+
+    const CapturedSegment& ack = h.sent[1];
+    EXPECT_TRUE(ack.has(tcp_flag::ack));
+    EXPECT_FALSE(ack.has(tcp_flag::syn));
+    EXPECT_EQ(ack.seq(), Seq{1001});          // SYN consumed one number
+    EXPECT_EQ(ack.ack(), h.peer.iss + 1);     // peer's SYN acknowledged
+
+    EXPECT_EQ(conn->sndNxt(), Seq{1001});
+    EXPECT_EQ(conn->rcvNxt(), h.peer.iss + 1);
+}
+
+TEST(TcpLadderHandshake, PassiveOpenAnswersSyn) {
+    TcpTestHarness h;
+    TcpConnection* accepted = nullptr;
+    TcpOptions opts;
+    opts.fixedIss = 7000;
+    ASSERT_TRUE(h.tcp().listen(80, [&](TcpConnection& c) { accepted = &c; }, 0, opts).ok());
+
+    h.peerConnect(80);
+    h.run(1.0);
+
+    ASSERT_NE(accepted, nullptr);
+    EXPECT_EQ(accepted->state(), TcpState::established);
+    EXPECT_TRUE(h.peer.established);
+
+    // DUT's first segment is the SYN-ACK: its own ISS, acking peer ISS+1.
+    ASSERT_GE(h.sent.size(), 1u);
+    const CapturedSegment& synAck = h.sent[0];
+    EXPECT_TRUE(synAck.has(tcp_flag::syn));
+    EXPECT_TRUE(synAck.has(tcp_flag::ack));
+    EXPECT_EQ(synAck.seq(), Seq{7000});
+    EXPECT_EQ(synAck.ack(), h.peer.iss + 1);
+    EXPECT_EQ(accepted->rcvNxt(), h.peer.iss + 1);
+}
+
+TEST(TcpLadderHandshake, SynRetransmittedWhenLost) {
+    TcpTestHarness h;
+    // Swallow the first SYN; the connection must retry it on the RTO.
+    bool dropped = false;
+    h.peerTap = [&](const Packet& p) {
+        if (!dropped && p.tcp.has(tcp_flag::syn)) {
+            dropped = true;
+            return true;
+        }
+        return false;
+    };
+    bool connected = false;
+    TcpConnection* conn = h.tcp().connect(peerAddr(), 80);
+    conn->onConnected = [&] { connected = true; };
+
+    h.run(5.0);
+
+    EXPECT_TRUE(connected);
+    EXPECT_GE(h.countSent(tcp_flag::syn), 2u);
+    EXPECT_GE(conn->stats().timeouts, 1u);
+}
+
+TEST(TcpLadderHandshake, StraySegmentGetsRst) {
+    TcpTestHarness h;
+    // No listener on port 9: a SYN there must be answered with RST.
+    h.peerConnect(9);
+    h.run(1.0);
+
+    EXPECT_EQ(h.tcp().rstsSent(), 1u);
+    ASSERT_GE(h.sent.size(), 1u);
+    EXPECT_TRUE(h.sent[0].has(tcp_flag::rst));
+    EXPECT_EQ(h.peer.rstsSeen, 1u);
+}
+
+}  // namespace
+}  // namespace onelab::net::testlab

@@ -1,0 +1,122 @@
+// Ladder rungs 3 and 4: retransmission on RTO, exponential backoff
+// spacing, and Karn's rule (no RTT sample from a retransmitted
+// segment).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "tcp_test_harness.hpp"
+
+namespace onelab::net::testlab {
+namespace {
+
+util::Bytes filledBytes(std::size_t n, std::uint8_t seed) {
+    util::Bytes data(n);
+    for (std::size_t i = 0; i < n; ++i) data[i] = std::uint8_t(seed + i * 7);
+    return data;
+}
+
+TEST(TcpLadderRetransmit, LostSegmentIsRetransmittedOnRto) {
+    TcpTestHarness h;
+    TcpOptions opts;
+    opts.fixedIss = 100;
+    TcpConnection* conn = h.tcp().connect(peerAddr(), 80, 0, {}, opts);
+
+    // Swallow the very first data segment. cwnd starts at 3 MSS so at
+    // most two more follow it; their two dupacks stay below the
+    // fast-retransmit threshold and recovery must come from the RTO.
+    bool dropped = false;
+    h.peerTap = [&](const Packet& p) {
+        if (!dropped && !p.payload.empty()) {
+            dropped = true;
+            return true;
+        }
+        return false;
+    };
+
+    const util::Bytes data = filledBytes(4 * TcpConnection::kMss, 3);
+    conn->onConnected = [&] { ASSERT_TRUE(conn->send(data).ok()); };
+
+    h.run(30.0);
+
+    EXPECT_EQ(h.peerReceived, data);
+    EXPECT_GE(conn->stats().timeouts, 1u);
+    EXPECT_EQ(conn->stats().fastRetransmits, 0u);
+    EXPECT_GE(conn->stats().retransmissions, 1u);
+    // First payload byte (ISS+1) was put on the wire at least twice.
+    EXPECT_GE(h.transmissionsOf(Seq{102}), 2u);
+}
+
+TEST(TcpLadderRetransmit, RtoBacksOffExponentially) {
+    TcpTestHarness h;
+    TcpOptions opts;
+    opts.fixedIss = 100;
+    TcpConnection* conn = h.tcp().connect(peerAddr(), 80, 0, {}, opts);
+
+    // Handshake completes normally, then the peer goes deaf: every
+    // data segment vanishes. The sender must retransmit the head
+    // segment with doubling spacing.
+    h.peerTap = [&](const Packet& p) { return !p.payload.empty(); };
+
+    const util::Bytes data = filledBytes(2 * TcpConnection::kMss, 9);
+    conn->onConnected = [&] { ASSERT_TRUE(conn->send(data).ok()); };
+
+    h.run(40.0);
+
+    // Collect transmit times of segments carrying the first byte.
+    std::vector<double> at;
+    for (const CapturedSegment& s : h.sent)
+        if (s.isData() && Seq{102}.inWindow(s.seq(), std::uint32_t(s.payloadSize())))
+            at.push_back(sim::toSeconds(s.at));
+    ASSERT_GE(at.size(), 4u);
+    for (std::size_t i = 2; i + 1 < at.size(); ++i) {
+        const double prev = at[i] - at[i - 1];
+        const double next = at[i + 1] - at[i];
+        // Each retry interval doubles (up to the 60 s cap).
+        if (prev < 29.0) {
+            EXPECT_NEAR(next, 2.0 * prev, 0.05 * next);
+        }
+    }
+    EXPECT_GE(conn->stats().timeouts, 3u);
+    EXPECT_GT(conn->stats().rtoSeconds, conn->stats().srttSeconds);
+}
+
+TEST(TcpLadderRetransmit, KarnRuleSkipsRetransmittedSamples) {
+    TcpTestHarness h;
+    TcpOptions opts;
+    opts.fixedIss = 100;
+    TcpConnection* conn = h.tcp().connect(peerAddr(), 80, 0, {}, opts);
+
+    // Phase 1: clean segments seed SRTT with the true ~20 ms RTT.
+    // Phase 2: one segment is held back so its ACK arrives only after
+    // the RTO retransmission; were the sender to time the
+    // retransmitted copy, the bogus short sample would drag SRTT.
+    const util::Bytes first = filledBytes(2 * TcpConnection::kMss, 1);
+    const util::Bytes second = filledBytes(TcpConnection::kMss, 2);
+    conn->onConnected = [&] { ASSERT_TRUE(conn->send(first).ok()); };
+    h.run(2.0);
+    ASSERT_EQ(conn->stats().bytesAcked, first.size());
+    const double srttBefore = conn->stats().srttSeconds;
+    ASSERT_GT(srttBefore, 0.0);
+
+    int seen = 0;
+    h.peerTap = [&](const Packet& p) {
+        if (!p.payload.empty() && ++seen == 1) return true;  // drop original
+        return false;
+    };
+    ASSERT_TRUE(conn->send(second).ok());
+    h.run(10.0);
+
+    EXPECT_EQ(conn->stats().bytesAcked, first.size() + second.size());
+    EXPECT_GE(conn->stats().timeouts, 1u);
+    // The ACK of the retransmitted copy arrived one RTT after the
+    // retransmission — a valid sample would have kept SRTT near 20 ms,
+    // an invalid one (timed from the original send) would have blown
+    // it up past the RTO interval. Karn's rule discards it entirely,
+    // so SRTT is exactly what phase 1 left behind.
+    EXPECT_DOUBLE_EQ(conn->stats().srttSeconds, srttBefore);
+}
+
+}  // namespace
+}  // namespace onelab::net::testlab

@@ -1,0 +1,124 @@
+// Ladder rung 7: zero-window flow control. Sender side: persist
+// probes with exponential backoff while the peer advertises zero, and
+// a clean resume when the window reopens. Receiver side: pauseReading
+// shrinks the DUT's advertised window to zero and resumeReading sends
+// the window-update ACK.
+
+#include <gtest/gtest.h>
+
+#include "tcp_test_harness.hpp"
+
+namespace onelab::net::testlab {
+namespace {
+
+util::Bytes filledBytes(std::size_t n, std::uint8_t seed) {
+    util::Bytes data(n);
+    for (std::size_t i = 0; i < n; ++i) data[i] = std::uint8_t(seed + i * 13);
+    return data;
+}
+
+TEST(TcpLadderZeroWindow, SenderPersistsThenResumes) {
+    TcpTestHarness h;
+    h.peerWindow = 0;  // SYN-ACK already advertises a closed window
+    TcpOptions opts;
+    opts.fixedIss = 100;
+    TcpConnection* conn = h.tcp().connect(peerAddr(), 80, 0, {}, opts);
+
+    const util::Bytes data = filledBytes(8 * 1024, 21);
+    conn->onConnected = [&] { ASSERT_TRUE(conn->send(data).ok()); };
+
+    // Reopen the window after 10 s of persisting.
+    h.sim.schedule(sim::seconds(10.0), [&] { h.peerWindow = 65535; });
+
+    h.run(40.0);
+
+    EXPECT_EQ(h.peerReceived, data);
+    EXPECT_EQ(conn->stats().bytesAcked, data.size());
+    // While the window was closed the sender probed, it did not blast:
+    // probes carry exactly one byte and back off exponentially.
+    EXPECT_GE(conn->stats().zeroWindowProbes, 3u);
+    EXPECT_EQ(conn->stats().timeouts, 0u);
+
+    std::vector<double> probeAt;
+    for (const CapturedSegment& s : h.sent)
+        if (s.payloadSize() == 1 && sim::toSeconds(s.at) < 10.0)
+            probeAt.push_back(sim::toSeconds(s.at));
+    ASSERT_GE(probeAt.size(), 3u);
+    for (std::size_t i = 1; i + 1 < probeAt.size(); ++i) {
+        const double prev = probeAt[i] - probeAt[i - 1];
+        const double next = probeAt[i + 1] - probeAt[i];
+        EXPECT_NEAR(next, 2.0 * prev, 0.05 * next);
+    }
+}
+
+TEST(TcpLadderZeroWindow, ProbeIntervalIsCappedNotAbandoned) {
+    TcpTestHarness h;
+    h.peerWindow = 0;
+    TcpOptions opts;
+    opts.fixedIss = 100;
+    TcpConnection* conn = h.tcp().connect(peerAddr(), 80, 0, {}, opts);
+
+    const util::Bytes data = filledBytes(1024, 3);
+    conn->onConnected = [&] { ASSERT_TRUE(conn->send(data).ok()); };
+
+    // A long stall: unlike the RTO path there is no give-up counter —
+    // the connection must still be alive and must complete once the
+    // window finally opens.
+    h.sim.schedule(sim::seconds(300.0), [&] { h.peerWindow = 65535; });
+    h.run(340.0);
+
+    EXPECT_EQ(h.peerReceived, data);
+    EXPECT_EQ(conn->stats().bytesAcked, data.size());
+    EXPECT_GE(conn->stats().zeroWindowProbes, 6u);
+    EXPECT_NE(conn->state(), TcpState::closed);
+}
+
+TEST(TcpLadderZeroWindow, ReceiverPauseClosesAdvertisedWindow) {
+    TcpTestHarness h;
+    TcpConnection* accepted = nullptr;
+    util::Bytes delivered;
+    TcpOptions opts;
+    opts.fixedIss = 7000;
+    opts.receiveBufferBytes = 8 * 1024;
+    ASSERT_TRUE(h.tcp()
+                    .listen(80,
+                            [&](TcpConnection& c) {
+                                accepted = &c;
+                                c.pauseReading();
+                                c.onData = [&](util::ByteView d) {
+                                    delivered.insert(delivered.end(), d.begin(), d.end());
+                                };
+                            },
+                            0, opts)
+                    .ok());
+
+    h.peerConnect(80);
+    h.run(0.5);
+    ASSERT_NE(accepted, nullptr);
+
+    // Fill the DUT's 8 KiB receive buffer while the app is paused.
+    const util::Bytes data = filledBytes(8 * 1024, 17);
+    for (std::size_t off = 0; off < data.size(); off += TcpConnection::kMss) {
+        const std::size_t n = std::min(TcpConnection::kMss, data.size() - off);
+        h.peerSend(util::ByteView{data.data() + off, n});
+    }
+    h.run(2.0);
+
+    // The app saw nothing, the buffer is full, and the last ACK on the
+    // wire advertises a zero window.
+    EXPECT_TRUE(delivered.empty());
+    EXPECT_EQ(accepted->advertisedWindow(), 0u);
+    ASSERT_FALSE(h.sent.empty());
+    EXPECT_EQ(h.sent.back().window(), 0u);
+
+    // Resume: everything drains to the app in order and a window
+    // update goes out.
+    accepted->resumeReading();
+    h.run(1.0);
+    EXPECT_EQ(delivered, data);
+    EXPECT_GT(h.sent.back().window(), 0u);
+    EXPECT_EQ(accepted->advertisedWindow(), std::size_t(8 * 1024));
+}
+
+}  // namespace
+}  // namespace onelab::net::testlab

@@ -1,0 +1,107 @@
+// net::Seq serial arithmetic: pinned edge cases at the 2^31 and 2^32
+// boundaries, plus a randomized model check against a 64-bit reference
+// implementation (satellite of the TCP ladder PR).
+
+#include "net/seq.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+#include "util/rand.hpp"
+
+namespace onelab::net {
+namespace {
+
+TEST(SeqTest, ComparisonsAcrossTheWrap) {
+    const Seq a{0xFFFFFFF0u};
+    const Seq b{0x00000010u};  // 0x20 ahead of a, across the wrap
+    EXPECT_LT(a, b);
+    EXPECT_GT(b, a);
+    EXPECT_EQ(b - a, 0x20);
+    EXPECT_EQ(a - b, -0x20);
+    EXPECT_EQ(a + 0x20u, b);
+}
+
+TEST(SeqTest, HalfCircleIsTheTippingPoint) {
+    const Seq base{1000};
+    // One short of half the circle: still "ahead".
+    EXPECT_GT(base + (0x7FFFFFFFu), base);
+    // Exactly half the circle behaves as "behind" (distance is
+    // INT32_MIN, which is negative) — the documented RFC 1982 edge.
+    EXPECT_LT(base + 0x80000000u, base);
+}
+
+TEST(SeqTest, InWindow) {
+    const Seq lo{0xFFFFFF00u};
+    EXPECT_TRUE(Seq{0xFFFFFF00u}.inWindow(lo, 0x200));
+    EXPECT_TRUE(Seq{0x000000FFu}.inWindow(lo, 0x200));   // wrapped inside
+    EXPECT_FALSE(Seq{0x00000100u}.inWindow(lo, 0x200));  // one past the end
+    EXPECT_FALSE(Seq{0xFFFFFEFFu}.inWindow(lo, 0x200));  // one before
+    EXPECT_FALSE(Seq{0}.inWindow(lo, 0));                // empty window
+}
+
+TEST(SeqTest, IncrementDecrementAndCompound) {
+    Seq s{0xFFFFFFFFu};
+    EXPECT_EQ((s++).value(), 0xFFFFFFFFu);
+    EXPECT_EQ(s.value(), 0u);
+    ++s;
+    EXPECT_EQ(s.value(), 1u);
+    s += 0xFFFFFFFFu;  // a full lap minus one
+    EXPECT_EQ(s.value(), 0u);
+    s -= 5;
+    EXPECT_EQ(s.value(), 0xFFFFFFFBu);
+}
+
+// Model check: drive a Seq and an unwrapped 64-bit reference through
+// the same randomized op sequence. Offsets stay below 2^31 so every
+// comparison is within serial-arithmetic range, but the walk itself
+// crosses the 2^31 and 2^32 boundaries many times.
+TEST(SeqTest, RandomizedModelCheckAgainstUnwrapped64Bit) {
+    util::RandomStream rng{0xBADC0FFEu};
+
+    // Start just below the wrap so the walk crosses it immediately.
+    std::uint64_t model = 0xFFFFFF00u;
+    Seq seq{std::uint32_t(model)};
+
+    for (int op = 0; op < 2000; ++op) {
+        switch (rng.uniformInt(0, 3)) {
+            case 0: {  // advance (a segment's worth)
+                const auto step = std::uint32_t(rng.uniformInt(0, 65535));
+                model += step;
+                seq += step;
+                break;
+            }
+            case 1: {  // compare against a nearby point
+                const auto offset = std::int64_t(rng.uniformInt(-1'000'000, 1'000'000));
+                const std::uint64_t otherModel = model + std::uint64_t(offset);
+                const Seq other{std::uint32_t(otherModel)};
+                ASSERT_EQ(other < seq, offset < 0) << "op " << op;
+                ASSERT_EQ(other > seq, offset > 0) << "op " << op;
+                ASSERT_EQ(other == seq, offset == 0) << "op " << op;
+                ASSERT_EQ(other <= seq, offset <= 0) << "op " << op;
+                ASSERT_EQ(other >= seq, offset >= 0) << "op " << op;
+                break;
+            }
+            case 2: {  // signed distance to a nearby point
+                const auto offset = std::int64_t(rng.uniformInt(-2'000'000, 2'000'000));
+                const Seq other{std::uint32_t(model + std::uint64_t(offset))};
+                ASSERT_EQ(std::int64_t(other - seq), offset) << "op " << op;
+                break;
+            }
+            case 3: {  // window membership
+                const auto size = std::uint32_t(rng.uniformInt(0, 1'000'000));
+                const auto lag = std::uint64_t(rng.uniformInt(0, 2'000'000));
+                const Seq lo{std::uint32_t(model - lag)};
+                ASSERT_EQ(seq.inWindow(lo, size), lag < size) << "op " << op;
+                break;
+            }
+        }
+        ASSERT_EQ(seq.value(), std::uint32_t(model)) << "op " << op;
+    }
+    // The walk covered many laps of the 32-bit circle.
+    EXPECT_GT(model, std::uint64_t{0x100000000u});
+}
+
+}  // namespace
+}  // namespace onelab::net

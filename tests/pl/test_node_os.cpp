@@ -64,6 +64,36 @@ TEST_F(NodeOsTest, SliceSocketsCarryXid) {
     EXPECT_EQ(rootSocket.value()->sliceXid(), 0);
 }
 
+TEST_F(NodeOsTest, TcpHostIsLazySharedAndHostnameSeeded) {
+    net::TcpHost& first = node.tcp();
+    EXPECT_EQ(&first, &node.tcp());  // one shared layer per node
+    EXPECT_EQ(first.connectionCount(), 0u);
+
+    // Seeding is a pure function of the hostname: two nodes with the
+    // same name draw identical ISS/port sequences, different names
+    // diverge. That is what keeps fleet runs shard-deterministic.
+    NodeOs twinA{sim, "twin.example.org"};
+    NodeOs twinB{sim, "twin.example.org"};
+    NodeOs other{sim, "other.example.org"};
+    Slice& sliceA = twinA.createSlice("pl_probe");
+    Slice& sliceB = twinB.createSlice("pl_probe");
+    Slice& sliceC = other.createSlice("pl_probe");
+    const net::Ipv4Address nowhere{192, 0, 2, 1};
+    net::TcpConnection* a =
+        twinA.tcp().connect(nowhere, 80, twinA.sliceContext(sliceA).xid());
+    net::TcpConnection* b =
+        twinB.tcp().connect(nowhere, 80, twinB.sliceContext(sliceB).xid());
+    net::TcpConnection* c =
+        other.tcp().connect(nowhere, 80, other.sliceContext(sliceC).xid());
+    ASSERT_NE(a, nullptr);
+    ASSERT_NE(b, nullptr);
+    ASSERT_NE(c, nullptr);
+    EXPECT_EQ(a->iss().value(), b->iss().value());
+    EXPECT_NE(a->iss().value(), c->iss().value());
+    // VNET+ tagging: the connection carries the slice's xid.
+    EXPECT_EQ(a->sliceXid(), twinA.sliceContext(sliceA).xid());
+}
+
 TEST_F(NodeOsTest, VsysIsPerNode) {
     node.vsys().install("umts", [](const Slice&, const std::vector<std::string>&,
                                    Vsys::Completion done) { done(VsysResult{0, {}}); });
