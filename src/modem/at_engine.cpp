@@ -12,7 +12,9 @@ AtEngine::AtEngine(sim::Simulator& simulator, std::string logTag)
 
 void AtEngine::attachTty(sim::ByteChannel& tty) {
     tty_ = &tty;
-    tty.onData([this](util::ByteView data) { onHostData(data); });
+    // Slice-aware receive: in data mode the arriving pooled buffer is
+    // forwarded to the bearer bridge without a copy.
+    tty.onDataShared([this](util::SharedBytes data) { onHostData(data); });
 }
 
 void AtEngine::registerCommand(const std::string& prefix, Handler handler) {
@@ -41,6 +43,12 @@ void AtEngine::unsolicited(const std::string& line) {
 }
 
 void AtEngine::enterDataMode(std::function<void(util::ByteView)> fromHost) {
+    enterDataModeShared([fromHost = std::move(fromHost)](const util::SharedBytes& data) {
+        fromHost(data.view());
+    });
+}
+
+void AtEngine::enterDataModeShared(std::function<void(util::SharedBytes)> fromHost) {
     dataMode_ = true;
     dataSink_ = std::move(fromHost);
     plusCount_ = 0;
@@ -58,34 +66,42 @@ void AtEngine::sendToHost(util::ByteView data) {
     if (tty_) tty_->write(data);
 }
 
-void AtEngine::onHostData(util::ByteView data) {
-    if (dataMode_) {
-        // Scan for the escape sequence: guard, "+++", guard.
-        for (const std::uint8_t byte : data) {
-            const sim::SimTime now = sim_.now();
-            if (byte == '+') {
-                const bool guardOk = plusCount_ > 0 || (now - lastDataByte_) >= kGuardTime;
-                plusCount_ = guardOk ? plusCount_ + 1 : 0;
-                if (plusCount_ == 3) {
-                    // Arm the trailing guard: if nothing follows for a
-                    // guard time, escape fires.
-                    if (escapeTimer_.valid()) sim_.cancel(escapeTimer_);
-                    escapeTimer_ = sim_.schedule(kGuardTime, [this] {
-                        escapeTimer_ = {};
-                        plusCount_ = 0;
-                        log_.info() << "escape sequence detected";
-                        if (onEscape) onEscape();
-                    });
-                }
-            } else {
-                plusCount_ = 0;
-                if (escapeTimer_.valid()) {
-                    sim_.cancel(escapeTimer_);
+void AtEngine::sendToHost(const util::SharedBytes& data) {
+    if (tty_) tty_->write(data);
+}
+
+void AtEngine::scanEscapeSequence(util::ByteView data) {
+    // Scan for the escape sequence: guard, "+++", guard.
+    for (const std::uint8_t byte : data) {
+        const sim::SimTime now = sim_.now();
+        if (byte == '+') {
+            const bool guardOk = plusCount_ > 0 || (now - lastDataByte_) >= kGuardTime;
+            plusCount_ = guardOk ? plusCount_ + 1 : 0;
+            if (plusCount_ == 3) {
+                // Arm the trailing guard: if nothing follows for a
+                // guard time, escape fires.
+                if (escapeTimer_.valid()) sim_.cancel(escapeTimer_);
+                escapeTimer_ = sim_.schedule(kGuardTime, [this] {
                     escapeTimer_ = {};
-                }
+                    plusCount_ = 0;
+                    log_.info() << "escape sequence detected";
+                    if (onEscape) onEscape();
+                });
             }
-            lastDataByte_ = now;
+        } else {
+            plusCount_ = 0;
+            if (escapeTimer_.valid()) {
+                sim_.cancel(escapeTimer_);
+                escapeTimer_ = {};
+            }
         }
+        lastDataByte_ = now;
+    }
+}
+
+void AtEngine::onHostData(const util::SharedBytes& data) {
+    if (dataMode_) {
+        scanEscapeSequence(data.view());
         // Copy before invoking: the sink may switch the engine back to
         // command mode (escape/hangup paths) while executing.
         const auto sink = dataSink_;
@@ -93,13 +109,22 @@ void AtEngine::onHostData(util::ByteView data) {
         return;
     }
 
-    for (const std::uint8_t byte : data) {
+    // Echoed characters are batched into one TTY write per chunk,
+    // flushed before any command reply so the host still sees echo
+    // bytes ahead of the result codes they triggered.
+    const auto flushEcho = [this] {
+        if (echoBuffer_.empty()) return;
+        if (tty_) tty_->write({echoBuffer_.data(), echoBuffer_.size()});
+        echoBuffer_.clear();
+    };
+    for (const std::uint8_t byte : data.view()) {
         const char c = char(byte);
-        if (echo_ && tty_) tty_->write({&byte, 1});
+        if (echo_ && tty_) echoBuffer_.push_back(byte);
         if (c == '\r' || c == '\n') {
             if (!lineBuffer_.empty()) {
                 std::string line;
                 line.swap(lineBuffer_);
+                flushEcho();
                 processLine(line);
             }
             continue;
@@ -110,6 +135,7 @@ void AtEngine::onHostData(util::ByteView data) {
         }
         lineBuffer_.push_back(c);
     }
+    flushEcho();
 }
 
 void AtEngine::processLine(const std::string& line) {

@@ -48,11 +48,17 @@ class AtEngine {
     /// Enter data mode: raw host bytes flow to `fromHost` instead of
     /// the command parser. Call after sending the CONNECT final.
     void enterDataMode(std::function<void(util::ByteView)> fromHost);
+    /// Slice-aware variant: `fromHost` receives the refcounted pooled
+    /// buffer that arrived on the TTY, so the modem bridge forwards it
+    /// to the bearer without a copy.
+    void enterDataModeShared(std::function<void(util::SharedBytes)> fromHost);
     /// Back to command mode (on hangup or escape).
     void leaveDataMode();
     [[nodiscard]] bool inDataMode() const noexcept { return dataMode_; }
     /// Raw bytes toward the host while in data mode (PPP frames).
     void sendToHost(util::ByteView data);
+    /// Zero-copy variant: forwards the slice to the TTY as-is.
+    void sendToHost(const util::SharedBytes& data);
 
     /// Fired when "+++" with proper guard times is detected in data
     /// mode; the modem decides what to do (switch to command mode).
@@ -70,7 +76,8 @@ class AtEngine {
     [[nodiscard]] int forcedFinalsPending() const noexcept { return forcedCount_; }
 
   private:
-    void onHostData(util::ByteView data);
+    void onHostData(const util::SharedBytes& data);
+    void scanEscapeSequence(util::ByteView data);
     void processLine(const std::string& line);
     void dispatch(const std::string& body);
 
@@ -83,7 +90,8 @@ class AtEngine {
     bool busy_ = false;       ///< a handler owes a final result
     std::string openSpan_;    ///< command name of the open tracer span, if any
     bool dataMode_ = false;
-    std::function<void(util::ByteView)> dataSink_;
+    std::function<void(util::SharedBytes)> dataSink_;
+    util::Bytes echoBuffer_;  ///< command-mode echo, flushed per chunk
 
     // "+++" escape detection (1 s guard before, three '+', 1 s after).
     static constexpr sim::SimTime kGuardTime = sim::millis(1000);

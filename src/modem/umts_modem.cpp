@@ -169,14 +169,15 @@ void UmtsModem::hangup(bool notifyNoCarrier) {
 
 void UmtsModem::bridgeDataMode() {
     if (!session_) return;
-    // Host -> bearer uplink.
-    engine_.enterDataMode(
-        [this](util::ByteView data) {
+    // Host -> bearer uplink: the pooled slice that arrived on the TTY
+    // is queued into the RLC buffer without a copy.
+    engine_.enterDataModeShared(
+        [this](util::SharedBytes data) {
             if (session_) session_->ueChannel().write(data);
         });
     // Bearer downlink -> host (only while online; a suspended call
     // discards downlink bytes like a real modem's overflowing buffer).
-    session_->ueChannel().onData([this](util::ByteView data) {
+    session_->ueChannel().onDataShared([this](util::SharedBytes data) {
         if (engine_.inDataMode()) engine_.sendToHost(data);
     });
     session_->onTeardown = [this] {

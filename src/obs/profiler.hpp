@@ -18,7 +18,8 @@ enum class ProfileCategory : std::uint8_t {
     sim_event,    ///< dispatch batches of fired events not claimed by a deeper stage
     hdlc_encode,  ///< PPP frame build + escaping
     hdlc_decode,  ///< PPP deframing/unescaping
-    fcs16,        ///< frame checksum (both directions)
+    fcs16,        ///< retired: FCS now fused into hdlc_* scans; kept so
+                  ///< the profile.json export shape stays byte-stable
     rlc_queue,    ///< RLC enqueue + TTI service
     pipe,         ///< serial byte pipe copy/corrupt/deliver
     pppd,         ///< pppd frame dispatch and control protocols

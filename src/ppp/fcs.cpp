@@ -1,35 +1,25 @@
 #include "ppp/fcs.hpp"
 
-#include <array>
-
 namespace onelab::ppp {
 
-namespace {
-
-constexpr std::array<std::uint16_t, 256> makeTable() {
-    std::array<std::uint16_t, 256> table{};
-    for (std::uint32_t b = 0; b < 256; ++b) {
-        std::uint16_t value = std::uint16_t(b);
-        for (int bit = 0; bit < 8; ++bit)
-            value = (value & 1) ? std::uint16_t((value >> 1) ^ 0x8408) : std::uint16_t(value >> 1);
-        table[b] = value;
+std::uint16_t fcsUpdate(std::uint16_t fcs, util::ByteView data) noexcept {
+    const std::uint8_t* p = data.data();
+    std::size_t n = data.size();
+    while (n >= 8) {
+        // The 16-bit register only reaches the first two bytes; the
+        // remaining six contribute through their distance tables alone.
+        fcs = std::uint16_t(kFcsTables[7][(fcs ^ p[0]) & 0xff] ^
+                            kFcsTables[6][((fcs >> 8) ^ p[1]) & 0xff] ^ kFcsTables[5][p[2]] ^
+                            kFcsTables[4][p[3]] ^ kFcsTables[3][p[4]] ^ kFcsTables[2][p[5]] ^
+                            kFcsTables[1][p[6]] ^ kFcsTables[0][p[7]]);
+        p += 8;
+        n -= 8;
     }
-    return table;
-}
-
-constexpr auto kTable = makeTable();
-
-}  // namespace
-
-std::uint16_t fcsStep(std::uint16_t fcs, std::uint8_t byte) noexcept {
-    return std::uint16_t((fcs >> 8) ^ kTable[(fcs ^ byte) & 0xff]);
-}
-
-std::uint16_t fcs16(util::ByteView data) noexcept {
-    std::uint16_t fcs = kFcsInit;
-    for (const std::uint8_t byte : data) fcs = fcsStep(fcs, byte);
+    while (n--) fcs = fcsStep(fcs, *p++);
     return fcs;
 }
+
+std::uint16_t fcs16(util::ByteView data) noexcept { return fcsUpdate(kFcsInit, data); }
 
 bool fcsValid(util::ByteView dataWithFcs) noexcept {
     if (dataWithFcs.size() < 2) return false;

@@ -3,6 +3,7 @@
 #include <cstdint>
 #include <functional>
 
+#include "ppp/fcs.hpp"
 #include "util/bytes.hpp"
 
 namespace onelab::ppp {
@@ -38,9 +39,18 @@ struct FramerConfig {
 /// stuffing per the send ACCM (flag/escape always escaped).
 [[nodiscard]] util::Bytes encodeFrame(const Frame& frame, const FramerConfig& config);
 
+/// The allocation-free form the datapath uses: encode protocol + info
+/// into `out` (cleared first — pass a pooled buffer to recycle its
+/// capacity). One pass: maximal no-escape runs are bulk-copied with
+/// the FCS fused into the same scan, into a buffer reserved to
+/// maxEncodedSize() so appending never reallocates.
+void encodeFrameInto(Protocol protocol, util::ByteView info, const FramerConfig& config,
+                     util::Bytes& out);
+
 /// Incremental deframer: feed received bytes, emit complete validated
 /// frames. Frames with a bad FCS or shorter than protocol+FCS are
-/// dropped and counted.
+/// dropped and counted. Runs of ordinary bytes are located with a
+/// word-at-a-time scan and bulk-appended into a reused frame buffer.
 class Deframer {
   public:
     /// Handler invoked for each good frame.
@@ -52,21 +62,46 @@ class Deframer {
     /// Drop any partial frame (used when (re)starting the link).
     void reset();
 
+    /// Cap on the accumulated (unescaped) frame bytes. A flag-less
+    /// garbage stream can otherwise grow the frame buffer without
+    /// bound; an oversized frame is dropped (badFrames + the
+    /// ppp.hdlc.oversize counter) and the stream resynchronises at the
+    /// next flag.
+    void setMaxFrameLength(std::size_t bytes) noexcept { maxFrame_ = bytes; }
+    [[nodiscard]] std::size_t maxFrameLength() const noexcept { return maxFrame_; }
+
     [[nodiscard]] std::uint64_t goodFrames() const noexcept { return good_; }
     [[nodiscard]] std::uint64_t badFrames() const noexcept { return bad_; }
+    /// Frames dropped by the max-frame-length guard (also in bad_).
+    [[nodiscard]] std::uint64_t oversizedFrames() const noexcept { return oversized_; }
 
   private:
+    static constexpr std::size_t kDefaultMaxFrameLength = 64 * 1024;
+
+    void appendRun(const std::uint8_t* data, std::size_t size);
     void endFrame();
 
     std::function<void(Frame)> handler_;
     util::Bytes current_;
+    std::uint16_t fcs_ = kFcsInit;  ///< running FCS over current_, fed by appendRun
     bool escaped_ = false;
+    bool discarding_ = false;  ///< oversized frame: skip until the next flag
+    std::size_t maxFrame_ = kDefaultMaxFrameLength;
     std::uint64_t good_ = 0;
     std::uint64_t bad_ = 0;
+    std::uint64_t oversized_ = 0;
 };
 
 /// Rough per-frame byte overhead of the framing (flags, addr/ctrl,
 /// protocol, FCS) before stuffing, for capacity accounting.
 [[nodiscard]] std::size_t framingOverhead(const FramerConfig& config) noexcept;
+
+/// Worst-case encoded size of a frame carrying `infoLen` info bytes:
+/// every field byte (including both FCS bytes) escaping to two, plus
+/// the two flags. The encode path reserves this; callers sizing
+/// buffers from framingOverhead() alone under-reserve on escape-heavy
+/// payloads.
+[[nodiscard]] std::size_t maxEncodedSize(std::size_t infoLen,
+                                         const FramerConfig& config) noexcept;
 
 }  // namespace onelab::ppp

@@ -23,6 +23,7 @@ Pppd::Pppd(sim::Simulator& simulator, PppdConfig config)
       config_(std::move(config)),
       log_("pppd." + config_.name),
       rng_(config_.seed) {
+    sim_.attachPool(&framePool_);
     LcpConfig lcpConfig = config_.lcp;
     if (config_.isServer) lcpConfig.requireAuth = config_.requireAuth;
     lcp_ = std::make_unique<Lcp>(sim_, lcpConfig, rng_.derive("lcp"), config_.timers);
@@ -64,6 +65,7 @@ Pppd::Pppd(sim::Simulator& simulator, PppdConfig config)
 Pppd::~Pppd() {
     *alive_ = false;
     if (echoTimer_.valid()) sim_.cancel(echoTimer_);
+    sim_.detachPool(&framePool_);
 }
 
 void Pppd::attach(sim::ByteChannel& channel) {
@@ -135,18 +137,20 @@ void Pppd::sendControl(Protocol protocol, const ControlPacket& packet) {
 
 void Pppd::sendFrame(Protocol protocol, util::ByteView info) {
     if (!line_) return;
-    Frame frame;
-    frame.protocol = protocol;
-    frame.info.assign(info.begin(), info.end());
     // LCP control traffic always uses default framing (RFC 1662 §7).
     const bool isLcp = protocol == Protocol::lcp;
-    FramerConfig framing = isLcp ? FramerConfig{.sendAccm = sendFramer_.sendAccm,
-                                                .compressProtocolField = false,
-                                                .compressAddressControl = false}
-                                 : sendFramer_;
-    const util::Bytes wire = encodeFrame(frame, framing);
+    const FramerConfig framing = isLcp ? FramerConfig{.sendAccm = sendFramer_.sendAccm,
+                                                      .compressProtocolField = false,
+                                                      .compressAddressControl = false}
+                                       : sendFramer_;
+    // Encode straight into a pooled buffer and hand the line a
+    // refcounted slice: the same bytes ride every hop to the deframer
+    // (zero-copy channels) or degrade to one copy at the first legacy
+    // hop. The capacity recycles when the last hop lets go.
+    util::Bytes wire = framePool_.acquire(std::size_t{0});
+    encodeFrameInto(protocol, info, framing, wire);
     counters_.bytesToLine += wire.size();
-    line_->write({wire.data(), wire.size()});
+    line_->write(framePool_.share(std::move(wire)));
 }
 
 void Pppd::onLcpUp() {

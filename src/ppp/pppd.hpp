@@ -9,6 +9,7 @@
 #include "ppp/framer.hpp"
 #include "ppp/ipcp.hpp"
 #include "ppp/lcp.hpp"
+#include "sim/buffer_pool.hpp"
 #include "sim/pipe.hpp"
 #include "util/rand.hpp"
 
@@ -146,6 +147,14 @@ class Pppd {
     void linkDown(const std::string& reason);
 
     sim::Simulator& sim_;
+    /// Private frame-buffer pool: sendFrame() encodes into these and
+    /// hands refcounted slices down the line. Keeping the freelist
+    /// per-pppd (instead of using the shard-shared simulator pool)
+    /// makes its reuse/allocate split deterministic per link, so the
+    /// merged sim.pool.* counters stay byte-identical no matter which
+    /// shard this stack lands on. Declared before the subsystems that
+    /// might hold slices; outstanding slices orphan safely regardless.
+    sim::BufferPool framePool_;
     PppdConfig config_;
     util::Logger log_;
     util::RandomStream rng_;

@@ -10,11 +10,52 @@ BufferPool::BufferPool()
     : reusedCounter_(&obs::Registry::instance().counter("sim.pool.buffers_reused")),
       allocatedCounter_(&obs::Registry::instance().counter("sim.pool.buffers_allocated")) {
     free_.reserve(kMaxPooled);  // release() must not allocate (noexcept)
+    freeCores_.reserve(kMaxPooled);
+}
+
+BufferPool::~BufferPool() {
+    // Slices can outlive the pool (an event queue destroyed after its
+    // simulator's pool, a test holding one): orphan them so the last
+    // reference plain-deletes its core instead of calling back here.
+    for (util::SharedBytesCore* core : liveCores_) core->recycler = nullptr;
+    for (util::SharedBytesCore* core : freeCores_) delete core;
+    syncCounters();
 }
 
 util::Bytes BufferPool::allocate(std::size_t size) {
     ++allocations_;
     return util::Bytes(size);
+}
+
+util::SharedBytes BufferPool::share(util::Bytes&& buffer) {
+    util::SharedBytesCore* core;
+    if (!freeCores_.empty()) {
+        core = freeCores_.back();
+        freeCores_.pop_back();
+    } else {
+        core = new util::SharedBytesCore;
+    }
+    core->data = std::move(buffer);
+    core->recycler = this;
+    core->liveIndex = liveCores_.size();
+    liveCores_.push_back(core);
+    return util::SharedBytes::adopt(core);
+}
+
+void BufferPool::recycleShared(util::SharedBytesCore* core) noexcept {
+    // Swap-remove from the live set; the moved entry keeps its slot id.
+    const std::size_t index = core->liveIndex;
+    liveCores_[index] = liveCores_.back();
+    liveCores_[index]->liveIndex = index;
+    liveCores_.pop_back();
+
+    release(std::move(core->data));
+    core->data = util::Bytes{};
+    core->recycler = nullptr;
+    if (freeCores_.size() < kMaxPooled)
+        freeCores_.push_back(core);
+    else
+        delete core;
 }
 
 void BufferPool::syncCounters() noexcept {

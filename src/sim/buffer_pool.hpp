@@ -6,6 +6,7 @@
 
 #include "obs/registry.hpp"
 #include "util/bytes.hpp"
+#include "util/shared_bytes.hpp"
 
 namespace onelab::sim {
 
@@ -16,10 +17,15 @@ namespace onelab::sim {
 /// that owns it; releasing is optional — a buffer that is simply
 /// destroyed (cancelled event, cleared queue) is a missed reuse, never
 /// a leak or a double free.
-class BufferPool {
+///
+/// Buffers can also leave as refcounted util::SharedBytes slices
+/// (share()/acquireShared()): the capacity comes back automatically
+/// when the last slice drops, and a pool torn down with slices still
+/// outstanding orphans them safely (they self-free).
+class BufferPool : private util::SharedBytesRecycler {
   public:
     BufferPool();
-    ~BufferPool() { syncCounters(); }
+    ~BufferPool();
 
     BufferPool(const BufferPool&) = delete;
     BufferPool& operator=(const BufferPool&) = delete;
@@ -49,9 +55,24 @@ class BufferPool {
         free_.push_back(std::move(buffer));
     }
 
+    /// Wrap `buffer` (typically filled in place after acquire()) into
+    /// a refcounted slice. When the last reference drops the capacity
+    /// returns to this pool — the zero-copy hand-off the datapath
+    /// rides from framer to delivery.
+    [[nodiscard]] util::SharedBytes share(util::Bytes&& buffer);
+
+    /// A refcounted pooled copy of `data` (acquire + share).
+    [[nodiscard]] util::SharedBytes acquireShared(util::ByteView data) {
+        return share(acquire(data));
+    }
+
     [[nodiscard]] std::size_t pooledBuffers() const noexcept { return free_.size(); }
     [[nodiscard]] std::uint64_t reuses() const noexcept { return reuses_; }
     [[nodiscard]] std::uint64_t allocations() const noexcept { return allocations_; }
+    /// Shared slices issued and not yet recycled.
+    [[nodiscard]] std::size_t outstandingShared() const noexcept {
+        return liveCores_.size();
+    }
 
     /// Push the local tallies into the registry mirrors
     /// (sim.pool.buffers_*). The owning Simulator calls this at
@@ -67,7 +88,12 @@ class BufferPool {
     /// Slow path: the pool is empty, go to the allocator.
     [[nodiscard]] util::Bytes allocate(std::size_t size);
 
+    /// Last shared reference dropped: reclaim capacity and the core.
+    void recycleShared(util::SharedBytesCore* core) noexcept override;
+
     std::vector<util::Bytes> free_;
+    std::vector<util::SharedBytesCore*> liveCores_;  ///< issued, refs > 0
+    std::vector<util::SharedBytesCore*> freeCores_;  ///< recycled core shells
     std::uint64_t reuses_ = 0;
     std::uint64_t allocations_ = 0;
     std::uint64_t syncedReuses_ = 0;

@@ -40,7 +40,7 @@ class Pipe::End final : public ByteChannel {
             writeAcrossShards(data);
             return;
         }
-        if (!peer_->handler_) {
+        if (!peer_->handler_ && !peer_->sharedHandler_) {
             // The peer never installed a receive callback: the bytes
             // would be dropped at delivery time anyway, so skip the
             // copy, the corruption pass and the scheduled event — but
@@ -80,6 +80,14 @@ class Pipe::End final : public ByteChannel {
             // themselves (wvdial hands the TTY from chat to pppd from
             // within a delivery), and invoking the member directly
             // would destroy the executing closure.
+            if (peer->sharedHandler_) {
+                // Slice-aware receiver: hand the pooled buffer over as
+                // a refcounted slice (it recycles when the last hop
+                // lets go) instead of releasing it here.
+                const auto handler = peer->sharedHandler_;
+                handler(pool->share(std::move(buffer)));
+                return;
+            }
             const auto handler = peer->handler_;
             if (handler) handler(buffer);
             // Recycle the buffer for the next write. An event that
@@ -88,8 +96,51 @@ class Pipe::End final : public ByteChannel {
         });
     }
 
+    /// Zero-copy write: the delivery event holds a reference to the
+    /// writer's slice instead of a pooled copy. Falls back to the
+    /// copying path when the bytes must be privately owned (corruption
+    /// mutates them) or must not share a core across threads
+    /// (cross-shard cut).
+    void write(const util::SharedBytes& data) override {
+        obs::ProfileScope scope(obs::ProfileCategory::pipe);
+        if (!peer_) return;
+        if (postToPeer_) {
+            writeAcrossShards(data.view());
+            return;
+        }
+        if (corruption_ && corruptProbability_ > 0.0) {
+            write(data.view());
+            return;
+        }
+        if (!peer_->handler_ && !peer_->sharedHandler_) {
+            droppedNoHandler_->inc(data.size());
+            return;
+        }
+        End* peer = peer_;
+        std::weak_ptr<bool> peerAlive = peer->alive_;
+        const SimTime departure = sim_.now() + latency_;
+        const SimTime delivery = std::max(departure, stallUntil_);
+        sim_.schedule(delivery - sim_.now(), [peer, peerAlive, buffer = data] {
+            const auto alive = peerAlive.lock();
+            if (!alive || !*alive) return;
+            if (peer->sharedHandler_) {
+                const auto handler = peer->sharedHandler_;
+                handler(buffer);
+                return;
+            }
+            const auto handler = peer->handler_;
+            if (handler) handler(buffer.view());
+        });
+    }
+
     void onData(std::function<void(util::ByteView)> handler) override {
         handler_ = std::move(handler);
+        sharedHandler_ = nullptr;
+    }
+
+    void onDataShared(std::function<void(util::SharedBytes)> handler) override {
+        sharedHandler_ = std::move(handler);
+        handler_ = nullptr;
     }
 
     /// Peer-bound write over a shard cut. Differences from the local
@@ -114,6 +165,14 @@ class Pipe::End final : public ByteChannel {
         postToPeer_(delivery, [peer, peerAlive, buffer = std::move(copy)]() mutable {
             const auto alive = peerAlive.lock();
             if (!alive || !*alive) return;
+            if (peer->sharedHandler_) {
+                // The private heap copy can be adopted outright — it
+                // was made for this delivery and lives on the peer's
+                // shard, so the non-atomic refcount is safe.
+                const auto handler = peer->sharedHandler_;
+                handler(util::SharedBytes::wrap(std::move(buffer)));
+                return;
+            }
             const auto handler = peer->handler_;
             if (handler) {
                 handler(buffer);
@@ -167,6 +226,7 @@ class Pipe::End final : public ByteChannel {
     SimTime cutLatency_{0};
     End* peer_ = nullptr;
     std::function<void(util::ByteView)> handler_;
+    std::function<void(util::SharedBytes)> sharedHandler_;
     SimTime stallUntil_{0};
     double corruptProbability_ = 0.0;
     std::unique_ptr<util::RandomStream> corruption_;

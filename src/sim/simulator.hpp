@@ -104,6 +104,17 @@ class Simulator {
     /// writes, RLC chunks); single-threaded like the simulator itself.
     [[nodiscard]] BufferPool& bufferPool() noexcept { return pool_; }
 
+    /// Register a component-owned pool (e.g. a pppd's frame pool) so
+    /// its registry mirrors flush together with this simulator's own
+    /// pool at run-loop exit. Components keep their pools private so
+    /// recycling behaviour follows the component, not shard placement
+    /// — that keeps the sim.pool.* totals byte-identical across shard
+    /// layouts. The owner must detach before the pool is destroyed.
+    void attachPool(BufferPool* pool) { attachedPools_.push_back(pool); }
+    void detachPool(BufferPool* pool) noexcept {
+        std::erase(attachedPools_, pool);
+    }
+
     /// Install this simulator as the process-wide log clock so log
     /// lines carry simulated time.
     void attachLogClock();
@@ -154,6 +165,7 @@ class Simulator {
     // Declared before the slots so pooled buffers captured in pending
     // actions are destroyed while the pool is still alive.
     BufferPool pool_;
+    std::vector<BufferPool*> attachedPools_;  ///< component pools, counter flush only
     std::vector<Slot> slots_;
     std::vector<HeapEntry> heap_;           ///< min-heap by (when, sequence)
     std::vector<std::uint32_t> freeSlots_;  ///< recycled slot indices

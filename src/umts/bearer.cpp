@@ -58,7 +58,7 @@ BearerLink::BearerLink(sim::Simulator& simulator, Params params, util::RandomStr
                          registry.gauge(name("backlog_bytes"))};
       }()) {}
 
-void BearerLink::send(util::Bytes chunk) {
+void BearerLink::send(util::SharedBytes chunk) {
     obs::ProfileScope scope(obs::ProfileCategory::rlc_queue);
     if (backlogBytes_ + chunk.size() > params_.bufferBytes) {
         ++stats_.droppedOverflow;
@@ -119,7 +119,7 @@ void BearerLink::serveNext() {
     sim_.schedule(serialization, [this, epoch, alive] {
         const auto stillAlive = alive.lock();
         if (!stillAlive || !*stillAlive || epoch != epoch_) return;
-        util::Bytes chunk = std::move(queue_.front());
+        util::SharedBytes chunk = std::move(queue_.front());
         queue_.pop_front();
         backlogBytes_ -= chunk.size();
         metrics_.backlogBytes.add(-std::int64_t(chunk.size()));

@@ -12,6 +12,7 @@
 #include "util/bytes.hpp"
 #include "util/logging.hpp"
 #include "util/rand.hpp"
+#include "util/shared_bytes.hpp"
 
 namespace onelab::umts {
 
@@ -49,12 +50,19 @@ class BearerLink {
     BearerLink(const BearerLink&) = delete;
     BearerLink& operator=(const BearerLink&) = delete;
 
-    /// Submit a chunk (one PPP frame's bytes). Dropped when the RLC
+    /// Submit a chunk (one PPP frame's bytes) as a refcounted slice —
+    /// the RLC queue holds a reference, not a copy. Dropped when the
     /// buffer is full.
-    void send(util::Bytes chunk);
+    void send(util::SharedBytes chunk);
+    /// Convenience for senders holding a plain buffer: adopted without
+    /// copying the payload.
+    void send(util::Bytes chunk) { send(util::SharedBytes::wrap(std::move(chunk))); }
 
-    /// Delivery callback at the far end.
-    void setDeliver(std::function<void(util::Bytes)> deliver) { deliver_ = std::move(deliver); }
+    /// Delivery callback at the far end. The slice handed out is the
+    /// one queued by send() (zero-copy through the bearer).
+    void setDeliver(std::function<void(util::SharedBytes)> deliver) {
+        deliver_ = std::move(deliver);
+    }
 
     void setRate(double rateBps) noexcept { params_.rateBps = rateBps; }
     [[nodiscard]] double rate() const noexcept { return params_.rateBps; }
@@ -88,8 +96,8 @@ class BearerLink {
     Params params_;
     util::RandomStream rng_;
     util::Logger log_;
-    std::function<void(util::Bytes)> deliver_;
-    std::deque<util::Bytes> queue_;
+    std::function<void(util::SharedBytes)> deliver_;
+    std::deque<util::SharedBytes> queue_;
     std::size_t backlogBytes_ = 0;
     bool serving_ = false;
     sim::SimTime degradedUntil_{0};
@@ -146,20 +154,26 @@ class RadioBearer {
     enum class RrcState : std::uint8_t { cell_dch, cell_fach };
 
     // UE-side plane.
-    void sendUplink(util::Bytes chunk) {
+    void sendUplink(util::SharedBytes chunk) {
         touchRrc();
         uplink_.send(std::move(chunk));
     }
-    void setDownlinkSink(std::function<void(util::Bytes)> sink) {
+    void sendUplink(util::Bytes chunk) {
+        sendUplink(util::SharedBytes::wrap(std::move(chunk)));
+    }
+    void setDownlinkSink(std::function<void(util::SharedBytes)> sink) {
         downlink_.setDeliver(std::move(sink));
     }
 
     // Network-side plane.
-    void sendDownlink(util::Bytes chunk) {
+    void sendDownlink(util::SharedBytes chunk) {
         touchRrc();
         downlink_.send(std::move(chunk));
     }
-    void setUplinkSink(std::function<void(util::Bytes)> sink) {
+    void sendDownlink(util::Bytes chunk) {
+        sendDownlink(util::SharedBytes::wrap(std::move(chunk)));
+    }
+    void setUplinkSink(std::function<void(util::SharedBytes)> sink) {
         uplink_.setDeliver(std::move(sink));
     }
 

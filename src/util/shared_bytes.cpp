@@ -1,0 +1,36 @@
+#include "util/shared_bytes.hpp"
+
+#include <algorithm>
+
+namespace onelab::util {
+
+SharedBytes SharedBytes::wrap(Bytes&& data) {
+    auto* core = new SharedBytesCore;
+    core->data = std::move(data);
+    return adopt(core);
+}
+
+SharedBytes SharedBytes::copy(ByteView data) {
+    return wrap(Bytes{data.begin(), data.end()});
+}
+
+SharedBytes SharedBytes::adopt(SharedBytesCore* core) noexcept {
+    return SharedBytes{core, core->data.data(), core->data.size()};
+}
+
+SharedBytes SharedBytes::slice(std::size_t offset, std::size_t length) const noexcept {
+    offset = std::min(offset, size_);
+    length = std::min(length, size_ - offset);
+    if (length == 0) return {};  // an empty slice holds no reference
+    return SharedBytes{core_, data_ + offset, length};
+}
+
+void SharedBytes::unref() noexcept {
+    if (!core_ || --core_->refs != 0) return;
+    if (core_->recycler)
+        core_->recycler->recycleShared(core_);
+    else
+        delete core_;
+}
+
+}  // namespace onelab::util

@@ -10,6 +10,7 @@
 #include "obs/profiler.hpp"
 #include "obs/registry.hpp"
 #include "obs/flight.hpp"
+#include "ppp/framer.hpp"
 #include "util/json.hpp"
 
 namespace onelab::obs {
@@ -116,6 +117,29 @@ TEST(Profiler, ExportJsonIsDeterministicUnderAFakeClock) {
         EXPECT_DOUBLE_EQ(category.numberOr("fraction", 0.0), 1.0);
     }
     EXPECT_TRUE(sawEncode);
+}
+
+TEST(Profiler, FusedFramerBillsToHdlcNotFcs16) {
+    // The FCS is computed inside the framer's escape scan, so a frame
+    // round-trip opens hdlc_* scopes only; ppp.fcs16 stays at zero (the
+    // category survives in the export for byte-stable profile.json).
+    Profiler profiler;
+    Profiler* previous = Profiler::setCurrent(&profiler);
+    profiler.setEnabled(true);
+
+    const ppp::Frame frame{ppp::Protocol::ip, util::Bytes(256, 0x42)};
+    const util::Bytes wire = ppp::encodeFrame(frame, ppp::FramerConfig{});
+    ppp::Deframer deframer;
+    int decoded = 0;
+    deframer.onFrame([&](ppp::Frame) { ++decoded; });
+    deframer.feed({wire.data(), wire.size()});
+    Profiler::setCurrent(previous);
+
+    ASSERT_EQ(decoded, 1);
+    EXPECT_EQ(profiler.scopeCount(ProfileCategory::hdlc_encode), 1u);
+    EXPECT_EQ(profiler.scopeCount(ProfileCategory::hdlc_decode), 1u);
+    EXPECT_EQ(profiler.scopeCount(ProfileCategory::fcs16), 0u);
+    EXPECT_EQ(profiler.selfNs(ProfileCategory::fcs16), 0);
 }
 
 TEST(Profiler, ReenablingRestartsTheWindow) {

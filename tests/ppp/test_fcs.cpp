@@ -41,6 +41,43 @@ TEST(Fcs, IncrementalMatchesBulk) {
     EXPECT_EQ(incremental, fcs16({data.data(), data.size()}));
 }
 
+TEST(Fcs, BulkUpdateMatchesByteStepsAtEverySize) {
+    // The slice-by-8 path kicks in at 8 bytes and mixes block and tail
+    // processing; cross-check against the byte-at-a-time register for
+    // every length through several blocks, from every starting state.
+    util::Bytes data(64);
+    for (std::size_t i = 0; i < data.size(); ++i)
+        data[i] = std::uint8_t(i * 37 + 11);
+    for (std::size_t len = 0; len <= data.size(); ++len) {
+        std::uint16_t scalar = kFcsInit;
+        for (std::size_t i = 0; i < len; ++i) scalar = fcsStep(scalar, data[i]);
+        EXPECT_EQ(fcsUpdate(kFcsInit, {data.data(), len}), scalar) << "len " << len;
+    }
+    // Resuming from a mid-stream register (as the fused escape scan
+    // does between runs) must agree too.
+    for (std::size_t split = 0; split <= data.size(); split += 7) {
+        const std::uint16_t bulk =
+            fcsUpdate(fcsUpdate(kFcsInit, {data.data(), split}),
+                      {data.data() + split, data.size() - split});
+        EXPECT_EQ(bulk, fcs16({data.data(), data.size()})) << "split " << split;
+    }
+}
+
+TEST(Fcs, StepWordMatchesEightByteSteps) {
+    // fcsStepWord is the register-fed form of the slice-by-8 block the
+    // framer's fused scan uses on words it already loaded; it must
+    // advance the FCS exactly like eight sequential byte steps, from
+    // any starting register.
+    const util::Bytes data{0x7e, 0x00, 0x41, 0xff, 0x13, 0x7d, 0x20, 0x99};
+    std::uint64_t word = 0;
+    for (std::size_t i = 0; i < 8; ++i) word |= std::uint64_t(data[i]) << (8 * i);
+    for (const std::uint16_t start : {kFcsInit, std::uint16_t(0x0000), std::uint16_t(0xbeef)}) {
+        std::uint16_t scalar = start;
+        for (const std::uint8_t byte : data) scalar = fcsStep(scalar, byte);
+        EXPECT_EQ(fcsStepWord(start, word, fcsTables()), scalar) << "start " << start;
+    }
+}
+
 TEST(Fcs, TooShortInvalid) {
     const util::Bytes one{0x42};
     EXPECT_FALSE(fcsValid({one.data(), one.size()}));

@@ -22,7 +22,7 @@ TEST(BearerLink, DeliversWithSerializationAndBaseDelay) {
     sim::Simulator sim;
     BearerLink link{sim, fastParams(), util::RandomStream{1}, "test"};
     sim::SimTime arrival{};
-    link.setDeliver([&](util::Bytes) { arrival = sim.now(); });
+    link.setDeliver([&](const util::SharedBytes&) { arrival = sim.now(); });
     link.send(util::Bytes(1000, 0));  // 100 ms at 10 kB/s
     sim.run();
     EXPECT_GE(arrival, sim::millis(110));
@@ -38,7 +38,7 @@ TEST(BearerLink, InOrderDelivery) {
     params.jitterGammaScaleMs = 10.0;  // heavy jitter
     BearerLink link{sim, params, util::RandomStream{3}, "test"};
     std::vector<std::uint8_t> order;
-    link.setDeliver([&](util::Bytes chunk) { order.push_back(chunk.at(0)); });
+    link.setDeliver([&](const util::SharedBytes& chunk) { order.push_back(chunk.view()[0]); });
     for (std::uint8_t i = 0; i < 30; ++i) link.send(util::Bytes{i});
     sim.run();
     ASSERT_EQ(order.size(), 30u);
@@ -49,7 +49,7 @@ TEST(BearerLink, OverflowDropsTail) {
     sim::Simulator sim;
     BearerLink link{sim, fastParams(), util::RandomStream{1}, "test"};
     int delivered = 0;
-    link.setDeliver([&](util::Bytes) { ++delivered; });
+    link.setDeliver([&](const util::SharedBytes&) { ++delivered; });
     for (int i = 0; i < 20; ++i) link.send(util::Bytes(1000, 0));  // 20 kB into 10 kB buffer
     EXPECT_GT(link.stats().droppedOverflow, 0u);
     sim.run();
@@ -63,7 +63,7 @@ TEST(BearerLink, ResidualLossDropsSome) {
     params.residualLossProbability = 1.0;
     BearerLink link{sim, params, util::RandomStream{1}, "test"};
     int delivered = 0;
-    link.setDeliver([&](util::Bytes) { ++delivered; });
+    link.setDeliver([&](const util::SharedBytes&) { ++delivered; });
     link.send(util::Bytes(100, 0));
     sim.run();
     EXPECT_EQ(delivered, 0);
@@ -74,7 +74,7 @@ TEST(BearerLink, DegradedRateSlowsService) {
     sim::Simulator sim;
     BearerLink link{sim, fastParams(), util::RandomStream{1}, "test"};
     sim::SimTime arrival{};
-    link.setDeliver([&](util::Bytes) { arrival = sim.now(); });
+    link.setDeliver([&](const util::SharedBytes&) { arrival = sim.now(); });
     link.degrade(sim::seconds(10.0));
     EXPECT_TRUE(link.isDegraded());
     link.send(util::Bytes(1000, 0));  // 100 ms normally, 400 ms degraded
@@ -88,7 +88,7 @@ TEST(BearerLink, TtiQuantisesArrival) {
     params.ttiQuantum = sim::millis(10);
     BearerLink link{sim, params, util::RandomStream{1}, "test"};
     sim::SimTime arrival{};
-    link.setDeliver([&](util::Bytes) { arrival = sim.now(); });
+    link.setDeliver([&](const util::SharedBytes&) { arrival = sim.now(); });
     link.send(util::Bytes(100, 0));
     sim.run();
     EXPECT_EQ(arrival.count() % sim::millis(10).count(), 0);
@@ -98,7 +98,7 @@ TEST(BearerLink, RateChangeAffectsBacklogService) {
     sim::Simulator sim;
     BearerLink link{sim, fastParams(), util::RandomStream{1}, "test"};
     std::vector<double> arrivals;
-    link.setDeliver([&](util::Bytes) { arrivals.push_back(sim::toSeconds(sim.now())); });
+    link.setDeliver([&](const util::SharedBytes&) { arrivals.push_back(sim::toSeconds(sim.now())); });
     link.send(util::Bytes(1000, 0));
     link.send(util::Bytes(1000, 0));
     link.setRate(160000.0);  // double speed for the queued chunk
@@ -112,7 +112,7 @@ TEST(BearerLink, ClearFlushesBacklog) {
     sim::Simulator sim;
     BearerLink link{sim, fastParams(), util::RandomStream{1}, "test"};
     int delivered = 0;
-    link.setDeliver([&](util::Bytes) { ++delivered; });
+    link.setDeliver([&](const util::SharedBytes&) { ++delivered; });
     link.send(util::Bytes(1000, 0));
     link.send(util::Bytes(1000, 0));
     link.clear();
@@ -149,7 +149,7 @@ TEST(RadioBearer, SustainedSaturationTriggersUpgradeAfterGrantDelay) {
     bearer.onUplinkRateChange = [&](double oldRate, double newRate) {
         if (newRate > oldRate) upgradeAt = sim::toSeconds(sim.now());
     };
-    bearer.setUplinkSink([](util::Bytes) {});
+    bearer.setUplinkSink([](const util::SharedBytes&) {});
     // Offer ~2x the bearer rate for 10 s.
     for (int i = 0; i < 10 * 35; ++i) {
         sim.schedule(sim::millis(i * 28.0), [&] { bearer.sendUplink(util::Bytes(1052, 0)); });
@@ -166,7 +166,7 @@ TEST(RadioBearer, SustainedSaturationTriggersUpgradeAfterGrantDelay) {
 TEST(RadioBearer, NoUpgradeWithoutSaturation) {
     sim::Simulator sim;
     RadioBearer bearer{sim, onDemandProfile(), util::RandomStream{1}};
-    bearer.setUplinkSink([](util::Bytes) {});
+    bearer.setUplinkSink([](const util::SharedBytes&) {});
     // A VoIP-class load (~100 pkt/s of 130 B) never fills the buffer.
     for (int i = 0; i < 10 * 100; ++i)
         sim.schedule(sim::millis(i * 10.0), [&] { bearer.sendUplink(util::Bytes(130, 0)); });
@@ -180,7 +180,7 @@ TEST(RadioBearer, NoAdaptationWhenDisabled) {
     OperatorProfile profile = onDemandProfile();
     profile.onDemandAllocation = false;
     RadioBearer bearer{sim, profile, util::RandomStream{1}};
-    bearer.setUplinkSink([](util::Bytes) {});
+    bearer.setUplinkSink([](const util::SharedBytes&) {});
     for (int i = 0; i < 10 * 35; ++i)
         sim.schedule(sim::millis(i * 28.0), [&] { bearer.sendUplink(util::Bytes(1052, 0)); });
     sim.runUntil(sim::seconds(12.0));
@@ -192,7 +192,7 @@ TEST(RadioBearer, DowngradesAfterIdle) {
     OperatorProfile profile = onDemandProfile();
     profile.downgradeIdle = sim::seconds(3.0);
     RadioBearer bearer{sim, profile, util::RandomStream{1}};
-    bearer.setUplinkSink([](util::Bytes) {});
+    bearer.setUplinkSink([](const util::SharedBytes&) {});
     std::vector<double> rates;
     bearer.onUplinkRateChange = [&](double, double newRate) { rates.push_back(newRate); };
     for (int i = 0; i < 10 * 35; ++i)
@@ -213,7 +213,7 @@ TEST(RadioBearer, RrcDemotesAfterIdleAndPromotionDelaysFirstPacket) {
     profile.fachPromotionDelay = sim::millis(650);
     RadioBearer bearer{sim, profile, util::RandomStream{1}};
     std::vector<double> arrivals;
-    bearer.setUplinkSink([&](util::Bytes) { arrivals.push_back(sim::toSeconds(sim.now())); });
+    bearer.setUplinkSink([&](const util::SharedBytes&) { arrivals.push_back(sim::toSeconds(sim.now())); });
 
     // Active: packet crosses in ~base delay (60 ms) + serialization.
     bearer.sendUplink(util::Bytes(100, 0));
@@ -245,7 +245,7 @@ TEST(RadioBearer, SteadyTrafficNeverDemotes) {
     OperatorProfile profile = onDemandProfile();
     profile.dchIdleTimeout = sim::seconds(2.0);
     RadioBearer bearer{sim, profile, util::RandomStream{1}};
-    bearer.setUplinkSink([](util::Bytes) {});
+    bearer.setUplinkSink([](const util::SharedBytes&) {});
     for (int i = 0; i < 20; ++i)
         sim.schedule(sim::millis(500.0 * i), [&] { bearer.sendUplink(util::Bytes(100, 0)); });
     sim.runUntil(sim::seconds(10.0));
@@ -259,7 +259,7 @@ TEST(RadioBearer, RrcDisabledStaysDch) {
     profile.rrcStates = false;
     profile.dchIdleTimeout = sim::seconds(1.0);
     RadioBearer bearer{sim, profile, util::RandomStream{1}};
-    bearer.setUplinkSink([](util::Bytes) {});
+    bearer.setUplinkSink([](const util::SharedBytes&) {});
     sim.runUntil(sim::seconds(5.0));
     EXPECT_EQ(bearer.rrcState(), RadioBearer::RrcState::cell_dch);
     bearer.sendUplink(util::Bytes(100, 0));
@@ -272,7 +272,7 @@ TEST(RadioBearer, DownlinkTrafficAlsoPromotes) {
     OperatorProfile profile = onDemandProfile();
     profile.dchIdleTimeout = sim::seconds(2.0);
     RadioBearer bearer{sim, profile, util::RandomStream{1}};
-    bearer.setDownlinkSink([](util::Bytes) {});
+    bearer.setDownlinkSink([](const util::SharedBytes&) {});
     sim.runUntil(sim::seconds(5.0));
     ASSERT_EQ(bearer.rrcState(), RadioBearer::RrcState::cell_fach);
     bearer.sendDownlink(util::Bytes(100, 0));
@@ -284,7 +284,7 @@ TEST(RadioBearer, DownlinkIndependentOfUplink) {
     sim::Simulator sim;
     RadioBearer bearer{sim, onDemandProfile(), util::RandomStream{1}};
     int downDelivered = 0;
-    bearer.setDownlinkSink([&](util::Bytes) { ++downDelivered; });
+    bearer.setDownlinkSink([&](const util::SharedBytes&) { ++downDelivered; });
     bearer.sendDownlink(util::Bytes(1000, 0));
     // runUntil, not run(): the adaptation monitor re-arms itself.
     sim.runUntil(sim::seconds(2.0));
@@ -297,7 +297,7 @@ TEST(RadioBearer, ShutdownStopsEverything) {
     sim::Simulator sim;
     RadioBearer bearer{sim, onDemandProfile(), util::RandomStream{1}};
     int delivered = 0;
-    bearer.setUplinkSink([&](util::Bytes) { ++delivered; });
+    bearer.setUplinkSink([&](const util::SharedBytes&) { ++delivered; });
     bearer.sendUplink(util::Bytes(1000, 0));
     bearer.shutdown();
     sim.run();  // must drain without firing deliveries or timers forever
@@ -332,7 +332,7 @@ TEST(RadioBearer, UpgradeDeniedWhenCellIsDry) {
                        &cell};
     EXPECT_DOUBLE_EQ(bearer.currentUplinkRateBps(), 144e3);
     EXPECT_FALSE(bearer.admissionTrimmed());
-    bearer.setUplinkSink([](util::Bytes) {});
+    bearer.setUplinkSink([](const util::SharedBytes&) {});
     for (int i = 0; i < 10 * 35; ++i)
         sim.schedule(sim::millis(i * 28.0), [&] { bearer.sendUplink(util::Bytes(1052, 0)); });
     sim.runUntil(sim::seconds(12.0));
@@ -350,7 +350,7 @@ TEST(RadioBearer, ReleasedCapacityRegrantsParkedUpgrade) {
     cell.reserveUplink(768e3 - 144e3);  // the "other UE"
     RadioBearer bearer{sim, onDemandProfile(), util::RandomStream{1}, "222880000000012",
                        &cell};
-    bearer.setUplinkSink([](util::Bytes) {});
+    bearer.setUplinkSink([](const util::SharedBytes&) {});
     for (int i = 0; i < 10 * 35; ++i)
         sim.schedule(sim::millis(i * 28.0), [&] { bearer.sendUplink(util::Bytes(1052, 0)); });
     sim.runUntil(sim::seconds(12.0));
