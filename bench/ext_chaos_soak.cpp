@@ -155,9 +155,20 @@ SoakOutcome runSoak(const SoakOptions& options, std::uint64_t seed,
 
     // Traffic in waves until the fault horizon passes, then a settle
     // tail long enough for every windowed fault to restore and every
-    // redial backoff to either reconnect or exhaust.
+    // redial backoff to either reconnect or exhaust. Every third wave
+    // rides the byte-accurate TCP stack instead of UDP CBR, so the
+    // fault plan lands on both datapaths: CBR exercises the
+    // bearer/queue shapes, TCP exercises retransmission/RTO recovery
+    // and connection teardown through the same injected faults. The
+    // cadence is position-based, so a given seed replays the same
+    // CBR/TCP interleaving byte for byte.
     const sim::SimTime horizon = fleet.now() + sim::seconds(options.soakSeconds);
-    while (fleet.now() < horizon) fleet.runCbrAll(20.0);
+    for (std::size_t wave = 0; fleet.now() < horizon; ++wave) {
+        if (wave % 3 == 2)
+            fleet.runTcpAll(20.0);
+        else
+            fleet.runCbrAll(20.0);
+    }
     fleet.runFor(sim::seconds(240.0));
 
     outcome.injected = injector.stats().fired - injector.stats().skipped;

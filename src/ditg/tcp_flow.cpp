@@ -54,10 +54,13 @@ ItgTcpSend::ItgTcpSend(sim::Simulator& simulator, net::TcpHost& host, FlowSpec s
     log_.transport = FlowTransport::tcp;
 }
 
+ItgTcpSend::~ItgTcpSend() { *alive_ = false; }
+
 void ItgTcpSend::start(std::function<void()> onComplete) {
     onComplete_ = std::move(onComplete);
     conn_ = host_.connect(destination_, destinationPort_, sliceXid_, {}, options_);
-    conn_->onData = [this](util::ByteView data) {
+    conn_->onData = [this, alive = alive_](util::ByteView data) {
+        if (!*alive) return;
         ackStream_.feed(data, [this](util::ByteView probe) {
             const auto header = ProbeHeader::decode(probe);
             if (!header || !header->isAck || header->flowId != spec_.flowId) return;
@@ -67,8 +70,10 @@ void ItgTcpSend::start(std::function<void()> onComplete) {
             log_.rtts.push_back(RttRecord{header->sequence, txTime, rtt});
         });
     };
-    conn_->onConnected = [this] {
-        sim_.schedule(sim::seconds(spec_.startOffsetSeconds), [this] {
+    conn_->onConnected = [this, alive = alive_] {
+        if (!*alive) return;
+        sim_.schedule(sim::seconds(spec_.startOffsetSeconds), [this, alive] {
+            if (!*alive) return;
             endTime_ = sim_.now() + sim::seconds(spec_.durationSeconds);
             emitProbe();
         });
@@ -88,7 +93,9 @@ void ItgTcpSend::scheduleNext() {
         if (onComplete_) onComplete_();
         return;
     }
-    sim_.scheduleAt(next, [this] { emitProbe(); });
+    sim_.scheduleAt(next, [this, alive = alive_] {
+        if (*alive) emitProbe();
+    });
 }
 
 void ItgTcpSend::emitProbe() {
@@ -160,7 +167,23 @@ ItgTcpRecv::ItgTcpRecv(sim::Simulator& simulator, net::TcpHost& host,
         sliceXid, options);
 }
 
-ItgTcpRecv::~ItgTcpRecv() { host_.stopListening(port_); }
+ItgTcpRecv::~ItgTcpRecv() {
+    host_.stopListening(port_);
+    // Accepted connections can outlive the receiver: a peer that
+    // vanished mid-close (carrier loss, injected faults) leaves the
+    // connection parked in the host, still holding callbacks into
+    // this object. A retransmission arriving after destruction would
+    // then feed a freed ProbeStream. Detach everything we installed
+    // and abort the leftovers so the host can reap them. onClosed is
+    // cleared first: abort() finishes the connection, and the erase
+    // it would trigger must not run mid-iteration.
+    for (auto& [conn, stream] : streams_) {
+        conn->onData = nullptr;
+        conn->onPeerClosed = nullptr;
+        conn->onClosed = nullptr;
+        conn->abort();
+    }
+}
 
 void ItgTcpRecv::onProbe(net::TcpConnection& conn, util::ByteView probe) {
     const auto header = ProbeHeader::decode(probe);

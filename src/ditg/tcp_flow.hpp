@@ -2,6 +2,7 @@
 
 #include <functional>
 #include <map>
+#include <memory>
 
 #include "ditg/flow.hpp"
 #include "ditg/logs.hpp"
@@ -40,6 +41,7 @@ class ItgTcpSend {
                net::Ipv4Address destination, std::uint16_t destinationPort,
                util::RandomStream rng, int sliceXid = 0,
                const net::TcpOptions& options = {});
+    ~ItgTcpSend();
 
     /// Connect and begin generating once established. `onComplete`
     /// fires when the duration elapses; the connection is then closed
@@ -70,6 +72,11 @@ class ItgTcpSend {
     util::Logger logger_{"ditg.tcpsend"};
 
     net::TcpConnection* conn_ = nullptr;
+    /// Liveness token shared with every callback and timer handed
+    /// out: the connection (and its SYN/data retransmissions) can
+    /// outlive this object when the link dies mid-flow, so each hook
+    /// checks the flag before touching members.
+    std::shared_ptr<bool> alive_ = std::make_shared<bool>(true);
     ProbeStream ackStream_;
     SenderLog log_;
     sim::SimTime endTime_{};

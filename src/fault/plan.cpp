@@ -6,6 +6,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
+#include <set>
 #include <sstream>
 
 #include "util/rand.hpp"
@@ -213,6 +214,7 @@ util::Result<FaultPlan> FaultPlan::parseJson(const std::string& text) {
     if (!cursor.consume('{')) return fail("expected top-level object");
     FaultPlan plan;
     bool firstKey = true;
+    bool seenEvents = false;
     while (!cursor.peek('}')) {
         if (!firstKey && !cursor.consume(',')) return fail("expected ',' between keys");
         firstKey = false;
@@ -220,6 +222,10 @@ util::Result<FaultPlan> FaultPlan::parseJson(const std::string& text) {
         if (!cursor.readString(key)) return fail("expected object key");
         if (!cursor.consume(':')) return fail("expected ':' after \"" + key + "\"");
         if (key == "events") {
+            // A hostile plan repeating "events" would otherwise append
+            // both arrays — a different plan than either copy alone.
+            if (seenEvents) return fail("duplicate \"events\" key");
+            seenEvents = true;
             if (!cursor.consume('[')) return fail("\"events\" must be an array");
             bool firstEvent = true;
             while (!cursor.peek(']')) {
@@ -230,6 +236,7 @@ util::Result<FaultPlan> FaultPlan::parseJson(const std::string& text) {
                 FaultEvent event;
                 bool haveKind = false;
                 bool firstField = true;
+                std::set<std::string> seenFields;
                 while (!cursor.peek('}')) {
                     if (!firstField && !cursor.consume(','))
                         return fail("expected ',' between event fields");
@@ -238,6 +245,10 @@ util::Result<FaultPlan> FaultPlan::parseJson(const std::string& text) {
                     if (!cursor.readString(field)) return fail("expected event field name");
                     if (!cursor.consume(':'))
                         return fail("expected ':' after \"" + field + "\"");
+                    // Last-wins duplicate fields are a silent way to
+                    // smuggle a second timeline past a reviewer.
+                    if (!seenFields.insert(field).second)
+                        return fail("duplicate event field \"" + field + "\"");
                     if (field == "kind") {
                         std::string name;
                         if (!cursor.readString(name)) return fail("\"kind\" must be a string");

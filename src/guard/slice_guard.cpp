@@ -1,0 +1,115 @@
+#include "guard/slice_guard.hpp"
+
+#include <algorithm>
+
+#include "sim/time.hpp"
+
+namespace onelab::guard {
+
+void registerGuardMetricFamilies() {
+    auto& registry = obs::Registry::instance();
+    static constexpr const char* kCounters[] = {
+        // vsys FIFO guard (SliceFifoGuard).
+        "guard.vsys.admitted",
+        "guard.vsys.throttled",
+        "guard.vsys.queue_full",
+        // AT command hardening (modem::AtEngine).
+        "guard.at.line_overflow",
+        "guard.at.dial_rejected",
+        "guard.at.escape_spam",
+        // umtsctl backend (dial validation + stats ACL).
+        "guard.umtsctl.dial_rejected",
+        "guard.umtsctl.stats_denied",
+        // Attach-storm admission throttle (umts::UmtsNetwork).
+        "guard.umts.attach_throttled",
+        "guard.umts.attach_delayed",
+        // NAT / firewall churn guard (umts::UmtsNetwork).
+        "guard.nat.expired",
+        "guard.nat.evicted",
+        "guard.nat.quota_denied",
+        "guard.firewall.evicted",
+        "guard.firewall.quota_denied",
+        // Cell fairness clamp (umts::CellCapacity + RNC-side reclaim
+        // of idle over-share grants in RadioBearer).
+        "guard.cell.fairness_denials",
+        "guard.cell.reclaims",
+    };
+    for (const char* name : kCounters) (void)registry.counter(name);
+    (void)registry.gauge("guard.vsys.inflight");
+}
+
+SliceFifoGuard::SliceFifoGuard(sim::Simulator& simulator, SliceFifoGuardConfig config)
+    : sim_(simulator),
+      config_(config),
+      metrics_{obs::Registry::instance().counter("guard.vsys.admitted"),
+               obs::Registry::instance().counter("guard.vsys.throttled"),
+               obs::Registry::instance().counter("guard.vsys.queue_full"),
+               obs::Registry::instance().gauge("guard.vsys.inflight")} {
+    // Pre-register the full guard.* family set so telemetry exports
+    // carry zeros for quiet guards (same-seed byte identity).
+    registerGuardMetricFamilies();
+}
+
+SliceFifoGuard::SliceState& SliceFifoGuard::stateFor(const std::string& sliceName) {
+    SliceState& state = slices_[sliceName];
+    if (!state.seeded) {
+        state.tokens = config_.burst;
+        state.lastRefill = sim_.now();
+        state.seeded = true;
+    }
+    return state;
+}
+
+void SliceFifoGuard::refill(SliceState& state) {
+    const sim::SimTime now = sim_.now();
+    if (now <= state.lastRefill) return;
+    const double elapsed = sim::toSeconds(now - state.lastRefill);
+    state.tokens = std::min(config_.burst, state.tokens + elapsed * config_.ratePerSecond);
+    state.lastRefill = now;
+}
+
+pl::VsysGuard::Verdict SliceFifoGuard::onRequest(const pl::Slice& caller,
+                                                const std::string& scriptName,
+                                                const std::vector<std::string>& args) {
+    (void)args;
+    if (!config_.enabled) {
+        metrics_.admitted.inc();
+        return Verdict::admit;
+    }
+    SliceState& state = stateFor(caller.name);
+    refill(state);
+    if (state.inFlight >= config_.maxInFlight) {
+        ++rejected_;
+        metrics_.queueFull.inc();
+        log_.debug() << "queue full for slice '" << caller.name << "' on " << scriptName
+                     << " (" << state.inFlight << " in flight)";
+        return Verdict::queue_full;
+    }
+    if (state.tokens < 1.0) {
+        ++rejected_;
+        metrics_.throttled.inc();
+        log_.debug() << "throttled slice '" << caller.name << "' on " << scriptName;
+        return Verdict::throttled;
+    }
+    state.tokens -= 1.0;
+    ++state.inFlight;
+    metrics_.admitted.inc();
+    metrics_.inflight.add(1);
+    return Verdict::admit;
+}
+
+void SliceFifoGuard::onComplete(const pl::Slice& caller, const std::string& scriptName) {
+    (void)scriptName;
+    // Completion can outlive a disable toggle; always release depth.
+    const auto it = slices_.find(caller.name);
+    if (it == slices_.end() || it->second.inFlight == 0) return;
+    --it->second.inFlight;
+    metrics_.inflight.add(-1);
+}
+
+std::size_t SliceFifoGuard::inFlight(const std::string& sliceName) const {
+    const auto it = slices_.find(sliceName);
+    return it != slices_.end() ? it->second.inFlight : 0;
+}
+
+}  // namespace onelab::guard

@@ -1,0 +1,85 @@
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "obs/registry.hpp"
+#include "pl/vsys.hpp"
+#include "sim/simulator.hpp"
+#include "util/logging.hpp"
+
+namespace onelab::guard {
+
+/// Knobs for the per-slice vsys FIFO guard. The defaults are lenient
+/// enough that every legitimate workload in the repo (supervisor
+/// status polls, redial ladders, the umtsctl CLI) stays far under
+/// budget — they exist to stop a flooder, not to meter honest use.
+struct SliceFifoGuardConfig {
+    bool enabled = true;
+    /// Token-bucket refill rate, requests per simulated second.
+    double ratePerSecond = 10.0;
+    /// Bucket depth: bursts up to this many back-to-back requests.
+    double burst = 30.0;
+    /// Bounded backend queue: per-slice in-flight request cap.
+    std::size_t maxInFlight = 8;
+};
+
+/// Pre-touch every `guard.*` metric family so telemetry exports are
+/// byte-identical whether or not a guard ever fired. Covers the vsys
+/// FIFO guard plus the guard counters owned by other layers (AT
+/// engine, umts attach throttle, NAT churn guard, cell fairness
+/// clamp, umtsctl stats ACL) which share the `guard.` prefix.
+void registerGuardMetricFamilies();
+
+/// Root-context admission control for one vsys script: a per-slice
+/// deterministic (sim-time driven) token bucket plus a bounded
+/// in-flight queue depth. Sits behind Vsys::setGuard; verdicts map to
+/// EBUSY at the frontend, so a throttled flooder sees errors while
+/// other slices' requests keep flowing.
+class SliceFifoGuard final : public pl::VsysGuard {
+  public:
+    explicit SliceFifoGuard(sim::Simulator& simulator, SliceFifoGuardConfig config = {});
+
+    [[nodiscard]] Verdict onRequest(const pl::Slice& caller, const std::string& scriptName,
+                                    const std::vector<std::string>& args) override;
+    void onComplete(const pl::Slice& caller, const std::string& scriptName) override;
+
+    [[nodiscard]] const SliceFifoGuardConfig& config() const noexcept { return config_; }
+    void setEnabled(bool enabled) noexcept { config_.enabled = enabled; }
+
+    /// Current in-flight depth for one slice (tests / status).
+    [[nodiscard]] std::size_t inFlight(const std::string& sliceName) const;
+    /// Total requests this guard has throttled or bounced (tests).
+    [[nodiscard]] std::uint64_t rejected() const noexcept { return rejected_; }
+
+  private:
+    struct SliceState {
+        double tokens = 0.0;
+        sim::SimTime lastRefill{0};
+        std::size_t inFlight = 0;
+        bool seeded = false;
+    };
+
+    SliceState& stateFor(const std::string& sliceName);
+    void refill(SliceState& state);
+
+    sim::Simulator& sim_;
+    SliceFifoGuardConfig config_;
+    std::map<std::string, SliceState> slices_;
+    std::uint64_t rejected_ = 0;
+    util::Logger log_{"guard.vsys"};
+
+    // Aggregate families (not per-slice) so the exported metric set is
+    // independent of which slices ever spoke to the FIFO.
+    struct Metrics {
+        obs::Counter& admitted;
+        obs::Counter& throttled;
+        obs::Counter& queueFull;
+        obs::Gauge& inflight;
+    };
+    Metrics metrics_;
+};
+
+}  // namespace onelab::guard

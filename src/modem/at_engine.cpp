@@ -8,7 +8,10 @@ namespace onelab::modem {
 
 AtEngine::AtEngine(sim::Simulator& simulator, std::string logTag)
     : sim_(simulator), log_("modem.at." + logTag),
-      commandsMetric_(obs::Registry::instance().counter("modem.at.commands")) {}
+      commandsMetric_(obs::Registry::instance().counter("modem.at.commands")),
+      overflowMetric_(obs::Registry::instance().counter("guard.at.line_overflow")),
+      dialRejectMetric_(obs::Registry::instance().counter("guard.at.dial_rejected")),
+      escapeSpamMetric_(obs::Registry::instance().counter("guard.at.escape_spam")) {}
 
 void AtEngine::attachTty(sim::ByteChannel& tty) {
     tty_ = &tty;
@@ -77,6 +80,17 @@ void AtEngine::scanEscapeSequence(util::ByteView data) {
         if (byte == '+') {
             const bool guardOk = plusCount_ > 0 || (now - lastDataByte_) >= kGuardTime;
             plusCount_ = guardOk ? plusCount_ + 1 : 0;
+            if (plusCount_ == 0) {
+                // '+' runs inside flowing data are escape attempts
+                // without the guard silence — three in a row is the
+                // "+++ spam" signature (counted, never escapes).
+                if (++rawPlusRun_ >= 3) {
+                    escapeSpamMetric_.inc();
+                    rawPlusRun_ = 0;
+                }
+            } else {
+                rawPlusRun_ = 0;
+            }
             if (plusCount_ == 3) {
                 // Arm the trailing guard: if nothing follows for a
                 // guard time, escape fires.
@@ -90,6 +104,7 @@ void AtEngine::scanEscapeSequence(util::ByteView data) {
             }
         } else {
             plusCount_ = 0;
+            rawPlusRun_ = 0;
             if (escapeTimer_.valid()) {
                 sim_.cancel(escapeTimer_);
                 escapeTimer_ = {};
@@ -121,7 +136,14 @@ void AtEngine::onHostData(const util::SharedBytes& data) {
         const char c = char(byte);
         if (echo_ && tty_) echoBuffer_.push_back(byte);
         if (c == '\r' || c == '\n') {
-            if (!lineBuffer_.empty()) {
+            if (lineOverflow_) {
+                // The oversized line ends here; it was discarded past
+                // the cap, so answer ERROR instead of parsing it.
+                lineOverflow_ = false;
+                lineBuffer_.clear();
+                flushEcho();
+                reply("ERROR");
+            } else if (!lineBuffer_.empty()) {
                 std::string line;
                 line.swap(lineBuffer_);
                 flushEcho();
@@ -131,6 +153,14 @@ void AtEngine::onHostData(const util::SharedBytes& data) {
         }
         if (c == 0x08 || c == 0x7f) {  // backspace
             if (!lineBuffer_.empty()) lineBuffer_.pop_back();
+            continue;
+        }
+        if (lineOverflow_) continue;
+        if (lineBuffer_.size() >= maxLineLength_) {
+            lineOverflow_ = true;
+            overflowMetric_.inc();
+            log_.warn() << "command line over " << maxLineLength_
+                        << " B cap; discarding to end of line";
             continue;
         }
         lineBuffer_.push_back(c);
@@ -173,6 +203,19 @@ void AtEngine::forceFinal(const std::string& result, int count) {
     forcedCount_ = count;
 }
 
+bool AtEngine::validDialString(const std::string& tail) {
+    std::string number = util::trim(tail);
+    if (!number.empty() && (number[0] == 'T' || number[0] == 't' || number[0] == 'P' ||
+                            number[0] == 'p'))
+        number = number.substr(1);
+    if (number.size() > 40) return false;
+    for (const char c : number) {
+        const bool ok = (c >= '0' && c <= '9') || c == '*' || c == '#' || c == '+' || c == ',';
+        if (!ok) return false;
+    }
+    return true;
+}
+
 void AtEngine::dispatch(const std::string& body) {
     const std::string upper = util::toUpper(body);
     // Longest registered prefix that matches wins.
@@ -186,6 +229,13 @@ void AtEngine::dispatch(const std::string& body) {
     }
     if (!best) {
         log_.debug() << "unknown command AT" << body;
+        reply("ERROR");
+        return;
+    }
+    if (validateDial_ && upper[0] == 'D' && bestLength == 1 &&
+        !validDialString(body.substr(1))) {
+        dialRejectMetric_.inc();
+        log_.warn() << "rejected malformed dial string: AT" << body;
         reply("ERROR");
         return;
     }

@@ -75,6 +75,22 @@ class AtEngine {
     void forceFinal(const std::string& result, int count = 1);
     [[nodiscard]] int forcedFinalsPending() const noexcept { return forcedCount_; }
 
+    // --- hostile-input hardening (guard layer) ---
+    /// Command-line length cap: CR-less hostile input is discarded at
+    /// the cap (one ERROR per overflowed line) instead of growing the
+    /// line buffer without bound. Counted as guard.at.line_overflow.
+    void setMaxLineLength(std::size_t bytes) noexcept { maxLineLength_ = bytes; }
+    [[nodiscard]] std::size_t maxLineLength() const noexcept { return maxLineLength_; }
+    /// ATD dial-string validation: charset/length checked before the
+    /// handler runs; malformed dials answer ERROR immediately and are
+    /// counted as guard.at.dial_rejected. On by default.
+    void setDialValidation(bool on) noexcept { validateDial_ = on; }
+    [[nodiscard]] bool dialValidation() const noexcept { return validateDial_; }
+    /// True when `tail` (everything after the ATD, optional T/P
+    /// prefix) is a well-formed dial string: digits and *#+, only,
+    /// at most 40 significant characters.
+    [[nodiscard]] static bool validDialString(const std::string& tail);
+
   private:
     void onHostData(const util::SharedBytes& data);
     void scanEscapeSequence(util::ByteView data);
@@ -102,7 +118,17 @@ class AtEngine {
     std::uint64_t commandsHandled_ = 0;
     std::string forcedResult_;
     int forcedCount_ = 0;
-    obs::Counter& commandsMetric_;  ///< modem.at.commands
+
+    // Hostile-input hardening state.
+    std::size_t maxLineLength_ = 1024;
+    bool lineOverflow_ = false;  ///< discarding the rest of an oversized line
+    bool validateDial_ = true;
+    int rawPlusRun_ = 0;  ///< consecutive '+' without the guard silence
+
+    obs::Counter& commandsMetric_;     ///< modem.at.commands
+    obs::Counter& overflowMetric_;     ///< guard.at.line_overflow
+    obs::Counter& dialRejectMetric_;   ///< guard.at.dial_rejected
+    obs::Counter& escapeSpamMetric_;   ///< guard.at.escape_spam
 };
 
 }  // namespace onelab::modem

@@ -79,6 +79,10 @@ class UmtsModem {
     void reattach();
 
     // --- inspection for tests/status ---
+    /// The AT command engine — the hardening knobs (line cap, dial
+    /// validation) live here; adversary benches toggle them to
+    /// reproduce the unguarded historic firmware.
+    [[nodiscard]] AtEngine& atEngine() noexcept { return engine_; }
     [[nodiscard]] bool pinUnlocked() const noexcept { return pinUnlocked_; }
     [[nodiscard]] bool simBlocked() const noexcept { return pinAttemptsLeft_ <= 0; }
     [[nodiscard]] RegistrationState registration() const noexcept { return registration_; }

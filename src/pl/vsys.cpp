@@ -51,10 +51,48 @@ void Vsys::invoke(const Slice& caller, const std::string& scriptName,
     // The backend runs in the root context and parses the line back;
     // the completion writes the response pipe.
     const std::vector<std::string> parsedArgs = util::splitWhitespace(requestLine);
-    backend->second(caller, parsedArgs,
-                    [done = std::move(done)](VsysResult result) {
-                        if (done) done(std::move(result));
-                    });
+
+    // Guard: admission control on the request line, root-side, after
+    // the ACL — a hostile slice inside the ACL still cannot flood the
+    // backend past its budget.
+    VsysGuard* guard = nullptr;
+    if (const auto it = guards_.find(scriptName); it != guards_.end()) guard = it->second;
+    if (guard != nullptr) {
+        switch (guard->onRequest(caller, scriptName, parsedArgs)) {
+            case VsysGuard::Verdict::admit:
+                break;
+            case VsysGuard::Verdict::throttled:
+                return finish(util::err(util::Error::Code::busy,
+                                        "vsys: slice '" + caller.name +
+                                            "' throttled on '" + scriptName + "'"));
+            case VsysGuard::Verdict::queue_full:
+                return finish(util::err(util::Error::Code::busy,
+                                        "vsys: request queue full for '" + scriptName +
+                                            "' (slice '" + caller.name + "')"));
+        }
+    }
+
+    auto complete = [done = std::move(done), guard, caller, scriptName,
+                     released = false](VsysResult result) mutable {
+        if (guard != nullptr && !released) {
+            released = true;
+            guard->onComplete(caller, scriptName);
+        }
+        if (done) done(std::move(result));
+    };
+    backend->second(caller, parsedArgs, std::move(complete));
+}
+
+void Vsys::setGuard(const std::string& scriptName, VsysGuard* guard) {
+    if (guard == nullptr)
+        guards_.erase(scriptName);
+    else
+        guards_[scriptName] = guard;
+}
+
+VsysGuard* Vsys::guard(const std::string& scriptName) const {
+    const auto it = guards_.find(scriptName);
+    return it != guards_.end() ? it->second : nullptr;
 }
 
 std::vector<std::string> Vsys::scripts() const {

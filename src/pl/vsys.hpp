@@ -1,5 +1,6 @@
 #pragma once
 
+#include <cstdint>
 #include <functional>
 #include <map>
 #include <set>
@@ -19,6 +20,28 @@ struct VsysResult {
     std::vector<std::string> output;
 
     [[nodiscard]] bool ok() const noexcept { return exitCode == 0; }
+};
+
+/// Admission hook sitting between a script's ACL check and its
+/// backend: the root-context guard consulted for every request line a
+/// slice pushes down the FIFO. A guard can throttle (token bucket) or
+/// reject on queue depth; admitted requests are paired with exactly
+/// one onComplete when the backend's response is written back.
+class VsysGuard {
+  public:
+    enum class Verdict : std::uint8_t {
+        admit,       ///< pass through to the backend
+        throttled,   ///< over the per-slice rate budget
+        queue_full,  ///< bounded FIFO queue depth exceeded
+    };
+
+    virtual ~VsysGuard() = default;
+    [[nodiscard]] virtual Verdict onRequest(const Slice& caller,
+                                            const std::string& scriptName,
+                                            const std::vector<std::string>& args) = 0;
+    /// Called when an admitted request's response is delivered (frees
+    /// one slot of in-flight queue depth).
+    virtual void onComplete(const Slice& caller, const std::string& scriptName) = 0;
 };
 
 /// The vsys facility [13]: named scripts whose backends run in the
@@ -58,9 +81,16 @@ class Vsys {
 
     [[nodiscard]] std::vector<std::string> scripts() const;
 
+    /// Attach (or clear, with nullptr) a guard for one script. The
+    /// guard is consulted after the ACL check and before the backend;
+    /// non-owning — the caller keeps the guard alive while installed.
+    void setGuard(const std::string& scriptName, VsysGuard* guard);
+    [[nodiscard]] VsysGuard* guard(const std::string& scriptName) const;
+
   private:
     std::map<std::string, Backend> backends_;
     std::map<std::string, std::set<std::string>> acls_;
+    std::map<std::string, VsysGuard*> guards_;
     util::Logger log_{"pl.vsys"};
 };
 

@@ -516,7 +516,14 @@ std::vector<FleetTcpRun> Fleet::runTcpOnSites(const std::vector<std::size_t>& in
             conn->close();
     }
     runUntil(now() + sim::seconds(3.0));  // 2 s TIME-WAIT + margin
-    receiver.reset();                     // stops listening on 9002
+    {
+        // Stops listening on 9002 and aborts any connection a faulted
+        // peer left behind; the RSTs go out under the receiver shard's
+        // scope, like its construction.
+        std::optional<sim::ShardObsScope> scope;
+        if (group_) scope.emplace(group_->shard(wiredShard_.front()));
+        receiver.reset();
+    }
     for (const std::size_t index : indices) {
         std::optional<sim::ShardObsScope> siteScope;
         if (group_) siteScope.emplace(group_->shard(umtsShard_[index]));

@@ -128,8 +128,10 @@ UmtsNodeSite::UmtsNodeSite(sim::Simulator& simulator, net::Internet& internet,
         backendConfig.dialer.lcpEchoFailure = config_.supervise.echoFailureLimit;
     }
     // `umts stats` on this node reports this node's radio session, not
-    // every bearer camping on the shared cell.
+    // every bearer camping on the shared cell; only the experiment
+    // slice may ask for the unscoped `stats all` dump.
     backendConfig.statsScopeImsi = config_.imsi;
+    backendConfig.statsAllSlice = config_.umtsSliceName;
     backendConfig.autoRedial = config_.autoRedial;
     if (backendConfig.autoRedial.jitterSeed == 0)
         backendConfig.autoRedial.jitterSeed =
@@ -153,6 +155,11 @@ UmtsNodeSite::UmtsNodeSite(sim::Simulator& simulator, net::Internet& internet,
     }
     backend_->installVsys();
     node_->vsys().allow("umts", config_.umtsSliceName);
+    // Admission control at the trust boundary: every request line a
+    // slice pushes down the umts FIFO passes the per-slice token
+    // bucket + bounded queue depth before reaching the backend.
+    fifoGuard_ = std::make_unique<guard::SliceFifoGuard>(simulator, config_.fifoGuard);
+    node_->vsys().setGuard("umts", fifoGuard_.get());
 
     frontend_ = std::make_unique<umtsctl::UmtsFrontend>(*node_, *umtsSlice_);
 

@@ -4,6 +4,7 @@
 #include <string>
 #include <vector>
 
+#include "guard/slice_guard.hpp"
 #include "modem/cards.hpp"
 #include "net/internet.hpp"
 #include "pl/node_os.hpp"
@@ -109,6 +110,11 @@ struct UmtsNodeSiteConfig {
     /// default (historic behaviour); chaos runs turn it on so drops
     /// recover instead of staying down.
     umtsctl::UmtsBackendConfig::AutoRedial autoRedial;
+    /// Per-slice admission control on the umts vsys FIFO (rate +
+    /// queue-depth guard at the trust boundary). The defaults are
+    /// lenient; set `fifoGuard.enabled = false` to reproduce the
+    /// unguarded historic backend.
+    guard::SliceFifoGuardConfig fifoGuard;
     /// Per-site link supervision (subsumes autoRedial when enabled:
     /// the supervisor owns recovery and the backend's own auto-redial
     /// is ignored). Turns on the dialer's adaptive LCP keepalive.
@@ -143,6 +149,11 @@ class UmtsNodeSite {
     UmtsNodeSite& operator=(const UmtsNodeSite&) = delete;
 
     [[nodiscard]] pl::NodeOs& node() noexcept { return *node_; }
+    /// The site's own simulator (the site shard's in a sharded fleet).
+    /// Anything that pokes the node stack or the host end of the TTY
+    /// from outside — e.g. an adversary personality — must schedule
+    /// its events here, not on the fleet's core simulator.
+    [[nodiscard]] sim::Simulator& sim() noexcept { return sim_; }
     [[nodiscard]] net::Interface& eth() noexcept { return *eth_; }
     [[nodiscard]] net::Ipv4Address ethAddress() const noexcept { return config_.ethAddress; }
     [[nodiscard]] const std::string& hostname() const noexcept { return config_.hostname; }
@@ -153,6 +164,8 @@ class UmtsNodeSite {
     [[nodiscard]] sim::Pipe& tty() noexcept { return *tty_; }
     [[nodiscard]] umtsctl::UmtsBackend& backend() noexcept { return *backend_; }
     [[nodiscard]] umtsctl::UmtsFrontend& frontend() noexcept { return *frontend_; }
+    /// The vsys FIFO guard installed on this node's "umts" script.
+    [[nodiscard]] guard::SliceFifoGuard& fifoGuard() noexcept { return *fifoGuard_; }
     /// The site's link supervisor; nullptr unless config.supervise.enable.
     [[nodiscard]] supervise::LinkSupervisor* supervisor() noexcept {
         return supervisor_.get();
@@ -183,6 +196,7 @@ class UmtsNodeSite {
     std::unique_ptr<sim::Pipe> tty_;
     std::unique_ptr<modem::UmtsModem> modem_;
     std::unique_ptr<umtsctl::UmtsBackend> backend_;
+    std::unique_ptr<guard::SliceFifoGuard> fifoGuard_;
     std::unique_ptr<umtsctl::UmtsFrontend> frontend_;
     /// Declared after backend_/modem_ (and destroyed first): the
     /// supervisor unhooks its backend/pppd callbacks on destruction.

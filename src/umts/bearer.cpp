@@ -369,7 +369,13 @@ bool RadioBearer::tryGrantUplinkIndex(std::size_t index) {
     }
     const double want = profile_.uplinkRatesBps[index];
     if (want > grantedUplinkBps_) {
-        if (!cell_->tryGrowUplink(want - grantedUplinkBps_)) return false;
+        // Claimant-aware growth: the cell's fairness clamp can deny a
+        // claimant already at its fair share even when headroom
+        // exists, and paces each claimant's attempt rate so an
+        // upgrade-spammer pins its own budget dry (see CellCapacity).
+        if (!cell_->tryGrowUplink(want - grantedUplinkBps_, grantedUplinkBps_, waiterId_,
+                                  sim_.now()))
+            return false;
         grantedUplinkBps_ = want;
         applyUplinkRate(index);
     } else if (want < grantedUplinkBps_) {
@@ -424,6 +430,47 @@ void RadioBearer::injectLossBurst(double probability, sim::SimTime duration) {
 
 void RadioBearer::monitorTick() {
     if (shutdown_) return;
+    if (greedy_) {
+        // Misbehaving-UE personality: hammer the admission path every
+        // tick — no saturation evidence, no grant delay — and never
+        // volunteer a downgrade. Parking upgradeWaiting_ makes the
+        // greedy bearer grab freed capacity the instant it appears.
+        //
+        // The RNC does not rely on the UE volunteering anything: with
+        // the fairness clamp on, an over-fair-share grant whose queue
+        // has sat empty for a full downgrade window is reclaimed
+        // network-side — the same reallocation an honest bearer
+        // performs voluntarily, enforced against one that refuses.
+        // The trigger counts empty-queue monitor ticks rather than
+        // testing lastBusy, so trickle traffic (LCP echo keepalives)
+        // cannot keep a hoarded grant looking busy. Combined with the
+        // cell's attempt pacing (a spammer's bucket is pinned dry)
+        // the reclaimed capacity stays reclaimed.
+        if (cell_ && cell_->fairnessClamp() && rateIndex_ > profile_.initialUplinkIndex &&
+            grantedUplinkBps_ > cell_->fairShareUplinkBps() &&
+            uplink_.backlogBytes() == 0) {
+            const auto reclaimTicks = std::size_t(
+                sim::toSeconds(profile_.downgradeIdle) / 0.2);
+            if (++idleOverShareTicks_ >= std::max<std::size_t>(1, reclaimTicks)) {
+                idleOverShareTicks_ = 0;
+                obs::Registry::instance().counter("guard.cell.reclaims").inc();
+                log_.info() << "RNC reclaimed idle over-share uplink grant ("
+                            << grantedUplinkBps_ / 1e3 << " kbps)";
+                tryGrantUplinkIndex(profile_.initialUplinkIndex);
+            }
+        } else {
+            idleOverShareTicks_ = 0;
+        }
+        if (rateIndex_ + 1 < profile_.uplinkRatesBps.size() &&
+            !tryGrantUplinkIndex(rateIndex_ + 1)) {
+            ++deniedUpgrades_;
+            metrics_.deniedUpgrades.inc();
+            if (cell_) cell_->countDeniedUpgrade();
+            upgradeWaiting_ = true;
+        }
+        monitorTimer_ = sim_.schedule(sim::millis(200), [this] { monitorTick(); });
+        return;
+    }
     const auto threshold =
         std::size_t(profile_.upgradeBacklogFraction * double(profile_.rlcUplinkBufferBytes));
     const bool saturated = uplink_.backlogBytes() >= threshold;

@@ -203,6 +203,15 @@ class RadioBearer {
     /// `umts status` and the ablation benches.
     std::function<void(double, double)> onUplinkRateChange;
 
+    // --- adversary hook (driven by adversary::AdversaryDriver) ---
+    /// Greedy-UE personality: when set, the monitor hammers on-demand
+    /// upgrades every tick (no saturation evidence, no admission
+    /// delay) and never volunteers a downgrade. Accounting stays
+    /// exact, so the no-capacity-leak invariant holds even for the
+    /// attacker; the cell's fairness clamp is what contains it.
+    void setGreedy(bool greedy) noexcept { greedy_ = greedy; }
+    [[nodiscard]] bool greedy() const noexcept { return greedy_; }
+
     // --- fault hooks (driven by fault::FaultInjector) ---
     /// RLC outage: both directions stop serving for `duration`; queued
     /// chunks resume (overflow drops accumulate) when it ends.
@@ -244,6 +253,12 @@ class RadioBearer {
     std::size_t rateIndex_;
     int upgrades_ = 0;
     bool shutdown_ = false;
+    bool greedy_ = false;
+    /// Consecutive greedy-mode monitor ticks the uplink queue sat
+    /// empty while the grant exceeded its fair share — the RNC-side
+    /// reclaim trigger. Tick-counted (not lastBusy-based) so LCP echo
+    /// keepalives cannot keep a hoarded idle grant looking busy.
+    std::size_t idleOverShareTicks_ = 0;
 
     // Shared-cell allocation state.
     double grantedUplinkBps_ = 0.0;

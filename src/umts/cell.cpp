@@ -30,6 +30,55 @@ bool CellCapacity::tryGrowUplink(double bps) {
     return true;
 }
 
+double CellCapacity::fairShareUplinkBps() const noexcept {
+    const double budget = uplinkCapacityBps_ * capacityScale_;
+    return waiters_.empty() ? budget : budget / double(waiters_.size());
+}
+
+bool CellCapacity::tryGrowUplink(double bps, double currentHoldingBps) {
+    // The clamp only bites a claimant already at (or past) its fair
+    // share while others share the cell: under-share growth — honest
+    // upgrades, trimmed-admission recovery — is decided by headroom
+    // exactly as before.
+    if (fairnessClamp_ && waiters_.size() > 1 &&
+        currentHoldingBps >= fairShareUplinkBps()) {
+        ++fairnessDenials_;
+        obs::Registry::instance().counter("guard.cell.fairness_denials").inc();
+        log_.info() << "fairness clamp denied growth: holding "
+                    << currentHoldingBps / 1e3 << " kbps >= fair share "
+                    << fairShareUplinkBps() / 1e3 << " kbps over "
+                    << waiters_.size() << " claimants";
+        return false;
+    }
+    return tryGrowUplink(bps);
+}
+
+bool CellCapacity::tryGrowUplink(double bps, double currentHoldingBps, WaiterId claimant,
+                                 sim::SimTime now) {
+    if (fairnessClamp_ && claimant != 0 && waiters_.size() > 1) {
+        AttemptBucket& bucket = attemptBuckets_[claimant];
+        const double elapsed = std::max(0.0, sim::toSeconds(now - bucket.last));
+        bucket.tokens =
+            std::min(kAttemptBurst, bucket.tokens + kAttemptRefillPerSec * elapsed);
+        bucket.last = now;
+        if (bucket.tokens < 1.0) {
+            // Attempts past the budget still cost (down to the debt
+            // floor): hammering keeps the bucket pinned dry, so a
+            // spammer cannot collect a grant — not even the instant-
+            // snatch retry a capacity release triggers — until it has
+            // been quiet long enough to pay the debt off.
+            bucket.tokens = std::max(kAttemptDebtFloor, bucket.tokens - 1.0);
+            ++fairnessDenials_;
+            obs::Registry::instance().counter("guard.cell.fairness_denials").inc();
+            log_.debug() << "fairness clamp paced claimant " << claimant
+                         << ": growth attempts over budget";
+            return false;
+        }
+        bucket.tokens -= 1.0;
+    }
+    return tryGrowUplink(bps, currentHoldingBps);
+}
+
 void CellCapacity::releaseUplink(double bps) {
     uplinkAllocatedBps_ = std::max(0.0, uplinkAllocatedBps_ - bps);
     uplinkAllocatedMetric_.set(static_cast<std::int64_t>(uplinkAllocatedBps_));
@@ -85,7 +134,10 @@ CellCapacity::WaiterId CellCapacity::addWaiter(std::function<void()> retry) {
     return id;
 }
 
-void CellCapacity::removeWaiter(WaiterId id) noexcept { waiters_.erase(id); }
+void CellCapacity::removeWaiter(WaiterId id) noexcept {
+    waiters_.erase(id);
+    attemptBuckets_.erase(id);
+}
 
 void CellCapacity::notifyWaiters() {
     // A waiter's retry callback may itself release capacity (rate

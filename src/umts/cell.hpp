@@ -6,6 +6,7 @@
 #include <string>
 
 #include "obs/registry.hpp"
+#include "sim/time.hpp"
 #include "util/logging.hpp"
 
 namespace onelab::umts {
@@ -40,6 +41,26 @@ class CellCapacity {
     void reserveUplink(double bps);
     /// Grow an existing allocation by `bps` if the headroom covers it.
     [[nodiscard]] bool tryGrowUplink(double bps);
+    /// Fairness-aware variant: additionally denies the growth when the
+    /// requester already holds at least its fair share of the budget
+    /// (capacity / registered claimants) and other claimants exist —
+    /// the clamp that keeps a greedy upgrade-spammer from re-grabbing
+    /// every freed byte ahead of a trimmed victim's recovery. With the
+    /// clamp disabled this is exactly tryGrowUplink(bps).
+    [[nodiscard]] bool tryGrowUplink(double bps, double currentHoldingBps);
+    /// Claimant-aware variant: on top of the fair-share check, each
+    /// claimant's growth attempts are paced by a per-claimant token
+    /// bucket (burst kAttemptBurst, refill kAttemptRefillPerSec).
+    /// Denied attempts still cost a token (down to a bounded debt), so
+    /// an upgrade-spammer hammering the admission path pins its own
+    /// bucket dry and stays denied for as long as the spam continues —
+    /// including the instant-snatch retry when another bearer releases
+    /// capacity. Honest claimants attempt growth a few times a minute
+    /// and never leave burst territory. `claimant` is the bearer's
+    /// waiter id (0 = anonymous, bucket not enforced); `now` is the
+    /// caller's sim clock (the pool itself is clockless).
+    [[nodiscard]] bool tryGrowUplink(double bps, double currentHoldingBps,
+                                     WaiterId claimant, sim::SimTime now);
     /// Return `bps` to the pool and re-offer it to waiting bearers.
     void releaseUplink(double bps);
 
@@ -60,6 +81,22 @@ class CellCapacity {
     [[nodiscard]] std::uint64_t trimmedAdmissions() const noexcept {
         return trimmedAdmissions_;
     }
+
+    // --- fairness clamp (guard layer) ---
+    /// Enable/disable the fair-share clamp checked by the holding-
+    /// aware tryGrowUplink overload. Guard counter:
+    /// guard.cell.fairness_denials.
+    void setFairnessClamp(bool enabled) noexcept { fairnessClamp_ = enabled; }
+    [[nodiscard]] bool fairnessClamp() const noexcept { return fairnessClamp_; }
+    /// Equal split of the effective uplink budget over the registered
+    /// claimants (waiters); the full budget when there are none.
+    [[nodiscard]] double fairShareUplinkBps() const noexcept;
+    [[nodiscard]] std::uint64_t fairnessDenials() const noexcept { return fairnessDenials_; }
+
+    /// Attempt-pacing bucket parameters (claimant-aware tryGrowUplink).
+    static constexpr double kAttemptBurst = 3.0;
+    static constexpr double kAttemptRefillPerSec = 0.5;
+    static constexpr double kAttemptDebtFloor = -10.0;
 
     // --- fault hook: capacity squeeze ---
     /// Scale the effective budget of both pools (0..1]. Existing
@@ -87,6 +124,15 @@ class CellCapacity {
     double capacityScale_ = 1.0;
     std::uint64_t deniedUpgrades_ = 0;
     std::uint64_t trimmedAdmissions_ = 0;
+    bool fairnessClamp_ = true;
+    std::uint64_t fairnessDenials_ = 0;
+    /// Per-claimant growth-attempt pacing state (see the claimant-
+    /// aware tryGrowUplink). Erased with the waiter registration.
+    struct AttemptBucket {
+        double tokens = kAttemptBurst;
+        sim::SimTime last{0};
+    };
+    std::map<WaiterId, AttemptBucket> attemptBuckets_;
     std::map<WaiterId, std::function<void()>> waiters_;
     WaiterId nextWaiterId_ = 1;
     bool notifying_ = false;

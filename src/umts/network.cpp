@@ -82,6 +82,7 @@ UmtsNetwork::UmtsNetwork(sim::Simulator& simulator, net::Internet& internet,
       rng_(std::move(rng)),
       log_("umts.net." + profile_.name),
       cell_(profile_.cellUplinkCapacityBps, profile_.cellDownlinkCapacityBps) {
+    cell_.setFairnessClamp(profile_.cellFairnessClamp);
     ggsn_ = std::make_unique<net::NetworkStack>(sim_, "ggsn-" + profile_.name);
     ggsn_->setForwarding(true);
     ggsn_->setForwardFilter(
@@ -137,18 +138,75 @@ void UmtsNetwork::natOutbound(net::Packet& pkt, const std::string& oif) {
         util::format("%d/%08x:%u", proto, pkt.ip.src.value(), *port);
     auto it = natByFlow_.find(flowKey);
     if (it == natByFlow_.end()) {
+        // Quota check (and table hygiene) before the allocation: a
+        // subscriber past its binding quota sends untranslated — its
+        // private-source packet dies upstream, not the victim's state.
+        if (!reserveNatBinding(pkt.ip.src)) return;
         // Allocate a fresh public port/id for this subscriber flow.
         while (natBindings_.count((std::uint32_t(proto) << 16) | nextNatPort_))
             if (++nextNatPort_ < 20000) nextNatPort_ = 20000;
         const std::uint16_t publicPort = nextNatPort_++;
         natBindings_[(std::uint32_t(proto) << 16) | publicPort] =
-            NatBinding{pkt.ip.src, *port};
+            NatBinding{pkt.ip.src, *port, sim_.now(), flowKey};
+        ++natBySubscriber_[pkt.ip.src.value()];
         it = natByFlow_.emplace(flowKey, publicPort).first;
         log_.debug() << "NAT bind " << flowKey << " -> " << publicPort;
+    } else {
+        const auto binding = natBindings_.find((std::uint32_t(proto) << 16) | it->second);
+        if (binding != natBindings_.end()) binding->second.lastActivity = sim_.now();
     }
     pkt.ip.src = profile_.ggsnAddress;
     *port = it->second;
     ++natTranslations_;
+}
+
+void UmtsNetwork::dropNatBinding(const std::map<std::uint32_t, NatBinding>::iterator& it) {
+    natByFlow_.erase(it->second.flowKey);
+    const auto count = natBySubscriber_.find(it->second.subscriber.value());
+    if (count != natBySubscriber_.end() && --count->second == 0)
+        natBySubscriber_.erase(count);
+    natBindings_.erase(it);
+}
+
+bool UmtsNetwork::reserveNatBinding(net::Ipv4Address subscriber) {
+    const auto& guard = profile_.natGuard;
+    const sim::SimTime now = sim_.now();
+    // Idle expiry first (bindingTimeout 0 = never expire) — the
+    // operator-side NAT timeout the paper's keepalive traffic fights.
+    if (guard.bindingTimeout > sim::SimTime{0}) {
+        for (auto it = natBindings_.begin(); it != natBindings_.end();) {
+            if (now - it->second.lastActivity > guard.bindingTimeout) {
+                obs::Registry::instance().counter("guard.nat.expired").inc();
+                const auto victim = it++;
+                dropNatBinding(victim);
+            } else {
+                ++it;
+            }
+        }
+    }
+    // Per-subscriber quota: the churn guard proper.
+    if (guard.perSubscriberQuota > 0) {
+        const auto count = natBySubscriber_.find(subscriber.value());
+        if (count != natBySubscriber_.end() && count->second >= guard.perSubscriberQuota) {
+            ++natQuotaDenials_;
+            obs::Registry::instance().counter("guard.nat.quota_denied").inc();
+            // Debug level: under a flow-spray attack this fires per
+            // denied packet; the counter is the signal.
+            log_.debug() << "NAT quota denied for subscriber " << subscriber.str();
+            return false;
+        }
+    }
+    // Capacity cap: evict the oldest-idle binding (what a churner
+    // exploits when the quota guard is off — victims lose bindings).
+    while (guard.maxBindings > 0 && natBindings_.size() >= guard.maxBindings) {
+        auto oldest = natBindings_.begin();
+        for (auto it = natBindings_.begin(); it != natBindings_.end(); ++it)
+            if (it->second.lastActivity < oldest->second.lastActivity) oldest = it;
+        ++natEvictions_;
+        obs::Registry::instance().counter("guard.nat.evicted").inc();
+        dropNatBinding(oldest);
+    }
+    return true;
 }
 
 void UmtsNetwork::natInbound(net::Packet& pkt, const std::string& iif) {
@@ -170,6 +228,7 @@ void UmtsNetwork::natInbound(net::Packet& pkt, const std::string& iif) {
     }
     const auto it = natBindings_.find((std::uint32_t(proto) << 16) | *port);
     if (it == natBindings_.end()) return;  // no binding: deliver locally (and die)
+    it->second.lastActivity = sim_.now();
     pkt.ip.dst = it->second.subscriber;
     *port = it->second.subscriberPort;
     ++natTranslations_;
@@ -201,8 +260,37 @@ void UmtsNetwork::attachUe(const std::string& imsi,
         if (done) done(util::Result<void>{});
         return;
     }
+    const auto& guard = profile_.signalingGuard;
+    const std::size_t backlog = attaching_.size();
+
+    // Access class barring (the guard): past the barring limit the
+    // network refuses new attaches outright, so a signaling storm
+    // cannot inflate the whole cell's registration delay without
+    // bound. Refused UEs retry through their own backoff ladders.
+    if (guard.enabled && backlog >= guard.barringLimit) {
+        obs::Registry::instance().counter("guard.umts.attach_throttled").inc();
+        log_.warn() << "UE " << imsi << " attach barred (" << backlog
+                    << " registrations in flight)";
+        if (done)
+            done(util::err(util::Error::Code::busy,
+                           "attach rejected: access class barring"));
+        return;
+    }
+
+    // Signaling congestion (the physics): registration under RACH/core
+    // overload slows down for everyone, scaling with the backlog.
+    sim::SimTime delay = profile_.registrationDelay;
+    if (guard.congestionStart > 0 && backlog >= guard.congestionStart) {
+        const double factor = std::min(double(backlog) / double(guard.congestionStart),
+                                       guard.maxCongestionFactor);
+        delay = sim::seconds(sim::toSeconds(delay) * factor);
+        obs::Registry::instance().counter("guard.umts.attach_delayed").inc();
+        log_.warn() << "UE " << imsi << " attach delayed x" << factor << " ("
+                    << backlog << " registrations in flight)";
+    }
+
     log_.info() << "UE " << imsi << " attaching";
-    attaching_[imsi] = sim_.schedule(profile_.registrationDelay, [this, imsi, done] {
+    attaching_[imsi] = sim_.schedule(delay, [this, imsi, done] {
         attaching_.erase(imsi);
         attached_.insert(imsi);
         log_.info() << "UE " << imsi << " attached (CREG=1)";
@@ -281,6 +369,26 @@ void UmtsNetwork::injectCoverageOutage(sim::SimTime duration) {
         coverage_ = true;
         log_.info() << "coverage restored";
     });
+}
+
+std::size_t UmtsNetwork::injectFlowChurn(net::Ipv4Address subscriber,
+                                         net::Ipv4Address destination,
+                                         std::uint16_t basePort, std::size_t flows) {
+    std::size_t recorded = 0;
+    for (std::size_t i = 0; i < flows; ++i) {
+        net::Packet pkt;
+        pkt.ip.src = subscriber;
+        pkt.ip.dst = destination;
+        pkt.ip.protocol = net::IpProto::udp;
+        // Rotate ports so every synthetic packet is a distinct flow.
+        pkt.udp.srcPort = std::uint16_t(1024u + ((basePort + i) % 50000u));
+        pkt.udp.dstPort = 33001;
+        const std::size_t before = flows_.size();
+        (void)forwardAllowed(pkt, "pdp_churn");
+        if (flows_.size() > before) ++recorded;
+        if (profile_.natSubscribers) natOutbound(pkt, "wan");
+    }
+    return recorded;
 }
 
 net::Ipv4Address UmtsNetwork::allocateSubscriberAddress() {
@@ -434,18 +542,64 @@ std::string flowKey(const net::Packet& pkt, bool reverse) {
 
 }  // namespace
 
+void UmtsNetwork::eraseFlow(const std::map<std::string, FlowEntry>::iterator& it) {
+    const auto count = flowsBySrc_.find(it->second.src);
+    if (count != flowsBySrc_.end() && --count->second == 0) flowsBySrc_.erase(count);
+    flows_.erase(it);
+}
+
+void UmtsNetwork::recordFlow(const std::string& key, std::uint32_t src) {
+    const sim::SimTime now = sim_.now();
+    const auto existing = flows_.find(key);
+    if (existing != flows_.end()) {
+        existing->second.last = now;
+        return;
+    }
+    const auto& guard = profile_.natGuard;
+    // Per-subscriber flow quota: a sprayer past its quota still passes
+    // outbound, but no return-path state is recorded for it — its own
+    // replies die at the firewall, not a victim's.
+    if (guard.perSubscriberQuota > 0) {
+        const auto count = flowsBySrc_.find(src);
+        if (count != flowsBySrc_.end() && count->second >= guard.perSubscriberQuota) {
+            obs::Registry::instance().counter("guard.firewall.quota_denied").inc();
+            return;
+        }
+    }
+    if (guard.maxFirewallFlows > 0 && flows_.size() >= guard.maxFirewallFlows) {
+        // Expired-first purge, then oldest eviction to make room.
+        for (auto victim = flows_.begin(); victim != flows_.end();) {
+            if (now - victim->second.last > flowTimeout_) {
+                const auto dead = victim++;
+                eraseFlow(dead);
+            } else {
+                ++victim;
+            }
+        }
+        while (flows_.size() >= guard.maxFirewallFlows) {
+            auto oldest = flows_.begin();
+            for (auto victim = flows_.begin(); victim != flows_.end(); ++victim)
+                if (victim->second.last < oldest->second.last) oldest = victim;
+            obs::Registry::instance().counter("guard.firewall.evicted").inc();
+            eraseFlow(oldest);
+        }
+    }
+    flows_.emplace(key, FlowEntry{now, src});
+    ++flowsBySrc_[src];
+}
+
 bool UmtsNetwork::forwardAllowed(const net::Packet& pkt, const std::string& iif) {
     if (!profile_.statefulFirewall) return true;
     const sim::SimTime now = sim_.now();
     if (iif != "wan") {
         // Subscriber-originated: record/refresh the flow and pass.
-        flows_[flowKey(pkt, /*reverse=*/false)] = now;
+        recordFlow(flowKey(pkt, /*reverse=*/false), pkt.ip.src.value());
         return true;
     }
     // Internet-originated: only established flows may enter...
     const auto it = flows_.find(flowKey(pkt, /*reverse=*/true));
-    if (it != flows_.end() && now - it->second <= flowTimeout_) {
-        it->second = now;
+    if (it != flows_.end() && now - it->second.last <= flowTimeout_) {
+        it->second.last = now;
         return true;
     }
     // ...or ICMP errors RELATED to a recorded outbound flow (so
@@ -463,7 +617,8 @@ bool UmtsNetwork::forwardAllowed(const net::Packet& pkt, const std::string& iif)
             original.udp.srcPort = embedded.value().srcPort;
             original.udp.dstPort = embedded.value().dstPort;
             const auto related = flows_.find(flowKey(original, /*reverse=*/false));
-            if (related != flows_.end() && now - related->second <= flowTimeout_) return true;
+            if (related != flows_.end() && now - related->second.last <= flowTimeout_)
+                return true;
         }
     }
     ++firewallBlocked_;

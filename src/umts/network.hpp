@@ -89,6 +89,9 @@ class UmtsNetwork {
     void attachUe(const std::string& imsi, std::function<void(util::Result<void>)> done);
     void detachUe(const std::string& imsi);
     [[nodiscard]] bool isAttached(const std::string& imsi) const;
+    /// Registrations currently in flight — what the signaling guard's
+    /// barring limit bounds (the adversary bench's storm invariant).
+    [[nodiscard]] std::size_t attachBacklog() const noexcept { return attaching_.size(); }
 
     /// Register a callback fired when the NETWORK detaches this IMSI
     /// (injected detach, coverage loss). UE-initiated detachUe() does
@@ -107,6 +110,17 @@ class UmtsNetwork {
     /// attach attempts fail until coverage returns after `duration`.
     /// Overlapping outages extend to the farthest restore instant.
     void injectCoverageOutage(sim::SimTime duration);
+
+    // --- adversary hook (driven by adversary::AdversaryDriver) ---
+    /// Operator-side churn: synthesize `flows` outbound subscriber
+    /// flows from `subscriber` (firewall state, plus NAT bindings on
+    /// natSubscribers profiles), rotating source ports from
+    /// `basePort`. Models a busy neighbouring subscriber's flow spray
+    /// without building a full UE stack for it. Returns how many new
+    /// firewall flow entries were actually recorded (quota denials and
+    /// stateless profiles record none).
+    std::size_t injectFlowChurn(net::Ipv4Address subscriber, net::Ipv4Address destination,
+                                std::uint16_t basePort, std::size_t flows);
 
     /// Activate a PDP context (ATD*99# path). Asynchronous; the modem
     /// reports CONNECT when the callback delivers the session.
@@ -136,6 +150,16 @@ class UmtsNetwork {
     /// NAT statistics (profiles with natSubscribers).
     [[nodiscard]] std::size_t natBindingCount() const noexcept { return natBindings_.size(); }
     [[nodiscard]] std::uint64_t natTranslations() const noexcept { return natTranslations_; }
+    [[nodiscard]] std::uint64_t natEvictions() const noexcept { return natEvictions_; }
+    [[nodiscard]] std::uint64_t natQuotaDenials() const noexcept { return natQuotaDenials_; }
+    /// Firewall flow-table size (bounded by natGuard.maxFirewallFlows).
+    [[nodiscard]] std::size_t firewallFlowCount() const noexcept { return flows_.size(); }
+    /// Whether any firewall flow state is held for `subscriber` — the
+    /// adversary bench's victim probe: did a quiet subscriber's
+    /// return-path state survive a neighbour's churn?
+    [[nodiscard]] bool hasFlowStateFor(net::Ipv4Address subscriber) const noexcept {
+        return flowsBySrc_.count(subscriber.value()) > 0;
+    }
 
     /// The operator's resolver (the address IPCP hands to dialers).
     void addDnsRecord(const std::string& name, net::Ipv4Address address);
@@ -174,22 +198,43 @@ class UmtsNetwork {
     std::uint32_t nextHostOffset_ = 16;
     std::vector<net::Ipv4Address> freedAddresses_;
 
-    // Stateful firewall flow table: key -> last activity.
-    std::map<std::string, sim::SimTime> flows_;
+    // Stateful firewall flow table: key -> (last activity, subscriber
+    // src). Bounded by natGuard.maxFirewallFlows with expired-first
+    // purge then oldest eviction; the per-subscriber quota keeps one
+    // subscriber's flow spray from evicting a victim's state.
+    struct FlowEntry {
+        sim::SimTime last{0};
+        std::uint32_t src = 0;
+    };
+    void recordFlow(const std::string& key, std::uint32_t src);
+    void eraseFlow(const std::map<std::string, FlowEntry>::iterator& it);
+    std::map<std::string, FlowEntry> flows_;
+    std::map<std::uint32_t, std::size_t> flowsBySrc_;
     sim::SimTime flowTimeout_ = sim::seconds(300.0);
     std::uint64_t firewallBlocked_ = 0;
 
     // NAT state (natSubscribers profiles): public port/id -> binding.
+    // Same hygiene as the flow table: idle expiry (when configured),
+    // capacity cap with oldest-idle eviction, per-subscriber quota.
     void natOutbound(net::Packet& pkt, const std::string& oif);
     void natInbound(net::Packet& pkt, const std::string& iif);
     struct NatBinding {
         net::Ipv4Address subscriber;
         std::uint16_t subscriberPort = 0;
+        sim::SimTime lastActivity{0};
+        std::string flowKey;  ///< the natByFlow_ entry to drop with this binding
     };
+    void dropNatBinding(const std::map<std::uint32_t, NatBinding>::iterator& it);
+    /// Make room for one more binding for `subscriber`. Returns false
+    /// when the per-subscriber quota denies the allocation.
+    bool reserveNatBinding(net::Ipv4Address subscriber);
     std::map<std::uint32_t, NatBinding> natBindings_;   ///< key: proto<<16 | publicPort
     std::map<std::string, std::uint16_t> natByFlow_;    ///< subscriber flow -> public port
+    std::map<std::uint32_t, std::size_t> natBySubscriber_;
     std::uint16_t nextNatPort_ = 20000;
     std::uint64_t natTranslations_ = 0;
+    std::uint64_t natEvictions_ = 0;
+    std::uint64_t natQuotaDenials_ = 0;
 };
 
 }  // namespace onelab::umts

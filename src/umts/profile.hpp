@@ -103,6 +103,43 @@ struct OperatorProfile {
     /// pool to private space (e.g. 10.x) when enabling this.
     bool natSubscribers = false;
 
+    // --- trust-boundary guards (src/guard, PR 10) ---
+    /// Attach-signaling model + admission throttle. The congestion
+    /// half is physics: registration under RACH/core overload takes
+    /// longer for everyone, scaling with the attach backlog. The
+    /// barring half is the guard: past `barringLimit` in-flight
+    /// attaches, new ones are rejected busy (access class barring),
+    /// which is what keeps a signaling storm from inflating everyone
+    /// else's registration delay without bound.
+    struct SignalingGuard {
+        bool enabled = true;          ///< access class barring on/off
+        std::size_t congestionStart = 12;  ///< in-flight attaches before slowdown
+        double maxCongestionFactor = 16.0; ///< registration-delay multiplier cap
+        std::size_t barringLimit = 32;     ///< reject attaches past this backlog
+    };
+    SignalingGuard signalingGuard;
+
+    /// NAT/firewall table hygiene + churn guard (natSubscribers and
+    /// statefulFirewall profiles). Capacities bound the state an
+    /// operator-side churner can create; the per-subscriber quota is
+    /// the guard that stops one subscriber's spray from evicting a
+    /// victim's bindings/flows. bindingTimeout 0 = never expire
+    /// (historic behaviour).
+    struct NatGuard {
+        sim::SimTime bindingTimeout{0};    ///< idle NAT binding expiry
+        std::size_t maxBindings = 4096;    ///< NAT table cap (oldest-idle evicted)
+        std::size_t maxFirewallFlows = 8192;  ///< firewall flow-table cap
+        std::size_t perSubscriberQuota = 256; ///< 0 = unlimited (guard off)
+    };
+    NatGuard natGuard;
+
+    /// Fair-share clamp on on-demand uplink growth (CellCapacity): a
+    /// claimant already holding its fair share of the cell budget is
+    /// denied further growth while others share the cell. Contains a
+    /// greedy upgrade-spammer; honest contention is decided by
+    /// headroom exactly as before.
+    bool cellFairnessClamp = true;
+
     /// Derive each GGSN-side pppd's LCP magic entropy from its own
     /// session seed instead of the process-global counter (see
     /// LcpConfig::entropySeed). Sharded fleets turn this on so frame

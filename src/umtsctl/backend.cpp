@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "modem/at_engine.hpp"
 #include "obs/registry.hpp"
 #include "util/strings.hpp"
 
@@ -41,7 +42,17 @@ void UmtsBackend::dispatch(const pl::Slice& caller, const std::vector<std::strin
     if (verb == "stop") return cmdStop(caller, std::move(done));
     if (verb == "status") return cmdStatus(caller, std::move(done));
     if (verb == "stats") {
-        const bool includeAll = args.size() >= 2 && args[1] == "all";
+        bool includeAll = args.size() >= 2 && args[1] == "all";
+        // Backend-side ACL for the unscoped dump: the frontend only
+        // sends "all" for the owning slice, but a hostile slice can
+        // speak the raw FIFO protocol directly — scope it back to its
+        // own session instead of leaking other sessions' families.
+        if (includeAll && caller.name != config_.statsAllSlice) {
+            obs::Registry::instance().counter("guard.umtsctl.stats_denied").inc();
+            log_.warn() << "slice '" << caller.name
+                        << "' denied 'stats all'; scoping to own session";
+            includeAll = false;
+        }
         return cmdStats(caller, std::move(done), includeAll);
     }
     if ((verb == "add" || verb == "del") && args.size() == 3 && args[1] == "destination") {
@@ -62,6 +73,18 @@ void UmtsBackend::cmdStart(const pl::Slice& caller, pl::Vsys::Completion done) {
         } else {
             reply(done, exit_code::busy, {"error=interface locked by slice " + state_.owner});
         }
+        return;
+    }
+
+    // Root-side dial-string validation: the number handed to wvdial
+    // reaches ATD verbatim, so reject malformed/oversized strings here
+    // before any hardware is touched (the AT engine would bounce them
+    // anyway; this answers EINVAL instead of a failed dial).
+    if (!modem::AtEngine::validDialString(config_.dialer.phone)) {
+        obs::Registry::instance().counter("guard.umtsctl.dial_rejected").inc();
+        state_.lastError = "invalid dial string";
+        reply(done, exit_code::inval,
+              {"error=invalid dial string '" + config_.dialer.phone + "'"});
         return;
     }
 

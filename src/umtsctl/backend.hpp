@@ -43,6 +43,11 @@ struct UmtsBackendConfig {
     /// metrics (and "umts stats all") are unaffected. Empty = no
     /// scoping, everything is shown.
     std::string statsScopeImsi;
+    /// The only slice allowed the unscoped `umts stats all` dump. Any
+    /// other caller — including a hostile slice speaking the raw FIFO
+    /// protocol — is silently scoped to its own session and counted as
+    /// guard.umtsctl.stats_denied. Empty = nobody gets "all".
+    std::string statsAllSlice;
     /// Automatic re-dial after an unexpected link loss: the backend
     /// keeps the slice's lock, re-runs registration + dialing with
     /// capped exponential backoff, and re-installs the slice's

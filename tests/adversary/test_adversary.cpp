@@ -1,0 +1,126 @@
+#include "adversary/adversary.hpp"
+
+#include <gtest/gtest.h>
+
+#include <optional>
+
+#include "obs/telemetry.hpp"
+
+namespace onelab::adversary {
+namespace {
+
+TEST(AdversaryKinds, NamesRoundTrip) {
+    for (std::size_t i = 0; i < kPersonalityKindCount; ++i) {
+        const auto kind = PersonalityKind(i);
+        const char* name = kindName(kind);
+        ASSERT_NE(name, nullptr);
+        const auto parsed = kindFromName(name);
+        ASSERT_TRUE(parsed.has_value()) << name;
+        EXPECT_EQ(*parsed, kind);
+    }
+    EXPECT_FALSE(kindFromName("warp_core_breach").has_value());
+    EXPECT_FALSE(kindFromName("").has_value());
+}
+
+struct AdversaryDriverTest : ::testing::Test {
+    AdversaryDriverTest() {
+        obs::beginRun();
+        scenario::FleetConfig config = scenario::makeUniformFleet(2, 7);
+        fleet.emplace(config);
+        const auto started = fleet->startAll();
+        EXPECT_TRUE(started.ok()) << (started.ok() ? "" : started.error().message);
+    }
+
+    AdversaryConfig window(PersonalityKind kind, double startS, double durationS) {
+        AdversaryConfig config;
+        config.kind = kind;
+        config.site = 1;  // site 0 stays the victim
+        config.start = fleet->now() + sim::seconds(startS);
+        config.duration = sim::seconds(durationS);
+        config.seed = 11;
+        return config;
+    }
+
+    std::optional<scenario::Fleet> fleet;
+};
+
+TEST_F(AdversaryDriverTest, FlooderActsInsideItsWindowOnly) {
+    AdversaryDriver driver{*fleet, {window(PersonalityKind::fifo_flooder, 1.0, 3.0)}};
+    driver.arm();
+    // Before the window opens: no actions.
+    fleet->runFor(sim::seconds(0.5));
+    EXPECT_EQ(driver.totals().actions, 0u);
+    // Through the window and past its end.
+    fleet->runFor(sim::seconds(5.0));
+    const AttackerStats during = driver.totals();
+    EXPECT_GT(during.actions, 0u);
+    // After the window closed nothing further fires.
+    fleet->runFor(sim::seconds(3.0));
+    EXPECT_EQ(driver.totals().actions, during.actions);
+}
+
+TEST_F(AdversaryDriverTest, RearmIsANoOpAndCancelIsIdempotent) {
+    AdversaryDriver driver{*fleet, {window(PersonalityKind::fifo_flooder, 0.5, 10.0)}};
+    driver.arm();
+    driver.arm();  // second arm must not double-schedule
+    fleet->runFor(sim::seconds(2.0));
+    const std::size_t actions = driver.totals().actions;
+    EXPECT_GT(actions, 0u);
+    driver.cancelAll();
+    driver.cancelAll();
+    fleet->runFor(sim::seconds(2.0));
+    EXPECT_EQ(driver.totals().actions, actions);
+}
+
+TEST_F(AdversaryDriverTest, GreedyUeFlagFollowsTheWindow) {
+    AdversaryDriver driver{*fleet, {window(PersonalityKind::greedy_ue, 0.5, 3.0)}};
+    driver.arm();
+    fleet->runFor(sim::seconds(1.5));  // inside the window
+    umts::UmtsSession* session = nullptr;
+    for (std::size_t k = 0; k < fleet->operatorNetwork().activeSessions(); ++k) {
+        umts::UmtsSession* candidate = fleet->operatorNetwork().sessionAt(k);
+        if (candidate && candidate->imsi() == fleet->umtsSite(1).imsi()) session = candidate;
+    }
+    ASSERT_NE(session, nullptr);
+    EXPECT_TRUE(session->bearer().greedy());
+    fleet->runFor(sim::seconds(3.0));  // window closed
+    EXPECT_FALSE(session->bearer().greedy());
+}
+
+TEST_F(AdversaryDriverTest, MissedWindowIsSkippedAtArmTime) {
+    AdversaryConfig past = window(PersonalityKind::fifo_flooder, 0.0, 1.0);
+    past.start = sim::SimTime{0};  // already behind the fleet clock
+    AdversaryDriver driver{*fleet, {past}};
+    driver.arm();
+    fleet->runFor(sim::seconds(2.0));
+    EXPECT_EQ(driver.totals().actions, 0u);
+}
+
+TEST_F(AdversaryDriverTest, FleetTeardownBeforeDriverIsSafe) {
+    auto driver = std::make_unique<AdversaryDriver>(
+        *fleet, std::vector<AdversaryConfig>{window(PersonalityKind::fifo_flooder, 0.5, 30.0)});
+    driver->arm();
+    fleet->runFor(sim::seconds(1.0));
+    EXPECT_GT(driver->totals().actions, 0u);
+    // The fleet dies with the attack window still open: the teardown
+    // hook must cancel every pending tick before sites are destroyed,
+    // and the driver must outlive the fleet without dangling.
+    fleet.reset();
+    driver->cancelAll();  // idempotent after teardown
+    driver.reset();
+}
+
+TEST_F(AdversaryDriverTest, DriverDestroyedMidWindowCancelsItsTicks) {
+    {
+        AdversaryDriver driver{*fleet,
+                               {window(PersonalityKind::fifo_flooder, 0.5, 30.0)}};
+        driver.arm();
+        fleet->runFor(sim::seconds(1.0));
+    }
+    // The driver is gone; its scheduled ticks must not fire into
+    // freed memory while the fleet keeps running.
+    fleet->runFor(sim::seconds(3.0));
+}
+
+}  // namespace
+}  // namespace onelab::adversary

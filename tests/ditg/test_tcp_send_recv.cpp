@@ -203,5 +203,59 @@ TEST_F(TcpSendRecvTest, EndToEndDecodeMatchesExpectations) {
     EXPECT_LT(summary.meanJitterSeconds, 0.001);
 }
 
+// --- lifetime: flows and a dead receiver/sender must not dangle ---
+
+TEST_F(TcpSendRecvTest, ReceiverDestroyedMidFlowAbortsItsConnections) {
+    // A receiver torn down while a peer is still streaming (the chaos
+    // soak does this when a wave ends under injected faults) must
+    // leave nothing pointing back into freed state: late segments
+    // used to land in the destroyed receiver's ProbeStream.
+    auto recv = std::make_unique<ItgTcpRecv>(sim, *receiverTcp, 9002);
+    ItgTcpSend send{sim,
+                    *senderTcp,
+                    cbrFlow(1, 100.0, 200, 5.0),
+                    net::Ipv4Address{10, 0, 0, 2},
+                    9002,
+                    util::RandomStream{5}};
+    send.start();
+    sim.runUntil(seconds(1.0));  // established, probes flowing
+    ASSERT_EQ(recv->connectionsAccepted(), 1u);
+    recv.reset();
+    // The sender keeps emitting into the teardown; the abort's RST
+    // must finish its connection instead of feeding freed memory.
+    sim.runUntil(seconds(10.0));
+    ASSERT_NE(send.connection(), nullptr);
+    EXPECT_EQ(send.connection()->state(), net::TcpState::closed);
+    EXPECT_EQ(receiverTcp->reapClosed(), 1u);
+    EXPECT_EQ(receiverTcp->connectionCount(), 0u);
+}
+
+TEST_F(TcpSendRecvTest, SenderDestroyedMidFlowLeavesNoLiveTimers) {
+    ItgTcpRecv recv{sim, *receiverTcp, 9002};
+    auto send = std::make_unique<ItgTcpSend>(sim, *senderTcp,
+                                             cbrFlow(2, 100.0, 200, 5.0),
+                                             net::Ipv4Address{10, 0, 0, 2}, 9002,
+                                             util::RandomStream{6});
+    send->start();
+    sim.runUntil(seconds(1.0));  // mid-flow: probe timer pending
+    send.reset();
+    // The pending emit timer and the connection's callbacks all fire
+    // against the liveness token, not the freed sender.
+    sim.runUntil(seconds(10.0));
+    SUCCEED();
+}
+
+TEST_F(TcpSendRecvTest, SenderDestroyedBeforeConnectEstablishes) {
+    ItgTcpRecv recv{sim, *receiverTcp, 9002};
+    auto send = std::make_unique<ItgTcpSend>(sim, *senderTcp,
+                                             cbrFlow(3, 100.0, 200, 5.0),
+                                             net::Ipv4Address{10, 0, 0, 2}, 9002,
+                                             util::RandomStream{7});
+    send->start();
+    send.reset();  // SYN in flight; onConnected fires after death
+    sim.runUntil(seconds(10.0));
+    SUCCEED();
+}
+
 }  // namespace
 }  // namespace onelab::ditg

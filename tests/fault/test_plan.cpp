@@ -116,6 +116,54 @@ TEST(FaultPlan, ParseRejectsMalformedInput) {
     EXPECT_EQ(minimal.value().size(), 1u);
 }
 
+// Hostile plans: a scripted fault file crosses the operator/tenant
+// trust boundary, so malformed input must be a clean rejection —
+// never a partial plan that arms some events and drops the rest.
+TEST(FaultPlan, RejectsHostileJson) {
+    // Truncated mid-structure: object, array, event, string, number.
+    EXPECT_FALSE(FaultPlan::parseJson("{").ok());
+    EXPECT_FALSE(FaultPlan::parseJson("{\"events\": [").ok());
+    EXPECT_FALSE(FaultPlan::parseJson("{\"events\": [{\"kind\": ").ok());
+    EXPECT_FALSE(FaultPlan::parseJson("{\"events\": [{\"kind\": \"ue_det").ok());
+    EXPECT_FALSE(
+        FaultPlan::parseJson("{\"events\": [{\"kind\": \"ue_detach\", \"at_ms\":").ok());
+    EXPECT_FALSE(
+        FaultPlan::parseJson("{\"events\": [{\"kind\": \"ue_detach\"}]").ok());
+
+    // Wrong types where numbers/strings/arrays are required.
+    EXPECT_FALSE(FaultPlan::parseJson("{\"events\": 7}").ok());
+    EXPECT_FALSE(FaultPlan::parseJson("{\"events\": \"bearer_drop\"}").ok());
+    EXPECT_FALSE(FaultPlan::parseJson("{\"events\": [42]}").ok());
+    EXPECT_FALSE(FaultPlan::parseJson("{\"events\": [{\"kind\": 3}]}").ok());
+    EXPECT_FALSE(FaultPlan::parseJson(
+                     "{\"events\": [{\"kind\": \"ue_detach\", \"at_ms\": \"soon\"}]}")
+                     .ok());
+
+    // Unknown kinds and fields must not be skipped-and-armed-anyway.
+    EXPECT_FALSE(FaultPlan::parseJson("{\"events\": [{\"kind\": \"\"}]}").ok());
+    EXPECT_FALSE(FaultPlan::parseJson(
+                     "{\"events\": [{\"kind\": \"ue_detach\", \"sites\": 0}]}")
+                     .ok());
+}
+
+TEST(FaultPlan, RejectsDuplicateKeys) {
+    // A repeated "events" array used to append both timelines — a
+    // different plan than either copy alone.
+    const auto doubled = FaultPlan::parseJson(
+        "{\"events\": [{\"kind\": \"ue_detach\"}],"
+        " \"events\": [{\"kind\": \"bearer_drop\"}]}");
+    EXPECT_FALSE(doubled.ok());
+
+    // Last-wins duplicate event fields are equally rejected.
+    EXPECT_FALSE(FaultPlan::parseJson(
+                     "{\"events\": [{\"kind\": \"ue_detach\", \"kind\": \"bearer_drop\"}]}")
+                     .ok());
+    EXPECT_FALSE(FaultPlan::parseJson(
+                     "{\"events\": [{\"kind\": \"ue_detach\","
+                     " \"at_ms\": 100, \"at_ms\": 900000}]}")
+                     .ok());
+}
+
 TEST(FaultPlan, FileRoundTrip) {
     const FaultPlan original = FaultPlan::random(config(99));
     const std::string path = "/tmp/onelab_test_fault_plan.json";

@@ -1,0 +1,140 @@
+#include "guard/slice_guard.hpp"
+
+#include <gtest/gtest.h>
+
+namespace onelab::guard {
+namespace {
+
+using Verdict = pl::VsysGuard::Verdict;
+
+pl::Slice slice(const std::string& name, int xid = 100) { return pl::Slice{name, xid}; }
+
+struct SliceGuardTest : ::testing::Test {
+    Verdict request(SliceFifoGuard& guard, const std::string& sliceName) {
+        return guard.onRequest(slice(sliceName), "umts", {"status"});
+    }
+
+    sim::Simulator sim;
+};
+
+TEST_F(SliceGuardTest, BurstAdmittedThenThrottled) {
+    SliceFifoGuardConfig config;
+    config.burst = 5.0;
+    config.maxInFlight = 100;  // isolate the token bucket
+    SliceFifoGuard guard{sim, config};
+    for (int i = 0; i < 5; ++i) {
+        EXPECT_EQ(request(guard, "flooder"), Verdict::admit) << "request " << i;
+        guard.onComplete(slice("flooder"), "umts");
+    }
+    EXPECT_EQ(request(guard, "flooder"), Verdict::throttled);
+    EXPECT_EQ(guard.rejected(), 1u);
+}
+
+TEST_F(SliceGuardTest, TokensRefillWithSimTime) {
+    SliceFifoGuardConfig config;
+    config.burst = 2.0;
+    config.ratePerSecond = 10.0;
+    config.maxInFlight = 100;
+    SliceFifoGuard guard{sim, config};
+    EXPECT_EQ(request(guard, "s"), Verdict::admit);
+    guard.onComplete(slice("s"), "umts");
+    EXPECT_EQ(request(guard, "s"), Verdict::admit);
+    guard.onComplete(slice("s"), "umts");
+    EXPECT_EQ(request(guard, "s"), Verdict::throttled);
+    // 100 ms at 10/s refills exactly one token.
+    sim.runUntil(sim.now() + sim::millis(100));
+    EXPECT_EQ(request(guard, "s"), Verdict::admit);
+    guard.onComplete(slice("s"), "umts");
+    EXPECT_EQ(request(guard, "s"), Verdict::throttled);
+}
+
+TEST_F(SliceGuardTest, BoundedQueueDepthBouncesWithoutSpendingTokens) {
+    SliceFifoGuardConfig config;
+    config.burst = 100.0;
+    config.ratePerSecond = 100.0;
+    config.maxInFlight = 3;
+    SliceFifoGuard guard{sim, config};
+    for (int i = 0; i < 3; ++i) EXPECT_EQ(request(guard, "s"), Verdict::admit);
+    EXPECT_EQ(guard.inFlight("s"), 3u);
+    EXPECT_EQ(request(guard, "s"), Verdict::queue_full);
+    // Completing one admitted request frees exactly one slot.
+    guard.onComplete(slice("s"), "umts");
+    EXPECT_EQ(guard.inFlight("s"), 2u);
+    EXPECT_EQ(request(guard, "s"), Verdict::admit);
+    EXPECT_EQ(request(guard, "s"), Verdict::queue_full);
+}
+
+TEST_F(SliceGuardTest, SlicesAreIsolated) {
+    SliceFifoGuardConfig config;
+    config.burst = 2.0;
+    config.maxInFlight = 2;
+    SliceFifoGuard guard{sim, config};
+    // The flooder exhausts its own budget and queue depth...
+    EXPECT_EQ(request(guard, "flooder"), Verdict::admit);
+    EXPECT_EQ(request(guard, "flooder"), Verdict::admit);
+    EXPECT_NE(request(guard, "flooder"), Verdict::admit);
+    // ...while a victim slice's budget is untouched.
+    EXPECT_EQ(request(guard, "victim"), Verdict::admit);
+    EXPECT_EQ(guard.inFlight("victim"), 1u);
+}
+
+TEST_F(SliceGuardTest, DisabledGuardAdmitsEverything) {
+    SliceFifoGuardConfig config;
+    config.burst = 1.0;
+    config.maxInFlight = 1;
+    SliceFifoGuard guard{sim, config};
+    guard.setEnabled(false);
+    for (int i = 0; i < 50; ++i) EXPECT_EQ(request(guard, "s"), Verdict::admit);
+    EXPECT_EQ(guard.rejected(), 0u);
+}
+
+// Integration: a guarded vsys script maps throttle/queue_full to
+// EBUSY at the frontend while other slices' requests keep flowing.
+TEST_F(SliceGuardTest, VsysIntegrationMapsVerdictsToBusy) {
+    pl::Vsys vsys;
+    vsys.install("umts", [](const pl::Slice&, const std::vector<std::string>&,
+                            pl::Vsys::Completion done) { done(pl::VsysResult{0, {"ok"}}); });
+    vsys.allow("umts", "flooder");
+    vsys.allow("umts", "victim");
+    SliceFifoGuardConfig config;
+    config.burst = 2.0;
+    config.maxInFlight = 100;
+    SliceFifoGuard guard{sim, config};
+    vsys.setGuard("umts", &guard);
+
+    enum class Outcome { ok, busy, other };
+    const auto invoke = [&](const std::string& sliceName) {
+        pl::Slice caller = slice(sliceName);
+        Outcome outcome = Outcome::other;
+        vsys.invoke(caller, "umts", {"status"}, [&](util::Result<pl::VsysResult> r) {
+            if (r.ok() && r.value().exitCode == 0)
+                outcome = Outcome::ok;
+            else if (!r.ok() && r.error().code == util::Error::Code::busy)
+                outcome = Outcome::busy;
+        });
+        return outcome;
+    };
+    EXPECT_EQ(invoke("flooder"), Outcome::ok);
+    EXPECT_EQ(invoke("flooder"), Outcome::ok);
+    EXPECT_EQ(invoke("flooder"), Outcome::busy);
+    EXPECT_EQ(invoke("victim"), Outcome::ok);
+
+    // Clearing the guard restores unguarded behaviour.
+    vsys.setGuard("umts", nullptr);
+    EXPECT_EQ(invoke("flooder"), Outcome::ok);
+}
+
+TEST(GuardMetrics, RegisterTouchesEveryFamily) {
+    registerGuardMetricFamilies();
+    bool sawVsys = false;
+    bool sawCell = false;
+    for (const obs::MetricSample& sample : obs::Registry::instance().snapshot()) {
+        if (sample.name == "guard.vsys.throttled") sawVsys = true;
+        if (sample.name == "guard.cell.reclaims") sawCell = true;
+    }
+    EXPECT_TRUE(sawVsys);
+    EXPECT_TRUE(sawCell);
+}
+
+}  // namespace
+}  // namespace onelab::guard

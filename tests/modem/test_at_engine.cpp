@@ -177,5 +177,88 @@ TEST_F(AtEngineTest, EchoCanBeDisabled) {
     EXPECT_NE(received.find("OK"), std::string::npos);
 }
 
+// --- hostile-input hardening (guard layer) ---
+
+std::uint64_t counterValue(const char* name) {
+    return obs::Registry::instance().counter(name).value();
+}
+
+TEST_F(AtEngineTest, OversizedLineDiscardedAtCap) {
+    engine.setEcho(false);
+    engine.setMaxLineLength(64);
+    const std::uint64_t before = counterValue("guard.at.line_overflow");
+    int handled = 0;
+    engine.registerCommand("+CSQ", [&](const std::string&, const std::string&) {
+        ++handled;
+        engine.final("OK");
+    });
+    // A CR-less 10 kB blast: one ERROR, no unbounded buffer growth,
+    // and the counter names the event.
+    hostSend("AT+CSQ" + std::string(10000, 'A'));
+    hostSend("\r");
+    EXPECT_EQ(handled, 0);
+    EXPECT_NE(received.find("ERROR"), std::string::npos);
+    EXPECT_EQ(counterValue("guard.at.line_overflow"), before + 1);
+    // The next well-formed command parses normally — the overflow
+    // discarded only the hostile line.
+    received.clear();
+    hostSend("AT+CSQ\r");
+    EXPECT_EQ(handled, 1);
+    EXPECT_NE(received.find("OK"), std::string::npos);
+}
+
+TEST_F(AtEngineTest, MalformedDialStringRejectedBeforeHandler) {
+    const std::uint64_t before = counterValue("guard.at.dial_rejected");
+    int dials = 0;
+    engine.registerCommand("D", [&](const std::string&, const std::string&) {
+        ++dials;
+        engine.final("CONNECT");
+    });
+    hostSend("ATD*99$(reboot)#\r");
+    EXPECT_EQ(dials, 0);
+    EXPECT_NE(received.find("ERROR"), std::string::npos);
+    EXPECT_EQ(counterValue("guard.at.dial_rejected"), before + 1);
+    // A legitimate GPRS dial still reaches the handler.
+    received.clear();
+    hostSend("ATD*99#\r");
+    EXPECT_EQ(dials, 1);
+    EXPECT_NE(received.find("CONNECT"), std::string::npos);
+}
+
+TEST_F(AtEngineTest, DialValidationCanBeDisabled) {
+    engine.setDialValidation(false);
+    int dials = 0;
+    engine.registerCommand("D", [&](const std::string&, const std::string&) {
+        ++dials;
+        engine.final("CONNECT");
+    });
+    hostSend("ATDhello world\r");
+    EXPECT_EQ(dials, 1);
+}
+
+TEST_F(AtEngineTest, ValidDialStringCharsetAndLength) {
+    EXPECT_TRUE(AtEngine::validDialString("*99#"));
+    EXPECT_TRUE(AtEngine::validDialString("T*99***1#"));
+    EXPECT_TRUE(AtEngine::validDialString("+390811234567"));
+    EXPECT_TRUE(AtEngine::validDialString(std::string(40, '9')));
+    EXPECT_FALSE(AtEngine::validDialString(std::string(41, '9')));
+    EXPECT_FALSE(AtEngine::validDialString("*99;rm -rf#"));
+    EXPECT_FALSE(AtEngine::validDialString("*99\x01#"));
+}
+
+TEST_F(AtEngineTest, RawPlusSpamCountedButNeverEscapes) {
+    bool escaped = false;
+    engine.onEscape = [&] { escaped = true; };
+    engine.enterDataMode([](util::ByteView) {});
+    const std::uint64_t before = counterValue("guard.at.escape_spam");
+    // "+++" runs embedded in flowing data (no guard silence): the
+    // spam detector counts them, the escape must not fire.
+    hostSend("data+++data+++data+++");
+    sim.runUntil(sim.now() + sim::seconds(2.0));
+    EXPECT_FALSE(escaped);
+    EXPECT_TRUE(engine.inDataMode());
+    EXPECT_EQ(counterValue("guard.at.escape_spam"), before + 3);
+}
+
 }  // namespace
 }  // namespace onelab::modem

@@ -394,5 +394,70 @@ TEST(RadioBearer, ShutdownReturnsCapacityToPool) {
     EXPECT_DOUBLE_EQ(cell.downlinkAllocatedBps(), downlinkBefore);
 }
 
+// --- greedy-UE containment: RNC reclaim of idle over-share grants ---
+
+TEST(RadioBearer, RncReclaimsIdleOverShareGreedyGrant) {
+    sim::Simulator sim;
+    // 700k budget, two claimants: fair share 350k, so a 384k grant is
+    // over-share and reclaimable; 2×144k initial + one 384k step fit.
+    CellCapacity cell{700e3, 7.2e6};
+    OperatorProfile profile = onDemandProfile();
+    profile.downgradeIdle = sim::seconds(1.0);  // 5 monitor ticks
+    RadioBearer honest{sim, profile, util::RandomStream{1}, "222880000000021", &cell};
+    RadioBearer greedy{sim, profile, util::RandomStream{2}, "222880000000022", &cell};
+    greedy.setGreedy(true);
+
+    const std::uint64_t reclaimsBefore =
+        obs::Registry::instance().counter("guard.cell.reclaims").value();
+    bool sawUpgrade = false;
+    bool sawReclaim = false;
+    greedy.onUplinkRateChange = [&](double oldRate, double newRate) {
+        if (newRate > oldRate) sawUpgrade = true;
+        if (newRate < oldRate && oldRate > cell.fairShareUplinkBps()) sawReclaim = true;
+    };
+    // The greedy monitor grabs 384k with no saturation evidence and no
+    // grant delay; it then idles (no uplink traffic at all), which an
+    // honest bearer would volunteer back — the greedy one never does.
+    // After downgradeIdle of consecutive empty-queue ticks the RNC
+    // takes the over-share grant back itself.
+    sim.runUntil(sim::seconds(10.0));
+    EXPECT_TRUE(sawUpgrade);
+    EXPECT_TRUE(sawReclaim);
+    EXPECT_GT(obs::Registry::instance().counter("guard.cell.reclaims").value(),
+              reclaimsBefore);
+    // Accounting stayed exact through grab/reclaim cycles: both
+    // bearers' grants sum to the pool's allocated figure.
+    EXPECT_DOUBLE_EQ(cell.uplinkAllocatedBps(),
+                     honest.currentUplinkRateBps() + greedy.currentUplinkRateBps());
+    honest.shutdown();
+    greedy.shutdown();
+    EXPECT_DOUBLE_EQ(cell.uplinkAllocatedBps(), 0.0);
+}
+
+TEST(RadioBearer, AttemptPacingPinsAHammeringGreedyBearer) {
+    sim::Simulator sim;
+    CellCapacity cell{700e3, 7.2e6};
+    OperatorProfile profile = onDemandProfile();
+    profile.downgradeIdle = sim::seconds(1.0);
+    RadioBearer honest{sim, profile, util::RandomStream{1}, "222880000000023", &cell};
+    RadioBearer greedy{sim, profile, util::RandomStream{2}, "222880000000024", &cell};
+    greedy.setGreedy(true);
+    const std::uint64_t denialsBefore =
+        obs::Registry::instance().counter("guard.cell.fairness_denials").value();
+    // Long horizon: the greedy monitor hammers an upgrade attempt
+    // every 200 ms whenever it is below the ladder top. The attempt
+    // bucket (0.5 tokens/s refill, denied attempts cost too) must pin
+    // it, so the vast majority of its hammering is denied.
+    sim.runUntil(sim::seconds(60.0));
+    const std::uint64_t denials =
+        obs::Registry::instance().counter("guard.cell.fairness_denials").value() -
+        denialsBefore;
+    EXPECT_GT(denials, 50u);
+    // The honest idle bearer keeps its admission grant untouched.
+    EXPECT_DOUBLE_EQ(honest.currentUplinkRateBps(), 144e3);
+    honest.shutdown();
+    greedy.shutdown();
+}
+
 }  // namespace
 }  // namespace onelab::umts

@@ -258,5 +258,100 @@ TEST_P(CellInvariants, RandomInterleavingsHoldTheLedger) {
 
 INSTANTIATE_TEST_SUITE_P(Shards, CellInvariants, ::testing::Range(0, 8));
 
+// --- fairness clamp: fair-share check + per-claimant attempt pacing ---
+
+TEST(CellFairness, FairShareDeniesGrowthToOverShareHolderUnderContention) {
+    CellCapacity cell{768e3, 7.2e6};
+    const auto a = cell.addWaiter([] {});
+    (void)cell.addWaiter([] {});
+    EXPECT_DOUBLE_EQ(cell.fairShareUplinkBps(), 384e3);
+    cell.reserveUplink(384e3);
+    // Holding exactly fair share with another claimant present: denied.
+    const std::uint64_t before = cell.fairnessDenials();
+    EXPECT_FALSE(cell.tryGrowUplink(64e3, 384e3));
+    EXPECT_EQ(cell.fairnessDenials(), before + 1);
+    // Under fair share the same growth is decided by headroom alone.
+    EXPECT_TRUE(cell.tryGrowUplink(64e3, 256e3));
+    cell.releaseUplink(448e3);
+    cell.removeWaiter(a);
+    // Sole claimant: the clamp never applies.
+    cell.reserveUplink(384e3);
+    EXPECT_TRUE(cell.tryGrowUplink(64e3, 384e3));
+}
+
+TEST(CellFairness, ClampDisabledRestoresPureHeadroomDecision) {
+    CellCapacity cell{768e3, 7.2e6};
+    cell.setFairnessClamp(false);
+    (void)cell.addWaiter([] {});
+    (void)cell.addWaiter([] {});
+    cell.reserveUplink(700e3);
+    EXPECT_TRUE(cell.tryGrowUplink(64e3, 700e3));
+    EXPECT_EQ(cell.fairnessDenials(), 0u);
+}
+
+TEST(CellFairness, AttemptPacingDeniesASpammerEvenWithHeadroom) {
+    CellCapacity cell{768e3, 7.2e6};
+    const auto spammer = cell.addWaiter([] {});
+    (void)cell.addWaiter([] {});
+    const sim::SimTime t0 = sim::seconds(100.0);
+    // Burst budget (3 attempts) passes; the 4th is paced out even
+    // though the pool has plenty of headroom and the holding is under
+    // fair share — rate, not need, is what the bucket discriminates.
+    for (int i = 0; i < 3; ++i)
+        EXPECT_TRUE(cell.tryGrowUplink(10e3, 0.0, spammer, t0)) << "attempt " << i;
+    const std::uint64_t before = cell.fairnessDenials();
+    EXPECT_FALSE(cell.tryGrowUplink(10e3, 0.0, spammer, t0));
+    EXPECT_EQ(cell.fairnessDenials(), before + 1);
+    // 2 s at 0.5 tokens/s refills one attempt... but the denied
+    // attempt above cost a token too (debt), so it takes 4 s.
+    EXPECT_FALSE(cell.tryGrowUplink(10e3, 0.0, spammer, t0 + sim::seconds(2.0)));
+    EXPECT_TRUE(cell.tryGrowUplink(10e3, 0.0, spammer, t0 + sim::seconds(6.1)));
+}
+
+TEST(CellFairness, DebtIsBoundedAndQuietTimeRecovers) {
+    CellCapacity cell{768e3, 7.2e6};
+    const auto spammer = cell.addWaiter([] {});
+    (void)cell.addWaiter([] {});
+    const sim::SimTime t0 = sim::seconds(100.0);
+    // A hammering claimant pins its bucket at the debt floor; the
+    // floor bounds how long quiet time takes to recover.
+    for (int i = 0; i < 100; ++i) (void)cell.tryGrowUplink(10e3, 0.0, spammer, t0);
+    // Just under the full recovery window: still denied (the recovery
+    // attempt itself costs a token from barely-at-1.0).
+    EXPECT_FALSE(cell.tryGrowUplink(10e3, 0.0, spammer, t0 + sim::seconds(20.0)));
+    // From the floor (-10): (10 + 1) / 0.5 = 22 s of silence buys one
+    // admitted attempt.
+    EXPECT_TRUE(cell.tryGrowUplink(10e3, 0.0, spammer,
+                                   t0 + sim::seconds(20.0) + sim::seconds(23.0)));
+}
+
+TEST(CellFairness, AnonymousAndHonestClaimantsAreUnaffectedByPacing) {
+    CellCapacity cell{768e3, 7.2e6};
+    const auto honest = cell.addWaiter([] {});
+    (void)cell.addWaiter([] {});
+    // Claimant 0 (anonymous) is never paced, however fast it retries.
+    for (int i = 0; i < 20; ++i)
+        EXPECT_TRUE(cell.tryGrowUplink(1e3, 0.0, 0, sim::seconds(100.0)));
+    // An honest claimant attempting once a minute stays in burst
+    // territory forever (refill outpaces its attempt rate).
+    for (int i = 0; i < 20; ++i)
+        EXPECT_TRUE(cell.tryGrowUplink(1e3, 0.0, honest,
+                                       sim::seconds(100.0 + 60.0 * i)));
+    EXPECT_EQ(cell.fairnessDenials(), 0u);
+}
+
+TEST(CellFairness, RemoveWaiterDropsPacingState) {
+    CellCapacity cell{768e3, 7.2e6};
+    const auto spammer = cell.addWaiter([] {});
+    (void)cell.addWaiter([] {});
+    const sim::SimTime t0 = sim::seconds(100.0);
+    for (int i = 0; i < 10; ++i) (void)cell.tryGrowUplink(10e3, 0.0, spammer, t0);
+    cell.removeWaiter(spammer);
+    // A fresh registration (same numeric id will not be reused, but
+    // the erase must not leak state either way) starts at full burst.
+    const auto fresh = cell.addWaiter([] {});
+    EXPECT_TRUE(cell.tryGrowUplink(10e3, 0.0, fresh, t0));
+}
+
 }  // namespace
 }  // namespace onelab::umts

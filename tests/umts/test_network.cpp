@@ -330,5 +330,121 @@ TEST_F(NetworkTest, MicrocellHasNoFirewall) {
     EXPECT_EQ(microcell.ggsn().forwardedPackets(), 1u);
 }
 
+// --- trust-boundary guards: attach storm + flow-state churn ---
+
+std::uint64_t guardCounter(const char* name) {
+    return obs::Registry::instance().counter(name).value();
+}
+
+TEST(SignalingGuard, BarringCapsAttachBacklog) {
+    sim::Simulator sim;
+    net::Internet internet{sim, util::RandomStream{5}};
+    OperatorProfile profile = commercialItalianOperator();
+    profile.signalingGuard.barringLimit = 8;
+    profile.signalingGuard.congestionStart = 4;
+    UmtsNetwork network{sim, internet, profile, util::RandomStream{6}};
+
+    const std::uint64_t throttledBefore = guardCounter("guard.umts.attach_throttled");
+    const std::uint64_t delayedBefore = guardCounter("guard.umts.attach_delayed");
+    int admitted = 0;
+    int barred = 0;
+    for (int i = 0; i < 20; ++i) {
+        network.attachUe("storm-" + std::to_string(i), [&](util::Result<void> r) {
+            if (r.ok())
+                ++admitted;
+            else if (r.error().code == util::Error::Code::busy)
+                ++barred;
+        });
+    }
+    // The backlog never exceeds the barring limit; the 12 over-limit
+    // attaches were answered busy immediately.
+    EXPECT_EQ(network.attachBacklog(), 8u);
+    EXPECT_EQ(barred, 12);
+    EXPECT_EQ(guardCounter("guard.umts.attach_throttled"), throttledBefore + 12);
+    // Congestion physics slowed the late admits (backlog >= 4).
+    EXPECT_GT(guardCounter("guard.umts.attach_delayed"), delayedBefore);
+    // Every admitted registration completes once the delays elapse.
+    sim.runUntil(sim.now() + sim::seconds(60.0));
+    EXPECT_EQ(admitted, 8);
+    EXPECT_EQ(network.attachBacklog(), 0u);
+}
+
+TEST(SignalingGuard, DisabledBarringAdmitsUnboundedBacklog) {
+    sim::Simulator sim;
+    net::Internet internet{sim, util::RandomStream{5}};
+    OperatorProfile profile = commercialItalianOperator();
+    profile.signalingGuard.enabled = false;
+    profile.signalingGuard.barringLimit = 8;
+    UmtsNetwork network{sim, internet, profile, util::RandomStream{6}};
+
+    int barred = 0;
+    for (int i = 0; i < 20; ++i) {
+        network.attachUe("storm-" + std::to_string(i),
+                         [&](util::Result<void> r) { barred += r.ok() ? 0 : 1; });
+    }
+    // No barring: the whole storm is in flight at once (this is the
+    // unguarded failure mode the adversary bench measures); the
+    // congestion slowdown still applies — it is physics, not policy.
+    EXPECT_EQ(network.attachBacklog(), 20u);
+    EXPECT_EQ(barred, 0);
+}
+
+TEST(NatGuardFlows, PerSubscriberQuotaBoundsChurnState) {
+    sim::Simulator sim;
+    net::Internet internet{sim, util::RandomStream{5}};
+    OperatorProfile profile = commercialItalianOperator();
+    profile.natGuard.perSubscriberQuota = 10;
+    UmtsNetwork network{sim, internet, profile, util::RandomStream{6}};
+
+    const net::Ipv4Address sprayer{10, 47, 0, 99};
+    const net::Ipv4Address dest{138, 96, 250, 20};
+    const std::uint64_t deniedBefore = guardCounter("guard.firewall.quota_denied");
+    const std::size_t recorded = network.injectFlowChurn(sprayer, dest, 30000, 100);
+    EXPECT_EQ(recorded, 10u);
+    EXPECT_EQ(network.firewallFlowCount(), 10u);
+    EXPECT_EQ(guardCounter("guard.firewall.quota_denied"), deniedBefore + 90);
+}
+
+TEST(NatGuardFlows, QuotaKeepsChurnFromEvictingVictimState) {
+    sim::Simulator sim;
+    net::Internet internet{sim, util::RandomStream{5}};
+    OperatorProfile profile = commercialItalianOperator();
+    profile.natGuard.maxFirewallFlows = 64;
+    profile.natGuard.perSubscriberQuota = 32;
+    UmtsNetwork network{sim, internet, profile, util::RandomStream{6}};
+
+    const net::Ipv4Address victim{10, 47, 0, 16};
+    const net::Ipv4Address sprayer{10, 47, 0, 99};
+    const net::Ipv4Address dest{138, 96, 250, 20};
+    ASSERT_EQ(network.injectFlowChurn(victim, dest, 5000, 1), 1u);
+    ASSERT_TRUE(network.hasFlowStateFor(victim));
+    // A 500-flow spray hits the sprayer's own quota long before the
+    // table cap, so the victim's single return-path entry survives.
+    (void)network.injectFlowChurn(sprayer, dest, 30000, 500);
+    EXPECT_TRUE(network.hasFlowStateFor(victim));
+    EXPECT_LE(network.firewallFlowCount(), 33u);
+}
+
+TEST(NatGuardFlows, UnlimitedQuotaLetsChurnEvictVictim) {
+    sim::Simulator sim;
+    net::Internet internet{sim, util::RandomStream{5}};
+    OperatorProfile profile = commercialItalianOperator();
+    profile.natGuard.maxFirewallFlows = 16;
+    profile.natGuard.perSubscriberQuota = 0;  // guard off
+    UmtsNetwork network{sim, internet, profile, util::RandomStream{6}};
+
+    const net::Ipv4Address victim{10, 47, 0, 16};
+    const net::Ipv4Address sprayer{10, 47, 0, 99};
+    const net::Ipv4Address dest{138, 96, 250, 20};
+    ASSERT_EQ(network.injectFlowChurn(victim, dest, 5000, 1), 1u);
+    const std::uint64_t evictedBefore = guardCounter("guard.firewall.evicted");
+    (void)network.injectFlowChurn(sprayer, dest, 30000, 200);
+    // With the quota off the spray churns the whole bounded table —
+    // the victim's entry is evicted (the attack the quota exists for).
+    EXPECT_FALSE(network.hasFlowStateFor(victim));
+    EXPECT_LE(network.firewallFlowCount(), 16u);
+    EXPECT_GT(guardCounter("guard.firewall.evicted"), evictedBefore);
+}
+
 }  // namespace
 }  // namespace onelab::umts

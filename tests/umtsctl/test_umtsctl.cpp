@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include "obs/registry.hpp"
 #include "scenario/testbed.hpp"
 #include "umtsctl/frontend.hpp"
 
@@ -243,6 +244,52 @@ TEST_F(UmtsctlTest, FrontendStatsRendersTable) {
     EXPECT_NE(table.find("type"), std::string::npos);
     EXPECT_NE(table.find("modem.at.commands"), std::string::npos);
     EXPECT_NE(table.find("counter"), std::string::npos);
+}
+
+// --- stats ACL: per-session scoping at the FIFO trust boundary ---
+
+TEST_F(UmtsctlTest, ScopedStatsHidesOtherSessionsBearerFamilies) {
+    ASSERT_TRUE(tb.startUmts().ok());
+    // A family belonging to some other session's IMSI (as would exist
+    // after this node served a different subscriber, or on a shared
+    // registry): the scoped dump must not leak it.
+    obs::Registry::instance().counter("umts.bearer.999880000000099.upgrades").inc();
+    const auto stats = invoke(tb.umtsSlice(), {"stats"});
+    EXPECT_EQ(stats.exitCode, exit_code::ok);
+    EXPECT_TRUE(hasLine(stats, "umts.bearer.222880000000001.upgrades=counter:"));
+    EXPECT_FALSE(hasLine(stats, "umts.bearer.999880000000099"));
+    // Node-wide families (and the non-digit legacy aggregates) are not
+    // per-session and stay visible.
+    EXPECT_TRUE(hasLine(stats, "modem.at.commands=counter:"));
+}
+
+TEST_F(UmtsctlTest, HostileStatsAllIsScopedBackAndCounted) {
+    ASSERT_TRUE(tb.startUmts().ok());
+    obs::Registry::instance().counter("umts.bearer.999880000000099.upgrades").inc();
+    tb.napoli().vsys().allow("umts", tb.otherSlice().name);
+    const std::uint64_t deniedBefore =
+        obs::Registry::instance().counter("guard.umtsctl.stats_denied").value();
+    // The frontend never sends "all" for a non-owner, but a hostile
+    // slice speaking the raw FIFO protocol can. The backend scopes the
+    // dump back to the node's own session and records the attempt.
+    const auto stats = invoke(tb.otherSlice(), {"stats", "all"});
+    EXPECT_EQ(stats.exitCode, exit_code::ok);
+    EXPECT_TRUE(hasLine(stats, "umts.bearer.222880000000001.upgrades=counter:"));
+    EXPECT_FALSE(hasLine(stats, "umts.bearer.999880000000099"));
+    EXPECT_EQ(obs::Registry::instance().counter("guard.umtsctl.stats_denied").value(),
+              deniedBefore + 1);
+}
+
+TEST_F(UmtsctlTest, OwningSliceStatsAllStillDumpsEverything) {
+    ASSERT_TRUE(tb.startUmts().ok());
+    obs::Registry::instance().counter("umts.bearer.999880000000099.upgrades").inc();
+    const std::uint64_t deniedBefore =
+        obs::Registry::instance().counter("guard.umtsctl.stats_denied").value();
+    const auto stats = invoke(tb.umtsSlice(), {"stats", "all"});
+    EXPECT_EQ(stats.exitCode, exit_code::ok);
+    EXPECT_TRUE(hasLine(stats, "umts.bearer.999880000000099.upgrades=counter:"));
+    EXPECT_EQ(obs::Registry::instance().counter("guard.umtsctl.stats_denied").value(),
+              deniedBefore);
 }
 
 TEST_F(UmtsctlTest, UnknownVerbRejected) {
